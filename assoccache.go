@@ -1,0 +1,231 @@
+package assoccache
+
+import (
+	"fmt"
+
+	"repro/internal/companion"
+	"repro/internal/concurrent"
+	"repro/internal/core"
+	"repro/internal/hashfn"
+	"repro/internal/metrics"
+	"repro/internal/opt"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Item identifies a cacheable object (a block address, page number, or key).
+type Item = trace.Item
+
+// Sequence is a request sequence σ.
+type Sequence = trace.Sequence
+
+// Cache is the common interface of every cache simulator in the library:
+// fully associative, set-associative, rehashing, and Belady's OPT.
+type Cache = core.Cache
+
+// Stats holds the cost counters of a cache; Stats.Misses is the paging cost
+// C(A, σ) of the paper.
+type Stats = core.Stats
+
+// PolicyKind names a replacement-policy family.
+type PolicyKind = policy.Kind
+
+// The supported replacement policies.
+const (
+	LRU           = policy.LRUKind
+	FIFO          = policy.FIFOKind
+	Clock         = policy.ClockKind
+	LFU           = policy.LFUKind
+	LRU2          = policy.LRU2Kind
+	LRU3          = policy.LRU3Kind
+	ReuseDistance = policy.ReuseDistKind
+	RandomEvict   = policy.RandomKind
+	FlushWhenFull = policy.FlushWhenFullKind
+)
+
+// MissBreakdown partitions misses into the 3C classes (compulsory,
+// capacity, conflict).
+type MissBreakdown = metrics.Breakdown
+
+// options collects the functional options shared by the constructors.
+type options struct {
+	kind        PolicyKind
+	seed        uint64
+	rehash      core.RehashConfig
+	weakHashing bool
+}
+
+// Option customizes a cache constructor.
+type Option func(*options)
+
+// WithPolicy selects the replacement policy (default LRU).
+func WithPolicy(kind PolicyKind) Option {
+	return func(o *options) { o.kind = kind }
+}
+
+// WithSeed fixes the random seed used by the indexing hash (and by the
+// random-eviction policy). Equal seeds replay identically; the default is 0.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithFullFlushRehash enables the ⟨LRU⟩FF scheme of Section 6: every
+// everyMisses cache misses, flush everything and draw a fresh hash function.
+// The paper proves (1+1/poly(k))-competitiveness on arbitrarily long request
+// sequences when everyMisses is poly(k) and α = ω(log k).
+func WithFullFlushRehash(everyMisses uint64) Option {
+	return func(o *options) {
+		o.rehash = core.RehashConfig{Mode: core.RehashFullFlush, EveryMisses: everyMisses}
+	}
+}
+
+// WithIncrementalRehash enables the ⟨LRU⟩IF scheme of Section 6.1: rehashes
+// are spread out — items migrate to their new buckets lazily, and at most
+// two hash functions are live at a time. Same guarantee as full flushing
+// (Proposition 4), without the stop-the-world eviction burst.
+func WithIncrementalRehash(everyMisses uint64) Option {
+	return func(o *options) {
+		o.rehash = core.RehashConfig{Mode: core.RehashIncremental, EveryMisses: everyMisses}
+	}
+}
+
+// WithBrokenAccessRehash rehashes every everyAccesses requests instead of
+// misses. The paper's Section 6 remark proves this schedule is broken; it is
+// exposed for experimentation (see experiment E13).
+func WithBrokenAccessRehash(everyAccesses uint64) Option {
+	return func(o *options) {
+		o.rehash = core.RehashConfig{Mode: core.RehashFullFlush, EveryAccesses: everyAccesses}
+	}
+}
+
+// WithModuloIndexing replaces the fully random indexing hash with the weak
+// x mod n indexer. This violates the paper's model and is exposed only for
+// the hash-quality ablation (experiment E1).
+func WithModuloIndexing() Option {
+	return func(o *options) { o.weakHashing = true }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{kind: policy.LRUKind}
+	for _, apply := range opts {
+		apply(&o)
+	}
+	return o
+}
+
+// NewSetAssociative builds an α-way set-associative cache ⟨A⟩_k with total
+// capacity k (the paper's Section 4 algorithm). Alpha must divide capacity.
+// The default policy is LRU; see the Options for rehashing variants.
+func NewSetAssociative(capacity, alpha int, opts ...Option) (Cache, error) {
+	o := buildOptions(opts)
+	cfg := core.SetAssocConfig{
+		Capacity: capacity,
+		Alpha:    alpha,
+		Factory:  policy.NewFactory(o.kind, o.seed),
+		Seed:     o.seed,
+		Rehash:   o.rehash,
+	}
+	if o.weakHashing {
+		cfg.NewHasher = func(seed uint64, n int) hashfn.Hasher { return hashfn.NewModulo(seed, n) }
+	}
+	return core.NewSetAssoc(cfg)
+}
+
+// NewFullyAssociative builds a fully associative cache A_k.
+func NewFullyAssociative(capacity int, opts ...Option) (Cache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("assoccache: capacity %d must be positive", capacity)
+	}
+	o := buildOptions(opts)
+	if o.rehash.Mode != core.RehashNone {
+		return nil, fmt.Errorf("assoccache: rehashing options apply only to set-associative caches")
+	}
+	return core.NewFullAssoc(policy.NewFactory(o.kind, o.seed), capacity), nil
+}
+
+// NewOPT builds Belady's offline optimal cache for a known request
+// sequence. Access must then be fed exactly that sequence.
+func NewOPT(capacity int, seq Sequence) Cache {
+	return opt.New(capacity, seq)
+}
+
+// OptimalCost returns C(OPT_capacity, seq), the offline optimal number of
+// misses.
+func OptimalCost(capacity int, seq Sequence) uint64 {
+	return opt.Cost(capacity, seq)
+}
+
+// Run plays seq through cache and returns the stats delta for the run.
+func Run(cache Cache, seq Sequence) Stats {
+	return core.RunSequence(cache, seq)
+}
+
+// ClassifyMisses runs seq through cache and attributes each miss to a 3C
+// class: compulsory (first access), capacity (a fully associative LRU cache
+// of the same size also misses), or conflict (caused purely by the
+// associativity restriction). The cache must be freshly built.
+func ClassifyMisses(seq Sequence, cache Cache) MissBreakdown {
+	return metrics.Classify(seq, cache)
+}
+
+// RecommendedAlpha returns the paper's advice for the set size: the smallest
+// power of two at or above 4·log₂(k). Below Θ(log k) the paging penalty is
+// unbounded (Proposition 2); far above it, returns diminish (Proposition 1).
+// The constant 4 absorbs the constants hidden in the asymptotics at
+// practical cache sizes (see experiment E1's measured crossover).
+func RecommendedAlpha(capacity int) int {
+	if capacity <= 1 {
+		return 1
+	}
+	lg := 0
+	for c := capacity; c > 1; c >>= 1 {
+		lg++
+	}
+	a := 1
+	for a < 4*lg {
+		a *= 2
+	}
+	if a > capacity {
+		a = capacity
+	}
+	// Alpha must divide capacity; capacity is not necessarily a power of
+	// two, so fall back to the largest power-of-two divisor ≤ a.
+	for a > 1 && capacity%a != 0 {
+		a /= 2
+	}
+	return a
+}
+
+// NewCompanion builds a companion (victim) cache: an α-way set-associative
+// main cache of mainCapacity slots backed by a small fully associative
+// companion of companionCapacity slots that catches the buckets' victims —
+// the related-work organization the paper contrasts against (footnote 2;
+// Jouppi's victim cache). A few dozen companion slots absorb the conflict
+// misses of a sub-threshold α (experiment E16).
+func NewCompanion(mainCapacity, alpha, companionCapacity int, opts ...Option) (Cache, error) {
+	o := buildOptions(opts)
+	if o.rehash.Mode != core.RehashNone {
+		return nil, fmt.Errorf("assoccache: rehashing is not supported on companion caches")
+	}
+	return companion.New(companion.Config{
+		MainCapacity:      mainCapacity,
+		Alpha:             alpha,
+		CompanionCapacity: companionCapacity,
+		Factory:           policy.NewFactory(o.kind, o.seed),
+		Seed:              o.seed,
+	})
+}
+
+// ConcurrentCache is a thread-safe set-associative LRU key-value cache with
+// per-bucket locking — the paper's motivating software-cache design.
+type ConcurrentCache = concurrent.Cache
+
+// NewConcurrent builds a ConcurrentCache with the given total capacity and
+// bucket size.
+func NewConcurrent(capacity, alpha int, opts ...Option) (*ConcurrentCache, error) {
+	o := buildOptions(opts)
+	if o.kind != policy.LRUKind {
+		return nil, fmt.Errorf("assoccache: the concurrent cache is LRU-only")
+	}
+	return concurrent.New(concurrent.Config{Capacity: capacity, Alpha: alpha, Seed: o.seed})
+}

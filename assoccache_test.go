@@ -1,0 +1,168 @@
+package assoccache
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	const k = 1 << 10
+	cache, err := NewSetAssociative(k, RecommendedAlpha(k), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := trace.RangeSeq(0, 512).Repeat(4)
+	st := Run(cache, seq)
+	if st.Accesses != uint64(len(seq)) {
+		t.Fatalf("accesses = %d", st.Accesses)
+	}
+	// Working set (512) fits k=1024 easily at a healthy α: after the first
+	// pass there should be almost no extra misses.
+	if st.Misses > 600 {
+		t.Fatalf("misses = %d, expected ≈ 512 compulsory", st.Misses)
+	}
+	if st.MissRatio() <= 0 {
+		t.Fatal("miss ratio should be positive")
+	}
+}
+
+func TestRecommendedAlpha(t *testing.T) {
+	cases := []struct{ k, want int }{
+		{1, 1},
+		{2, 2},         // 4·log₂2 = 4 capped to k=2
+		{1 << 10, 64},  // 4·10 = 40 → 64
+		{1 << 14, 64},  // 4·14 = 56 → 64
+		{1 << 20, 128}, // 4·20 = 80 → 128
+	}
+	for _, c := range cases {
+		if got := RecommendedAlpha(c.k); got != c.want {
+			t.Errorf("RecommendedAlpha(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+	// Must always divide capacity.
+	for _, k := range []int{48, 96, 1000, 1 << 12} {
+		a := RecommendedAlpha(k)
+		if a < 1 || k%a != 0 {
+			t.Errorf("RecommendedAlpha(%d) = %d does not divide", k, a)
+		}
+	}
+}
+
+func TestPolicyOption(t *testing.T) {
+	for _, kind := range []PolicyKind{LRU, FIFO, Clock, LFU, LRU2, ReuseDistance} {
+		c, err := NewSetAssociative(64, 4, WithPolicy(kind))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		Run(c, trace.RangeSeq(0, 100))
+		if c.Stats().Misses == 0 {
+			t.Fatalf("%v: no misses on cold trace", kind)
+		}
+	}
+}
+
+func TestRehashOptions(t *testing.T) {
+	ff, err := NewSetAssociative(64, 8, WithFullFlushRehash(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := NewSetAssociative(64, 8, WithIncrementalRehash(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken, err := NewSetAssociative(64, 8, WithBrokenAccessRehash(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := trace.RangeSeq(0, 200).Repeat(2)
+	for name, c := range map[string]Cache{"ff": ff, "incr": incr, "broken": broken} {
+		st := Run(c, seq)
+		if st.Rehashes == 0 {
+			t.Errorf("%s: expected rehashes", name)
+		}
+	}
+}
+
+func TestFullyAssociativeRejectsRehash(t *testing.T) {
+	if _, err := NewFullyAssociative(8, WithFullFlushRehash(8)); err == nil {
+		t.Fatal("rehash option on fully associative cache should error")
+	}
+	if _, err := NewFullyAssociative(0); err == nil {
+		t.Fatal("capacity 0 should error")
+	}
+}
+
+func TestModuloIndexingOption(t *testing.T) {
+	c, err := NewSetAssociative(64, 1, WithModuloIndexing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contiguous items stripe perfectly under modulo: 64 items in 64
+	// direct-mapped buckets → zero conflicts on repeat.
+	seq := trace.RangeSeq(0, 64).Repeat(3)
+	st := Run(c, seq)
+	if st.Misses != 64 {
+		t.Fatalf("modulo direct-mapped on contiguous scan: misses = %d, want 64", st.Misses)
+	}
+}
+
+func TestOPTFacade(t *testing.T) {
+	seq := trace.Sequence{1, 2, 3, 1, 2, 3}
+	if got := OptimalCost(2, seq); got != 4 {
+		t.Fatalf("OptimalCost = %d, want 4", got)
+	}
+	c := NewOPT(2, seq)
+	st := Run(c, seq)
+	if st.Misses != 4 {
+		t.Fatalf("OPT run misses = %d, want 4", st.Misses)
+	}
+}
+
+func TestClassifyMissesFacade(t *testing.T) {
+	c, err := NewSetAssociative(64, 1, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ClassifyMisses(trace.RangeSeq(0, 64).Repeat(4), c)
+	if b.Compulsory != 64 {
+		t.Fatalf("compulsory = %d", b.Compulsory)
+	}
+	if b.Conflict == 0 {
+		t.Fatal("direct-mapped cache should show conflict misses")
+	}
+}
+
+func TestConcurrentFacade(t *testing.T) {
+	c, err := NewConcurrent(64, 8, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(1, "v")
+	if v, ok := c.Get(1); !ok || v != "v" {
+		t.Fatalf("Get = %v/%v", v, ok)
+	}
+	if _, err := NewConcurrent(64, 8, WithPolicy(FIFO)); err == nil {
+		t.Fatal("non-LRU concurrent cache should be rejected")
+	}
+}
+
+func TestCompanionFacade(t *testing.T) {
+	c, err := NewCompanion(64, 1, 16, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := trace.RangeSeq(0, 60).Repeat(5)
+	st := Run(c, seq)
+	plain, err := NewSetAssociative(64, 1, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSt := Run(plain, seq)
+	if st.Misses > plainSt.Misses {
+		t.Fatalf("companion cache (%d misses) worse than plain direct-mapped (%d)", st.Misses, plainSt.Misses)
+	}
+	if _, err := NewCompanion(64, 1, 16, WithFullFlushRehash(8)); err == nil {
+		t.Fatal("rehash option on companion cache should error")
+	}
+}

@@ -1,0 +1,108 @@
+// Command assocbench runs the reproduction experiments E1–E19 and prints
+// each result as a table shaped like the paper claim it validates.
+//
+// Usage:
+//
+//	assocbench [-quick] [-seed N] [-run E1,E5,E7]
+//
+// Without -run, all experiments execute in order. -quick uses the test-scale
+// parameter sets (seconds instead of minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use test-scale parameters")
+	seed := flag.Uint64("seed", 0x5eed, "master random seed")
+	run := flag.String("run", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	type experiment struct {
+		id     string
+		title  string
+		tables func(experiments.Config) []*stats.Table
+	}
+	all := []experiment{
+		{"E1", "associativity threshold", func(c experiments.Config) []*stats.Table {
+			r := experiments.E1Threshold(c)
+			return []*stats.Table{r.Table(), r.AblationTable()}
+		}},
+		{"E2", "Theorem 3 competitiveness", one(func(c experiments.Config) *stats.Table { return experiments.E2Competitive(c).Table() })},
+		{"E3", "Lemma 3 max load", one(func(c experiments.Config) *stats.Table { return experiments.E3MaxLoad(c).Table() })},
+		{"E4", "Lemma 4 saturated bins", one(func(c experiments.Config) *stats.Table { return experiments.E4Saturated(c).Table() })},
+		{"E5", "Theorem 4 adversary", one(func(c experiments.Config) *stats.Table { return experiments.E5Adversary(c).Table() })},
+		{"E6", "Proposition 2 regimes", one(func(c experiments.Config) *stats.Table { return experiments.E6Regimes(c).Table() })},
+		{"E7", "rehashing (covers E8)", one(func(c experiments.Config) *stats.Table { return experiments.E7E8Rehash(c).Table() })},
+		{"E9", "vs offline OPT", one(func(c experiments.Config) *stats.Table { return experiments.E9VsOPT(c).Table() })},
+		{"E10", "policy classification", one(func(c experiments.Config) *stats.Table { return experiments.E10Stability(c).Table() })},
+		{"E11", "Proposition 6 replay", one(func(c experiments.Config) *stats.Table { return experiments.E11ReuseDist(c).Table() })},
+		{"E12", "Belady's anomaly", one(func(c experiments.Config) *stats.Table { return experiments.E12Belady(c).Table() })},
+		{"E13", "rehash schedules", one(func(c experiments.Config) *stats.Table { return experiments.E13AccessRehash(c).Table() })},
+		{"E14", "LRU-2 scan resistance", one(func(c experiments.Config) *stats.Table { return experiments.E14LRU2(c).Table() })},
+		{"E15", "indexing: bit-select vs random", one(func(c experiments.Config) *stats.Table { return experiments.E15Indexing(c).Table() })},
+		{"E16", "companion (victim) caches", one(func(c experiments.Config) *stats.Table { return experiments.E16Companion(c).Table() })},
+		{"E17", "mirroring technique", one(func(c experiments.Config) *stats.Table { return experiments.E17Mirror(c).Table() })},
+		{"E18", "stack-distance profiling", one(func(c experiments.Config) *stats.Table { return experiments.E18StackDist(c).Table() })},
+		{"E19", "skewed (d-choice) associativity", one(func(c experiments.Config) *stats.Table { return experiments.E19Skewed(c).Table() })},
+	}
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if id == "E8" {
+				id = "E7" // E7 and E8 share a harness
+			}
+			want[id] = true
+		}
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		ran++
+		t0 := time.Now()
+		for _, tb := range e.tables(cfg) {
+			if err := tb.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "assocbench: rendering %s: %v\n", e.id, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s done in %v]\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "assocbench: no experiments matched -run=%q\n", *run)
+		os.Exit(2)
+	}
+	fmt.Printf("assocbench: %d experiment(s) in %v (scale=%v, seed=%#x)\n",
+		ran, time.Since(start).Round(time.Millisecond), scaleName(cfg), cfg.Seed)
+}
+
+func one(f func(experiments.Config) *stats.Table) func(experiments.Config) []*stats.Table {
+	return func(c experiments.Config) []*stats.Table { return []*stats.Table{f(c)} }
+}
+
+func scaleName(cfg experiments.Config) string {
+	if cfg.Scale == experiments.Quick {
+		return "quick"
+	}
+	return "full"
+}

@@ -1,0 +1,149 @@
+// Command cachesim replays a binary trace (see cmd/tracegen) through a
+// configurable cache and reports hit/miss statistics and the 3C miss
+// breakdown.
+//
+// Usage:
+//
+//	cachesim -k 4096 -alpha 64 -policy lru trace.satr
+//	cachesim -k 4096 -alpha 64 -rehash fullflush -every 65536 trace.satr
+//	cachesim -k 4096 -full -policy lfu trace.satr           # fully associative
+//	cachesim -k 4096 -opt trace.satr                        # Belady's optimum
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/companion"
+	"repro/internal/core"
+	"repro/internal/hashfn"
+	"repro/internal/metrics"
+	"repro/internal/mirror"
+	"repro/internal/opt"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		k       = flag.Int("k", 1<<12, "total cache capacity")
+		alpha   = flag.Int("alpha", 64, "set size α (must divide k)")
+		polName = flag.String("policy", "lru", "lru|fifo|clock|lfu|lru2|lru3|reusedist|random|flushwhenfull")
+		full    = flag.Bool("full", false, "fully associative instead of set-associative")
+		useOpt  = flag.Bool("opt", false, "run Belady's offline OPT (fully associative)")
+		rehash  = flag.String("rehash", "none", "none|fullflush|incremental")
+		every   = flag.Uint64("every", 0, "rehash every N misses (required with -rehash)")
+		modulo  = flag.Bool("modulo", false, "use weak modulo indexing (ablation)")
+		seed    = flag.Uint64("seed", 1, "hash seed")
+		classes = flag.Bool("3c", true, "print the 3C miss breakdown (set-associative only)")
+		comp    = flag.Int("companion", 0, "add a fully associative companion (victim) cache of N slots")
+		mirrorK = flag.Int("mirror", 0, "mirror a fully associative simulation of N slots instead of native eviction")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cachesim [flags] trace.satr")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	seq, err := trace.Read(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *useOpt {
+		cost := opt.Cost(*k, seq)
+		fmt.Printf("OPT_%d: %d misses over %d accesses (ratio %.4f)\n",
+			*k, cost, len(seq), float64(cost)/float64(len(seq)))
+		return
+	}
+
+	kind, err := policy.ParseKind(*polName)
+	if err != nil {
+		fatal(err)
+	}
+	factory := policy.NewFactory(kind, *seed)
+
+	if *full {
+		c := core.NewFullAssoc(factory, *k)
+		report(core.RunSequence(c, seq), fmt.Sprintf("fully associative %s (k=%d)", kind, *k))
+		return
+	}
+
+	if *comp > 0 {
+		cc, err := companion.New(companion.Config{
+			MainCapacity: *k, Alpha: *alpha, CompanionCapacity: *comp,
+			Factory: factory, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		report(core.RunSequence(cc, seq),
+			fmt.Sprintf("%d-way %s + %d-slot companion (main k=%d)", *alpha, kind, *comp, *k))
+		fmt.Printf("  companion hits: %d (conflict misses absorbed)\n", cc.CompanionHits())
+		return
+	}
+
+	if *mirrorK > 0 {
+		m, err := mirror.New(mirror.Config{
+			Capacity: *k, Alpha: *alpha, SimCapacity: *mirrorK,
+			Factory: factory, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		report(core.RunSequence(m, seq),
+			fmt.Sprintf("%d-way mirror of fully associative %s_%d (k=%d)", *alpha, kind, *mirrorK, *k))
+		fmt.Printf("  forced overflows: %d\n", m.Overflows())
+		return
+	}
+
+	cfg := core.SetAssocConfig{Capacity: *k, Alpha: *alpha, Factory: factory, Seed: *seed}
+	switch *rehash {
+	case "none":
+	case "fullflush":
+		cfg.Rehash = core.RehashConfig{Mode: core.RehashFullFlush, EveryMisses: *every}
+	case "incremental":
+		cfg.Rehash = core.RehashConfig{Mode: core.RehashIncremental, EveryMisses: *every}
+	default:
+		fatal(fmt.Errorf("unknown rehash mode %q", *rehash))
+	}
+	if *modulo {
+		cfg.NewHasher = func(seed uint64, n int) hashfn.Hasher { return hashfn.NewModulo(seed, n) }
+	}
+	sa, err := core.NewSetAssoc(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	label := fmt.Sprintf("%d-way set-associative %s (k=%d, %d buckets, rehash=%s)",
+		*alpha, kind, *k, *k / *alpha, *rehash)
+	if *classes {
+		b := metrics.Classify(seq, sa)
+		report(sa.Stats(), label)
+		fmt.Printf("  compulsory: %10d\n  capacity:   %10d\n  conflict:   %10d (%.4f of accesses)\n",
+			b.Compulsory, b.Capacity, b.Conflict, b.ConflictRatio())
+	} else {
+		report(core.RunSequence(sa, seq), label)
+	}
+}
+
+func report(st core.Stats, label string) {
+	fmt.Printf("%s\n  accesses:   %10d\n  hits:       %10d\n  misses:     %10d (ratio %.4f)\n  evictions:  %10d\n",
+		label, st.Accesses, st.Hits, st.Misses, st.MissRatio(), st.Evictions)
+	if st.Rehashes > 0 {
+		fmt.Printf("  rehashes:   %10d\n  flush-evict:%10d\n", st.Rehashes, st.FlushEvictions)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cachesim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command tracegen generates synthetic request traces in the library's
+// binary trace format, for consumption by cmd/cachesim.
+//
+// Usage:
+//
+//	tracegen -workload zipf -n 1000000 -universe 65536 -s 1.0 -o trace.satr
+//	tracegen -workload adversary -k 4096 -delta 0.25 -sets 8 -reps 16 -o attack.satr
+//
+// Workloads: uniform, zipf, scan, phases, zipfscans, markov, adversary,
+// fixedset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("workload", "zipf", "uniform|zipf|scan|phases|zipfscans|markov|adversary|fixedset")
+		n        = flag.Int("n", 1_000_000, "number of requests (ignored by adversary/fixedset)")
+		universe = flag.Int("universe", 1<<16, "universe size")
+		s        = flag.Float64("s", 1.0, "zipf exponent")
+		phaseLen = flag.Int("phaselen", 10_000, "phase length (phases)")
+		setSize  = flag.Int("setsize", 1<<12, "working-set size per phase (phases)")
+		burstEv  = flag.Int("burstevery", 4096, "hot requests between scan bursts (zipfscans)")
+		burstLen = flag.Int("burstlen", 2048, "cold items per burst (zipfscans)")
+		nbhood   = flag.Int("neighbourhood", 64, "hot window size (markov)")
+		sticky   = flag.Float64("stickiness", 0.9, "probability of staying local (markov)")
+		k        = flag.Int("k", 1<<12, "cache size the adversary targets")
+		delta    = flag.Float64("delta", 0.25, "capacity gap δ (adversary/fixedset)")
+		sets     = flag.Int("sets", 8, "number of disjoint sets s (adversary)")
+		reps     = flag.Int("reps", 16, "replays per set t (adversary/fixedset)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var seq trace.Sequence
+	switch *kind {
+	case "uniform":
+		seq = workload.Uniform{Universe: *universe}.Generate(*n, *seed)
+	case "zipf":
+		seq = workload.Zipf{Universe: *universe, S: *s, Shuffle: true}.Generate(*n, *seed)
+	case "scan":
+		seq = workload.Scan{Universe: *universe}.Generate(*n, *seed)
+	case "phases":
+		seq = workload.Phases{PhaseLen: *phaseLen, SetSize: *setSize, Universe: *universe}.Generate(*n, *seed)
+	case "zipfscans":
+		seq = workload.ZipfWithScans{HotUniverse: *universe, S: *s, BurstEvery: *burstEv, BurstLen: *burstLen}.Generate(*n, *seed)
+	case "markov":
+		seq = workload.Markov{Universe: *universe, Neighbourhood: *nbhood, Stickiness: *sticky}.Generate(*n, *seed)
+	case "adversary":
+		adv := adversary.Theorem4{K: *k, Delta: *delta, Sets: *sets, Reps: *reps}
+		if err := adv.Validate(); err != nil {
+			fatal(err)
+		}
+		seq = adv.Build()
+	case "fixedset":
+		seq = adversary.FixedSet{K: *k, Delta: *delta, Reps: *reps}.Build()
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *kind))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := trace.Write(w, seq); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d requests (%d distinct items)\n",
+		len(seq), seq.DistinctCount())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command traceinfo characterizes a binary trace (see cmd/tracegen):
+// length, universe, popularity skew with a Zipf-exponent fit, working-set
+// curve, inter-reference times, and the one-pass LRU miss-ratio curve —
+// everything needed to judge how a workload will interact with a given
+// cache size and associativity before running cachesim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/stackdist"
+	"repro/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo trace.satr")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	seq, err := trace.Read(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	pop := analysis.Popularize(seq)
+	fmt.Printf("trace: %d requests, %d distinct items\n", len(seq), pop.Distinct)
+	fmt.Printf("popularity: top 1%% of items take %.1f%% of requests, top 10%% take %.1f%%\n",
+		100*pop.Top1Pct, 100*pop.Top10Pct)
+	fmt.Printf("zipf-exponent fit: %.3f\n\n", pop.ZipfExponent)
+
+	fmt.Println("working-set curve (mean distinct items per window):")
+	for _, p := range analysis.WorkingSetCurve(seq, []int{64, 256, 1024, 4096, 16384}) {
+		fmt.Printf("  w=%6d: %10.1f\n", p.Window, p.MeanSet)
+	}
+
+	reuse := analysis.ReuseTimes(seq)
+	fmt.Printf("\ninter-reference times: %d cold accesses, median reuse ≈ %.0f requests\n",
+		reuse.Cold, reuse.Median())
+
+	prof := stackdist.New()
+	prof.Run(seq)
+	fmt.Printf("\nLRU miss-ratio curve (one-pass stack-distance profile, mean depth %.0f):\n",
+		prof.MeanDistance())
+	for _, k := range []int{64, 256, 1024, 4096, 16384, 65536} {
+		if k > 4*prof.Distinct() {
+			break
+		}
+		fmt.Printf("  k=%6d: %.4f\n", k, float64(prof.MissCount(k))/float64(prof.Requests()))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+	os.Exit(1)
+}

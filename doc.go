@@ -1,0 +1,49 @@
+// Package assoccache is a library for building and analyzing set-associative
+// caches, reproducing Bender, Das, Farach-Colton and Tagliavini, "An
+// Associativity Threshold Phenomenon in Set-Associative Caches" (SPAA 2023,
+// arXiv:2304.04954).
+//
+// # The phenomenon
+//
+// An α-way set-associative cache of total size k partitions its slots into
+// k/α buckets; a hash function assigns each item to one bucket, and each
+// bucket runs its own replacement policy on α slots. Small α makes caches
+// faster, simpler and more concurrent — but costs cache misses. The paper
+// proves a sharp threshold at α = Θ(log k):
+//
+//   - For α = ω(log k), set-associative LRU matches fully associative LRU
+//     (1-competitive with (1+Θ(√(log(k)/α)))-resource augmentation) on all
+//     polynomially long request sequences, with high probability.
+//   - For α = o(log k), no constant resource augmentation and no constant
+//     competitive ratio rescue it: an oblivious adversary defeats the cache
+//     with a sequence of length only O(k^1.01).
+//   - On arbitrarily long sequences every fixed hash eventually loses, but
+//     rehashing every poly(k) *misses* (full or incremental flushing)
+//     restores (1+o(1))-competitiveness forever.
+//
+// # What the library provides
+//
+// The package exposes cache simulators (fully associative, set-associative,
+// and set-associative with full-flush or incremental rehashing), the
+// replacement policies the paper studies (LRU, LRU-K, LFU, FIFO, clock,
+// reuse-distance, flush-when-full, random), Belady's offline OPT, 3C miss
+// classification, and a thread-safe sharded cache for the paper's
+// motivating concurrent-software-cache use case.
+//
+// The reproduction experiments E1–E19 (one per theorem/lemma/proposition;
+// see DESIGN.md and EXPERIMENTS.md) live in internal/experiments and are
+// runnable via cmd/assocbench or the benchmarks in bench_test.go.
+//
+// # Quick start
+//
+//	cache, err := assoccache.NewSetAssociative(1<<14, assoccache.RecommendedAlpha(1<<14))
+//	if err != nil { ... }
+//	for _, block := range accesses {
+//		if !cache.Access(block) {
+//			// miss: fetch from backing store
+//		}
+//	}
+//	fmt.Printf("miss ratio: %.3f\n", cache.Stats().MissRatio())
+//
+// See examples/ for runnable programs.
+package assoccache

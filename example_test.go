@@ -1,0 +1,103 @@
+package assoccache_test
+
+import (
+	"fmt"
+
+	assoccache "repro"
+)
+
+// The quickstart: a set-associative LRU cache at the recommended
+// associativity, counting misses over a request sequence.
+func ExampleNewSetAssociative() {
+	const k = 1 << 10
+	cache, err := assoccache.NewSetAssociative(k, assoccache.RecommendedAlpha(k), assoccache.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	// Touch 512 items twice: the second pass is all hits.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 512; i++ {
+			cache.Access(assoccache.Item(i))
+		}
+	}
+	st := cache.Stats()
+	fmt.Printf("misses=%d hits=%d\n", st.Misses, st.Hits)
+	// Output: misses=512 hits=512
+}
+
+// Policies are selected with WithPolicy; here FIFO's Belady anomaly is
+// visible through the facade alone.
+func ExampleWithPolicy() {
+	seq := assoccache.Sequence{1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5}
+	for _, k := range []int{3, 4} {
+		fifo, err := assoccache.NewFullyAssociative(k, assoccache.WithPolicy(assoccache.FIFO))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("k=%d misses=%d\n", k, assoccache.Run(fifo, seq).Misses)
+	}
+	// Output:
+	// k=3 misses=9
+	// k=4 misses=10
+}
+
+// Belady's offline optimum lower-bounds every online policy.
+func ExampleOptimalCost() {
+	seq := assoccache.Sequence{1, 2, 3, 1, 2, 3}
+	fmt.Println(assoccache.OptimalCost(2, seq))
+	// Output: 4
+}
+
+// ClassifyMisses attributes each miss to the 3C taxonomy; a direct-mapped
+// cache on a repeating working set shows pure conflict misses.
+func ExampleClassifyMisses() {
+	cache, err := assoccache.NewSetAssociative(64, 1, assoccache.WithSeed(3))
+	if err != nil {
+		panic(err)
+	}
+	seq := make(assoccache.Sequence, 0, 64*4)
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < 64; i++ {
+			seq = append(seq, assoccache.Item(i))
+		}
+	}
+	b := assoccache.ClassifyMisses(seq, cache)
+	fmt.Printf("compulsory=%d capacity=%d conflict>0: %v\n", b.Compulsory, b.Capacity, b.Conflict > 0)
+	// Output: compulsory=64 capacity=0 conflict>0: true
+}
+
+// RecommendedAlpha returns the paper's advice: a small multiple of log₂ k.
+func ExampleRecommendedAlpha() {
+	fmt.Println(assoccache.RecommendedAlpha(1 << 10))
+	fmt.Println(assoccache.RecommendedAlpha(1 << 20))
+	// Output:
+	// 64
+	// 128
+}
+
+// The concurrent sharded cache is the paper's motivating software use case.
+func ExampleNewConcurrent() {
+	cache, err := assoccache.NewConcurrent(1024, 64)
+	if err != nil {
+		panic(err)
+	}
+	cache.Put(42, "answer")
+	v, ok := cache.Get(42)
+	fmt.Println(v, ok)
+	// Output: answer true
+}
+
+// Rehashing makes set-associative LRU competitive on arbitrarily long
+// sequences (Theorem 5); here it is simply enabled and observed.
+func ExampleWithFullFlushRehash() {
+	cache, err := assoccache.NewSetAssociative(64, 8,
+		assoccache.WithSeed(1), assoccache.WithFullFlushRehash(32))
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 200; i++ {
+		cache.Access(assoccache.Item(i)) // all cold: every access misses
+	}
+	fmt.Println(cache.Stats().Rehashes)
+	// Output: 6
+}

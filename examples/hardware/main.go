@@ -1,0 +1,48 @@
+// Hardware: an L1/L2 cache-hierarchy simulation at the address level,
+// showing why the paper's randomized-indexing model matters for real
+// machines. Real hardware picks the set from address bits (a modulo), so a
+// column-major walk over a matrix with power-of-two leading dimension
+// funnels every element of a column into a handful of sets — the classic
+// conflict-miss pathology that no amount of associativity below the column
+// height can fix. Randomized indexing (Topham–González, the paper's model)
+// spreads the column uniformly and the log k threshold re-emerges.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/hwcache"
+	"repro/internal/policy"
+)
+
+func main() {
+	// 512 rows × 8 columns of float64, leading dimension 1024 elements
+	// (8 KiB row stride), walked down the columns 4 times.
+	addrs := hwcache.ColumnWalk(512, 8, 8, 1024, 4)
+	fmt.Printf("column walk: %d accesses, 512-deep columns, 8 KiB stride\n\n", len(addrs))
+	fmt.Printf("%8s %22s %22s\n", "L1 assoc", "bit-select AMAT", "randomized AMAT")
+
+	for _, alpha := range []int{1, 2, 4, 8, 16, 32} {
+		fmt.Printf("%8d %22.2f %22.2f\n", alpha,
+			amat(addrs, alpha, true), amat(addrs, alpha, false))
+	}
+
+	fmt.Println("\nBit selection: every column element lands in the same few sets, so raising α")
+	fmt.Println("barely helps. Randomized indexing turns the walk into balls-and-bins, and a")
+	fmt.Println("small α already matches full associativity — the threshold phenomenon.")
+}
+
+func amat(addrs []uint64, alpha int, bitSelect bool) float64 {
+	h := hwcache.MustNew(hwcache.Config{
+		LineSize: 64,
+		Levels: []hwcache.LevelConfig{
+			{Name: "L1", Lines: 512, Alpha: alpha, Kind: policy.LRUKind, Latency: 4},
+			{Name: "L2", Lines: 8192, Alpha: 16, Kind: policy.LRUKind, Latency: 14},
+		},
+		MemLatency: 200,
+		Seed:       7,
+		BitSelect:  bitSelect,
+	})
+	h.AccessAll(addrs)
+	return h.AMAT()
+}

@@ -1,0 +1,83 @@
+// Stability: two demonstrations from Section 7 of the paper, using only the
+// public API.
+//
+//  1. Belady's anomaly — FIFO with a *larger* cache can miss more. This is
+//     why FIFO is not a stack algorithm, and (via Theorem 7) why it cannot
+//     be stable.
+//  2. Proposition 6 — the reuse-distance policy R evicts differently at
+//     sizes 3 and 4 on the paper's sequence, in a way that violates the
+//     stability condition even though R is a stack algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	assoccache "repro"
+)
+
+func main() {
+	demoBeladyAnomaly()
+	fmt.Println()
+	demoReuseDistance()
+}
+
+// demoBeladyAnomaly replays the classic sequence 1 2 3 4 1 2 5 1 2 3 4 5.
+func demoBeladyAnomaly() {
+	seq := assoccache.Sequence{1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5}
+	fmt.Println("Belady's anomaly (FIFO):")
+	for _, k := range []int{3, 4} {
+		fifo, err := assoccache.NewFullyAssociative(k, assoccache.WithPolicy(assoccache.FIFO))
+		if err != nil {
+			log.Fatal(err)
+		}
+		lru, err := assoccache.NewFullyAssociative(k, assoccache.WithPolicy(assoccache.LRU))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%d: FIFO misses %2d   LRU misses %2d\n",
+			k, assoccache.Run(fifo, seq).Misses, assoccache.Run(lru, seq).Misses)
+	}
+	fmt.Println("  FIFO: the larger cache misses MORE (9 → 10). LRU, a stack algorithm, cannot do this.")
+}
+
+// demoReuseDistance replays the Proposition 6 counterexample
+// σ = A Y Z Z Z Z A B Y Y B C with the reuse-distance policy R.
+func demoReuseDistance() {
+	const (
+		A assoccache.Item = 0
+		B assoccache.Item = 1
+		C assoccache.Item = 2
+		Y assoccache.Item = 24
+		Z assoccache.Item = 25
+	)
+	sigma := assoccache.Sequence{A, Y, Z, Z, Z, Z, A, B, Y, Y, B}
+	sigmaX := assoccache.Sequence{A, Y, A, B, Y, Y, B} // σ restricted to X = {A,B,C,Y}
+
+	r3, err := assoccache.NewFullyAssociative(3, assoccache.WithPolicy(assoccache.ReuseDistance))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r4, err := assoccache.NewFullyAssociative(4, assoccache.WithPolicy(assoccache.ReuseDistance))
+	if err != nil {
+		log.Fatal(err)
+	}
+	assoccache.Run(r3, sigmaX)
+	assoccache.Run(r4, sigma)
+
+	_, ev3, _ := r3.AccessDetail(C)
+	_, ev4, _ := r4.AccessDetail(C)
+	fmt.Println("Proposition 6 (reuse-distance policy R on σ = A Y Z Z Z Z A B Y Y B C):")
+	fmt.Printf("  R with 3 slots, fed σ[X]: on the access to C it evicts %s\n", name(ev3))
+	fmt.Printf("  R with 4 slots, fed σ   : on the access to C it evicts %s\n", name(ev4))
+	fmt.Printf("  R3 evicted %s (still cached by R4: %v) yet kept %s (already gone from R4: %v)\n",
+		name(ev3), r4.Contains(ev3), name(A), !r4.Contains(A))
+	fmt.Println("  That is exactly the stability violation: the small cache is not ⊆ the large one.")
+}
+
+func name(it assoccache.Item) string {
+	if it < 26 {
+		return string(rune('A' + it))
+	}
+	return fmt.Sprint(uint64(it))
+}

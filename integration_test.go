@@ -1,0 +1,160 @@
+package assoccache
+
+// Cross-subsystem integration tests: every cache organization in the
+// library run in lockstep over shared workloads, checking the global
+// invariants that tie the pieces together — OPT lower-bounds everything,
+// the stack-distance profiler agrees with the LRU simulators, capacity is
+// never exceeded, and the facade's constructors wire the internals
+// correctly.
+
+import (
+	"testing"
+
+	"repro/internal/companion"
+	"repro/internal/core"
+	"repro/internal/mirror"
+	"repro/internal/opt"
+	"repro/internal/policy"
+	"repro/internal/skewed"
+	"repro/internal/stackdist"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func integrationWorkloads(n int) map[string]trace.Sequence {
+	return map[string]trace.Sequence{
+		"zipf":   workload.Zipf{Universe: 2048, S: 0.9, Shuffle: true}.Generate(n, 11),
+		"phases": workload.Phases{PhaseLen: 700, SetSize: 300, Universe: 4096}.Generate(n, 12),
+		"markov": workload.Markov{Universe: 4096, Neighbourhood: 32, Stickiness: 0.9}.Generate(n, 13),
+		"scan":   workload.Scan{Universe: 600}.Generate(n, 14),
+	}
+}
+
+// TestAllOrganizationsRespectOPT: Belady's OPT at the same capacity
+// lower-bounds every organization (they all have exactly k slots and fetch
+// only on misses).
+func TestAllOrganizationsRespectOPT(t *testing.T) {
+	const k = 512
+	n := 30000
+	if testing.Short() {
+		n = 8000
+	}
+	lruFactory := policy.NewFactory(policy.LRUKind, 0)
+	for name, seq := range integrationWorkloads(n) {
+		optCost := opt.Cost(k, seq)
+
+		caches := map[string]core.Cache{
+			"fullassoc-lru": core.NewFullAssoc(lruFactory, k),
+			"setassoc-a8": core.MustNewSetAssoc(core.SetAssocConfig{
+				Capacity: k, Alpha: 8, Factory: lruFactory, Seed: 1,
+			}),
+			"setassoc-ff": core.MustNewSetAssoc(core.SetAssocConfig{
+				Capacity: k, Alpha: 64, Factory: lruFactory, Seed: 1,
+				Rehash: core.RehashConfig{Mode: core.RehashFullFlush, EveryMisses: 4 * k},
+			}),
+			"setassoc-if": core.MustNewSetAssoc(core.SetAssocConfig{
+				Capacity: k, Alpha: 64, Factory: lruFactory, Seed: 1,
+				Rehash: core.RehashConfig{Mode: core.RehashIncremental, EveryMisses: 4 * k},
+			}),
+			"skewed-d2": mustSkewed(t, skewed.Config{Capacity: k, Alpha: 8, Choices: 2, Seed: 1}),
+			"mirror":    mustMirror(t, mirror.Config{Capacity: k, Alpha: 64, SimCapacity: k * 3 / 4, Factory: lruFactory, Seed: 1}),
+		}
+		// Companion counts its companion slots in Capacity; compare against
+		// OPT at the combined size.
+		cc, err := companion.New(companion.Config{
+			MainCapacity: k - 64, Alpha: 8, CompanionCapacity: 64, Factory: lruFactory, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches["companion"] = cc
+
+		for cname, c := range caches {
+			st := core.RunSequence(c, seq)
+			if st.Misses < optCost {
+				t.Errorf("%s/%s: %d misses below OPT's %d — impossible", name, cname, st.Misses, optCost)
+			}
+			if c.Len() > c.Capacity() {
+				t.Errorf("%s/%s: capacity exceeded", name, cname)
+			}
+			if st.Hits+st.Misses != st.Accesses {
+				t.Errorf("%s/%s: accounting broken: %+v", name, cname, st)
+			}
+		}
+	}
+}
+
+// TestProfilerAgreesWithEveryLRUSimulator: the stack-distance profile, the
+// fully associative LRU simulator, and the α=k set-associative cache must
+// produce identical miss counts.
+func TestProfilerAgreesWithEveryLRUSimulator(t *testing.T) {
+	const k = 256
+	lruFactory := policy.NewFactory(policy.LRUKind, 0)
+	for name, seq := range integrationWorkloads(20000) {
+		p := stackdist.New()
+		p.Run(seq)
+		fa := core.NewFullAssoc(lruFactory, k)
+		sa := core.MustNewSetAssoc(core.SetAssocConfig{Capacity: k, Alpha: k, Factory: lruFactory, Seed: 9})
+		faM := core.RunSequence(fa, seq).Misses
+		saM := core.RunSequence(sa, seq).Misses
+		profM := p.MissCount(k)
+		if faM != profM || saM != profM {
+			t.Errorf("%s: fullassoc %d, α=k setassoc %d, profiler %d disagree", name, faM, saM, profM)
+		}
+	}
+}
+
+// TestThresholdMonotoneAcrossOrganizations: on the scan workload, the
+// conflict cost is ordered: direct-mapped ≥ α=8 ≥ α=64 ≥ fully associative,
+// and d=2 skewed at α=8 beats single-choice α=8.
+func TestThresholdMonotoneAcrossOrganizations(t *testing.T) {
+	const k = 1024
+	lruFactory := policy.NewFactory(policy.LRUKind, 0)
+	seq := trace.RangeSeq(0, k/2).Repeat(6)
+
+	cost := func(build func(seed uint64) core.Cache) float64 {
+		var total uint64
+		const seeds = 6
+		for s := uint64(0); s < seeds; s++ {
+			total += core.RunSequence(build(s), seq).Misses
+		}
+		return float64(total) / seeds
+	}
+	direct := cost(func(s uint64) core.Cache {
+		return core.MustNewSetAssoc(core.SetAssocConfig{Capacity: k, Alpha: 1, Factory: lruFactory, Seed: s})
+	})
+	mid := cost(func(s uint64) core.Cache {
+		return core.MustNewSetAssoc(core.SetAssocConfig{Capacity: k, Alpha: 8, Factory: lruFactory, Seed: s})
+	})
+	high := cost(func(s uint64) core.Cache {
+		return core.MustNewSetAssoc(core.SetAssocConfig{Capacity: k, Alpha: 64, Factory: lruFactory, Seed: s})
+	})
+	full := cost(func(s uint64) core.Cache { return core.NewFullAssoc(lruFactory, k) })
+	skew := cost(func(s uint64) core.Cache {
+		return mustSkewed(t, skewed.Config{Capacity: k, Alpha: 8, Choices: 2, Seed: s})
+	})
+	if !(direct > mid && mid > high*0.999 && high >= full) {
+		t.Errorf("cost ordering broken: direct %.0f, α8 %.0f, α64 %.0f, full %.0f", direct, mid, high, full)
+	}
+	if skew >= mid {
+		t.Errorf("skewed d=2 (%.0f) should beat single choice (%.0f) at α=8", skew, mid)
+	}
+}
+
+func mustSkewed(t *testing.T, cfg skewed.Config) *skewed.Cache {
+	t.Helper()
+	c, err := skewed.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustMirror(t *testing.T, cfg mirror.Config) *mirror.Cache {
+	t.Helper()
+	c, err := mirror.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

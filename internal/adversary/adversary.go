@@ -1,0 +1,162 @@
+// Package adversary constructs the oblivious adversarial request sequences
+// of Section 5 (Theorem 4) and the fixed-set repetition attack from the
+// Section 6 remark about rehashing on access counts.
+//
+// The Theorem 4 adversary picks s disjoint sets S_1..S_s of k' = (1−δ)k
+// items each, and replays each set sequentially t times before moving to
+// the next. A conservative fully associative algorithm of size k' misses
+// only on each item's first access (cost k's), while in the set-associative
+// cache each S_i independently has constant probability of oversubscribing
+// some bucket, whose conflict misses then recur on all t repetitions.
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Theorem4 describes one instantiation of the Theorem 4 adversary.
+type Theorem4 struct {
+	// K is the set-associative cache size k.
+	K int
+	// Delta is the capacity gap δ; each S_i has k' = (1−δ)k items.
+	Delta float64
+	// Sets is the number s of disjoint item sets.
+	Sets int
+	// Reps is the number t of sequential replays of each set.
+	Reps int
+	// Base offsets all item identifiers.
+	Base trace.Item
+}
+
+// Validate checks the construction parameters.
+func (a Theorem4) Validate() error {
+	if a.K <= 0 {
+		return fmt.Errorf("adversary: k = %d must be positive", a.K)
+	}
+	if a.Delta <= 0 || a.Delta >= 1 {
+		return fmt.Errorf("adversary: delta = %v must be in (0, 1)", a.Delta)
+	}
+	if a.Sets <= 0 || a.Reps <= 0 {
+		return fmt.Errorf("adversary: sets = %d and reps = %d must be positive", a.Sets, a.Reps)
+	}
+	return nil
+}
+
+// KPrime returns k' = (1−δ)k, the size of each adversarial item set.
+func (a Theorem4) KPrime() int {
+	kp := int(math.Floor((1 - a.Delta) * float64(a.K)))
+	if kp < 1 {
+		kp = 1
+	}
+	return kp
+}
+
+// SequenceLen returns the length of the sequence Build produces: s·t·k'.
+func (a Theorem4) SequenceLen() int { return a.Sets * a.Reps * a.KPrime() }
+
+// ItemSets returns the s disjoint item sets S_1..S_s, as contiguous ranges
+// (disjointness is all the proof requires; contiguity is irrelevant once the
+// items pass through the fully random indexing hash).
+func (a Theorem4) ItemSets() []trace.ItemSet {
+	kp := trace.Item(a.KPrime())
+	out := make([]trace.ItemSet, a.Sets)
+	for i := range out {
+		lo := a.Base + trace.Item(i)*kp
+		out[i] = trace.Range(lo, lo+kp)
+	}
+	return out
+}
+
+// Build materializes the full adversarial sequence:
+//
+//	for i = 1..s: repeat t times: access every item of S_i sequentially.
+func (a Theorem4) Build() trace.Sequence {
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	kp := trace.Item(a.KPrime())
+	out := make(trace.Sequence, 0, a.SequenceLen())
+	for i := 0; i < a.Sets; i++ {
+		lo := a.Base + trace.Item(i)*kp
+		pass := trace.RangeSeq(lo, lo+kp)
+		for rep := 0; rep < a.Reps; rep++ {
+			out = append(out, pass...)
+		}
+	}
+	return out
+}
+
+// PaperParams returns the parameters the proof of Theorem 4 uses:
+// s = 16·exp(8(1−δ)⁻¹δ²α) and t = c·α·s², for target competitive ratio c.
+// These blow up quickly; experiments cap them with ScaledParams.
+func PaperParams(alpha int, delta, c float64) (s, t int) {
+	sf := 16 * math.Exp(8*delta*delta*float64(alpha)/(1-delta))
+	return saturatingInt(sf), saturatingInt(c * float64(alpha) * sf * sf)
+}
+
+// saturatingInt converts a (possibly huge or infinite) float to an int,
+// saturating instead of overflowing: the paper's parameters grow like
+// exp(α) and blow past int64 for realistic α.
+func saturatingInt(f float64) int {
+	const maxSafe = float64(1 << 62)
+	if f >= maxSafe || math.IsInf(f, 1) {
+		return 1 << 62
+	}
+	return int(math.Ceil(f))
+}
+
+// ScaledParams caps the paper's parameters at laptop scale while preserving
+// the construction's shape: s is clamped to [4, maxSets] and t to
+// [2, maxReps]. The theorem's mechanism (each S_i independently
+// oversubscribes some bucket with constant probability) is unaffected by
+// the caps; only the attainable competitive-ratio certificate shrinks.
+func ScaledParams(alpha int, delta, c float64, maxSets, maxReps int) (s, t int) {
+	s, t = PaperParams(alpha, delta, c)
+	s = clamp(s, 4, maxSets)
+	t = clamp(t, 2, maxReps)
+	return s, t
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// FixedSet is the Section 6 remark's attack against rehash-every-N-accesses:
+// a single set of k' = (1−δ)k items is replayed ad infinitum. Against a
+// miss-count rehash schedule this sequence is harmless (after at most one
+// unlucky hash the cache settles), but a schedule that rehashes on access
+// counts redraws the hash forever, repeatedly recreating conflict misses.
+type FixedSet struct {
+	K     int
+	Delta float64
+	Reps  int
+	Base  trace.Item
+}
+
+// KPrime returns the working-set size (1−δ)k.
+func (f FixedSet) KPrime() int {
+	kp := int(math.Floor((1 - f.Delta) * float64(f.K)))
+	if kp < 1 {
+		kp = 1
+	}
+	return kp
+}
+
+// Build materializes the replayed-set sequence of length Reps·KPrime().
+func (f FixedSet) Build() trace.Sequence {
+	if f.K <= 0 || f.Delta <= 0 || f.Delta >= 1 || f.Reps <= 0 {
+		panic(fmt.Sprintf("adversary: invalid FixedSet %+v", f))
+	}
+	kp := trace.Item(f.KPrime())
+	pass := trace.RangeSeq(f.Base, f.Base+kp)
+	return pass.Repeat(f.Reps)
+}

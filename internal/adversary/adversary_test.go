@@ -1,0 +1,141 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func TestTheorem4Shape(t *testing.T) {
+	a := Theorem4{K: 100, Delta: 0.2, Sets: 3, Reps: 4}
+	if got := a.KPrime(); got != 80 {
+		t.Fatalf("KPrime = %d, want 80", got)
+	}
+	seq := a.Build()
+	if len(seq) != a.SequenceLen() || len(seq) != 3*4*80 {
+		t.Fatalf("len = %d, want %d", len(seq), 3*4*80)
+	}
+	// Sets must be disjoint and each phase must only touch its own set.
+	sets := a.ItemSets()
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			if sets[i].Intersects(sets[j]) {
+				t.Fatalf("S%d and S%d intersect", i, j)
+			}
+		}
+	}
+	phaseLen := 4 * 80
+	for i := 0; i < 3; i++ {
+		phase := seq[i*phaseLen : (i+1)*phaseLen]
+		if !phase.Universe().Equal(sets[i]) {
+			t.Fatalf("phase %d universe mismatch", i)
+		}
+	}
+}
+
+// TestTheorem4FullAssocCost: the conservative fully-associative baseline at
+// capacity k' misses exactly once per distinct item — C(A_k', σ) = k'·s.
+func TestTheorem4FullAssocCost(t *testing.T) {
+	a := Theorem4{K: 64, Delta: 0.25, Sets: 4, Reps: 5}
+	seq := a.Build()
+	for _, kind := range []policy.Kind{policy.LRUKind, policy.FIFOKind, policy.ClockKind} {
+		fa := core.NewFullAssoc(policy.NewFactory(kind, 0), a.KPrime())
+		st := core.RunSequence(fa, seq)
+		want := uint64(a.KPrime() * a.Sets)
+		if st.Misses != want {
+			t.Errorf("%v full-assoc misses = %d, want %d", kind, st.Misses, want)
+		}
+	}
+}
+
+// TestTheorem4HurtsSetAssociative: the set-associative cache (same policy,
+// larger capacity k) must suffer repeated conflict misses: strictly more
+// than k'·s, typically by a large factor when α is small.
+func TestTheorem4HurtsSetAssociative(t *testing.T) {
+	a := Theorem4{K: 256, Delta: 0.1, Sets: 4, Reps: 20}
+	seq := a.Build()
+	sa := core.MustNewSetAssoc(core.SetAssocConfig{
+		Capacity: a.K, Alpha: 2, Factory: policy.NewFactory(policy.LRUKind, 0), Seed: 5,
+	})
+	st := core.RunSequence(sa, seq)
+	baseline := uint64(a.KPrime() * a.Sets)
+	if st.Misses < 2*baseline {
+		t.Errorf("adversary too weak: set-assoc misses %d < 2×%d", st.Misses, baseline)
+	}
+}
+
+func TestPaperParamsGrowth(t *testing.T) {
+	s1, t1 := PaperParams(16, 0.1, 1)
+	s2, t2 := PaperParams(64, 0.1, 1)
+	if s2 <= s1 || t2 <= t1 {
+		t.Fatalf("paper params should grow with α: s %d→%d, t %d→%d", s1, s2, t1, t2)
+	}
+	if s1 < 16 {
+		t.Fatalf("s = %d below the additive floor 16", s1)
+	}
+}
+
+func TestScaledParamsClamped(t *testing.T) {
+	s, reps := ScaledParams(1024, 0.5, 10, 8, 50)
+	if s != 8 || reps != 50 {
+		t.Fatalf("ScaledParams = (%d, %d), want clamped (8, 50)", s, reps)
+	}
+	s, reps = ScaledParams(4, 0.01, 1, 100, 1000)
+	if s < 4 || reps < 2 {
+		t.Fatalf("ScaledParams = (%d, %d), want floors applied", s, reps)
+	}
+}
+
+func TestFixedSetBuild(t *testing.T) {
+	f := FixedSet{K: 10, Delta: 0.2, Reps: 3, Base: 50}
+	seq := f.Build()
+	if f.KPrime() != 8 {
+		t.Fatalf("KPrime = %d, want 8", f.KPrime())
+	}
+	if len(seq) != 24 {
+		t.Fatalf("len = %d, want 24", len(seq))
+	}
+	if seq.DistinctCount() != 8 {
+		t.Fatalf("distinct = %d, want 8", seq.DistinctCount())
+	}
+	if seq[0] != 50 || seq[8] != 50 {
+		t.Fatalf("replay structure broken: %v", seq[:10])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Theorem4{
+		{K: 0, Delta: 0.5, Sets: 1, Reps: 1},
+		{K: 10, Delta: 0, Sets: 1, Reps: 1},
+		{K: 10, Delta: 1, Sets: 1, Reps: 1},
+		{K: 10, Delta: 0.5, Sets: 0, Reps: 1},
+		{K: 10, Delta: 0.5, Sets: 1, Reps: 0},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	mustPanic := func() {
+		defer func() { recover() }()
+		(Theorem4{}).Build()
+		t.Error("Build on invalid config should panic")
+	}
+	mustPanic()
+	if err := (Theorem4{K: 10, Delta: 0.5, Sets: 1, Reps: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestKPrimeFloor(t *testing.T) {
+	a := Theorem4{K: 2, Delta: 0.9, Sets: 1, Reps: 1}
+	if a.KPrime() < 1 {
+		t.Fatal("KPrime must be at least 1")
+	}
+	var universe trace.ItemSet = a.ItemSets()[0]
+	if universe.Len() != a.KPrime() {
+		t.Fatalf("item set size %d != KPrime %d", universe.Len(), a.KPrime())
+	}
+}

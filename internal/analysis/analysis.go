@@ -1,0 +1,190 @@
+// Package analysis provides workload-characterization tools used to sanity-
+// check traces before feeding them to the experiments: Denning working-set
+// curves, inter-reference (reuse) time histograms, item-popularity
+// statistics with a Zipf-exponent fit, and — together with
+// internal/stackdist — LRU miss-ratio curves. The cmd/traceinfo tool prints
+// a full report for a trace file.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// WorkingSetPoint is one point of the Denning working-set curve: the mean
+// number of distinct items in a sliding window of the given length.
+type WorkingSetPoint struct {
+	Window  int
+	MeanSet float64
+}
+
+// WorkingSetCurve computes the mean working-set size w(T) for each window
+// length using the standard two-pointer sweep, O(|σ|) per window.
+func WorkingSetCurve(seq trace.Sequence, windows []int) []WorkingSetPoint {
+	out := make([]WorkingSetPoint, 0, len(windows))
+	for _, w := range windows {
+		out = append(out, WorkingSetPoint{Window: w, MeanSet: meanWorkingSet(seq, w)})
+	}
+	return out
+}
+
+func meanWorkingSet(seq trace.Sequence, window int) float64 {
+	if window <= 0 || len(seq) == 0 {
+		return 0
+	}
+	if window > len(seq) {
+		window = len(seq)
+	}
+	counts := make(map[trace.Item]int, 1024)
+	distinct := 0
+	var sum float64
+	samples := 0
+	for i, x := range seq {
+		if counts[x] == 0 {
+			distinct++
+		}
+		counts[x]++
+		if i >= window {
+			old := seq[i-window]
+			counts[old]--
+			if counts[old] == 0 {
+				distinct--
+			}
+		}
+		if i >= window-1 {
+			sum += float64(distinct)
+			samples++
+		}
+	}
+	if samples == 0 {
+		return 0
+	}
+	return sum / float64(samples)
+}
+
+// ReuseHistogram is a histogram of inter-reference times: for each warm
+// request, the number of requests since the previous access to the same
+// item, bucketed into powers of two.
+type ReuseHistogram struct {
+	// Buckets[i] counts reuse times in [2^i, 2^(i+1)).
+	Buckets []uint64
+	// Cold counts first-ever accesses.
+	Cold uint64
+}
+
+// ReuseTimes computes the inter-reference histogram of a sequence.
+func ReuseTimes(seq trace.Sequence) ReuseHistogram {
+	last := make(map[trace.Item]int, 1024)
+	var h ReuseHistogram
+	for i, x := range seq {
+		prev, ok := last[x]
+		if !ok {
+			h.Cold++
+		} else {
+			dist := i - prev // ≥ 1
+			b := bitLen(uint64(dist)) - 1
+			for len(h.Buckets) <= b {
+				h.Buckets = append(h.Buckets, 0)
+			}
+			h.Buckets[b]++
+		}
+		last[x] = i
+	}
+	return h
+}
+
+func bitLen(v uint64) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Median returns the median inter-reference time (bucket midpoint), or 0 if
+// there were no warm accesses.
+func (h ReuseHistogram) Median() float64 {
+	var total uint64
+	for _, c := range h.Buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum*2 >= total {
+			lo := float64(uint64(1) << i)
+			return lo * 1.5
+		}
+	}
+	return 0
+}
+
+// Popularity summarizes the item-frequency distribution of a sequence.
+type Popularity struct {
+	Distinct int
+	// TopShare[i] is the fraction of requests going to the top 10^(i+1)
+	// percent... simplified: Top1Pct and Top10Pct shares.
+	Top1Pct  float64
+	Top10Pct float64
+	// ZipfExponent is the least-squares slope of log(freq) vs log(rank),
+	// negated; ≈ s for a Zipf(s) workload, ≈ 0 for uniform. NaN when there
+	// are fewer than 3 distinct items.
+	ZipfExponent float64
+}
+
+// Popularize computes popularity statistics.
+func Popularize(seq trace.Sequence) Popularity {
+	counts := make(map[trace.Item]uint64, 1024)
+	for _, x := range seq {
+		counts[x]++
+	}
+	freqs := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Slice(freqs, func(i, j int) bool { return freqs[i] > freqs[j] })
+
+	p := Popularity{Distinct: len(freqs), ZipfExponent: math.NaN()}
+	if len(freqs) == 0 {
+		return p
+	}
+	total := float64(len(seq))
+	share := func(fraction float64) float64 {
+		n := int(math.Ceil(fraction * float64(len(freqs))))
+		if n < 1 {
+			n = 1
+		}
+		var s uint64
+		for _, c := range freqs[:n] {
+			s += c
+		}
+		return float64(s) / total
+	}
+	p.Top1Pct = share(0.01)
+	p.Top10Pct = share(0.10)
+
+	if len(freqs) >= 3 {
+		// Least-squares fit of log f_r = a − s·log r over all ranks.
+		var sx, sy, sxx, sxy float64
+		n := float64(len(freqs))
+		for r, c := range freqs {
+			x := math.Log(float64(r + 1))
+			y := math.Log(float64(c))
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+		}
+		denom := n*sxx - sx*sx
+		if denom > 0 {
+			p.ZipfExponent = -(n*sxy - sx*sy) / denom
+		}
+	}
+	return p
+}

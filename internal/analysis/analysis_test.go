@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestWorkingSetCurveKnown(t *testing.T) {
+	// Cycle over 4 items: any window of length w ≤ 4 holds exactly w
+	// distinct items; windows ≥ 4 hold 4.
+	seq := trace.RangeSeq(0, 4).Repeat(25)
+	pts := WorkingSetCurve(seq, []int{1, 2, 4, 8})
+	want := []float64{1, 2, 4, 4}
+	for i, p := range pts {
+		if math.Abs(p.MeanSet-want[i]) > 1e-9 {
+			t.Errorf("window %d: mean set %.3f, want %.0f", p.Window, p.MeanSet, want[i])
+		}
+	}
+}
+
+func TestWorkingSetCurveEdges(t *testing.T) {
+	if pts := WorkingSetCurve(nil, []int{4}); pts[0].MeanSet != 0 {
+		t.Fatal("empty sequence should give 0")
+	}
+	seq := trace.Sequence{1, 2}
+	// Window longer than the sequence clamps.
+	pts := WorkingSetCurve(seq, []int{100})
+	if pts[0].MeanSet != 2 {
+		t.Fatalf("clamped window = %v", pts[0].MeanSet)
+	}
+	if pts := WorkingSetCurve(seq, []int{0}); pts[0].MeanSet != 0 {
+		t.Fatal("window 0 should give 0")
+	}
+}
+
+func TestWorkingSetGrowsWithLocalityLoss(t *testing.T) {
+	local := workload.Phases{PhaseLen: 1000, SetSize: 10, Universe: 10000}.Generate(20000, 1)
+	spread := workload.Uniform{Universe: 10000}.Generate(20000, 1)
+	wLocal := WorkingSetCurve(local, []int{500})[0].MeanSet
+	wSpread := WorkingSetCurve(spread, []int{500})[0].MeanSet
+	if wLocal >= wSpread/3 {
+		t.Fatalf("phased working set %.1f should be ≪ uniform %.1f", wLocal, wSpread)
+	}
+}
+
+func TestReuseTimesKnown(t *testing.T) {
+	// σ = A B A: A's reuse time is 2 (bucket [2,4) = index 1), B cold.
+	h := ReuseTimes(trace.Sequence{0, 1, 0})
+	if h.Cold != 2 {
+		t.Fatalf("cold = %d, want 2", h.Cold)
+	}
+	if len(h.Buckets) < 2 || h.Buckets[1] != 1 {
+		t.Fatalf("buckets = %v, want count at [2,4)", h.Buckets)
+	}
+}
+
+func TestReuseMedian(t *testing.T) {
+	// Tight loop over 2 items: all reuse times are 2 → median in [2,4).
+	h := ReuseTimes(trace.RangeSeq(0, 2).Repeat(100))
+	m := h.Median()
+	if m < 2 || m >= 4 {
+		t.Fatalf("median = %v, want within [2,4)", m)
+	}
+	var empty ReuseHistogram
+	if empty.Median() != 0 {
+		t.Fatal("empty histogram median should be 0")
+	}
+}
+
+func TestPopularityUniformVsZipf(t *testing.T) {
+	uni := Popularize(workload.Uniform{Universe: 1000}.Generate(100000, 5))
+	zip := Popularize(workload.Zipf{Universe: 1000, S: 1.0}.Generate(100000, 5))
+	if uni.Top1Pct > 0.03 {
+		t.Errorf("uniform top-1%% share %.3f too concentrated", uni.Top1Pct)
+	}
+	if zip.Top1Pct < 0.2 {
+		t.Errorf("zipf top-1%% share %.3f too flat", zip.Top1Pct)
+	}
+	// Exponent fit: ≈ 0 for uniform, ≈ 1 for Zipf(1) (fit is biased low by
+	// the sampled tail, so allow generous bands).
+	if math.Abs(uni.ZipfExponent) > 0.25 {
+		t.Errorf("uniform fitted exponent %.3f, want ≈ 0", uni.ZipfExponent)
+	}
+	if zip.ZipfExponent < 0.6 {
+		t.Errorf("zipf fitted exponent %.3f, want ≈ 1", zip.ZipfExponent)
+	}
+}
+
+func TestPopularityEdges(t *testing.T) {
+	p := Popularize(nil)
+	if p.Distinct != 0 || !math.IsNaN(p.ZipfExponent) {
+		t.Fatalf("empty popularity = %+v", p)
+	}
+	p = Popularize(trace.Sequence{7, 7})
+	if p.Distinct != 1 || p.Top1Pct != 1 {
+		t.Fatalf("single-item popularity = %+v", p)
+	}
+}

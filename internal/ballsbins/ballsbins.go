@@ -1,0 +1,144 @@
+// Package ballsbins implements the balls-and-bins processes and the
+// concentration bounds at the heart of the paper's analysis: Lemma 3 (the
+// max-load bound behind Theorem 3's bad-eviction probability) and Lemma 4
+// (the saturated-bins lower bound behind Theorem 4's adversary), together
+// with the Chernoff machinery of Theorems 1 and 2.
+package ballsbins
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashfn"
+	"repro/internal/trace"
+)
+
+// Throw throws m balls independently and uniformly at random into n bins
+// (deterministically in the seed) and returns the bin loads.
+func Throw(m, n int, seed uint64) []int {
+	if n <= 0 {
+		panic(fmt.Sprintf("ballsbins: bin count %d must be positive", n))
+	}
+	if m < 0 {
+		panic(fmt.Sprintf("ballsbins: ball count %d must be nonnegative", m))
+	}
+	loads := make([]int, n)
+	h := hashfn.NewRandom(seed, n)
+	for i := 0; i < m; i++ {
+		loads[h.Bucket(trace.Item(i))]++
+	}
+	return loads
+}
+
+// MaxLoad returns the maximum bin load.
+func MaxLoad(loads []int) int {
+	maxL := 0
+	for _, l := range loads {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return maxL
+}
+
+// SaturatedCount returns the number of bins with load ≥ threshold. Lemma 4
+// calls a bin a-saturated when its load is at least h+a for average load h;
+// callers compute the threshold h+εh themselves.
+func SaturatedCount(loads []int, threshold float64) int {
+	count := 0
+	for _, l := range loads {
+		if float64(l) >= threshold {
+			count++
+		}
+	}
+	return count
+}
+
+// Lemma3Bound returns the paper's upper bound exp(−δ²α/12) on the
+// probability that the maximum load exceeds α when (1−δ)k balls are thrown
+// into k/α bins, valid for δ ≥ sqrt(12·ln(k/α)/α) and δ ≤ 1/2.
+func Lemma3Bound(delta float64, alpha int) float64 {
+	return math.Exp(-delta * delta * float64(alpha) / 12)
+}
+
+// Lemma3DeltaFloor returns the smallest δ the Lemma 3 hypothesis allows for
+// a cache of size k with set size α: sqrt(12·ln(k/α)/α).
+func Lemma3DeltaFloor(k, alpha int) float64 {
+	return math.Sqrt(12 * math.Log(float64(k)/float64(alpha)) / float64(alpha))
+}
+
+// F returns f(n, m, ε) = n·exp(−2ε²h) with h = m/n, the expected-count scale
+// of εh-saturated bins in Lemma 4.
+func F(n, m int, eps float64) float64 {
+	h := float64(m) / float64(n)
+	return float64(n) * math.Exp(-2*eps*eps*h)
+}
+
+// Lemma4Threshold returns f(n, m, ε)/8: Lemma 4 guarantees that more than
+// this many bins are εh-saturated with probability ≥ 1 − exp(−f/32).
+func Lemma4Threshold(n, m int, eps float64) float64 {
+	return F(n, m, eps) / 8
+}
+
+// Lemma4FailureBound returns exp(−f(n,m,ε)/32), the bound on the probability
+// that Lemma 4's saturation guarantee fails.
+func Lemma4FailureBound(n, m int, eps float64) float64 {
+	return math.Exp(-F(n, m, eps) / 32)
+}
+
+// ChernoffUpper returns exp(−ε²μ/3), the Theorem 1 bound on
+// Pr[X ≥ (1+ε)μ] for a sum of negatively associated 0/1 variables.
+func ChernoffUpper(eps, mu float64) float64 {
+	return math.Exp(-eps * eps * mu / 3)
+}
+
+// ChernoffLower returns exp(−ε²μ/2), the Theorem 1 bound on Pr[X ≤ (1−ε)μ].
+func ChernoffLower(eps, mu float64) float64 {
+	return math.Exp(-eps * eps * mu / 2)
+}
+
+// ReverseChernoff returns (1/4)·exp(−2ε²μ), the Theorem 2 lower bound on
+// Pr[X ≥ (1+ε)μ] for independent 0/1 variables with success probability
+// ≤ 1/2.
+func ReverseChernoff(eps, mu float64) float64 {
+	return 0.25 * math.Exp(-2*eps*eps*mu)
+}
+
+// MaxLoadExceedance estimates Pr[max load > α] by Monte-Carlo: trials
+// independent throws of m balls into n bins, seeded from seed.
+func MaxLoadExceedance(m, n, alpha, trials int, seed uint64) float64 {
+	if trials <= 0 {
+		panic(fmt.Sprintf("ballsbins: trial count %d must be positive", trials))
+	}
+	seeds := hashfn.NewSeedSequence(seed)
+	exceed := 0
+	for t := 0; t < trials; t++ {
+		if MaxLoad(Throw(m, n, seeds.Next())) > alpha {
+			exceed++
+		}
+	}
+	return float64(exceed) / float64(trials)
+}
+
+// SaturationStats estimates, over trials independent throws, the fraction of
+// trials in which the number of εh-saturated bins exceeds f(n,m,ε)/8 (Lemma 4
+// predicts this fraction ≥ 1 − exp(−f/32)), as well as the mean saturated-bin
+// count.
+func SaturationStats(m, n int, eps float64, trials int, seed uint64) (successFrac, meanSaturated float64) {
+	if trials <= 0 {
+		panic(fmt.Sprintf("ballsbins: trial count %d must be positive", trials))
+	}
+	h := float64(m) / float64(n)
+	threshold := h + eps*h
+	target := Lemma4Threshold(n, m, eps)
+	seeds := hashfn.NewSeedSequence(seed)
+	successes, total := 0, 0
+	for t := 0; t < trials; t++ {
+		c := SaturatedCount(Throw(m, n, seeds.Next()), threshold)
+		total += c
+		if float64(c) > target {
+			successes++
+		}
+	}
+	return float64(successes) / float64(trials), float64(total) / float64(trials)
+}

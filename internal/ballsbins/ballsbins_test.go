@@ -1,0 +1,177 @@
+package ballsbins
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThrowConservesBalls(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw uint16) bool {
+		m := int(mRaw % 5000)
+		n := int(nRaw%100) + 1
+		loads := Throw(m, n, seed)
+		total := 0
+		for _, l := range loads {
+			if l < 0 {
+				return false
+			}
+			total += l
+		}
+		return total == m && len(loads) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThrowDeterministic(t *testing.T) {
+	a := Throw(1000, 10, 5)
+	b := Throw(1000, 10, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different loads")
+		}
+	}
+}
+
+func TestMaxLoadAndSaturatedCount(t *testing.T) {
+	loads := []int{3, 1, 4, 1, 5}
+	if MaxLoad(loads) != 5 {
+		t.Fatalf("MaxLoad = %d", MaxLoad(loads))
+	}
+	if got := SaturatedCount(loads, 3); got != 3 {
+		t.Fatalf("SaturatedCount(≥3) = %d, want 3", got)
+	}
+	if got := SaturatedCount(loads, 5.5); got != 0 {
+		t.Fatalf("SaturatedCount(≥5.5) = %d, want 0", got)
+	}
+	if MaxLoad(nil) != 0 {
+		t.Fatal("MaxLoad(nil) should be 0")
+	}
+}
+
+// TestLemma3BoundHolds is the scientific check: the Monte-Carlo exceedance
+// probability must respect the paper's exp(−δ²α/12) bound whenever the
+// hypothesis δ ≥ sqrt(12 ln(k/α)/α) holds.
+func TestLemma3BoundHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo check")
+	}
+	cases := []struct {
+		k, alpha int
+	}{
+		{1 << 12, 256},
+		{1 << 12, 512},
+		{1 << 14, 512},
+	}
+	for _, c := range cases {
+		delta := Lemma3DeltaFloor(c.k, c.alpha)
+		if delta > 0.5 {
+			t.Fatalf("k=%d α=%d: delta floor %.3f > 1/2, pick a larger α", c.k, c.alpha, delta)
+		}
+		m := int((1 - delta) * float64(c.k))
+		n := c.k / c.alpha
+		const trials = 400
+		p := MaxLoadExceedance(m, n, c.alpha, trials, 77)
+		bound := Lemma3Bound(delta, c.alpha)
+		// The empirical probability must not exceed the bound by more than
+		// Monte-Carlo noise (3 sigma of a Bernoulli(bound) estimator, plus
+		// slack for tiny bounds).
+		noise := 3*math.Sqrt(bound*(1-bound)/trials) + 0.01
+		if p > bound+noise {
+			t.Errorf("k=%d α=%d δ=%.3f: empirical %.4f > bound %.4f + noise %.4f",
+				c.k, c.alpha, delta, p, bound, noise)
+		}
+	}
+}
+
+// TestLemma4GuaranteeHolds checks the saturated-bins lower bound: in at
+// least 1 − exp(−f/32) of trials, more than f/8 bins are εh-saturated.
+func TestLemma4GuaranteeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo check")
+	}
+	// Theorem 4 regime: n = k/α bins, m = (1−δ)k balls, ε = 2δ/(1−δ).
+	k := 1 << 12
+	alpha := 16
+	delta := 0.2
+	n := k / alpha
+	m := int((1 - delta) * float64(k))
+	eps := 2 * delta / (1 - delta)
+
+	successFrac, meanSat := SaturationStats(m, n, eps, 300, 99)
+	wantFrac := 1 - Lemma4FailureBound(n, m, eps)
+	if successFrac < wantFrac-0.05 {
+		t.Errorf("success fraction %.3f < guaranteed %.3f", successFrac, wantFrac)
+	}
+	if meanSat <= 0 {
+		t.Error("expected some saturated bins on average")
+	}
+}
+
+func TestAnalyticFormulas(t *testing.T) {
+	// f(n, m, ε) = n exp(−2ε²h).
+	if got, want := F(100, 200, 0.5), 100*math.Exp(-2*0.25*2); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("F = %v, want %v", got, want)
+	}
+	if got := Lemma4Threshold(100, 200, 0.5); math.Abs(got-F(100, 200, 0.5)/8) > 1e-12 {
+		t.Fatalf("Lemma4Threshold = %v", got)
+	}
+	if got, want := Lemma3Bound(0.5, 48), math.Exp(-0.25*48.0/12); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Lemma3Bound = %v, want %v", got, want)
+	}
+	// Chernoff sanity: bounds decrease in μ and ε.
+	if ChernoffUpper(0.5, 10) <= ChernoffUpper(0.5, 100) {
+		t.Fatal("ChernoffUpper should decrease in mu")
+	}
+	if ChernoffLower(0.1, 50) <= ChernoffLower(0.9, 50) {
+		t.Fatal("ChernoffLower should decrease in eps")
+	}
+	if ReverseChernoff(0.3, 20) <= 0 || ReverseChernoff(0.3, 20) > 0.25 {
+		t.Fatalf("ReverseChernoff out of range: %v", ReverseChernoff(0.3, 20))
+	}
+}
+
+// TestReverseChernoffConsistentWithSimulation: the reverse Chernoff bound
+// (Theorem 2) promises the saturation probability is not exponentially
+// smaller than the upper bound suggests; empirically, Pr[L ≥ (1+ε)h] for a
+// single bin should be ≥ (1/4)exp(−2ε²h) in the valid regime.
+func TestReverseChernoffConsistentWithSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo check")
+	}
+	const n = 64
+	const m = 64 * 8 // h = 8
+	eps := 0.5
+	h := float64(m) / n
+	threshold := (1 + eps) * h
+	const trials = 300
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		loads := Throw(m, n, uint64(1000+trial))
+		if float64(loads[0]) >= threshold {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	lower := ReverseChernoff(eps, h)
+	if p < lower/4 { // generous slack: Theorem 2 is ε ∈ [0, 1/p−2] with constants
+		t.Errorf("empirical single-bin saturation %.4f ≪ reverse-Chernoff floor %.4f", p, lower)
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Throw bins=0", func() { Throw(10, 0, 1) })
+	mustPanic("Throw m<0", func() { Throw(-1, 5, 1) })
+	mustPanic("MaxLoadExceedance trials=0", func() { MaxLoadExceedance(1, 1, 1, 0, 1) })
+	mustPanic("SaturationStats trials=0", func() { SaturationStats(1, 1, 0.1, 0, 1) })
+}

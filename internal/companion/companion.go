@@ -1,0 +1,187 @@
+// Package companion implements companion caches — the related-work cache
+// organization the paper contrasts itself against (Brehob et al., Mendel
+// and Seiden, Buchbinder et al.; known in the architecture literature as
+// victim caches, Jouppi [31]): an α-way set-associative main cache paired
+// with a small fully associative companion that catches the main cache's
+// victims.
+//
+// On a main-cache miss that hits the companion, the item is promoted back
+// into its bucket and the bucket's victim is demoted into the companion (a
+// swap); such an access is not charged as a paging miss. On a full miss,
+// the fetched item goes to its bucket and the bucket's victim (if any) is
+// demoted. The companion evicts least-recently-demoted-or-used.
+//
+// The companion absorbs exactly the conflict misses of oversubscribed
+// buckets, so a small companion can substitute for a large increase in α —
+// the quantitative comparison is experiment E16.
+package companion
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hashfn"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Cache is a set-associative main cache plus a fully associative companion.
+// It implements core.Cache; Capacity reports main + companion slots.
+type Cache struct {
+	alpha     int
+	hasher    *hashfn.Random
+	buckets   []policy.Policy
+	comp      *policy.LRU
+	stats     core.Stats
+	compHits  uint64
+	demotions uint64
+}
+
+var _ core.Cache = (*Cache)(nil)
+
+// Config describes a companion cache.
+type Config struct {
+	// MainCapacity is the set-associative main cache's slot count.
+	MainCapacity int
+	// Alpha is the main cache's set size; must divide MainCapacity.
+	Alpha int
+	// CompanionCapacity is the fully associative companion's slot count.
+	CompanionCapacity int
+	// Factory builds the per-bucket policy of the main cache (LRU in the
+	// classic victim-cache design).
+	Factory policy.Factory
+	// Seed drives the indexing hash.
+	Seed uint64
+}
+
+// New builds a companion cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.MainCapacity <= 0 || cfg.Alpha <= 0 || cfg.MainCapacity%cfg.Alpha != 0 {
+		return nil, fmt.Errorf("companion: bad main geometry k=%d α=%d", cfg.MainCapacity, cfg.Alpha)
+	}
+	if cfg.CompanionCapacity <= 0 {
+		return nil, fmt.Errorf("companion: companion capacity %d must be positive", cfg.CompanionCapacity)
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("companion: nil factory")
+	}
+	n := cfg.MainCapacity / cfg.Alpha
+	c := &Cache{
+		alpha:   cfg.Alpha,
+		hasher:  hashfn.NewRandom(cfg.Seed, n),
+		buckets: make([]policy.Policy, n),
+		comp:    policy.NewLRU(cfg.CompanionCapacity),
+	}
+	for i := range c.buckets {
+		c.buckets[i] = cfg.Factory(cfg.Alpha)
+	}
+	return c, nil
+}
+
+// Access implements core.Cache.
+func (c *Cache) Access(x trace.Item) bool {
+	hit, _, _ := c.AccessDetail(x)
+	return hit
+}
+
+// AccessDetail implements core.Cache. The reported eviction is the item
+// that left the cache entirely (pushed out of the companion), if any.
+func (c *Cache) AccessDetail(x trace.Item) (hit bool, evicted trace.Item, didEvict bool) {
+	c.stats.Accesses++
+	b := c.hasher.Bucket(x)
+	pol := c.buckets[b]
+
+	if pol.Contains(x) {
+		pol.Request(x) // refresh recency
+		c.stats.Hits++
+		return true, 0, false
+	}
+
+	if c.comp.Contains(x) {
+		// Companion hit: promote x into its bucket, demote the bucket's
+		// victim into the companion (swap). Not a paging miss.
+		c.comp.Delete(x)
+		c.compHits++
+		c.stats.Hits++
+		_, victim, didDemote := pol.Request(x)
+		if didDemote {
+			evicted, didEvict = c.demote(victim)
+		}
+		return true, evicted, didEvict
+	}
+
+	// Full miss: fetch into the bucket, demoting its victim if full.
+	c.stats.Misses++
+	_, victim, didDemote := pol.Request(x)
+	if didDemote {
+		evicted, didEvict = c.demote(victim)
+	}
+	return false, evicted, didEvict
+}
+
+// demote pushes a main-cache victim into the companion, returning the item
+// the companion had to discard, if any.
+func (c *Cache) demote(victim trace.Item) (trace.Item, bool) {
+	c.demotions++
+	_, out, didOut := c.comp.Request(victim)
+	if didOut {
+		c.stats.Evictions++
+	}
+	return out, didOut
+}
+
+// Contains implements core.Cache.
+func (c *Cache) Contains(x trace.Item) bool {
+	if c.comp.Contains(x) {
+		return true
+	}
+	return c.buckets[c.hasher.Bucket(x)].Contains(x)
+}
+
+// Len implements core.Cache.
+func (c *Cache) Len() int {
+	total := c.comp.Len()
+	for _, pol := range c.buckets {
+		total += pol.Len()
+	}
+	return total
+}
+
+// Capacity implements core.Cache (main + companion slots).
+func (c *Cache) Capacity() int { return c.alpha*len(c.buckets) + c.comp.Capacity() }
+
+// MainCapacity returns the set-associative portion's slot count.
+func (c *Cache) MainCapacity() int { return c.alpha * len(c.buckets) }
+
+// CompanionCapacity returns the companion's slot count.
+func (c *Cache) CompanionCapacity() int { return c.comp.Capacity() }
+
+// Items implements core.Cache.
+func (c *Cache) Items() []trace.Item {
+	out := c.comp.Items()
+	for _, pol := range c.buckets {
+		out = append(out, pol.Items()...)
+	}
+	return out
+}
+
+// Stats implements core.Cache.
+func (c *Cache) Stats() core.Stats { return c.stats }
+
+// Reset implements core.Cache.
+func (c *Cache) Reset() {
+	for _, pol := range c.buckets {
+		pol.Reset()
+	}
+	c.comp.Reset()
+	c.stats = core.Stats{}
+	c.compHits = 0
+	c.demotions = 0
+}
+
+// CompanionHits returns the number of accesses saved by the companion —
+// conflict misses the plain set-associative cache would have paid.
+func (c *Cache) CompanionHits() uint64 { return c.compHits }
+
+// Demotions returns how many victims were pushed into the companion.
+func (c *Cache) Demotions() uint64 { return c.demotions }

@@ -1,0 +1,174 @@
+package companion
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func lruFactory() policy.Factory { return policy.NewFactory(policy.LRUKind, 0) }
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{MainCapacity: 0, Alpha: 1, CompanionCapacity: 1, Factory: lruFactory()},
+		{MainCapacity: 8, Alpha: 3, CompanionCapacity: 1, Factory: lruFactory()},
+		{MainCapacity: 8, Alpha: 2, CompanionCapacity: 0, Factory: lruFactory()},
+		{MainCapacity: 8, Alpha: 2, CompanionCapacity: 2, Factory: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestCompanionCatchesConflictVictims(t *testing.T) {
+	// Direct-mapped main cache: two items in the same bucket thrash without
+	// a companion, but a 1-slot companion turns the thrash into swaps.
+	c := mustNew(t, Config{MainCapacity: 4, Alpha: 1, CompanionCapacity: 4, Factory: lruFactory(), Seed: 0})
+	// Find two items in the same bucket.
+	var a, b trace.Item
+	found := false
+	seen := map[int]trace.Item{}
+	h := c.hasher
+	for x := trace.Item(0); !found && x < 100; x++ {
+		bkt := h.Bucket(x)
+		if prev, ok := seen[bkt]; ok {
+			a, b = prev, x
+			found = true
+		} else {
+			seen[bkt] = x
+		}
+	}
+	if !found {
+		t.Fatal("no colliding pair found")
+	}
+	// Alternate a and b: first two accesses are compulsory misses; every
+	// later access hits either the bucket or the companion.
+	misses := 0
+	for i := 0; i < 50; i++ {
+		for _, x := range []trace.Item{a, b} {
+			if !c.Access(x) {
+				misses++
+			}
+		}
+	}
+	if misses != 2 {
+		t.Fatalf("misses = %d, want 2 (compulsory only)", misses)
+	}
+	if c.CompanionHits() == 0 {
+		t.Fatal("expected companion hits on the thrashing pair")
+	}
+}
+
+func TestMatchesPlainSetAssocWhenCompanionUseless(t *testing.T) {
+	// A workload that never overflows any bucket gives the companion
+	// nothing to do: miss counts must match the plain set-associative cache.
+	cc := mustNew(t, Config{MainCapacity: 64, Alpha: 8, CompanionCapacity: 8, Factory: lruFactory(), Seed: 5})
+	sa := core.MustNewSetAssoc(core.SetAssocConfig{Capacity: 64, Alpha: 8, Factory: lruFactory(), Seed: 5})
+	seq := workload.Uniform{Universe: 16}.Generate(5000, 3)
+	ccStats := core.RunSequence(cc, seq)
+	saStats := core.RunSequence(sa, seq)
+	if cc.Demotions() == 0 {
+		// No bucket ever filled: identical behaviour expected.
+		if ccStats.Misses != saStats.Misses {
+			t.Fatalf("misses differ with idle companion: %d vs %d", ccStats.Misses, saStats.Misses)
+		}
+	}
+}
+
+func TestCompanionNeverWorseThanPlain(t *testing.T) {
+	// On scan workloads, the companion absorbs conflict victims, so the
+	// companion cache (even counting its extra slots against a bigger
+	// plain cache) beats the plain set-associative cache of main size.
+	const k = 256
+	seq := trace.RangeSeq(0, 200).Repeat(8)
+	for _, alpha := range []int{1, 2, 4} {
+		cc := mustNew(t, Config{MainCapacity: k, Alpha: alpha, CompanionCapacity: 32, Factory: lruFactory(), Seed: 7})
+		sa := core.MustNewSetAssoc(core.SetAssocConfig{Capacity: k, Alpha: alpha, Factory: lruFactory(), Seed: 7})
+		ccM := core.RunSequence(cc, seq).Misses
+		saM := core.RunSequence(sa, seq).Misses
+		if ccM > saM {
+			t.Errorf("α=%d: companion cache missed more (%d) than plain (%d)", alpha, ccM, saM)
+		}
+	}
+}
+
+func TestGeometryAndLen(t *testing.T) {
+	c := mustNew(t, Config{MainCapacity: 32, Alpha: 4, CompanionCapacity: 8, Factory: lruFactory(), Seed: 1})
+	if c.Capacity() != 40 || c.MainCapacity() != 32 || c.CompanionCapacity() != 8 {
+		t.Fatalf("geometry %d/%d/%d", c.Capacity(), c.MainCapacity(), c.CompanionCapacity())
+	}
+	core.RunSequence(c, trace.RangeSeq(0, 100))
+	if c.Len() > c.Capacity() {
+		t.Fatalf("Len %d > capacity", c.Len())
+	}
+	if len(c.Items()) != c.Len() {
+		t.Fatalf("Items %d != Len %d", len(c.Items()), c.Len())
+	}
+}
+
+func TestResetReplays(t *testing.T) {
+	c := mustNew(t, Config{MainCapacity: 16, Alpha: 2, CompanionCapacity: 4, Factory: lruFactory(), Seed: 3})
+	seq := workload.Uniform{Universe: 40}.Generate(2000, 9)
+	first := core.RunSequence(c, seq)
+	c.Reset()
+	second := core.RunSequence(c, seq)
+	if first != second {
+		t.Fatalf("replay diverged: %+v vs %+v", first, second)
+	}
+}
+
+func TestContractInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		c, err := New(Config{MainCapacity: 8, Alpha: 2, CompanionCapacity: 3, Factory: lruFactory(), Seed: 2})
+		if err != nil {
+			return false
+		}
+		for _, r := range raw {
+			x := trace.Item(r % 30)
+			c.Access(x)
+			if !c.Contains(x) {
+				return false
+			}
+			if c.Len() > c.Capacity() {
+				return false
+			}
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == st.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoDuplicateResidency: an item must never be in both the companion and
+// a bucket at once.
+func TestNoDuplicateResidency(t *testing.T) {
+	c := mustNew(t, Config{MainCapacity: 8, Alpha: 1, CompanionCapacity: 4, Factory: lruFactory(), Seed: 11})
+	seq := workload.Uniform{Universe: 20}.Generate(3000, 13)
+	for _, x := range seq {
+		c.Access(x)
+		seen := make(map[trace.Item]int)
+		for _, it := range c.Items() {
+			seen[it]++
+			if seen[it] > 1 {
+				t.Fatalf("%v resident twice after accessing %v", it, x)
+			}
+		}
+	}
+}

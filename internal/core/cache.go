@@ -1,0 +1,87 @@
+// Package core implements the paper's cache models: the fully associative
+// paging algorithm A_k (one replacement policy over k slots), the α-way
+// set-associative algorithm ⟨A⟩_k (k/α independent policy instances of
+// capacity α behind a random indexing function, Section 4), and the
+// rehashing variants ⟨LRU⟩FF (full flushing) and ⟨LRU⟩IF (incremental
+// flushing) of Section 6.
+package core
+
+import "repro/internal/trace"
+
+// Cache is a paging algorithm instance operating on a fixed number of slots.
+// Both fully associative and set-associative caches implement it, so the
+// lockstep comparators in internal/sim can treat them uniformly.
+type Cache interface {
+	// Access serves one request and reports whether it hit.
+	Access(x trace.Item) bool
+
+	// AccessDetail serves one request and additionally reports the item
+	// evicted by the regular replacement mechanism, if any. Evictions caused
+	// by flushing/rehashing are not reported here; they are tallied in
+	// Stats().FlushEvictions. A hit can carry an eviction: under incremental
+	// flushing, hitting a non-remapped item inserts it into its new bucket,
+	// which may evict.
+	AccessDetail(x trace.Item) (hit bool, evicted trace.Item, didEvict bool)
+
+	// Contains reports whether x is currently cached, without side effects.
+	Contains(x trace.Item) bool
+
+	// Len returns the number of cached items.
+	Len() int
+
+	// Capacity returns the total number of slots k.
+	Capacity() int
+
+	// Items returns a snapshot of the cached items in unspecified order.
+	Items() []trace.Item
+
+	// Stats returns the counters accumulated since construction or Reset.
+	Stats() Stats
+
+	// Reset empties the cache and zeroes the counters.
+	Reset()
+}
+
+// Stats aggregates the cost counters of a cache. C(A_k, σ) in the paper is
+// Misses.
+type Stats struct {
+	Accesses  uint64 // |σ| served so far
+	Hits      uint64
+	Misses    uint64 // the paging cost C(·, σ)
+	Evictions uint64 // regular (replacement-policy) evictions
+
+	// Rehashes counts hash-function changes (Section 6).
+	Rehashes uint64
+	// FlushEvictions counts items evicted by flushing machinery: the whole-
+	// cache flushes of ⟨LRU⟩FF and the forced migration evictions of ⟨LRU⟩IF.
+	FlushEvictions uint64
+}
+
+// MissRatio returns Misses/Accesses, or 0 for an empty run.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// RunSequence plays an entire request sequence through c and returns the
+// stats delta for just that sequence.
+func RunSequence(c Cache, seq trace.Sequence) Stats {
+	before := c.Stats()
+	for _, x := range seq {
+		c.Access(x)
+	}
+	return diffStats(before, c.Stats())
+}
+
+func diffStats(before, after Stats) Stats {
+	return Stats{
+		Accesses:       after.Accesses - before.Accesses,
+		Hits:           after.Hits - before.Hits,
+		Misses:         after.Misses - before.Misses,
+		Evictions:      after.Evictions - before.Evictions,
+		Rehashes:       after.Rehashes - before.Rehashes,
+		FlushEvictions: after.FlushEvictions - before.FlushEvictions,
+	}
+}

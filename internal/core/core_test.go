@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func lruFactory() policy.Factory { return policy.NewFactory(policy.LRUKind, 0) }
+
+func TestFullAssocCountsMisses(t *testing.T) {
+	c := NewFullAssoc(lruFactory(), 2)
+	seq := trace.Sequence{1, 2, 1, 3, 1} // misses: 1,2,3; hits: 1,1
+	st := RunSequence(c, seq)
+	if st.Misses != 3 || st.Hits != 2 || st.Accesses != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Evictions != 1 { // 3 evicts 2
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestSetAssocAlphaEqualsKMatchesFullAssoc(t *testing.T) {
+	// With α = k there is one bucket: the set-associative cache must behave
+	// exactly like the fully associative one on every request.
+	const k = 16
+	sa := MustNewSetAssoc(SetAssocConfig{Capacity: k, Alpha: k, Factory: lruFactory(), Seed: 1})
+	fa := NewFullAssoc(lruFactory(), k)
+	seq := trace.Sequence{}
+	for i := 0; i < 2000; i++ {
+		seq = append(seq, trace.Item((i*i+i/3)%50))
+	}
+	for _, x := range seq {
+		h1, e1, d1 := sa.AccessDetail(x)
+		h2, e2, d2 := fa.AccessDetail(x)
+		if h1 != h2 || d1 != d2 || (d1 && e1 != e2) {
+			t.Fatalf("diverged on %v: sa=(%v,%v,%v) fa=(%v,%v,%v)", x, h1, e1, d1, h2, e2, d2)
+		}
+	}
+}
+
+func TestSetAssocValidation(t *testing.T) {
+	base := SetAssocConfig{Capacity: 8, Alpha: 2, Factory: lruFactory()}
+	if _, err := NewSetAssoc(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := base
+	bad.Alpha = 3 // does not divide 8
+	if _, err := NewSetAssoc(bad); err == nil {
+		t.Fatal("alpha=3, k=8 should be rejected")
+	}
+	bad = base
+	bad.Capacity = 0
+	if _, err := NewSetAssoc(bad); err == nil {
+		t.Fatal("capacity=0 should be rejected")
+	}
+	bad = base
+	bad.Factory = nil
+	if _, err := NewSetAssoc(bad); err == nil {
+		t.Fatal("nil factory should be rejected")
+	}
+	bad = base
+	bad.Rehash = RehashConfig{Mode: RehashFullFlush}
+	if _, err := NewSetAssoc(bad); err == nil {
+		t.Fatal("rehash mode without trigger should be rejected")
+	}
+	bad = base
+	bad.Rehash = RehashConfig{Mode: RehashFullFlush, EveryMisses: 5, EveryAccesses: 5}
+	if _, err := NewSetAssoc(bad); err == nil {
+		t.Fatal("both triggers set should be rejected")
+	}
+}
+
+func TestSetAssocItemsStayInTheirBucket(t *testing.T) {
+	sa := MustNewSetAssoc(SetAssocConfig{Capacity: 32, Alpha: 4, Factory: lruFactory(), Seed: 3})
+	for i := 0; i < 500; i++ {
+		x := trace.Item(i % 60)
+		sa.Access(x)
+		if sa.Contains(x) {
+			b := sa.BucketOf(x)
+			found := false
+			for _, it := range sa.BucketItems(b) {
+				if it == x {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%v cached but not in its bucket %d", x, b)
+			}
+		}
+	}
+	total := 0
+	for i := 0; i < sa.NumBuckets(); i++ {
+		if l := sa.BucketLen(i); l > sa.Alpha() {
+			t.Fatalf("bucket %d holds %d > α=%d", i, l, sa.Alpha())
+		} else {
+			total += l
+		}
+	}
+	if total != sa.Len() {
+		t.Fatalf("bucket sum %d != Len %d", total, sa.Len())
+	}
+}
+
+func TestSetAssocConflictMissesHappen(t *testing.T) {
+	// A working set equal to the cache size always fits a fully associative
+	// LRU after the first pass, but with small α some bucket overflows with
+	// high probability, so the set-associative cache keeps missing.
+	const k = 64
+	sa := MustNewSetAssoc(SetAssocConfig{Capacity: k, Alpha: 2, Factory: lruFactory(), Seed: 7})
+	fa := NewFullAssoc(lruFactory(), k)
+	pass := trace.RangeSeq(0, k)
+	seq := pass.Repeat(10)
+	saStats := RunSequence(sa, seq)
+	faStats := RunSequence(fa, seq)
+	if faStats.Misses != k {
+		t.Fatalf("full-assoc misses = %d, want %d (only compulsory)", faStats.Misses, k)
+	}
+	if saStats.Misses <= faStats.Misses {
+		t.Fatalf("set-assoc misses = %d, expected conflict misses beyond %d", saStats.Misses, k)
+	}
+}
+
+func TestSetAssocDeterministicInSeed(t *testing.T) {
+	run := func(seed uint64) Stats {
+		sa := MustNewSetAssoc(SetAssocConfig{Capacity: 32, Alpha: 4, Factory: lruFactory(), Seed: seed})
+		return RunSequence(sa, trace.RangeSeq(0, 48).Repeat(5))
+	}
+	if run(1) != run(1) {
+		t.Fatal("same seed produced different stats")
+	}
+}
+
+func TestSetAssocResetRestoresInitialState(t *testing.T) {
+	sa := MustNewSetAssoc(SetAssocConfig{
+		Capacity: 16, Alpha: 4, Factory: lruFactory(), Seed: 5,
+		Rehash: RehashConfig{Mode: RehashFullFlush, EveryMisses: 10},
+	})
+	seq := trace.RangeSeq(0, 40).Repeat(3)
+	first := RunSequence(sa, seq)
+	sa.Reset()
+	if sa.Len() != 0 || sa.Stats() != (Stats{}) {
+		t.Fatalf("Reset left state: len=%d stats=%+v", sa.Len(), sa.Stats())
+	}
+	second := RunSequence(sa, seq)
+	if first != second {
+		t.Fatalf("replay after Reset differs: %+v vs %+v", first, second)
+	}
+}
+
+func TestFullFlushRehashTriggersOnMisses(t *testing.T) {
+	sa := MustNewSetAssoc(SetAssocConfig{
+		Capacity: 8, Alpha: 2, Factory: lruFactory(), Seed: 2,
+		Rehash: RehashConfig{Mode: RehashFullFlush, EveryMisses: 4},
+	})
+	// 8 distinct cold items = 8 misses = 2 rehashes.
+	RunSequence(sa, trace.RangeSeq(100, 108))
+	if got := sa.Stats().Rehashes; got != 2 {
+		t.Fatalf("rehashes = %d, want 2", got)
+	}
+	// After the last flush at miss 8, the cache holds only items accessed
+	// since then: none.
+	if sa.Len() != 0 {
+		t.Fatalf("post-flush Len = %d, want 0", sa.Len())
+	}
+}
+
+func TestFullFlushEmptiesAndRedistributes(t *testing.T) {
+	sa := MustNewSetAssoc(SetAssocConfig{
+		Capacity: 16, Alpha: 4, Factory: lruFactory(), Seed: 9,
+		Rehash: RehashConfig{Mode: RehashFullFlush, EveryMisses: 1000},
+	})
+	warm := trace.RangeSeq(0, 12)
+	st := RunSequence(sa, warm)
+	// 12 random items into 4 buckets of size 4 may overflow a bucket, so
+	// regular evictions are possible; flush evictions are not (the trigger
+	// is far away).
+	if st.FlushEvictions != 0 {
+		t.Fatalf("premature flush evictions: %d", st.FlushEvictions)
+	}
+	if uint64(sa.Len())+st.Evictions != 12 {
+		t.Fatalf("Len %d + evictions %d != 12 inserted", sa.Len(), st.Evictions)
+	}
+}
+
+func TestAccessRehashModeCountsAccesses(t *testing.T) {
+	sa := MustNewSetAssoc(SetAssocConfig{
+		Capacity: 8, Alpha: 2, Factory: lruFactory(), Seed: 2,
+		Rehash: RehashConfig{Mode: RehashFullFlush, EveryAccesses: 5},
+	})
+	// 10 accesses → 2 rehashes regardless of hits.
+	seq := trace.Sequence{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	RunSequence(sa, seq)
+	if got := sa.Stats().Rehashes; got != 2 {
+		t.Fatalf("rehashes = %d, want 2", got)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	f := func(raw []uint8) bool {
+		sa := MustNewSetAssoc(SetAssocConfig{Capacity: 8, Alpha: 2, Factory: lruFactory(), Seed: 11})
+		for _, r := range raw {
+			sa.Access(trace.Item(r % 30))
+		}
+		st := sa.Stats()
+		return st.Accesses == uint64(len(raw)) &&
+			st.Hits+st.Misses == st.Accesses &&
+			st.Evictions <= st.Misses &&
+			sa.Len() <= sa.Capacity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSequenceReturnsDelta(t *testing.T) {
+	c := NewFullAssoc(lruFactory(), 4)
+	RunSequence(c, trace.RangeSeq(0, 4))
+	delta := RunSequence(c, trace.RangeSeq(0, 4)) // all hits
+	if delta.Misses != 0 || delta.Hits != 4 {
+		t.Fatalf("delta = %+v", delta)
+	}
+}

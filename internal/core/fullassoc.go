@@ -1,0 +1,71 @@
+package core
+
+import (
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// FullAssoc is the fully associative paging algorithm A_k: a single
+// replacement policy instance managing all k slots. It is the comparison
+// baseline in every competitive-analysis experiment.
+type FullAssoc struct {
+	pol   policy.Policy
+	stats Stats
+}
+
+var _ Cache = (*FullAssoc)(nil)
+
+// NewFullAssoc builds A_k from a policy factory and a capacity.
+func NewFullAssoc(factory policy.Factory, capacity int) *FullAssoc {
+	return &FullAssoc{pol: factory(capacity)}
+}
+
+// Access implements Cache.
+func (f *FullAssoc) Access(x trace.Item) bool {
+	hit, _, _ := f.AccessDetail(x)
+	return hit
+}
+
+// AccessDetail implements Cache.
+func (f *FullAssoc) AccessDetail(x trace.Item) (hit bool, evicted trace.Item, didEvict bool) {
+	hit, evicted, didEvict = f.pol.Request(x)
+	f.stats.Accesses++
+	if hit {
+		f.stats.Hits++
+	} else {
+		f.stats.Misses++
+	}
+	if didEvict {
+		f.stats.Evictions++
+	}
+	if be, ok := f.pol.(policy.BatchEvictions); ok {
+		// Non-lazy policies (flush-when-full) may evict in bulk.
+		f.stats.Evictions += uint64(len(be.TakeEvictions()))
+	}
+	return hit, evicted, didEvict
+}
+
+// Contains implements Cache.
+func (f *FullAssoc) Contains(x trace.Item) bool { return f.pol.Contains(x) }
+
+// Len implements Cache.
+func (f *FullAssoc) Len() int { return f.pol.Len() }
+
+// Capacity implements Cache.
+func (f *FullAssoc) Capacity() int { return f.pol.Capacity() }
+
+// Items implements Cache.
+func (f *FullAssoc) Items() []trace.Item { return f.pol.Items() }
+
+// Stats implements Cache.
+func (f *FullAssoc) Stats() Stats { return f.stats }
+
+// Reset implements Cache.
+func (f *FullAssoc) Reset() {
+	f.pol.Reset()
+	f.stats = Stats{}
+}
+
+// Policy exposes the underlying policy instance (used by the stability
+// framework, which inspects cache contents mid-sequence).
+func (f *FullAssoc) Policy() policy.Policy { return f.pol }

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hashfn"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// RehashMode selects the rehashing strategy of a set-associative cache.
+type RehashMode int
+
+const (
+	// RehashNone never changes the hash function (the Section 4 cache).
+	RehashNone RehashMode = iota
+	// RehashFullFlush evicts everything and draws a new hash function when
+	// the trigger fires: the ⟨LRU⟩FF algorithm of Section 6.
+	RehashFullFlush
+	// RehashIncremental draws a new hash function and migrates items
+	// gradually: the ⟨LRU⟩IF algorithm of Section 6.1. At most two hash
+	// functions are live at any time.
+	RehashIncremental
+)
+
+// String implements fmt.Stringer.
+func (m RehashMode) String() string {
+	switch m {
+	case RehashNone:
+		return "none"
+	case RehashFullFlush:
+		return "fullflush"
+	case RehashIncremental:
+		return "incremental"
+	default:
+		return fmt.Sprintf("RehashMode(%d)", int(m))
+	}
+}
+
+// RehashConfig configures when and how a set-associative cache rehashes.
+type RehashConfig struct {
+	Mode RehashMode
+
+	// EveryMisses triggers a rehash every EveryMisses cache misses — the
+	// paper's schedule (rehash every poly(k) misses). Ignored if zero.
+	EveryMisses uint64
+
+	// EveryAccesses triggers a rehash every EveryAccesses requests,
+	// regardless of misses. The paper proves this schedule is broken (the
+	// Section 6 remark: an adversary fixes one item set and replays it
+	// forever); it exists here for experiment E13. Ignored if zero.
+	// EveryMisses and EveryAccesses are mutually exclusive.
+	EveryAccesses uint64
+
+	// MigrationPerMiss is the number of forced evictions of non-remapped
+	// items performed per miss during an incremental rehash. The paper only
+	// requires that all k migrations happen before the next rehash; 1 (the
+	// default when zero) is the gentlest schedule, larger values finish the
+	// migration sooner at the cost of burstier eviction work. Ignored by
+	// other modes.
+	MigrationPerMiss int
+}
+
+func (r RehashConfig) validate() error {
+	if r.Mode == RehashNone {
+		return nil
+	}
+	if (r.EveryMisses == 0) == (r.EveryAccesses == 0) {
+		return fmt.Errorf("core: rehash mode %v needs exactly one of EveryMisses/EveryAccesses", r.Mode)
+	}
+	return nil
+}
+
+// SetAssocConfig describes an α-way set-associative cache ⟨A⟩_k.
+type SetAssocConfig struct {
+	// Capacity is the total slot count k.
+	Capacity int
+	// Alpha is the set (bucket) size α; it must divide Capacity.
+	Alpha int
+	// Factory stamps out one policy instance A_α per bucket.
+	Factory policy.Factory
+	// Seed drives the indexing hash function(s). Two caches with equal
+	// configs replay identically.
+	Seed uint64
+	// Rehash selects the rehashing behaviour (zero value: never rehash).
+	Rehash RehashConfig
+	// NewHasher overrides the indexing-function family; nil means the
+	// fully-random model (hashfn.NewRandom). The modulo ablation in E1
+	// passes hashfn.NewModulo here.
+	NewHasher func(seed uint64, buckets int) hashfn.Hasher
+}
+
+func (c SetAssocConfig) validate() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("core: capacity %d must be positive", c.Capacity)
+	}
+	if c.Alpha <= 0 || c.Alpha > c.Capacity {
+		return fmt.Errorf("core: alpha %d must be in [1, %d]", c.Alpha, c.Capacity)
+	}
+	if c.Capacity%c.Alpha != 0 {
+		return fmt.Errorf("core: alpha %d must divide capacity %d", c.Alpha, c.Capacity)
+	}
+	if c.Factory == nil {
+		return fmt.Errorf("core: nil policy factory")
+	}
+	return c.Rehash.validate()
+}
+
+// SetAssoc is the α-way set-associative cache ⟨A⟩_k: the k slots are
+// partitioned into k/α buckets, a hash function assigns each item to one
+// bucket, and each bucket runs an independent instance of the replacement
+// policy with capacity α (the algorithm box in Section 4).
+//
+// During an incremental rehash, items that have not been touched since the
+// hash change stay in their physical bucket under the *old* mapping while
+// new insertions use the new mapping; a physical bucket's policy instance
+// orders both kinds of residents together, and lookups consult the new
+// mapping first, then the old one.
+type SetAssoc struct {
+	cfg     SetAssocConfig
+	n       int // number of buckets, k/α
+	buckets []policy.Policy
+	hasher  hashfn.Hasher
+	seeds   *hashfn.SeedSequence
+	stats   Stats
+
+	sinceTrigger uint64
+
+	// Incremental-flushing state. oldHasher is non-nil while a migration is
+	// in progress. oldRes maps every not-yet-remapped item to the physical
+	// bucket it still occupies. sweep/sweepPos implement the paper's "evict
+	// one arbitrary non-remapped item" schedule, one per miss.
+	oldHasher hashfn.Hasher
+	oldRes    map[trace.Item]int
+	sweep     []trace.Item
+	sweepPos  int
+}
+
+var _ Cache = (*SetAssoc)(nil)
+
+// NewSetAssoc builds a set-associative cache from cfg.
+func NewSetAssoc(cfg SetAssocConfig) (*SetAssoc, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NewHasher == nil {
+		cfg.NewHasher = func(seed uint64, buckets int) hashfn.Hasher {
+			return hashfn.NewRandom(seed, buckets)
+		}
+	}
+	s := &SetAssoc{cfg: cfg, n: cfg.Capacity / cfg.Alpha}
+	s.init()
+	return s, nil
+}
+
+// MustNewSetAssoc is NewSetAssoc, panicking on config errors. Intended for
+// experiment code with statically known-good parameters.
+func MustNewSetAssoc(cfg SetAssocConfig) *SetAssoc {
+	s, err := NewSetAssoc(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *SetAssoc) init() {
+	s.seeds = hashfn.NewSeedSequence(s.cfg.Seed)
+	s.hasher = s.cfg.NewHasher(s.seeds.Next(), s.n)
+	s.buckets = make([]policy.Policy, s.n)
+	for i := range s.buckets {
+		s.buckets[i] = s.cfg.Factory(s.cfg.Alpha)
+	}
+	s.stats = Stats{}
+	s.sinceTrigger = 0
+	s.oldHasher = nil
+	s.oldRes = nil
+	s.sweep = nil
+	s.sweepPos = 0
+}
+
+// Access implements Cache.
+func (s *SetAssoc) Access(x trace.Item) bool {
+	hit, _, _ := s.AccessDetail(x)
+	return hit
+}
+
+// AccessDetail implements Cache.
+func (s *SetAssoc) AccessDetail(x trace.Item) (hit bool, evicted trace.Item, didEvict bool) {
+	s.stats.Accesses++
+	b := s.hasher.Bucket(x)
+	pol := s.buckets[b]
+
+	if ob, isOld := s.oldResident(x); isOld {
+		if ob == b {
+			// The old and new mappings agree; touching x remaps it in place.
+			delete(s.oldRes, x)
+			hit, evicted, didEvict = pol.Request(x)
+		} else {
+			// Hit on a non-remapped item: move it to its new bucket, which
+			// may evict from there (Section 6.1).
+			s.buckets[ob].Delete(x)
+			delete(s.oldRes, x)
+			_, evicted, didEvict = pol.Request(x)
+			hit = true
+		}
+	} else {
+		hit, evicted, didEvict = pol.Request(x)
+	}
+	if didEvict {
+		s.stats.Evictions++
+		// The victim may itself have been awaiting remapping.
+		delete(s.oldRes, evicted)
+	}
+
+	if hit {
+		s.stats.Hits++
+	} else {
+		s.stats.Misses++
+		if s.oldHasher != nil {
+			rate := s.cfg.Rehash.MigrationPerMiss
+			if rate <= 0 {
+				rate = 1
+			}
+			for i := 0; i < rate && len(s.oldRes) > 0; i++ {
+				s.forcedEvictOne()
+			}
+		}
+	}
+	if s.oldHasher != nil && len(s.oldRes) == 0 {
+		s.finishMigration()
+	}
+	s.maybeRehash(hit)
+	return hit, evicted, didEvict
+}
+
+func (s *SetAssoc) oldResident(x trace.Item) (int, bool) {
+	if s.oldRes == nil {
+		return 0, false
+	}
+	ob, ok := s.oldRes[x]
+	return ob, ok
+}
+
+// forcedEvictOne evicts one not-yet-remapped item, advancing the sweep. It
+// is called once per miss during a migration, implementing the "k arbitrary
+// points in time before the next rehash" schedule.
+func (s *SetAssoc) forcedEvictOne() {
+	for s.sweepPos < len(s.sweep) {
+		it := s.sweep[s.sweepPos]
+		s.sweepPos++
+		ob, ok := s.oldRes[it]
+		if !ok {
+			continue // already remapped or evicted
+		}
+		s.buckets[ob].Delete(it)
+		delete(s.oldRes, it)
+		s.stats.FlushEvictions++
+		return
+	}
+}
+
+func (s *SetAssoc) finishMigration() {
+	s.oldHasher = nil
+	s.oldRes = nil
+	s.sweep = nil
+	s.sweepPos = 0
+}
+
+func (s *SetAssoc) maybeRehash(hit bool) {
+	r := s.cfg.Rehash
+	if r.Mode == RehashNone {
+		return
+	}
+	switch {
+	case r.EveryMisses > 0:
+		if !hit {
+			s.sinceTrigger++
+		}
+		if s.sinceTrigger < r.EveryMisses {
+			return
+		}
+	case r.EveryAccesses > 0:
+		s.sinceTrigger++
+		if s.sinceTrigger < r.EveryAccesses {
+			return
+		}
+	}
+	s.sinceTrigger = 0
+	s.rehash()
+}
+
+func (s *SetAssoc) rehash() {
+	s.stats.Rehashes++
+	switch s.cfg.Rehash.Mode {
+	case RehashFullFlush:
+		for _, pol := range s.buckets {
+			s.stats.FlushEvictions += uint64(pol.Len())
+			// Reset rather than Delete: the paper's rehash replaces the
+			// bucket instances outright, clearing their access history
+			// (which is what "cools down" LFU/LRU-K buckets, footnote 7).
+			pol.Reset()
+		}
+		s.finishMigration()
+		s.hasher = s.cfg.NewHasher(s.seeds.Next(), s.n)
+
+	case RehashIncremental:
+		// "Every rehash finishes before the next one begins": if the sweep
+		// has not drained the previous generation yet, force-complete it so
+		// at most two hash functions are ever live.
+		if s.oldHasher != nil {
+			for it, ob := range s.oldRes {
+				s.buckets[ob].Delete(it)
+				s.stats.FlushEvictions++
+			}
+			s.finishMigration()
+		}
+		s.oldHasher = s.hasher
+		s.hasher = s.cfg.NewHasher(s.seeds.Next(), s.n)
+		s.oldRes = make(map[trace.Item]int)
+		for i, pol := range s.buckets {
+			for _, it := range pol.Items() {
+				s.oldRes[it] = i
+			}
+		}
+		s.sweep = make([]trace.Item, 0, len(s.oldRes))
+		for it := range s.oldRes {
+			s.sweep = append(s.sweep, it)
+		}
+		// Deterministic sweep order; the paper allows any order.
+		sort.Slice(s.sweep, func(i, j int) bool { return s.sweep[i] < s.sweep[j] })
+		s.sweepPos = 0
+	}
+}
+
+// Contains implements Cache.
+func (s *SetAssoc) Contains(x trace.Item) bool {
+	if ob, ok := s.oldResident(x); ok {
+		return s.buckets[ob].Contains(x)
+	}
+	return s.buckets[s.hasher.Bucket(x)].Contains(x)
+}
+
+// Len implements Cache.
+func (s *SetAssoc) Len() int {
+	total := 0
+	for _, pol := range s.buckets {
+		total += pol.Len()
+	}
+	return total
+}
+
+// Capacity implements Cache.
+func (s *SetAssoc) Capacity() int { return s.cfg.Capacity }
+
+// Items implements Cache.
+func (s *SetAssoc) Items() []trace.Item {
+	out := make([]trace.Item, 0, s.Len())
+	for _, pol := range s.buckets {
+		out = append(out, pol.Items()...)
+	}
+	return out
+}
+
+// Stats implements Cache.
+func (s *SetAssoc) Stats() Stats { return s.stats }
+
+// Reset implements Cache, restoring the exact initial state (including the
+// hash-function seed schedule).
+func (s *SetAssoc) Reset() { s.init() }
+
+// Alpha returns the set size α.
+func (s *SetAssoc) Alpha() int { return s.cfg.Alpha }
+
+// NumBuckets returns k/α.
+func (s *SetAssoc) NumBuckets() int { return s.n }
+
+// BucketOf returns the bucket index x maps to under the current hash.
+func (s *SetAssoc) BucketOf(x trace.Item) int { return s.hasher.Bucket(x) }
+
+// BucketLen returns the number of items in physical bucket i.
+func (s *SetAssoc) BucketLen(i int) int { return s.buckets[i].Len() }
+
+// BucketItems returns a snapshot of physical bucket i.
+func (s *SetAssoc) BucketItems(i int) []trace.Item { return s.buckets[i].Items() }
+
+// Migrating reports whether an incremental rehash is in progress.
+func (s *SetAssoc) Migrating() bool { return s.oldHasher != nil }
+
+// PendingMigration returns the number of items still mapped by the old hash.
+func (s *SetAssoc) PendingMigration() int { return len(s.oldRes) }

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/stability"
+	"repro/internal/stats"
+)
+
+// E10Result is the Section 7 classification of every policy family against
+// the paper's claims (Lemma 1, Corollary 2, Proposition 6, plus the
+// conservativeness taxonomy of Section 3).
+type E10Result struct {
+	SearchTrials int
+	Verdicts     []stability.PolicyVerdict
+	// ConservativeWitnesses maps each kind to a conservativeness
+	// counterexample, nil if none was found.
+	ConservativeWitnesses map[policy.Kind]*stability.ConservativeViolation
+	// LFUConservativeDiscrepancy is set when LFU — which the paper lists as
+	// conservative — produced a conservativeness witness (it always does;
+	// see the reproduction note on policy.Kind.Conservative).
+	LFUConservativeDiscrepancy *stability.ConservativeViolation
+}
+
+// E10Stability runs experiment E10.
+func E10Stability(cfg Config) *E10Result {
+	sCfg := stability.DefaultSearchConfig(cfg.Seed)
+	sCfg.Trials = cfg.pick(1200, 6000)
+	res := &E10Result{
+		SearchTrials:          sCfg.Trials,
+		ConservativeWitnesses: make(map[policy.Kind]*stability.ConservativeViolation),
+	}
+	kinds := []policy.Kind{
+		policy.LRUKind, policy.LRU2Kind, policy.LRU3Kind, policy.LFUKind,
+		policy.FIFOKind, policy.ClockKind, policy.ReuseDistKind, policy.MRUKind,
+	}
+	for _, k := range kinds {
+		res.Verdicts = append(res.Verdicts, stability.ClassifyPolicy(k, sCfg))
+		w := stability.SearchConservative(policy.NewFactory(k, cfg.Seed), sCfg)
+		res.ConservativeWitnesses[k] = w
+		if k == policy.LFUKind {
+			res.LFUConservativeDiscrepancy = w
+		}
+	}
+	return res
+}
+
+// AllConsistent reports whether every verdict matched the paper's stability
+// and stack claims.
+func (r *E10Result) AllConsistent() bool {
+	for _, v := range r.Verdicts {
+		if !v.Consistent() {
+			return false
+		}
+	}
+	return true
+}
+
+// Table renders the classification.
+func (r *E10Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("E10: policy classification (randomized search, %d trials/property)", r.SearchTrials),
+		"policy", "stable (paper)", "stable (found)", "stack (paper)", "stack (found)", "anomaly", "conservative (found)")
+	t.Note = "Lemma 1: LRU/LRU-K/LFU stable. Corollary 2: FIFO/clock not. Proposition 6: reuse-distance\n" +
+		"stack but not stable. Reproduction note: LFU is NOT conservative despite the paper's §3 claim."
+	for _, v := range r.Verdicts {
+		t.AddRowf(
+			v.Kind.String(),
+			v.ClaimStable,
+			v.StabilityWitness == nil,
+			v.ClaimStack,
+			v.StackWitness == nil,
+			v.AnomalyWitness != nil,
+			r.ConservativeWitnesses[v.Kind] == nil,
+		)
+	}
+	return t
+}
+
+// E11Result replays Proposition 6 in detail: the reuse-distance algorithm R
+// passes every stack-property search yet violates stability on the paper's
+// exact counterexample.
+type E11Result struct {
+	StackWitness     *stability.StackViolation // must be nil
+	PaperWitness     *stability.StabilityViolation
+	PaperReplayError error
+	// FamilyMonotone must be false: R's order family fails monotonicity,
+	// which is how it escapes Theorem 8.
+	FamilyMonotoneWitness *stability.MonotoneViolation
+}
+
+// E11ReuseDist runs experiment E11.
+func E11ReuseDist(cfg Config) *E11Result {
+	sCfg := stability.DefaultSearchConfig(cfg.Seed + 1)
+	sCfg.Trials = cfg.pick(1500, 6000)
+	res := &E11Result{}
+	res.StackWitness = stability.SearchStack(policy.NewFactory(policy.ReuseDistKind, 0), sCfg)
+	res.PaperWitness, res.PaperReplayError = stability.PaperReuseDistWitness()
+	res.FamilyMonotoneWitness = stability.SearchMonotone(stability.ReuseDistFamily(), sCfg)
+	return res
+}
+
+// Table renders the Proposition 6 replay.
+func (r *E11Result) Table() *stats.Table {
+	t := stats.NewTable("E11: Proposition 6 — reuse-distance R is stack but not stable",
+		"check", "outcome")
+	t.AddRow("stack property (randomized search)", boolOutcome(r.StackWitness == nil, "no violation (stack ✓)", "VIOLATED"))
+	if r.PaperReplayError != nil {
+		t.AddRow("paper counterexample σ=AYZZZZABYYBC", "replay FAILED: "+r.PaperReplayError.Error())
+	} else {
+		t.AddRow("paper counterexample σ=AYZZZZABYYBC", "stability violated as claimed: "+r.PaperWitness.String())
+	}
+	t.AddRow("order family monotone?", boolOutcome(r.FamilyMonotoneWitness != nil,
+		"not monotone (as required to escape Theorem 8)", "unexpectedly monotone"))
+	return t
+}
+
+func boolOutcome(ok bool, yes, no string) string {
+	if ok {
+		return yes
+	}
+	return no
+}
+
+// E12Result validates the Belady-anomaly taxonomy of Section 7.1: FIFO and
+// clock exhibit the anomaly (hence are not stack algorithms); the stack
+// families never do.
+type E12Result struct {
+	ClassicFIFOCost3 uint64 // 9 on the textbook sequence
+	ClassicFIFOCost4 uint64 // 10
+	FIFOWitness      *stability.AnomalyWitness
+	ClockWitness     *stability.AnomalyWitness
+	// StackAnomalies maps each stack family to a witness; all must be nil.
+	StackAnomalies map[policy.Kind]*stability.AnomalyWitness
+}
+
+// E12Belady runs experiment E12.
+func E12Belady(cfg Config) *E12Result {
+	sCfg := stability.DefaultSearchConfig(cfg.Seed + 2)
+	sCfg.Trials = cfg.pick(3000, 8000)
+	// Anomalies need longer sequences than stability violations: the small
+	// cache must get "lucky" over a full eviction cycle.
+	sCfg.MaxLen = 32
+	seq := stability.ClassicBeladySequence()
+	res := &E12Result{
+		ClassicFIFOCost3: stability.MissCount(policy.NewFactory(policy.FIFOKind, 0), 3, seq),
+		ClassicFIFOCost4: stability.MissCount(policy.NewFactory(policy.FIFOKind, 0), 4, seq),
+		FIFOWitness:      stability.SearchBelady(policy.NewFactory(policy.FIFOKind, 0), sCfg),
+		ClockWitness:     stability.SearchBelady(policy.NewFactory(policy.ClockKind, 0), sCfg),
+		StackAnomalies:   make(map[policy.Kind]*stability.AnomalyWitness),
+	}
+	for _, k := range []policy.Kind{policy.LRUKind, policy.LRU2Kind, policy.LFUKind, policy.ReuseDistKind} {
+		res.StackAnomalies[k] = stability.SearchBelady(policy.NewFactory(k, 0), sCfg)
+	}
+	return res
+}
+
+// Table renders the anomaly results.
+func (r *E12Result) Table() *stats.Table {
+	t := stats.NewTable("E12: Belady's anomaly (Section 7.1)", "check", "outcome")
+	t.AddRow("FIFO classic sequence cost k=3 / k=4",
+		fmt.Sprintf("%d / %d (anomaly: larger cache misses more)", r.ClassicFIFOCost3, r.ClassicFIFOCost4))
+	t.AddRow("FIFO randomized anomaly search", boolOutcome(r.FIFOWitness != nil, "anomaly found", "none found"))
+	t.AddRow("clock randomized anomaly search", boolOutcome(r.ClockWitness != nil, "anomaly found", "none found"))
+	for kind, w := range r.StackAnomalies {
+		t.AddRow(fmt.Sprintf("%v anomaly search (stack family)", kind),
+			boolOutcome(w == nil, "none (stack ✓)", "UNEXPECTED anomaly"))
+	}
+	return t
+}

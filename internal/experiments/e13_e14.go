@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// E13Row is one (schedule, length) point of the rehash-schedule comparison.
+type E13Row struct {
+	Schedule string
+	Reps     int
+	Ratio    stats.Summary // cost vs fully associative LRU at k'
+	Rehashes stats.Summary
+}
+
+// E13Result validates the Section 6 remark: rehashing after a fixed number
+// of *accesses* is broken — an adversary that replays one fixed (1−δ)k-item
+// set forever gives the schedule infinitely many chances to redraw a bad
+// hash, and every full flush forces the whole working set to re-miss. The
+// miss-count schedule settles: once a good hash is found, misses (and hence
+// rehashes) stop.
+type E13Result struct {
+	K      int
+	Alpha  int
+	Delta  float64
+	Trials int
+	Rows   []E13Row
+}
+
+// E13AccessRehash runs experiment E13.
+func E13AccessRehash(cfg Config) *E13Result {
+	k := cfg.pick(1<<9, 1<<10)
+	alpha := cfg.pick(32, 64)
+	const delta = 0.35
+	trials := cfg.pick(6, 12)
+	res := &E13Result{K: k, Alpha: alpha, Delta: delta, Trials: trials}
+
+	type schedule struct {
+		name   string
+		rehash core.RehashConfig
+	}
+	schedules := []schedule{
+		{"no rehash", core.RehashConfig{}},
+		{"every 2k misses (paper)", core.RehashConfig{Mode: core.RehashFullFlush, EveryMisses: uint64(2 * k)}},
+		{"every 2k accesses (broken)", core.RehashConfig{Mode: core.RehashFullFlush, EveryAccesses: uint64(2 * k)}},
+	}
+	for _, reps := range []int{cfg.pick(16, 32), cfg.pick(64, 128), cfg.pick(128, 512)} {
+		attack := adversary.FixedSet{K: k, Delta: delta, Reps: reps}
+		seq := attack.Build()
+		baseline := float64(attack.KPrime()) // conservative LRU at k' misses once per item
+		for _, sch := range schedules {
+			out := sim.RunTrialsVec(trials, cfg.Seed+uint64(reps)<<3, 2, func(_ int, seed uint64) []float64 {
+				sa := core.MustNewSetAssoc(core.SetAssocConfig{
+					Capacity: k, Alpha: alpha, Factory: lruFactory(), Seed: seed,
+					Rehash: sch.rehash,
+				})
+				st := core.RunSequence(sa, seq)
+				return []float64{float64(st.Misses) / baseline, float64(st.Rehashes)}
+			})
+			res.Rows = append(res.Rows, E13Row{
+				Schedule: sch.name, Reps: reps,
+				Ratio: stats.Of(out[0]), Rehashes: stats.Of(out[1]),
+			})
+		}
+	}
+	return res
+}
+
+// RatioFor returns the mean ratio for a (schedule, reps) cell.
+func (r *E13Result) RatioFor(schedule string, reps int) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Schedule == schedule && row.Reps == reps {
+			return row.Ratio.Mean, true
+		}
+	}
+	return 0, false
+}
+
+// Table renders the schedule comparison.
+func (r *E13Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("E13: rehash schedules under the fixed-set replay attack (k=%d, α=%d, δ=%.2f)",
+			r.K, r.Alpha, r.Delta),
+		"schedule", "passes", "cost ratio vs LRU_k'", "±95%", "rehashes")
+	t.Note = "Paper (§6 remark): rehashing every N accesses lets the adversary replay one fixed set\n" +
+		"forever — each flush re-misses the whole working set, so the ratio grows with the passes.\n" +
+		"Rehashing every N misses settles after finitely many redraws."
+	for _, row := range r.Rows {
+		t.AddRowf(row.Schedule, row.Reps, row.Ratio.Mean, row.Ratio.CI95, row.Rehashes.Mean)
+	}
+	return t
+}
+
+// E14Row is one policy of the scan-resistance comparison.
+type E14Row struct {
+	Kind      policy.Kind
+	MissRatio stats.Summary
+}
+
+// E14Result validates footnote 3: LRU-2 outperforms LRU when the workload
+// mixes a hot set with isolated one-shot accesses (scan bursts), because
+// LRU-2 only deems an item important after two recent accesses.
+type E14Result struct {
+	K      int
+	SeqLen int
+	Trials int
+	Rows   []E14Row
+}
+
+// E14LRU2 runs experiment E14.
+func E14LRU2(cfg Config) *E14Result {
+	k := cfg.pick(1<<7, 1<<8)
+	seqLen := cfg.pick(60_000, 400_000)
+	trials := cfg.pick(4, 10)
+	res := &E14Result{K: k, SeqLen: seqLen, Trials: trials}
+
+	// Hot set fills ~3/4 of the cache; bursts half the cache size, arriving
+	// often enough that plain LRU keeps losing hot items.
+	gen := workload.ZipfWithScans{
+		HotUniverse: k * 3 / 4,
+		S:           0.6,
+		BurstEvery:  k,
+		BurstLen:    k / 2,
+	}
+	for _, kind := range []policy.Kind{policy.LRUKind, policy.LRU2Kind, policy.LRU3Kind, policy.LFUKind, policy.FIFOKind} {
+		ratios := sim.RunTrials(trials, cfg.Seed+uint64(kind*131), func(_ int, seed uint64) float64 {
+			fa := core.NewFullAssoc(policy.NewFactory(kind, seed), k)
+			seq := gen.Generate(seqLen, seed)
+			st := core.RunSequence(fa, seq)
+			return st.MissRatio()
+		})
+		res.Rows = append(res.Rows, E14Row{Kind: kind, MissRatio: stats.Of(ratios)})
+	}
+	return res
+}
+
+// MissRatioFor returns the mean miss ratio for one policy kind.
+func (r *E14Result) MissRatioFor(kind policy.Kind) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Kind == kind {
+			return row.MissRatio.Mean, true
+		}
+	}
+	return 0, false
+}
+
+// Table renders the comparison.
+func (r *E14Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("E14: LRU-K scan resistance (k=%d, Zipf hot set + one-shot scan bursts, |σ|=%d)", r.K, r.SeqLen),
+		"policy", "miss ratio", "±95%")
+	t.Note = "Paper footnote 3: LRU-2 often outperforms LRU because it is less sensitive to isolated accesses."
+	for _, row := range r.Rows {
+		t.AddRowf(row.Kind.String(), row.MissRatio.Mean, row.MissRatio.CI95)
+	}
+	return t
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/skewed"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// E19Row is one (d, α) cell of the skewed-associativity sweep.
+type E19Row struct {
+	Choices      int
+	Alpha        int
+	ExcessFactor stats.Summary
+}
+
+// E19Result extends the paper's single-choice model with skewed
+// associativity (Seznec-style d-choice placement): the power of two choices
+// flattens the balls-and-bins tail, so the associativity threshold moves to
+// much smaller α. This quantifies how much of the Θ(log k) threshold is
+// specific to single-choice placement.
+type E19Result struct {
+	K      int
+	Delta  float64
+	Passes int
+	Trials int
+	Rows   []E19Row
+}
+
+// E19Skewed runs experiment E19 on the same workload as E1: repeated scans
+// of a (1−δ)k working set, where the fully associative baseline misses only
+// compulsorily.
+func E19Skewed(cfg Config) *E19Result {
+	k := cfg.pick(1<<10, 1<<12)
+	trials := cfg.pick(8, 20)
+	passes := cfg.pick(6, 10)
+	const delta = 0.5
+	res := &E19Result{K: k, Delta: delta, Passes: passes, Trials: trials}
+
+	kPrime := int((1 - delta) * float64(k))
+	seq := trace.RangeSeq(0, trace.Item(kPrime)).Repeat(passes)
+	baseline := float64(kPrime)
+
+	for _, d := range []int{1, 2, 4} {
+		for _, alpha := range []int{1, 2, 4, 8, 16, 32} {
+			vals := sim.RunTrials(trials, cfg.Seed+uint64(d*100+alpha), func(_ int, seed uint64) float64 {
+				c, err := skewed.New(skewed.Config{Capacity: k, Alpha: alpha, Choices: d, Seed: seed})
+				if err != nil {
+					panic(err)
+				}
+				return float64(core.RunSequence(c, seq).Misses) / baseline
+			})
+			res.Rows = append(res.Rows, E19Row{Choices: d, Alpha: alpha, ExcessFactor: stats.Of(vals)})
+		}
+	}
+	return res
+}
+
+// ExcessFor returns the mean excess factor for a (d, α) cell.
+func (r *E19Result) ExcessFor(d, alpha int) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Choices == d && row.Alpha == alpha {
+			return row.ExcessFactor.Mean, true
+		}
+	}
+	return 0, false
+}
+
+// Table renders the sweep.
+func (r *E19Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("E19: skewed associativity — the threshold under d-choice placement (k=%d, δ=%.2f)", r.K, r.Delta),
+		"choices d", "alpha", "excess-factor", "±95%")
+	t.Note = "Extension beyond the paper: with d independent hash functions per item (Seznec's skewed-\n" +
+		"associative cache), two choices flatten the bucket-load tail and the conflict-miss\n" +
+		"threshold moves to far smaller α than the single-choice Θ(log k)."
+	for _, row := range r.Rows {
+		t.AddRowf(row.Choices, row.Alpha, row.ExcessFactor.Mean, row.ExcessFactor.CI95)
+	}
+	return t
+}

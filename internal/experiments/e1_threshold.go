@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hashfn"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// E1Row is one point of the threshold curve.
+type E1Row struct {
+	Alpha int
+	// ExcessFactor is C(⟨LRU⟩_k, σ) / C(LRU_k', σ) averaged over seeds,
+	// where σ repeatedly scans a working set of k' = (1−δ)k items. The
+	// fully associative cache misses only on the first pass, so this factor
+	// is 1 when associativity costs nothing.
+	ExcessFactor stats.Summary
+	// OverflowProb is the fraction of seeds in which some bucket was
+	// oversubscribed by the working set (the balls-and-bins event that
+	// drives the phenomenon).
+	OverflowProb float64
+}
+
+// E1Result is the headline threshold experiment: with the capacity gap δ
+// fixed, the paging cost of an α-way set-associative LRU cache relative to
+// a fully associative LRU cache of size (1−δ)k collapses from "unboundedly
+// worse" to "equal" as α crosses Θ(log k).
+type E1Result struct {
+	K      int
+	Delta  float64
+	Passes int
+	Trials int
+	Rows   []E1Row
+
+	// Ablation: the same sweep with the weak modulo indexer on a contiguous
+	// working set (stripes perfectly; zero conflicts at any α) and on a
+	// strided working set (collides catastrophically at every α). The point:
+	// without the fully-random model the threshold phenomenon is not about
+	// α at all, it is about luck.
+	ModuloContiguous []E1Row
+	ModuloStrided    []E1Row
+}
+
+// E1Threshold runs experiment E1 (the paper's headline phenomenon).
+func E1Threshold(cfg Config) *E1Result {
+	k := cfg.pick(1<<10, 1<<12)
+	trials := cfg.pick(8, 24)
+	passes := cfg.pick(6, 10)
+	const delta = 0.5 // r = 2 resource augmentation, the Corollary 1 regime
+	res := &E1Result{K: k, Delta: delta, Passes: passes, Trials: trials}
+
+	alphas := alphaSweep(k)
+	kPrime := int((1 - delta) * float64(k))
+	scan := trace.RangeSeq(0, trace.Item(kPrime))
+	seq := scan.Repeat(passes)
+	faCost := uint64(kPrime) // conservative fully associative: compulsory only
+
+	run := func(alpha int, newHasher func(seed uint64, n int) hashfn.Hasher, base trace.Item, stride trace.Item) E1Row {
+		workload := seq
+		if stride > 1 {
+			strided := make(trace.Sequence, 0, len(seq))
+			for _, x := range seq {
+				strided = append(strided, base+x*stride)
+			}
+			workload = strided
+		}
+		overflows := 0
+		vals := sim.RunTrials(trials, cfg.Seed+uint64(alpha), func(_ int, seed uint64) float64 {
+			sa := core.MustNewSetAssoc(core.SetAssocConfig{
+				Capacity: k, Alpha: alpha, Factory: lruFactory(), Seed: seed,
+				NewHasher: newHasher,
+			})
+			st := core.RunSequence(sa, workload)
+			if st.Misses > faCost {
+				overflows++
+			}
+			return float64(st.Misses) / float64(faCost)
+		})
+		return E1Row{
+			Alpha:        alpha,
+			ExcessFactor: stats.Of(vals),
+			OverflowProb: float64(overflows) / float64(trials),
+		}
+	}
+
+	for _, alpha := range alphas {
+		res.Rows = append(res.Rows, run(alpha, nil, 0, 1))
+	}
+	modulo := func(seed uint64, n int) hashfn.Hasher { return hashfn.NewModulo(seed, n) }
+	for _, alpha := range alphas {
+		res.ModuloContiguous = append(res.ModuloContiguous, run(alpha, modulo, 0, 1))
+	}
+	for _, alpha := range alphas {
+		// Stride by the bucket count so that, under modulo indexing, the
+		// whole working set lands in one bucket.
+		res.ModuloStrided = append(res.ModuloStrided, run(alpha, modulo, 0, trace.Item(k/alpha)))
+	}
+	return res
+}
+
+// alphaSweep returns the powers of two from 1 to k/2 (capped to keep rows
+// readable), always including values straddling log₂ k.
+func alphaSweep(k int) []int {
+	var out []int
+	for a := 1; a <= k/2 && a <= 1024; a *= 2 {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Table renders the main curve.
+func (r *E1Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("E1: associativity threshold (k=%d, δ=%.2f, log2 k=%d)", r.K, r.Delta, log2(r.K)),
+		"alpha", "excess-factor", "±95%", "overflow-prob")
+	t.Note = "Excess misses of α-way set-associative LRU over fully associative LRU of size (1−δ)k\n" +
+		"on repeated scans of a (1−δ)k working set. Paper: factor ≫ 1 for α = o(log k), → 1 for α = ω(log k)."
+	for _, row := range r.Rows {
+		t.AddRowf(row.Alpha, row.ExcessFactor.Mean, row.ExcessFactor.CI95, row.OverflowProb)
+	}
+	return t
+}
+
+// AblationTable renders the hash-quality ablation.
+func (r *E1Result) AblationTable() *stats.Table {
+	t := stats.NewTable(
+		"E1 ablation: modulo indexing instead of a fully random hash",
+		"alpha", "contiguous-excess", "strided-excess")
+	t.Note = "Contiguous working sets stripe perfectly under modulo (no conflicts even at α=1);\n" +
+		"strided ones collapse into one bucket (catastrophic at every α). The fully random\n" +
+		"model is what makes the phenomenon about α rather than about address layout."
+	for i := range r.ModuloContiguous {
+		t.AddRowf(r.ModuloContiguous[i].Alpha,
+			r.ModuloContiguous[i].ExcessFactor.Mean,
+			r.ModuloStrided[i].ExcessFactor.Mean)
+	}
+	return t
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ballsbins"
+	"repro/internal/stats"
+)
+
+// E3Row is one (k, α) point of the Lemma 3 validation.
+type E3Row struct {
+	K, Alpha  int
+	Delta     float64
+	Balls     int     // (1−δ)k
+	Bins      int     // k/α
+	Empirical float64 // Monte-Carlo Pr[max load > α]
+	Bound     float64 // exp(−δ²α/12)
+}
+
+// E3Result validates Lemma 3: throwing (1−δ)k balls into k/α bins leaves
+// every bin at load ≤ α except with probability ≤ exp(−δ²α/12), provided
+// δ ≥ sqrt(12·ln(k/α)/α).
+type E3Result struct {
+	Trials int
+	Rows   []E3Row
+}
+
+// E3MaxLoad runs experiment E3.
+func E3MaxLoad(cfg Config) *E3Result {
+	trials := cfg.pick(200, 2000)
+	res := &E3Result{Trials: trials}
+	type point struct{ k, alpha int }
+	points := []point{
+		{1 << 12, 128}, {1 << 12, 256}, {1 << 12, 512},
+		{1 << 14, 256}, {1 << 14, 512}, {1 << 14, 1024},
+	}
+	if cfg.Scale == Quick {
+		points = points[:3]
+	}
+	for i, p := range points {
+		delta := ballsbins.Lemma3DeltaFloor(p.k, p.alpha)
+		if delta > 0.5 {
+			delta = 0.5
+		}
+		m := int((1 - delta) * float64(p.k))
+		n := p.k / p.alpha
+		res.Rows = append(res.Rows, E3Row{
+			K: p.k, Alpha: p.alpha, Delta: delta, Balls: m, Bins: n,
+			Empirical: ballsbins.MaxLoadExceedance(m, n, p.alpha, trials, cfg.Seed+uint64(i)),
+			Bound:     ballsbins.Lemma3Bound(delta, p.alpha),
+		})
+	}
+	return res
+}
+
+// Table renders the Lemma 3 validation.
+func (r *E3Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("E3: Lemma 3 — max bucket load (Monte-Carlo, %d trials/row)", r.Trials),
+		"k", "alpha", "delta", "balls", "bins", "Pr[max>α] empirical", "paper bound")
+	t.Note = "Paper: Pr[max load > α] ≤ exp(−δ²α/12) at δ = sqrt(12·ln(k/α)/α)."
+	for _, row := range r.Rows {
+		t.AddRowf(row.K, row.Alpha, row.Delta, row.Balls, row.Bins, row.Empirical, row.Bound)
+	}
+	return t
+}
+
+// E4Row is one (n, m, ε) point of the Lemma 4 validation.
+type E4Row struct {
+	Bins, Balls  int
+	Eps          float64
+	F            float64 // f(n, m, ε)
+	Threshold    float64 // f/8
+	MeanSat      float64 // mean saturated-bin count
+	SuccessFrac  float64 // fraction of trials with count > f/8
+	GuaranteeLow float64 // 1 − exp(−f/32)
+}
+
+// E4Result validates Lemma 4: the number of εh-saturated bins exceeds
+// f(n,m,ε)/8 with probability at least 1 − exp(−f/32). This is the
+// saturation engine behind the Theorem 4 adversary.
+type E4Result struct {
+	Trials int
+	Rows   []E4Row
+}
+
+// E4Saturated runs experiment E4, using the Theorem 4 parameterization
+// n = k/α, m = (1−δ)k, ε = 2δ/(1−δ).
+func E4Saturated(cfg Config) *E4Result {
+	trials := cfg.pick(150, 1000)
+	res := &E4Result{Trials: trials}
+	type point struct {
+		k, alpha int
+		delta    float64
+	}
+	points := []point{
+		{1 << 12, 8, 0.15}, {1 << 12, 16, 0.2}, {1 << 12, 32, 0.15},
+		{1 << 14, 16, 0.15}, {1 << 14, 32, 0.1},
+	}
+	if cfg.Scale == Quick {
+		points = points[:3]
+	}
+	for i, p := range points {
+		n := p.k / p.alpha
+		m := int((1 - p.delta) * float64(p.k))
+		eps := 2 * p.delta / (1 - p.delta)
+		successFrac, meanSat := ballsbins.SaturationStats(m, n, eps, trials, cfg.Seed+uint64(100+i))
+		res.Rows = append(res.Rows, E4Row{
+			Bins: n, Balls: m, Eps: eps,
+			F:            ballsbins.F(n, m, eps),
+			Threshold:    ballsbins.Lemma4Threshold(n, m, eps),
+			MeanSat:      meanSat,
+			SuccessFrac:  successFrac,
+			GuaranteeLow: 1 - ballsbins.Lemma4FailureBound(n, m, eps),
+		})
+	}
+	return res
+}
+
+// Table renders the Lemma 4 validation.
+func (r *E4Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("E4: Lemma 4 — εh-saturated bins (Monte-Carlo, %d trials/row)", r.Trials),
+		"bins", "balls", "eps", "f(n,m,ε)", "f/8", "mean saturated", "Pr[>f/8] emp", "paper floor")
+	t.Note = "Paper: more than f/8 bins are εh-saturated w.p. ≥ 1 − exp(−f/32); ε = 2δ/(1−δ) as in Theorem 4."
+	for _, row := range r.Rows {
+		t.AddRowf(row.Bins, row.Balls, row.Eps, row.F, row.Threshold,
+			row.MeanSat, row.SuccessFrac, row.GuaranteeLow)
+	}
+	return t
+}

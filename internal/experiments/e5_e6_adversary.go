@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// E5Row is one (policy, α) point of the Theorem 4 validation.
+type E5Row struct {
+	Kind  policy.Kind
+	Alpha int
+	// FullAssocCost is C(A_k', σ): for conservative policies exactly k'·s.
+	FullAssocCost stats.Summary
+	// SetAssocCost is C(⟨A⟩_k, σ).
+	SetAssocCost stats.Summary
+	// Ratio is the empirical competitive ratio.
+	Ratio stats.Summary
+	// ConservativeBaseline reports whether the fully associative cost hit
+	// the k'·s floor exactly in every trial (the conservative property the
+	// proof of Theorem 4 relies on).
+	ConservativeBaseline bool
+}
+
+// E5Result validates Theorem 4: the adversarial sequence (s disjoint sets of
+// (1−δ)k items, each replayed t times) forces the set-associative cache far
+// above the fully associative baseline, for every conservative policy.
+//
+// Reproduction note: the paper claims LFU is conservative; it is not (see
+// policy.Kind.Conservative). The LFU rows show exactly the failure mode: its
+// fully associative baseline cost explodes past k'·s because frequency
+// counts from earlier phases pin dead items, so the measured "competitive
+// ratio" is small for the wrong reason. The Theorem 4 *mechanism* (bucket
+// oversubscription in the set-associative cache) still fires for LFU.
+type E5Result struct {
+	K      int
+	Delta  float64
+	Sets   int
+	Reps   int
+	KPrime int
+	Trials int
+	Rows   []E5Row
+}
+
+// E5Adversary runs experiment E5.
+func E5Adversary(cfg Config) *E5Result {
+	k := cfg.pick(1<<8, 1<<9)
+	trials := cfg.pick(4, 12)
+	const delta = 0.25
+	adv := adversary.Theorem4{K: k, Delta: delta, Sets: 8, Reps: cfg.pick(8, 24)}
+	res := &E5Result{
+		K: k, Delta: delta, Sets: adv.Sets, Reps: adv.Reps,
+		KPrime: adv.KPrime(), Trials: trials,
+	}
+	seq := adv.Build()
+	floor := uint64(adv.KPrime() * adv.Sets)
+
+	kinds := []policy.Kind{policy.LRUKind, policy.FIFOKind, policy.ClockKind, policy.LFUKind}
+	for _, kind := range kinds {
+		for _, alpha := range []int{2, 4, 8} {
+			out := sim.RunTrialsVec(trials, cfg.Seed^uint64(alpha)<<8^uint64(kind), 2, func(_ int, seed uint64) []float64 {
+				factory := policy.NewFactory(kind, seed)
+				sa := core.MustNewSetAssoc(core.SetAssocConfig{
+					Capacity: k, Alpha: alpha, Factory: factory, Seed: seed,
+				})
+				fa := core.NewFullAssoc(factory, adv.KPrime())
+				saCost := core.RunSequence(sa, seq).Misses
+				faCost := core.RunSequence(fa, seq).Misses
+				return []float64{float64(saCost), float64(faCost)}
+			})
+			saCosts, faCosts := out[0], out[1]
+			ratios := make([]float64, trials)
+			conservative := true
+			for i := range ratios {
+				ratios[i] = saCosts[i] / faCosts[i]
+				if uint64(faCosts[i]) != floor {
+					conservative = false
+				}
+			}
+			res.Rows = append(res.Rows, E5Row{
+				Kind: kind, Alpha: alpha,
+				FullAssocCost:        stats.Of(faCosts),
+				SetAssocCost:         stats.Of(saCosts),
+				Ratio:                stats.Of(ratios),
+				ConservativeBaseline: conservative,
+			})
+		}
+	}
+	return res
+}
+
+// Table renders the Theorem 4 validation.
+func (r *E5Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("E5: Theorem 4 adversary (k=%d, δ=%.2f, s=%d sets × t=%d reps, k'=%d)",
+			r.K, r.Delta, r.Sets, r.Reps, r.KPrime),
+		"policy", "alpha", "C(fullassoc k')", "C(setassoc k)", "ratio", "baseline=k'·s")
+	t.Note = "Paper: conservative A misses exactly k'·s fully associatively, while ⟨A⟩_k pays conflict\n" +
+		"misses on every repetition of an unlucky set — ratio grows with t. LFU's baseline column\n" +
+		"documents the paper's Section 3 slip: LFU is not conservative, so its floor is violated."
+	for _, row := range r.Rows {
+		t.AddRowf(row.Kind.String(), row.Alpha,
+			row.FullAssocCost.Mean, row.SetAssocCost.Mean, row.Ratio.Mean, row.ConservativeBaseline)
+	}
+	return t
+}
+
+// E6Row is one regime of Proposition 2.
+type E6Row struct {
+	Regime       string
+	Alpha        int
+	Augmentation float64
+	TargetC      float64
+	SeqLen       int
+	Ratio        stats.Summary
+	// NotCompetitive reports whether the measured ratio beat the target c
+	// in the majority of trials (the "not c-competitive w.p. ≥ 1/2" form).
+	NotCompetitive bool
+}
+
+// E6Result validates Proposition 2: in each of the three regimes —
+// (1) logarithmic α with barely-super-1 augmentation, (2) sub-logarithmic α
+// with constant augmentation, (3) direct-mapped (α = 1) with sub-logarithmic
+// augmentation — set-associative LRU is not c-competitive on sequences of
+// length O(k^{1+o(1)})·α.
+type E6Result struct {
+	K      int
+	Trials int
+	Rows   []E6Row
+}
+
+// E6Regimes runs experiment E6.
+func E6Regimes(cfg Config) *E6Result {
+	k := cfg.pick(1<<8, 1<<9)
+	trials := cfg.pick(6, 16)
+	res := &E6Result{K: k, Trials: trials}
+	lg := log2(k)
+
+	type regime struct {
+		name  string
+		alpha int
+		r     float64
+		c     float64
+		sets  int
+		reps  int
+	}
+	regimes := []regime{
+		// (1) α = Θ(log k), r = 1 + o(√(log k/α)): tiny capacity gap.
+		{"alpha=Θ(log k), r→1", nextPow2(lg), 1.02, 2, 8, cfg.pick(16, 48)},
+		// (2) α = o(log k), r = O(1).
+		{"alpha=o(log k), r=2", 2, 2, 2, 8, cfg.pick(16, 48)},
+		// (3) α = 1 (direct-mapped), r = o(log k).
+		{"alpha=1 (direct), r=3", 1, 3, 2, 8, cfg.pick(16, 48)},
+	}
+	for i, rg := range regimes {
+		delta := 1 - 1/rg.r
+		adv := adversary.Theorem4{K: k, Delta: delta, Sets: rg.sets, Reps: rg.reps}
+		seq := adv.Build()
+		ratios := sim.RunTrials(trials, cfg.Seed+uint64(1000*i), func(_ int, seed uint64) float64 {
+			sa := core.MustNewSetAssoc(core.SetAssocConfig{
+				Capacity: k, Alpha: rg.alpha, Factory: lruFactory(), Seed: seed,
+			})
+			fa := core.NewFullAssoc(lruFactory(), adv.KPrime())
+			saCost := core.RunSequence(sa, seq).Misses
+			faCost := core.RunSequence(fa, seq).Misses
+			return float64(saCost) / float64(faCost)
+		})
+		beat := 0
+		for _, ratio := range ratios {
+			if ratio > rg.c {
+				beat++
+			}
+		}
+		res.Rows = append(res.Rows, E6Row{
+			Regime: rg.name, Alpha: rg.alpha, Augmentation: rg.r, TargetC: rg.c,
+			SeqLen: len(seq), Ratio: stats.Of(ratios),
+			NotCompetitive: beat*2 > trials,
+		})
+	}
+	return res
+}
+
+// Table renders the Proposition 2 validation.
+func (r *E6Result) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("E6: Proposition 2 — non-competitiveness regimes (k=%d)", r.K),
+		"regime", "alpha", "augment r", "target c", "|σ|", "measured ratio", "not-c-competitive")
+	t.Note = "Paper: in each regime there is a sequence of length O(α·k^{1+o(1)}) on which ⟨LRU⟩_k\n" +
+		"is not c-competitive with LRU_{k/r} (w.p. ≥ 1/2 over the hash)."
+	for _, row := range r.Rows {
+		t.AddRowf(row.Regime, row.Alpha, row.Augmentation, row.TargetC,
+			row.SeqLen, row.Ratio.Mean, row.NotCompetitive)
+	}
+	return t
+}

@@ -1,0 +1,189 @@
+// Package hwcache is an address-level hardware-cache front end over the
+// library's cache simulators: byte addresses are split into cache lines,
+// and a multi-level hierarchy (e.g. L1/L2) of set-associative caches serves
+// each line access, with a latency model for average-memory-access-time
+// estimates.
+//
+// Real hardware indexes sets by address bits — exactly the Modulo indexer
+// of internal/hashfn — which is why power-of-two strides are pathological
+// on real machines. The paper's model (and the randomized indexing of
+// Topham and González [57] it builds on) replaces bit selection with a
+// random hash. The hierarchy supports both, and experiment E15 measures the
+// difference on the classic matrix column-walk pathology.
+package hwcache
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hashfn"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	// Name labels the level in reports ("L1", "L2", ...).
+	Name string
+	// Lines is the level's capacity in cache lines.
+	Lines int
+	// Alpha is the associativity; must divide Lines.
+	Alpha int
+	// Kind is the per-set replacement policy (hardware is typically LRU or
+	// an approximation like clock).
+	Kind policy.Kind
+	// Latency is the hit latency in cycles.
+	Latency uint64
+}
+
+// Config describes a hierarchy.
+type Config struct {
+	// LineSize is the cache-line size in bytes; must be a power of two.
+	LineSize int
+	// Levels are ordered nearest-first (L1 first). At least one required.
+	Levels []LevelConfig
+	// MemLatency is the cost in cycles of missing every level.
+	MemLatency uint64
+	// Seed drives the randomized indexing.
+	Seed uint64
+	// BitSelect selects hardware-style bit-selection (modulo) indexing
+	// instead of the paper's randomized indexing.
+	BitSelect bool
+}
+
+// Hierarchy simulates a multi-level set-associative cache hierarchy.
+type Hierarchy struct {
+	cfg        Config
+	lineShift  uint
+	levels     []core.Cache
+	hitsAt     []uint64 // per level
+	memMisses  uint64
+	accesses   uint64
+	cycleTotal uint64
+}
+
+// New builds a hierarchy.
+func New(cfg Config) (*Hierarchy, error) {
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		return nil, fmt.Errorf("hwcache: line size %d must be a positive power of two", cfg.LineSize)
+	}
+	if len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("hwcache: at least one level required")
+	}
+	h := &Hierarchy{cfg: cfg, hitsAt: make([]uint64, len(cfg.Levels))}
+	for s := cfg.LineSize; s > 1; s >>= 1 {
+		h.lineShift++
+	}
+	for i, lv := range cfg.Levels {
+		if lv.Lines <= 0 || lv.Alpha <= 0 || lv.Lines%lv.Alpha != 0 {
+			return nil, fmt.Errorf("hwcache: level %d bad geometry lines=%d α=%d", i, lv.Lines, lv.Alpha)
+		}
+		saCfg := core.SetAssocConfig{
+			Capacity: lv.Lines,
+			Alpha:    lv.Alpha,
+			Factory:  policy.NewFactory(lv.Kind, cfg.Seed),
+			Seed:     cfg.Seed + uint64(i)*0x9e3779b97f4a7c15,
+		}
+		if cfg.BitSelect {
+			saCfg.NewHasher = func(_ uint64, n int) hashfn.Hasher {
+				// Hardware bit selection ignores the seed: the set index is
+				// the line number modulo the set count.
+				return hashfn.NewModulo(0, n)
+			}
+		}
+		sa, err := core.NewSetAssoc(saCfg)
+		if err != nil {
+			return nil, fmt.Errorf("hwcache: level %d: %w", i, err)
+		}
+		h.levels = append(h.levels, sa)
+	}
+	return h, nil
+}
+
+// MustNew is New, panicking on configuration errors.
+func MustNew(cfg Config) *Hierarchy {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Line returns the cache-line item a byte address belongs to.
+func (h *Hierarchy) Line(addr uint64) trace.Item {
+	return trace.Item(addr >> h.lineShift)
+}
+
+// Access serves one byte-address access and returns the index of the level
+// that supplied the line (len(levels) means main memory). Lower levels are
+// filled on the way back (inclusive hierarchy, no writeback modelling —
+// the paper's cost model counts fetches only).
+func (h *Hierarchy) Access(addr uint64) int {
+	h.accesses++
+	line := h.Line(addr)
+	suppliedBy := len(h.levels)
+	for i, c := range h.levels {
+		if c.Access(line) {
+			suppliedBy = i
+			break
+		}
+	}
+	if suppliedBy == len(h.levels) {
+		h.memMisses++
+		h.cycleTotal += h.cfg.MemLatency
+	} else {
+		h.hitsAt[suppliedBy]++
+		h.cycleTotal += h.cfg.Levels[suppliedBy].Latency
+	}
+	return suppliedBy
+}
+
+// AccessAll serves a slice of byte addresses.
+func (h *Hierarchy) AccessAll(addrs []uint64) {
+	for _, a := range addrs {
+		h.Access(a)
+	}
+}
+
+// Accesses returns the number of accesses served.
+func (h *Hierarchy) Accesses() uint64 { return h.accesses }
+
+// HitsAt returns the number of accesses supplied by level i.
+func (h *Hierarchy) HitsAt(i int) uint64 { return h.hitsAt[i] }
+
+// MemMisses returns the number of accesses that went to memory.
+func (h *Hierarchy) MemMisses() uint64 { return h.memMisses }
+
+// LevelStats returns the raw simulator counters for level i. Note that a
+// level only sees the accesses that missed all nearer levels.
+func (h *Hierarchy) LevelStats(i int) core.Stats { return h.levels[i].Stats() }
+
+// MissRatio returns the fraction of accesses that reached memory.
+func (h *Hierarchy) MissRatio() float64 {
+	if h.accesses == 0 {
+		return 0
+	}
+	return float64(h.memMisses) / float64(h.accesses)
+}
+
+// AMAT returns the average memory access time in cycles under the
+// configured latency model.
+func (h *Hierarchy) AMAT() float64 {
+	if h.accesses == 0 {
+		return 0
+	}
+	return float64(h.cycleTotal) / float64(h.accesses)
+}
+
+// Reset restores the hierarchy to its initial state.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.levels {
+		c.Reset()
+	}
+	for i := range h.hitsAt {
+		h.hitsAt[i] = 0
+	}
+	h.memMisses = 0
+	h.accesses = 0
+	h.cycleTotal = 0
+}

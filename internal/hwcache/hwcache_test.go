@@ -1,0 +1,157 @@
+package hwcache
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func l1l2(bitSelect bool) Config {
+	return Config{
+		LineSize: 64,
+		Levels: []LevelConfig{
+			{Name: "L1", Lines: 512, Alpha: 8, Kind: policy.LRUKind, Latency: 4},
+			{Name: "L2", Lines: 8192, Alpha: 16, Kind: policy.LRUKind, Latency: 12},
+		},
+		MemLatency: 200,
+		Seed:       1,
+		BitSelect:  bitSelect,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{LineSize: 0, Levels: []LevelConfig{{Lines: 8, Alpha: 2, Kind: policy.LRUKind}}},
+		{LineSize: 48, Levels: []LevelConfig{{Lines: 8, Alpha: 2, Kind: policy.LRUKind}}},
+		{LineSize: 64},
+		{LineSize: 64, Levels: []LevelConfig{{Lines: 8, Alpha: 3, Kind: policy.LRUKind}}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestLineMapping(t *testing.T) {
+	h := MustNew(l1l2(false))
+	if h.Line(0) != 0 || h.Line(63) != 0 || h.Line(64) != 1 || h.Line(6400) != 100 {
+		t.Fatalf("line mapping broken: %d %d %d %d", h.Line(0), h.Line(63), h.Line(64), h.Line(6400))
+	}
+}
+
+func TestSpatialLocality(t *testing.T) {
+	// Walking bytes sequentially touches each 64-byte line 64 times: only
+	// 1/64 of accesses can miss anywhere.
+	h := MustNew(l1l2(false))
+	addrs := SequentialWalk(64*1024, 1<<30, 1)
+	h.AccessAll(addrs)
+	if h.MemMisses() != 1024 {
+		t.Fatalf("mem misses = %d, want 1024 cold lines", h.MemMisses())
+	}
+	if h.HitsAt(0) != uint64(len(addrs))-1024 {
+		t.Fatalf("L1 hits = %d", h.HitsAt(0))
+	}
+}
+
+func TestInclusionAndLevels(t *testing.T) {
+	// A working set that fits L2 but not L1: after warmup, accesses hit L2
+	// (or L1), never memory.
+	h := MustNew(l1l2(false))
+	// 2048 lines = 128 KiB: 4× L1, fits L2 (8192 lines).
+	addrs := SequentialWalk(3*2048*64, 2048*64, 64)
+	h.AccessAll(addrs)
+	if h.MemMisses() != 2048 {
+		t.Fatalf("mem misses = %d, want 2048 compulsory", h.MemMisses())
+	}
+	if h.HitsAt(1) == 0 {
+		t.Fatal("expected L2 hits for the L1-overflowing working set")
+	}
+}
+
+func TestAMATBounds(t *testing.T) {
+	h := MustNew(l1l2(false))
+	addrs := PointerChase(50_000, 4096, 64, 3)
+	h.AccessAll(addrs)
+	amat := h.AMAT()
+	if amat < 4 || amat > 200 {
+		t.Fatalf("AMAT = %.1f outside [4, 200]", amat)
+	}
+	if h.Accesses() != 50_000 {
+		t.Fatalf("accesses = %d", h.Accesses())
+	}
+	counts := h.HitsAt(0) + h.HitsAt(1) + h.MemMisses()
+	if counts != h.Accesses() {
+		t.Fatalf("level counts %d != accesses %d", counts, h.Accesses())
+	}
+}
+
+// TestColumnWalkPathology is the E15 story in miniature: a column walk with
+// power-of-two leading dimension thrashes under bit-selection indexing but
+// is fine under randomized indexing.
+func TestColumnWalkPathology(t *testing.T) {
+	// Matrix: 256 rows × 8 cols of 8-byte elements, ld = 1024 elements
+	// (8 KiB row stride). Column stride = 8 KiB: under bit selection with
+	// 64 sets × 64 B lines (L1: 512 lines / 8-way = 64 sets → set index
+	// cycles every 64·64 B = 4 KiB), every element of a column maps to at
+	// most 2 distinct sets (8 KiB stride ≡ 0 mod 4 KiB) — 256 rows hammer
+	// 8-way sets. Randomized indexing spreads them.
+	addrs := ColumnWalk(256, 8, 8, 1024, 6)
+
+	bit := MustNew(l1l2(true))
+	bit.AccessAll(addrs)
+	rnd := MustNew(l1l2(false))
+	rnd.AccessAll(addrs)
+
+	// Working set: 256 rows × 8 cols, one 64B line per element-row pair →
+	// 2048 distinct lines... it fits L2 either way; compare L1 behaviour
+	// via AMAT.
+	if bit.AMAT() < 1.5*rnd.AMAT() {
+		t.Errorf("bit-selection AMAT %.1f should be ≫ randomized %.1f on the column walk",
+			bit.AMAT(), rnd.AMAT())
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := MustNew(l1l2(false))
+	addrs := PointerChase(10_000, 1024, 64, 5)
+	h.AccessAll(addrs)
+	first := h.AMAT()
+	h.Reset()
+	if h.Accesses() != 0 || h.MemMisses() != 0 {
+		t.Fatal("Reset left counters")
+	}
+	h.AccessAll(addrs)
+	if h.AMAT() != first {
+		t.Fatalf("replay AMAT %.3f != %.3f", h.AMAT(), first)
+	}
+}
+
+func TestPatternPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("SequentialWalk zero stride", func() { SequentialWalk(1, 10, 0) })
+	mustPanic("ColumnWalk ld<cols", func() { ColumnWalk(2, 8, 8, 4, 1) })
+	mustPanic("PointerChase slots=0", func() { PointerChase(1, 0, 8, 1) })
+}
+
+func TestPointerChaseCoversAllSlots(t *testing.T) {
+	addrs := PointerChase(4096, 64, 8, 7)
+	seen := map[uint64]bool{}
+	for _, a := range addrs {
+		seen[a] = true
+	}
+	// A permutation cycle may decompose into sub-cycles; the chase from
+	// slot 0 covers its own cycle. At minimum it repeats and stays in range.
+	for a := range seen {
+		if a >= 64*8 {
+			t.Fatalf("address %d out of range", a)
+		}
+	}
+}

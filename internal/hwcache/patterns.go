@@ -1,0 +1,71 @@
+package hwcache
+
+import (
+	"fmt"
+
+	"repro/internal/hashfn"
+)
+
+// Address-pattern generators for hardware-flavored workloads. These emit
+// byte addresses (not items); the hierarchy's line mapping and indexing
+// decide how they collide.
+
+// SequentialWalk returns n addresses walking an array of the given byte
+// size forward with the given element stride, wrapping around.
+func SequentialWalk(n int, arrayBytes, stride uint64) []uint64 {
+	if arrayBytes == 0 || stride == 0 {
+		panic("hwcache: zero array or stride")
+	}
+	out := make([]uint64, n)
+	var off uint64
+	for i := range out {
+		out[i] = off
+		off = (off + stride) % arrayBytes
+	}
+	return out
+}
+
+// ColumnWalk returns the addresses of a column-major walk over a row-major
+// matrix: rows × cols elements of elemSize bytes with leading dimension
+// ld (in elements, ≥ cols). Iterating down a column strides by ld·elemSize
+// bytes — with a power-of-two ld this is the canonical conflict-miss
+// pathology under bit-selection indexing.
+func ColumnWalk(rows, cols int, elemSize, ld uint64, passes int) []uint64 {
+	if ld < uint64(cols) {
+		panic(fmt.Sprintf("hwcache: ld %d < cols %d", ld, cols))
+	}
+	out := make([]uint64, 0, rows*cols*passes)
+	for p := 0; p < passes; p++ {
+		for c := 0; c < cols; c++ {
+			for r := 0; r < rows; r++ {
+				out = append(out, (uint64(r)*ld+uint64(c))*elemSize)
+			}
+		}
+	}
+	return out
+}
+
+// PointerChase returns n addresses following a random permutation cycle
+// over slots slots of slotSize bytes — a dependent-load pattern with no
+// spatial locality and working set slots·slotSize.
+func PointerChase(n, slots int, slotSize uint64, seed uint64) []uint64 {
+	if slots <= 0 {
+		panic("hwcache: slots must be positive")
+	}
+	perm := make([]int, slots)
+	for i := range perm {
+		perm[i] = i
+	}
+	seq := hashfn.NewSeedSequence(seed)
+	for i := slots - 1; i > 0; i-- {
+		j := int((seq.Next() >> 32) * uint64(i+1) >> 32)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	out := make([]uint64, n)
+	cur := 0
+	for i := range out {
+		out[i] = uint64(cur) * slotSize
+		cur = perm[cur]
+	}
+	return out
+}

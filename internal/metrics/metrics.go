@@ -1,0 +1,66 @@
+// Package metrics classifies cache misses using the standard 3C model the
+// paper's introduction references: compulsory misses (first access ever),
+// capacity misses (the working set exceeds the cache: a same-size fully
+// associative LRU cache also misses), and conflict misses (caused purely by
+// the associativity restriction — the miss would have hit under full
+// associativity). Conflict misses are exactly what the adversary of
+// Theorem 4 manufactures and what rehashing repairs.
+package metrics
+
+import (
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Breakdown partitions the misses of a set-associative cache run.
+type Breakdown struct {
+	Accesses   uint64
+	Hits       uint64
+	Compulsory uint64
+	Capacity   uint64
+	Conflict   uint64
+}
+
+// Misses returns the total miss count.
+func (b Breakdown) Misses() uint64 { return b.Compulsory + b.Capacity + b.Conflict }
+
+// ConflictRatio returns the fraction of all accesses that conflict-missed.
+func (b Breakdown) ConflictRatio() float64 {
+	if b.Accesses == 0 {
+		return 0
+	}
+	return float64(b.Conflict) / float64(b.Accesses)
+}
+
+// Classify runs seq through the given set-associative cache and a fully
+// associative LRU reference of the same total capacity, attributing each
+// set-associative miss to one 3C class:
+//
+//   - compulsory: the item has never been accessed before;
+//   - capacity:   the fully associative reference also misses;
+//   - conflict:   the fully associative reference hits.
+//
+// The cache must be freshly constructed (or Reset).
+func Classify(seq trace.Sequence, cache core.Cache) Breakdown {
+	ref := core.NewFullAssoc(policy.NewFactory(policy.LRUKind, 0), cache.Capacity())
+	seen := make(trace.ItemSet, 1024)
+	var b Breakdown
+	for _, x := range seq {
+		refHit := ref.Access(x)
+		hit := cache.Access(x)
+		b.Accesses++
+		switch {
+		case hit:
+			b.Hits++
+		case !seen.Contains(x):
+			b.Compulsory++
+		case refHit:
+			b.Conflict++
+		default:
+			b.Capacity++
+		}
+		seen.Add(x)
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func lruFactory() policy.Factory { return policy.NewFactory(policy.LRUKind, 0) }
+
+func TestClassifyPureCompulsory(t *testing.T) {
+	// Distinct cold items that always fit: every miss is compulsory.
+	sa := core.MustNewSetAssoc(core.SetAssocConfig{Capacity: 16, Alpha: 16, Factory: lruFactory(), Seed: 1})
+	b := Classify(trace.RangeSeq(0, 10), sa)
+	if b.Compulsory != 10 || b.Capacity != 0 || b.Conflict != 0 || b.Hits != 0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if b.Misses() != 10 {
+		t.Fatalf("Misses = %d", b.Misses())
+	}
+}
+
+func TestClassifyCapacityMisses(t *testing.T) {
+	// Cycle over 2k items with a fully-associative-equivalent cache (α=k):
+	// after the first pass everything is a capacity miss, never conflict.
+	const k = 8
+	sa := core.MustNewSetAssoc(core.SetAssocConfig{Capacity: k, Alpha: k, Factory: lruFactory(), Seed: 1})
+	seq := trace.RangeSeq(0, 2*k).Repeat(4)
+	b := Classify(seq, sa)
+	if b.Conflict != 0 {
+		t.Fatalf("α=k cache cannot have conflict misses, got %d", b.Conflict)
+	}
+	if b.Compulsory != 2*k {
+		t.Fatalf("compulsory = %d, want %d", b.Compulsory, 2*k)
+	}
+	if b.Capacity == 0 {
+		t.Fatal("expected capacity misses on an oversized cycle")
+	}
+}
+
+func TestClassifyConflictMisses(t *testing.T) {
+	// A working set exactly the cache size never capacity-misses after
+	// warmup, so all repeat misses of a low-associativity cache are
+	// conflict misses.
+	const k = 64
+	sa := core.MustNewSetAssoc(core.SetAssocConfig{Capacity: k, Alpha: 1, Factory: lruFactory(), Seed: 3})
+	seq := trace.RangeSeq(0, k).Repeat(6)
+	b := Classify(seq, sa)
+	if b.Compulsory != k {
+		t.Fatalf("compulsory = %d, want %d", b.Compulsory, k)
+	}
+	if b.Capacity != 0 {
+		t.Fatalf("capacity misses = %d, want 0 (working set fits)", b.Capacity)
+	}
+	if b.Conflict == 0 {
+		t.Fatal("direct-mapped cache should conflict-miss on this workload")
+	}
+	if b.ConflictRatio() <= 0 {
+		t.Fatal("ConflictRatio should be positive")
+	}
+}
+
+func TestClassifyAccounting(t *testing.T) {
+	sa := core.MustNewSetAssoc(core.SetAssocConfig{Capacity: 16, Alpha: 2, Factory: lruFactory(), Seed: 9})
+	seq := trace.RangeSeq(0, 40).Repeat(3)
+	b := Classify(seq, sa)
+	if b.Accesses != uint64(len(seq)) {
+		t.Fatalf("accesses = %d, want %d", b.Accesses, len(seq))
+	}
+	if b.Hits+b.Misses() != b.Accesses {
+		t.Fatalf("hits %d + misses %d != accesses %d", b.Hits, b.Misses(), b.Accesses)
+	}
+	// The breakdown must agree with the cache's own counters.
+	if b.Misses() != sa.Stats().Misses {
+		t.Fatalf("breakdown misses %d != cache misses %d", b.Misses(), sa.Stats().Misses)
+	}
+}
+
+func TestConflictRatioEmptyRun(t *testing.T) {
+	var b Breakdown
+	if b.ConflictRatio() != 0 {
+		t.Fatal("empty breakdown should have ratio 0")
+	}
+}

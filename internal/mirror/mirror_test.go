@@ -1,0 +1,169 @@
+package mirror
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func lruFactory() policy.Factory { return policy.NewFactory(policy.LRUKind, 0) }
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Capacity: 0, Alpha: 1, SimCapacity: 1, Factory: lruFactory()},
+		{Capacity: 8, Alpha: 3, SimCapacity: 4, Factory: lruFactory()},
+		{Capacity: 8, Alpha: 2, SimCapacity: 0, Factory: lruFactory()},
+		{Capacity: 8, Alpha: 2, SimCapacity: 9, Factory: lruFactory()},
+		{Capacity: 8, Alpha: 2, SimCapacity: 4, Factory: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+// TestMirrorSubsetOfSimulation: without overflows, the mirror's contents
+// are exactly the items currently held by the simulation that have been
+// placed; overall the mirror is always a subset of the simulation.
+func TestMirrorSubsetOfSimulation(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 64, Alpha: 8, SimCapacity: 48, Factory: lruFactory(), Seed: 5})
+	seq := workload.Uniform{Universe: 100}.Generate(5000, 3)
+	for _, x := range seq {
+		c.Access(x)
+		if c.Len() > c.Capacity() {
+			t.Fatal("capacity exceeded")
+		}
+	}
+	simSet := trace.NewItemSet(c.Sim().Items()...)
+	for _, it := range c.Items() {
+		if !simSet.Contains(it) {
+			t.Fatalf("mirror holds %v which the simulation evicted", it)
+		}
+	}
+}
+
+// TestMirrorMatchesSimulationWithoutOverflow: when buckets never overflow,
+// every simulation-resident item that was accessed stays mirrored, so the
+// mirror's misses equal the fully associative algorithm's misses.
+func TestMirrorMatchesSimulationWithoutOverflow(t *testing.T) {
+	// 16 distinct items in a 64-slot/8-way cache: overflow impossible until
+	// 9 items share a bucket, which 16 random items won't do (checked).
+	c := mustNew(t, Config{Capacity: 64, Alpha: 8, SimCapacity: 16, Factory: lruFactory(), Seed: 9})
+	fa := core.NewFullAssoc(lruFactory(), 16)
+	seq := workload.Uniform{Universe: 16}.Generate(4000, 11)
+	for _, x := range seq {
+		mh := c.Access(x)
+		fh := fa.Access(x)
+		if c.Overflows() == 0 && mh != fh {
+			t.Fatalf("mirror and simulation disagree on %v without overflow", x)
+		}
+	}
+	if c.Overflows() == 0 && c.Stats().Misses != fa.Stats().Misses {
+		t.Fatalf("mirror %d misses, fully associative %d", c.Stats().Misses, fa.Stats().Misses)
+	}
+}
+
+// TestOverflowsRareWithAugmentation is the technique's selling point: with
+// (1−δ)-augmentation in the Lemma 3 regime, forced overflows are rare, and
+// the mirror's cost stays close to the fully associative cost.
+func TestOverflowsRareWithAugmentation(t *testing.T) {
+	const k, alpha = 1024, 64
+	kPrime := k / 2
+	c := mustNew(t, Config{Capacity: k, Alpha: alpha, SimCapacity: kPrime, Factory: lruFactory(), Seed: 13})
+	fa := core.NewFullAssoc(lruFactory(), kPrime)
+	seq := workload.Zipf{Universe: 2 * k, S: 0.8, Shuffle: true}.Generate(100_000, 17)
+	for _, x := range seq {
+		c.Access(x)
+		fa.Access(x)
+	}
+	if c.Overflows() > uint64(len(seq)/1000) {
+		t.Fatalf("overflows = %d, expected rare", c.Overflows())
+	}
+	mirror, full := c.Stats().Misses, fa.Stats().Misses
+	if float64(mirror) > 1.02*float64(full) {
+		t.Fatalf("mirror misses %d vs fully associative %d", mirror, full)
+	}
+}
+
+// TestWorksForNonStablePolicies: the whole point of the technique is that
+// it works for any policy, including FIFO (which the paper's native
+// analysis cannot cover because FIFO is not stable). The mirror's cost must
+// track fully associative FIFO.
+func TestWorksForNonStablePolicies(t *testing.T) {
+	const k, alpha = 512, 32
+	kPrime := k * 3 / 4
+	for _, kind := range []policy.Kind{policy.FIFOKind, policy.ClockKind} {
+		factory := policy.NewFactory(kind, 0)
+		c := mustNew(t, Config{Capacity: k, Alpha: alpha, SimCapacity: kPrime, Factory: factory, Seed: 3})
+		fa := core.NewFullAssoc(factory, kPrime)
+		seq := workload.Phases{PhaseLen: 1000, SetSize: 300, Universe: 2000}.Generate(50_000, 5)
+		for _, x := range seq {
+			c.Access(x)
+			fa.Access(x)
+		}
+		mirror, full := c.Stats().Misses, fa.Stats().Misses
+		if float64(mirror) > 1.05*float64(full) {
+			t.Errorf("%v: mirror %d misses vs fully associative %d", kind, mirror, full)
+		}
+	}
+}
+
+func TestResetReplays(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 32, Alpha: 4, SimCapacity: 24, Factory: lruFactory(), Seed: 7})
+	seq := workload.Uniform{Universe: 60}.Generate(2000, 1)
+	first := core.RunSequence(c, seq)
+	c.Reset()
+	if c.Len() != 0 || c.Overflows() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	second := core.RunSequence(c, seq)
+	if first != second {
+		t.Fatalf("replay diverged: %+v vs %+v", first, second)
+	}
+}
+
+func TestContractInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		c := mustNewQuiet(Config{Capacity: 16, Alpha: 4, SimCapacity: 12, Factory: lruFactory(), Seed: 2})
+		for _, r := range raw {
+			x := trace.Item(r % 40)
+			c.Access(x)
+			if !c.Contains(x) {
+				return false
+			}
+			if c.Len() > c.Capacity() {
+				return false
+			}
+			if got := len(c.Items()); got != c.Len() {
+				return false
+			}
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == st.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustNewQuiet(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

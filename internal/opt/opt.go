@@ -1,0 +1,217 @@
+// Package opt implements Belady's offline optimal paging algorithm OPT
+// (furthest-in-future eviction). The paper uses OPT in Proposition 5, where
+// set-associative LRU with rehashing is shown to be (1 + 1/(r−1) + o(1))-
+// competitive with OPT under (1+o(1))r resource augmentation.
+//
+// OPT is offline: it must be constructed with the full request sequence, and
+// Access must then be fed exactly that sequence, in order.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Belady is the offline optimal paging algorithm for a cache of fixed
+// capacity. It implements core.Cache so it can be run in lockstep with the
+// online algorithms.
+type Belady struct {
+	capacity int
+	seq      trace.Sequence
+	// nextUse[i] is the position of the next request for seq[i] after i,
+	// or infinity if there is none.
+	nextUse []int64
+	pos     int
+	cached  map[trace.Item]struct{}
+	heap    beladyHeap
+	stats   core.Stats
+}
+
+var _ core.Cache = (*Belady)(nil)
+
+const never = int64(math.MaxInt64)
+
+// New builds OPT_capacity for the given request sequence, precomputing
+// next-use times with a single backward scan.
+func New(capacity int, seq trace.Sequence) *Belady {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("opt: capacity %d must be positive", capacity))
+	}
+	nextUse := make([]int64, len(seq))
+	lastSeen := make(map[trace.Item]int64, 1024)
+	for i := len(seq) - 1; i >= 0; i-- {
+		if j, ok := lastSeen[seq[i]]; ok {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = never
+		}
+		lastSeen[seq[i]] = int64(i)
+	}
+	return &Belady{
+		capacity: capacity,
+		seq:      seq,
+		nextUse:  nextUse,
+		cached:   make(map[trace.Item]struct{}, capacity),
+	}
+}
+
+// Access implements core.Cache. x must equal the next item of the sequence
+// the Belady instance was built with.
+func (b *Belady) Access(x trace.Item) bool {
+	hit, _, _ := b.AccessDetail(x)
+	return hit
+}
+
+// AccessDetail implements core.Cache.
+func (b *Belady) AccessDetail(x trace.Item) (hit bool, evicted trace.Item, didEvict bool) {
+	if b.pos >= len(b.seq) {
+		panic("opt: accessed past the end of the precomputed sequence")
+	}
+	if b.seq[b.pos] != x {
+		panic(fmt.Sprintf("opt: access %v at position %d, expected %v", x, b.pos, b.seq[b.pos]))
+	}
+	next := b.nextUse[b.pos]
+	b.pos++
+	b.stats.Accesses++
+
+	if _, ok := b.cached[x]; ok {
+		b.stats.Hits++
+		b.heap.push(beladyEntry{item: x, next: next})
+		return true, 0, false
+	}
+	b.stats.Misses++
+	if len(b.cached) == b.capacity {
+		victim, ok := b.popVictim()
+		if !ok {
+			panic("opt: heap lost track of cached items")
+		}
+		delete(b.cached, victim)
+		b.stats.Evictions++
+		evicted, didEvict = victim, true
+	}
+	b.cached[x] = struct{}{}
+	b.heap.push(beladyEntry{item: x, next: next})
+	return false, evicted, didEvict
+}
+
+// popVictim returns the cached item whose next use is furthest in the
+// future, skipping stale heap entries (an entry is stale if the item was
+// evicted, or was accessed again after the entry was pushed — in which case
+// a fresher entry with a later next-use exists).
+func (b *Belady) popVictim() (trace.Item, bool) {
+	for len(b.heap) > 0 {
+		top := b.heap.pop()
+		if _, ok := b.cached[top.item]; !ok {
+			continue
+		}
+		// An entry is current iff its next-use is still in the future or
+		// never; entries whose next-use position has already been served
+		// were superseded by the access at that position.
+		if top.next != never && top.next < int64(b.pos) {
+			continue
+		}
+		return top.item, true
+	}
+	return 0, false
+}
+
+// Contains implements core.Cache.
+func (b *Belady) Contains(x trace.Item) bool {
+	_, ok := b.cached[x]
+	return ok
+}
+
+// Len implements core.Cache.
+func (b *Belady) Len() int { return len(b.cached) }
+
+// Capacity implements core.Cache.
+func (b *Belady) Capacity() int { return b.capacity }
+
+// Items implements core.Cache.
+func (b *Belady) Items() []trace.Item {
+	out := make([]trace.Item, 0, len(b.cached))
+	for it := range b.cached {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Stats implements core.Cache.
+func (b *Belady) Stats() core.Stats { return b.stats }
+
+// Reset implements core.Cache: the instance rewinds to the beginning of its
+// sequence.
+func (b *Belady) Reset() {
+	b.pos = 0
+	b.cached = make(map[trace.Item]struct{}, b.capacity)
+	b.heap = b.heap[:0]
+	b.stats = core.Stats{}
+}
+
+// Cost runs OPT_capacity over seq and returns the total number of misses —
+// the C(OPT_k, σ) term of Proposition 5.
+func Cost(capacity int, seq trace.Sequence) uint64 {
+	b := New(capacity, seq)
+	for _, x := range seq {
+		b.Access(x)
+	}
+	return b.Stats().Misses
+}
+
+// beladyHeap is a max-heap on next-use time with deterministic tie-breaking
+// toward larger item ids; ties only arise between never-used-again items.
+type beladyHeap []beladyEntry
+
+type beladyEntry struct {
+	item trace.Item
+	next int64
+}
+
+func (h beladyHeap) before(a, b beladyEntry) bool {
+	if a.next != b.next {
+		return a.next > b.next
+	}
+	return a.item > b.item
+}
+
+func (h *beladyHeap) push(e beladyEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *beladyHeap) pop() beladyEntry {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	n := len(*h)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.before((*h)[l], (*h)[best]) {
+			best = l
+		}
+		if r < n && h.before((*h)[r], (*h)[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		(*h)[i], (*h)[best] = (*h)[best], (*h)[i]
+		i = best
+	}
+	return top
+}

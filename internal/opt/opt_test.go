@@ -1,0 +1,173 @@
+package opt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func TestBeladyTextbookExample(t *testing.T) {
+	// Classic example: k=3, σ = 1 2 3 4 1 2 5 1 2 3 4 5 → OPT misses 7.
+	seq := trace.Sequence{1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5}
+	if got := Cost(3, seq); got != 7 {
+		t.Fatalf("OPT cost = %d, want 7", got)
+	}
+}
+
+func TestBeladySmallCases(t *testing.T) {
+	cases := []struct {
+		k    int
+		seq  trace.Sequence
+		want uint64
+	}{
+		{1, trace.Sequence{1, 1, 1}, 1},
+		{1, trace.Sequence{1, 2, 1, 2}, 4},
+		{2, trace.Sequence{1, 2, 3, 1, 2}, 4}, // evict 3's... OPT: miss 1,2,3(evict 2 or keeps 1),1,2 → 4
+		{2, trace.Sequence{}, 0},
+		{3, trace.Sequence{1, 2, 3, 1, 2, 3}, 3},
+	}
+	for i, c := range cases {
+		if got := Cost(c.k, c.seq); got != c.want {
+			t.Fatalf("case %d: Cost(%d, %v) = %d, want %d", i, c.k, c.seq, got, c.want)
+		}
+	}
+}
+
+func TestBeladyPanicsOnWrongSequence(t *testing.T) {
+	b := New(2, trace.Sequence{1, 2})
+	b.Access(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accessing the wrong item should panic")
+		}
+	}()
+	b.Access(9)
+}
+
+func TestBeladyPanicsPastEnd(t *testing.T) {
+	b := New(2, trace.Sequence{1})
+	b.Access(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accessing past the end should panic")
+		}
+	}()
+	b.Access(1)
+}
+
+func TestBeladyReset(t *testing.T) {
+	seq := trace.Sequence{1, 2, 3, 1, 2, 3}
+	b := New(2, seq)
+	for _, x := range seq {
+		b.Access(x)
+	}
+	first := b.Stats().Misses
+	b.Reset()
+	for _, x := range seq {
+		b.Access(x)
+	}
+	if b.Stats().Misses != first {
+		t.Fatalf("replay misses %d != %d", b.Stats().Misses, first)
+	}
+}
+
+// TestBeladyOptimality property-checks Belady's optimality: on random
+// sequences, OPT's cost is ≤ the cost of every online policy at the same
+// capacity, and OPT is itself a valid paging execution (its miss count is at
+// least the number of distinct items beyond capacity... at least the
+// compulsory misses).
+func TestBeladyOptimality(t *testing.T) {
+	kinds := []policy.Kind{policy.LRUKind, policy.FIFOKind, policy.ClockKind, policy.LFUKind, policy.LRU2Kind, policy.RandomKind}
+	f := func(raw []uint8, capRaw uint8, seed uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		capacity := int(capRaw%6) + 1
+		seq := make(trace.Sequence, len(raw))
+		for i, r := range raw {
+			seq[i] = trace.Item(r % 12)
+		}
+		optCost := Cost(capacity, seq)
+		// Lower bound: compulsory misses.
+		if optCost < uint64(min(seq.DistinctCount(), len(seq))) {
+			t.Logf("OPT cost %d below compulsory %d", optCost, seq.DistinctCount())
+			return false
+		}
+		for _, kind := range kinds {
+			c := core.NewFullAssoc(policy.NewFactory(kind, seed), capacity)
+			st := core.RunSequence(c, seq)
+			if optCost > st.Misses {
+				t.Logf("OPT cost %d > %v cost %d on %v (k=%d)", optCost, kind, st.Misses, seq, capacity)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBeladyMonotoneInCapacity: OPT's cost never increases with capacity
+// (OPT is trivially a stack-like algorithm in cost).
+func TestBeladyMonotoneInCapacity(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		seq := make(trace.Sequence, len(raw))
+		for i, r := range raw {
+			seq[i] = trace.Item(r % 10)
+		}
+		prev := Cost(1, seq)
+		for k := 2; k <= 8; k++ {
+			cur := Cost(k, seq)
+			if cur > prev {
+				t.Logf("OPT cost increased from %d (k=%d) to %d (k=%d) on %v", prev, k-1, cur, k, seq)
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLRUCompetitiveVsOPT checks Sleator–Tarjan empirically: with r-resource
+// augmentation, C(LRU_k) ≤ (1 + 1/(r−1))·C(OPT_{k/r}) + k on random traces.
+func TestLRUCompetitiveVsOPT(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 10 {
+			return true
+		}
+		seq := make(trace.Sequence, len(raw))
+		for i, r := range raw {
+			seq[i] = trace.Item(r % 20)
+		}
+		const k, r = 8, 2
+		lru := core.NewFullAssoc(policy.NewFactory(policy.LRUKind, 0), k)
+		lruCost := core.RunSequence(lru, seq).Misses
+		optCost := Cost(k/r, seq)
+		bound := (1+1.0/(r-1))*float64(optCost) + float64(k)
+		if float64(lruCost) > bound {
+			t.Logf("LRU %d > bound %.1f (OPT %d) on %v", lruCost, bound, optCost, seq)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

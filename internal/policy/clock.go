@@ -1,0 +1,112 @@
+package policy
+
+import "repro/internal/trace"
+
+// Clock is the classic second-chance approximation of LRU: cached items sit
+// on a circular list with a reference bit; a hit sets the bit, and on a miss
+// the clock hand sweeps forward clearing bits until it finds an unreferenced
+// item to evict. Clock is conservative but, like FIFO, neither a stack
+// algorithm nor stable (Corollary 2).
+type Clock struct {
+	capacity int
+	slots    []clockSlot
+	index    map[trace.Item]int
+	hand     int
+	size     int
+}
+
+type clockSlot struct {
+	item trace.Item
+	ref  bool
+	used bool
+}
+
+// NewClock returns an empty clock cache of the given capacity.
+func NewClock(capacity int) *Clock {
+	validateCapacity(capacity)
+	return &Clock{
+		capacity: capacity,
+		slots:    make([]clockSlot, capacity),
+		index:    make(map[trace.Item]int, capacity),
+	}
+}
+
+// Request implements Policy.
+func (c *Clock) Request(x trace.Item) (hit bool, evicted trace.Item, didEvict bool) {
+	if i, ok := c.index[x]; ok {
+		c.slots[i].ref = true
+		return true, 0, false
+	}
+	if c.size < c.capacity {
+		// Fill the first unused slot; while the cache is not yet full the
+		// hand never needs to move.
+		for i := range c.slots {
+			if !c.slots[i].used {
+				c.slots[i] = clockSlot{item: x, ref: true, used: true}
+				c.index[x] = i
+				c.size++
+				return false, 0, false
+			}
+		}
+	}
+	// Sweep: clear reference bits until an unreferenced victim is found.
+	for {
+		s := &c.slots[c.hand]
+		if s.ref {
+			s.ref = false
+			c.hand = (c.hand + 1) % c.capacity
+			continue
+		}
+		victim := s.item
+		delete(c.index, victim)
+		*s = clockSlot{item: x, ref: true, used: true}
+		c.index[x] = c.hand
+		c.hand = (c.hand + 1) % c.capacity
+		return false, victim, true
+	}
+}
+
+// Contains implements Policy.
+func (c *Clock) Contains(x trace.Item) bool {
+	_, ok := c.index[x]
+	return ok
+}
+
+// Len implements Policy.
+func (c *Clock) Len() int { return c.size }
+
+// Capacity implements Policy.
+func (c *Clock) Capacity() int { return c.capacity }
+
+// Items implements Policy.
+func (c *Clock) Items() []trace.Item {
+	out := make([]trace.Item, 0, c.size)
+	for _, s := range c.slots {
+		if s.used {
+			out = append(out, s.item)
+		}
+	}
+	return out
+}
+
+// Delete implements Policy.
+func (c *Clock) Delete(x trace.Item) bool {
+	i, ok := c.index[x]
+	if !ok {
+		return false
+	}
+	c.slots[i] = clockSlot{}
+	delete(c.index, x)
+	c.size--
+	return true
+}
+
+// Reset implements Policy.
+func (c *Clock) Reset() {
+	for i := range c.slots {
+		c.slots[i] = clockSlot{}
+	}
+	c.index = make(map[trace.Item]int, c.capacity)
+	c.hand = 0
+	c.size = 0
+}

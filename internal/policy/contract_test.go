@@ -1,0 +1,178 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+// TestPolicyContract property-checks the Policy invariants every family
+// must uphold, on random traces: Len never exceeds Capacity, lazy policies
+// evict only when full and at most one item per miss, hits never evict,
+// Contains agrees with Items, and the evicted item is no longer present.
+func TestPolicyContract(t *testing.T) {
+	for _, kind := range AllKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			f := func(seed uint64, capRaw uint8, reqs []uint8) bool {
+				capacity := int(capRaw%8) + 1
+				p := NewFactory(kind, seed)(capacity)
+				for _, r := range reqs {
+					x := trace.Item(r % 16)
+					wasFull := p.Len() == capacity
+					wasCached := p.Contains(x)
+					hit, evicted, didEvict := p.Request(x)
+					if be, ok := p.(BatchEvictions); ok {
+						be.TakeEvictions()
+					}
+					if hit != wasCached {
+						t.Logf("hit=%v but wasCached=%v", hit, wasCached)
+						return false
+					}
+					if hit && didEvict {
+						t.Log("hit evicted something")
+						return false
+					}
+					if didEvict && !wasFull && kind.Lazy() {
+						t.Log("lazy policy evicted while not full")
+						return false
+					}
+					if didEvict && p.Contains(evicted) {
+						t.Logf("evicted %v still present", evicted)
+						return false
+					}
+					if !p.Contains(x) {
+						t.Logf("requested %v not present after Request", x)
+						return false
+					}
+					if p.Len() > capacity {
+						t.Logf("Len %d > capacity %d", p.Len(), capacity)
+						return false
+					}
+					if got := len(p.Items()); got != p.Len() {
+						t.Logf("Items length %d != Len %d", got, p.Len())
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPolicyDeleteContract property-checks Delete across all families:
+// deleting a cached item removes exactly that item and returns true;
+// deleting an absent item is a no-op returning false.
+func TestPolicyDeleteContract(t *testing.T) {
+	for _, kind := range AllKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			f := func(seed uint64, reqs []uint8, delRaw uint8) bool {
+				p := NewFactory(kind, seed)(4)
+				for _, r := range reqs {
+					p.Request(trace.Item(r % 12))
+					if be, ok := p.(BatchEvictions); ok {
+						be.TakeEvictions()
+					}
+				}
+				x := trace.Item(delRaw % 12)
+				had := p.Contains(x)
+				before := p.Len()
+				got := p.Delete(x)
+				if got != had {
+					t.Logf("Delete(%v) = %v, had = %v", x, got, had)
+					return false
+				}
+				wantLen := before
+				if had {
+					wantLen--
+				}
+				if p.Len() != wantLen || p.Contains(x) {
+					t.Logf("after Delete(%v): Len=%d want %d, Contains=%v", x, p.Len(), wantLen, p.Contains(x))
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPolicyResetContract verifies Reset restores a pristine, replayable
+// instance for every family.
+func TestPolicyResetContract(t *testing.T) {
+	for _, kind := range AllKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			replay := func(p Policy) []bool {
+				hits := make([]bool, 0, 64)
+				for i := 0; i < 64; i++ {
+					h, _, _ := p.Request(trace.Item(i * 7 % 11))
+					if be, ok := p.(BatchEvictions); ok {
+						be.TakeEvictions()
+					}
+					hits = append(hits, h)
+				}
+				return hits
+			}
+			p := NewFactory(kind, 3)(3)
+			first := replay(p)
+			p.Reset()
+			if p.Len() != 0 {
+				t.Fatalf("Len after Reset = %d", p.Len())
+			}
+			second := replay(p)
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("replay diverged at %d: %v vs %v", i, first[i], second[i])
+				}
+			}
+		})
+	}
+}
+
+// TestConservativePoliciesNeverExceedWindowBound spot-checks the
+// conservativeness definition for the families the paper classifies as
+// conservative, on adversarial-ish cyclic traces.
+func TestConservativePoliciesNeverExceedWindowBound(t *testing.T) {
+	for _, kind := range []Kind{LRUKind, FIFOKind, ClockKind} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			const k = 3
+			p := NewFactory(kind, 0)(k)
+			// Cycle over k distinct items with occasional extra item: any
+			// window with ≤ k distinct items must have ≤ k misses.
+			seq := trace.Sequence{}
+			for i := 0; i < 30; i++ {
+				seq = append(seq, trace.Item(i%k))
+				if i%7 == 0 {
+					seq = append(seq, trace.Item(100+i))
+				}
+			}
+			missAt := make([]bool, len(seq))
+			for i, x := range seq {
+				hit, _, _ := p.Request(x)
+				missAt[i] = !hit
+			}
+			for start := 0; start < len(seq); start++ {
+				distinct := make(trace.ItemSet)
+				misses := 0
+				for end := start; end < len(seq); end++ {
+					distinct.Add(seq[end])
+					if missAt[end] {
+						misses++
+					}
+					if distinct.Len() <= k && misses > k {
+						t.Fatalf("window [%d,%d) has %d distinct, %d misses", start, end+1, distinct.Len(), misses)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package policy
+
+import "repro/internal/trace"
+
+// FIFO is the first-in first-out policy: the victim is the item that has
+// been cached longest, regardless of how recently it was accessed. FIFO is
+// conservative but neither a stack algorithm (it exhibits Belady's anomaly)
+// nor stable (Corollary 2).
+type FIFO struct {
+	capacity int
+	present  map[trace.Item]struct{}
+	// queue is a ring buffer of cached items in insertion order.
+	queue []trace.Item
+	headI int // index of the oldest element
+	size  int
+}
+
+// NewFIFO returns an empty FIFO cache of the given capacity.
+func NewFIFO(capacity int) *FIFO {
+	validateCapacity(capacity)
+	return &FIFO{
+		capacity: capacity,
+		present:  make(map[trace.Item]struct{}, capacity),
+		queue:    make([]trace.Item, capacity),
+	}
+}
+
+// Request implements Policy.
+func (f *FIFO) Request(x trace.Item) (hit bool, evicted trace.Item, didEvict bool) {
+	if _, ok := f.present[x]; ok {
+		return true, 0, false
+	}
+	if f.size == f.capacity {
+		victim := f.queue[f.headI]
+		f.headI = (f.headI + 1) % f.capacity
+		f.size--
+		delete(f.present, victim)
+		evicted, didEvict = victim, true
+	}
+	tail := (f.headI + f.size) % f.capacity
+	f.queue[tail] = x
+	f.size++
+	f.present[x] = struct{}{}
+	return false, evicted, didEvict
+}
+
+// Contains implements Policy.
+func (f *FIFO) Contains(x trace.Item) bool {
+	_, ok := f.present[x]
+	return ok
+}
+
+// Len implements Policy.
+func (f *FIFO) Len() int { return f.size }
+
+// Capacity implements Policy.
+func (f *FIFO) Capacity() int { return f.capacity }
+
+// Items implements Policy, oldest first.
+func (f *FIFO) Items() []trace.Item {
+	out := make([]trace.Item, 0, f.size)
+	for i := 0; i < f.size; i++ {
+		out = append(out, f.queue[(f.headI+i)%f.capacity])
+	}
+	return out
+}
+
+// Delete implements Policy. Deleting from the middle of a FIFO compacts the
+// ring; it is O(size) and only used by flushing machinery, never on the
+// request fast path.
+func (f *FIFO) Delete(x trace.Item) bool {
+	if _, ok := f.present[x]; !ok {
+		return false
+	}
+	delete(f.present, x)
+	kept := make([]trace.Item, 0, f.size-1)
+	for i := 0; i < f.size; i++ {
+		it := f.queue[(f.headI+i)%f.capacity]
+		if it != x {
+			kept = append(kept, it)
+		}
+	}
+	f.headI = 0
+	f.size = len(kept)
+	copy(f.queue, kept)
+	return true
+}
+
+// Reset implements Policy.
+func (f *FIFO) Reset() {
+	f.present = make(map[trace.Item]struct{}, f.capacity)
+	f.headI = 0
+	f.size = 0
+}

@@ -1,0 +1,88 @@
+package policy
+
+import "repro/internal/trace"
+
+// FlushWhenFull is the paper's example of a non-lazy, non-conservative
+// policy (Section 3, citing Karlin et al.): when an item is fetched but
+// every slot is taken, the whole cache is flushed before inserting. Request
+// reports one of the flushed items through the usual single-eviction return;
+// the remainder are available via TakeEvictions (the BatchEvictions
+// interface).
+type FlushWhenFull struct {
+	capacity int
+	present  map[trace.Item]struct{}
+	pending  []trace.Item // evictions beyond the one reported by Request
+}
+
+// NewFlushWhenFull returns an empty flush-when-full cache.
+func NewFlushWhenFull(capacity int) *FlushWhenFull {
+	validateCapacity(capacity)
+	return &FlushWhenFull{
+		capacity: capacity,
+		present:  make(map[trace.Item]struct{}, capacity),
+	}
+}
+
+// Request implements Policy.
+func (f *FlushWhenFull) Request(x trace.Item) (hit bool, evicted trace.Item, didEvict bool) {
+	if _, ok := f.present[x]; ok {
+		return true, 0, false
+	}
+	if len(f.present) == f.capacity {
+		first := true
+		for it := range f.present {
+			if first {
+				evicted, didEvict = it, true
+				first = false
+			} else {
+				f.pending = append(f.pending, it)
+			}
+		}
+		f.present = make(map[trace.Item]struct{}, f.capacity)
+	}
+	f.present[x] = struct{}{}
+	return false, evicted, didEvict
+}
+
+// TakeEvictions implements BatchEvictions.
+func (f *FlushWhenFull) TakeEvictions() []trace.Item {
+	out := f.pending
+	f.pending = nil
+	return out
+}
+
+// Contains implements Policy.
+func (f *FlushWhenFull) Contains(x trace.Item) bool {
+	_, ok := f.present[x]
+	return ok
+}
+
+// Len implements Policy.
+func (f *FlushWhenFull) Len() int { return len(f.present) }
+
+// Capacity implements Policy.
+func (f *FlushWhenFull) Capacity() int { return f.capacity }
+
+// Items implements Policy.
+func (f *FlushWhenFull) Items() []trace.Item {
+	out := make([]trace.Item, 0, len(f.present))
+	for it := range f.present {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Delete implements Policy.
+func (f *FlushWhenFull) Delete(x trace.Item) bool {
+	if _, ok := f.present[x]; !ok {
+		return false
+	}
+	delete(f.present, x)
+	return true
+}
+
+// Reset implements Policy.
+func (f *FlushWhenFull) Reset() {
+	f.present = make(map[trace.Item]struct{}, f.capacity)
+	f.pending = nil
+}

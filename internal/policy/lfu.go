@@ -1,0 +1,113 @@
+package policy
+
+import "repro/internal/trace"
+
+// LFU is the least-frequently-used policy, conforming exactly to the order
+// family of Lemma 6: Φ(σ, x) is the total number of accesses to x in the
+// whole history σ (not just while cached), x ⪯σ y iff Φ(σ,x) > Φ(σ,y) or
+// (Φ equal and x ≤ y), and the eviction victim is the ⪯σ-maximum cached item
+// — i.e. the least-frequently accessed one, breaking ties toward the larger
+// item identifier. Keeping whole-history counts (rather than resetting them
+// on eviction) is what makes LFU monotone and self-similar, hence stable.
+type LFU struct {
+	capacity int
+	counts   map[trace.Item]int64 // full access history, survives eviction
+	cached   map[trace.Item]struct{}
+	heap     *ordHeap
+}
+
+// NewLFU returns an empty LFU cache of the given capacity.
+func NewLFU(capacity int) *LFU {
+	validateCapacity(capacity)
+	return &LFU{
+		capacity: capacity,
+		counts:   make(map[trace.Item]int64),
+		cached:   make(map[trace.Item]struct{}, capacity),
+		// Victim = min count, ties toward larger item id.
+		heap: newOrdHeap(func(a, b ordEntry) bool {
+			if a.pri != b.pri {
+				return a.pri < b.pri
+			}
+			return a.item > b.item
+		}),
+	}
+}
+
+// Request implements Policy.
+func (l *LFU) Request(x trace.Item) (hit bool, evicted trace.Item, didEvict bool) {
+	l.counts[x]++
+	if _, ok := l.cached[x]; ok {
+		l.heap.push(ordEntry{item: x, pri: l.counts[x]})
+		return true, 0, false
+	}
+	if len(l.cached) == l.capacity {
+		victim, ok := l.heap.popVictim(l.isCurrent)
+		if !ok {
+			panic("policy: LFU heap lost track of cached items")
+		}
+		delete(l.cached, victim)
+		evicted, didEvict = victim, true
+	}
+	l.cached[x] = struct{}{}
+	l.heap.push(ordEntry{item: x, pri: l.counts[x]})
+	l.heap.maybeCompact(len(l.cached), l.liveEntries)
+	return false, evicted, didEvict
+}
+
+func (l *LFU) isCurrent(e ordEntry) bool {
+	if _, ok := l.cached[e.item]; !ok {
+		return false
+	}
+	return l.counts[e.item] == e.pri
+}
+
+func (l *LFU) liveEntries() []ordEntry {
+	out := make([]ordEntry, 0, len(l.cached))
+	for it := range l.cached {
+		out = append(out, ordEntry{item: it, pri: l.counts[it]})
+	}
+	return out
+}
+
+// Contains implements Policy.
+func (l *LFU) Contains(x trace.Item) bool {
+	_, ok := l.cached[x]
+	return ok
+}
+
+// Len implements Policy.
+func (l *LFU) Len() int { return len(l.cached) }
+
+// Capacity implements Policy.
+func (l *LFU) Capacity() int { return l.capacity }
+
+// Items implements Policy.
+func (l *LFU) Items() []trace.Item {
+	out := make([]trace.Item, 0, len(l.cached))
+	for it := range l.cached {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Delete implements Policy. The access history of x is retained, matching
+// the order-family semantics (Φ counts accesses in σ, not residency).
+func (l *LFU) Delete(x trace.Item) bool {
+	if _, ok := l.cached[x]; !ok {
+		return false
+	}
+	delete(l.cached, x)
+	return true
+}
+
+// Reset implements Policy. Unlike Delete, Reset clears history as well: it
+// models a brand-new instance, which is how rehashing "cools down" LFU
+// buckets (footnote 7 of the paper).
+func (l *LFU) Reset() {
+	l.counts = make(map[trace.Item]int64)
+	l.cached = make(map[trace.Item]struct{}, l.capacity)
+	l.heap.reset()
+}
+
+// Count exposes Φ(σ, x): the number of accesses to x seen by this instance.
+func (l *LFU) Count(x trace.Item) int64 { return l.counts[x] }

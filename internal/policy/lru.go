@@ -1,0 +1,113 @@
+package policy
+
+import "repro/internal/trace"
+
+// LRU is the least-recently-used policy, implemented with an intrusive
+// doubly-linked list for O(1) Request. It is the fast path used by the large
+// simulations; its eviction order is identical to LRUK with K = 1 (verified
+// by tests), and it conforms to the monotone, self-similar order family of
+// Lemma 5, hence is stable.
+type LRU struct {
+	capacity int
+	nodes    map[trace.Item]*lruNode
+	// head.next is the most recently used node; tail.prev the least.
+	head, tail lruNode
+}
+
+type lruNode struct {
+	item       trace.Item
+	prev, next *lruNode
+}
+
+// NewLRU returns an empty LRU cache of the given capacity.
+func NewLRU(capacity int) *LRU {
+	validateCapacity(capacity)
+	l := &LRU{
+		capacity: capacity,
+		nodes:    make(map[trace.Item]*lruNode, capacity),
+	}
+	l.head.next = &l.tail
+	l.tail.prev = &l.head
+	return l
+}
+
+// Request implements Policy.
+func (l *LRU) Request(x trace.Item) (hit bool, evicted trace.Item, didEvict bool) {
+	if n, ok := l.nodes[x]; ok {
+		l.unlink(n)
+		l.pushFront(n)
+		return true, 0, false
+	}
+	if len(l.nodes) == l.capacity {
+		victim := l.tail.prev
+		l.unlink(victim)
+		delete(l.nodes, victim.item)
+		evicted, didEvict = victim.item, true
+	}
+	n := &lruNode{item: x}
+	l.nodes[x] = n
+	l.pushFront(n)
+	return false, evicted, didEvict
+}
+
+// Contains implements Policy.
+func (l *LRU) Contains(x trace.Item) bool {
+	_, ok := l.nodes[x]
+	return ok
+}
+
+// Len implements Policy.
+func (l *LRU) Len() int { return len(l.nodes) }
+
+// Capacity implements Policy.
+func (l *LRU) Capacity() int { return l.capacity }
+
+// Items implements Policy. Items are returned from most to least recently
+// used; callers that need set semantics must not rely on the order.
+func (l *LRU) Items() []trace.Item {
+	out := make([]trace.Item, 0, len(l.nodes))
+	for n := l.head.next; n != &l.tail; n = n.next {
+		out = append(out, n.item)
+	}
+	return out
+}
+
+// Delete implements Policy.
+func (l *LRU) Delete(x trace.Item) bool {
+	n, ok := l.nodes[x]
+	if !ok {
+		return false
+	}
+	l.unlink(n)
+	delete(l.nodes, x)
+	return true
+}
+
+// Reset implements Policy.
+func (l *LRU) Reset() {
+	l.nodes = make(map[trace.Item]*lruNode, l.capacity)
+	l.head.next = &l.tail
+	l.tail.prev = &l.head
+}
+
+// Victim returns the item LRU would evict next (the least recently used),
+// without modifying the cache. It reports false when the cache is empty.
+func (l *LRU) Victim() (trace.Item, bool) {
+	if len(l.nodes) == 0 {
+		return 0, false
+	}
+	return l.tail.prev.item, true
+}
+
+func (l *LRU) unlink(n *lruNode) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+}
+
+func (l *LRU) pushFront(n *lruNode) {
+	n.next = l.head.next
+	n.prev = &l.head
+	l.head.next.prev = n
+	l.head.next = n
+}

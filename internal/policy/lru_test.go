@@ -1,0 +1,162 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func requestAll(t *testing.T, p Policy, items ...trace.Item) {
+	t.Helper()
+	for _, it := range items {
+		p.Request(it)
+	}
+}
+
+func mustEvict(t *testing.T, p Policy, x, want trace.Item) {
+	t.Helper()
+	hit, evicted, didEvict := p.Request(x)
+	if hit {
+		t.Fatalf("Request(%v) unexpectedly hit", x)
+	}
+	if !didEvict {
+		t.Fatalf("Request(%v) evicted nothing, want %v", x, want)
+	}
+	if evicted != want {
+		t.Fatalf("Request(%v) evicted %v, want %v", x, evicted, want)
+	}
+}
+
+func TestLRUBasicEvictionOrder(t *testing.T) {
+	l := NewLRU(3)
+	requestAll(t, l, 0, 1, 2)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	// 0 is least recently used.
+	mustEvict(t, l, 3, 0)
+	// Touch 1; now 2 is least recent.
+	if hit, _, _ := l.Request(1); !hit {
+		t.Fatal("Request(1) should hit")
+	}
+	mustEvict(t, l, 4, 2)
+}
+
+func TestLRUHitDoesNotEvict(t *testing.T) {
+	l := NewLRU(2)
+	requestAll(t, l, 5, 6)
+	hit, _, didEvict := l.Request(5)
+	if !hit || didEvict {
+		t.Fatalf("hit=%v didEvict=%v, want hit and no eviction", hit, didEvict)
+	}
+}
+
+func TestLRUVictim(t *testing.T) {
+	l := NewLRU(2)
+	if _, ok := l.Victim(); ok {
+		t.Fatal("empty cache should have no victim")
+	}
+	requestAll(t, l, 1, 2)
+	if v, ok := l.Victim(); !ok || v != 1 {
+		t.Fatalf("Victim = %v/%v, want 1/true", v, ok)
+	}
+}
+
+func TestLRUDelete(t *testing.T) {
+	l := NewLRU(3)
+	requestAll(t, l, 1, 2, 3)
+	if !l.Delete(2) {
+		t.Fatal("Delete(2) should succeed")
+	}
+	if l.Delete(2) {
+		t.Fatal("second Delete(2) should fail")
+	}
+	if l.Len() != 2 || l.Contains(2) {
+		t.Fatalf("after delete: Len=%d Contains(2)=%v", l.Len(), l.Contains(2))
+	}
+	// Deleting mid-list must preserve eviction order of the rest.
+	mustNotEvict(t, l, 4)
+	mustEvict(t, l, 5, 1)
+}
+
+func mustNotEvict(t *testing.T, p Policy, x trace.Item) {
+	t.Helper()
+	hit, _, didEvict := p.Request(x)
+	if hit {
+		t.Fatalf("Request(%v) unexpectedly hit", x)
+	}
+	if didEvict {
+		t.Fatalf("Request(%v) unexpectedly evicted", x)
+	}
+}
+
+func TestLRUItemsOrder(t *testing.T) {
+	l := NewLRU(3)
+	requestAll(t, l, 1, 2, 3, 1)
+	got := l.Items()
+	want := []trace.Item{1, 3, 2} // MRU first
+	if len(got) != len(want) {
+		t.Fatalf("Items = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Items = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLRUReset(t *testing.T) {
+	l := NewLRU(2)
+	requestAll(t, l, 1, 2)
+	l.Reset()
+	if l.Len() != 0 || l.Contains(1) {
+		t.Fatalf("after Reset: Len=%d Contains(1)=%v", l.Len(), l.Contains(1))
+	}
+	mustNotEvict(t, l, 7)
+	mustNotEvict(t, l, 8)
+	mustEvict(t, l, 9, 7)
+}
+
+func TestLRUCapacityOne(t *testing.T) {
+	l := NewLRU(1)
+	mustNotEvict(t, l, 1)
+	mustEvict(t, l, 2, 1)
+	if hit, _, _ := l.Request(2); !hit {
+		t.Fatal("Request(2) should hit")
+	}
+}
+
+func TestLRUPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLRU(0) should panic")
+		}
+	}()
+	NewLRU(0)
+}
+
+// TestLRUMatchesLRUK1 cross-checks the fast intrusive-list LRU against the
+// order-family-based LRUK with K = 1 on long random traces: every access
+// must agree on hit/miss and on the eviction victim.
+func TestLRUMatchesLRUK1(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 7, 16} {
+		lru := NewLRU(capacity)
+		lruk := NewLRUK(capacity, 1)
+		rng := uint64(12345)
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		for i := 0; i < 20000; i++ {
+			x := trace.Item(next() % 40)
+			h1, e1, d1 := lru.Request(x)
+			h2, e2, d2 := lruk.Request(x)
+			if h1 != h2 || d1 != d2 || (d1 && e1 != e2) {
+				t.Fatalf("capacity %d, step %d, item %v: LRU (%v,%v,%v) != LRUK1 (%v,%v,%v)",
+					capacity, i, x, h1, e1, d1, h2, e2, d2)
+			}
+		}
+	}
+}

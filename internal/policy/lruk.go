@@ -1,0 +1,152 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// LRUK implements the LRU-K policy of O'Neil et al., as formalized by the
+// paper's order family in Lemma 5: Φ(σ, x) is the number of requests since
+// the K-th most recent access to x (∞ if x has been accessed fewer than K
+// times), and the victim is the cached item with maximal Φ, breaking ties
+// toward the larger item identifier. Ties between finite Φ values are
+// impossible because K-th access times are distinct.
+//
+// LRUK(1) is exactly LRU; the two implementations are cross-checked in
+// tests. Like LFU, access history is kept for the whole lifetime of the
+// instance — an item's previous accesses still count after it is evicted —
+// which is what makes the order family monotone and self-similar.
+type LRUK struct {
+	capacity int
+	k        int
+	clock    int64 // virtual time: number of requests served
+	// hist[x] holds the times of the up-to-K most recent accesses to x,
+	// most recent last. kth(x) = hist[x][0] once len == K.
+	hist   map[trace.Item][]int64
+	cached map[trace.Item]struct{}
+	heap   *ordHeap
+}
+
+// NewLRUK returns an empty LRU-K cache of the given capacity.
+func NewLRUK(capacity, k int) *LRUK {
+	validateCapacity(capacity)
+	if k <= 0 {
+		panic(fmt.Sprintf("policy: LRU-K parameter %d must be positive", k))
+	}
+	return &LRUK{
+		capacity: capacity,
+		k:        k,
+		hist:     make(map[trace.Item][]int64),
+		cached:   make(map[trace.Item]struct{}, capacity),
+		// pri is the K-th most recent access time, or noKth for items with
+		// fewer than K accesses (Φ = ∞, evicted first). Victim = min pri,
+		// ties toward larger item id.
+		heap: newOrdHeap(func(a, b ordEntry) bool {
+			if a.pri != b.pri {
+				return a.pri < b.pri
+			}
+			return a.item > b.item
+		}),
+	}
+}
+
+// noKth is the priority of items with fewer than K accesses: smaller than
+// every real time, so they are evicted before any item with a full history.
+const noKth = int64(-1)
+
+// K returns the history depth parameter.
+func (l *LRUK) K() int { return l.k }
+
+// Request implements Policy.
+func (l *LRUK) Request(x trace.Item) (hit bool, evicted trace.Item, didEvict bool) {
+	l.clock++
+	h := l.hist[x]
+	if len(h) == l.k {
+		copy(h, h[1:])
+		h[l.k-1] = l.clock
+	} else {
+		h = append(h, l.clock)
+	}
+	l.hist[x] = h
+
+	if _, ok := l.cached[x]; ok {
+		l.heap.push(ordEntry{item: x, pri: l.kth(x)})
+		return true, 0, false
+	}
+	if len(l.cached) == l.capacity {
+		victim, ok := l.heap.popVictim(l.isCurrent)
+		if !ok {
+			panic("policy: LRU-K heap lost track of cached items")
+		}
+		delete(l.cached, victim)
+		evicted, didEvict = victim, true
+	}
+	l.cached[x] = struct{}{}
+	l.heap.push(ordEntry{item: x, pri: l.kth(x)})
+	l.heap.maybeCompact(len(l.cached), l.liveEntries)
+	return false, evicted, didEvict
+}
+
+// kth returns the time of the K-th most recent access to x, or noKth if x
+// has fewer than K recorded accesses.
+func (l *LRUK) kth(x trace.Item) int64 {
+	h := l.hist[x]
+	if len(h) < l.k {
+		return noKth
+	}
+	return h[0]
+}
+
+func (l *LRUK) isCurrent(e ordEntry) bool {
+	if _, ok := l.cached[e.item]; !ok {
+		return false
+	}
+	return l.kth(e.item) == e.pri
+}
+
+func (l *LRUK) liveEntries() []ordEntry {
+	out := make([]ordEntry, 0, len(l.cached))
+	for it := range l.cached {
+		out = append(out, ordEntry{item: it, pri: l.kth(it)})
+	}
+	return out
+}
+
+// Contains implements Policy.
+func (l *LRUK) Contains(x trace.Item) bool {
+	_, ok := l.cached[x]
+	return ok
+}
+
+// Len implements Policy.
+func (l *LRUK) Len() int { return len(l.cached) }
+
+// Capacity implements Policy.
+func (l *LRUK) Capacity() int { return l.capacity }
+
+// Items implements Policy.
+func (l *LRUK) Items() []trace.Item {
+	out := make([]trace.Item, 0, len(l.cached))
+	for it := range l.cached {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Delete implements Policy; history is retained.
+func (l *LRUK) Delete(x trace.Item) bool {
+	if _, ok := l.cached[x]; !ok {
+		return false
+	}
+	delete(l.cached, x)
+	return true
+}
+
+// Reset implements Policy; history is cleared (a fresh instance).
+func (l *LRUK) Reset() {
+	l.clock = 0
+	l.hist = make(map[trace.Item][]int64)
+	l.cached = make(map[trace.Item]struct{}, l.capacity)
+	l.heap.reset()
+}

@@ -1,0 +1,105 @@
+package policy
+
+import "repro/internal/trace"
+
+// MRU is the most-recently-used policy: the victim is the cached item with
+// the most recent access. MRU is the classical choice for cyclic scans
+// larger than the cache (where LRU gets zero hits) and appears in database
+// buffer managers.
+//
+// MRU conforms to the order family x ⪯σ y iff last(σ,x) < last(σ,y) (older
+// is smaller, ties impossible among accessed items; unaccessed items rank
+// by identity), so by Theorem 6 it is a stack algorithm. The family is
+// *not* monotone — an access moves the touched item to the ⪯-maximum — so,
+// like the reuse-distance algorithm of Proposition 6, MRU escapes
+// Theorem 8; the randomized search in internal/stability finds stability
+// violations for it (see the classification tests).
+type MRU struct {
+	capacity int
+	nodes    map[trace.Item]*lruNode
+	// head.next is the most recently used node — the eviction victim.
+	head, tail lruNode
+}
+
+// NewMRU returns an empty MRU cache of the given capacity.
+func NewMRU(capacity int) *MRU {
+	validateCapacity(capacity)
+	m := &MRU{
+		capacity: capacity,
+		nodes:    make(map[trace.Item]*lruNode, capacity),
+	}
+	m.head.next = &m.tail
+	m.tail.prev = &m.head
+	return m
+}
+
+// Request implements Policy.
+func (m *MRU) Request(x trace.Item) (hit bool, evicted trace.Item, didEvict bool) {
+	if n, ok := m.nodes[x]; ok {
+		m.unlink(n)
+		m.pushFront(n)
+		return true, 0, false
+	}
+	if len(m.nodes) == m.capacity {
+		victim := m.head.next // most recently used
+		m.unlink(victim)
+		delete(m.nodes, victim.item)
+		evicted, didEvict = victim.item, true
+	}
+	n := &lruNode{item: x}
+	m.nodes[x] = n
+	m.pushFront(n)
+	return false, evicted, didEvict
+}
+
+// Contains implements Policy.
+func (m *MRU) Contains(x trace.Item) bool {
+	_, ok := m.nodes[x]
+	return ok
+}
+
+// Len implements Policy.
+func (m *MRU) Len() int { return len(m.nodes) }
+
+// Capacity implements Policy.
+func (m *MRU) Capacity() int { return m.capacity }
+
+// Items implements Policy, most recently used first.
+func (m *MRU) Items() []trace.Item {
+	out := make([]trace.Item, 0, len(m.nodes))
+	for n := m.head.next; n != &m.tail; n = n.next {
+		out = append(out, n.item)
+	}
+	return out
+}
+
+// Delete implements Policy.
+func (m *MRU) Delete(x trace.Item) bool {
+	n, ok := m.nodes[x]
+	if !ok {
+		return false
+	}
+	m.unlink(n)
+	delete(m.nodes, x)
+	return true
+}
+
+// Reset implements Policy.
+func (m *MRU) Reset() {
+	m.nodes = make(map[trace.Item]*lruNode, m.capacity)
+	m.head.next = &m.tail
+	m.tail.prev = &m.head
+}
+
+func (m *MRU) unlink(n *lruNode) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+}
+
+func (m *MRU) pushFront(n *lruNode) {
+	n.next = m.head.next
+	n.prev = &m.head
+	m.head.next.prev = n
+	m.head.next = n
+}

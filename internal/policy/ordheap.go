@@ -1,0 +1,98 @@
+package policy
+
+import "repro/internal/trace"
+
+// ordHeap is a binary heap with lazy deletion, shared by the order-family
+// policies (LFU, LRU-K, reuse-distance). Each access pushes a fresh
+// (item, priority) entry; entries whose priority no longer matches the
+// item's current priority are stale and skipped during pops. When the heap
+// grows well past the number of live items it is compacted in place.
+//
+// The heap orders entries so that the top is the next eviction victim. The
+// paper's order families break ties by item identity, so less is always a
+// strict total order and victims are deterministic.
+type ordHeap struct {
+	entries []ordEntry
+	less    func(a, b ordEntry) bool
+}
+
+type ordEntry struct {
+	item trace.Item
+	pri  int64
+}
+
+func newOrdHeap(less func(a, b ordEntry) bool) *ordHeap {
+	return &ordHeap{less: less}
+}
+
+func (h *ordHeap) push(e ordEntry) {
+	h.entries = append(h.entries, e)
+	h.siftUp(len(h.entries) - 1)
+}
+
+// popVictim removes and returns the highest-priority entry that is still
+// current according to isCurrent. It reports false if no live entry remains.
+func (h *ordHeap) popVictim(isCurrent func(ordEntry) bool) (trace.Item, bool) {
+	for len(h.entries) > 0 {
+		top := h.entries[0]
+		h.popTop()
+		if isCurrent(top) {
+			return top.item, true
+		}
+	}
+	return 0, false
+}
+
+// maybeCompact rebuilds the heap from the live entries when stale entries
+// dominate. live is the number of currently cached items; current yields
+// their present priorities.
+func (h *ordHeap) maybeCompact(live int, current func() []ordEntry) {
+	if len(h.entries) <= 4*live+16 {
+		return
+	}
+	h.entries = append(h.entries[:0], current()...)
+	for i := len(h.entries)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *ordHeap) reset() { h.entries = h.entries[:0] }
+
+func (h *ordHeap) popTop() {
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries = h.entries[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+}
+
+func (h *ordHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.entries[i], h.entries[parent]) {
+			return
+		}
+		h.entries[i], h.entries[parent] = h.entries[parent], h.entries[i]
+		i = parent
+	}
+}
+
+func (h *ordHeap) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(h.entries[left], h.entries[smallest]) {
+			smallest = left
+		}
+		if right < n && h.less(h.entries[right], h.entries[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.entries[i], h.entries[smallest] = h.entries[smallest], h.entries[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,96 @@
+package policy
+
+import (
+	"repro/internal/hashfn"
+	"repro/internal/trace"
+)
+
+// Random evicts a uniformly random cached item. It is lazy but neither
+// conservative, stack, nor stable; it serves as a baseline/ablation policy.
+// Randomness is seeded and self-contained so simulations stay reproducible.
+type Random struct {
+	capacity int
+	items    []trace.Item // dense slot array for O(1) random choice
+	index    map[trace.Item]int
+	rngState uint64
+	seed     uint64
+}
+
+// NewRandom returns an empty random-replacement cache of the given capacity.
+func NewRandom(capacity int, seed uint64) *Random {
+	validateCapacity(capacity)
+	return &Random{
+		capacity: capacity,
+		items:    make([]trace.Item, 0, capacity),
+		index:    make(map[trace.Item]int, capacity),
+		rngState: seed,
+		seed:     seed,
+	}
+}
+
+// Request implements Policy.
+func (r *Random) Request(x trace.Item) (hit bool, evicted trace.Item, didEvict bool) {
+	if _, ok := r.index[x]; ok {
+		return true, 0, false
+	}
+	if len(r.items) == r.capacity {
+		victimSlot := int(r.next() % uint64(len(r.items)))
+		victim := r.items[victimSlot]
+		r.removeSlot(victimSlot)
+		evicted, didEvict = victim, true
+	}
+	r.index[x] = len(r.items)
+	r.items = append(r.items, x)
+	return false, evicted, didEvict
+}
+
+func (r *Random) next() uint64 {
+	r.rngState += 0x9e3779b97f4a7c15
+	return hashfn.Mix64(r.rngState)
+}
+
+func (r *Random) removeSlot(i int) {
+	victim := r.items[i]
+	last := len(r.items) - 1
+	r.items[i] = r.items[last]
+	r.index[r.items[i]] = i
+	r.items = r.items[:last]
+	delete(r.index, victim)
+}
+
+// Contains implements Policy.
+func (r *Random) Contains(x trace.Item) bool {
+	_, ok := r.index[x]
+	return ok
+}
+
+// Len implements Policy.
+func (r *Random) Len() int { return len(r.items) }
+
+// Capacity implements Policy.
+func (r *Random) Capacity() int { return r.capacity }
+
+// Items implements Policy.
+func (r *Random) Items() []trace.Item {
+	out := make([]trace.Item, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+// Delete implements Policy.
+func (r *Random) Delete(x trace.Item) bool {
+	i, ok := r.index[x]
+	if !ok {
+		return false
+	}
+	r.removeSlot(i)
+	return true
+}
+
+// Reset implements Policy. The RNG restarts from the original seed so a
+// Reset instance replays identically.
+func (r *Random) Reset() {
+	r.items = r.items[:0]
+	r.index = make(map[trace.Item]int, r.capacity)
+	r.rngState = r.seed
+}

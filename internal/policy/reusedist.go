@@ -1,0 +1,139 @@
+package policy
+
+import (
+	"math"
+
+	"repro/internal/trace"
+)
+
+// ReuseDist is the algorithm R of Proposition 6: it always evicts the cached
+// item with the largest reuse distance, where Φ(σ, x) is the number of
+// requests strictly between the last two accesses to x in σ, and Φ = ∞ when
+// x has been accessed fewer than twice. The order family is
+// x ⪯σ y iff Φ(σ,x) < Φ(σ,y) or (Φ equal and x ≤ y), and the victim is the
+// ⪯σ-maximum cached item.
+//
+// R conforms to an order family, so it is a stack algorithm (Theorem 6),
+// but the family is not monotone and R is provably not stable — the paper's
+// counterexample σ = A Y Z Z Z Z A B Y Y B C is reproduced in the stability
+// tests and in experiment E11.
+type ReuseDist struct {
+	capacity int
+	clock    int64
+	// last two access times per item, most recent last; length 1 or 2.
+	hist   map[trace.Item][]int64
+	cached map[trace.Item]struct{}
+	heap   *ordHeap
+}
+
+// infDist is the priority encoding Φ = ∞ (fewer than two accesses).
+const infDist = int64(math.MaxInt64)
+
+// NewReuseDist returns an empty reuse-distance cache of the given capacity.
+func NewReuseDist(capacity int) *ReuseDist {
+	validateCapacity(capacity)
+	return &ReuseDist{
+		capacity: capacity,
+		hist:     make(map[trace.Item][]int64),
+		cached:   make(map[trace.Item]struct{}, capacity),
+		// Victim = max distance, ties toward larger item id.
+		heap: newOrdHeap(func(a, b ordEntry) bool {
+			if a.pri != b.pri {
+				return a.pri > b.pri
+			}
+			return a.item > b.item
+		}),
+	}
+}
+
+// Request implements Policy.
+func (r *ReuseDist) Request(x trace.Item) (hit bool, evicted trace.Item, didEvict bool) {
+	r.clock++
+	h := r.hist[x]
+	if len(h) == 2 {
+		h[0], h[1] = h[1], r.clock
+	} else {
+		h = append(h, r.clock)
+	}
+	r.hist[x] = h
+
+	if _, ok := r.cached[x]; ok {
+		r.heap.push(ordEntry{item: x, pri: r.distance(x)})
+		return true, 0, false
+	}
+	if len(r.cached) == r.capacity {
+		victim, ok := r.heap.popVictim(r.isCurrent)
+		if !ok {
+			panic("policy: reuse-distance heap lost track of cached items")
+		}
+		delete(r.cached, victim)
+		evicted, didEvict = victim, true
+	}
+	r.cached[x] = struct{}{}
+	r.heap.push(ordEntry{item: x, pri: r.distance(x)})
+	r.heap.maybeCompact(len(r.cached), r.liveEntries)
+	return false, evicted, didEvict
+}
+
+// distance returns Φ(σ, x): the number of requests strictly between the last
+// two accesses to x, or infDist if x has been accessed fewer than twice.
+func (r *ReuseDist) distance(x trace.Item) int64 {
+	h := r.hist[x]
+	if len(h) < 2 {
+		return infDist
+	}
+	return h[1] - h[0] - 1
+}
+
+func (r *ReuseDist) isCurrent(e ordEntry) bool {
+	if _, ok := r.cached[e.item]; !ok {
+		return false
+	}
+	return r.distance(e.item) == e.pri
+}
+
+func (r *ReuseDist) liveEntries() []ordEntry {
+	out := make([]ordEntry, 0, len(r.cached))
+	for it := range r.cached {
+		out = append(out, ordEntry{item: it, pri: r.distance(it)})
+	}
+	return out
+}
+
+// Contains implements Policy.
+func (r *ReuseDist) Contains(x trace.Item) bool {
+	_, ok := r.cached[x]
+	return ok
+}
+
+// Len implements Policy.
+func (r *ReuseDist) Len() int { return len(r.cached) }
+
+// Capacity implements Policy.
+func (r *ReuseDist) Capacity() int { return r.capacity }
+
+// Items implements Policy.
+func (r *ReuseDist) Items() []trace.Item {
+	out := make([]trace.Item, 0, len(r.cached))
+	for it := range r.cached {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Delete implements Policy; history is retained.
+func (r *ReuseDist) Delete(x trace.Item) bool {
+	if _, ok := r.cached[x]; !ok {
+		return false
+	}
+	delete(r.cached, x)
+	return true
+}
+
+// Reset implements Policy; history is cleared.
+func (r *ReuseDist) Reset() {
+	r.clock = 0
+	r.hist = make(map[trace.Item][]int64)
+	r.cached = make(map[trace.Item]struct{}, r.capacity)
+	r.heap.reset()
+}

@@ -1,0 +1,164 @@
+// Package sim provides the execution machinery shared by every experiment:
+// a lockstep comparator that runs several caches over one request sequence
+// while observing per-access events (the "bad eviction" bookkeeping of
+// Lemma 2), and a parallel trial runner that fans independent
+// (seed, configuration) trials out over a bounded worker pool.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hashfn"
+	"repro/internal/trace"
+)
+
+// StepEvent describes what one cache did on one request during a lockstep
+// run.
+type StepEvent struct {
+	// Index is the position of the request in the sequence.
+	Index int
+	// Item is the requested item.
+	Item trace.Item
+	// Hit reports whether the cache hit.
+	Hit bool
+	// Evicted/DidEvict report the regular eviction triggered by the access.
+	Evicted  trace.Item
+	DidEvict bool
+}
+
+// Lockstep runs seq through every cache, in order, invoking observe (if
+// non-nil) once per (cache, request) pair after the caches with smaller
+// indices have already served the request. Per-request ordering across
+// caches is what the bad-eviction definition needs: the baseline must be
+// up-to-date (Y(i), the contents right after σ_i) when the candidate's
+// eviction is examined.
+func Lockstep(seq trace.Sequence, caches []core.Cache, observe func(cacheIdx int, ev StepEvent)) {
+	for i, x := range seq {
+		for ci, c := range caches {
+			hit, evicted, didEvict := c.AccessDetail(x)
+			if observe != nil {
+				observe(ci, StepEvent{Index: i, Item: x, Hit: hit, Evicted: evicted, DidEvict: didEvict})
+			}
+		}
+	}
+}
+
+// BadEvictionReport summarizes a candidate-vs-baseline lockstep run.
+// Candidate corresponds to X and baseline to Y in Lemma 2: an eviction of x
+// by X at time i is bad iff x ∈ Y(i), and C(X,σ) ≤ C(Y,σ) + B.
+type BadEvictionReport struct {
+	Candidate core.Stats
+	Baseline  core.Stats
+	// BadEvictions counts evictions by the candidate of items present in
+	// the baseline at the time of eviction (the quantity B of Lemma 2).
+	BadEvictions uint64
+	// BadMisses counts candidate misses that were baseline hits (M in the
+	// proof of Lemma 2; the lemma shows M ≤ B).
+	BadMisses uint64
+}
+
+// CompareBadEvictions runs seq through candidate and baseline in lockstep
+// and tallies bad evictions and bad misses of candidate with respect to
+// baseline. Both caches must be freshly constructed (or Reset).
+func CompareBadEvictions(seq trace.Sequence, candidate, baseline core.Cache) BadEvictionReport {
+	var rep BadEvictionReport
+	for _, x := range seq {
+		// Baseline first, so its contents reflect Y(i) when the candidate's
+		// eviction at time i is inspected.
+		bHit := baseline.Access(x)
+		cHit, evicted, didEvict := candidate.AccessDetail(x)
+		if didEvict && baseline.Contains(evicted) {
+			rep.BadEvictions++
+		}
+		if !cHit && bHit {
+			rep.BadMisses++
+		}
+	}
+	rep.Candidate = candidate.Stats()
+	rep.Baseline = baseline.Stats()
+	return rep
+}
+
+// TrialFunc runs one independent trial and returns its observation. Trials
+// must be self-contained: everything they touch is derived from the seed.
+type TrialFunc func(trial int, seed uint64) float64
+
+// RunTrials executes n independent trials in parallel on up to
+// runtime.GOMAXPROCS(0) workers and returns the observations in trial
+// order. Seeds are derived deterministically from masterSeed, so results
+// are reproducible regardless of scheduling.
+func RunTrials(n int, masterSeed uint64, fn TrialFunc) []float64 {
+	return RunTrialsWorkers(n, masterSeed, runtime.GOMAXPROCS(0), fn)
+}
+
+// RunTrialsWorkers is RunTrials with an explicit worker count.
+func RunTrialsWorkers(n int, masterSeed uint64, workers int, fn TrialFunc) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	// Pre-derive all seeds so that trial i sees the same seed no matter how
+	// work is interleaved across workers.
+	seeds := make([]uint64, n)
+	seq := hashfn.NewSeedSequence(masterSeed)
+	for i := range seeds {
+		seeds[i] = seq.Next()
+	}
+
+	out := make([]float64, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				out[i] = fn(i, seeds[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunTrialsVec is RunTrials for trials that produce several named metrics at
+// once; it returns one slice per metric, each in trial order.
+func RunTrialsVec(n int, masterSeed uint64, metrics int, fn func(trial int, seed uint64) []float64) [][]float64 {
+	flat := make([][]float64, n)
+	RunTrials(n, masterSeed, func(trial int, seed uint64) float64 {
+		flat[trial] = fn(trial, seed)
+		return 0
+	})
+	// Validate arity here, on the caller's goroutine, so a contract
+	// violation panics recoverable-y instead of crashing a worker.
+	for i, v := range flat {
+		if len(v) != metrics {
+			panic(fmt.Sprintf("sim: trial %d returned %d metrics, want %d", i, len(v), metrics))
+		}
+	}
+	out := make([][]float64, metrics)
+	for m := range out {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = flat[i][m]
+		}
+		out[m] = col
+	}
+	return out
+}

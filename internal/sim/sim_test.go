@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func lruFactory() policy.Factory { return policy.NewFactory(policy.LRUKind, 0) }
+
+func TestLockstepVisitsEveryPair(t *testing.T) {
+	seq := trace.RangeSeq(0, 10)
+	caches := []core.Cache{
+		core.NewFullAssoc(lruFactory(), 4),
+		core.NewFullAssoc(lruFactory(), 8),
+	}
+	visits := make(map[int]int)
+	Lockstep(seq, caches, func(ci int, ev StepEvent) {
+		visits[ci]++
+		if ev.Item != seq[ev.Index] {
+			t.Fatalf("event item %v != seq[%d] = %v", ev.Item, ev.Index, seq[ev.Index])
+		}
+	})
+	if visits[0] != 10 || visits[1] != 10 {
+		t.Fatalf("visits = %v", visits)
+	}
+}
+
+// TestLemma2Inequality is the core accounting identity of the paper:
+// C(X,σ) ≤ C(Y,σ) + B where B counts bad evictions of X w.r.t. Y. We check
+// it on random workloads with X = set-associative LRU and Y = smaller
+// fully-associative LRU.
+func TestLemma2Inequality(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		sa := core.MustNewSetAssoc(core.SetAssocConfig{
+			Capacity: 32, Alpha: 4, Factory: lruFactory(), Seed: seed,
+		})
+		fa := core.NewFullAssoc(lruFactory(), 24)
+		seq := make(trace.Sequence, 4000)
+		state := seed*2654435761 + 1
+		for i := range seq {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			seq[i] = trace.Item(state % 64)
+		}
+		rep := CompareBadEvictions(seq, sa, fa)
+		if rep.Candidate.Misses > rep.Baseline.Misses+rep.BadEvictions {
+			t.Fatalf("seed %d: Lemma 2 violated: %d > %d + %d",
+				seed, rep.Candidate.Misses, rep.Baseline.Misses, rep.BadEvictions)
+		}
+		// The proof's injection also gives M ≤ B.
+		if rep.BadMisses > rep.BadEvictions {
+			t.Fatalf("seed %d: bad misses %d > bad evictions %d", seed, rep.BadMisses, rep.BadEvictions)
+		}
+	}
+}
+
+func TestCompareBadEvictionsIdenticalCachesHaveNone(t *testing.T) {
+	// A cache compared against an identical copy never has bad misses:
+	// both hold exactly the same items at all times.
+	a := core.NewFullAssoc(lruFactory(), 8)
+	b := core.NewFullAssoc(lruFactory(), 8)
+	seq := trace.RangeSeq(0, 20).Repeat(5)
+	rep := CompareBadEvictions(seq, a, b)
+	if rep.BadMisses != 0 {
+		t.Fatalf("identical caches produced %d bad misses", rep.BadMisses)
+	}
+	if rep.Candidate.Misses != rep.Baseline.Misses {
+		t.Fatalf("identical caches miss differently: %d vs %d", rep.Candidate.Misses, rep.Baseline.Misses)
+	}
+}
+
+func TestRunTrialsDeterministicAndOrdered(t *testing.T) {
+	fn := func(trial int, seed uint64) float64 {
+		return float64(trial)*1e-9 + float64(seed%1000)
+	}
+	a := RunTrials(50, 7, fn)
+	b := RunTrials(50, 7, fn)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs across runs", i)
+		}
+	}
+	c := RunTrialsWorkers(50, 7, 1, fn)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("trial %d depends on worker count", i)
+		}
+	}
+}
+
+func TestRunTrialsRunsAllExactlyOnce(t *testing.T) {
+	var count int64
+	RunTrials(100, 1, func(trial int, seed uint64) float64 {
+		atomic.AddInt64(&count, 1)
+		return 0
+	})
+	if count != 100 {
+		t.Fatalf("ran %d trials, want 100", count)
+	}
+}
+
+func TestRunTrialsEdgeCases(t *testing.T) {
+	if got := RunTrials(0, 1, nil); got != nil {
+		t.Fatalf("0 trials should return nil, got %v", got)
+	}
+	got := RunTrialsWorkers(3, 1, 100, func(int, uint64) float64 { return 1 })
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	got = RunTrialsWorkers(3, 1, 0, func(int, uint64) float64 { return 1 })
+	if len(got) != 3 {
+		t.Fatalf("len with workers=0 should still be 3, got %d", len(got))
+	}
+}
+
+func TestRunTrialsVec(t *testing.T) {
+	cols := RunTrialsVec(10, 3, 2, func(trial int, seed uint64) []float64 {
+		return []float64{float64(trial), float64(trial) * 2}
+	})
+	if len(cols) != 2 || len(cols[0]) != 10 {
+		t.Fatalf("shape = %d×%d", len(cols), len(cols[0]))
+	}
+	for i := 0; i < 10; i++ {
+		if cols[0][i] != float64(i) || cols[1][i] != float64(i)*2 {
+			t.Fatalf("cols wrong at %d: %v %v", i, cols[0][i], cols[1][i])
+		}
+	}
+}
+
+func TestRunTrialsVecPanicsOnWrongArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong metric count should panic")
+		}
+	}()
+	RunTrialsVec(1, 1, 3, func(int, uint64) []float64 { return []float64{1} })
+}

@@ -1,0 +1,138 @@
+package skewed
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Capacity: 0, Alpha: 1, Choices: 1},
+		{Capacity: 8, Alpha: 3, Choices: 1},
+		{Capacity: 8, Alpha: 2, Choices: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+// TestSingleChoiceMatchesSetAssocCost: with d = 1 the skewed cache is an
+// α-way set-associative LRU cache; on any trace its hit/miss decisions
+// match core.SetAssoc built over the same hash function family. (The two
+// use different internal structures, so we compare costs on a workload
+// where both see identical bucket assignments: d=1 uses the first derived
+// seed exactly like core.SetAssoc does.)
+func TestSingleChoiceMatchesSetAssocCost(t *testing.T) {
+	const k, alpha, seed = 64, 4, 9
+	sk := mustNew(t, Config{Capacity: k, Alpha: alpha, Choices: 1, Seed: seed})
+	sa := core.MustNewSetAssoc(core.SetAssocConfig{
+		Capacity: k, Alpha: alpha, Factory: policy.NewFactory(policy.LRUKind, 0), Seed: seed,
+	})
+	seq := workload.Uniform{Universe: 200}.Generate(20000, 3)
+	for i, x := range seq {
+		h1 := sk.Access(x)
+		h2 := sa.Access(x)
+		if h1 != h2 {
+			t.Fatalf("step %d: d=1 skewed (%v) diverged from set-assoc (%v)", i, h1, h2)
+		}
+	}
+}
+
+// TestTwoChoicesReduceConflicts is the headline property: on a working-set
+// scan that overloads single-choice buckets, d = 2 cuts conflict misses
+// dramatically.
+func TestTwoChoicesReduceConflicts(t *testing.T) {
+	const k, alpha = 512, 4
+	working := k / 2
+	seq := trace.RangeSeq(0, trace.Item(working)).Repeat(8)
+	cost := func(d int) uint64 {
+		var total uint64
+		for seed := uint64(0); seed < 5; seed++ {
+			c := mustNew(t, Config{Capacity: k, Alpha: alpha, Choices: d, Seed: seed})
+			total += core.RunSequence(c, seq).Misses
+		}
+		return total
+	}
+	one, two := cost(1), cost(2)
+	if two >= one {
+		t.Fatalf("d=2 (%d misses) should beat d=1 (%d)", two, one)
+	}
+	// The gap should be substantial: most of the conflict misses vanish.
+	compulsory := uint64(working * 5)
+	if float64(two-compulsory) > 0.5*float64(one-compulsory) {
+		t.Errorf("two-choice conflicts %d not ≪ one-choice %d", two-compulsory, one-compulsory)
+	}
+}
+
+func TestContractInvariants(t *testing.T) {
+	f := func(raw []uint8, dRaw uint8) bool {
+		d := int(dRaw%3) + 1
+		c, err := New(Config{Capacity: 16, Alpha: 4, Choices: d, Seed: 5})
+		if err != nil {
+			return false
+		}
+		for _, r := range raw {
+			x := trace.Item(r % 40)
+			c.Access(x)
+			if !c.Contains(x) {
+				return false
+			}
+			if c.Len() > c.Capacity() {
+				return false
+			}
+			// The item must be in one of its d candidate buckets.
+			b := c.where[x]
+			found := false
+			for i := 0; i < d; i++ {
+				if c.hashers[i].Bucket(x) == b {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == st.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetReplays(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 32, Alpha: 4, Choices: 2, Seed: 7})
+	seq := workload.Uniform{Universe: 80}.Generate(3000, 11)
+	first := core.RunSequence(c, seq)
+	c.Reset()
+	second := core.RunSequence(c, seq)
+	if first != second {
+		t.Fatalf("replay diverged: %+v vs %+v", first, second)
+	}
+}
+
+func TestBucketLoadsBounded(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 64, Alpha: 4, Choices: 2, Seed: 3})
+	core.RunSequence(c, workload.Uniform{Universe: 500}.Generate(10000, 1))
+	for i, b := range c.buckets {
+		if len(b.items) > c.alpha {
+			t.Fatalf("bucket %d holds %d > α", i, len(b.items))
+		}
+	}
+}

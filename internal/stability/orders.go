@@ -1,0 +1,268 @@
+package stability
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// OrderFamily is a family of total orders {⪯σ} over the universe, indexed
+// by request sequences (Section 7.1). Less(σ, x, y) reports x ⪯σ y.
+// The families here are total orders by construction (ties broken by item
+// identity), so Less(σ,x,y) && Less(σ,y,x) iff x == y.
+type OrderFamily struct {
+	Name string
+	Less func(seq trace.Sequence, x, y trace.Item) bool
+}
+
+// LRUKFamily returns the order family LRU-K conforms to (Lemma 5):
+// Φ(σ,x) = number of requests since the K-th most recent access to x
+// (∞ if accessed fewer than K times); x ⪯σ y iff Φ(σ,x) < Φ(σ,y), ties
+// toward smaller identity.
+func LRUKFamily(k int) OrderFamily {
+	if k <= 0 {
+		panic(fmt.Sprintf("stability: LRU-K family needs K ≥ 1, got %d", k))
+	}
+	return OrderFamily{
+		Name: fmt.Sprintf("lru%d", k),
+		Less: func(seq trace.Sequence, x, y trace.Item) bool {
+			tx, ty := kthRecentAccess(seq, x, k), kthRecentAccess(seq, y, k)
+			if tx != ty {
+				// A later K-th access means fewer requests since it, i.e.
+				// smaller Φ, i.e. ⪯-smaller. Missing history (−1) sorts last.
+				return tx > ty
+			}
+			return x <= y
+		},
+	}
+}
+
+// kthRecentAccess returns the position (0-based) of the k-th most recent
+// access to x in seq, or −1 if x has been accessed fewer than k times.
+func kthRecentAccess(seq trace.Sequence, x trace.Item, k int) int {
+	seen := 0
+	for i := len(seq) - 1; i >= 0; i-- {
+		if seq[i] == x {
+			seen++
+			if seen == k {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// LFUFamily returns the order family LFU conforms to (Lemma 6):
+// Φ(σ,x) = number of accesses to x in σ; x ⪯σ y iff Φ(σ,x) > Φ(σ,y), ties
+// toward smaller identity.
+func LFUFamily() OrderFamily {
+	return OrderFamily{
+		Name: "lfu",
+		Less: func(seq trace.Sequence, x, y trace.Item) bool {
+			cx, cy := accessCount(seq, x), accessCount(seq, y)
+			if cx != cy {
+				return cx > cy
+			}
+			return x <= y
+		},
+	}
+}
+
+func accessCount(seq trace.Sequence, x trace.Item) int {
+	c := 0
+	for _, it := range seq {
+		if it == x {
+			c++
+		}
+	}
+	return c
+}
+
+// ReuseDistFamily returns the order family the algorithm R of Proposition 6
+// conforms to: Φ(σ,x) = number of requests between the last two accesses to
+// x (∞ if accessed fewer than twice); x ⪯σ y iff Φ(σ,x) < Φ(σ,y), ties
+// toward smaller identity. This family is *not* monotone, which is why R is
+// a stack algorithm but not stable.
+func ReuseDistFamily() OrderFamily {
+	return OrderFamily{
+		Name: "reusedist",
+		Less: func(seq trace.Sequence, x, y trace.Item) bool {
+			dx, dy := reuseDistance(seq, x), reuseDistance(seq, y)
+			if dx != dy {
+				return dx < dy
+			}
+			return x <= y
+		},
+	}
+}
+
+func reuseDistance(seq trace.Sequence, x trace.Item) int64 {
+	last, secondLast := -1, -1
+	for i := len(seq) - 1; i >= 0 && secondLast < 0; i-- {
+		if seq[i] == x {
+			if last < 0 {
+				last = i
+			} else {
+				secondLast = i
+			}
+		}
+	}
+	if secondLast < 0 {
+		return math.MaxInt64
+	}
+	return int64(last - secondLast - 1)
+}
+
+// MonotoneViolation witnesses non-monotonicity of an order family: items
+// x, y ∈ σ with y ≠ z such that x ⪯σ y but not x ⪯σz y.
+type MonotoneViolation struct {
+	Seq  trace.Sequence
+	Z    trace.Item
+	X, Y trace.Item
+}
+
+// String renders the witness.
+func (v *MonotoneViolation) String() string {
+	return fmt.Sprintf("monotonicity violated: %v ⪯ %v after %v, but not after appending %v",
+		v.X, v.Y, v.Seq, v.Z)
+}
+
+// CheckMonotone tests the monotonicity condition on one (σ, z) pair: for
+// every x, y ∈ σ with y ≠ z, x ⪯σ y must imply x ⪯σz y.
+func CheckMonotone(f OrderFamily, seq trace.Sequence, z trace.Item) *MonotoneViolation {
+	items := seq.Universe().Sorted()
+	ext := seq.Append(z)
+	for _, x := range items {
+		for _, y := range items {
+			if y == z || x == y {
+				continue
+			}
+			if f.Less(seq, x, y) && !f.Less(ext, x, y) {
+				return &MonotoneViolation{Seq: seq, Z: z, X: x, Y: y}
+			}
+		}
+	}
+	return nil
+}
+
+// SearchMonotone runs randomized CheckMonotone trials and returns the first
+// witness, or nil. The LRU-K and LFU families pass; ReuseDistFamily fails.
+func SearchMonotone(f OrderFamily, cfg SearchConfig) *MonotoneViolation {
+	r := newSearchRNG(cfg.Seed)
+	for t := 0; t < cfg.Trials; t++ {
+		seq := r.sequence(cfg)
+		z := trace.Item(r.intn(cfg.Universe))
+		if v := CheckMonotone(f, seq, z); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// SelfSimilarViolation witnesses non-self-similarity: x, y ∈ σ[X] with
+// x ⪯σ[X] y but not x ⪯σ y.
+type SelfSimilarViolation struct {
+	Seq  trace.Sequence
+	X    trace.ItemSet
+	A, B trace.Item
+}
+
+// String renders the witness.
+func (v *SelfSimilarViolation) String() string {
+	return fmt.Sprintf("self-similarity violated: %v ⪯ %v in σ[X]=%v but not in σ=%v (X=%v)",
+		v.A, v.B, v.Seq.Restrict(v.X), v.Seq, v.X.Sorted())
+}
+
+// CheckSelfSimilar tests self-similarity on one (σ, X) pair: for every
+// x, y ∈ σ[X], x ⪯σ[X] y must imply x ⪯σ y.
+func CheckSelfSimilar(f OrderFamily, seq trace.Sequence, x trace.ItemSet) *SelfSimilarViolation {
+	restricted := seq.Restrict(x)
+	items := restricted.Universe().Sorted()
+	for _, a := range items {
+		for _, b := range items {
+			if a == b {
+				continue
+			}
+			if f.Less(restricted, a, b) && !f.Less(seq, a, b) {
+				return &SelfSimilarViolation{Seq: seq, X: x, A: a, B: b}
+			}
+		}
+	}
+	return nil
+}
+
+// SearchSelfSimilar runs randomized CheckSelfSimilar trials and returns the
+// first witness, or nil.
+func SearchSelfSimilar(f OrderFamily, cfg SearchConfig) *SelfSimilarViolation {
+	r := newSearchRNG(cfg.Seed)
+	for t := 0; t < cfg.Trials; t++ {
+		seq := r.sequence(cfg)
+		x := make(trace.ItemSet)
+		for i := 0; i < cfg.Universe; i++ {
+			if r.intn(2) == 0 {
+				x.Add(trace.Item(i))
+			}
+		}
+		if v := CheckSelfSimilar(f, seq, x); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// ConformanceViolation witnesses that a policy does not conform to an order
+// family: on an eviction, the victim was not the ⪯τz-maximum cached item.
+type ConformanceViolation struct {
+	Seq      trace.Sequence
+	At       int
+	Evicted  trace.Item
+	Expected trace.Item
+}
+
+// String renders the witness.
+func (v *ConformanceViolation) String() string {
+	return fmt.Sprintf("conformance violated at step %d of %v: evicted %v, order family says %v",
+		v.At, v.Seq, v.Evicted, v.Expected)
+}
+
+// CheckConformance runs a lazy policy of the given capacity over seq and
+// verifies that every eviction victim is exactly the ⪯τz-maximum among the
+// items cached before the access (the conformance condition of Section 7.1
+// specialized to lazy algorithms).
+func CheckConformance(factory policy.Factory, f OrderFamily, seq trace.Sequence, capacity int) *ConformanceViolation {
+	p := factory(capacity)
+	for i, z := range seq {
+		before := p.Items()
+		prefixWithZ := seq[:i+1]
+		_, evicted, didEvict := p.Request(z)
+		if !didEvict {
+			continue
+		}
+		expected := before[0]
+		for _, cand := range before[1:] {
+			// expected = ⪯-max so far; replace when expected ⪯ cand.
+			if f.Less(prefixWithZ, expected, cand) {
+				expected = cand
+			}
+		}
+		if evicted != expected {
+			return &ConformanceViolation{Seq: seq, At: i, Evicted: evicted, Expected: expected}
+		}
+	}
+	return nil
+}
+
+// SearchConformance runs randomized CheckConformance trials and returns the
+// first witness, or nil.
+func SearchConformance(factory policy.Factory, f OrderFamily, cfg SearchConfig) *ConformanceViolation {
+	r := newSearchRNG(cfg.Seed)
+	for t := 0; t < cfg.Trials; t++ {
+		capacity := 1 + r.intn(cfg.MaxCap)
+		if v := CheckConformance(factory, f, r.sequence(cfg), capacity); v != nil {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package stability
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// TestLemma5OrderFamily: the LRU-K family is monotone and self-similar, and
+// the LRU-K policies conform to it.
+func TestLemma5OrderFamily(t *testing.T) {
+	cfg := DefaultSearchConfig(50)
+	for _, k := range []int{1, 2, 3} {
+		fam := LRUKFamily(k)
+		if v := SearchMonotone(fam, cfg); v != nil {
+			t.Errorf("LRU-%d family not monotone: %v", k, v)
+		}
+		if v := SearchSelfSimilar(fam, cfg); v != nil {
+			t.Errorf("LRU-%d family not self-similar: %v", k, v)
+		}
+	}
+	if v := SearchConformance(factoryOf(policy.LRUKind), LRUKFamily(1), cfg); v != nil {
+		t.Errorf("LRU does not conform to its family: %v", v)
+	}
+	if v := SearchConformance(factoryOf(policy.LRU2Kind), LRUKFamily(2), cfg); v != nil {
+		t.Errorf("LRU-2 does not conform to its family: %v", v)
+	}
+	if v := SearchConformance(factoryOf(policy.LRU3Kind), LRUKFamily(3), cfg); v != nil {
+		t.Errorf("LRU-3 does not conform to its family: %v", v)
+	}
+}
+
+// TestLemma6OrderFamily: the LFU family is monotone and self-similar, and
+// LFU conforms to it.
+func TestLemma6OrderFamily(t *testing.T) {
+	cfg := DefaultSearchConfig(51)
+	fam := LFUFamily()
+	if v := SearchMonotone(fam, cfg); v != nil {
+		t.Errorf("LFU family not monotone: %v", v)
+	}
+	if v := SearchSelfSimilar(fam, cfg); v != nil {
+		t.Errorf("LFU family not self-similar: %v", v)
+	}
+	if v := SearchConformance(factoryOf(policy.LFUKind), fam, cfg); v != nil {
+		t.Errorf("LFU does not conform to its family: %v", v)
+	}
+}
+
+// TestReuseDistFamilyNotMonotone: R conforms to its family (which makes it
+// a stack algorithm via Theorem 6), but the family is NOT monotone — the
+// structural reason R escapes Theorem 8 and ends up unstable.
+func TestReuseDistFamilyNotMonotone(t *testing.T) {
+	cfg := DefaultSearchConfig(52)
+	fam := ReuseDistFamily()
+	if v := SearchConformance(factoryOf(policy.ReuseDistKind), fam, cfg); v != nil {
+		t.Errorf("R does not conform to its family: %v", v)
+	}
+	if v := SearchMonotone(fam, cfg); v == nil {
+		t.Error("reuse-distance family should NOT be monotone, no witness found")
+	}
+}
+
+func TestMonotoneWitnessByHand(t *testing.T) {
+	// A concrete non-monotonicity witness for the reuse-distance family:
+	// σ = A B A B has Φ(A)=1, Φ(B)=1 → A ⪯σ B. Appending A after a long
+	// gap... use σ = A A B B (Φ(A)=0 via A A, Φ(B)=0) then z=A:
+	// σz = A A B B A gives Φ(A)=2 > Φ(B)=0, so B ⪯ A flips the order of
+	// pair (A, B) even though B ≠ z... (the accessed item became larger).
+	seq := trace.Sequence{0, 0, 1, 1}
+	fam := ReuseDistFamily()
+	if !fam.Less(seq, 0, 1) {
+		t.Fatal("expected A ⪯σ B (equal Φ, tie toward smaller id)")
+	}
+	v := CheckMonotone(fam, seq, 0)
+	if v == nil {
+		t.Fatal("expected monotonicity violation when accessing A after σ")
+	}
+	if v.X != 0 || v.Y != 1 {
+		t.Fatalf("witness pair (%v, %v), want (A, B)", v.X, v.Y)
+	}
+}
+
+func TestKthRecentAccess(t *testing.T) {
+	seq := trace.Sequence{5, 7, 5, 9, 5}
+	if got := kthRecentAccess(seq, 5, 1); got != 4 {
+		t.Fatalf("1st recent of 5 = %d, want 4", got)
+	}
+	if got := kthRecentAccess(seq, 5, 2); got != 2 {
+		t.Fatalf("2nd recent of 5 = %d, want 2", got)
+	}
+	if got := kthRecentAccess(seq, 5, 4); got != -1 {
+		t.Fatalf("4th recent of 5 = %d, want -1", got)
+	}
+	if got := kthRecentAccess(seq, 100, 1); got != -1 {
+		t.Fatalf("absent item = %d, want -1", got)
+	}
+}
+
+func TestReuseDistancePhi(t *testing.T) {
+	// σ = A Y Z Z Z Z A B Y Y B C from the paper; at the end:
+	// Φ(Y): last two accesses adjacent → 0; Φ(B): positions 8,11 → 2;
+	// Φ(A): positions 1,7 → 5; Φ(C): one access → ∞.
+	seq, err := trace.ParseLetters("AYZZZZABYYBC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, b, a, c := trace.Item(24), trace.Item(1), trace.Item(0), trace.Item(2)
+	if got := reuseDistance(seq, y); got != 0 {
+		t.Fatalf("Φ(Y) = %d, want 0", got)
+	}
+	if got := reuseDistance(seq, b); got != 2 {
+		t.Fatalf("Φ(B) = %d, want 2", got)
+	}
+	if got := reuseDistance(seq, a); got != 5 {
+		t.Fatalf("Φ(A) = %d, want 5", got)
+	}
+	if got := reuseDistance(seq, c); got <= 1000 {
+		t.Fatalf("Φ(C) = %d, want ∞", got)
+	}
+	// Paper's order: Y ⪯σ Z ⪯σ B ⪯σ A.
+	fam := ReuseDistFamily()
+	z := trace.Item(25)
+	for _, pair := range [][2]trace.Item{{y, z}, {z, b}, {b, a}} {
+		if !fam.Less(seq, pair[0], pair[1]) {
+			t.Fatalf("expected %v ⪯σ %v", pair[0], pair[1])
+		}
+	}
+}
+
+// TestTheorem8Empirically: conforming to a monotone self-similar family
+// implies stability. We cross-check by confirming that the families that
+// pass monotone+self-similar searches belong to policies that also pass the
+// stability search — already covered individually, but this ties the two
+// observations together for the Theorem 8 pipeline.
+func TestTheorem8Empirically(t *testing.T) {
+	cfg := DefaultSearchConfig(53)
+	type pipeline struct {
+		kind policy.Kind
+		fam  OrderFamily
+	}
+	for _, p := range []pipeline{
+		{policy.LRUKind, LRUKFamily(1)},
+		{policy.LRU2Kind, LRUKFamily(2)},
+		{policy.LFUKind, LFUFamily()},
+	} {
+		mono := SearchMonotone(p.fam, cfg) == nil
+		self := SearchSelfSimilar(p.fam, cfg) == nil
+		conform := SearchConformance(factoryOf(p.kind), p.fam, cfg) == nil
+		stable := SearchStability(factoryOf(p.kind), cfg) == nil
+		if mono && self && conform && !stable {
+			t.Errorf("%v: Theorem 8 contradiction — monotone+self-similar+conformant but unstable", p.kind)
+		}
+	}
+}

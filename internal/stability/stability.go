@@ -1,0 +1,179 @@
+// Package stability implements the Section 7 framework: the stability
+// property of Definition (1), the stack-algorithm property, order families
+// with their monotonicity and self-similarity conditions, Belady's anomaly,
+// and conservativeness — together with randomized searches that find
+// counterexample witnesses for the policies the paper proves unstable.
+package stability
+
+import (
+	"fmt"
+
+	"repro/internal/hashfn"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Contents returns A_capacity(seq): the cache contents after a fresh policy
+// instance serves seq.
+func Contents(factory policy.Factory, capacity int, seq trace.Sequence) trace.ItemSet {
+	p := factory(capacity)
+	for _, x := range seq {
+		p.Request(x)
+	}
+	return trace.NewItemSet(p.Items()...)
+}
+
+// OutOn returns Out(A_capacity, tau, z) — the set of items evicted in
+// response to the access to z right after tau has been served — together
+// with the contents after that access, A_capacity(tau·z).
+func OutOn(factory policy.Factory, capacity int, tau trace.Sequence, z trace.Item) (out, after trace.ItemSet) {
+	p := factory(capacity)
+	for _, x := range tau {
+		p.Request(x)
+	}
+	out = make(trace.ItemSet)
+	_, evicted, didEvict := p.Request(z)
+	if didEvict {
+		out.Add(evicted)
+	}
+	if be, ok := p.(policy.BatchEvictions); ok {
+		for _, e := range be.TakeEvictions() {
+			out.Add(e)
+		}
+	}
+	return out, trace.NewItemSet(p.Items()...)
+}
+
+// MissCount returns C(A_capacity, seq).
+func MissCount(factory policy.Factory, capacity int, seq trace.Sequence) uint64 {
+	p := factory(capacity)
+	var misses uint64
+	for _, x := range seq {
+		if hit, _, _ := p.Request(x); !hit {
+			misses++
+		}
+	}
+	return misses
+}
+
+// StabilityViolation is a witness that a policy is not stable: an instance
+// of Definition (1)'s hypothesis whose conclusion fails.
+type StabilityViolation struct {
+	Tau  trace.Sequence
+	X    trace.ItemSet
+	Z    trace.Item
+	A, B int // cache sizes, A > B
+
+	// OutB is Out(A_B, τ[X], z); ContentsA is A_A(τz); the intersection is
+	// nonempty (hypothesis holds) yet ContentsB = A_B(τ[X]z) ⊄ ContentsA.
+	OutB      trace.ItemSet
+	ContentsA trace.ItemSet
+	ContentsB trace.ItemSet
+	// Missing is an item of ContentsB \ ContentsA certifying the failure.
+	Missing trace.Item
+}
+
+// String renders the witness in the paper's notation.
+func (v *StabilityViolation) String() string {
+	return fmt.Sprintf(
+		"stability violated: τ=%v X=%v z=%v a=%d b=%d: Out(A_b,τ[X],z)=%v intersects A_a(τz)=%v, but %v ∈ A_b(τ[X]z)=%v is not in A_a(τz)",
+		v.Tau, v.X.Sorted(), v.Z, v.A, v.B, v.OutB.Sorted(), v.ContentsA.Sorted(), v.Missing, v.ContentsB.Sorted())
+}
+
+// CheckStability tests Definition (1) on one instance (τ, X, z, a, b) with
+// a > b and z ∈ X. It returns a witness if the definition is violated, nil
+// otherwise (including when the hypothesis is vacuous).
+func CheckStability(factory policy.Factory, tau trace.Sequence, x trace.ItemSet, z trace.Item, a, b int) *StabilityViolation {
+	if a <= b {
+		panic(fmt.Sprintf("stability: need a > b, got a=%d b=%d", a, b))
+	}
+	if !x.Contains(z) {
+		panic("stability: z must be in X")
+	}
+	tauX := tau.Restrict(x)
+	outB, contentsB := OutOn(factory, b, tauX, z)
+	contentsA := Contents(factory, a, tau.Append(z))
+	if !outB.Intersects(contentsA) {
+		return nil // hypothesis vacuous: nothing to check
+	}
+	for it := range contentsB {
+		if !contentsA.Contains(it) {
+			return &StabilityViolation{
+				Tau: tau, X: x, Z: z, A: a, B: b,
+				OutB: outB, ContentsA: contentsA, ContentsB: contentsB,
+				Missing: it,
+			}
+		}
+	}
+	return nil
+}
+
+// SearchConfig parameterizes the randomized counterexample searches. Small
+// universes and short sequences suffice: the paper's own counterexamples
+// live in universes of five items.
+type SearchConfig struct {
+	Trials   int
+	Universe int // items are drawn from [0, Universe)
+	MaxLen   int // sequences have length in [1, MaxLen]
+	MaxCap   int // cache sizes are drawn from [1, MaxCap]; a > b enforced
+	Seed     uint64
+}
+
+// DefaultSearchConfig returns the configuration the experiments use.
+func DefaultSearchConfig(seed uint64) SearchConfig {
+	return SearchConfig{Trials: 4000, Universe: 6, MaxLen: 16, MaxCap: 5, Seed: seed}
+}
+
+// SearchStability runs randomized trials of CheckStability and returns the
+// first witness found, or nil if the policy passed every trial. For the
+// provably stable policies (LRU, LRU-K, LFU) it must return nil; for FIFO
+// and clock it finds a witness within a few hundred trials.
+func SearchStability(factory policy.Factory, cfg SearchConfig) *StabilityViolation {
+	r := newSearchRNG(cfg.Seed)
+	for t := 0; t < cfg.Trials; t++ {
+		tau, x, z, a, b := r.stabilityInstance(cfg)
+		if v := CheckStability(factory, tau, x, z, a, b); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// searchRNG generates the random instances for all searches in the package.
+type searchRNG struct{ seq *hashfn.SeedSequence }
+
+func newSearchRNG(seed uint64) *searchRNG {
+	return &searchRNG{seq: hashfn.NewSeedSequence(seed)}
+}
+
+func (r *searchRNG) intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("stability: intn(%d)", n))
+	}
+	return int((r.seq.Next() >> 32) * uint64(n) >> 32)
+}
+
+func (r *searchRNG) sequence(cfg SearchConfig) trace.Sequence {
+	n := 1 + r.intn(cfg.MaxLen)
+	out := make(trace.Sequence, n)
+	for i := range out {
+		out[i] = trace.Item(r.intn(cfg.Universe))
+	}
+	return out
+}
+
+// stabilityInstance draws (τ, X, z, a, b) with z ∈ X and a > b ≥ 1.
+func (r *searchRNG) stabilityInstance(cfg SearchConfig) (trace.Sequence, trace.ItemSet, trace.Item, int, int) {
+	tau := r.sequence(cfg)
+	x := make(trace.ItemSet)
+	for i := 0; i < cfg.Universe; i++ {
+		if r.intn(2) == 0 {
+			x.Add(trace.Item(i))
+		}
+	}
+	z := trace.Item(r.intn(cfg.Universe))
+	x.Add(z)
+	b := 1 + r.intn(cfg.MaxCap-1)
+	a := b + 1 + r.intn(cfg.MaxCap-b)
+	return tau, x, z, a, b
+}

@@ -1,0 +1,229 @@
+package stability
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func factoryOf(k policy.Kind) policy.Factory { return policy.NewFactory(k, 1) }
+
+// TestPaperClaimsLemma1AndCorollary2 is the headline Section 7 check: the
+// randomized stability search must find no violation for LRU, LRU-2, LRU-3
+// and LFU (Lemma 1), and must find violations for FIFO and clock
+// (Corollary 2).
+func TestPaperClaimsLemma1AndCorollary2(t *testing.T) {
+	cfg := DefaultSearchConfig(42)
+	for _, k := range []policy.Kind{policy.LRUKind, policy.LRU2Kind, policy.LRU3Kind, policy.LFUKind} {
+		if v := SearchStability(factoryOf(k), cfg); v != nil {
+			t.Errorf("%v claimed stable but: %v", k, v)
+		}
+	}
+	for _, k := range []policy.Kind{policy.FIFOKind, policy.ClockKind} {
+		if v := SearchStability(factoryOf(k), cfg); v == nil {
+			t.Errorf("%v claimed unstable but no violation found in %d trials", k, cfg.Trials)
+		}
+	}
+}
+
+// TestStackClassification: LRU/LRU-K/LFU/R are stack algorithms; FIFO and
+// clock are not (they exhibit Belady's anomaly, hence cannot be stack).
+func TestStackClassification(t *testing.T) {
+	cfg := DefaultSearchConfig(43)
+	for _, k := range []policy.Kind{policy.LRUKind, policy.LRU2Kind, policy.LFUKind, policy.ReuseDistKind} {
+		if v := SearchStack(factoryOf(k), cfg); v != nil {
+			t.Errorf("%v claimed stack but: %v", k, v)
+		}
+	}
+	for _, k := range []policy.Kind{policy.FIFOKind, policy.ClockKind} {
+		if v := SearchStack(factoryOf(k), cfg); v == nil {
+			t.Errorf("%v claimed non-stack but no inclusion violation found", k)
+		}
+	}
+}
+
+// TestProposition6 verifies both halves of Proposition 6 for the
+// reuse-distance algorithm R: it is a stack algorithm (no inclusion
+// violation) but not stable (the paper's exact counterexample works).
+func TestProposition6(t *testing.T) {
+	cfg := DefaultSearchConfig(44)
+	if v := SearchStack(factoryOf(policy.ReuseDistKind), cfg); v != nil {
+		t.Errorf("R should be a stack algorithm, but: %v", v)
+	}
+	w, err := PaperReuseDistWitness()
+	if err != nil {
+		t.Fatalf("paper counterexample failed to replay: %v", err)
+	}
+	if w.A != 4 || w.B != 3 {
+		t.Errorf("witness sizes a=%d b=%d, want 4 and 3", w.A, w.B)
+	}
+	if !strings.Contains(w.String(), "stability violated") {
+		t.Errorf("witness string: %s", w)
+	}
+}
+
+func TestCheckStabilityVacuousHypothesis(t *testing.T) {
+	// If the small cache evicts nothing (not full), the hypothesis is
+	// vacuous and no violation can be reported.
+	tau := trace.Sequence{0}
+	x := trace.NewItemSet(0, 1)
+	if v := CheckStability(factoryOf(policy.FIFOKind), tau, x, 1, 3, 2); v != nil {
+		t.Fatalf("vacuous instance reported violation: %v", v)
+	}
+}
+
+func TestCheckStabilityPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("a<=b", func() {
+		CheckStability(factoryOf(policy.LRUKind), nil, trace.NewItemSet(1), 1, 2, 2)
+	})
+	mustPanic("z not in X", func() {
+		CheckStability(factoryOf(policy.LRUKind), nil, trace.NewItemSet(1), 2, 3, 2)
+	})
+}
+
+// TestBeladyAnomaly: FIFO must exhibit the anomaly on the classic sequence
+// (and clock via search); stack algorithms never can.
+func TestBeladyAnomaly(t *testing.T) {
+	seq := ClassicBeladySequence()
+	fifoCost3 := MissCount(factoryOf(policy.FIFOKind), 3, seq)
+	fifoCost4 := MissCount(factoryOf(policy.FIFOKind), 4, seq)
+	if fifoCost3 != 9 || fifoCost4 != 10 {
+		t.Fatalf("FIFO costs on classic sequence: k=3→%d (want 9), k=4→%d (want 10)", fifoCost3, fifoCost4)
+	}
+	if w := CheckBelady(factoryOf(policy.FIFOKind), seq, 4); w == nil {
+		t.Fatal("CheckBelady missed the classic FIFO anomaly")
+	}
+	cfg := DefaultSearchConfig(45)
+	for _, k := range []policy.Kind{policy.LRUKind, policy.LFUKind, policy.LRU2Kind, policy.ReuseDistKind} {
+		if w := SearchBelady(factoryOf(k), cfg); w != nil {
+			t.Errorf("stack algorithm %v showed Belady's anomaly: %v", k, w)
+		}
+	}
+}
+
+// TestConservativeClassification: LRU/FIFO/clock pass the window check;
+// flush-when-full fails it. The paper also claims LFU is conservative
+// (Section 3), but that claim is wrong — see TestLFUNotConservative.
+func TestConservativeClassification(t *testing.T) {
+	cfg := DefaultSearchConfig(46)
+	cfg.Trials = 1500
+	for _, k := range []policy.Kind{policy.LRUKind, policy.FIFOKind, policy.ClockKind} {
+		if v := SearchConservative(factoryOf(k), cfg); v != nil {
+			t.Errorf("%v claimed conservative but: %v", k, v)
+		}
+	}
+	if v := SearchConservative(factoryOf(policy.FlushWhenFullKind), cfg); v == nil {
+		t.Error("flush-when-full claimed non-conservative but no witness found")
+	}
+}
+
+// TestLFUNotConservative documents a reproduction finding: contrary to the
+// paper's Section 3 classification, LFU is NOT conservative. Once item A's
+// frequency count reaches 2, fresh items B and C (count ≤ 1) evict each
+// other forever; the window B C B C has 2 distinct items but 4 misses with
+// k = 2.
+func TestLFUNotConservative(t *testing.T) {
+	seq := trace.Sequence{0, 0, 1, 2, 1, 2} // A A B C B C
+	v := CheckConservative(factoryOf(policy.LFUKind), seq, 2)
+	if v == nil {
+		t.Fatal("expected the deterministic LFU conservativeness witness")
+	}
+	if v.MissesIn <= v.K || v.Distinct > v.K {
+		t.Fatalf("not a real witness: %+v", v)
+	}
+	// The randomized search finds witnesses too.
+	cfg := DefaultSearchConfig(46)
+	if w := SearchConservative(factoryOf(policy.LFUKind), cfg); w == nil {
+		t.Error("randomized search should also find LFU witnesses")
+	}
+}
+
+func TestCheckConservativeDirectWitness(t *testing.T) {
+	// The deterministic A X Y X witness with k=2 from the policy tests.
+	seq := trace.Sequence{10, 20, 30, 20}
+	v := CheckConservative(factoryOf(policy.FlushWhenFullKind), seq, 2)
+	if v == nil {
+		t.Fatal("expected a conservativeness violation")
+	}
+	if v.MissesIn <= v.K {
+		t.Fatalf("witness has %d misses with k=%d, not a violation", v.MissesIn, v.K)
+	}
+}
+
+// TestClassifyPolicyConsistency runs the full E10 classification for every
+// family with paper claims and checks consistency.
+func TestClassifyPolicyConsistency(t *testing.T) {
+	cfg := DefaultSearchConfig(47)
+	cfg.Trials = 1500
+	for _, k := range []policy.Kind{
+		policy.LRUKind, policy.LRU2Kind, policy.LFUKind,
+		policy.FIFOKind, policy.ClockKind, policy.ReuseDistKind,
+	} {
+		verdict := ClassifyPolicy(k, cfg)
+		if !verdict.Consistent() {
+			t.Errorf("%v verdict inconsistent with paper claims: stable witness=%v stack witness=%v anomaly=%v",
+				k, verdict.StabilityWitness, verdict.StackWitness, verdict.AnomalyWitness)
+		}
+	}
+}
+
+func TestContentsAndOutOn(t *testing.T) {
+	// LRU with capacity 2 on 1,2,3: contents {2,3}; accessing 1 evicts 2.
+	f := factoryOf(policy.LRUKind)
+	c := Contents(f, 2, trace.Sequence{1, 2, 3})
+	if !c.Equal(trace.NewItemSet(2, 3)) {
+		t.Fatalf("Contents = %v", c.Sorted())
+	}
+	out, after := OutOn(f, 2, trace.Sequence{1, 2, 3}, 1)
+	if !out.Equal(trace.NewItemSet(2)) {
+		t.Fatalf("Out = %v, want {2}", out.Sorted())
+	}
+	if !after.Equal(trace.NewItemSet(1, 3)) {
+		t.Fatalf("after = %v, want {1,3}", after.Sorted())
+	}
+}
+
+func TestMissCount(t *testing.T) {
+	got := MissCount(factoryOf(policy.LRUKind), 2, trace.Sequence{1, 2, 1, 3, 1})
+	if got != 3 {
+		t.Fatalf("MissCount = %d, want 3", got)
+	}
+}
+
+// TestMRUClassification records our classification of MRU (not in the
+// paper): it conforms to a last-access order family, hence is a stack
+// algorithm, but the family is not monotone and MRU is not stable.
+func TestMRUClassification(t *testing.T) {
+	factory := factoryOf(policy.MRUKind)
+	cfg := DefaultSearchConfig(48)
+	cfg.Trials = 20000
+	if v := SearchStack(factory, cfg); v != nil {
+		t.Errorf("MRU should be a stack algorithm: %v", v)
+	}
+	if v := SearchStability(factory, cfg); v == nil {
+		t.Error("MRU should not be stable; no violation found")
+	}
+	if w := SearchBelady(factory, cfg); w != nil {
+		t.Errorf("MRU (stack) showed Belady's anomaly: %v", w)
+	}
+}
+
+func TestKnownMRUWitnessReplays(t *testing.T) {
+	w, err := KnownMRUWitness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.A != 4 || w.B != 3 {
+		t.Fatalf("witness sizes %d/%d, want 4/3", w.A, w.B)
+	}
+}

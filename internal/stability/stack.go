@@ -1,0 +1,186 @@
+package stability
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// StackViolation witnesses that a policy is not a stack algorithm: after
+// some prefix of Seq, the cache of size K holds an item the cache of size
+// K+1 does not (A_K(σ) ⊄ A_{K+1}(σ), Section 7.1).
+type StackViolation struct {
+	Seq       trace.Sequence
+	PrefixLen int
+	K         int
+	Missing   trace.Item
+	SmallSet  trace.ItemSet
+	LargeSet  trace.ItemSet
+}
+
+// String renders the witness.
+func (v *StackViolation) String() string {
+	return fmt.Sprintf(
+		"stack property violated: after %v (prefix %d), A_%d=%v contains %v not in A_%d=%v",
+		v.Seq[:v.PrefixLen], v.PrefixLen, v.K, v.SmallSet.Sorted(), v.Missing, v.K+1, v.LargeSet.Sorted())
+}
+
+// CheckStack verifies the inclusion A_k(σ') ⊆ A_{k+1}(σ') for every prefix
+// σ' of seq and every k in [1, maxCap). It runs all cache sizes in lockstep,
+// so one pass over seq checks every (prefix, k) pair.
+func CheckStack(factory policy.Factory, seq trace.Sequence, maxCap int) *StackViolation {
+	if maxCap < 2 {
+		panic("stability: CheckStack needs maxCap ≥ 2")
+	}
+	caches := make([]policy.Policy, maxCap)
+	for i := range caches {
+		caches[i] = factory(i + 1)
+	}
+	for pos, x := range seq {
+		for _, c := range caches {
+			c.Request(x)
+		}
+		for k := 1; k < maxCap; k++ {
+			small := trace.NewItemSet(caches[k-1].Items()...)
+			large := trace.NewItemSet(caches[k].Items()...)
+			for it := range small {
+				if !large.Contains(it) {
+					return &StackViolation{
+						Seq: seq, PrefixLen: pos + 1, K: k, Missing: it,
+						SmallSet: small, LargeSet: large,
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SearchStack runs randomized CheckStack trials and returns the first
+// witness, or nil.
+func SearchStack(factory policy.Factory, cfg SearchConfig) *StackViolation {
+	r := newSearchRNG(cfg.Seed)
+	for t := 0; t < cfg.Trials; t++ {
+		if v := CheckStack(factory, r.sequence(cfg), cfg.MaxCap); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// AnomalyWitness records an occurrence of Belady's anomaly: a > b but
+// C(A_a, σ) > C(A_b, σ).
+type AnomalyWitness struct {
+	Seq                  trace.Sequence
+	SmallK, LargeK       int
+	SmallCost, LargeCost uint64
+}
+
+// String renders the witness.
+func (v *AnomalyWitness) String() string {
+	return fmt.Sprintf("Belady's anomaly on %v: C(A_%d)=%d > C(A_%d)=%d",
+		v.Seq, v.LargeK, v.LargeCost, v.SmallK, v.SmallCost)
+}
+
+// CheckBelady compares miss counts across all cache sizes in [1, maxCap] on
+// one sequence and reports an anomaly witness if a larger cache ever incurs
+// strictly more misses than a smaller one.
+func CheckBelady(factory policy.Factory, seq trace.Sequence, maxCap int) *AnomalyWitness {
+	costs := make([]uint64, maxCap+1)
+	for k := 1; k <= maxCap; k++ {
+		costs[k] = MissCount(factory, k, seq)
+	}
+	for b := 1; b <= maxCap; b++ {
+		for a := b + 1; a <= maxCap; a++ {
+			if costs[a] > costs[b] {
+				return &AnomalyWitness{Seq: seq, SmallK: b, LargeK: a, SmallCost: costs[b], LargeCost: costs[a]}
+			}
+		}
+	}
+	return nil
+}
+
+// SearchBelady runs randomized CheckBelady trials and returns the first
+// anomaly witness, or nil. Stack algorithms can never produce one.
+func SearchBelady(factory policy.Factory, cfg SearchConfig) *AnomalyWitness {
+	r := newSearchRNG(cfg.Seed)
+	for t := 0; t < cfg.Trials; t++ {
+		if v := CheckBelady(factory, r.sequence(cfg), cfg.MaxCap); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// ClassicBeladySequence returns the textbook FIFO anomaly instance
+// 1 2 3 4 1 2 5 1 2 3 4 5 (zero-based items), on which FIFO misses 9 times
+// with 3 slots but 10 times with 4 slots.
+func ClassicBeladySequence() trace.Sequence {
+	raw := []int{1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5}
+	out := make(trace.Sequence, len(raw))
+	for i, v := range raw {
+		out[i] = trace.Item(v - 1)
+	}
+	return out
+}
+
+// ConservativeViolation witnesses non-conservativeness: a consecutive window
+// of Seq with at most K distinct items on which the policy (with cache size
+// K) misses more than K times.
+type ConservativeViolation struct {
+	Seq        trace.Sequence
+	Start, End int // window [Start, End)
+	Distinct   int
+	MissesIn   int
+	K          int
+}
+
+// String renders the witness.
+func (v *ConservativeViolation) String() string {
+	return fmt.Sprintf(
+		"conservativeness violated (k=%d): window %v of %v has %d distinct items but %d misses",
+		v.K, v.Seq[v.Start:v.End], v.Seq, v.Distinct, v.MissesIn)
+}
+
+// CheckConservative runs the policy with cache size k over seq, then scans
+// every consecutive window: a conservative algorithm incurs at most k misses
+// on any window containing at most k distinct items (Section 3).
+func CheckConservative(factory policy.Factory, seq trace.Sequence, k int) *ConservativeViolation {
+	p := factory(k)
+	missAt := make([]bool, len(seq))
+	for i, x := range seq {
+		hit, _, _ := p.Request(x)
+		missAt[i] = !hit
+	}
+	for start := 0; start < len(seq); start++ {
+		distinct := make(trace.ItemSet)
+		misses := 0
+		for end := start; end < len(seq); end++ {
+			distinct.Add(seq[end])
+			if missAt[end] {
+				misses++
+			}
+			if distinct.Len() <= k && misses > k {
+				return &ConservativeViolation{
+					Seq: seq, Start: start, End: end + 1,
+					Distinct: distinct.Len(), MissesIn: misses, K: k,
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SearchConservative runs randomized CheckConservative trials and returns
+// the first witness, or nil.
+func SearchConservative(factory policy.Factory, cfg SearchConfig) *ConservativeViolation {
+	r := newSearchRNG(cfg.Seed)
+	for t := 0; t < cfg.Trials; t++ {
+		k := 1 + r.intn(cfg.MaxCap)
+		if v := CheckConservative(factory, r.sequence(cfg), k); v != nil {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package stability
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// DeriveOrder implements the constructive direction (⇒) of Theorem 6: for
+// a lazy stack algorithm A and a sequence σ with s distinct items, the
+// ⪯σ-order is
+//
+//   - position 1: the last requested item σ_|σ|;
+//   - position i ∈ [2, s]: the unique item of A_i(σ) \ A_{i−1}(σ);
+//   - positions beyond s: the unaccessed items in increasing identity.
+//
+// It returns the accessed items in ⪯σ order. If A is not a stack algorithm
+// the construction breaks down — some A_i(σ) \ A_{i−1}(σ) is not a
+// singleton — and an error describing the failure is returned, which is
+// itself a non-stack witness.
+func DeriveOrder(factory policy.Factory, seq trace.Sequence) ([]trace.Item, error) {
+	s := seq.DistinctCount()
+	if s == 0 {
+		return nil, nil
+	}
+	order := make([]trace.Item, 0, s)
+	order = append(order, seq[len(seq)-1])
+	prev := Contents(factory, 1, seq)
+	for i := 2; i <= s; i++ {
+		cur := Contents(factory, i, seq)
+		diff := make([]trace.Item, 0, 1)
+		for it := range cur {
+			if !prev.Contains(it) {
+				diff = append(diff, it)
+			}
+		}
+		if len(diff) != 1 || !prev.SubsetOf(cur) {
+			return nil, fmt.Errorf(
+				"stability: Theorem 6 construction failed at size %d on %v: |A_%d \\ A_%d| = %d (stack property violated)",
+				i, seq, i, i-1, len(diff))
+		}
+		order = append(order, diff[0])
+		prev = cur
+	}
+	return order, nil
+}
+
+// DerivedFamily wraps DeriveOrder as an OrderFamily: Less(σ, x, y) compares
+// positions in the derived order, with unaccessed items ranked after all
+// accessed ones by identity. It panics if the underlying algorithm is not
+// stack on the queried sequence; use DeriveOrder directly to probe.
+func DerivedFamily(name string, factory policy.Factory) OrderFamily {
+	return OrderFamily{
+		Name: "derived-" + name,
+		Less: func(seq trace.Sequence, x, y trace.Item) bool {
+			order, err := DeriveOrder(factory, seq)
+			if err != nil {
+				panic(err)
+			}
+			px, py := -1, -1
+			for i, it := range order {
+				if it == x {
+					px = i
+				}
+				if it == y {
+					py = i
+				}
+			}
+			switch {
+			case px >= 0 && py >= 0:
+				return px <= py
+			case px >= 0:
+				return true // accessed ⪯ unaccessed
+			case py >= 0:
+				return false
+			default:
+				return x <= y
+			}
+		},
+	}
+}

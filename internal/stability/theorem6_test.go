@@ -1,0 +1,136 @@
+package stability
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// TestTheorem6ConstructionForStackAlgorithms: for every stack family, the
+// constructive order of Theorem 6 must exist on random sequences (every
+// A_i \ A_{i−1} a singleton) and the algorithm must conform to the family
+// it induces.
+func TestTheorem6ConstructionForStackAlgorithms(t *testing.T) {
+	cfg := DefaultSearchConfig(60)
+	cfg.Trials = 300 // DeriveOrder is O(s·|σ|) per query; keep it modest
+	for _, kind := range []policy.Kind{
+		policy.LRUKind, policy.LRU2Kind, policy.LFUKind,
+		policy.ReuseDistKind, policy.MRUKind,
+	} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			factory := factoryOf(kind)
+			r := newSearchRNG(cfg.Seed + uint64(kind))
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seq := r.sequence(cfg)
+				if _, err := DeriveOrder(factory, seq); err != nil {
+					t.Fatalf("construction failed for stack algorithm: %v", err)
+				}
+			}
+			fam := DerivedFamily(kind.String(), factory)
+			if v := SearchConformance(factory, fam, SearchConfig{
+				Trials: 150, Universe: cfg.Universe, MaxLen: 10, MaxCap: 4, Seed: cfg.Seed,
+			}); v != nil {
+				t.Fatalf("%v does not conform to its derived family: %v", kind, v)
+			}
+		})
+	}
+}
+
+// TestTheorem6ConstructionFailsForNonStack: for FIFO and clock the
+// construction must break on some sequence — that breakdown is precisely a
+// stack-property violation.
+func TestTheorem6ConstructionFailsForNonStack(t *testing.T) {
+	cfg := DefaultSearchConfig(61)
+	for _, kind := range []policy.Kind{policy.FIFOKind, policy.ClockKind} {
+		factory := factoryOf(kind)
+		r := newSearchRNG(cfg.Seed + uint64(kind))
+		found := false
+		for trial := 0; trial < 2000 && !found; trial++ {
+			seq := r.sequence(cfg)
+			if _, err := DeriveOrder(factory, seq); err != nil {
+				if !strings.Contains(err.Error(), "stack property violated") {
+					t.Fatalf("unexpected error text: %v", err)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: Theorem 6 construction never failed; it should for non-stack algorithms", kind)
+		}
+	}
+}
+
+// TestDerivedOrderMatchesLRUFamily: for LRU, the derived order restricted
+// to accessed items must agree with the analytic LRU order family
+// (recency order).
+func TestDerivedOrderMatchesLRUFamily(t *testing.T) {
+	factory := factoryOf(policy.LRUKind)
+	analytic := LRUKFamily(1)
+	r := newSearchRNG(77)
+	cfg := DefaultSearchConfig(77)
+	for trial := 0; trial < 200; trial++ {
+		seq := r.sequence(cfg)
+		order, err := DeriveOrder(factory, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				if !analytic.Less(seq, order[i], order[j]) {
+					t.Fatalf("derived order %v disagrees with recency order at (%v, %v) on %v",
+						order, order[i], order[j], seq)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma8CacheContentsFollowOrder: for a lazy policy conforming to a
+// monotone family (LRU, LFU), the k−1 smallest accessed items w.r.t. ⪯σ
+// are always cached by A_k (Lemma 8).
+func TestLemma8CacheContentsFollowOrder(t *testing.T) {
+	type pipeline struct {
+		kind policy.Kind
+		fam  OrderFamily
+	}
+	cfg := DefaultSearchConfig(62)
+	for _, p := range []pipeline{
+		{policy.LRUKind, LRUKFamily(1)},
+		{policy.LRU2Kind, LRUKFamily(2)},
+		{policy.LFUKind, LFUFamily()},
+	} {
+		factory := factoryOf(p.kind)
+		r := newSearchRNG(cfg.Seed + uint64(p.kind))
+		for trial := 0; trial < 400; trial++ {
+			seq := r.sequence(cfg)
+			items := seq.Universe().Sorted()
+			s := len(items)
+			// Sort accessed items by ⪯σ (insertion sort via Less).
+			sorted := append([]trace.Item(nil), items...)
+			for i := 1; i < len(sorted); i++ {
+				for j := i; j > 0 && p.fam.Less(seq, sorted[j], sorted[j-1]); j-- {
+					sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+				}
+			}
+			for k := 1; k <= s; k++ {
+				contents := Contents(factory, k, seq)
+				for _, x := range sorted[:minInt(k-1, len(sorted))] {
+					if !contents.Contains(x) {
+						t.Fatalf("%v: Lemma 8 violated on %v: %v (rank < k=%d) not in A_k=%v",
+							p.kind, seq, x, k, contents.Sorted())
+					}
+				}
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,164 @@
+package stackdist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestKnownDistances(t *testing.T) {
+	p := New()
+	type step struct {
+		item trace.Item
+		d    int
+		warm bool
+	}
+	steps := []step{
+		{1, 0, false}, // cold
+		{1, 0, true},  // immediately re-touched: depth 0
+		{2, 0, false}, // cold
+		{1, 1, true},  // one item (2) newer
+		{3, 0, false},
+		{2, 2, true}, // 3 and 1 newer
+		{2, 0, true},
+	}
+	for i, s := range steps {
+		d, warm := p.Touch(s.item)
+		if d != s.d || warm != s.warm {
+			t.Fatalf("step %d: Touch(%v) = (%d, %v), want (%d, %v)", i, s.item, d, warm, s.d, s.warm)
+		}
+	}
+	if p.ColdMisses() != 3 || p.Distinct() != 3 {
+		t.Fatalf("cold=%d distinct=%d", p.ColdMisses(), p.Distinct())
+	}
+	if p.Requests() != uint64(len(steps)) {
+		t.Fatalf("requests = %d", p.Requests())
+	}
+}
+
+// TestMatchesDirectLRUSimulation is the core correctness property: the
+// profiler's MissCount(k) must equal C(LRU_k, σ) from direct simulation,
+// for every k, on random traces — one pass vs |K| passes.
+func TestMatchesDirectLRUSimulation(t *testing.T) {
+	f := func(raw []uint8) bool {
+		seq := make(trace.Sequence, len(raw))
+		for i, r := range raw {
+			seq[i] = trace.Item(r % 24)
+		}
+		p := New()
+		p.Run(seq)
+		for k := 1; k <= 12; k++ {
+			fa := core.NewFullAssoc(policy.NewFactory(policy.LRUKind, 0), k)
+			want := core.RunSequence(fa, seq).Misses
+			if got := p.MissCount(k); got != want {
+				t.Logf("k=%d: profiler %d, simulation %d on %v", k, got, want, seq)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchesDirectLRUSimulationLarge(t *testing.T) {
+	seq := workload.Zipf{Universe: 2000, S: 0.9, Shuffle: true}.Generate(30000, 7)
+	p := New()
+	p.Run(seq)
+	for _, k := range []int{1, 16, 128, 777, 2000, 4000} {
+		fa := core.NewFullAssoc(policy.NewFactory(policy.LRUKind, 0), k)
+		want := core.RunSequence(fa, seq).Misses
+		if got := p.MissCount(k); got != want {
+			t.Fatalf("k=%d: profiler %d, simulation %d", k, got, want)
+		}
+	}
+}
+
+func TestMissCountMonotoneInK(t *testing.T) {
+	// The curve from a single profile must be non-increasing in k — the
+	// stack-inclusion property that defines stack algorithms.
+	seq := workload.Phases{PhaseLen: 200, SetSize: 40, Universe: 300}.Generate(5000, 3)
+	p := New()
+	p.Run(seq)
+	prev := p.MissCount(1)
+	for k := 2; k < 400; k++ {
+		cur := p.MissCount(k)
+		if cur > prev {
+			t.Fatalf("miss count rose from %d (k=%d) to %d (k=%d)", prev, k-1, cur, k)
+		}
+		prev = cur
+	}
+}
+
+func TestHistogramAccounting(t *testing.T) {
+	seq := workload.Uniform{Universe: 50}.Generate(2000, 9)
+	p := New()
+	p.Run(seq)
+	var warm uint64
+	for _, c := range p.Histogram() {
+		warm += c
+	}
+	if warm+p.ColdMisses() != uint64(len(seq)) {
+		t.Fatalf("warm %d + cold %d != %d", warm, p.ColdMisses(), len(seq))
+	}
+	// Infinite cache misses = cold misses.
+	if p.MissCount(1<<30) != p.ColdMisses() {
+		t.Fatalf("infinite-cache misses %d != cold %d", p.MissCount(1<<30), p.ColdMisses())
+	}
+	// Zero-size cache misses every request.
+	if p.MissCount(0) != uint64(len(seq)) {
+		t.Fatalf("k=0 misses = %d", p.MissCount(0))
+	}
+}
+
+func TestMissRatioCurveAndMeanDistance(t *testing.T) {
+	seq := trace.Sequence{1, 2, 1, 2, 1, 2}
+	p := New()
+	p.Run(seq)
+	// Warm accesses all at depth 1.
+	if p.MeanDistance() != 1 {
+		t.Fatalf("mean distance = %v, want 1", p.MeanDistance())
+	}
+	curve := p.MissRatioCurve([]int{1, 2})
+	if curve[0] != 1.0 { // k=1: every access misses
+		t.Fatalf("curve[k=1] = %v", curve[0])
+	}
+	if curve[1] != 2.0/6 { // k=2: only the two cold misses
+		t.Fatalf("curve[k=2] = %v", curve[1])
+	}
+}
+
+func TestEmptyProfiler(t *testing.T) {
+	p := New()
+	if p.Requests() != 0 || p.Distinct() != 0 {
+		t.Fatal("fresh profiler not empty")
+	}
+	if got := p.MissRatioCurve([]int{4}); len(got) != 1 || !isNaN(got[0]) {
+		t.Fatalf("empty curve = %v", got)
+	}
+	if !isNaN(p.MeanDistance()) {
+		t.Fatal("mean distance of empty profile should be NaN")
+	}
+}
+
+func isNaN(f float64) bool { return f != f }
+
+// TestTreapBalance sanity-checks the order-statistics tree under a
+// worst-case access pattern (sequential, which inserts monotone keys).
+func TestTreapBalance(t *testing.T) {
+	p := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		p.Touch(trace.Item(i))
+	}
+	// Touch the oldest item: depth must be n−1.
+	d, warm := p.Touch(0)
+	if !warm || d != n-1 {
+		t.Fatalf("Touch(0) = (%d, %v), want (%d, true)", d, warm, n-1)
+	}
+}

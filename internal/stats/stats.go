@@ -1,0 +1,158 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: streaming moments (Welford), normal-approximation
+// confidence intervals, histograms, and plain-text table rendering for the
+// paper-shaped outputs of cmd/assocbench.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream accumulates a sample one value at a time using Welford's method,
+// which is numerically stable for long runs.
+type Stream struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty stream).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance.
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 for an empty stream).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty stream).
+func (s *Stream) Max() float64 { return s.max }
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval for the mean.
+func (s *Stream) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// Summary condenses a stream for table output.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+	CI95 float64
+}
+
+// Summarize returns the stream's Summary.
+func (s *Stream) Summarize() Summary {
+	return Summary{N: s.n, Mean: s.mean, Std: s.StdDev(), Min: s.min, Max: s.max, CI95: s.CI95()}
+}
+
+// Of summarizes a finished sample.
+func Of(sample []float64) Summary {
+	var st Stream
+	for _, x := range sample {
+		st.Add(x)
+	}
+	return st.Summarize()
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the sample using nearest-
+// rank interpolation. The input is not modified.
+func Quantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram counts observations into uniform-width bins over [lo, hi).
+// Out-of-range observations clamp into the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram builds a histogram with the given bin count over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v)/%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add incorporates one observation.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	i := int(float64(bins) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= bins {
+		i = bins - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamMoments(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance of this classic sample is 4; unbiased is 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStreamMatchesDirectComputation(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Stream
+		var sum float64
+		for _, x := range raw {
+			s.Add(float64(x))
+			sum += float64(x)
+		}
+		mean := sum / float64(len(raw))
+		var ss float64
+		for _, x := range raw {
+			d := float64(x) - mean
+			ss += d * d
+		}
+		wantVar := ss / float64(len(raw)-1)
+		return math.Abs(s.Mean()-mean) < 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(s.Variance()-wantVar) < 1e-4*(1+wantVar)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, large Stream
+	vals := []float64{1, 2, 3, 4, 5}
+	for _, v := range vals {
+		small.Add(v)
+	}
+	for i := 0; i < 20; i++ {
+		for _, v := range vals {
+			large.Add(v)
+		}
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI should shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestOf(t *testing.T) {
+	s := Of([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("Of = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sample := []float64{4, 1, 3, 2}
+	if got := Quantile(sample, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(sample, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(sample, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+	// Input must not be mutated.
+	if sample[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty sample should give NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.9, 10, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// -1, 0, 1.9 → bin 0; 2 → bin 1; 9.9, 10, 100 → bin 4.
+	if h.Counts[0] != 3 || h.Counts[1] != 1 || h.Counts[4] != 3 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	if math.Abs(h.Fraction(0)-3.0/7) > 1e-12 {
+		t.Fatalf("Fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.Note = "a note"
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	tb.AddRow("only-one-cell")
+	out := tb.String()
+	for _, want := range []string{"## Demo", "a note", "name", "alpha", "beta", "2.5", "only-one-cell"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header and rule lines must align in width.
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestTablePadsAndTruncatesCells(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow("x", "extra-cell-dropped")
+	if len(tb.Rows[0]) != 1 {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+}

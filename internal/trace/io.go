@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format, used by cmd/tracegen and cmd/cachesim:
+//
+//	magic   [4]byte  "SATR" (Set-Associative TRace)
+//	version uint32   1
+//	count   uint64   number of requests
+//	items   count × uint64 little-endian
+const (
+	traceMagic   = "SATR"
+	traceVersion = 1
+)
+
+// Write serializes s to w in the binary trace format.
+func Write(w io.Writer, s Sequence) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], traceVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(s)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, it := range s {
+		binary.LittleEndian.PutUint64(buf[:], uint64(it))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a sequence previously written by Write.
+func Read(r io.Reader) (Sequence, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[4:12])
+	const maxReasonable = 1 << 34 // refuse absurd headers rather than OOM
+	if count > maxReasonable {
+		return nil, fmt.Errorf("trace: header claims %d requests, refusing", count)
+	}
+	out := make(Sequence, count)
+	var buf [8]byte
+	for i := range out {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading request %d: %w", i, err)
+		}
+		out[i] = Item(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return out, nil
+}

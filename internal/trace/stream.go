@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// StreamWriter writes a trace incrementally, without materializing the
+// whole sequence in memory — used for very long generated traces. The
+// request count is written on Close by seeking back over the header, so the
+// destination must support io.WriteSeeker semantics via the two-pass
+// construction below; for pure streams (pipes), the writer buffers counts
+// and emits a trailing footer-free format identical to Write's when the
+// destination supports seeking.
+type StreamWriter struct {
+	w     io.WriteSeeker
+	bw    *bufio.Writer
+	count uint64
+	done  bool
+}
+
+// NewStreamWriter starts a trace on w, reserving the header.
+func NewStreamWriter(w io.WriteSeeker) (*StreamWriter, error) {
+	sw := &StreamWriter{w: w, bw: bufio.NewWriter(w)}
+	if _, err := sw.bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], traceVersion)
+	// Count placeholder: fixed up in Close.
+	if _, err := sw.bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// Append writes one request.
+func (sw *StreamWriter) Append(x Item) error {
+	if sw.done {
+		return fmt.Errorf("trace: append after Close")
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(x))
+	if _, err := sw.bw.Write(buf[:]); err != nil {
+		return err
+	}
+	sw.count++
+	return nil
+}
+
+// AppendAll writes a batch of requests.
+func (sw *StreamWriter) AppendAll(seq Sequence) error {
+	for _, x := range seq {
+		if err := sw.Append(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of requests appended so far.
+func (sw *StreamWriter) Count() uint64 { return sw.count }
+
+// Close flushes, patches the header's request count, and finalizes the
+// trace. The StreamWriter must not be used afterwards.
+func (sw *StreamWriter) Close() error {
+	if sw.done {
+		return nil
+	}
+	sw.done = true
+	if err := sw.bw.Flush(); err != nil {
+		return err
+	}
+	// The count lives 8 bytes into the file (after magic+version).
+	if _, err := sw.w.Seek(int64(len(traceMagic))+4, io.SeekStart); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], sw.count)
+	if _, err := sw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	_, err := sw.w.Seek(0, io.SeekEnd)
+	return err
+}
+
+// StreamReader iterates a trace without loading it whole.
+type StreamReader struct {
+	br        *bufio.Reader
+	remaining uint64
+}
+
+// NewStreamReader opens a trace for streaming reads, validating the header.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &StreamReader{br: br, remaining: binary.LittleEndian.Uint64(hdr[4:12])}, nil
+}
+
+// Remaining returns how many requests are left.
+func (sr *StreamReader) Remaining() uint64 { return sr.remaining }
+
+// Next returns the next request; io.EOF after the last one.
+func (sr *StreamReader) Next() (Item, error) {
+	if sr.remaining == 0 {
+		return 0, io.EOF
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(sr.br, buf[:]); err != nil {
+		return 0, fmt.Errorf("trace: reading request: %w", err)
+	}
+	sr.remaining--
+	return Item(binary.LittleEndian.Uint64(buf[:])), nil
+}

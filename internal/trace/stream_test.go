@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStreamRoundTripViaFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.satr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewStreamWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Sequence{5, 9, 5, 1000000007}
+	if err := sw.AppendAll(want); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Count() != uint64(len(want)) {
+		t.Fatalf("Count = %d", sw.Count())
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Readable both by the batch reader and the stream reader.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(want) {
+		t.Fatalf("batch read %v", batch)
+	}
+	sr, err := NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Remaining() != uint64(len(want)) {
+		t.Fatalf("Remaining = %d", sr.Remaining())
+	}
+	for i, w := range want {
+		got, err := sr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("request %d = %v, want %v", i, got, w)
+		}
+	}
+	if _, err := sr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestStreamWriterAppendAfterClose(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "t.satr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sw, err := NewStreamWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Append(1); err == nil {
+		t.Fatal("Append after Close should fail")
+	}
+}
+
+func TestStreamReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewStreamReader(bytes.NewReader([]byte("garbage!!"))); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+}
+
+func TestStreamWriterBatchEquivalence(t *testing.T) {
+	// Write with the batch API and the stream API; byte-identical output.
+	seq := RangeSeq(0, 100)
+	var batch bytes.Buffer
+	if err := Write(&batch, seq); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.satr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewStreamWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AppendAll(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(batch.Bytes(), streamed) {
+		t.Fatal("stream and batch formats differ")
+	}
+}

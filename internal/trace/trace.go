@@ -1,0 +1,216 @@
+// Package trace defines request sequences over a universe of cacheable
+// items, mirroring the formalism of Section 3 of the paper: a request
+// sequence σ ∈ U* is an ordered list of item requests, σ[X] is the
+// subsequence restricted to a set X ⊆ U, and σx appends a request.
+//
+// Items are opaque 64-bit identifiers. The zero Item is valid; generators
+// in internal/workload conventionally number items from 0.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item identifies one cacheable object in the universe U.
+type Item uint64
+
+// Sequence is a request sequence σ. Sequences are value-like: all methods
+// that derive a new sequence return a copy and never alias the receiver.
+type Sequence []Item
+
+// Append returns σx, the sequence with one request for x appended.
+// The receiver is not modified.
+func (s Sequence) Append(x Item) Sequence {
+	out := make(Sequence, len(s)+1)
+	copy(out, s)
+	out[len(s)] = x
+	return out
+}
+
+// Restrict returns σ[X]: the subsequence of s containing only requests for
+// items in X, in their original order.
+func (s Sequence) Restrict(x ItemSet) Sequence {
+	out := make(Sequence, 0, len(s))
+	for _, it := range s {
+		if x.Contains(it) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Universe returns the set of distinct items appearing in s.
+func (s Sequence) Universe() ItemSet {
+	u := make(ItemSet, len(s)/2+1)
+	for _, it := range s {
+		u[it] = struct{}{}
+	}
+	return u
+}
+
+// DistinctCount returns |Σ|, the number of distinct items in s.
+func (s Sequence) DistinctCount() int { return len(s.Universe()) }
+
+// Clone returns a copy of s.
+func (s Sequence) Clone() Sequence {
+	out := make(Sequence, len(s))
+	copy(out, s)
+	return out
+}
+
+// Concat returns the concatenation of s followed by t, as a new sequence.
+func (s Sequence) Concat(t Sequence) Sequence {
+	out := make(Sequence, 0, len(s)+len(t))
+	out = append(out, s...)
+	out = append(out, t...)
+	return out
+}
+
+// Repeat returns s replayed n times. Repeat(0) is the empty sequence.
+func (s Sequence) Repeat(n int) Sequence {
+	if n < 0 {
+		panic(fmt.Sprintf("trace: negative repeat count %d", n))
+	}
+	out := make(Sequence, 0, len(s)*n)
+	for i := 0; i < n; i++ {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// String renders short sequences with letters (A, B, ...) for items < 26 and
+// numbers otherwise; used by the stability counterexample printer.
+func (s Sequence) String() string {
+	b := make([]byte, 0, len(s)*2)
+	for i, it := range s {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		if it < 26 {
+			b = append(b, byte('A'+it))
+		} else {
+			b = append(b, []byte(fmt.Sprintf("%d", uint64(it)))...)
+		}
+	}
+	return string(b)
+}
+
+// ItemSet is a finite subset X ⊆ U.
+type ItemSet map[Item]struct{}
+
+// NewItemSet builds a set from the given items.
+func NewItemSet(items ...Item) ItemSet {
+	s := make(ItemSet, len(items))
+	for _, it := range items {
+		s[it] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports whether x ∈ s.
+func (s ItemSet) Contains(x Item) bool {
+	_, ok := s[x]
+	return ok
+}
+
+// Add inserts x into s.
+func (s ItemSet) Add(x Item) { s[x] = struct{}{} }
+
+// Len returns |s|.
+func (s ItemSet) Len() int { return len(s) }
+
+// Sorted returns the elements of s in increasing order.
+func (s ItemSet) Sorted() []Item {
+	out := make([]Item, 0, len(s))
+	for it := range s {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether s and t contain exactly the same items.
+func (s ItemSet) Equal(t ItemSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for it := range s {
+		if !t.Contains(it) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s ItemSet) SubsetOf(t ItemSet) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	for it := range s {
+		if !t.Contains(it) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s ∩ t ≠ ∅.
+func (s ItemSet) Intersects(t ItemSet) bool {
+	small, big := s, t
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for it := range small {
+		if big.Contains(it) {
+			return true
+		}
+	}
+	return false
+}
+
+// Range builds the contiguous item set {lo, lo+1, ..., hi-1}.
+func Range(lo, hi Item) ItemSet {
+	if hi < lo {
+		panic(fmt.Sprintf("trace: invalid range [%d, %d)", lo, hi))
+	}
+	s := make(ItemSet, int(hi-lo))
+	for it := lo; it < hi; it++ {
+		s[it] = struct{}{}
+	}
+	return s
+}
+
+// RangeSeq returns the sequence lo, lo+1, ..., hi-1 (one sequential scan of
+// the contiguous universe segment).
+func RangeSeq(lo, hi Item) Sequence {
+	if hi < lo {
+		panic(fmt.Sprintf("trace: invalid range [%d, %d)", lo, hi))
+	}
+	s := make(Sequence, 0, int(hi-lo))
+	for it := lo; it < hi; it++ {
+		s = append(s, it)
+	}
+	return s
+}
+
+// ParseLetters converts a string like "AYZZZZABYYBC" into a sequence,
+// mapping 'A'→0, 'B'→1, ...; spaces are ignored. It is the inverse of
+// Sequence.String for small universes and is used to transcribe the paper's
+// counterexamples verbatim.
+func ParseLetters(s string) (Sequence, error) {
+	out := make(Sequence, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r == ' ':
+		case r >= 'A' && r <= 'Z':
+			out = append(out, Item(r-'A'))
+		case r >= 'a' && r <= 'z':
+			out = append(out, Item(r-'a'))
+		default:
+			return nil, fmt.Errorf("trace: invalid letter %q", r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequenceAppendDoesNotAlias(t *testing.T) {
+	s := Sequence{1, 2, 3}
+	s2 := s.Append(4)
+	s[0] = 99
+	if s2[0] != 1 {
+		t.Fatal("Append aliased the receiver")
+	}
+	if len(s2) != 4 || s2[3] != 4 {
+		t.Fatalf("Append result = %v", s2)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	s := Sequence{1, 2, 3, 2, 1, 4}
+	got := s.Restrict(NewItemSet(1, 4))
+	want := Sequence{1, 1, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Restrict = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Restrict = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRestrictEmptySet(t *testing.T) {
+	s := Sequence{1, 2, 3}
+	if got := s.Restrict(NewItemSet()); len(got) != 0 {
+		t.Fatalf("Restrict(∅) = %v, want empty", got)
+	}
+}
+
+func TestUniverseAndDistinctCount(t *testing.T) {
+	s := Sequence{5, 5, 7, 9, 7}
+	if s.DistinctCount() != 3 {
+		t.Fatalf("DistinctCount = %d, want 3", s.DistinctCount())
+	}
+	if !s.Universe().Equal(NewItemSet(5, 7, 9)) {
+		t.Fatalf("Universe = %v", s.Universe().Sorted())
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	s := Sequence{1, 2}
+	got := s.Repeat(3)
+	want := Sequence{1, 2, 1, 2, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Repeat = %v, want %v", got, want)
+		}
+	}
+	if len(s.Repeat(0)) != 0 {
+		t.Fatal("Repeat(0) should be empty")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a, b := Sequence{1}, Sequence{2, 3}
+	got := a.Concat(b)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Concat = %v", got)
+	}
+}
+
+func TestItemSetOps(t *testing.T) {
+	a := NewItemSet(1, 2, 3)
+	b := NewItemSet(2, 3, 4)
+	if !a.Intersects(b) {
+		t.Fatal("a should intersect b")
+	}
+	if a.SubsetOf(b) {
+		t.Fatal("a is not a subset of b")
+	}
+	if !NewItemSet(2, 3).SubsetOf(a) {
+		t.Fatal("{2,3} ⊆ a")
+	}
+	if a.Equal(b) {
+		t.Fatal("a != b")
+	}
+	if NewItemSet(9).Intersects(a) {
+		t.Fatal("{9} should not intersect a")
+	}
+}
+
+func TestRangeAndRangeSeq(t *testing.T) {
+	r := Range(3, 6)
+	if !r.Equal(NewItemSet(3, 4, 5)) {
+		t.Fatalf("Range = %v", r.Sorted())
+	}
+	s := RangeSeq(3, 6)
+	if len(s) != 3 || s[0] != 3 || s[2] != 5 {
+		t.Fatalf("RangeSeq = %v", s)
+	}
+	if Range(4, 4).Len() != 0 {
+		t.Fatal("empty range should have no items")
+	}
+}
+
+func TestParseLettersAndString(t *testing.T) {
+	s, err := ParseLetters("A Y Z z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Sequence{0, 24, 25, 25}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("ParseLetters = %v, want %v", s, want)
+		}
+	}
+	if got := s.String(); got != "A Y Z Z" {
+		t.Fatalf("String = %q", got)
+	}
+	if _, err := ParseLetters("A1"); err == nil {
+		t.Fatal("digits should be rejected")
+	}
+}
+
+func TestStringLargeItems(t *testing.T) {
+	s := Sequence{30, 1}
+	if got := s.String(); got != "30 B" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	f := func(raw []uint64) bool {
+		seq := make(Sequence, len(raw))
+		for i, v := range raw {
+			seq[i] = Item(v)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, seq); err != nil {
+			t.Log(err)
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(back) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if back[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should be rejected")
+	}
+	// Valid magic, truncated body.
+	var buf bytes.Buffer
+	if err := Write(&buf, Sequence{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace should be rejected")
+	}
+}
+
+func TestRestrictProperty(t *testing.T) {
+	// σ[X] contains exactly the requests for items in X, in order.
+	f := func(raw []uint8, members []uint8) bool {
+		seq := make(Sequence, len(raw))
+		for i, v := range raw {
+			seq[i] = Item(v % 10)
+		}
+		x := make(ItemSet)
+		for _, m := range members {
+			x.Add(Item(m % 10))
+		}
+		got := seq.Restrict(x)
+		j := 0
+		for _, it := range seq {
+			if x.Contains(it) {
+				if j >= len(got) || got[j] != it {
+					return false
+				}
+				j++
+			}
+		}
+		return j == len(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

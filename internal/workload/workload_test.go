@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func TestGeneratorsProduceRequestedLength(t *testing.T) {
+	gens := []Generator{
+		Uniform{Universe: 50},
+		Zipf{Universe: 50, S: 1.0},
+		Zipf{Universe: 50, S: 0.8, Shuffle: true},
+		Scan{Universe: 20},
+		Phases{PhaseLen: 10, SetSize: 5, Universe: 30},
+		ZipfWithScans{HotUniverse: 20, S: 1.0, BurstEvery: 7, BurstLen: 3},
+		Fixed{Label: "fixed", Seq: trace.Sequence{1, 2, 3}},
+	}
+	for _, g := range gens {
+		for _, n := range []int{0, 1, 17, 256} {
+			got := g.Generate(n, 42)
+			if len(got) != n {
+				t.Errorf("%s.Generate(%d) returned %d requests", g.Name(), n, len(got))
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministicInSeed(t *testing.T) {
+	gens := []Generator{
+		Uniform{Universe: 50},
+		Zipf{Universe: 50, S: 1.0, Shuffle: true},
+		Phases{PhaseLen: 10, SetSize: 5, Universe: 30},
+		ZipfWithScans{HotUniverse: 20, S: 1.0, BurstEvery: 7, BurstLen: 3},
+	}
+	for _, g := range gens {
+		a := g.Generate(500, 7)
+		b := g.Generate(500, 7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s not deterministic at %d", g.Name(), i)
+			}
+		}
+		c := g.Generate(500, 8)
+		same := 0
+		for i := range a {
+			if a[i] == c[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Errorf("%s ignores the seed", g.Name())
+		}
+	}
+}
+
+func TestUniformStaysInUniverse(t *testing.T) {
+	f := func(seed uint64, uRaw uint8) bool {
+		u := int(uRaw%40) + 1
+		seq := Uniform{Universe: u, Base: 100}.Generate(200, seed)
+		for _, x := range seq {
+			if x < 100 || x >= trace.Item(100+u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZipfSkew: with s=1 the hottest item should receive roughly
+// 1/H(U) of the requests — far more than uniform.
+func TestZipfSkew(t *testing.T) {
+	const universe = 100
+	const n = 100000
+	seq := Zipf{Universe: universe, S: 1.0}.Generate(n, 3)
+	counts := make(map[trace.Item]int)
+	for _, x := range seq {
+		counts[x]++
+	}
+	h := 0.0
+	for i := 1; i <= universe; i++ {
+		h += 1 / float64(i)
+	}
+	wantHot := float64(n) / h
+	gotHot := float64(counts[0])
+	if math.Abs(gotHot-wantHot)/wantHot > 0.1 {
+		t.Errorf("hottest item got %.0f requests, want ≈ %.0f", gotHot, wantHot)
+	}
+	// Rank 1 should clearly beat rank 50.
+	if counts[0] <= counts[49] {
+		t.Error("Zipf skew missing: rank 1 not hotter than rank 50")
+	}
+}
+
+func TestZipfZeroSIsUniformish(t *testing.T) {
+	const universe = 10
+	const n = 50000
+	seq := Zipf{Universe: universe, S: 0}.Generate(n, 5)
+	counts := make(map[trace.Item]int)
+	for _, x := range seq {
+		counts[x]++
+	}
+	want := float64(n) / universe
+	for it, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.15 {
+			t.Errorf("item %v count %d deviates from uniform %f", it, c, want)
+		}
+	}
+}
+
+func TestZipfShufflePermutesPopularity(t *testing.T) {
+	seqPlain := Zipf{Universe: 100, S: 1.2}.Generate(20000, 9)
+	seqShuf := Zipf{Universe: 100, S: 1.2, Shuffle: true}.Generate(20000, 9)
+	hot := func(s trace.Sequence) trace.Item {
+		counts := make(map[trace.Item]int)
+		for _, x := range s {
+			counts[x]++
+		}
+		best, bestC := trace.Item(0), -1
+		for it, c := range counts {
+			if c > bestC {
+				best, bestC = it, c
+			}
+		}
+		return best
+	}
+	if hot(seqPlain) != 0 {
+		t.Error("unshuffled Zipf should have item 0 hottest")
+	}
+	if hot(seqShuf) == 0 {
+		t.Log("shuffled Zipf still has item 0 hottest (possible but unlikely); seed-dependent, not failing")
+	}
+}
+
+func TestScanCycles(t *testing.T) {
+	seq := Scan{Universe: 3, Base: 10}.Generate(7, 0)
+	want := trace.Sequence{10, 11, 12, 10, 11, 12, 10}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("Scan = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestPhasesUsesBoundedWorkingSets(t *testing.T) {
+	g := Phases{PhaseLen: 50, SetSize: 4, Universe: 1000}
+	seq := g.Generate(500, 11)
+	for p := 0; p+50 <= len(seq); p += 50 {
+		distinct := seq[p : p+50].DistinctCount()
+		if distinct > 4 {
+			t.Fatalf("phase at %d uses %d distinct items, want ≤ 4", p, distinct)
+		}
+	}
+}
+
+func TestZipfWithScansColdItemsNeverRepeat(t *testing.T) {
+	g := ZipfWithScans{HotUniverse: 10, S: 1.0, BurstEvery: 5, BurstLen: 4}
+	seq := g.Generate(1000, 13)
+	coldCounts := make(map[trace.Item]int)
+	for _, x := range seq {
+		if x >= 10 { // cold region starts above the hot universe
+			coldCounts[x]++
+		}
+	}
+	if len(coldCounts) == 0 {
+		t.Fatal("expected some cold burst items")
+	}
+	for it, c := range coldCounts {
+		if c != 1 {
+			t.Fatalf("cold item %v repeated %d times", it, c)
+		}
+	}
+}
+
+func TestFixedCycles(t *testing.T) {
+	g := Fixed{Label: "x", Seq: trace.Sequence{5, 6}}
+	seq := g.Generate(5, 0)
+	want := trace.Sequence{5, 6, 5, 6, 5}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("Fixed = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Uniform U=0", func() { Uniform{}.Generate(1, 0) })
+	mustPanic("Zipf U=0", func() { Zipf{}.Generate(1, 0) })
+	mustPanic("Scan U=0", func() { Scan{}.Generate(1, 0) })
+	mustPanic("Phases bad", func() { Phases{PhaseLen: 1, SetSize: 5, Universe: 2}.Generate(1, 0) })
+	mustPanic("Fixed empty", func() { Fixed{}.Generate(1, 0) })
+}
+
+func TestMarkovLocality(t *testing.T) {
+	// High stickiness with a tiny neighbourhood must produce far fewer
+	// distinct items per window than the uniform jumps alone would.
+	sticky := Markov{Universe: 10000, Neighbourhood: 8, Stickiness: 0.99}
+	loose := Markov{Universe: 10000, Neighbourhood: 8, Stickiness: 0.0}
+	s1 := sticky.Generate(20000, 3)
+	s2 := loose.Generate(20000, 3)
+	if d1, d2 := s1.DistinctCount(), s2.DistinctCount(); d1 >= d2/2 {
+		t.Fatalf("sticky distinct %d should be ≪ loose %d", d1, d2)
+	}
+}
+
+func TestMarkovBoundsAndDeterminism(t *testing.T) {
+	g := Markov{Universe: 50, Neighbourhood: 5, Stickiness: 0.8, Base: 100}
+	a := g.Generate(5000, 7)
+	b := g.Generate(5000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if a[i] < 100 || a[i] >= 150 {
+			t.Fatalf("item %v out of range", a[i])
+		}
+	}
+	mustPanicM := func(g Markov) {
+		defer func() { recover() }()
+		g.Generate(1, 0)
+		t.Fatalf("expected panic for %+v", g)
+	}
+	mustPanicM(Markov{Universe: 0, Neighbourhood: 1, Stickiness: 0.5})
+	mustPanicM(Markov{Universe: 10, Neighbourhood: 20, Stickiness: 0.5})
+	mustPanicM(Markov{Universe: 10, Neighbourhood: 2, Stickiness: 1.0})
+}
