@@ -1,0 +1,81 @@
+// Command cached is the sharded cache daemon: a concurrent α-way
+// set-associative cache (internal/concurrent) served over TCP with the wire
+// protocol (internal/wire).
+//
+// Usage:
+//
+//	cached -addr :7070 -k 65536 -alpha 16
+//	cached -addr :7070 -k 65536 -alpha 16 -policy clock
+//	cached -addr :7070 -k 65536 -alpha 16 -rehash-every 1048576
+//
+// With -rehash-every N the daemon applies the paper's Section 6 schedule:
+// every N misses it draws a fresh indexing hash and migrates incrementally
+// under live traffic. Clients can also force a rehash with the REHASH
+// opcode (cacheload -rehash). STATS exposes hit/miss/conflict counters and,
+// on request, per-shard snapshots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/concurrent"
+	"repro/internal/policy"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7070", "listen address")
+		k          = flag.Int("k", 1<<16, "total cache capacity")
+		alpha      = flag.Int("alpha", 16, "set size α (must divide k); the paper recommends slightly above log₂ k")
+		polName    = flag.String("policy", "lru", "per-bucket replacement policy: lru|fifo|clock|lfu|lru2|lru3|reusedist|random|mru")
+		seed       = flag.Uint64("seed", 1, "hash seed")
+		rehashEv   = flag.Uint64("rehash-every", 0, "start an online incremental rehash every N misses (0 disables)")
+		migPerMiss = flag.Int("migrate-per-miss", 1, "forced migrations per miss during a rehash")
+	)
+	flag.Parse()
+
+	kind, err := policy.ParseKind(*polName)
+	if err != nil {
+		fatal(err)
+	}
+	cache, err := concurrent.New(concurrent.Config{
+		Capacity:          *k,
+		Alpha:             *alpha,
+		Seed:              *seed,
+		Policy:            policy.NewFactory(kind, *seed),
+		RehashEveryMisses: *rehashEv,
+		MigrationPerMiss:  *migPerMiss,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := server.New(cache)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("cached: shutting down")
+		srv.Close()
+	}()
+
+	log.Printf("cached: serving k=%d α=%d (%d buckets) policy=%s on %s",
+		*k, *alpha, cache.NumBuckets(), kind, *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fatal(err)
+	}
+	snap := cache.Snapshot()
+	log.Printf("cached: final stats: hits=%d misses=%d (ratio %.4f) evictions=%d conflict=%d rehashes=%d",
+		snap.Hits, snap.Misses, snap.MissRatio(), snap.Evictions, snap.ConflictEvictions, snap.Rehashes)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cached: %v\n", err)
+	os.Exit(1)
+}

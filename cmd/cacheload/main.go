@@ -1,0 +1,175 @@
+// Command cacheload is a closed-loop load generator for cached. It drives
+// the server from the library's workload generators (uniform, zipf, scan,
+// the Theorem 4 adversarial cycler) or a recorded .satr trace, over any
+// number of connections with optional pipelining, and reports throughput,
+// round-trip latency percentiles and the client-observed miss ratio —
+// cross-checked against the server's own STATS counters.
+//
+// Usage:
+//
+//	cacheload -addr :7070 -workload zipf -universe 200000 -ops 1000000 -conns 8
+//	cacheload -addr :7070 -workload adversarial -ops 500000 -conns 4
+//	cacheload -addr :7070 -trace workload.satr -ops 1000000
+//	cacheload -addr :7070 -rehash            # force an online rehash mid-run
+//
+// The adversarial workload asks the server for its capacity k via STATS and
+// builds the Theorem 4 cyclic sequence for it: s disjoint sets of (1−δ)k
+// items, each replayed t times. Against a small-α server this manufactures
+// conflict misses on every cycle; watch the conflict counter in -stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/load"
+	"repro/internal/trace"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "server address")
+		conns    = flag.Int("conns", 4, "concurrent connections")
+		ops      = flag.Int("ops", 1_000_000, "total GET operations")
+		pipeline = flag.Int("pipeline", 16, "requests per round trip")
+		valSize  = flag.Int("valsize", 64, "value payload bytes for read-through SETs")
+		wl       = flag.String("workload", "zipf", "uniform|zipf|scan|adversarial")
+		universe = flag.Int("universe", 1<<18, "workload universe size")
+		zipfS    = flag.Float64("zipf-s", 0.99, "zipf skew exponent")
+		advDelta = flag.Float64("adv-delta", 0.1, "adversarial capacity gap δ")
+		advSets  = flag.Int("adv-sets", 4, "adversarial disjoint set count s")
+		advReps  = flag.Int("adv-reps", 8, "adversarial replays per set t")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		traceIn  = flag.String("trace", "", "replay a .satr trace instead of a generator")
+		readThru = flag.Bool("readthrough", true, "SET every missed key (read-through)")
+		verify   = flag.Bool("verify", true, "verify hit payloads carry their key")
+		stats    = flag.Bool("stats", true, "fetch and print server STATS after the run")
+		rehash   = flag.Bool("rehash", false, "send REHASH before the run starts")
+	)
+	flag.Parse()
+
+	keys, label, err := buildKeys(*addr, *traceIn, *wl, *ops, *universe, *zipfS, *advDelta, *advSets, *advReps, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var before *wire.Stats
+	ctl, err := wire.Dial(*addr)
+	if err != nil {
+		fatal(fmt.Errorf("dial %s: %w", *addr, err))
+	}
+	if *rehash {
+		if err := ctl.Rehash(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("online rehash requested")
+	}
+	if before, err = ctl.Stats(false); err != nil {
+		fatal(err)
+	}
+
+	res, err := load.Run(load.Config{
+		Addr:        *addr,
+		Conns:       *conns,
+		Keys:        keys,
+		Pipeline:    *pipeline,
+		ValueSize:   *valSize,
+		ReadThrough: *readThru,
+		Verify:      *verify,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload %s: %d ops over %d conns (pipeline %d) in %v\n",
+		label, res.Ops, *conns, *pipeline, res.Elapsed.Round(1e6))
+	fmt.Printf("  throughput: %12.0f GET/s\n", res.Throughput)
+	fmt.Printf("  latency:    p50=%v p90=%v p99=%v max=%v (per %d-deep batch)\n",
+		res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max, *pipeline)
+	fmt.Printf("  client:     hits=%d misses=%d (miss ratio %.4f) sets=%d corrupt=%d\n",
+		res.Hits, res.Misses, res.MissRatio(), res.Sets, res.Corrupt)
+
+	if *stats {
+		after, err := ctl.Stats(true)
+		if err != nil {
+			fatal(err)
+		}
+		dh, dm := after.Hits-before.Hits, after.Misses-before.Misses
+		fmt.Printf("  server:     Δhits=%d Δmisses=%d len=%d/%d α=%d buckets=%d\n",
+			dh, dm, after.Len, after.Capacity, after.Alpha, after.Buckets)
+		fmt.Printf("  server:     evictions=%d conflict=%d flush=%d rehashes=%d migrating=%v pending=%d\n",
+			after.Evictions, after.ConflictEvictions, after.FlushEvictions,
+			after.Rehashes, after.Migrating, after.Pending)
+		if n := len(after.Shards); n > 0 {
+			minL, maxL := after.Shards[0].Len, after.Shards[0].Len
+			for _, sh := range after.Shards {
+				if sh.Len < minL {
+					minL = sh.Len
+				}
+				if sh.Len > maxL {
+					maxL = sh.Len
+				}
+			}
+			fmt.Printf("  shards:     %d buckets, occupancy min=%d max=%d\n", n, minL, maxL)
+		}
+	}
+	ctl.Close()
+}
+
+// buildKeys materializes the request key stream.
+func buildKeys(addr, traceIn, wl string, ops, universe int, zipfS, advDelta float64, advSets, advReps int, seed uint64) (trace.Sequence, string, error) {
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		seq, err := trace.Read(f)
+		if err != nil {
+			return nil, "", err
+		}
+		gen := workload.Fixed{Label: fmt.Sprintf("trace(%s)", traceIn), Seq: seq}
+		return gen.Generate(ops, seed), gen.Name(), nil
+	}
+
+	var gen workload.Generator
+	switch wl {
+	case "uniform":
+		gen = workload.Uniform{Universe: universe}
+	case "zipf":
+		gen = workload.Zipf{Universe: universe, S: zipfS, Shuffle: true}
+	case "scan":
+		gen = workload.Scan{Universe: universe}
+	case "adversarial":
+		// Size the Theorem 4 construction to the server's actual capacity.
+		ctl, err := wire.Dial(addr)
+		if err != nil {
+			return nil, "", fmt.Errorf("dial %s: %w", addr, err)
+		}
+		st, err := ctl.Stats(false)
+		ctl.Close()
+		if err != nil {
+			return nil, "", err
+		}
+		adv := adversary.Theorem4{K: int(st.Capacity), Delta: advDelta, Sets: advSets, Reps: advReps}
+		if err := adv.Validate(); err != nil {
+			return nil, "", err
+		}
+		gen = workload.Fixed{
+			Label: fmt.Sprintf("theorem4(k=%d,δ=%.2f,s=%d,t=%d)", adv.K, advDelta, advSets, advReps),
+			Seq:   adv.Build(),
+		}
+	default:
+		return nil, "", fmt.Errorf("unknown workload %q", wl)
+	}
+	return gen.Generate(ops, seed), gen.Name(), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cacheload: %v\n", err)
+	os.Exit(1)
+}

@@ -34,6 +34,23 @@
 // see DESIGN.md and EXPERIMENTS.md) live in internal/experiments and are
 // runnable via cmd/assocbench or the benchmarks in bench_test.go.
 //
+// # The cache service
+//
+// The motivating use case is also built out to a real service boundary: a
+// networked sharded cache. internal/wire defines a compact length-prefixed
+// binary protocol (GET/SET/DEL/STATS/REHASH, batched pipelining);
+// internal/server serves a concurrent.Cache over TCP; cmd/cached is the
+// daemon and cmd/cacheload the closed-loop load generator, driven by
+// internal/workload generators or recorded traces via internal/load. The
+// concurrent cache supports *online* incremental rehashing — the Section
+// 6.1 algorithm under per-bucket locks, so a live service can apply the
+// paper's "rehash every poly(k) misses" schedule without a stop-the-world
+// flush — and exposes per-shard stats plus a conflict-eviction counter
+// (evictions that occurred while free slots existed elsewhere). The
+// examples/server walkthrough and the internal/server benchmark sweep α end
+// to end, making both sides of the threshold tradeoff (lock contention vs
+// conflict misses) measurable over the wire.
+//
 // # Quick start
 //
 //	cache, err := assoccache.NewSetAssociative(1<<14, assoccache.RecommendedAlpha(1<<14))

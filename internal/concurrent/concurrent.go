@@ -7,6 +7,18 @@
 // "smaller α, bigger benefits" side of the paper's tradeoff — and the
 // library's miss-cost analysis (experiments E1/E2) quantifies the other
 // side.
+//
+// The cache also supports *online* incremental rehashing: the ⟨LRU⟩IF
+// algorithm of Section 6.1, ported from internal/core to the concurrent
+// setting. A rehash draws a fresh indexing hash while the old one stays
+// live; items migrate to their new bucket lazily when touched, and every
+// miss force-evicts a bounded number of not-yet-remapped items, so no
+// stop-the-world flush is ever needed and no entry is dropped except by
+// eviction. Rehash *initiation* does pause concurrent operations briefly —
+// marking every resident as awaiting remapping takes the cache-wide write
+// lock for O(residents) — but the migration itself runs under per-bucket
+// locks amortized across subsequent traffic. At most two hash functions
+// are live at any time.
 package concurrent
 
 import (
@@ -19,22 +31,57 @@ import (
 	"repro/internal/trace"
 )
 
-// Cache is a thread-safe set-associative LRU key-value cache with
-// per-bucket locking. The zero value is not usable; call New.
+// Cache is a thread-safe set-associative key-value cache with per-bucket
+// locking and optional online rehashing. The zero value is not usable;
+// call New.
 type Cache struct {
 	buckets []bucket
-	hasher  *hashfn.Random
 	alpha   int
+	seeds   *hashfn.SeedSequence
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	// rehashMu guards the hasher/oldHasher pair. Normal operations hold it
+	// for reading (shared, cheap); only Rehash and migration completion take
+	// the write side. Per-item state is still guarded by bucket mutexes.
+	rehashMu  sync.RWMutex
+	hasher    *hashfn.Random
+	oldHasher *hashfn.Random // non-nil while a migration is in progress
+
+	// migrating mirrors oldHasher != nil so the post-operation fast path can
+	// check for migration completion without taking rehashMu.
+	migrating atomic.Bool
+	// pending counts items still resident under the old hash.
+	pending atomic.Int64
+	// sweepCursor is the next bucket index the forced-eviction sweep visits.
+	sweepCursor atomic.Int64
+
+	rehashEveryMisses uint64
+	migrationPerMiss  int
+
+	hits              atomic.Uint64
+	misses            atomic.Uint64
+	evictions         atomic.Uint64
+	conflictEvictions atomic.Uint64
+	flushEvictions    atomic.Uint64
+	rehashes          atomic.Uint64
+	// occupancy tracks the total entry count so evictions can be classified
+	// as conflict (free slots existed elsewhere) without a global lock.
+	occupancy atomic.Int64
 }
 
 type bucket struct {
 	mu     sync.Mutex
-	lru    *policy.LRU
+	pol    policy.Policy
 	values map[trace.Item]interface{}
-	_      [32]byte // pad to keep hot buckets off shared cache lines
+	// old marks residents that have not been remapped since the last rehash
+	// began. Items in old are indexed by the *previous* hash function.
+	old map[trace.Item]struct{}
+
+	// Per-shard Get counters, guarded by mu.
+	hits      uint64
+	misses    uint64
+	evictions uint64
+
+	_ [32]byte // pad to keep hot buckets off shared cache lines
 }
 
 // Config describes a concurrent cache.
@@ -46,8 +93,20 @@ type Config struct {
 	// must divide Capacity. The paper's advice: α slightly above log₂ k
 	// captures nearly all of full associativity's hit rate.
 	Alpha int
-	// Seed drives the indexing hash.
+	// Seed drives the indexing hash and the rehash seed schedule.
 	Seed uint64
+	// Policy stamps out one replacement-policy instance per bucket.
+	// Nil means LRU.
+	Policy policy.Factory
+	// RehashEveryMisses, when nonzero, starts an online incremental rehash
+	// every RehashEveryMisses Get misses — the paper's "rehash every poly(k)
+	// misses" schedule (Section 6), which keeps the cache competitive on
+	// arbitrarily long request sequences.
+	RehashEveryMisses uint64
+	// MigrationPerMiss bounds the forced evictions of not-yet-remapped items
+	// performed per miss during a migration; zero means 1 (the gentlest
+	// schedule the paper allows).
+	MigrationPerMiss int
 }
 
 // New builds a concurrent cache.
@@ -58,47 +117,203 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.Alpha <= 0 || cfg.Alpha > cfg.Capacity || cfg.Capacity%cfg.Alpha != 0 {
 		return nil, fmt.Errorf("concurrent: alpha %d must divide capacity %d", cfg.Alpha, cfg.Capacity)
 	}
+	factory := cfg.Policy
+	if factory == nil {
+		factory = func(c int) policy.Policy { return policy.NewLRU(c) }
+	}
 	n := cfg.Capacity / cfg.Alpha
 	c := &Cache{
-		buckets: make([]bucket, n),
-		hasher:  hashfn.NewRandom(cfg.Seed, n),
-		alpha:   cfg.Alpha,
+		buckets:           make([]bucket, n),
+		seeds:             hashfn.NewSeedSequence(cfg.Seed),
+		alpha:             cfg.Alpha,
+		rehashEveryMisses: cfg.RehashEveryMisses,
+		migrationPerMiss:  cfg.MigrationPerMiss,
 	}
+	if c.migrationPerMiss <= 0 {
+		c.migrationPerMiss = 1
+	}
+	c.hasher = hashfn.NewRandom(c.seeds.Next(), n)
 	for i := range c.buckets {
-		c.buckets[i].lru = policy.NewLRU(cfg.Alpha)
+		c.buckets[i].pol = factory(cfg.Alpha)
 		c.buckets[i].values = make(map[trace.Item]interface{}, cfg.Alpha)
 	}
 	return c, nil
 }
 
-// Get returns the value cached under key, if any, updating recency.
+// Get returns the value cached under key, if any, updating recency. During a
+// migration a hit on a not-yet-remapped item moves it to its new bucket, and
+// a miss force-evicts up to MigrationPerMiss old residents (Section 6.1).
 func (c *Cache) Get(key uint64) (interface{}, bool) {
-	b := &c.buckets[c.hasher.Bucket(trace.Item(key))]
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	v, ok := b.values[trace.Item(key)]
-	if !ok {
-		c.misses.Add(1)
-		return nil, false
+	item := trace.Item(key)
+	c.rehashMu.RLock()
+	v, ok := c.lookup(item)
+	if !ok && c.oldHasher != nil {
+		c.migrateSteps()
 	}
-	b.lru.Request(trace.Item(key)) // hit: refresh recency
-	c.hits.Add(1)
-	return v, true
+	c.rehashMu.RUnlock()
+	c.maybeFinishMigration()
+
+	if ok {
+		c.hits.Add(1)
+		return v, true
+	}
+	m := c.misses.Add(1)
+	if c.rehashEveryMisses > 0 && m%c.rehashEveryMisses == 0 {
+		// Initiate asynchronously so the request that trips the schedule
+		// does not absorb the O(residents) marking pause itself. At most
+		// one goroutine per period crossing; Rehash serializes internally.
+		go c.Rehash()
+	}
+	return nil, false
 }
 
-// Put caches value under key, evicting the bucket's LRU entry if needed.
+// lookup finds item under the live hash function(s). Caller holds
+// rehashMu.RLock.
+func (c *Cache) lookup(item trace.Item) (interface{}, bool) {
+	nb := c.hasher.Bucket(item)
+	ob := nb
+	if c.oldHasher != nil {
+		ob = c.oldHasher.Bucket(item)
+	}
+	if ob == nb {
+		b := &c.buckets[nb]
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		v, ok := b.values[item]
+		if !ok {
+			b.misses++
+			return nil, false
+		}
+		c.clearOldMark(b, item)
+		b.pol.Request(item)
+		b.hits++
+		return v, true
+	}
+
+	bn, bo := &c.buckets[nb], &c.buckets[ob]
+	c.lockPair(nb, ob)
+	defer c.unlockPair(nb, ob)
+
+	if v, ok := bn.values[item]; ok {
+		bn.pol.Request(item)
+		bn.hits++
+		return v, true
+	}
+	if _, isOld := bo.old[item]; isOld {
+		// Hit on a non-remapped item: move it to its new bucket, which may
+		// evict from there (Section 6.1).
+		v := bo.values[item]
+		bo.pol.Delete(item)
+		delete(bo.values, item)
+		delete(bo.old, item)
+		c.pending.Add(-1)
+		c.occupancy.Add(-1)
+		c.insertLocked(bn, item, v)
+		bn.hits++
+		return v, true
+	}
+	bn.misses++
+	return nil, false
+}
+
+// Put caches value under key, evicting from the target bucket if needed.
 // It returns the evicted key and whether an eviction happened.
 func (c *Cache) Put(key uint64, value interface{}) (evictedKey uint64, evicted bool) {
 	item := trace.Item(key)
-	b := &c.buckets[c.hasher.Bucket(item)]
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	_, victim, didEvict := b.lru.Request(item)
+	c.rehashMu.RLock()
+	nb := c.hasher.Bucket(item)
+	ob := nb
+	if c.oldHasher != nil {
+		ob = c.oldHasher.Bucket(item)
+	}
+	var victim trace.Item
+	var didEvict bool
+	if ob == nb {
+		b := &c.buckets[nb]
+		b.mu.Lock()
+		c.clearOldMark(b, item)
+		victim, didEvict = c.insertLocked(b, item, value)
+		b.mu.Unlock()
+	} else {
+		bn, bo := &c.buckets[nb], &c.buckets[ob]
+		c.lockPair(nb, ob)
+		if _, isOld := bo.old[item]; isOld {
+			// Overwrite of a non-remapped item: drop the stale resident and
+			// store fresh in the new bucket.
+			bo.pol.Delete(item)
+			delete(bo.values, item)
+			delete(bo.old, item)
+			c.pending.Add(-1)
+			c.occupancy.Add(-1)
+		}
+		victim, didEvict = c.insertLocked(bn, item, value)
+		c.unlockPair(nb, ob)
+	}
+	c.rehashMu.RUnlock()
+	c.maybeFinishMigration()
+	return uint64(victim), didEvict
+}
+
+// insertLocked stores item→value in bucket b, whose mutex the caller holds,
+// handling eviction bookkeeping. It returns the (single) reported victim.
+func (c *Cache) insertLocked(b *bucket, item trace.Item, value interface{}) (victim trace.Item, didEvict bool) {
+	hit, victim, didEvict := b.pol.Request(item)
 	if didEvict {
 		delete(b.values, victim)
+		c.clearOldMark(b, victim)
+		b.evictions++
+		c.evictions.Add(1)
+		// Occupancy is unchanged (one out, one in); if the cache as a whole
+		// still has free slots, this eviction is a pure conflict eviction —
+		// the associativity restriction, not capacity, caused it.
+		if c.occupancy.Load() < int64(c.Capacity()) {
+			c.conflictEvictions.Add(1)
+		}
+	} else if !hit {
+		c.occupancy.Add(1)
+	}
+	// Non-lazy policies (flush-when-full) may evict a whole batch beyond the
+	// single reported victim.
+	if be, ok := b.pol.(policy.BatchEvictions); ok {
+		for _, ev := range be.TakeEvictions() {
+			if _, present := b.values[ev]; present {
+				delete(b.values, ev)
+				c.clearOldMark(b, ev)
+				b.evictions++
+				c.evictions.Add(1)
+				c.occupancy.Add(-1)
+			}
+		}
 	}
 	b.values[item] = value
-	return uint64(victim), didEvict
+	return victim, didEvict
+}
+
+// clearOldMark removes item's awaiting-remap marker, if present. Caller
+// holds b.mu.
+func (c *Cache) clearOldMark(b *bucket, item trace.Item) {
+	if b.old == nil {
+		return
+	}
+	if _, ok := b.old[item]; ok {
+		delete(b.old, item)
+		c.pending.Add(-1)
+	}
+}
+
+// lockPair locks two distinct buckets in index order, avoiding deadlock
+// between operations whose old/new buckets cross.
+func (c *Cache) lockPair(i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	c.buckets[i].mu.Lock()
+	c.buckets[j].mu.Lock()
+}
+
+func (c *Cache) unlockPair(i, j int) {
+	c.buckets[i].mu.Unlock()
+	c.buckets[j].mu.Unlock()
 }
 
 // GetOrLoad returns the cached value for key, or runs load exactly once (per
@@ -119,16 +334,161 @@ func (c *Cache) GetOrLoad(key uint64, load func() (interface{}, error)) (interfa
 
 // Delete removes key, reporting whether it was present.
 func (c *Cache) Delete(key uint64) bool {
-	item := trace.Item(key)
-	b := &c.buckets[c.hasher.Bucket(item)]
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if !b.lru.Delete(item) {
-		return false
-	}
-	delete(b.values, item)
-	return true
+	ok := c.delete(trace.Item(key))
+	c.maybeFinishMigration()
+	return ok
 }
+
+func (c *Cache) delete(item trace.Item) bool {
+	c.rehashMu.RLock()
+	defer c.rehashMu.RUnlock()
+	nb := c.hasher.Bucket(item)
+	ob := nb
+	if c.oldHasher != nil {
+		ob = c.oldHasher.Bucket(item)
+	}
+	if ob == nb {
+		b := &c.buckets[nb]
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if !b.pol.Delete(item) {
+			return false
+		}
+		delete(b.values, item)
+		c.clearOldMark(b, item)
+		c.occupancy.Add(-1)
+		return true
+	}
+	bn, bo := &c.buckets[nb], &c.buckets[ob]
+	c.lockPair(nb, ob)
+	defer c.unlockPair(nb, ob)
+	if bn.pol.Delete(item) {
+		delete(bn.values, item)
+		c.occupancy.Add(-1)
+		return true
+	}
+	if _, isOld := bo.old[item]; isOld {
+		bo.pol.Delete(item)
+		delete(bo.values, item)
+		delete(bo.old, item)
+		c.pending.Add(-1)
+		c.occupancy.Add(-1)
+		return true
+	}
+	return false
+}
+
+// Rehash begins an online incremental rehash: a fresh indexing hash is
+// drawn, every current resident is marked as awaiting remapping, and the
+// migration proceeds under live traffic — hits move items to their new
+// bucket, misses force-evict stragglers. If a previous migration is still in
+// progress it is force-completed first, so at most two hash functions are
+// ever live (the Section 6.1 invariant "every rehash finishes before the
+// next one begins").
+//
+// Rehash blocks all cache operations for the duration of the marking pass
+// (O(residents) under the write lock); the migration that follows is fully
+// concurrent. See the package comment.
+func (c *Cache) Rehash() {
+	c.rehashMu.Lock()
+	defer c.rehashMu.Unlock()
+	if c.oldHasher != nil {
+		for i := range c.buckets {
+			b := &c.buckets[i]
+			b.mu.Lock()
+			for it := range b.old {
+				b.pol.Delete(it)
+				delete(b.values, it)
+				c.occupancy.Add(-1)
+				c.flushEvictions.Add(1)
+			}
+			b.old = nil
+			b.mu.Unlock()
+		}
+		c.pending.Store(0)
+		c.oldHasher = nil
+		c.migrating.Store(false)
+	}
+
+	c.oldHasher = c.hasher
+	c.hasher = hashfn.NewRandom(c.seeds.Next(), len(c.buckets))
+	total := 0
+	for i := range c.buckets {
+		b := &c.buckets[i]
+		b.mu.Lock()
+		items := b.pol.Items()
+		b.old = make(map[trace.Item]struct{}, len(items))
+		for _, it := range items {
+			b.old[it] = struct{}{}
+		}
+		total += len(items)
+		b.mu.Unlock()
+	}
+	c.rehashes.Add(1)
+	c.sweepCursor.Store(0)
+	c.pending.Store(int64(total))
+	if total == 0 {
+		// Nothing to migrate: the rehash completes immediately.
+		c.oldHasher = nil
+		c.migrating.Store(false)
+		return
+	}
+	c.migrating.Store(true)
+}
+
+// migrateSteps force-evicts up to migrationPerMiss not-yet-remapped items,
+// sweeping buckets in order. Caller holds rehashMu.RLock and no bucket
+// locks.
+func (c *Cache) migrateSteps() {
+	n := int64(len(c.buckets))
+	for done := 0; done < c.migrationPerMiss; {
+		i := c.sweepCursor.Load()
+		if i >= n {
+			return
+		}
+		b := &c.buckets[i]
+		b.mu.Lock()
+		evicted := false
+		for it := range b.old {
+			b.pol.Delete(it)
+			delete(b.values, it)
+			delete(b.old, it)
+			c.pending.Add(-1)
+			c.occupancy.Add(-1)
+			c.flushEvictions.Add(1)
+			evicted = true
+			break
+		}
+		drained := len(b.old) == 0
+		b.mu.Unlock()
+		if evicted {
+			done++
+		}
+		if drained {
+			c.sweepCursor.CompareAndSwap(i, i+1)
+		}
+	}
+}
+
+// maybeFinishMigration retires the old hash function once every resident has
+// been remapped or evicted. Called after operations release rehashMu.
+func (c *Cache) maybeFinishMigration() {
+	if !c.migrating.Load() || c.pending.Load() != 0 {
+		return
+	}
+	c.rehashMu.Lock()
+	if c.oldHasher != nil && c.pending.Load() == 0 {
+		c.oldHasher = nil
+		c.migrating.Store(false)
+	}
+	c.rehashMu.Unlock()
+}
+
+// Migrating reports whether an incremental rehash is in progress.
+func (c *Cache) Migrating() bool { return c.migrating.Load() }
+
+// PendingMigration returns the number of items still awaiting remapping.
+func (c *Cache) PendingMigration() int { return int(c.pending.Load()) }
 
 // Len returns the total number of cached entries (a racy snapshot).
 func (c *Cache) Len() int {
@@ -136,7 +496,7 @@ func (c *Cache) Len() int {
 	for i := range c.buckets {
 		b := &c.buckets[i]
 		b.mu.Lock()
-		total += b.lru.Len()
+		total += b.pol.Len()
 		b.mu.Unlock()
 	}
 	return total
@@ -154,4 +514,78 @@ func (c *Cache) NumBuckets() int { return len(c.buckets) }
 // Stats returns cumulative hit/miss counters for Get calls.
 func (c *Cache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Snapshot is a point-in-time view of the cache's cumulative counters.
+type Snapshot struct {
+	Hits   uint64
+	Misses uint64
+	// Evictions counts policy evictions caused by insertions.
+	Evictions uint64
+	// ConflictEvictions is the subset of Evictions that happened while the
+	// cache as a whole still had free slots: pure associativity conflicts,
+	// the paper's Theorem 4 currency.
+	ConflictEvictions uint64
+	// FlushEvictions counts forced evictions performed by rehash migrations.
+	FlushEvictions uint64
+	// Rehashes counts completed Rehash calls.
+	Rehashes uint64
+	// Migrating reports an in-progress incremental rehash; Pending is the
+	// number of items still awaiting remapping.
+	Migrating bool
+	Pending   int
+	Len       int
+	Capacity  int
+	Alpha     int
+	Buckets   int
+}
+
+// MissRatio returns Misses / (Hits + Misses), or 0 before any Get.
+func (s Snapshot) MissRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// Snapshot returns the cache-wide counter snapshot.
+func (c *Cache) Snapshot() Snapshot {
+	return Snapshot{
+		Hits:              c.hits.Load(),
+		Misses:            c.misses.Load(),
+		Evictions:         c.evictions.Load(),
+		ConflictEvictions: c.conflictEvictions.Load(),
+		FlushEvictions:    c.flushEvictions.Load(),
+		Rehashes:          c.rehashes.Load(),
+		Migrating:         c.migrating.Load(),
+		Pending:           int(c.pending.Load()),
+		Len:               c.Len(),
+		Capacity:          c.Capacity(),
+		Alpha:             c.alpha,
+		Buckets:           len(c.buckets),
+	}
+}
+
+// ShardStat is one bucket's view of the load: its Get hits and misses, the
+// evictions it performed, and its current occupancy.
+type ShardStat struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Len       int
+}
+
+// ShardStats returns a per-bucket stats snapshot, indexed by bucket. The
+// spread across shards is the direct measure of the balls-and-bins imbalance
+// the paper's threshold analysis is about.
+func (c *Cache) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.buckets))
+	for i := range c.buckets {
+		b := &c.buckets[i]
+		b.mu.Lock()
+		out[i] = ShardStat{Hits: b.hits, Misses: b.misses, Evictions: b.evictions, Len: b.pol.Len()}
+		b.mu.Unlock()
+	}
+	return out
 }

@@ -1,0 +1,266 @@
+// Package load is a closed-loop load harness for the cached server: N
+// connections, each driven by one worker goroutine, replay a key stream
+// against the server and measure throughput, round-trip latency percentiles
+// and the client-observed miss ratio.
+//
+// "Closed loop" means each worker keeps at most one batch in flight: it
+// sends a pipeline of GETs, waits for all responses, issues read-through
+// SETs for the misses, then moves on. Offered load therefore adapts to
+// server latency instead of overrunning it, which is the right harness for
+// comparing α configurations: the measured QPS difference is the lock
+// contention + miss cost difference, not queueing collapse.
+package load
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Config describes one load run.
+type Config struct {
+	// Addr is the server address.
+	Addr string
+	// Conns is the number of concurrent connections (workers). Must be ≥1.
+	Conns int
+	// Keys is the request key stream. It is split into contiguous
+	// per-worker chunks, preserving each chunk's order (which adversarial
+	// cyclic workloads depend on).
+	Keys trace.Sequence
+	// Pipeline is the batch depth per round trip; 0 or 1 means one request
+	// per round trip. A whole batch is written before any response is read,
+	// so keep Pipeline × (frame + ValueSize) comfortably below the kernel's
+	// socket buffering (tens of KB): a batch larger than both send and
+	// receive buffers can deadlock writer against writer. Typical depths
+	// (≤256) are nowhere near the limit.
+	Pipeline int
+	// ValueSize is the payload size for read-through SETs. Minimum 8: the
+	// first 8 bytes encode the key so readers can verify integrity.
+	ValueSize int
+	// ReadThrough, when true, SETs every missed key (emulating a cache in
+	// front of a backing store). When false the run is GET-only.
+	ReadThrough bool
+	// Verify checks that every GET hit carries the value Payload would have
+	// written for that key; mismatches are counted in Result.Corrupt.
+	Verify bool
+}
+
+// Result aggregates one load run.
+type Result struct {
+	Ops     int
+	Hits    int
+	Misses  int
+	Sets    int
+	Corrupt int
+	Elapsed time.Duration
+	// Throughput is GET operations per second.
+	Throughput float64
+	// Latency summarizes per-round-trip latencies (one sample per pipelined
+	// batch).
+	Latency LatencySummary
+}
+
+// MissRatio returns the client-observed GET miss ratio.
+func (r Result) MissRatio() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Ops)
+}
+
+// LatencySummary holds percentiles over round-trip latency samples.
+type LatencySummary struct {
+	P50, P90, P99, Max time.Duration
+}
+
+func summarize(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(p float64) time.Duration {
+		i := int(p * float64(len(samples)-1))
+		return samples[i]
+	}
+	return LatencySummary{
+		P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: samples[len(samples)-1],
+	}
+}
+
+// Payload builds the deterministic value stored for key: the key in
+// little-endian followed by a repeating fill byte, size bytes total
+// (minimum 8).
+func Payload(key uint64, size int) []byte {
+	if size < 8 {
+		size = 8
+	}
+	v := make([]byte, size)
+	binary.LittleEndian.PutUint64(v, key)
+	fill := byte(key>>3) | 1
+	for i := 8; i < size; i++ {
+		v[i] = fill
+	}
+	return v
+}
+
+// VerifyPayload reports whether v is a payload Payload could have written
+// for key: correct key prefix and correct fill bytes. The length is not
+// checked against any particular size, so runs with different ValueSize
+// against the same server still verify each other's entries.
+func VerifyPayload(key uint64, v []byte) bool {
+	if len(v) < 8 || binary.LittleEndian.Uint64(v) != key {
+		return false
+	}
+	fill := byte(key>>3) | 1
+	for _, b := range v[8:] {
+		if b != fill {
+			return false
+		}
+	}
+	return true
+}
+
+type workerResult struct {
+	ops, hits, misses, sets, corrupt int
+	latencies                        []time.Duration
+	err                              error
+}
+
+// Run executes the configured load and reports aggregate results.
+func Run(cfg Config) (Result, error) {
+	if cfg.Conns <= 0 {
+		return Result{}, fmt.Errorf("load: conns %d must be positive", cfg.Conns)
+	}
+	if len(cfg.Keys) == 0 {
+		return Result{}, fmt.Errorf("load: empty key stream")
+	}
+	depth := cfg.Pipeline
+	if depth <= 0 {
+		depth = 1
+	}
+
+	// Contiguous chunks: worker i replays its slice in order.
+	chunks := make([]trace.Sequence, 0, cfg.Conns)
+	per := (len(cfg.Keys) + cfg.Conns - 1) / cfg.Conns
+	for off := 0; off < len(cfg.Keys); off += per {
+		end := off + per
+		if end > len(cfg.Keys) {
+			end = len(cfg.Keys)
+		}
+		chunks = append(chunks, cfg.Keys[off:end])
+	}
+
+	results := make([]workerResult, len(chunks))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, chunk := range chunks {
+		wg.Add(1)
+		go func(i int, keys trace.Sequence) {
+			defer wg.Done()
+			results[i] = runWorker(cfg, keys, depth)
+		}(i, chunk)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var agg Result
+	var samples []time.Duration
+	for _, r := range results {
+		if r.err != nil {
+			return Result{}, r.err
+		}
+		agg.Ops += r.ops
+		agg.Hits += r.hits
+		agg.Misses += r.misses
+		agg.Sets += r.sets
+		agg.Corrupt += r.corrupt
+		samples = append(samples, r.latencies...)
+	}
+	agg.Elapsed = elapsed
+	if elapsed > 0 {
+		agg.Throughput = float64(agg.Ops) / elapsed.Seconds()
+	}
+	agg.Latency = summarize(samples)
+	return agg, nil
+}
+
+func runWorker(cfg Config, keys trace.Sequence, depth int) workerResult {
+	var res workerResult
+	client, err := wire.Dial(cfg.Addr)
+	if err != nil {
+		res.err = fmt.Errorf("load: dial %s: %w", cfg.Addr, err)
+		return res
+	}
+	defer client.Close()
+
+	res.latencies = make([]time.Duration, 0, len(keys)/depth+1)
+	missed := make([]uint64, 0, depth)
+	for off := 0; off < len(keys); off += depth {
+		end := off + depth
+		if end > len(keys) {
+			end = len(keys)
+		}
+		batch := keys[off:end]
+
+		t0 := time.Now()
+		for _, k := range batch {
+			if err := client.EnqueueGet(uint64(k)); err != nil {
+				res.err = err
+				return res
+			}
+		}
+		if err := client.Flush(); err != nil {
+			res.err = err
+			return res
+		}
+		missed = missed[:0]
+		for _, k := range batch {
+			resp, err := client.ReadResponse()
+			if err != nil {
+				res.err = err
+				return res
+			}
+			res.ops++
+			switch resp.Status {
+			case wire.StatusHit:
+				res.hits++
+				if cfg.Verify && !VerifyPayload(uint64(k), resp.Value) {
+					res.corrupt++
+				}
+			case wire.StatusMiss:
+				res.misses++
+				missed = append(missed, uint64(k))
+			default:
+				res.err = fmt.Errorf("load: unexpected GET response %v", resp.Status)
+				return res
+			}
+		}
+		res.latencies = append(res.latencies, time.Since(t0))
+
+		if cfg.ReadThrough && len(missed) > 0 {
+			for _, k := range missed {
+				if err := client.EnqueueSet(k, Payload(k, cfg.ValueSize)); err != nil {
+					res.err = err
+					return res
+				}
+			}
+			if err := client.Flush(); err != nil {
+				res.err = err
+				return res
+			}
+			for range missed {
+				if _, err := client.ReadResponse(); err != nil {
+					res.err = err
+					return res
+				}
+				res.sets++
+			}
+		}
+	}
+	return res
+}

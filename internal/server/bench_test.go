@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/concurrent"
+	"repro/internal/load"
+	"repro/internal/workload"
+)
+
+// BenchmarkAlphaSweep is the end-to-end measurement of the paper's
+// α-tradeoff: at fixed capacity k, each sub-benchmark serves a zipf
+// workload over loopback TCP with a different bucket size α. Small α gives
+// more buckets (less lock contention → higher QPS) but more conflict misses
+// once α drops below the ~log₂ k threshold; both sides are reported as
+// metrics (qps, miss ratio, conflict evictions per op).
+//
+// Run with:
+//
+//	go test -bench AlphaSweep -benchtime 200000x ./internal/server/
+func BenchmarkAlphaSweep(b *testing.B) {
+	const k = 1 << 12
+	for _, alpha := range []int{1, 4, 16, 128, 1024, k} {
+		b.Run(fmt.Sprintf("alpha=%d", alpha), func(b *testing.B) {
+			cache, err := concurrent.New(concurrent.Config{Capacity: k, Alpha: alpha, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := New(cache)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(ln)
+			defer srv.Close()
+
+			keys := workload.Zipf{Universe: 2 * k, S: 0.9, Shuffle: true}.Generate(b.N, 11)
+			b.ResetTimer()
+			res, err := load.Run(load.Config{
+				Addr:        ln.Addr().String(),
+				Conns:       4,
+				Keys:        keys,
+				Pipeline:    16,
+				ValueSize:   32,
+				ReadThrough: true,
+			})
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			snap := cache.Snapshot()
+			b.ReportMetric(res.Throughput, "qps")
+			b.ReportMetric(res.MissRatio(), "missratio")
+			b.ReportMetric(float64(snap.ConflictEvictions)/float64(res.Ops), "conflict/op")
+		})
+	}
+}

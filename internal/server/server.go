@@ -1,0 +1,216 @@
+// Package server exposes a concurrent set-associative cache
+// (internal/concurrent) over TCP using the wire protocol (internal/wire).
+//
+// The server is the production half of the paper's motivating use case: a
+// sharded cache service whose lock granularity is the bucket. Each
+// connection is served by one goroutine; requests are applied directly to
+// the shared cache, so cross-connection contention is exactly per-bucket
+// lock contention, and the α-tradeoff (fewer slots per bucket → more
+// buckets → less contention, but more conflict misses) is measurable from
+// the outside with cmd/cacheload.
+//
+// An online REHASH can be requested over the wire at any time; it uses the
+// cache's incremental migration (Section 6.1 of the paper), so live traffic
+// continues while items drain from the old hash function to the new one.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/concurrent"
+	"repro/internal/wire"
+)
+
+// Server serves a concurrent.Cache over TCP.
+type Server struct {
+	cache *concurrent.Cache
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New wraps cache in a server. The cache may be shared with in-process
+// users; the server adds no locking of its own beyond the cache's.
+func New(cache *concurrent.Cache) *Server {
+	return &Server{cache: cache, conns: make(map[net.Conn]struct{})}
+}
+
+// Cache returns the underlying cache (used by tests and embedders).
+func (s *Server) Cache() *concurrent.Cache { return s.cache }
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It always closes ln.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Addr returns the listening address, once Serve has been called.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes all live connections, and waits for their
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+
+	r := wire.NewReader(conn)
+	w := wire.NewWriter(conn)
+	if err := r.ReadPreamble(); err != nil {
+		return
+	}
+	for {
+		req, err := r.ReadRequest()
+		if err != nil {
+			return // clean EOF or protocol error; either way the conn is done
+		}
+		resp := s.apply(req)
+		if err := w.WriteResponse(resp); err != nil {
+			return
+		}
+		// Pipelining: only pay the syscall when the client has no more
+		// requests already buffered.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// apply executes one request against the cache.
+func (s *Server) apply(req wire.Request) wire.Response {
+	switch req.Op {
+	case wire.OpGet:
+		v, ok := s.cache.Get(req.Key)
+		if !ok {
+			return wire.Response{Status: wire.StatusMiss}
+		}
+		b, ok := v.([]byte)
+		if !ok {
+			return wire.Response{Status: wire.StatusError,
+				Err: fmt.Sprintf("non-wire value of type %T cached under key %d", v, req.Key)}
+		}
+		return wire.Response{Status: wire.StatusHit, Value: b}
+	case wire.OpSet:
+		// The request value aliases the reader's scratch buffer; copy before
+		// it escapes into the cache.
+		_, evicted := s.cache.Put(req.Key, append([]byte(nil), req.Value...))
+		return wire.Response{Status: wire.StatusOK, Evicted: evicted}
+	case wire.OpDel:
+		if s.cache.Delete(req.Key) {
+			return wire.Response{Status: wire.StatusOK}
+		}
+		return wire.Response{Status: wire.StatusMiss}
+	case wire.OpStats:
+		return wire.Response{Status: wire.StatusStats, Stats: s.stats(req.Detail)}
+	case wire.OpRehash:
+		s.cache.Rehash()
+		return wire.Response{Status: wire.StatusOK}
+	default:
+		return wire.Response{Status: wire.StatusError, Err: fmt.Sprintf("unknown op %v", req.Op)}
+	}
+}
+
+func (s *Server) stats(detail bool) *wire.Stats {
+	snap := s.cache.Snapshot()
+	st := &wire.Stats{
+		Hits:              snap.Hits,
+		Misses:            snap.Misses,
+		Evictions:         snap.Evictions,
+		ConflictEvictions: snap.ConflictEvictions,
+		FlushEvictions:    snap.FlushEvictions,
+		Rehashes:          snap.Rehashes,
+		Pending:           uint64(snap.Pending),
+		Len:               uint64(snap.Len),
+		Capacity:          uint64(snap.Capacity),
+		Alpha:             uint64(snap.Alpha),
+		Buckets:           uint64(snap.Buckets),
+		Migrating:         snap.Migrating,
+	}
+	if detail {
+		shards := s.cache.ShardStats()
+		st.Shards = make([]wire.ShardStat, len(shards))
+		for i, sh := range shards {
+			st.Shards[i] = wire.ShardStat{
+				Hits: sh.Hits, Misses: sh.Misses, Evictions: sh.Evictions, Len: uint64(sh.Len),
+			}
+		}
+	}
+	return st
+}

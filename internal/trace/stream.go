@@ -2,38 +2,62 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 )
 
-// StreamWriter writes a trace incrementally, without materializing the
-// whole sequence in memory — used for very long generated traces. The
-// request count is written on Close by seeking back over the header, so the
-// destination must support io.WriteSeeker semantics via the two-pass
-// construction below; for pure streams (pipes), the writer buffers counts
-// and emits a trailing footer-free format identical to Write's when the
-// destination supports seeking.
+// StreamWriter writes a trace incrementally — used for very long generated
+// traces. The header's request count is only known at Close, which creates
+// two regimes:
+//
+//   - If the destination implements io.WriteSeeker (files), requests stream
+//     straight through a buffer and Close seeks back to patch the count:
+//     memory use is O(1) regardless of trace length.
+//   - Otherwise (pipes, network sockets, bytes.Buffer), the writer buffers
+//     the request payload in memory and emits the complete trace — header
+//     with final count, then payload — on Close. The output format is
+//     byte-identical; the cost is O(trace length) memory.
 type StreamWriter struct {
-	w     io.WriteSeeker
-	bw    *bufio.Writer
+	w     io.Writer
+	ws    io.WriteSeeker // non-nil in the seekable regime
+	bw    *bufio.Writer  // request payload destination in both regimes
+	buf   *bytes.Buffer  // payload accumulator in the buffering regime
 	count uint64
 	done  bool
 }
 
-// NewStreamWriter starts a trace on w, reserving the header.
-func NewStreamWriter(w io.WriteSeeker) (*StreamWriter, error) {
-	sw := &StreamWriter{w: w, bw: bufio.NewWriter(w)}
-	if _, err := sw.bw.WriteString(traceMagic); err != nil {
-		return nil, err
+// NewStreamWriter starts a trace on w. Seekable destinations stream with
+// constant memory; non-seekable ones fall back to buffering the payload in
+// memory until Close (see the type comment).
+//
+// Seekability is probed with a zero-length Seek, not just a type assertion:
+// an *os.File attached to a pipe or FIFO satisfies io.WriteSeeker but fails
+// every Seek with ESPIPE, and must take the buffering path.
+func NewStreamWriter(w io.Writer) (*StreamWriter, error) {
+	if ws, ok := w.(io.WriteSeeker); ok && seekable(ws) {
+		sw := &StreamWriter{w: w, ws: ws, bw: bufio.NewWriter(ws)}
+		if _, err := sw.bw.WriteString(traceMagic); err != nil {
+			return nil, err
+		}
+		var hdr [12]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], traceVersion)
+		// Count placeholder: fixed up in Close.
+		if _, err := sw.bw.Write(hdr[:]); err != nil {
+			return nil, err
+		}
+		return sw, nil
 	}
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], traceVersion)
-	// Count placeholder: fixed up in Close.
-	if _, err := sw.bw.Write(hdr[:]); err != nil {
-		return nil, err
-	}
-	return sw, nil
+	buf := &bytes.Buffer{}
+	return &StreamWriter{w: w, buf: buf, bw: bufio.NewWriter(buf)}, nil
+}
+
+// seekable reports whether ws actually supports seeking (a no-op seek
+// succeeds), distinguishing real files from pipes wearing the interface.
+func seekable(ws io.WriteSeeker) bool {
+	_, err := ws.Seek(0, io.SeekCurrent)
+	return err == nil
 }
 
 // Append writes one request.
@@ -63,8 +87,9 @@ func (sw *StreamWriter) AppendAll(seq Sequence) error {
 // Count returns the number of requests appended so far.
 func (sw *StreamWriter) Count() uint64 { return sw.count }
 
-// Close flushes, patches the header's request count, and finalizes the
-// trace. The StreamWriter must not be used afterwards.
+// Close flushes, writes the final request count into the header (seeking
+// back over it, or emitting the buffered trace in one piece), and finalizes
+// the trace. The StreamWriter must not be used afterwards.
 func (sw *StreamWriter) Close() error {
 	if sw.done {
 		return nil
@@ -73,16 +98,41 @@ func (sw *StreamWriter) Close() error {
 	if err := sw.bw.Flush(); err != nil {
 		return err
 	}
-	// The count lives 8 bytes into the file (after magic+version).
-	if _, err := sw.w.Seek(int64(len(traceMagic))+4, io.SeekStart); err != nil {
+	if sw.ws != nil {
+		// The count lives 8 bytes into the file (after magic+version).
+		if _, err := sw.ws.Seek(int64(len(traceMagic))+4, io.SeekStart); err != nil {
+			return err
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], sw.count)
+		if _, err := sw.ws.Write(buf[:]); err != nil {
+			return err
+		}
+		// O_APPEND files pass the construction-time seek probe but ignore
+		// the offset on write, appending the count instead of patching the
+		// header. Detect that by checking where the write actually landed
+		// so it becomes an error rather than a silently corrupt trace.
+		pos, err := sw.ws.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return err
+		}
+		if want := int64(len(traceMagic)) + 4 + 8; pos != want {
+			return fmt.Errorf("trace: header patch landed at offset %d, want %d (destination opened with O_APPEND?)", pos, want)
+		}
+		_, err = sw.ws.Seek(0, io.SeekEnd)
 		return err
 	}
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], sw.count)
-	if _, err := sw.w.Write(buf[:]); err != nil {
+	// Buffering regime: the count is known now, so emit header + payload.
+	if _, err := io.WriteString(sw.w, traceMagic); err != nil {
 		return err
 	}
-	_, err := sw.w.Seek(0, io.SeekEnd)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], traceVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], sw.count)
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := sw.w.Write(sw.buf.Bytes())
 	return err
 }
 

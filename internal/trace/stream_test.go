@@ -126,3 +126,143 @@ func TestStreamWriterBatchEquivalence(t *testing.T) {
 		t.Fatal("stream and batch formats differ")
 	}
 }
+
+func TestStreamWriterNonSeekable(t *testing.T) {
+	// A bytes.Buffer is not an io.WriteSeeker: this exercises the buffering
+	// fallback, whose output must be byte-identical to the seekable path.
+	seq := RangeSeq(0, 50)
+	var want bytes.Buffer
+	if err := Write(&want, seq); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	sw, err := NewStreamWriter(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AppendAll(seq); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		// Nothing may reach a non-seekable destination before Close: the
+		// header's count is not yet known.
+		t.Fatalf("%d bytes written before Close", got.Len())
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("non-seekable output differs from batch format")
+	}
+	if err := sw.Append(1); err == nil {
+		t.Fatal("Append after Close should fail")
+	}
+}
+
+func TestStreamWriterThroughPipe(t *testing.T) {
+	// An io.Pipe is the canonical non-seekable destination the doc promises
+	// to support: write a trace through it and stream-read it on the far end.
+	seq := Sequence{2, 7, 1, 8, 2, 8}
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		sw, err := NewStreamWriter(pw)
+		if err == nil {
+			if err = sw.AppendAll(seq); err == nil {
+				err = sw.Close()
+			}
+		}
+		pw.CloseWithError(err)
+		done <- err
+	}()
+	sr, err := NewStreamReader(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sequence
+	for {
+		x, err := sr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, x)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(seq) {
+		t.Fatalf("read %v, want %v", got, seq)
+	}
+	for i := range seq {
+		if got[i] != seq[i] {
+			t.Fatalf("request %d = %v, want %v", i, got[i], seq[i])
+		}
+	}
+}
+
+func TestStreamWriterOSPipe(t *testing.T) {
+	// An *os.File backed by a pipe satisfies io.WriteSeeker but every Seek
+	// fails with ESPIPE; the constructor's seek probe must route it to the
+	// buffering fallback instead of corrupting the header.
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := RangeSeq(0, 30)
+	done := make(chan error, 1)
+	go func() {
+		sw, err := NewStreamWriter(pw)
+		if err == nil {
+			if err = sw.AppendAll(seq); err == nil {
+				err = sw.Close()
+			}
+		}
+		pw.Close()
+		done <- err
+	}()
+	got, err := Read(pr)
+	pr.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(seq) {
+		t.Fatalf("read %d requests, want %d", len(got), len(seq))
+	}
+	for i := range seq {
+		if got[i] != seq[i] {
+			t.Fatalf("request %d = %v, want %v", i, got[i], seq[i])
+		}
+	}
+}
+
+func TestStreamWriterAppendModeRejected(t *testing.T) {
+	// An O_APPEND file passes the seek probe but appends the header patch
+	// instead of overwriting it; Close must report an error, not emit a
+	// silently corrupt trace.
+	path := filepath.Join(t.TempDir(), "a.satr")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sw, err := NewStreamWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AppendAll(Sequence{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err == nil {
+		t.Fatal("Close on an O_APPEND destination must fail rather than corrupt the header")
+	}
+}

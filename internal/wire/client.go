@@ -1,0 +1,152 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net"
+)
+
+// Client speaks the wire protocol over one connection. A Client is NOT safe
+// for concurrent use; the load harness opens one per worker goroutine.
+//
+// The simple methods (Get, Set, Del, Stats, Rehash) are synchronous: one
+// round trip each. For batched pipelining, enqueue requests with the
+// Enqueue* methods, Flush once, then read the responses in order with
+// ReadResponse.
+type Client struct {
+	conn io.ReadWriteCloser
+	r    *Reader
+	w    *Writer
+}
+
+// Dial connects to a cached server and performs the preamble handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient wraps an established connection, sending the preamble.
+func NewClient(conn io.ReadWriteCloser) (*Client, error) {
+	c := &Client{conn: conn, r: NewReader(conn), w: NewWriter(conn)}
+	if err := c.w.WritePreamble(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// EnqueueGet buffers a GET without flushing.
+func (c *Client) EnqueueGet(key uint64) error {
+	return c.w.WriteRequest(Request{Op: OpGet, Key: key})
+}
+
+// EnqueueSet buffers a SET without flushing.
+func (c *Client) EnqueueSet(key uint64, value []byte) error {
+	return c.w.WriteRequest(Request{Op: OpSet, Key: key, Value: value})
+}
+
+// EnqueueDel buffers a DEL without flushing.
+func (c *Client) EnqueueDel(key uint64) error {
+	return c.w.WriteRequest(Request{Op: OpDel, Key: key})
+}
+
+// Flush sends all buffered requests.
+func (c *Client) Flush() error { return c.w.Flush() }
+
+// ReadResponse reads the next pipelined response. The response Value
+// aliases an internal buffer valid until the next read.
+func (c *Client) ReadResponse() (Response, error) {
+	resp, err := c.r.ReadResponse()
+	if err != nil {
+		return resp, err
+	}
+	if resp.Status == StatusError {
+		return resp, fmt.Errorf("wire: server error: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	if err := c.w.WriteRequest(req); err != nil {
+		return Response{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Response{}, err
+	}
+	return c.ReadResponse()
+}
+
+// Get fetches key. The returned value is a copy and safe to retain.
+func (c *Client) Get(key uint64) ([]byte, bool, error) {
+	resp, err := c.roundTrip(Request{Op: OpGet, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.Status {
+	case StatusHit:
+		return append([]byte(nil), resp.Value...), true, nil
+	case StatusMiss:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("wire: unexpected GET response %v", resp.Status)
+	}
+}
+
+// Set stores value under key, reporting whether an entry was evicted.
+func (c *Client) Set(key uint64, value []byte) (evicted bool, err error) {
+	resp, err := c.roundTrip(Request{Op: OpSet, Key: key, Value: value})
+	if err != nil {
+		return false, err
+	}
+	if resp.Status != StatusOK {
+		return false, fmt.Errorf("wire: unexpected SET response %v", resp.Status)
+	}
+	return resp.Evicted, nil
+}
+
+// Del removes key, reporting whether it was present.
+func (c *Client) Del(key uint64) (bool, error) {
+	resp, err := c.roundTrip(Request{Op: OpDel, Key: key})
+	if err != nil {
+		return false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return true, nil
+	case StatusMiss:
+		return false, nil
+	default:
+		return false, fmt.Errorf("wire: unexpected DEL response %v", resp.Status)
+	}
+}
+
+// Stats fetches the server's counter snapshot; detail includes per-shard
+// counters.
+func (c *Client) Stats(detail bool) (*Stats, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats, Detail: detail})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusStats || resp.Stats == nil {
+		return nil, fmt.Errorf("wire: unexpected STATS response %v", resp.Status)
+	}
+	return resp.Stats, nil
+}
+
+// Rehash asks the server to begin an online incremental rehash.
+func (c *Client) Rehash() error {
+	resp, err := c.roundTrip(Request{Op: OpRehash})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("wire: unexpected REHASH response %v", resp.Status)
+	}
+	return nil
+}

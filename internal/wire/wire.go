@@ -1,0 +1,451 @@
+// Package wire defines the compact binary protocol spoken between the
+// cached server (internal/server, cmd/cached) and its clients
+// (cmd/cacheload, the load harness in internal/load).
+//
+// The protocol is deliberately in the same spirit as the SATR trace format:
+// little-endian, versioned, and trivially parseable. A connection begins
+// with a 8-byte client preamble:
+//
+//	magic   [4]byte  "SACW" (Set-Associative Cache Wire)
+//	version uint32   1
+//
+// after which both directions carry length-prefixed frames:
+//
+//	length  uint32   body length in bytes (≤ MaxFrame)
+//	body    length × byte
+//
+// A request body is an opcode byte followed by opcode-specific fields; a
+// response body is a status byte followed by status-specific fields.
+// Responses are returned in request order, so clients may pipeline: write
+// any number of request frames before reading the matching responses. The
+// server flushes its write buffer whenever it runs out of buffered requests,
+// making batched round trips cheap.
+//
+//	GET    key uint64                 → Hit value | Miss
+//	SET    key uint64, value bytes    → OK evicted byte(0|1)
+//	DEL    key uint64                 → OK | Miss
+//	STATS  detail byte(0|1)           → Stats payload (see Stats)
+//	REHASH                            → OK
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	Magic   = "SACW"
+	Version = 1
+	// MaxFrame bounds a frame body; it caps both value sizes and the damage
+	// a corrupt length prefix can do.
+	MaxFrame = 16 << 20
+)
+
+// Op is a request opcode.
+type Op byte
+
+// The request opcodes.
+const (
+	OpGet Op = iota + 1
+	OpSet
+	OpDel
+	OpStats
+	OpRehash
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpSet:
+		return "SET"
+	case OpDel:
+		return "DEL"
+	case OpStats:
+		return "STATS"
+	case OpRehash:
+		return "REHASH"
+	default:
+		return fmt.Sprintf("Op(%d)", byte(o))
+	}
+}
+
+// Status is a response status code.
+type Status byte
+
+// The response statuses.
+const (
+	StatusHit Status = iota + 1
+	StatusMiss
+	StatusOK
+	StatusStats
+	StatusError
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusHit:
+		return "HIT"
+	case StatusMiss:
+		return "MISS"
+	case StatusOK:
+		return "OK"
+	case StatusStats:
+		return "STATS"
+	case StatusError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("Status(%d)", byte(s))
+	}
+}
+
+// Request is one decoded request frame.
+type Request struct {
+	Op  Op
+	Key uint64
+	// Value is the payload of a SET. It aliases the reader's scratch buffer
+	// and is only valid until the next Read call.
+	Value []byte
+	// Detail asks STATS to include per-shard counters.
+	Detail bool
+}
+
+// Response is one decoded response frame.
+type Response struct {
+	Status Status
+	// Value is a GET hit's payload; valid until the next Read call.
+	Value []byte
+	// Evicted reports whether a SET displaced an entry.
+	Evicted bool
+	// Stats is the payload of a STATS response.
+	Stats *Stats
+	// Err is the message of an error response.
+	Err string
+}
+
+// Stats is the wire form of the server's counter snapshot; see
+// concurrent.Snapshot for field semantics.
+type Stats struct {
+	Hits              uint64
+	Misses            uint64
+	Evictions         uint64
+	ConflictEvictions uint64
+	FlushEvictions    uint64
+	Rehashes          uint64
+	Pending           uint64
+	Len               uint64
+	Capacity          uint64
+	Alpha             uint64
+	Buckets           uint64
+	Migrating         bool
+	// Shards is present only when the STATS request set Detail.
+	Shards []ShardStat
+}
+
+// MissRatio returns Misses / (Hits + Misses), or 0 before any GET.
+func (s Stats) MissRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// ShardStat is one bucket's counters.
+type ShardStat struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Len       uint64
+}
+
+const statsFixedLen = 11*8 + 1 // 11 uint64 counters + migrating byte
+
+// Writer encodes frames onto a buffered stream. It is not safe for
+// concurrent use.
+type Writer struct {
+	bw      *bufio.Writer
+	scratch []byte
+}
+
+// NewWriter wraps w in a frame encoder.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// WritePreamble emits the connection preamble (client side, once).
+func (w *Writer) WritePreamble() error {
+	if _, err := w.bw.WriteString(Magic); err != nil {
+		return err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], Version)
+	_, err := w.bw.Write(v[:])
+	return err
+}
+
+// Flush forces buffered frames onto the underlying stream.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+func (w *Writer) frame(body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame body %d exceeds max %d", len(body), MaxFrame)
+	}
+	var ln [4]byte
+	binary.LittleEndian.PutUint32(ln[:], uint32(len(body)))
+	if _, err := w.bw.Write(ln[:]); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(body)
+	return err
+}
+
+func (w *Writer) reset(n int) []byte {
+	if cap(w.scratch) < n {
+		w.scratch = make([]byte, 0, n+64)
+	}
+	return w.scratch[:0]
+}
+
+// WriteRequest encodes one request frame (buffered; call Flush to send).
+func (w *Writer) WriteRequest(req Request) error {
+	body := w.reset(1 + 8 + len(req.Value))
+	body = append(body, byte(req.Op))
+	switch req.Op {
+	case OpGet, OpDel:
+		body = binary.LittleEndian.AppendUint64(body, req.Key)
+	case OpSet:
+		body = binary.LittleEndian.AppendUint64(body, req.Key)
+		body = append(body, req.Value...)
+	case OpStats:
+		d := byte(0)
+		if req.Detail {
+			d = 1
+		}
+		body = append(body, d)
+	case OpRehash:
+	default:
+		return fmt.Errorf("wire: unknown request op %v", req.Op)
+	}
+	w.scratch = body
+	return w.frame(body)
+}
+
+// WriteResponse encodes one response frame (buffered; call Flush to send).
+func (w *Writer) WriteResponse(resp Response) error {
+	n := 1 + len(resp.Value) + len(resp.Err)
+	if resp.Stats != nil {
+		n += statsFixedLen + 4 + 4*8*len(resp.Stats.Shards)
+	}
+	body := w.reset(n)
+	body = append(body, byte(resp.Status))
+	switch resp.Status {
+	case StatusHit:
+		body = append(body, resp.Value...)
+	case StatusMiss:
+	case StatusOK:
+		e := byte(0)
+		if resp.Evicted {
+			e = 1
+		}
+		body = append(body, e)
+	case StatusStats:
+		if resp.Stats == nil {
+			return fmt.Errorf("wire: stats response without payload")
+		}
+		body = appendStats(body, resp.Stats)
+	case StatusError:
+		body = append(body, resp.Err...)
+	default:
+		return fmt.Errorf("wire: unknown response status %v", resp.Status)
+	}
+	w.scratch = body
+	return w.frame(body)
+}
+
+func appendStats(body []byte, s *Stats) []byte {
+	for _, v := range []uint64{
+		s.Hits, s.Misses, s.Evictions, s.ConflictEvictions, s.FlushEvictions,
+		s.Rehashes, s.Pending, s.Len, s.Capacity, s.Alpha, s.Buckets,
+	} {
+		body = binary.LittleEndian.AppendUint64(body, v)
+	}
+	m := byte(0)
+	if s.Migrating {
+		m = 1
+	}
+	body = append(body, m)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(s.Shards)))
+	for _, sh := range s.Shards {
+		body = binary.LittleEndian.AppendUint64(body, sh.Hits)
+		body = binary.LittleEndian.AppendUint64(body, sh.Misses)
+		body = binary.LittleEndian.AppendUint64(body, sh.Evictions)
+		body = binary.LittleEndian.AppendUint64(body, sh.Len)
+	}
+	return body
+}
+
+// Reader decodes frames from a buffered stream. It is not safe for
+// concurrent use.
+type Reader struct {
+	br   *bufio.Reader
+	body []byte
+}
+
+// NewReader wraps r in a frame decoder.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// ReadPreamble validates the connection preamble (server side, once).
+func (r *Reader) ReadPreamble() error {
+	var pre [8]byte
+	if _, err := io.ReadFull(r.br, pre[:]); err != nil {
+		return fmt.Errorf("wire: reading preamble: %w", err)
+	}
+	if string(pre[:4]) != Magic {
+		return fmt.Errorf("wire: bad magic %q", pre[:4])
+	}
+	if v := binary.LittleEndian.Uint32(pre[4:8]); v != Version {
+		return fmt.Errorf("wire: unsupported version %d", v)
+	}
+	return nil
+}
+
+// Buffered returns the number of bytes already readable without blocking;
+// the server uses it to decide when to flush responses.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+func (r *Reader) readFrame() ([]byte, error) {
+	var ln [4]byte
+	if _, err := io.ReadFull(r.br, ln[:]); err != nil {
+		return nil, err // io.EOF between frames means a clean close
+	}
+	n := binary.LittleEndian.Uint32(ln[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame length %d exceeds max %d", n, MaxFrame)
+	}
+	if cap(r.body) < int(n) {
+		r.body = make([]byte, n)
+	}
+	r.body = r.body[:n]
+	if _, err := io.ReadFull(r.br, r.body); err != nil {
+		return nil, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	return r.body, nil
+}
+
+// ReadRequest decodes the next request frame (server side). The returned
+// Value aliases an internal buffer valid until the next call.
+func (r *Reader) ReadRequest() (Request, error) {
+	body, err := r.readFrame()
+	if err != nil {
+		return Request{}, err
+	}
+	if len(body) < 1 {
+		return Request{}, fmt.Errorf("wire: empty request frame")
+	}
+	req := Request{Op: Op(body[0])}
+	body = body[1:]
+	switch req.Op {
+	case OpGet, OpDel:
+		if len(body) != 8 {
+			return Request{}, fmt.Errorf("wire: %v body %d bytes, want 8", req.Op, len(body))
+		}
+		req.Key = binary.LittleEndian.Uint64(body)
+	case OpSet:
+		if len(body) < 8 {
+			return Request{}, fmt.Errorf("wire: SET body %d bytes, want ≥8", len(body))
+		}
+		req.Key = binary.LittleEndian.Uint64(body)
+		req.Value = body[8:]
+	case OpStats:
+		if len(body) != 1 {
+			return Request{}, fmt.Errorf("wire: STATS body %d bytes, want 1", len(body))
+		}
+		req.Detail = body[0] != 0
+	case OpRehash:
+		if len(body) != 0 {
+			return Request{}, fmt.Errorf("wire: REHASH body %d bytes, want 0", len(body))
+		}
+	default:
+		return Request{}, fmt.Errorf("wire: unknown request op %d", byte(req.Op))
+	}
+	return req, nil
+}
+
+// ReadResponse decodes the next response frame (client side). The returned
+// Value aliases an internal buffer valid until the next call.
+func (r *Reader) ReadResponse() (Response, error) {
+	body, err := r.readFrame()
+	if err != nil {
+		return Response{}, err
+	}
+	if len(body) < 1 {
+		return Response{}, fmt.Errorf("wire: empty response frame")
+	}
+	resp := Response{Status: Status(body[0])}
+	body = body[1:]
+	switch resp.Status {
+	case StatusHit:
+		resp.Value = body
+	case StatusMiss:
+	case StatusOK:
+		if len(body) > 1 {
+			return Response{}, fmt.Errorf("wire: OK body %d bytes, want ≤1", len(body))
+		}
+		if len(body) == 1 {
+			resp.Evicted = body[0] != 0
+		}
+	case StatusStats:
+		st, err := parseStats(body)
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Stats = st
+	case StatusError:
+		resp.Err = string(body)
+	default:
+		return Response{}, fmt.Errorf("wire: unknown response status %d", byte(resp.Status))
+	}
+	return resp, nil
+}
+
+func parseStats(body []byte) (*Stats, error) {
+	if len(body) < statsFixedLen+4 {
+		return nil, fmt.Errorf("wire: stats payload %d bytes, want ≥%d", len(body), statsFixedLen+4)
+	}
+	s := &Stats{}
+	fields := []*uint64{
+		&s.Hits, &s.Misses, &s.Evictions, &s.ConflictEvictions, &s.FlushEvictions,
+		&s.Rehashes, &s.Pending, &s.Len, &s.Capacity, &s.Alpha, &s.Buckets,
+	}
+	off := 0
+	for _, f := range fields {
+		*f = binary.LittleEndian.Uint64(body[off:])
+		off += 8
+	}
+	s.Migrating = body[off] != 0
+	off++
+	nShards := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if len(body)-off != 4*8*nShards {
+		return nil, fmt.Errorf("wire: stats shard payload %d bytes, want %d", len(body)-off, 4*8*nShards)
+	}
+	if nShards > 0 {
+		s.Shards = make([]ShardStat, nShards)
+		for i := range s.Shards {
+			s.Shards[i].Hits = binary.LittleEndian.Uint64(body[off:])
+			s.Shards[i].Misses = binary.LittleEndian.Uint64(body[off+8:])
+			s.Shards[i].Evictions = binary.LittleEndian.Uint64(body[off+16:])
+			s.Shards[i].Len = binary.LittleEndian.Uint64(body[off+24:])
+			off += 32
+		}
+	}
+	return s, nil
+}

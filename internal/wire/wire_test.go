@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, Key: 42},
+		{Op: OpSet, Key: 7, Value: []byte("hello world")},
+		{Op: OpSet, Key: 8, Value: nil}, // empty value is legal
+		{Op: OpDel, Key: 1 << 60},
+		{Op: OpStats, Detail: true},
+		{Op: OpStats, Detail: false},
+		{Op: OpRehash},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, req := range reqs {
+		if err := w.WriteRequest(req); err != nil {
+			t.Fatalf("write %v: %v", req.Op, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range reqs {
+		got, err := r.ReadRequest()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.Key != want.Key || got.Detail != want.Detail {
+			t.Fatalf("request %d = %+v, want %+v", i, got, want)
+		}
+		if !bytes.Equal(got.Value, want.Value) {
+			t.Fatalf("request %d value = %q, want %q", i, got.Value, want.Value)
+		}
+	}
+	if _, err := r.ReadRequest(); err == nil {
+		t.Fatal("expected EOF after last request")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	stats := &Stats{
+		Hits: 10, Misses: 3, Evictions: 2, ConflictEvictions: 1, FlushEvictions: 5,
+		Rehashes: 1, Pending: 7, Len: 90, Capacity: 128, Alpha: 8, Buckets: 16,
+		Migrating: true,
+		Shards: []ShardStat{
+			{Hits: 4, Misses: 1, Evictions: 1, Len: 8},
+			{Hits: 6, Misses: 2, Evictions: 1, Len: 7},
+		},
+	}
+	resps := []Response{
+		{Status: StatusHit, Value: []byte("payload")},
+		{Status: StatusMiss},
+		{Status: StatusOK, Evicted: true},
+		{Status: StatusOK, Evicted: false},
+		{Status: StatusStats, Stats: stats},
+		{Status: StatusStats, Stats: &Stats{Capacity: 64}}, // no shards
+		{Status: StatusError, Err: "boom"},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, resp := range resps {
+		if err := w.WriteResponse(resp); err != nil {
+			t.Fatalf("write %v: %v", resp.Status, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range resps {
+		got, err := r.ReadResponse()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Status != want.Status || got.Evicted != want.Evicted || got.Err != want.Err {
+			t.Fatalf("response %d = %+v, want %+v", i, got, want)
+		}
+		if !bytes.Equal(got.Value, want.Value) {
+			t.Fatalf("response %d value = %q, want %q", i, got.Value, want.Value)
+		}
+		if want.Stats != nil {
+			if got.Stats == nil {
+				t.Fatalf("response %d missing stats", i)
+			}
+			if !reflect.DeepEqual(got.Stats, want.Stats) {
+				t.Fatalf("response %d stats = %+v, want %+v", i, got.Stats, want.Stats)
+			}
+		}
+	}
+}
+
+func TestPreamble(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePreamble(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewReader(&buf).ReadPreamble(); err != nil {
+		t.Fatalf("good preamble rejected: %v", err)
+	}
+
+	if err := NewReader(strings.NewReader("XXXX\x01\x00\x00\x00")).ReadPreamble(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := NewReader(strings.NewReader(Magic + "\x99\x00\x00\x00")).ReadPreamble(); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrame+1)
+	r := NewReader(bytes.NewReader(hdr[:]))
+	if _, err := r.ReadRequest(); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestMalformedRequestRejected(t *testing.T) {
+	// A GET with a 3-byte key must be rejected.
+	var buf bytes.Buffer
+	body := []byte{byte(OpGet), 1, 2, 3}
+	var ln [4]byte
+	binary.LittleEndian.PutUint32(ln[:], uint32(len(body)))
+	buf.Write(ln[:])
+	buf.Write(body)
+	if _, err := NewReader(&buf).ReadRequest(); err == nil {
+		t.Fatal("short GET accepted")
+	}
+}
