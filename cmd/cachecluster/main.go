@@ -1,0 +1,228 @@
+// Command cachecluster runs cached as a horizontally scaled cluster: keys
+// route to member nodes through a consistent-hash ring (internal/cluster)
+// and each node is an independent α-way set-associative cache, so the
+// paper's intra-node α tradeoff composes with inter-node balance.
+//
+// It either spawns N in-process nodes on loopback (-spawn, the zero-setup
+// path) or points at already-running cached daemons (-addrs), drives them
+// with the library's workload generators through the routing client, and
+// reports aggregate throughput/latency plus a per-node table: ring
+// ownership share, router-observed traffic, and each node's own STATS
+// counters — the direct check that consistent hashing spreads both keys
+// and load.
+//
+// Usage:
+//
+//	cachecluster -spawn 3 -k 65536 -alpha 16 -workload zipf -ops 1000000
+//	cachecluster -addrs h1:7070,h2:7070,h3:7070 -workload uniform -conns 8
+//	cachecluster -spawn 4 -open -rate 200000 -duration 30s
+//
+// With -open -rate R the harness uses the open-loop rate-paced schedule
+// with coordinated-omission-safe percentiles (see internal/load). -rehash
+// fans an online REHASH out to every member before the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/concurrent"
+	"repro/internal/load"
+	"repro/internal/policy"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		spawn    = flag.Int("spawn", 0, "spawn this many in-process nodes on loopback")
+		addrs    = flag.String("addrs", "", "comma-separated addresses of running cached nodes (alternative to -spawn)")
+		vnodes   = flag.Int("vnodes", 0, "virtual nodes per member on the ring (0 = default)")
+		k        = flag.Int("k", 1<<16, "per-node cache capacity (spawned nodes)")
+		alpha    = flag.Int("alpha", 16, "per-node set size α (spawned nodes)")
+		polName  = flag.String("policy", "lru", "per-bucket replacement policy (spawned nodes)")
+		seed     = flag.Uint64("seed", 1, "hash/workload seed")
+		conns    = flag.Int("conns", 4, "concurrent router clients (workers)")
+		ops      = flag.Int("ops", 1_000_000, "total GET operations")
+		pipeline = flag.Int("pipeline", 16, "requests per round trip")
+		valSize  = flag.Int("valsize", 64, "value payload bytes for read-through SETs")
+		wl       = flag.String("workload", "zipf", "uniform|zipf|scan")
+		universe = flag.Int("universe", 1<<18, "workload universe size")
+		zipfS    = flag.Float64("zipf-s", 0.99, "zipf skew exponent")
+		readThru = flag.Bool("readthrough", true, "SET every missed key (read-through)")
+		verify   = flag.Bool("verify", true, "verify hit payloads carry their key")
+		rehash   = flag.Bool("rehash", false, "fan REHASH out to all members before the run")
+		open     = flag.Bool("open", false, "open-loop mode: rate-paced arrivals, coordinated-omission-safe percentiles")
+		rate     = flag.Float64("rate", 0, "intended aggregate GET rate in ops/sec (open-loop mode, required)")
+		duration = flag.Duration("duration", 0, "stop issuing after this long (open-loop mode; 0 = when ops are exhausted)")
+	)
+	flag.Parse()
+
+	if err := validateFlags(*spawn, *addrs, *vnodes, *conns, *ops, *pipeline, *valSize, *universe, *open, *rate, *duration); err != nil {
+		fatal(err)
+	}
+
+	members, cleanup, err := buildMembers(*spawn, *addrs, *k, *alpha, *polName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+
+	opts := cluster.Options{VNodes: *vnodes}
+	ctl, err := cluster.Dial(members, opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer ctl.Close()
+	if *rehash {
+		if err := ctl.RehashAll(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("online rehash requested on all members")
+	}
+	before, err := ctl.StatsAll(false)
+	if err != nil {
+		fatal(err)
+	}
+
+	var gen workload.Generator
+	switch *wl {
+	case "uniform":
+		gen = workload.Uniform{Universe: *universe}
+	case "zipf":
+		gen = workload.Zipf{Universe: *universe, S: *zipfS, Shuffle: true}
+	case "scan":
+		gen = workload.Scan{Universe: *universe}
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+	keys := gen.Generate(*ops, *seed)
+
+	res, err := load.Run(load.Config{
+		Dial:        func() (load.Conn, error) { return cluster.Dial(members, opts) },
+		Conns:       *conns,
+		Keys:        keys,
+		Pipeline:    *pipeline,
+		ValueSize:   *valSize,
+		ReadThrough: *readThru,
+		Verify:      *verify,
+		OpenLoop:    *open,
+		Rate:        *rate,
+		Duration:    *duration,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	mode := "closed-loop"
+	if res.OpenLoop {
+		mode = fmt.Sprintf("open-loop @ %.0f ops/s intended", res.IntendedRate)
+	}
+	fmt.Printf("cluster of %d nodes, workload %s: %d ops over %d conns (pipeline %d, %s) in %v\n",
+		len(members), gen.Name(), res.Ops, *conns, *pipeline, mode, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput: %12.0f GET/s\n", res.Throughput)
+	lat := ""
+	if res.OpenLoop {
+		lat = ", from intended send time"
+	}
+	fmt.Printf("  latency:    p50=%v p90=%v p99=%v max=%v (per %d-deep batch%s)\n",
+		res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max, *pipeline, lat)
+	fmt.Printf("  client:     hits=%d misses=%d (miss ratio %.4f) sets=%d corrupt=%d\n",
+		res.Hits, res.Misses, res.MissRatio(), res.Sets, res.Corrupt)
+
+	after, err := ctl.StatsAll(false)
+	if err != nil {
+		fatal(err)
+	}
+	printBalance(ctl, members, before, after)
+
+	agg := cluster.AggregateStats(after)
+	fmt.Printf("  aggregate:  len=%d/%d evictions=%d conflict=%d flush=%d rehashes=%d migrating=%v\n",
+		agg.Len, agg.Capacity, agg.Evictions, agg.ConflictEvictions,
+		agg.FlushEvictions, agg.Rehashes, agg.Migrating)
+}
+
+// printBalance tabulates, per member, the ring's ownership share over a key
+// sample against the traffic the servers actually absorbed during the run.
+func printBalance(ctl *cluster.Client, members []string, before, after map[string]*wire.Stats) {
+	share := ctl.RingSample(1<<16, 42)
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	fmt.Printf("  %-22s %7s %12s %12s %10s\n", "node", "ring%", "Δhits", "Δmisses", "len")
+	for _, m := range sorted {
+		b, a := before[m], after[m]
+		fmt.Printf("  %-22s %6.1f%% %12d %12d %10d\n",
+			m, 100*float64(share[m])/float64(1<<16), a.Hits-b.Hits, a.Misses-b.Misses, a.Len)
+	}
+}
+
+// buildMembers spawns in-process nodes or parses -addrs.
+func buildMembers(spawn int, addrs string, k, alpha int, polName string, seed uint64) ([]string, func(), error) {
+	if addrs != "" {
+		return strings.Split(addrs, ","), func() {}, nil
+	}
+	kind, err := policy.ParseKind(polName)
+	if err != nil {
+		return nil, nil, err
+	}
+	var members []string
+	var servers []*server.Server
+	cleanup := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for i := 0; i < spawn; i++ {
+		cache, err := concurrent.New(concurrent.Config{
+			Capacity: k,
+			Alpha:    alpha,
+			Seed:     seed + uint64(i),
+			Policy:   policy.NewFactory(kind, seed+uint64(i)),
+		})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		srv := server.New(cache)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		go srv.Serve(ln)
+		servers = append(servers, srv)
+		members = append(members, ln.Addr().String())
+	}
+	fmt.Printf("spawned %d in-process nodes (k=%d α=%d policy=%s each): %s\n",
+		spawn, k, alpha, kind, strings.Join(members, " "))
+	return members, cleanup, nil
+}
+
+// validateFlags rejects nonsensical parameters up front with a clear
+// error; the harness flags shared with cacheload are checked by
+// load.ValidateHarnessFlags.
+func validateFlags(spawn int, addrs string, vnodes, conns, ops, pipeline, valSize, universe int, open bool, rate float64, duration time.Duration) error {
+	switch {
+	case spawn < 0:
+		return fmt.Errorf("-spawn %d: node count must not be negative", spawn)
+	case spawn == 0 && addrs == "":
+		return fmt.Errorf("need members: -spawn N or -addrs a,b,c")
+	case spawn > 0 && addrs != "":
+		return fmt.Errorf("-spawn and -addrs are mutually exclusive")
+	case vnodes < 0:
+		return fmt.Errorf("-vnodes %d: virtual node count must not be negative", vnodes)
+	}
+	return load.ValidateHarnessFlags(conns, ops, pipeline, valSize, universe, open, rate, duration)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cachecluster: %v\n", err)
+	os.Exit(1)
+}

@@ -7,12 +7,17 @@
 //	cached -addr :7070 -k 65536 -alpha 16
 //	cached -addr :7070 -k 65536 -alpha 16 -policy clock
 //	cached -addr :7070 -k 65536 -alpha 16 -rehash-every 1048576
+//	cached -addr :7070 -k 65536 -alpha 16 -rehash-auto -rehash-conflicts 4096
 //
 // With -rehash-every N the daemon applies the paper's Section 6 schedule:
 // every N misses it draws a fresh indexing hash and migrates incrementally
-// under live traffic. Clients can also force a rehash with the REHASH
-// opcode (cacheload -rehash). STATS exposes hit/miss/conflict counters and,
-// on request, per-shard snapshots.
+// under live traffic. -rehash-auto derives N from the capacity using the
+// paper's poly(k) guidance (k·⌈log₂ k⌉ misses; see
+// concurrent.DefaultEveryMisses), and -rehash-conflicts M adds the adaptive
+// trigger: rehash every M conflict evictions, so an adversarially exploited
+// hash is redrawn long before the miss-count schedule would fire. Clients
+// can also force a rehash with the REHASH opcode (cacheload -rehash). STATS
+// exposes hit/miss/conflict counters and, on request, per-shard snapshots.
 package main
 
 import (
@@ -36,6 +41,8 @@ func main() {
 		polName    = flag.String("policy", "lru", "per-bucket replacement policy: lru|fifo|clock|lfu|lru2|lru3|reusedist|random|mru")
 		seed       = flag.Uint64("seed", 1, "hash seed")
 		rehashEv   = flag.Uint64("rehash-every", 0, "start an online incremental rehash every N misses (0 disables)")
+		rehashAuto = flag.Bool("rehash-auto", false, "derive the rehash-every period from k (k·⌈log₂k⌉ misses, the paper's poly(k) guidance)")
+		rehashConf = flag.Uint64("rehash-conflicts", 0, "additionally rehash every N conflict evictions (adaptive trigger, 0 disables)")
 		migPerMiss = flag.Int("migrate-per-miss", 1, "forced migrations per miss during a rehash")
 	)
 	flag.Parse()
@@ -44,13 +51,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	every := *rehashEv
+	if *rehashAuto {
+		if every != 0 {
+			fatal(fmt.Errorf("-rehash-auto and -rehash-every are mutually exclusive"))
+		}
+		every = concurrent.DefaultEveryMisses(*k)
+		log.Printf("cached: auto rehash schedule: every %d misses", every)
+	}
 	cache, err := concurrent.New(concurrent.Config{
-		Capacity:          *k,
-		Alpha:             *alpha,
-		Seed:              *seed,
-		Policy:            policy.NewFactory(kind, *seed),
-		RehashEveryMisses: *rehashEv,
-		MigrationPerMiss:  *migPerMiss,
+		Capacity:             *k,
+		Alpha:                *alpha,
+		Seed:                 *seed,
+		Policy:               policy.NewFactory(kind, *seed),
+		RehashEveryMisses:    every,
+		RehashEveryConflicts: *rehashConf,
+		MigrationPerMiss:     *migPerMiss,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,14 +1,22 @@
-// Command cacheload is a closed-loop load generator for cached. It drives
-// the server from the library's workload generators (uniform, zipf, scan,
-// the Theorem 4 adversarial cycler) or a recorded .satr trace, over any
-// number of connections with optional pipelining, and reports throughput,
+// Command cacheload is a load generator for cached. It drives the server
+// from the library's workload generators (uniform, zipf, scan, the
+// Theorem 4 adversarial cycler) or a recorded .satr trace, over any number
+// of connections with optional pipelining, and reports throughput,
 // round-trip latency percentiles and the client-observed miss ratio —
 // cross-checked against the server's own STATS counters.
+//
+// The default mode is closed-loop (offered load adapts to server latency;
+// right for "how fast can it go"). With -open -rate R the harness switches
+// to an open-loop rate-paced schedule whose latency percentiles are
+// measured from each batch's intended send time, making them
+// coordinated-omission-safe (right for "what is p99 at R ops/s"); see
+// internal/load.
 //
 // Usage:
 //
 //	cacheload -addr :7070 -workload zipf -universe 200000 -ops 1000000 -conns 8
 //	cacheload -addr :7070 -workload adversarial -ops 500000 -conns 4
+//	cacheload -addr :7070 -open -rate 100000 -duration 30s -workload zipf
 //	cacheload -addr :7070 -trace workload.satr -ops 1000000
 //	cacheload -addr :7070 -rehash            # force an online rehash mid-run
 //
@@ -22,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/load"
@@ -49,8 +58,15 @@ func main() {
 		verify   = flag.Bool("verify", true, "verify hit payloads carry their key")
 		stats    = flag.Bool("stats", true, "fetch and print server STATS after the run")
 		rehash   = flag.Bool("rehash", false, "send REHASH before the run starts")
+		open     = flag.Bool("open", false, "open-loop mode: rate-paced arrivals, coordinated-omission-safe percentiles")
+		rate     = flag.Float64("rate", 0, "intended aggregate GET rate in ops/sec (open-loop mode, required)")
+		duration = flag.Duration("duration", 0, "stop issuing after this long (open-loop mode; 0 = when ops are exhausted)")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*conns, *ops, *pipeline, *valSize, *universe, *open, *rate, *duration); err != nil {
+		fatal(err)
+	}
 
 	keys, label, err := buildKeys(*addr, *traceIn, *wl, *ops, *universe, *zipfS, *advDelta, *advSets, *advReps, *seed)
 	if err != nil {
@@ -80,15 +96,26 @@ func main() {
 		ValueSize:   *valSize,
 		ReadThrough: *readThru,
 		Verify:      *verify,
+		OpenLoop:    *open,
+		Rate:        *rate,
+		Duration:    *duration,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("workload %s: %d ops over %d conns (pipeline %d) in %v\n",
-		label, res.Ops, *conns, *pipeline, res.Elapsed.Round(1e6))
+	mode := "closed-loop"
+	if res.OpenLoop {
+		mode = fmt.Sprintf("open-loop @ %.0f ops/s intended", res.IntendedRate)
+	}
+	fmt.Printf("workload %s: %d ops over %d conns (pipeline %d, %s) in %v\n",
+		label, res.Ops, *conns, *pipeline, mode, res.Elapsed.Round(1e6))
 	fmt.Printf("  throughput: %12.0f GET/s\n", res.Throughput)
-	fmt.Printf("  latency:    p50=%v p90=%v p99=%v max=%v (per %d-deep batch)\n",
+	lat := "per %d-deep batch"
+	if res.OpenLoop {
+		lat = "from intended send time, per %d-deep batch"
+	}
+	fmt.Printf("  latency:    p50=%v p90=%v p99=%v max=%v ("+lat+")\n",
 		res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max, *pipeline)
 	fmt.Printf("  client:     hits=%d misses=%d (miss ratio %.4f) sets=%d corrupt=%d\n",
 		res.Hits, res.Misses, res.MissRatio(), res.Sets, res.Corrupt)
@@ -118,6 +145,12 @@ func main() {
 		}
 	}
 	ctl.Close()
+}
+
+// validateFlags rejects nonsensical parameters up front with a clear error
+// instead of letting them surface as a hang, a panic, or a zero-length run.
+func validateFlags(conns, ops, pipeline, valSize, universe int, open bool, rate float64, duration time.Duration) error {
+	return load.ValidateHarnessFlags(conns, ops, pipeline, valSize, universe, open, rate, duration)
 }
 
 // buildKeys materializes the request key stream.

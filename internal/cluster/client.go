@@ -1,0 +1,618 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// DialFunc establishes the wire connection to one member. The default is
+// wire.Dial; tests substitute wrappers (stall injection) and deployments
+// can layer TLS here.
+type DialFunc func(addr string) (*wire.Client, error)
+
+// Options configures a Client.
+type Options struct {
+	// VNodes is the virtual-node count per member; 0 means DefaultVNodes.
+	VNodes int
+	// Dial overrides the member connection factory (default wire.Dial).
+	Dial DialFunc
+}
+
+// Client routes cache traffic across a cluster of cached nodes: keys map to
+// members through a consistent-hash ring, each member is served by one
+// pipelined wire connection, and STATS/REHASH fan out to every member.
+//
+// A Client is safe for concurrent use. Batches against distinct members
+// proceed in parallel; batches sharing a member serialize on that member's
+// connection. Membership changes (AddNode, RemoveNode) exclude all traffic
+// for their duration, which is what makes RemoveNode's migration
+// accounting exact. For peak throughput the load harness opens one Client
+// per worker, exactly as it opens one wire.Client per worker against a
+// single node.
+//
+// A member connection that fails is redialed once per operation; if the
+// redial or the replay fails too, the error surfaces to the caller. A
+// replay is only attempted when no response of the failed batch has been
+// delivered, so observers never see a request double-counted.
+type Client struct {
+	dial   DialFunc
+	vnodes int
+
+	mu    sync.RWMutex // guards ring and nodes; write side = membership changes
+	ring  *Ring
+	nodes map[string]*nodeConn
+}
+
+// nodeConn is one member's connection state plus the router's per-member
+// traffic counters.
+type nodeConn struct {
+	addr string
+	mu   sync.Mutex // serializes use of cl
+	cl   *wire.Client
+
+	gets, hits, misses, sets, dels, redials atomic.Uint64
+}
+
+// client returns the live connection, dialing if needed. Caller holds nc.mu.
+func (nc *nodeConn) client(dial DialFunc) (*wire.Client, error) {
+	if nc.cl != nil {
+		return nc.cl, nil
+	}
+	cl, err := dial(nc.addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", nc.addr, err)
+	}
+	nc.cl = cl
+	return cl, nil
+}
+
+// drop discards the connection after an error. Caller holds nc.mu.
+func (nc *nodeConn) drop() {
+	if nc.cl != nil {
+		nc.cl.Close()
+		nc.cl = nil
+	}
+}
+
+// Dial connects to every member and returns a routing client.
+func Dial(addrs []string, opts Options) (*Client, error) {
+	if err := Validate(opts.VNodes, addrs); err != nil {
+		return nil, err
+	}
+	dial := opts.Dial
+	if dial == nil {
+		dial = wire.Dial
+	}
+	c := &Client{
+		dial:   dial,
+		vnodes: opts.VNodes,
+		ring:   NewRing(opts.VNodes, addrs...),
+		nodes:  make(map[string]*nodeConn, len(addrs)),
+	}
+	for _, a := range addrs {
+		nc := &nodeConn{addr: a}
+		if _, err := nc.client(dial); err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes[a] = nc
+	}
+	return c, nil
+}
+
+// Close tears down every member connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, nc := range c.nodes {
+		nc.mu.Lock()
+		nc.drop()
+		nc.mu.Unlock()
+	}
+	return nil
+}
+
+// Nodes returns the current members in sorted order.
+func (c *Client) Nodes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Nodes()
+}
+
+// Ring returns a snapshot of the ownership shares over n sampled keys; see
+// Ring.Sample.
+func (c *Client) RingSample(n int, seed uint64) map[string]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Sample(n, seed)
+}
+
+// subBatch is the slice of one batch owned by a single member.
+type subBatch struct {
+	nc        *nodeConn
+	idx       []int // positions in the original batch, in enqueue order
+	err       error
+	delivered int
+}
+
+// partition splits keys by owning member. Caller holds c.mu (either side).
+func (c *Client) partition(keys []uint64) ([]*subBatch, error) {
+	byNode := make(map[*nodeConn]*subBatch)
+	var subs []*subBatch
+	for i, k := range keys {
+		addr, ok := c.ring.Node(k)
+		if !ok {
+			return nil, fmt.Errorf("cluster: empty ring")
+		}
+		nc := c.nodes[addr]
+		sub := byNode[nc]
+		if sub == nil {
+			sub = &subBatch{nc: nc}
+			byNode[nc] = sub
+			subs = append(subs, sub)
+		}
+		sub.idx = append(sub.idx, i)
+	}
+	// Deterministic member order: lock acquisition below must be totally
+	// ordered to stay deadlock-free across concurrent batches.
+	sort.Slice(subs, func(i, j int) bool { return subs[i].nc.addr < subs[j].nc.addr })
+	return subs, nil
+}
+
+// lockSubs acquires every involved member connection in address order and
+// returns the matching unlock.
+func lockSubs(subs []*subBatch) func() {
+	for _, s := range subs {
+		s.nc.mu.Lock()
+	}
+	return func() {
+		for _, s := range subs {
+			s.nc.mu.Unlock()
+		}
+	}
+}
+
+// GetBatch routes one GET per key and calls visit for each response in key
+// order within each member's sub-batch. All members' pipelines are flushed
+// before any response is read, so the batch costs one round trip regardless
+// of how many members it spans. The value passed to visit aliases a
+// connection buffer valid only for the duration of the call.
+func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byte)) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	subs, err := c.partition(keys)
+	if err != nil {
+		return err
+	}
+	unlock := lockSubs(subs)
+	defer unlock()
+
+	for _, s := range subs {
+		s.err = s.enqueueGets(c.dial, keys)
+	}
+	for _, s := range subs {
+		if s.err == nil {
+			s.err = s.readGets(keys, visit)
+		}
+		if s.err != nil {
+			if s.delivered > 0 {
+				// Cannot replay without double-delivering; the batch fails
+				// and every flushed connection may hold undrained responses.
+				dropSubs(subs)
+				return s.err
+			}
+			if err := s.replayGets(c.dial, keys, visit); err != nil {
+				dropSubs(subs)
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dropSubs discards every involved member connection after a failed batch:
+// some were flushed but never fully drained, and reusing one would hand a
+// later batch the stale responses of this one. Callers hold the node locks.
+func dropSubs(subs []*subBatch) {
+	for _, s := range subs {
+		s.nc.drop()
+	}
+}
+
+func (s *subBatch) enqueueGets(dial DialFunc, keys []uint64) error {
+	cl, err := s.nc.client(dial)
+	if err != nil {
+		return err
+	}
+	for _, i := range s.idx {
+		if err := cl.EnqueueGet(keys[i]); err != nil {
+			return err
+		}
+	}
+	return cl.Flush()
+}
+
+func (s *subBatch) readGets(keys []uint64, visit func(i int, hit bool, value []byte)) error {
+	cl := s.nc.cl
+	for _, i := range s.idx {
+		resp, err := cl.ReadResponse()
+		if err != nil {
+			return err
+		}
+		hit := false
+		switch resp.Status {
+		case wire.StatusHit:
+			hit = true
+			s.nc.hits.Add(1)
+		case wire.StatusMiss:
+			s.nc.misses.Add(1)
+		default:
+			return fmt.Errorf("cluster: unexpected GET response %v from %s", resp.Status, s.nc.addr)
+		}
+		s.nc.gets.Add(1)
+		s.delivered++
+		visit(i, hit, resp.Value)
+	}
+	return nil
+}
+
+// replayGets redials once and replays an entirely undelivered sub-batch.
+func (s *subBatch) replayGets(dial DialFunc, keys []uint64, visit func(i int, hit bool, value []byte)) error {
+	s.nc.drop()
+	s.nc.redials.Add(1)
+	if err := s.enqueueGets(dial, keys); err != nil {
+		return err
+	}
+	return s.readGets(keys, visit)
+}
+
+// SetBatch routes one SET per key, with value(i) producing the i-th
+// payload. Pipelining and recovery mirror GetBatch.
+func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	subs, err := c.partition(keys)
+	if err != nil {
+		return err
+	}
+	unlock := lockSubs(subs)
+	defer unlock()
+
+	for _, s := range subs {
+		s.err = s.enqueueSets(c.dial, keys, value)
+	}
+	for _, s := range subs {
+		if s.err == nil {
+			s.err = s.readSets()
+		}
+		if s.err != nil {
+			if s.delivered > 0 {
+				dropSubs(subs)
+				return s.err
+			}
+			s.nc.drop()
+			s.nc.redials.Add(1)
+			if err := s.enqueueSets(c.dial, keys, value); err != nil {
+				dropSubs(subs)
+				return err
+			}
+			if err := s.readSets(); err != nil {
+				dropSubs(subs)
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *subBatch) enqueueSets(dial DialFunc, keys []uint64, value func(i int) []byte) error {
+	cl, err := s.nc.client(dial)
+	if err != nil {
+		return err
+	}
+	for _, i := range s.idx {
+		if err := cl.EnqueueSet(keys[i], value(i)); err != nil {
+			return err
+		}
+	}
+	return cl.Flush()
+}
+
+func (s *subBatch) readSets() error {
+	cl := s.nc.cl
+	for range s.idx {
+		resp, err := cl.ReadResponse()
+		if err != nil {
+			return err
+		}
+		if resp.Status != wire.StatusOK {
+			return fmt.Errorf("cluster: unexpected SET response %v from %s", resp.Status, s.nc.addr)
+		}
+		s.nc.sets.Add(1)
+		s.delivered++
+	}
+	return nil
+}
+
+// Get fetches key from its owner. The returned value is a copy and safe to
+// retain.
+func (c *Client) Get(key uint64) ([]byte, bool, error) {
+	var (
+		val []byte
+		hit bool
+	)
+	err := c.GetBatch([]uint64{key}, func(_ int, h bool, v []byte) {
+		if h {
+			hit = true
+			val = append([]byte(nil), v...)
+		}
+	})
+	return val, hit, err
+}
+
+// Set stores value under key on its owner.
+func (c *Client) Set(key uint64, value []byte) error {
+	return c.SetBatch([]uint64{key}, func(int) []byte { return value })
+}
+
+// Del removes key from its owner, reporting whether it was present.
+func (c *Client) Del(key uint64) (bool, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	addr, ok := c.ring.Node(key)
+	if !ok {
+		return false, fmt.Errorf("cluster: empty ring")
+	}
+	nc := c.nodes[addr]
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	nc.dels.Add(1)
+	var present bool
+	err := nc.withRetry(c.dial, func(cl *wire.Client) error {
+		var err error
+		present, err = cl.Del(key)
+		return err
+	})
+	return present, err
+}
+
+// withRetry runs op against the member connection, redialing once on
+// failure. Caller holds nc.mu. Only safe for idempotent round trips.
+func (nc *nodeConn) withRetry(dial DialFunc, op func(cl *wire.Client) error) error {
+	cl, err := nc.client(dial)
+	if err == nil {
+		if err = op(cl); err == nil {
+			return nil
+		}
+	}
+	nc.drop()
+	nc.redials.Add(1)
+	cl, err2 := nc.client(dial)
+	if err2 != nil {
+		return fmt.Errorf("%w (redial: %v)", err, err2)
+	}
+	if err := op(cl); err != nil {
+		nc.drop()
+		return err
+	}
+	return nil
+}
+
+// StatsAll fans STATS out to every member and returns the snapshots keyed
+// by address.
+func (c *Client) StatsAll(detail bool) (map[string]*wire.Stats, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]*wire.Stats, len(c.nodes))
+	for _, addr := range c.ring.Nodes() {
+		nc := c.nodes[addr]
+		nc.mu.Lock()
+		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
+			st, err := cl.Stats(detail)
+			if err == nil {
+				out[addr] = st
+			}
+			return err
+		})
+		nc.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: STATS %s: %w", addr, err)
+		}
+	}
+	return out, nil
+}
+
+// RehashAll asks every member to begin an online incremental rehash — the
+// intra-node half of the rebalancing story; the ring handles the inter-node
+// half.
+func (c *Client) RehashAll() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, addr := range c.ring.Nodes() {
+		nc := c.nodes[addr]
+		nc.mu.Lock()
+		err := nc.withRetry(c.dial, func(cl *wire.Client) error { return cl.Rehash() })
+		nc.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("cluster: REHASH %s: %w", addr, err)
+		}
+	}
+	return nil
+}
+
+// AggregateStats sums per-member snapshots into one cluster-wide view.
+// Alpha is carried over only when all members agree (0 otherwise), and
+// Migrating reports whether any member is mid-rehash.
+func AggregateStats(stats map[string]*wire.Stats) wire.Stats {
+	var agg wire.Stats
+	first := true
+	for _, st := range stats {
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.ConflictEvictions += st.ConflictEvictions
+		agg.FlushEvictions += st.FlushEvictions
+		agg.Rehashes += st.Rehashes
+		agg.Pending += st.Pending
+		agg.Len += st.Len
+		agg.Capacity += st.Capacity
+		agg.Buckets += st.Buckets
+		agg.Migrating = agg.Migrating || st.Migrating
+		if first {
+			agg.Alpha = st.Alpha
+			first = false
+		} else if agg.Alpha != st.Alpha {
+			agg.Alpha = 0
+		}
+	}
+	return agg
+}
+
+// NodeCounters is the router's per-member traffic tally.
+type NodeCounters struct {
+	Gets, Hits, Misses, Sets, Dels, Redials uint64
+}
+
+// Counters returns the per-member routing counters, keyed by address.
+func (c *Client) Counters() map[string]NodeCounters {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]NodeCounters, len(c.nodes))
+	for addr, nc := range c.nodes {
+		out[addr] = NodeCounters{
+			Gets: nc.gets.Load(), Hits: nc.hits.Load(), Misses: nc.misses.Load(),
+			Sets: nc.sets.Load(), Dels: nc.dels.Load(), Redials: nc.redials.Load(),
+		}
+	}
+	return out
+}
+
+// AddNode joins a new member: its connection is dialed eagerly (failing
+// fast on a bad address) and the ring is extended. No data moves at join
+// time — consistent hashing bounds the reassigned share to roughly
+// 1/(n+1) of the key space, and those keys simply miss on the new member
+// and refill through the caller's read-through path, exactly like the
+// fresh buckets after an intra-node rehash.
+func (c *Client) AddNode(addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.nodes[addr]; exists {
+		return fmt.Errorf("cluster: node %s already a member", addr)
+	}
+	nc := &nodeConn{addr: addr}
+	if _, err := nc.client(c.dial); err != nil {
+		return err
+	}
+	c.nodes[addr] = nc
+	c.ring.Add(addr)
+	return nil
+}
+
+// migrateChunk bounds how many keys RemoveNode drains per pipelined round
+// trip, keeping peak buffering (chunk × value size) modest.
+const migrateChunk = 256
+
+// RemoveNode retires a member, migrating its residents to their new owners
+// before the connection closes: the cluster-level analogue of the paper's
+// incremental rehash, where no entry is lost except by accounted eviction.
+// moved counts entries re-stored on their new owner (which may evict there
+// — the destination's eviction counters account for it); dropped counts
+// entries that vanished between the key snapshot and the drain (concurrent
+// eviction on the departing member).
+//
+// RemoveNode excludes all other traffic on this Client for its duration.
+func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nc, ok := c.nodes[addr]
+	if !ok {
+		return 0, 0, fmt.Errorf("cluster: node %s is not a member", addr)
+	}
+	if c.ring.NumNodes() == 1 {
+		return 0, 0, fmt.Errorf("cluster: cannot remove the last member %s", addr)
+	}
+
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	var keys []uint64
+	if err := nc.withRetry(c.dial, func(cl *wire.Client) error {
+		var err error
+		keys, err = cl.Keys()
+		return err
+	}); err != nil {
+		return 0, 0, fmt.Errorf("cluster: KEYS %s: %w", addr, err)
+	}
+
+	// Reroute first so owners are computed against the post-removal ring,
+	// then drain the departing member chunk by chunk. If the drain fails
+	// the member is restored: leaving it removed would orphan its
+	// undrained residents outside both the moved and dropped counts.
+	c.ring.Remove(addr)
+	drained := false
+	defer func() {
+		if drained {
+			nc.drop()
+			delete(c.nodes, addr)
+		} else {
+			c.ring.Add(addr)
+		}
+	}()
+
+	src := nc.cl
+	for off := 0; off < len(keys); off += migrateChunk {
+		end := off + migrateChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+
+		vals := make([][]byte, len(chunk))
+		hit := make([]bool, len(chunk))
+		if err := src.GetBatch(chunk, func(i int, h bool, v []byte) {
+			if h {
+				hit[i] = true
+				vals[i] = append([]byte(nil), v...)
+			}
+		}); err != nil {
+			return moved, dropped, fmt.Errorf("cluster: draining %s: %w", addr, err)
+		}
+
+		// Partition the chunk's survivors by new owner and re-store them.
+		byOwner := make(map[*nodeConn][]int)
+		for i, k := range chunk {
+			if !hit[i] {
+				dropped++
+				continue
+			}
+			owner, ok := c.ring.Node(k)
+			if !ok {
+				return moved, dropped, fmt.Errorf("cluster: empty ring during migration")
+			}
+			byOwner[c.nodes[owner]] = append(byOwner[c.nodes[owner]], i)
+		}
+		for dst, idx := range byOwner {
+			dst.mu.Lock()
+			err := dst.withRetry(c.dial, func(cl *wire.Client) error {
+				sub := make([]uint64, len(idx))
+				for j, i := range idx {
+					sub[j] = chunk[i]
+				}
+				return cl.SetBatch(sub, func(j int) []byte { return vals[idx[j]] })
+			})
+			if err == nil {
+				dst.sets.Add(uint64(len(idx)))
+			}
+			dst.mu.Unlock()
+			if err != nil {
+				return moved, dropped, fmt.Errorf("cluster: migrating to %s: %w", dst.addr, err)
+			}
+			moved += len(idx)
+		}
+	}
+	drained = true
+	return moved, dropped, nil
+}

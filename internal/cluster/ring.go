@@ -1,0 +1,165 @@
+// Package cluster scales the cached service horizontally: a consistent-hash
+// ring maps keys to member nodes, and Client routes requests over one
+// pipelined wire connection per node, fanning STATS/REHASH out to all
+// members.
+//
+// The ring is the cluster-level analogue of the paper's online rehash. A
+// single node redraws its *intra-node* hash and migrates bucket contents
+// incrementally (Section 6.1); the cluster redraws its *inter-node* key
+// placement when membership changes, and consistent hashing bounds the key
+// movement the same way incremental migration bounds per-miss work: adding
+// or removing one of n nodes relocates only ~1/n of the key space instead
+// of rehashing everything. RemoveNode completes the analogy by migrating
+// the departing node's residents to their new owners under live traffic,
+// with every key either moved or accounted for by an eviction counter —
+// the same no-silent-loss discipline the incremental rehash keeps.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hashfn"
+)
+
+// DefaultVNodes is the virtual-node count used when Options.VNodes is zero.
+// At 128 points per member the peak-to-mean ownership imbalance across a
+// handful of nodes stays within a few percent, while ring lookups remain a
+// binary search over at most a few thousand points.
+const DefaultVNodes = 128
+
+// Ring is a consistent-hash ring with virtual nodes. It is not safe for
+// concurrent use; Client guards its ring with a lock.
+type Ring struct {
+	vnodes int
+	nodes  map[string]bool
+	points []point // sorted by (hash, node)
+}
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns a ring placing vnodes virtual points per member (0 means
+// DefaultVNodes), populated with the given nodes.
+func NewRing(vnodes int, nodes ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// nodeHash folds a node name into a 64-bit seed via FNV-1a, then mixes in
+// the replica index so virtual points scatter independently.
+func nodeHash(node string, replica int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= prime64
+	}
+	return hashfn.Mix64(h ^ uint64(replica)*0x9e3779b97f4a7c15)
+}
+
+// Add inserts node's virtual points. Adding a present node is a no-op.
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: nodeHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove deletes node's virtual points. Removing an absent node is a no-op.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Node returns the member owning key: the first virtual point clockwise
+// from the key's hash. It reports false only on an empty ring.
+func (r *Ring) Node(key uint64) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hashfn.Mix64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.points[i].node, true
+}
+
+// Nodes returns the members in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumNodes returns the member count.
+func (r *Ring) NumNodes() int { return len(r.nodes) }
+
+// Sample estimates the ownership share of each member by routing n
+// pseudo-random keys (deterministic in seed) and counting owners. It is how
+// cmd/cachecluster reports ring balance, and how tests bound the key
+// movement of a membership change.
+func (r *Ring) Sample(n int, seed uint64) map[string]int {
+	out := make(map[string]int, len(r.nodes))
+	s := hashfn.NewSeedSequence(seed)
+	for i := 0; i < n; i++ {
+		if node, ok := r.Node(s.Next()); ok {
+			out[node]++
+		}
+	}
+	return out
+}
+
+// Validate checks a vnodes/nodes configuration before dialing.
+func Validate(vnodes int, nodes []string) error {
+	if vnodes < 0 {
+		return fmt.Errorf("cluster: vnodes %d must not be negative", vnodes)
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("cluster: no member nodes")
+	}
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return fmt.Errorf("cluster: empty node address")
+		}
+		if seen[n] {
+			return fmt.Errorf("cluster: duplicate node %q", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}

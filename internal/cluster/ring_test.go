@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	r1 := NewRing(0, nodes...)
+	r2 := NewRing(0, nodes...)
+	const n = 100_000
+	for i := uint64(0); i < 1000; i++ {
+		o1, ok1 := r1.Node(i)
+		o2, ok2 := r2.Node(i)
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("rings disagree on key %d: %q vs %q", i, o1, o2)
+		}
+	}
+	share := r1.Sample(n, 7)
+	for _, node := range nodes {
+		frac := float64(share[node]) / n
+		if frac < 0.10 || frac > 0.30 {
+			t.Errorf("node %s owns %.1f%% of sampled keys; want near 20%%", node, 100*frac)
+		}
+	}
+}
+
+// TestRingBoundedMovement is the consistent-hashing contract: adding a
+// member moves keys only *to* it, and only about 1/(n+1) of them; removing
+// a member moves keys only *off* it.
+func TestRingBoundedMovement(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	before := NewRing(0, nodes...)
+	after := NewRing(0, nodes...)
+	after.Add("f:1")
+
+	const n = 100_000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := uint64(i) * 0x9e3779b97f4a7c15
+		ob, _ := before.Node(key)
+		oa, _ := after.Node(key)
+		if ob != oa {
+			moved++
+			if oa != "f:1" {
+				t.Fatalf("key %d moved %q → %q, not to the added node", key, ob, oa)
+			}
+		}
+	}
+	frac := float64(moved) / n
+	if frac < 0.05 || frac > 0.35 {
+		t.Errorf("adding a 6th node moved %.1f%% of keys; want near 1/6", 100*frac)
+	}
+
+	after.Remove("f:1")
+	for i := 0; i < n; i++ {
+		key := uint64(i) * 0x9e3779b97f4a7c15
+		ob, _ := before.Node(key)
+		oa, _ := after.Node(key)
+		if ob != oa {
+			t.Fatalf("add+remove is not a no-op: key %d owned by %q then %q", key, ob, oa)
+		}
+	}
+}
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing(4)
+	if _, ok := r.Node(1); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r.Add("a:1")
+	r.Add("a:1") // duplicate add is a no-op
+	if got := r.NumNodes(); got != 1 {
+		t.Fatalf("NumNodes = %d, want 1", got)
+	}
+	if owner, ok := r.Node(42); !ok || owner != "a:1" {
+		t.Fatalf("single-node ring routed to %q, %v", owner, ok)
+	}
+	r.Remove("missing") // absent remove is a no-op
+	r.Remove("a:1")
+	if _, ok := r.Node(1); ok || r.NumNodes() != 0 {
+		t.Fatal("ring not empty after removing its only member")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		vnodes int
+		nodes  []string
+		ok     bool
+	}{
+		{0, []string{"a:1"}, true},
+		{64, []string{"a:1", "b:1"}, true},
+		{-1, []string{"a:1"}, false},
+		{0, nil, false},
+		{0, []string{""}, false},
+		{0, []string{"a:1", "a:1"}, false},
+	}
+	for _, c := range cases {
+		err := Validate(c.vnodes, c.nodes)
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%d, %v) = %v, want ok=%v", c.vnodes, c.nodes, err, c.ok)
+		}
+	}
+}
+
+func BenchmarkRingLookup(b *testing.B) {
+	for _, nodes := range []int{3, 16, 64} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			r := NewRing(0)
+			for i := 0; i < nodes; i++ {
+				r.Add(fmt.Sprintf("10.0.0.%d:7070", i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Node(uint64(i))
+			}
+		})
+	}
+}

@@ -43,6 +43,41 @@ func BenchmarkAlphaSweepParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotFastPath is the before/after for the atomic hasher-pair
+// snapshot: the same parallel read-mostly load with the fast path enabled
+// (steady-state reads touch only their bucket lock) versus forced onto the
+// old rehashMu.RLock slow path (every read touches the shared RWMutex cache
+// line). The gap is the cost of reader-count cache-line bouncing.
+func BenchmarkSnapshotFastPath(b *testing.B) {
+	const k = 1 << 14
+	for _, mode := range []string{"atomic", "rwlock"} {
+		b.Run(mode, func(b *testing.B) {
+			disableFastPath = mode == "rwlock"
+			defer func() { disableFastPath = false }()
+			c, err := New(Config{Capacity: k, Alpha: 16, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := uint64(0); i < k; i++ {
+				c.Put(i, i)
+			}
+			var ctr atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				base := ctr.Add(1) * 0x9e3779b9
+				i := uint64(0)
+				for pb.Next() {
+					key := (base + i*7) % k
+					if _, ok := c.Get(key); !ok {
+						c.Put(key, key)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkRehashDuringLoad measures Get throughput while online rehashes
 // fire on the paper's every-N-misses schedule, quantifying the overhead of
 // live migration.

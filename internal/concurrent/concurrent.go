@@ -39,12 +39,23 @@ type Cache struct {
 	alpha   int
 	seeds   *hashfn.SeedSequence
 
-	// rehashMu guards the hasher/oldHasher pair. Normal operations hold it
-	// for reading (shared, cheap); only Rehash and migration completion take
-	// the write side. Per-item state is still guarded by bucket mutexes.
-	rehashMu  sync.RWMutex
-	hasher    *hashfn.Random
-	oldHasher *hashfn.Random // non-nil while a migration is in progress
+	// pair is the atomically published {hasher, oldHasher} snapshot. When no
+	// migration is in flight (pair.old == nil) operations run a lock-free
+	// fast path: load the pair, lock the one target bucket, and re-validate
+	// that the pair is unchanged. Rehash publishes its new pair *before* the
+	// marking pass touches any bucket lock, so a fast-path operation that
+	// re-validates successfully under its bucket lock is guaranteed either
+	// to run entirely before the rehash is visible (and its entries are then
+	// marked by the pass like any other resident) or to detect the swap and
+	// retry on the slow path. Reads therefore touch no shared cache line
+	// beyond their own bucket while the cache is stable.
+	pair atomic.Pointer[hasherPair]
+
+	// rehashMu serializes the slow path against rehash initiation and
+	// migration completion. Operations take the read side only while a
+	// migration is in flight (or when fast-path validation fails); Rehash
+	// and maybeFinishMigration take the write side.
+	rehashMu sync.RWMutex
 
 	// migrating mirrors oldHasher != nil so the post-operation fast path can
 	// check for migration completion without taking rehashMu.
@@ -54,8 +65,9 @@ type Cache struct {
 	// sweepCursor is the next bucket index the forced-eviction sweep visits.
 	sweepCursor atomic.Int64
 
-	rehashEveryMisses uint64
-	migrationPerMiss  int
+	rehashEveryMisses    uint64
+	rehashEveryConflicts uint64
+	migrationPerMiss     int
 
 	hits              atomic.Uint64
 	misses            atomic.Uint64
@@ -67,6 +79,18 @@ type Cache struct {
 	// as conflict (free slots existed elsewhere) without a global lock.
 	occupancy atomic.Int64
 }
+
+// hasherPair is one immutable snapshot of the live indexing function(s).
+// old is non-nil exactly while an incremental migration is in progress.
+type hasherPair struct {
+	hasher *hashfn.Random
+	old    *hashfn.Random
+}
+
+// disableFastPath forces every operation onto the rehashMu.RLock slow path.
+// It exists only so the before/after benchmark can measure what the atomic
+// snapshot buys; it is never set outside tests.
+var disableFastPath bool
 
 type bucket struct {
 	mu     sync.Mutex
@@ -101,8 +125,17 @@ type Config struct {
 	// RehashEveryMisses, when nonzero, starts an online incremental rehash
 	// every RehashEveryMisses Get misses — the paper's "rehash every poly(k)
 	// misses" schedule (Section 6), which keeps the cache competitive on
-	// arbitrarily long request sequences.
+	// arbitrarily long request sequences. DefaultEveryMisses derives the
+	// paper-guided value from the capacity.
 	RehashEveryMisses uint64
+	// RehashEveryConflicts, when nonzero, additionally starts a rehash every
+	// RehashEveryConflicts conflict evictions (evictions that happened while
+	// free slots existed elsewhere). Conflict evictions are exactly the
+	// currency in which an unlucky — or adversarially exploited — hash
+	// function pays, so this is an adaptive trigger: a well-hashed workload
+	// almost never trips it, while a Theorem 4 cycler does so long before
+	// the miss-count schedule would.
+	RehashEveryConflicts uint64
 	// MigrationPerMiss bounds the forced evictions of not-yet-remapped items
 	// performed per miss during a migration; zero means 1 (the gentlest
 	// schedule the paper allows).
@@ -123,16 +156,17 @@ func New(cfg Config) (*Cache, error) {
 	}
 	n := cfg.Capacity / cfg.Alpha
 	c := &Cache{
-		buckets:           make([]bucket, n),
-		seeds:             hashfn.NewSeedSequence(cfg.Seed),
-		alpha:             cfg.Alpha,
-		rehashEveryMisses: cfg.RehashEveryMisses,
-		migrationPerMiss:  cfg.MigrationPerMiss,
+		buckets:              make([]bucket, n),
+		seeds:                hashfn.NewSeedSequence(cfg.Seed),
+		alpha:                cfg.Alpha,
+		rehashEveryMisses:    cfg.RehashEveryMisses,
+		rehashEveryConflicts: cfg.RehashEveryConflicts,
+		migrationPerMiss:     cfg.MigrationPerMiss,
 	}
 	if c.migrationPerMiss <= 0 {
 		c.migrationPerMiss = 1
 	}
-	c.hasher = hashfn.NewRandom(c.seeds.Next(), n)
+	c.pair.Store(&hasherPair{hasher: hashfn.NewRandom(c.seeds.Next(), n)})
 	for i := range c.buckets {
 		c.buckets[i].pol = factory(cfg.Alpha)
 		c.buckets[i].values = make(map[trace.Item]interface{}, cfg.Alpha)
@@ -140,18 +174,40 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
+// DefaultEveryMisses returns the paper-guided automatic rehash period for a
+// cache of capacity k: k·⌈log₂ k⌉ misses. Section 6 requires only that the
+// period be poly(k); the k log k choice is the smallest natural ω(k) period,
+// which amortizes the O(k) worst-case cost of one migration to o(1) per
+// miss while still rehashing often enough that no fixed hash function is
+// exposed to the adversary's Θ(k^1.01)-length defeating sequence between
+// flushes.
+func DefaultEveryMisses(k int) uint64 {
+	if k <= 1 {
+		return 1
+	}
+	log := 0
+	for n := k - 1; n > 0; n >>= 1 {
+		log++
+	}
+	return uint64(k) * uint64(log)
+}
+
 // Get returns the value cached under key, if any, updating recency. During a
 // migration a hit on a not-yet-remapped item moves it to its new bucket, and
 // a miss force-evicts up to MigrationPerMiss old residents (Section 6.1).
 func (c *Cache) Get(key uint64) (interface{}, bool) {
 	item := trace.Item(key)
-	c.rehashMu.RLock()
-	v, ok := c.lookup(item)
-	if !ok && c.oldHasher != nil {
-		c.migrateSteps()
+	v, ok, fast := c.getFast(item)
+	if !fast {
+		c.rehashMu.RLock()
+		p := c.pair.Load()
+		v, ok = c.lookup(p, item)
+		if !ok && p.old != nil {
+			c.migrateSteps()
+		}
+		c.rehashMu.RUnlock()
+		c.maybeFinishMigration()
 	}
-	c.rehashMu.RUnlock()
-	c.maybeFinishMigration()
 
 	if ok {
 		c.hits.Add(1)
@@ -167,13 +223,40 @@ func (c *Cache) Get(key uint64) (interface{}, bool) {
 	return nil, false
 }
 
-// lookup finds item under the live hash function(s). Caller holds
-// rehashMu.RLock.
-func (c *Cache) lookup(item trace.Item) (interface{}, bool) {
-	nb := c.hasher.Bucket(item)
+// getFast is the single-bucket fast path: valid only while no migration is
+// in flight. The pair re-validation under the bucket lock is what makes it
+// safe; see the pair field comment. The third return reports whether the
+// fast path applied at all.
+func (c *Cache) getFast(item trace.Item) (interface{}, bool, bool) {
+	p := c.pair.Load()
+	if p.old != nil || disableFastPath {
+		return nil, false, false
+	}
+	b := &c.buckets[p.hasher.Bucket(item)]
+	b.mu.Lock()
+	if c.pair.Load() != p {
+		b.mu.Unlock()
+		return nil, false, false
+	}
+	v, ok := b.values[item]
+	if !ok {
+		b.misses++
+		b.mu.Unlock()
+		return nil, false, true
+	}
+	b.pol.Request(item)
+	b.hits++
+	b.mu.Unlock()
+	return v, true, true
+}
+
+// lookup finds item under the live hash function(s) of pair p. Caller holds
+// rehashMu.RLock, under which p is stable.
+func (c *Cache) lookup(p *hasherPair, item trace.Item) (interface{}, bool) {
+	nb := p.hasher.Bucket(item)
 	ob := nb
-	if c.oldHasher != nil {
-		ob = c.oldHasher.Bucket(item)
+	if p.old != nil {
+		ob = p.old.Bucket(item)
 	}
 	if ob == nb {
 		b := &c.buckets[nb]
@@ -220,11 +303,15 @@ func (c *Cache) lookup(item trace.Item) (interface{}, bool) {
 // It returns the evicted key and whether an eviction happened.
 func (c *Cache) Put(key uint64, value interface{}) (evictedKey uint64, evicted bool) {
 	item := trace.Item(key)
+	if victim, didEvict, fast := c.putFast(item, value); fast {
+		return uint64(victim), didEvict
+	}
 	c.rehashMu.RLock()
-	nb := c.hasher.Bucket(item)
+	p := c.pair.Load()
+	nb := p.hasher.Bucket(item)
 	ob := nb
-	if c.oldHasher != nil {
-		ob = c.oldHasher.Bucket(item)
+	if p.old != nil {
+		ob = p.old.Bucket(item)
 	}
 	var victim trace.Item
 	var didEvict bool
@@ -254,6 +341,23 @@ func (c *Cache) Put(key uint64, value interface{}) (evictedKey uint64, evicted b
 	return uint64(victim), didEvict
 }
 
+// putFast is Put's single-bucket fast path; see getFast.
+func (c *Cache) putFast(item trace.Item, value interface{}) (victim trace.Item, didEvict, fast bool) {
+	p := c.pair.Load()
+	if p.old != nil || disableFastPath {
+		return 0, false, false
+	}
+	b := &c.buckets[p.hasher.Bucket(item)]
+	b.mu.Lock()
+	if c.pair.Load() != p {
+		b.mu.Unlock()
+		return 0, false, false
+	}
+	victim, didEvict = c.insertLocked(b, item, value)
+	b.mu.Unlock()
+	return victim, didEvict, true
+}
+
 // insertLocked stores item→value in bucket b, whose mutex the caller holds,
 // handling eviction bookkeeping. It returns the (single) reported victim.
 func (c *Cache) insertLocked(b *bucket, item trace.Item, value interface{}) (victim trace.Item, didEvict bool) {
@@ -267,7 +371,13 @@ func (c *Cache) insertLocked(b *bucket, item trace.Item, value interface{}) (vic
 		// still has free slots, this eviction is a pure conflict eviction —
 		// the associativity restriction, not capacity, caused it.
 		if c.occupancy.Load() < int64(c.Capacity()) {
-			c.conflictEvictions.Add(1)
+			cv := c.conflictEvictions.Add(1)
+			if c.rehashEveryConflicts > 0 && cv%c.rehashEveryConflicts == 0 {
+				// Adaptive schedule: a burst of conflict evictions means the
+				// current hash is being exploited; redraw it. Asynchronous
+				// for the same reason as the miss-count trigger.
+				go c.Rehash()
+			}
 		}
 	} else if !hit {
 		c.occupancy.Add(1)
@@ -334,18 +444,45 @@ func (c *Cache) GetOrLoad(key uint64, load func() (interface{}, error)) (interfa
 
 // Delete removes key, reporting whether it was present.
 func (c *Cache) Delete(key uint64) bool {
-	ok := c.delete(trace.Item(key))
+	item := trace.Item(key)
+	if ok, fast := c.deleteFast(item); fast {
+		return ok
+	}
+	ok := c.delete(item)
 	c.maybeFinishMigration()
 	return ok
+}
+
+// deleteFast is Delete's single-bucket fast path; see getFast.
+func (c *Cache) deleteFast(item trace.Item) (ok, fast bool) {
+	p := c.pair.Load()
+	if p.old != nil || disableFastPath {
+		return false, false
+	}
+	b := &c.buckets[p.hasher.Bucket(item)]
+	b.mu.Lock()
+	if c.pair.Load() != p {
+		b.mu.Unlock()
+		return false, false
+	}
+	if !b.pol.Delete(item) {
+		b.mu.Unlock()
+		return false, true
+	}
+	delete(b.values, item)
+	c.occupancy.Add(-1)
+	b.mu.Unlock()
+	return true, true
 }
 
 func (c *Cache) delete(item trace.Item) bool {
 	c.rehashMu.RLock()
 	defer c.rehashMu.RUnlock()
-	nb := c.hasher.Bucket(item)
+	p := c.pair.Load()
+	nb := p.hasher.Bucket(item)
 	ob := nb
-	if c.oldHasher != nil {
-		ob = c.oldHasher.Bucket(item)
+	if p.old != nil {
+		ob = p.old.Bucket(item)
 	}
 	if ob == nb {
 		b := &c.buckets[nb]
@@ -392,7 +529,8 @@ func (c *Cache) delete(item trace.Item) bool {
 func (c *Cache) Rehash() {
 	c.rehashMu.Lock()
 	defer c.rehashMu.Unlock()
-	if c.oldHasher != nil {
+	p := c.pair.Load()
+	if p.old != nil {
 		for i := range c.buckets {
 			b := &c.buckets[i]
 			b.mu.Lock()
@@ -406,12 +544,22 @@ func (c *Cache) Rehash() {
 			b.mu.Unlock()
 		}
 		c.pending.Store(0)
-		c.oldHasher = nil
+		p = &hasherPair{hasher: p.hasher}
+		c.pair.Store(p)
 		c.migrating.Store(false)
 	}
 
-	c.oldHasher = c.hasher
-	c.hasher = hashfn.NewRandom(c.seeds.Next(), len(c.buckets))
+	// Publish the new pair BEFORE the marking pass takes any bucket lock.
+	// Fast-path operations re-validate the pair under their bucket lock:
+	// one that validated against the old pair finished before this store
+	// became visible through its bucket's mutex, so the marking pass below
+	// will see (and mark) whatever it inserted; one that observes the new
+	// pair falls back to the slow path and blocks on rehashMu until the
+	// marking pass is done.
+	c.pair.Store(&hasherPair{
+		hasher: hashfn.NewRandom(c.seeds.Next(), len(c.buckets)),
+		old:    p.hasher,
+	})
 	total := 0
 	for i := range c.buckets {
 		b := &c.buckets[i]
@@ -429,7 +577,7 @@ func (c *Cache) Rehash() {
 	c.pending.Store(int64(total))
 	if total == 0 {
 		// Nothing to migrate: the rehash completes immediately.
-		c.oldHasher = nil
+		c.pair.Store(&hasherPair{hasher: c.pair.Load().hasher})
 		c.migrating.Store(false)
 		return
 	}
@@ -477,8 +625,8 @@ func (c *Cache) maybeFinishMigration() {
 		return
 	}
 	c.rehashMu.Lock()
-	if c.oldHasher != nil && c.pending.Load() == 0 {
-		c.oldHasher = nil
+	if p := c.pair.Load(); p.old != nil && c.pending.Load() == 0 {
+		c.pair.Store(&hasherPair{hasher: p.hasher})
 		c.migrating.Store(false)
 	}
 	c.rehashMu.Unlock()
@@ -500,6 +648,22 @@ func (c *Cache) Len() int {
 		b.mu.Unlock()
 	}
 	return total
+}
+
+// Keys returns a racy snapshot of all resident keys, bucket by bucket.
+// Entries inserted or evicted while the snapshot is taken may or may not
+// appear; no key is reported twice.
+func (c *Cache) Keys() []uint64 {
+	out := make([]uint64, 0, c.occupancy.Load())
+	for i := range c.buckets {
+		b := &c.buckets[i]
+		b.mu.Lock()
+		for it := range b.values {
+			out = append(out, uint64(it))
+		}
+		b.mu.Unlock()
+	}
+	return out
 }
 
 // Capacity returns the total entry capacity k.

@@ -1,14 +1,25 @@
-// Package load is a closed-loop load harness for the cached server: N
-// connections, each driven by one worker goroutine, replay a key stream
-// against the server and measure throughput, round-trip latency percentiles
-// and the client-observed miss ratio.
+// Package load is the load harness for the cached server and its clustered
+// form: N connections, each driven by one worker goroutine, replay a key
+// stream against the service and measure throughput, latency percentiles
+// and the client-observed miss ratio. It has two modes.
 //
-// "Closed loop" means each worker keeps at most one batch in flight: it
-// sends a pipeline of GETs, waits for all responses, issues read-through
+// Closed loop (the default): each worker keeps at most one batch in flight —
+// it sends a pipeline of GETs, waits for all responses, issues read-through
 // SETs for the misses, then moves on. Offered load therefore adapts to
 // server latency instead of overrunning it, which is the right harness for
 // comparing α configurations: the measured QPS difference is the lock
 // contention + miss cost difference, not queueing collapse.
+//
+// Open loop: arrivals follow a fixed rate-paced schedule that does not slow
+// down when the server does, and each batch's latency is measured from its
+// *intended* send time, not from when the worker got around to sending it.
+// This makes the reported percentiles coordinated-omission-safe: a server
+// stall inflates the latency of every request that was scheduled during the
+// stall, exactly as real clients arriving at their own cadence would have
+// experienced it. A closed-loop harness instead stops offering load while
+// stalled and records only one slow sample — the classic way tail latency
+// gets underreported. Open loop is the right harness for questions like
+// "what is p99 at 100k ops/s", closed loop for "how fast can it go".
 package load
 
 import (
@@ -22,10 +33,25 @@ import (
 	"repro/internal/wire"
 )
 
+// Conn is one harness connection. Both wire.Client (one node) and
+// cluster.Client (consistent-hash routed) satisfy it.
+type Conn interface {
+	// GetBatch pipelines one GET per key and reports each response through
+	// visit; the value passed to visit may alias a connection buffer valid
+	// only for the duration of the call.
+	GetBatch(keys []uint64, visit func(i int, hit bool, value []byte)) error
+	// SetBatch pipelines one SET per key with value(i) producing payloads.
+	SetBatch(keys []uint64, value func(i int) []byte) error
+	Close() error
+}
+
 // Config describes one load run.
 type Config struct {
-	// Addr is the server address.
+	// Addr is the server address, dialed with wire.Dial when Dial is nil.
 	Addr string
+	// Dial overrides connection establishment, e.g. to route through a
+	// cluster.Client or to inject faults. Called once per worker.
+	Dial func() (Conn, error)
 	// Conns is the number of concurrent connections (workers). Must be ≥1.
 	Conns int
 	// Keys is the request key stream. It is split into contiguous
@@ -48,6 +74,17 @@ type Config struct {
 	// Verify checks that every GET hit carries the value Payload would have
 	// written for that key; mismatches are counted in Result.Corrupt.
 	Verify bool
+
+	// OpenLoop switches to the rate-paced arrival schedule described in the
+	// package comment. Requires Rate > 0.
+	OpenLoop bool
+	// Rate is the intended aggregate arrival rate in GET operations per
+	// second, divided evenly across workers. Open loop only.
+	Rate float64
+	// Duration, when positive, stops issuing batches whose intended send
+	// time falls after Duration; zero means the run ends when the key
+	// stream is exhausted. Open loop only.
+	Duration time.Duration
 }
 
 // Result aggregates one load run.
@@ -61,8 +98,13 @@ type Result struct {
 	// Throughput is GET operations per second.
 	Throughput float64
 	// Latency summarizes per-round-trip latencies (one sample per pipelined
-	// batch).
+	// batch). In open-loop mode each sample is measured from the batch's
+	// intended send time, so schedule slip counts as latency.
 	Latency LatencySummary
+	// OpenLoop and IntendedRate echo the configuration so reports can label
+	// percentiles as coordinated-omission-safe (or not).
+	OpenLoop     bool
+	IntendedRate float64
 }
 
 // MissRatio returns the client-observed GET miss ratio.
@@ -131,17 +173,69 @@ type workerResult struct {
 	err                              error
 }
 
-// Run executes the configured load and reports aggregate results.
-func Run(cfg Config) (Result, error) {
+// Validate checks the configuration without running it.
+func (cfg Config) Validate() error {
 	if cfg.Conns <= 0 {
-		return Result{}, fmt.Errorf("load: conns %d must be positive", cfg.Conns)
+		return fmt.Errorf("load: conns %d must be positive", cfg.Conns)
 	}
 	if len(cfg.Keys) == 0 {
-		return Result{}, fmt.Errorf("load: empty key stream")
+		return fmt.Errorf("load: empty key stream")
+	}
+	if cfg.Pipeline < 0 {
+		return fmt.Errorf("load: pipeline depth %d must not be negative", cfg.Pipeline)
+	}
+	if cfg.Duration < 0 {
+		return fmt.Errorf("load: duration %v must not be negative", cfg.Duration)
+	}
+	if cfg.OpenLoop && cfg.Rate <= 0 {
+		return fmt.Errorf("load: open-loop rate %g must be positive", cfg.Rate)
+	}
+	if !cfg.OpenLoop && cfg.Rate != 0 {
+		return fmt.Errorf("load: rate is only meaningful in open-loop mode")
+	}
+	return nil
+}
+
+// ValidateHarnessFlags rejects nonsensical harness command-line parameters
+// with flag-style error messages; cmd/cacheload and cmd/cachecluster share
+// it so the rules cannot drift. Config.Validate re-checks the subset that
+// reaches Run.
+func ValidateHarnessFlags(conns, ops, pipeline, valSize, universe int, open bool, rate float64, duration time.Duration) error {
+	switch {
+	case conns <= 0:
+		return fmt.Errorf("-conns %d: connection count must be positive", conns)
+	case ops <= 0:
+		return fmt.Errorf("-ops %d: operation count must be positive", ops)
+	case pipeline < 0:
+		return fmt.Errorf("-pipeline %d: batch depth must not be negative", pipeline)
+	case valSize < 8:
+		return fmt.Errorf("-valsize %d: payloads carry an 8-byte key prefix; need at least 8", valSize)
+	case universe <= 0:
+		return fmt.Errorf("-universe %d: universe size must be positive", universe)
+	case duration < 0:
+		return fmt.Errorf("-duration %v: duration must not be negative", duration)
+	case open && rate <= 0:
+		return fmt.Errorf("-open requires -rate > 0 (got %g)", rate)
+	case !open && rate != 0:
+		return fmt.Errorf("-rate is only meaningful with -open")
+	case !open && duration != 0:
+		return fmt.Errorf("-duration is only meaningful with -open")
+	}
+	return nil
+}
+
+// Run executes the configured load and reports aggregate results.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	depth := cfg.Pipeline
 	if depth <= 0 {
 		depth = 1
+	}
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func() (Conn, error) { return wire.Dial(cfg.Addr) }
 	}
 
 	// Contiguous chunks: worker i replays its slice in order.
@@ -162,13 +256,13 @@ func Run(cfg Config) (Result, error) {
 		wg.Add(1)
 		go func(i int, keys trace.Sequence) {
 			defer wg.Done()
-			results[i] = runWorker(cfg, keys, depth)
+			results[i] = runWorker(cfg, dial, keys, depth, len(chunks), start)
 		}(i, chunk)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var agg Result
+	agg := Result{OpenLoop: cfg.OpenLoop, IntendedRate: cfg.Rate}
 	var samples []time.Duration
 	for _, r := range results {
 		if r.err != nil {
@@ -189,77 +283,80 @@ func Run(cfg Config) (Result, error) {
 	return agg, nil
 }
 
-func runWorker(cfg Config, keys trace.Sequence, depth int) workerResult {
+func runWorker(cfg Config, dial func() (Conn, error), keys trace.Sequence, depth, workers int, start time.Time) workerResult {
 	var res workerResult
-	client, err := wire.Dial(cfg.Addr)
+	conn, err := dial()
 	if err != nil {
-		res.err = fmt.Errorf("load: dial %s: %w", cfg.Addr, err)
+		res.err = fmt.Errorf("load: dial: %w", err)
 		return res
 	}
-	defer client.Close()
+	defer conn.Close()
+
+	// Open-loop pacing: this worker owes one batch every interval, on a
+	// fixed schedule anchored at the shared start time. The schedule never
+	// resets — if the server stalls, the worker falls behind and every
+	// subsequent batch's latency includes the backlog it inherited.
+	var interval time.Duration
+	if cfg.OpenLoop {
+		perWorker := cfg.Rate / float64(workers)
+		interval = time.Duration(float64(depth) / perWorker * float64(time.Second))
+	}
 
 	res.latencies = make([]time.Duration, 0, len(keys)/depth+1)
+	batchKeys := make([]uint64, 0, depth)
 	missed := make([]uint64, 0, depth)
+	batchIdx := 0
 	for off := 0; off < len(keys); off += depth {
 		end := off + depth
 		if end > len(keys) {
 			end = len(keys)
 		}
-		batch := keys[off:end]
+		batchKeys = batchKeys[:0]
+		for _, k := range keys[off:end] {
+			batchKeys = append(batchKeys, uint64(k))
+		}
 
 		t0 := time.Now()
-		for _, k := range batch {
-			if err := client.EnqueueGet(uint64(k)); err != nil {
-				res.err = err
-				return res
+		if cfg.OpenLoop {
+			intended := start.Add(time.Duration(batchIdx) * interval)
+			batchIdx++
+			if cfg.Duration > 0 && intended.Sub(start) > cfg.Duration {
+				break
 			}
+			if d := time.Until(intended); d > 0 {
+				time.Sleep(d)
+			}
+			t0 = intended
 		}
-		if err := client.Flush(); err != nil {
-			res.err = err
-			return res
-		}
+
 		missed = missed[:0]
-		for _, k := range batch {
-			resp, err := client.ReadResponse()
-			if err != nil {
-				res.err = err
-				return res
-			}
+		err := conn.GetBatch(batchKeys, func(i int, hit bool, value []byte) {
 			res.ops++
-			switch resp.Status {
-			case wire.StatusHit:
+			if hit {
 				res.hits++
-				if cfg.Verify && !VerifyPayload(uint64(k), resp.Value) {
+				if cfg.Verify && !VerifyPayload(batchKeys[i], value) {
 					res.corrupt++
 				}
-			case wire.StatusMiss:
+			} else {
 				res.misses++
-				missed = append(missed, uint64(k))
-			default:
-				res.err = fmt.Errorf("load: unexpected GET response %v", resp.Status)
-				return res
+				missed = append(missed, batchKeys[i])
 			}
+		})
+		if err != nil {
+			res.err = err
+			return res
 		}
 		res.latencies = append(res.latencies, time.Since(t0))
 
 		if cfg.ReadThrough && len(missed) > 0 {
-			for _, k := range missed {
-				if err := client.EnqueueSet(k, Payload(k, cfg.ValueSize)); err != nil {
-					res.err = err
-					return res
-				}
-			}
-			if err := client.Flush(); err != nil {
+			m := missed
+			if err := conn.SetBatch(m, func(i int) []byte {
+				return Payload(m[i], cfg.ValueSize)
+			}); err != nil {
 				res.err = err
 				return res
 			}
-			for range missed {
-				if _, err := client.ReadResponse(); err != nil {
-					res.err = err
-					return res
-				}
-				res.sets++
-			}
+			res.sets += len(m)
 		}
 	}
 	return res

@@ -1,0 +1,59 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestConfigValidate(t *testing.T) {
+	keys := trace.Sequence{1, 2, 3}
+	base := Config{Addr: "x", Conns: 1, Keys: keys}
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string
+	}{
+		{"ok closed", func(*Config) {}, ""},
+		{"ok open", func(c *Config) { c.OpenLoop = true; c.Rate = 100 }, ""},
+		{"zero conns", func(c *Config) { c.Conns = 0 }, "conns"},
+		{"negative conns", func(c *Config) { c.Conns = -3 }, "conns"},
+		{"no keys", func(c *Config) { c.Keys = nil }, "key stream"},
+		{"negative pipeline", func(c *Config) { c.Pipeline = -1 }, "pipeline"},
+		{"negative duration", func(c *Config) { c.OpenLoop = true; c.Rate = 1; c.Duration = -time.Second }, "duration"},
+		{"open without rate", func(c *Config) { c.OpenLoop = true }, "rate"},
+		{"open negative rate", func(c *Config) { c.OpenLoop = true; c.Rate = -5 }, "rate"},
+		{"closed with rate", func(c *Config) { c.Rate = 100 }, "open-loop"},
+	}
+	for _, c := range cases {
+		cfg := base
+		c.mutate(&cfg)
+		err := cfg.Validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: Validate() = %v, want nil", c.name, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: Validate() = %v, want error mentioning %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	for _, key := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		for _, size := range []int{0, 8, 64} {
+			v := Payload(key, size)
+			if len(v) < 8 {
+				t.Fatalf("Payload(%d, %d) only %d bytes", key, size, len(v))
+			}
+			if !VerifyPayload(key, v) {
+				t.Errorf("VerifyPayload rejected Payload(%d, %d)", key, size)
+			}
+			if VerifyPayload(key+1, v) {
+				t.Errorf("VerifyPayload accepted wrong key for Payload(%d, %d)", key, size)
+			}
+		}
+	}
+}

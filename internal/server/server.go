@@ -182,6 +182,13 @@ func (s *Server) apply(req wire.Request) wire.Response {
 	case wire.OpRehash:
 		s.cache.Rehash()
 		return wire.Response{Status: wire.StatusOK}
+	case wire.OpKeys:
+		keys := s.cache.Keys()
+		if 1+4+8*len(keys) > wire.MaxFrame {
+			return wire.Response{Status: wire.StatusError,
+				Err: fmt.Sprintf("KEYS snapshot of %d residents exceeds the frame limit", len(keys))}
+		}
+		return wire.Response{Status: wire.StatusKeys, Keys: keys}
 	default:
 		return wire.Response{Status: wire.StatusError, Err: fmt.Sprintf("unknown op %v", req.Op)}
 	}

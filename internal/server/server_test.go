@@ -69,6 +69,43 @@ func TestBasicOps(t *testing.T) {
 	}
 }
 
+// TestKeysSnapshot checks the KEYS op returns exactly the resident keys.
+func TestKeysSnapshot(t *testing.T) {
+	// α = 64 slots per bucket: 40 inserts can never overflow a bucket, so
+	// the expected key set is exact.
+	_, addr := startServer(t, concurrent.Config{Capacity: 1024, Alpha: 64, Seed: 1})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	want := map[uint64]bool{}
+	for k := uint64(100); k < 140; k++ {
+		if _, err := c.Set(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = true
+	}
+	if _, err := c.Del(100); err != nil {
+		t.Fatal(err)
+	}
+	delete(want, 100)
+
+	keys, err := c.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("KEYS returned %d keys, want %d", len(keys), len(want))
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Errorf("KEYS returned unexpected key %d", k)
+		}
+	}
+}
+
 // TestEndToEndStatsMatch drives the server over multiple concurrent
 // connections with zipf and adversarial workloads and asserts the
 // server-side hit/miss counters match the client-observed results exactly.

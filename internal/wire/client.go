@@ -139,6 +139,71 @@ func (c *Client) Stats(detail bool) (*Stats, error) {
 	return resp.Stats, nil
 }
 
+// Keys fetches a racy snapshot of every resident key. The cluster router
+// uses it to migrate entries off a node being removed.
+func (c *Client) Keys() ([]uint64, error) {
+	resp, err := c.roundTrip(Request{Op: OpKeys})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusKeys {
+		return nil, fmt.Errorf("wire: unexpected KEYS response %v", resp.Status)
+	}
+	return resp.Keys, nil
+}
+
+// GetBatch pipelines one GET per key and calls visit for each response in
+// key order. The value passed to visit aliases an internal buffer valid only
+// for the duration of the call.
+func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byte)) error {
+	for _, k := range keys {
+		if err := c.EnqueueGet(k); err != nil {
+			return err
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	for i := range keys {
+		resp, err := c.ReadResponse()
+		if err != nil {
+			return err
+		}
+		switch resp.Status {
+		case StatusHit:
+			visit(i, true, resp.Value)
+		case StatusMiss:
+			visit(i, false, nil)
+		default:
+			return fmt.Errorf("wire: unexpected GET response %v", resp.Status)
+		}
+	}
+	return nil
+}
+
+// SetBatch pipelines one SET per key, with value(i) producing the i-th
+// payload.
+func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
+	for i, k := range keys {
+		if err := c.EnqueueSet(k, value(i)); err != nil {
+			return err
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	for range keys {
+		resp, err := c.ReadResponse()
+		if err != nil {
+			return err
+		}
+		if resp.Status != StatusOK {
+			return fmt.Errorf("wire: unexpected SET response %v", resp.Status)
+		}
+	}
+	return nil
+}
+
 // Rehash asks the server to begin an online incremental rehash.
 func (c *Client) Rehash() error {
 	resp, err := c.roundTrip(Request{Op: OpRehash})

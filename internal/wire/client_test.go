@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+)
+
+// fakeServer accepts one connection and hands it to serve on a goroutine.
+func fakeServer(t *testing.T, serve func(conn net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		serve(conn)
+	}()
+	return ln.Addr().String()
+}
+
+// TestClientServerCloseMidPipeline: the server answers one request of a
+// pipelined batch and closes. The delivered response must still parse; the
+// next read must fail rather than hang.
+func TestClientServerCloseMidPipeline(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		r, w := NewReader(conn), NewWriter(conn)
+		if err := r.ReadPreamble(); err != nil {
+			t.Errorf("preamble: %v", err)
+			return
+		}
+		if _, err := r.ReadRequest(); err != nil {
+			t.Errorf("request: %v", err)
+			return
+		}
+		w.WriteResponse(Response{Status: StatusMiss})
+		w.Flush()
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := uint64(0); i < 3; i++ {
+		if err := c.EnqueueGet(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.ReadResponse()
+	if err != nil || resp.Status != StatusMiss {
+		t.Fatalf("first pipelined response = %v, %v; want MISS", resp.Status, err)
+	}
+	if _, err := c.ReadResponse(); err == nil {
+		t.Fatal("read past server close succeeded; want error")
+	}
+}
+
+// TestClientTruncatedResponse: a frame whose length prefix promises more
+// bytes than the server delivers must produce a decode error, not garbage.
+func TestClientTruncatedResponse(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		r := NewReader(conn)
+		if err := r.ReadPreamble(); err != nil {
+			return
+		}
+		if _, err := r.ReadRequest(); err != nil {
+			return
+		}
+		var ln [4]byte
+		binary.LittleEndian.PutUint32(ln[:], 10)
+		conn.Write(ln[:])
+		conn.Write([]byte{byte(StatusHit), 'x', 'y'}) // 3 of 10 promised bytes
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Get(1); err == nil {
+		t.Fatal("Get over a truncated response succeeded; want error")
+	} else if !strings.Contains(err.Error(), "frame body") && err != io.ErrUnexpectedEOF && !strings.Contains(err.Error(), "unexpected EOF") {
+		t.Fatalf("truncation error = %v; want a frame-body read failure", err)
+	}
+}
+
+// TestVersionMismatch: a preamble with the wrong version must be rejected
+// by the reader, and a server receiving one must drop the connection so
+// the client sees an error instead of a hang.
+func TestVersionMismatch(t *testing.T) {
+	var pre bytes.Buffer
+	pre.WriteString(Magic)
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], Version+41)
+	pre.Write(v[:])
+	err := NewReader(&pre).ReadPreamble()
+	if err == nil || !strings.Contains(err.Error(), "unsupported version") {
+		t.Fatalf("ReadPreamble(version %d) = %v; want unsupported-version error", Version+41, err)
+	}
+
+	var bad bytes.Buffer
+	bad.WriteString("NOPE")
+	bad.Write(v[:])
+	if err := NewReader(&bad).ReadPreamble(); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("ReadPreamble(bad magic) = %v; want bad-magic error", err)
+	}
+
+	// End to end: a server that validates the preamble closes on mismatch
+	// and the client's first read fails cleanly.
+	addr := fakeServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		if err := NewReader(conn).ReadPreamble(); err == nil {
+			t.Error("server accepted a mismatched preamble")
+		}
+	})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := NewWriter(conn)
+	w.bw.WriteString(Magic)
+	w.bw.Write(v[:])
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(conn)
+	if _, err := r.ReadResponse(); err == nil {
+		t.Fatal("read after mismatched preamble succeeded; want connection error")
+	}
+}
+
+// TestKeysRoundTrip covers the KEYS frames the cluster migration relies on.
+func TestKeysRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := []uint64{1, 1 << 40, 42}
+	if err := w.WriteResponse(Response{Status: StatusKeys, Keys: want}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteResponse(Response{Status: StatusKeys}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	resp, err := r.ReadResponse()
+	if err != nil || resp.Status != StatusKeys {
+		t.Fatalf("ReadResponse = %v, %v", resp.Status, err)
+	}
+	if len(resp.Keys) != len(want) {
+		t.Fatalf("keys = %v, want %v", resp.Keys, want)
+	}
+	for i := range want {
+		if resp.Keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", resp.Keys, want)
+		}
+	}
+	resp, err = r.ReadResponse()
+	if err != nil || resp.Status != StatusKeys || len(resp.Keys) != 0 {
+		t.Fatalf("empty KEYS = %v (%d keys), %v", resp.Status, len(resp.Keys), err)
+	}
+}

@@ -26,6 +26,13 @@
 //	DEL    key uint64                 → OK | Miss
 //	STATS  detail byte(0|1)           → Stats payload (see Stats)
 //	REHASH                            → OK
+//	KEYS                              → Keys count uint32, count × uint64
+//
+// KEYS is the migration primitive for the cluster router
+// (internal/cluster): removing a node enumerates its residents and re-SETs
+// them on their new owners. The snapshot is racy (concurrent traffic may
+// add or evict entries while it is taken) and must fit in one frame, which
+// bounds it to about two million keys.
 package wire
 
 import (
@@ -54,6 +61,7 @@ const (
 	OpDel
 	OpStats
 	OpRehash
+	OpKeys
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +77,8 @@ func (o Op) String() string {
 		return "STATS"
 	case OpRehash:
 		return "REHASH"
+	case OpKeys:
+		return "KEYS"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
@@ -84,6 +94,7 @@ const (
 	StatusOK
 	StatusStats
 	StatusError
+	StatusKeys
 )
 
 // String implements fmt.Stringer.
@@ -99,6 +110,8 @@ func (s Status) String() string {
 		return "STATS"
 	case StatusError:
 		return "ERROR"
+	case StatusKeys:
+		return "KEYS"
 	default:
 		return fmt.Sprintf("Status(%d)", byte(s))
 	}
@@ -124,6 +137,8 @@ type Response struct {
 	Evicted bool
 	// Stats is the payload of a STATS response.
 	Stats *Stats
+	// Keys is the payload of a KEYS response.
+	Keys []uint64
 	// Err is the message of an error response.
 	Err string
 }
@@ -228,7 +243,7 @@ func (w *Writer) WriteRequest(req Request) error {
 			d = 1
 		}
 		body = append(body, d)
-	case OpRehash:
+	case OpRehash, OpKeys:
 	default:
 		return fmt.Errorf("wire: unknown request op %v", req.Op)
 	}
@@ -238,7 +253,7 @@ func (w *Writer) WriteRequest(req Request) error {
 
 // WriteResponse encodes one response frame (buffered; call Flush to send).
 func (w *Writer) WriteResponse(resp Response) error {
-	n := 1 + len(resp.Value) + len(resp.Err)
+	n := 1 + len(resp.Value) + len(resp.Err) + 8*len(resp.Keys)
 	if resp.Stats != nil {
 		n += statsFixedLen + 4 + 4*8*len(resp.Stats.Shards)
 	}
@@ -261,6 +276,11 @@ func (w *Writer) WriteResponse(resp Response) error {
 		body = appendStats(body, resp.Stats)
 	case StatusError:
 		body = append(body, resp.Err...)
+	case StatusKeys:
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(resp.Keys)))
+		for _, k := range resp.Keys {
+			body = binary.LittleEndian.AppendUint64(body, k)
+		}
 	default:
 		return fmt.Errorf("wire: unknown response status %v", resp.Status)
 	}
@@ -369,9 +389,9 @@ func (r *Reader) ReadRequest() (Request, error) {
 			return Request{}, fmt.Errorf("wire: STATS body %d bytes, want 1", len(body))
 		}
 		req.Detail = body[0] != 0
-	case OpRehash:
+	case OpRehash, OpKeys:
 		if len(body) != 0 {
-			return Request{}, fmt.Errorf("wire: REHASH body %d bytes, want 0", len(body))
+			return Request{}, fmt.Errorf("wire: %v body %d bytes, want 0", req.Op, len(body))
 		}
 	default:
 		return Request{}, fmt.Errorf("wire: unknown request op %d", byte(req.Op))
@@ -410,6 +430,21 @@ func (r *Reader) ReadResponse() (Response, error) {
 		resp.Stats = st
 	case StatusError:
 		resp.Err = string(body)
+	case StatusKeys:
+		if len(body) < 4 {
+			return Response{}, fmt.Errorf("wire: keys payload %d bytes, want ≥4", len(body))
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if len(body) != 8*n {
+			return Response{}, fmt.Errorf("wire: keys payload %d bytes, want %d", len(body), 8*n)
+		}
+		if n > 0 {
+			resp.Keys = make([]uint64, n)
+			for i := range resp.Keys {
+				resp.Keys[i] = binary.LittleEndian.Uint64(body[8*i:])
+			}
+		}
 	default:
 		return Response{}, fmt.Errorf("wire: unknown response status %d", byte(resp.Status))
 	}
