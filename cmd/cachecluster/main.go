@@ -6,16 +6,24 @@
 // It either spawns N in-process nodes on loopback (-spawn, the zero-setup
 // path) or points at already-running cached daemons (-addrs), drives them
 // with the library's workload generators through the routing client, and
-// reports aggregate throughput/latency plus a per-node table: ring
-// ownership share, router-observed traffic, and each node's own STATS
-// counters — the direct check that consistent hashing spreads both keys
-// and load.
+// reports aggregate throughput/latency plus a per-node table: replica-set
+// ownership share, each node's own STATS deltas, and its repair-write
+// count — the direct check that consistent hashing spreads both keys and
+// load.
 //
 // Usage:
 //
 //	cachecluster -spawn 3 -k 65536 -alpha 16 -workload zipf -ops 1000000
 //	cachecluster -addrs h1:7070,h2:7070,h3:7070 -workload uniform -conns 8
 //	cachecluster -spawn 4 -open -rate 200000 -duration 30s
+//	cachecluster -spawn 3 -replicas 2 -write-quorum 1 -workload zipf
+//
+// With -replicas R each key lives on R distinct owners: SETs fan out to
+// all R (W of them, -write-quorum, must acknowledge), GETs fall back
+// through the replica set on a miss or node failure, and stale replicas
+// are repaired in the background. Per-node residency then sums to R× the
+// distinct keys, which is why the balance table reports each node's share
+// of replica-set slots (summing to 100%) rather than a per-key share.
 //
 // With -open -rate R the harness uses the open-loop rate-paced schedule
 // with coordinated-omission-safe percentiles (see internal/load). -rehash
@@ -45,6 +53,8 @@ func main() {
 		spawn    = flag.Int("spawn", 0, "spawn this many in-process nodes on loopback")
 		addrs    = flag.String("addrs", "", "comma-separated addresses of running cached nodes (alternative to -spawn)")
 		vnodes   = flag.Int("vnodes", 0, "virtual nodes per member on the ring (0 = default)")
+		replicas = flag.Int("replicas", 0, "owners per key R (0 or 1 = unreplicated)")
+		quorum   = flag.Int("write-quorum", 0, "owners that must ack a SET, W of R (0 = all R)")
 		k        = flag.Int("k", 1<<16, "per-node cache capacity (spawned nodes)")
 		alpha    = flag.Int("alpha", 16, "per-node set size α (spawned nodes)")
 		polName  = flag.String("policy", "lru", "per-bucket replacement policy (spawned nodes)")
@@ -75,7 +85,9 @@ func main() {
 	}
 	defer cleanup()
 
-	opts := cluster.Options{VNodes: *vnodes}
+	// cluster.Dial validates the replication configuration (R vs member
+	// count, W vs R) before connecting.
+	opts := cluster.Options{VNodes: *vnodes, Replicas: *replicas, WriteQuorum: *quorum}
 	ctl, err := cluster.Dial(members, opts)
 	if err != nil {
 		fatal(err)
@@ -125,6 +137,13 @@ func main() {
 	if res.OpenLoop {
 		mode = fmt.Sprintf("open-loop @ %.0f ops/s intended", res.IntendedRate)
 	}
+	if *replicas > 1 {
+		w := *quorum
+		if w == 0 {
+			w = *replicas
+		}
+		mode += fmt.Sprintf(", R=%d W=%d", *replicas, w)
+	}
 	fmt.Printf("cluster of %d nodes, workload %s: %d ops over %d conns (pipeline %d, %s) in %v\n",
 		len(members), gen.Name(), res.Ops, *conns, *pipeline, mode, res.Elapsed.Round(time.Millisecond))
 	fmt.Printf("  throughput: %12.0f GET/s\n", res.Throughput)
@@ -134,8 +153,8 @@ func main() {
 	}
 	fmt.Printf("  latency:    p50=%v p90=%v p99=%v max=%v (per %d-deep batch%s)\n",
 		res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max, *pipeline, lat)
-	fmt.Printf("  client:     hits=%d misses=%d (miss ratio %.4f) sets=%d corrupt=%d\n",
-		res.Hits, res.Misses, res.MissRatio(), res.Sets, res.Corrupt)
+	fmt.Printf("  client:     hits=%d misses=%d (miss ratio %.4f) sets=%d repairs=%d corrupt=%d\n",
+		res.Hits, res.Misses, res.MissRatio(), res.Sets, res.Repairs, res.Corrupt)
 
 	after, err := ctl.StatsAll(false)
 	if err != nil {
@@ -144,22 +163,27 @@ func main() {
 	printBalance(ctl, members, before, after)
 
 	agg := cluster.AggregateStats(after)
-	fmt.Printf("  aggregate:  len=%d/%d evictions=%d conflict=%d flush=%d rehashes=%d migrating=%v\n",
+	fmt.Printf("  aggregate:  len=%d/%d evictions=%d conflict=%d flush=%d rehashes=%d sets=%d repairs=%d migrating=%v\n",
 		agg.Len, agg.Capacity, agg.Evictions, agg.ConflictEvictions,
-		agg.FlushEvictions, agg.Rehashes, agg.Migrating)
+		agg.FlushEvictions, agg.Rehashes, agg.Sets, agg.RepairSets, agg.Migrating)
 }
 
-// printBalance tabulates, per member, the ring's ownership share over a key
-// sample against the traffic the servers actually absorbed during the run.
+// printBalance tabulates, per member, its share of replica-set slots over a
+// key sample against the traffic the servers actually absorbed during the
+// run. Shares are per replica-set slot — divided by samples × R, not by
+// samples — so they sum to 100% even when every key resides on R members;
+// a per-key denominator would report R× the true residency share.
 func printBalance(ctl *cluster.Client, members []string, before, after map[string]*wire.Stats) {
-	share := ctl.RingSample(1<<16, 42)
+	const samples = 1 << 16
+	share, replicas := ctl.OwnerSample(samples, 42)
 	sorted := append([]string(nil), members...)
 	sort.Strings(sorted)
-	fmt.Printf("  %-22s %7s %12s %12s %10s\n", "node", "ring%", "Δhits", "Δmisses", "len")
+	fmt.Printf("  %-22s %7s %12s %12s %10s %10s\n", "node", "share%", "Δhits", "Δmisses", "Δrepairs", "len")
 	for _, m := range sorted {
 		b, a := before[m], after[m]
-		fmt.Printf("  %-22s %6.1f%% %12d %12d %10d\n",
-			m, 100*float64(share[m])/float64(1<<16), a.Hits-b.Hits, a.Misses-b.Misses, a.Len)
+		fmt.Printf("  %-22s %6.1f%% %12d %12d %10d %10d\n",
+			m, 100*float64(share[m])/float64(samples*replicas),
+			a.Hits-b.Hits, a.Misses-b.Misses, a.RepairSets-b.RepairSets, a.Len)
 	}
 }
 

@@ -61,10 +61,26 @@
 // movement to ~1/n of the key space — with RemoveNode draining the
 // departing node's residents to their new owners under live traffic, every
 // key moved or accounted for by an eviction counter, just as the
-// incremental rehash accounts for its forced evictions. The load harness
+// incremental rehash accounts for its forced evictions.
+//
+// Keyspaces can be replicated: with cluster.Options{Replicas: R} every key
+// lives on the ring's first R distinct owners, SETs fan out to all R (a
+// configurable write quorum W must acknowledge), GETs fall back through
+// the replica set on a miss or node failure, and stale replicas are
+// re-SET in the background (read repair, flagged on the wire so servers
+// count it apart from user traffic). A node crash then loses no reads —
+// surviving owners keep serving, and RemoveNode retires the corpse
+// without contacting it. R buys that availability at the price of R×
+// resident memory and write fan-out, the cluster-level analogue of the
+// paper's redundancy-versus-cost tradeoff. The load harness
 // (internal/load) drives either topology in closed-loop mode or in an
 // open-loop rate-paced mode whose latency percentiles are measured from
-// intended send times, making them coordinated-omission-safe.
+// intended send times, making them coordinated-omission-safe; it also
+// reports the repair writes a replicated run generated.
+//
+// ARCHITECTURE.md holds the layer map, the migration invariants, and the
+// full wire-protocol specification, which internal/wire's spec test keeps
+// in lockstep with the implementation.
 //
 // # Quick start
 //

@@ -1,9 +1,10 @@
 // The cluster example is the walkthrough of the cluster-level rehash
-// analogy: three cached nodes behind a consistent-hash ring, live zipf
-// traffic flowing through one routing client, and membership changes
-// happening underneath it.
+// analogy and its replicated sequel: cached nodes behind a consistent-hash
+// ring, live zipf traffic flowing through one routing client, and
+// membership changes — including an outright node crash — happening
+// underneath it.
 //
-// It demonstrates the two halves of the analogy:
+// Act one (unreplicated) demonstrates the two halves of the analogy:
 //
 //   - AddNode under live traffic: the ring reassigns ~1/(n+1) of the key
 //     space to the newcomer, those keys miss and refill through the
@@ -14,6 +15,12 @@
 //     drained and re-SET on their new owners before its connection closes,
 //     so the hit ratio barely moves — bounded key movement with no silent
 //     loss, every key moved or accounted for by an eviction counter.
+//
+// Act two (replicas=2) demonstrates what replication buys: a member is
+// killed mid-traffic — no drain, no goodbye — and not a single read is
+// lost, because every key's surviving owner serves it through the client's
+// fallback path while background read repair regenerates lost copies. The
+// price appears alongside: double the resident memory and write fan-out.
 //
 // Run with: go run ./examples/cluster
 package main
@@ -29,6 +36,7 @@ import (
 	"repro/internal/concurrent"
 	"repro/internal/load"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -52,7 +60,77 @@ func startNode(seed uint64) (string, *server.Server) {
 	return ln.Addr().String(), srv
 }
 
+// traffic drives a background zipf GET loop with read-through refills
+// through ctl until stop is closed, tallying gets/hits/misses.
+type traffic struct {
+	gets, hits, misses atomic.Uint64
+	stop, done         chan struct{}
+}
+
+func startTraffic(ctl *cluster.Client, keys trace.Sequence) *traffic {
+	tr := &traffic{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(tr.done)
+		batch := make([]uint64, depth)
+		var missed []uint64
+		for pos := 0; ; pos += depth {
+			select {
+			case <-tr.stop:
+				return
+			default:
+			}
+			for j := range batch {
+				batch[j] = uint64(keys[(pos+j)%len(keys)])
+			}
+			missed = missed[:0]
+			if err := ctl.GetBatch(batch, func(i int, hit bool, _ []byte) {
+				tr.gets.Add(1)
+				if hit {
+					tr.hits.Add(1)
+				} else {
+					tr.misses.Add(1)
+					missed = append(missed, batch[i])
+				}
+			}); err != nil {
+				log.Fatalf("read failed under live traffic: %v", err)
+			}
+			if len(missed) > 0 {
+				m := missed
+				if err := ctl.SetBatch(m, func(i int) []byte { return load.Payload(m[i], 32) }); err != nil {
+					log.Fatalf("read-through refill failed: %v", err)
+				}
+			}
+		}
+	}()
+	return tr
+}
+
+// window measures the live hit ratio over the next d of traffic.
+func (tr *traffic) window(d time.Duration) (ratio float64, qps float64) {
+	h0, g0 := tr.hits.Load(), tr.gets.Load()
+	time.Sleep(d)
+	dh, dg := tr.hits.Load()-h0, tr.gets.Load()-g0
+	if dg == 0 {
+		return 0, 0
+	}
+	return float64(dh) / float64(dg), float64(dg) / d.Seconds()
+}
+
+func shares(ctl *cluster.Client) {
+	sample, replicas := ctl.OwnerSample(1<<14, 42)
+	for _, n := range ctl.Nodes() {
+		fmt.Printf("    %-22s replica-set share %5.1f%%\n",
+			n, 100*float64(sample[n])/float64((1<<14)*replicas))
+	}
+}
+
 func main() {
+	actOne()
+	actTwo()
+}
+
+// actOne is the original unreplicated membership walkthrough.
+func actOne() {
 	var servers []*server.Server
 	var addrs []string
 	for i := 0; i < 3; i++ {
@@ -71,94 +149,40 @@ func main() {
 		log.Fatal(err)
 	}
 	defer ctl.Close()
-	fmt.Printf("cluster of %d nodes (k=%d each), zipf live traffic, universe %d\n\n",
+	fmt.Printf("act one — cluster of %d nodes (k=%d each), zipf live traffic, universe %d\n\n",
 		len(addrs), kPerNode, universe)
 
-	// Live traffic: one background goroutine cycles a zipf stream through
-	// the shared routing client with read-through refills. Membership
-	// changes below happen while this loop is running.
 	keys := workload.Zipf{Universe: universe, S: 0.9, Shuffle: true}.Generate(1<<20, 7)
-	var hits, gets atomic.Uint64
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		batch := make([]uint64, depth)
-		var missed []uint64
-		for pos := 0; ; pos += depth {
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			for j := range batch {
-				batch[j] = uint64(keys[(pos+j)%len(keys)])
-			}
-			missed = missed[:0]
-			if err := ctl.GetBatch(batch, func(i int, hit bool, _ []byte) {
-				gets.Add(1)
-				if hit {
-					hits.Add(1)
-				} else {
-					missed = append(missed, batch[i])
-				}
-			}); err != nil {
-				log.Fatal(err)
-			}
-			if len(missed) > 0 {
-				m := missed
-				if err := ctl.SetBatch(m, func(i int) []byte { return load.Payload(m[i], 32) }); err != nil {
-					log.Fatal(err)
-				}
-			}
-		}
-	}()
+	tr := startTraffic(ctl, keys)
 
-	// window measures the live hit ratio over the next d of traffic.
-	window := func(d time.Duration) (ratio float64, qps float64) {
-		h0, g0 := hits.Load(), gets.Load()
-		time.Sleep(d)
-		dh, dg := hits.Load()-h0, gets.Load()-g0
-		if dg == 0 {
-			return 0, 0
-		}
-		return float64(dh) / float64(dg), float64(dg) / d.Seconds()
-	}
-	shares := func() {
-		sample := ctl.RingSample(1<<14, 42)
-		for _, n := range ctl.Nodes() {
-			fmt.Printf("    %-22s ring share %5.1f%%\n", n, 100*float64(sample[n])/float64(1<<14))
-		}
-	}
-
-	ratio, qps := window(700 * time.Millisecond)
+	ratio, qps := tr.window(700 * time.Millisecond)
 	fmt.Printf("steady state:       hit ratio %.3f at %.0f GET/s\n", ratio, qps)
-	shares()
+	shares(ctl)
 
 	addr4, srv4 := startNode(4)
 	servers = append(servers, srv4)
 	if err := ctl.AddNode(addr4); err != nil {
 		log.Fatal(err)
 	}
-	ratio, qps = window(250 * time.Millisecond)
+	ratio, qps = tr.window(250 * time.Millisecond)
 	fmt.Printf("\nAddNode(%s) under live traffic:\n", addr4)
 	fmt.Printf("  just after:       hit ratio %.3f at %.0f GET/s  (reassigned keys miss and refill)\n", ratio, qps)
-	ratio, qps = window(700 * time.Millisecond)
+	ratio, qps = tr.window(700 * time.Millisecond)
 	fmt.Printf("  after refill:     hit ratio %.3f at %.0f GET/s\n", ratio, qps)
-	shares()
+	shares(ctl)
 
 	moved, dropped, err := ctl.RemoveNode(addrs[0])
 	if err != nil {
 		log.Fatal(err)
 	}
-	ratio, qps = window(700 * time.Millisecond)
+	ratio, qps = tr.window(700 * time.Millisecond)
 	fmt.Printf("\nRemoveNode(%s) under live traffic:\n", addrs[0])
 	fmt.Printf("  migrated %d residents to their new owners (%d dropped)\n", moved, dropped)
 	fmt.Printf("  just after:       hit ratio %.3f at %.0f GET/s  (no refill dip: entries moved, not lost)\n", ratio, qps)
-	shares()
+	shares(ctl)
 
-	close(stop)
-	<-done
+	close(tr.stop)
+	<-tr.done
 
 	stats, err := ctl.StatsAll(false)
 	if err != nil {
@@ -167,4 +191,76 @@ func main() {
 	agg := cluster.AggregateStats(stats)
 	fmt.Printf("\naggregate: len=%d/%d hits=%d misses=%d evictions=%d (conflict %d)\n",
 		agg.Len, agg.Capacity, agg.Hits, agg.Misses, agg.Evictions, agg.ConflictEvictions)
+}
+
+// actTwo replays the node-loss story with R=2 replication: a member is
+// crashed mid-traffic and zero reads are lost.
+func actTwo() {
+	var servers []*server.Server
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		addr, srv := startNode(uint64(i + 10))
+		addrs = append(addrs, addr)
+		servers = append(servers, srv)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	// W=1 keeps writes available through a single node loss; the second
+	// copy of each write lands on the other owner whenever it is alive.
+	ctl, err := cluster.Dial(addrs, cluster.Options{Replicas: 2, WriteQuorum: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctl.Close()
+	fmt.Printf("\nact two — same cluster, replicas=2 write-quorum=1: every key on two owners\n\n")
+
+	keys := workload.Zipf{Universe: universe, S: 0.9, Shuffle: true}.Generate(1<<20, 11)
+	tr := startTraffic(ctl, keys)
+
+	ratio, qps := tr.window(700 * time.Millisecond)
+	fmt.Printf("steady state:       hit ratio %.3f at %.0f GET/s  (write fan-out ×2 buys the safety below)\n", ratio, qps)
+	shares(ctl)
+
+	// Kill a member outright: no drain, no RemoveNode, connections die
+	// mid-pipeline. Every key it held also lives on its other owner, so the
+	// fallback path keeps serving and not one read is lost — the traffic
+	// loop log.Fatals on any read error.
+	victim := addrs[0]
+	m0 := tr.misses.Load()
+	if err := servers[0].Close(); err != nil {
+		log.Fatal(err)
+	}
+	ratio, qps = tr.window(400 * time.Millisecond)
+	fmt.Printf("\nkill -9 %s under live traffic:\n", victim)
+	fmt.Printf("  just after:       hit ratio %.3f at %.0f GET/s  (fallback reads, slower but nothing lost)\n", ratio, qps)
+	fmt.Printf("  misses added:     %d (read repair refills the survivor-set gaps)\n", tr.misses.Load()-m0)
+
+	// Retire the corpse: with replicas the router never contacts it, so
+	// removing a dead member is instant and the ring stops routing to it.
+	if _, _, err := ctl.RemoveNode(victim); err != nil {
+		log.Fatal(err)
+	}
+	ratio, qps = tr.window(700 * time.Millisecond)
+	fmt.Printf("\nRemoveNode(%s) — no drain needed, survivors already hold the data:\n", victim)
+	fmt.Printf("  after:            hit ratio %.3f at %.0f GET/s\n", ratio, qps)
+	shares(ctl)
+
+	close(tr.stop)
+	<-tr.done
+
+	rep := ctl.Replication()
+	fmt.Printf("\nreplication: fallback hits=%d, repairs scheduled=%d applied=%d dropped=%d\n",
+		rep.FallbackHits, rep.RepairsScheduled, rep.RepairsApplied, rep.RepairsDropped)
+	stats, err := ctl.StatsAll(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := cluster.AggregateStats(stats)
+	fmt.Printf("aggregate: len=%d/%d hits=%d misses=%d user sets=%d repair sets=%d\n",
+		agg.Len, agg.Capacity, agg.Hits, agg.Misses, agg.Sets, agg.RepairSets)
+	fmt.Println("\nzero reads lost to a node crash: that is what R=2 buys for 2× memory and write fan-out.")
 }

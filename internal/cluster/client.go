@@ -18,6 +18,17 @@ type DialFunc func(addr string) (*wire.Client, error)
 type Options struct {
 	// VNodes is the virtual-node count per member; 0 means DefaultVNodes.
 	VNodes int
+	// Replicas is R, the number of distinct owners per key (the ring's
+	// first R members clockwise from the key's hash). 0 or 1 disables
+	// replication. R multiplies resident memory and write fan-out to buy
+	// availability: any single owner can serve a read, so R-1 node losses
+	// are survivable without losing a read.
+	Replicas int
+	// WriteQuorum is W, how many of the R owners must acknowledge a SET
+	// before it succeeds; 0 means all of them. W < R keeps writes available
+	// through R-W node failures at the cost of leaving the failed owners
+	// stale until read repair catches them.
+	WriteQuorum int
 	// Dial overrides the member connection factory (default wire.Dial).
 	Dial DialFunc
 }
@@ -25,6 +36,15 @@ type Options struct {
 // Client routes cache traffic across a cluster of cached nodes: keys map to
 // members through a consistent-hash ring, each member is served by one
 // pipelined wire connection, and STATS/REHASH fan out to every member.
+//
+// With Options.Replicas = R > 1 the Client replicates each key across the
+// ring's first R distinct owners: SETs fan out to all R (W of them must
+// acknowledge), GETs try the primary and fall back through the replica set
+// on a miss or a connection failure, and a fallback hit schedules
+// background read repair — the value is re-SET, flagged as repair traffic,
+// on the owners that missed. Node loss therefore costs availability
+// nothing as long as one owner of each key survives, and the repaired
+// copies regenerate without operator action.
 //
 // A Client is safe for concurrent use. Batches against distinct members
 // proceed in parallel; batches sharing a member serialize on that member's
@@ -35,16 +55,30 @@ type Options struct {
 // single node.
 //
 // A member connection that fails is redialed once per operation; if the
-// redial or the replay fails too, the error surfaces to the caller. A
+// redial or the replay fails too, the error surfaces to the caller — or,
+// under replication, the affected keys fail over to the next owner. A
 // replay is only attempted when no response of the failed batch has been
 // delivered, so observers never see a request double-counted.
 type Client struct {
-	dial   DialFunc
-	vnodes int
+	dial     DialFunc
+	vnodes   int
+	replicas int // R; ≤1 means unreplicated
+	quorum   int // W; 0 means R
 
 	mu    sync.RWMutex // guards ring and nodes; write side = membership changes
 	ring  *Ring
 	nodes map[string]*nodeConn
+
+	// Read-repair machinery: detected-stale replicas are queued here and a
+	// single background goroutine re-SETs them with wire.SetFlagRepair.
+	repairCh     chan repairTask
+	repairDone   chan struct{}
+	repairClosed bool // guarded by mu; set once by Close
+
+	fallbackHits     atomic.Uint64
+	repairsScheduled atomic.Uint64
+	repairsApplied   atomic.Uint64
+	repairsDropped   atomic.Uint64
 }
 
 // nodeConn is one member's connection state plus the router's per-member
@@ -54,7 +88,7 @@ type nodeConn struct {
 	mu   sync.Mutex // serializes use of cl
 	cl   *wire.Client
 
-	gets, hits, misses, sets, dels, redials atomic.Uint64
+	gets, hits, misses, sets, dels, redials, repairs atomic.Uint64
 }
 
 // client returns the live connection, dialing if needed. Caller holds nc.mu.
@@ -83,16 +117,26 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 	if err := Validate(opts.VNodes, addrs); err != nil {
 		return nil, err
 	}
+	if err := ValidateReplication(opts.Replicas, opts.WriteQuorum, len(addrs)); err != nil {
+		return nil, err
+	}
 	dial := opts.Dial
 	if dial == nil {
 		dial = wire.Dial
 	}
 	c := &Client{
-		dial:   dial,
-		vnodes: opts.VNodes,
-		ring:   NewRing(opts.VNodes, addrs...),
-		nodes:  make(map[string]*nodeConn, len(addrs)),
+		dial:       dial,
+		vnodes:     opts.VNodes,
+		replicas:   opts.Replicas,
+		quorum:     opts.WriteQuorum,
+		ring:       NewRing(opts.VNodes, addrs...),
+		nodes:      make(map[string]*nodeConn, len(addrs)),
+		repairCh:   make(chan repairTask, repairQueueDepth),
+		repairDone: make(chan struct{}),
 	}
+	// The repair worker starts before the member dials so that the error
+	// path below can Close (which waits for the worker) without hanging.
+	go c.repairLoop()
 	for _, a := range addrs {
 		nc := &nodeConn{addr: a}
 		if _, err := nc.client(dial); err != nil {
@@ -104,14 +148,34 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 	return c, nil
 }
 
-// Close tears down every member connection.
+// Close stops the read-repair worker and tears down every member
+// connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	wait := false
+	if !c.repairClosed {
+		c.repairClosed = true
+		close(c.repairCh)
+		wait = true
+	}
 	for _, nc := range c.nodes {
 		nc.mu.Lock()
 		nc.drop()
 		nc.mu.Unlock()
+	}
+	c.mu.Unlock()
+	if wait {
+		<-c.repairDone
+		// An in-flight repair may have redialed a member between the drop
+		// above and the worker's exit; drop again now that nothing can
+		// reopen connections.
+		c.mu.Lock()
+		for _, nc := range c.nodes {
+			nc.mu.Lock()
+			nc.drop()
+			nc.mu.Unlock()
+		}
+		c.mu.Unlock()
 	}
 	return nil
 }
@@ -123,12 +187,57 @@ func (c *Client) Nodes() []string {
 	return c.ring.Nodes()
 }
 
-// Ring returns a snapshot of the ownership shares over n sampled keys; see
-// Ring.Sample.
+// effReplicas returns the effective replica count: the configured R clamped
+// to the current membership, and at least 1. Caller holds c.mu (either
+// side).
+func (c *Client) effReplicas() int {
+	r := c.replicas
+	if r < 1 {
+		r = 1
+	}
+	if n := c.ring.NumNodes(); r > n {
+		r = n
+	}
+	return r
+}
+
+// effQuorum returns the effective write quorum for r replicas: the
+// configured W, or r when W is 0, clamped to r. Caller holds c.mu.
+func (c *Client) effQuorum(r int) int {
+	w := c.quorum
+	if w <= 0 || w > r {
+		w = r
+	}
+	return w
+}
+
+// Owners returns key's current replica set, primary first. Unreplicated
+// clients return a single owner. It reports the routing decision only;
+// whether each owner actually holds the key is a cache question.
+func (c *Client) Owners(key uint64) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.OwnersFor(key, c.effReplicas())
+}
+
+// RingSample returns a snapshot of the primary-ownership shares over n
+// sampled keys; see Ring.Sample.
 func (c *Client) RingSample(n int, seed uint64) map[string]int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.ring.Sample(n, seed)
+}
+
+// OwnerSample returns each member's replica-set slot count over n sampled
+// keys plus the effective replica count; see Ring.SampleOwners. Dividing a
+// count by n × replicas yields the member's share of total residency — the
+// per-replica-set balance that stays ≤ 100% even though every key resides
+// on R members.
+func (c *Client) OwnerSample(n int, seed uint64) (share map[string]int, replicas int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r := c.effReplicas()
+	return c.ring.SampleOwners(n, r, seed), r
 }
 
 // subBatch is the slice of one batch owned by a single member.
@@ -157,10 +266,14 @@ func (c *Client) partition(keys []uint64) ([]*subBatch, error) {
 		}
 		sub.idx = append(sub.idx, i)
 	}
-	// Deterministic member order: lock acquisition below must be totally
-	// ordered to stay deadlock-free across concurrent batches.
-	sort.Slice(subs, func(i, j int) bool { return subs[i].nc.addr < subs[j].nc.addr })
+	sortSubs(subs)
 	return subs, nil
+}
+
+// sortSubs orders sub-batches by member address. Lock acquisition must be
+// totally ordered to stay deadlock-free across concurrent batches.
+func sortSubs(subs []*subBatch) {
+	sort.Slice(subs, func(i, j int) bool { return subs[i].nc.addr < subs[j].nc.addr })
 }
 
 // lockSubs acquires every involved member connection in address order and
@@ -176,14 +289,19 @@ func lockSubs(subs []*subBatch) func() {
 	}
 }
 
-// GetBatch routes one GET per key and calls visit for each response in key
-// order within each member's sub-batch. All members' pipelines are flushed
-// before any response is read, so the batch costs one round trip regardless
-// of how many members it spans. The value passed to visit aliases a
-// connection buffer valid only for the duration of the call.
+// GetBatch routes one GET per key and calls visit exactly once per key. All
+// members' pipelines are flushed before any response is read, so the batch
+// costs one round trip regardless of how many members it spans; under
+// replication, keys that miss or whose owner is unreachable cost one extra
+// round trip per fallback owner tried. The value passed to visit aliases a
+// connection buffer valid only for the duration of the call. Visit order is
+// unspecified beyond key order within one member's sub-batch.
 func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byte)) error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if c.effReplicas() > 1 {
+		return c.getBatchReplicated(keys, visit)
+	}
 	subs, err := c.partition(keys)
 	if err != nil {
 		return err
@@ -271,10 +389,16 @@ func (s *subBatch) replayGets(dial DialFunc, keys []uint64, visit func(i int, hi
 }
 
 // SetBatch routes one SET per key, with value(i) producing the i-th
-// payload. Pipelining and recovery mirror GetBatch.
+// payload. Pipelining and recovery mirror GetBatch. Under replication each
+// key is written to all R owners and the batch fails unless every key is
+// acknowledged by at least W of them; owners that failed their write while
+// the key still met quorum are queued for background repair.
 func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if c.effReplicas() > 1 {
+		return c.setBatchReplicated(keys, value)
+	}
 	subs, err := c.partition(keys)
 	if err != nil {
 		return err
@@ -359,25 +483,33 @@ func (c *Client) Set(key uint64, value []byte) error {
 	return c.SetBatch([]uint64{key}, func(int) []byte { return value })
 }
 
-// Del removes key from its owner, reporting whether it was present.
+// Del removes key from every owner, reporting whether any of them held it.
+// Under replication the delete fans out to the whole replica set; an
+// unreachable owner fails the call, since leaving a live copy behind would
+// resurrect the key through read repair.
 func (c *Client) Del(key uint64) (bool, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	addr, ok := c.ring.Node(key)
-	if !ok {
+	owners := c.ring.OwnersFor(key, c.effReplicas())
+	if len(owners) == 0 {
 		return false, fmt.Errorf("cluster: empty ring")
 	}
-	nc := c.nodes[addr]
-	nc.mu.Lock()
-	defer nc.mu.Unlock()
-	nc.dels.Add(1)
-	var present bool
-	err := nc.withRetry(c.dial, func(cl *wire.Client) error {
-		var err error
-		present, err = cl.Del(key)
-		return err
-	})
-	return present, err
+	present := false
+	for _, addr := range owners {
+		nc := c.nodes[addr]
+		nc.mu.Lock()
+		nc.dels.Add(1)
+		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
+			p, err := cl.Del(key)
+			present = present || p
+			return err
+		})
+		nc.mu.Unlock()
+		if err != nil {
+			return present, err
+		}
+	}
+	return present, nil
 }
 
 // withRetry runs op against the member connection, redialing once on
@@ -457,6 +589,8 @@ func AggregateStats(stats map[string]*wire.Stats) wire.Stats {
 		agg.ConflictEvictions += st.ConflictEvictions
 		agg.FlushEvictions += st.FlushEvictions
 		agg.Rehashes += st.Rehashes
+		agg.Sets += st.Sets
+		agg.RepairSets += st.RepairSets
 		agg.Pending += st.Pending
 		agg.Len += st.Len
 		agg.Capacity += st.Capacity
@@ -472,9 +606,11 @@ func AggregateStats(stats map[string]*wire.Stats) wire.Stats {
 	return agg
 }
 
-// NodeCounters is the router's per-member traffic tally.
+// NodeCounters is the router's per-member traffic tally. Repairs counts
+// background read-repair SETs written to the member, kept separate from
+// Sets so replica maintenance never reads as user write traffic.
 type NodeCounters struct {
-	Gets, Hits, Misses, Sets, Dels, Redials uint64
+	Gets, Hits, Misses, Sets, Dels, Redials, Repairs uint64
 }
 
 // Counters returns the per-member routing counters, keyed by address.
@@ -486,6 +622,7 @@ func (c *Client) Counters() map[string]NodeCounters {
 		out[addr] = NodeCounters{
 			Gets: nc.gets.Load(), Hits: nc.hits.Load(), Misses: nc.misses.Load(),
 			Sets: nc.sets.Load(), Dels: nc.dels.Load(), Redials: nc.redials.Load(),
+			Repairs: nc.repairs.Load(),
 		}
 	}
 	return out
@@ -516,13 +653,22 @@ func (c *Client) AddNode(addr string) error {
 // trip, keeping peak buffering (chunk × value size) modest.
 const migrateChunk = 256
 
-// RemoveNode retires a member, migrating its residents to their new owners
-// before the connection closes: the cluster-level analogue of the paper's
-// incremental rehash, where no entry is lost except by accounted eviction.
-// moved counts entries re-stored on their new owner (which may evict there
-// — the destination's eviction counters account for it); dropped counts
-// entries that vanished between the key snapshot and the drain (concurrent
-// eviction on the departing member).
+// RemoveNode retires a member. Unreplicated (R = 1), it migrates the
+// departing node's residents to their new owners before the connection
+// closes: the cluster-level analogue of the paper's incremental rehash,
+// where no entry is lost except by accounted eviction. moved counts entries
+// re-stored on their new owner (which may evict there — the destination's
+// eviction counters account for it); dropped counts entries that vanished
+// between the key snapshot and the drain (concurrent eviction on the
+// departing member).
+//
+// With R > 1 the drain is unnecessary and RemoveNode becomes cheap: every
+// resident of the departing node also lives on R-1 surviving owners, so
+// the member is simply dropped from the ring (moved and dropped are 0) and
+// the key's new R-th owner refills lazily through read repair. Because
+// this path never contacts the departing node, it also handles a crashed
+// member: RemoveNode on a dead address cleans it out of the ring and stops
+// the router paying a failed dial per batch.
 //
 // RemoveNode excludes all other traffic on this Client for its duration.
 func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
@@ -534,6 +680,14 @@ func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
 	}
 	if c.ring.NumNodes() == 1 {
 		return 0, 0, fmt.Errorf("cluster: cannot remove the last member %s", addr)
+	}
+	if c.effReplicas() > 1 {
+		nc.mu.Lock()
+		nc.drop()
+		nc.mu.Unlock()
+		delete(c.nodes, addr)
+		c.ring.Remove(addr)
+		return 0, 0, nil
 	}
 
 	nc.mu.Lock()
@@ -601,10 +755,13 @@ func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
 				for j, i := range idx {
 					sub[j] = chunk[i]
 				}
-				return cl.SetBatch(sub, func(j int) []byte { return vals[idx[j]] })
+				// Migration writes carry the repair flag: they are replica
+				// maintenance, not user traffic, and the destination's
+				// STATS keeps them out of its user SET count.
+				return cl.SetBatchFlags(sub, wire.SetFlagRepair, func(j int) []byte { return vals[idx[j]] })
 			})
 			if err == nil {
-				dst.sets.Add(uint64(len(idx)))
+				dst.repairs.Add(uint64(len(idx)))
 			}
 			dst.mu.Unlock()
 			if err != nil {

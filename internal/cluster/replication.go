@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// This file implements R-way replication on top of the routing client:
+// quorum writes, fallback reads, and background read repair. The ring
+// chooses each key's replica set (Ring.OwnersFor); the client makes the
+// set behave like one logical copy that survives node loss.
+//
+// Invariants the implementation maintains:
+//
+//   - visit is called exactly once per key of a GetBatch, whatever mix of
+//     misses, node failures and fallbacks resolved it.
+//   - A read errors only when every owner of the key was unreachable; one
+//     authoritative MISS resolves the key as a miss, one hit resolves it as
+//     a hit.
+//   - A write errors only when fewer than W owners acknowledged it.
+//   - Every repair write carries wire.SetFlagRepair, so server-side and
+//     router-side counters never mix maintenance churn into user traffic.
+
+// repairQueueDepth bounds the background read-repair queue. When the queue
+// is full new repairs are shed (and counted) rather than blocking the read
+// path: a shed repair is retried naturally by the next fallback read of the
+// same key.
+const repairQueueDepth = 1024
+
+// repairTask asks the repair worker to re-SET key=val on the owners that
+// were seen missing or unreachable.
+type repairTask struct {
+	key   uint64
+	val   []byte
+	addrs []string
+}
+
+// ReplicationCounters is the router's replication telemetry; see
+// Client.Replication.
+type ReplicationCounters struct {
+	// FallbackHits counts GETs served by a non-primary replica after
+	// earlier owners missed or were unreachable — each one is a read that
+	// an unreplicated cluster would have lost or missed.
+	FallbackHits uint64
+	// RepairsScheduled counts repair tasks queued by fallback hits and
+	// partially-acknowledged writes.
+	RepairsScheduled uint64
+	// RepairsApplied counts repair SETs acknowledged by the stale owner.
+	RepairsApplied uint64
+	// RepairsDropped counts repairs shed because the queue was full.
+	RepairsDropped uint64
+}
+
+// Replication returns the cluster-wide replication telemetry. All zeros on
+// an unreplicated client.
+func (c *Client) Replication() ReplicationCounters {
+	return ReplicationCounters{
+		FallbackHits:     c.fallbackHits.Load(),
+		RepairsScheduled: c.repairsScheduled.Load(),
+		RepairsApplied:   c.repairsApplied.Load(),
+		RepairsDropped:   c.repairsDropped.Load(),
+	}
+}
+
+// RepairsDone reports completed background repair writes; it implements
+// load.RepairReporter so the harness can price replication's maintenance
+// traffic.
+func (c *Client) RepairsDone() uint64 { return c.repairsApplied.Load() }
+
+// scheduleRepair queues a background re-SET of key=val at addrs. Caller
+// holds c.mu (either side); val may alias a connection buffer and is copied
+// here.
+func (c *Client) scheduleRepair(key uint64, val []byte, addrs []string) {
+	if c.repairClosed || len(addrs) == 0 {
+		return
+	}
+	t := repairTask{
+		key:   key,
+		val:   append([]byte(nil), val...),
+		addrs: append([]string(nil), addrs...),
+	}
+	c.repairsScheduled.Add(1)
+	select {
+	case c.repairCh <- t:
+	default:
+		c.repairsDropped.Add(1)
+	}
+}
+
+// repairLoop is the background worker: it drains the repair queue until
+// Close, re-SETting stale replicas with the repair flag.
+func (c *Client) repairLoop() {
+	defer close(c.repairDone)
+	for t := range c.repairCh {
+		c.applyRepair(t)
+	}
+}
+
+// applyRepair writes one queued repair to each of its target owners. A
+// target that left the cluster is skipped; a target that cannot be reached
+// is dropped (the next fallback read schedules a fresh repair).
+//
+// c.mu is held only for the membership lookup, never across the network
+// write: a repair dialing a slow or dead node must not block a pending
+// membership change — and, through the RWMutex's writer queue, every other
+// read and write on the client — for a connect timeout. The price is that
+// a member removed concurrently with the lookup may receive one final
+// repair write, which is harmless: it is a flagged cache SET to a node
+// already out of the ring.
+func (c *Client) applyRepair(t repairTask) {
+	for _, addr := range t.addrs {
+		c.mu.RLock()
+		closed, nc := c.repairClosed, c.nodes[addr]
+		c.mu.RUnlock()
+		if closed {
+			return
+		}
+		if nc == nil {
+			continue
+		}
+		nc.mu.Lock()
+		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
+			_, err := cl.SetFlags(t.key, wire.SetFlagRepair, t.val)
+			return err
+		})
+		if err == nil {
+			nc.repairs.Add(1)
+			c.repairsApplied.Add(1)
+		}
+		nc.mu.Unlock()
+	}
+}
+
+// getBatchReplicated resolves a GET batch against R-way replica sets in up
+// to R rounds. Round j sends each still-unresolved key to its j-th owner;
+// hits resolve immediately (scheduling repair of the owners that came up
+// empty), misses resolve at the last owner, and connection failures push
+// the key to the next round. Caller holds c.mu.RLock.
+func (c *Client) getBatchReplicated(keys []uint64, visit func(i int, hit bool, value []byte)) error {
+	rf := c.effReplicas()
+	owners := make([][]string, len(keys))
+	for i, k := range keys {
+		owners[i] = c.ring.OwnersFor(k, rf)
+		if len(owners[i]) == 0 {
+			return fmt.Errorf("cluster: empty ring")
+		}
+	}
+
+	pending := make([]int, len(keys))
+	for i := range pending {
+		pending[i] = i
+	}
+	// missedAt[i] lists the owners that answered an authoritative MISS for
+	// key i. Only those are repair targets on a later fallback hit — an
+	// owner that merely failed its connection may be dead, and aiming
+	// repairs at a corpse would grind the repair worker on failed dials
+	// while genuinely stale replicas queue behind it. (Its copy, if any,
+	// is also not known stale.)
+	missedAt := make([][]string, len(keys))
+	var next []int
+	var unresolved int
+	var lastErr error
+
+	for round := 0; round < rf && len(pending) > 0; round++ {
+		subs := c.partitionRound(pending, owners, round)
+		unlock := lockSubs(subs)
+		for _, s := range subs {
+			s.err = s.enqueueGets(c.dial, keys)
+		}
+		next = next[:0]
+		last := round == rf-1
+		for _, s := range subs {
+			if s.err == nil {
+				s.err = c.readGetsReplicated(s, keys, round, last, missedAt, &next, visit)
+			}
+			if s.err != nil && s.delivered == 0 {
+				// Nothing of this sub was delivered; redial once and replay.
+				s.nc.drop()
+				s.nc.redials.Add(1)
+				if err := s.enqueueGets(c.dial, keys); err != nil {
+					s.err = err
+				} else {
+					s.err = c.readGetsReplicated(s, keys, round, last, missedAt, &next, visit)
+				}
+			}
+			if s.err != nil {
+				// The owner is unreachable (or its stream is corrupt): drop
+				// the connection and fail the undelivered keys over to
+				// their next owner — or resolve them, if this was the last.
+				s.nc.drop()
+				lastErr = s.err
+				for _, i := range s.idx[s.delivered:] {
+					switch {
+					case !last:
+						next = append(next, i)
+					case missedAt[i] != nil:
+						// Some owner authoritatively missed: the key is a
+						// miss, not a lost read.
+						visit(i, false, nil)
+					default:
+						unresolved++
+					}
+				}
+			}
+		}
+		unlock()
+		pending, next = next, pending
+	}
+
+	if unresolved > 0 {
+		return fmt.Errorf("cluster: %d keys unreadable on all %d replicas: %w", unresolved, rf, lastErr)
+	}
+	return nil
+}
+
+// partitionRound splits the pending keys by their round-th owner, in
+// deterministic (address-sorted) order for deadlock-free locking. Caller
+// holds c.mu.
+func (c *Client) partitionRound(pending []int, owners [][]string, round int) []*subBatch {
+	byAddr := make(map[string]*subBatch)
+	var subs []*subBatch
+	for _, i := range pending {
+		addr := owners[i][round]
+		sub := byAddr[addr]
+		if sub == nil {
+			sub = &subBatch{nc: c.nodes[addr]}
+			byAddr[addr] = sub
+			subs = append(subs, sub)
+		}
+		sub.idx = append(sub.idx, i)
+	}
+	sortSubs(subs)
+	return subs
+}
+
+// readGetsReplicated drains one sub-batch's GET responses during a fallback
+// round. Hits are delivered to visit, with repair scheduled for the owners
+// that authoritatively missed in earlier rounds; misses either fall to the
+// next round or, on the last owner, resolve as authoritative misses.
+func (c *Client) readGetsReplicated(s *subBatch, keys []uint64, round int, last bool,
+	missedAt [][]string, next *[]int, visit func(i int, hit bool, value []byte)) error {
+	cl := s.nc.cl
+	for _, i := range s.idx[s.delivered:] {
+		resp, err := cl.ReadResponse()
+		if err != nil {
+			return err
+		}
+		switch resp.Status {
+		case wire.StatusHit:
+			s.nc.hits.Add(1)
+			if round > 0 {
+				c.fallbackHits.Add(1)
+			}
+			if len(missedAt[i]) > 0 {
+				c.scheduleRepair(keys[i], resp.Value, missedAt[i])
+			}
+			s.nc.gets.Add(1)
+			s.delivered++
+			visit(i, true, resp.Value)
+		case wire.StatusMiss:
+			s.nc.misses.Add(1)
+			s.nc.gets.Add(1)
+			s.delivered++
+			missedAt[i] = append(missedAt[i], s.nc.addr)
+			if last {
+				visit(i, false, nil)
+			} else {
+				*next = append(*next, i)
+			}
+		default:
+			return fmt.Errorf("cluster: unexpected GET response %v from %s", resp.Status, s.nc.addr)
+		}
+	}
+	return nil
+}
+
+// setBatchReplicated writes each key to all R of its owners and succeeds
+// only if every key is acknowledged by at least W of them. Owners whose
+// write failed while the key still met quorum are queued for background
+// repair, so a transiently dead node converges instead of staying stale.
+// Caller holds c.mu.RLock.
+func (c *Client) setBatchReplicated(keys []uint64, value func(i int) []byte) error {
+	rf := c.effReplicas()
+	w := c.effQuorum(rf)
+	owners := make([][]string, len(keys))
+	byAddr := make(map[string]*subBatch)
+	var subs []*subBatch
+	for i, k := range keys {
+		owners[i] = c.ring.OwnersFor(k, rf)
+		if len(owners[i]) == 0 {
+			return fmt.Errorf("cluster: empty ring")
+		}
+		for _, addr := range owners[i] {
+			sub := byAddr[addr]
+			if sub == nil {
+				sub = &subBatch{nc: c.nodes[addr]}
+				byAddr[addr] = sub
+				subs = append(subs, sub)
+			}
+			sub.idx = append(sub.idx, i)
+		}
+	}
+	sortSubs(subs)
+	unlock := lockSubs(subs)
+	defer unlock()
+
+	for _, s := range subs {
+		s.err = s.enqueueSets(c.dial, keys, value)
+	}
+	acks := make([]int, len(keys))
+	var failed [][]string // lazily allocated: owner addrs whose write was lost, per key
+	var lastErr error
+	for _, s := range subs {
+		if s.err == nil {
+			s.err = s.readSetsAcked(acks)
+		}
+		if s.err != nil && s.delivered == 0 {
+			s.nc.drop()
+			s.nc.redials.Add(1)
+			if err := s.enqueueSets(c.dial, keys, value); err != nil {
+				s.err = err
+			} else {
+				s.err = s.readSetsAcked(acks)
+			}
+		}
+		if s.err != nil {
+			s.nc.drop()
+			lastErr = s.err
+			if failed == nil {
+				failed = make([][]string, len(keys))
+			}
+			for _, i := range s.idx[s.delivered:] {
+				failed[i] = append(failed[i], s.nc.addr)
+			}
+		}
+	}
+
+	for i := range keys {
+		if acks[i] < w {
+			return fmt.Errorf("cluster: SET %d acknowledged by %d of %d owners, write quorum %d: %w",
+				keys[i], acks[i], rf, w, lastErr)
+		}
+	}
+	for i := range keys {
+		if failed != nil && len(failed[i]) > 0 {
+			c.scheduleRepair(keys[i], value(i), failed[i])
+		}
+	}
+	return nil
+}
+
+// readSetsAcked drains one sub-batch's SET responses, crediting one ack per
+// key as it goes.
+func (s *subBatch) readSetsAcked(acks []int) error {
+	cl := s.nc.cl
+	for _, i := range s.idx[s.delivered:] {
+		resp, err := cl.ReadResponse()
+		if err != nil {
+			return err
+		}
+		if resp.Status != wire.StatusOK {
+			return fmt.Errorf("cluster: unexpected SET response %v from %s", resp.Status, s.nc.addr)
+		}
+		s.nc.sets.Add(1)
+		s.delivered++
+		acks[i]++
+	}
+	return nil
+}

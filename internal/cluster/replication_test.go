@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/concurrent"
+	"repro/internal/load"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// startNodeWithServer boots one cached node on loopback and returns both
+// its address and the server handle, so tests can crash it mid-run.
+func startNodeWithServer(t *testing.T, k, alpha int, seed uint64) (string, *server.Server) {
+	t.Helper()
+	cache, err := concurrent.New(concurrent.Config{Capacity: k, Alpha: alpha, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(cache)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), srv
+}
+
+// TestReadRepair deletes a key directly on its primary owner (emulating a
+// lost or wiped replica), reads it through the replicated client, and
+// asserts the fallback hit both returns the value and regenerates the
+// primary's copy in the background — with the repair counted as repair
+// traffic at every layer (router counters, server STATS).
+func TestReadRepair(t *testing.T) {
+	addrs := startCluster(t, 3, 4096, 16)
+	ctl, err := Dial(addrs, Options{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	const key = uint64(42)
+	val := []byte("replicated-payload")
+	if err := ctl.Set(key, val); err != nil {
+		t.Fatal(err)
+	}
+	owners := ctl.Owners(key)
+	if len(owners) != 2 {
+		t.Fatalf("Owners(%d) = %v, want 2 owners", key, owners)
+	}
+
+	// Wipe the primary's copy behind the router's back.
+	direct, err := wire.Dial(owners[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	if present, err := direct.Del(key); err != nil || !present {
+		t.Fatalf("direct DEL on primary = %v, %v; want present", present, err)
+	}
+
+	// The degraded read must still hit, served by the backup owner.
+	got, hit, err := ctl.Get(key)
+	if err != nil || !hit {
+		t.Fatalf("Get after primary wipe = hit=%v, %v; want fallback hit", hit, err)
+	}
+	if string(got) != string(val) {
+		t.Fatalf("fallback value = %q, want %q", got, val)
+	}
+
+	// Background read repair must regenerate the primary's copy.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, hit, err := direct.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			if string(v) != string(val) {
+				t.Fatalf("repaired value = %q, want %q", v, val)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("primary copy not repaired within deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The server applies the repair before the router hears the ack, so give
+	// the counter the same deadline the value had.
+	for ctl.Replication().RepairsApplied == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	rep := ctl.Replication()
+	if rep.FallbackHits == 0 {
+		t.Error("no fallback hits counted")
+	}
+	if rep.RepairsScheduled == 0 || rep.RepairsApplied == 0 {
+		t.Errorf("repair counters = %+v; want scheduled and applied ≥ 1", rep)
+	}
+	if got := ctl.Counters()[owners[0]].Repairs; got == 0 {
+		t.Errorf("router counted %d repairs on primary %s, want ≥ 1", got, owners[0])
+	}
+
+	// The server distinguishes the repair from user writes: the primary saw
+	// one user SET (the original) and at least one repair SET.
+	stats, err := ctl.StatsAll(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := stats[owners[0]]; st.RepairSets == 0 {
+		t.Errorf("primary STATS RepairSets = %d, want ≥ 1 (Sets = %d)", st.RepairSets, st.Sets)
+	}
+	if st := stats[owners[0]]; st.Sets == 0 {
+		t.Errorf("primary STATS Sets = %d, want ≥ 1", st.Sets)
+	}
+}
+
+// TestReplicatedKillNodeZeroLostReads is the availability acceptance test:
+// 3 nodes, R=2, one node killed (crashed, not retired) in the middle of
+// live read traffic. No read may fail and no preloaded key may be lost —
+// every key's surviving replica serves it. Afterwards RemoveNode cleans the
+// dead member out of the ring without contacting it.
+func TestReplicatedKillNodeZeroLostReads(t *testing.T) {
+	const (
+		k     = 8192
+		alpha = 32
+		nkeys = 1500
+	)
+	addrs := make([]string, 3)
+	servers := make([]*server.Server, 3)
+	for i := range addrs {
+		addrs[i], servers[i] = startNodeWithServer(t, k, alpha, uint64(i+1))
+	}
+	ctl, err := Dial(addrs, Options{Replicas: 2, WriteQuorum: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	keys := make([]uint64, nkeys)
+	for i := range keys {
+		keys[i] = uint64(i) + 1
+	}
+	if err := ctl.SetBatch(keys, func(i int) []byte { return load.Payload(keys[i], 32) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live GET traffic through the shared router while a member dies.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var liveMisses atomic.Uint64
+	trafficErr := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]uint64, 16)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := range batch {
+					batch[j] = keys[(w*31+i*16+j)%nkeys]
+				}
+				if err := ctl.GetBatch(batch, func(_ int, hit bool, _ []byte) {
+					if !hit {
+						liveMisses.Add(1)
+					}
+				}); err != nil {
+					trafficErr <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	victim := addrs[0]
+	if err := servers[0].Close(); err != nil { // crash, no drain, no goodbye
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-trafficErr:
+		t.Fatalf("read failed during node crash: %v", err)
+	default:
+	}
+	if n := liveMisses.Load(); n != 0 {
+		t.Errorf("%d reads missed during the crash; surviving replicas should have served all of them", n)
+	}
+
+	// Full sweep: every preloaded key must still be readable.
+	present := 0
+	if err := ctl.GetBatch(keys, func(_ int, hit bool, _ []byte) {
+		if hit {
+			present++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if present != nkeys {
+		t.Errorf("lost %d of %d keys to a single node crash with R=2", nkeys-present, nkeys)
+	}
+	if rep := ctl.Replication(); rep.FallbackHits == 0 {
+		t.Error("no fallback hits counted; the crash should have exercised replica fallback")
+	}
+
+	// Retiring the dead member must not require contacting it.
+	moved, dropped, err := ctl.RemoveNode(victim)
+	if err != nil {
+		t.Fatalf("RemoveNode on crashed member: %v", err)
+	}
+	if moved != 0 || dropped != 0 {
+		t.Errorf("replicated RemoveNode migrated %d/%d keys; replicas make the drain unnecessary", moved, dropped)
+	}
+	if got := len(ctl.Nodes()); got != 2 {
+		t.Fatalf("cluster has %d members after RemoveNode, want 2", got)
+	}
+	present = 0
+	if err := ctl.GetBatch(keys, func(_ int, hit bool, _ []byte) {
+		if hit {
+			present++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if present != nkeys {
+		t.Errorf("lost %d of %d keys after retiring the crashed member", nkeys-present, nkeys)
+	}
+}
+
+// TestWriteQuorum pins the W-of-R write contract: with one of 3 members
+// dead, W=R writes fail on keys owned by the dead node while W=1 writes
+// succeed everywhere (the surviving owner takes them).
+func TestWriteQuorum(t *testing.T) {
+	addrs := make([]string, 3)
+	servers := make([]*server.Server, 3)
+	for i := range addrs {
+		addrs[i], servers[i] = startNodeWithServer(t, 4096, 16, uint64(i+1))
+	}
+	strict, err := Dial(addrs, Options{Replicas: 2}) // W defaults to R = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer strict.Close()
+	sloppy, err := Dial(addrs, Options{Replicas: 2, WriteQuorum: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sloppy.Close()
+
+	if err := servers[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+	dead := addrs[2]
+
+	// Pick a key the dead node owns.
+	var key uint64
+	found := false
+	for k := uint64(1); k < 10_000; k++ {
+		if contains(strict.Owners(k), dead) {
+			key, found = k, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no key owned by the dead node in 10k probes; ring is degenerate")
+	}
+
+	if err := strict.Set(key, []byte("v")); err == nil {
+		t.Errorf("W=2 SET succeeded with an owner dead; want quorum failure")
+	}
+	if err := sloppy.Set(key, []byte("v")); err != nil {
+		t.Errorf("W=1 SET failed with one owner surviving: %v", err)
+	}
+	if _, hit, err := sloppy.Get(key); err != nil || !hit {
+		t.Errorf("read-back of quorum-1 write = hit=%v, %v", hit, err)
+	}
+}

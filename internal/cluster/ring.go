@@ -13,6 +13,15 @@
 // the departing node's residents to their new owners under live traffic,
 // with every key either moved or accounted for by an eviction counter —
 // the same no-silent-loss discipline the incremental rehash keeps.
+//
+// Keyspaces can be replicated R-ways (Options.Replicas): a key's owners
+// are the ring's first R distinct members clockwise from its hash
+// (Ring.OwnersFor), writes fan out to all of them under a configurable
+// quorum, reads fall back through the set on a miss or node failure, and
+// background read repair regenerates stale or missing copies — so losing
+// a node loses no reads, and retiring one (alive or crashed) needs no
+// migration drain. See ARCHITECTURE.md for the full replication and
+// wire-protocol story.
 package cluster
 
 import (
@@ -28,8 +37,14 @@ import (
 // binary search over at most a few thousand points.
 const DefaultVNodes = 128
 
-// Ring is a consistent-hash ring with virtual nodes. It is not safe for
-// concurrent use; Client guards its ring with a lock.
+// Ring is a consistent-hash ring with virtual nodes: each member owns
+// VNodes pseudo-random points on a 64-bit circle, a key belongs to the
+// first point clockwise from its hash, and a key's R-way replica set is
+// the first R distinct members encountered on that walk. Virtual nodes
+// keep ownership shares within a few percent of uniform and make the
+// movement caused by one membership change proportional to the departing
+// or arriving member's share. A Ring is not safe for concurrent use;
+// Client guards its ring with a lock.
 type Ring struct {
 	vnodes int
 	nodes  map[string]bool
@@ -107,12 +122,57 @@ func (r *Ring) Node(key uint64) (string, bool) {
 	if len(r.points) == 0 {
 		return "", false
 	}
+	return r.points[r.search(key)].node, true
+}
+
+// search returns the index of the first virtual point clockwise from the
+// key's hash. Caller has checked the ring is non-empty.
+func (r *Ring) search(key uint64) int {
 	h := hashfn.Mix64(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrap around
 	}
-	return r.points[i].node, true
+	return i
+}
+
+// OwnersFor returns key's replica set: the first n distinct members walking
+// clockwise from the key's hash, primary first. OwnersFor(key, 1) is
+// Node(key). If the ring has fewer than n members, every member is an
+// owner. The result is nil only on an empty ring.
+//
+// Because each member's virtual points are interleaved with every other
+// member's, the R-1 backup owners of a key are effectively an independent
+// pseudo-random choice per key — replica load spreads instead of shadowing
+// whole nodes, and membership changes perturb owner sets by at most one
+// member per key.
+func (r *Ring) OwnersFor(key uint64, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	owners := make([]string, 0, n)
+	start := r.search(key)
+	for i := 0; len(owners) < n; i++ {
+		node := r.points[(start+i)%len(r.points)].node
+		if !contains(owners, node) {
+			owners = append(owners, node)
+		}
+	}
+	return owners
+}
+
+// contains reports whether owners already lists node. Replica sets are tiny
+// (R is single-digit), so a linear scan beats a map.
+func contains(owners []string, node string) bool {
+	for _, o := range owners {
+		if o == node {
+			return true
+		}
+	}
+	return false
 }
 
 // Nodes returns the members in sorted order.
@@ -128,15 +188,32 @@ func (r *Ring) Nodes() []string {
 // NumNodes returns the member count.
 func (r *Ring) NumNodes() int { return len(r.nodes) }
 
-// Sample estimates the ownership share of each member by routing n
+// Sample estimates the primary-ownership share of each member by routing n
 // pseudo-random keys (deterministic in seed) and counting owners. It is how
-// cmd/cachecluster reports ring balance, and how tests bound the key
-// movement of a membership change.
+// tests bound the key movement of a membership change; cmd/cachecluster
+// reports balance with SampleOwners so replicated shares still sum to 100%.
 func (r *Ring) Sample(n int, seed uint64) map[string]int {
 	out := make(map[string]int, len(r.nodes))
 	s := hashfn.NewSeedSequence(seed)
 	for i := 0; i < n; i++ {
 		if node, ok := r.Node(s.Next()); ok {
+			out[node]++
+		}
+	}
+	return out
+}
+
+// SampleOwners estimates each member's share of replica-set slots: n
+// pseudo-random keys are routed, every member of each key's R-way owner set
+// is counted, and the counts sum to n × min(R, members). Dividing by that
+// total reports per-replica-set balance — the right denominator when each
+// key resides on R nodes, where a per-key denominator would overstate
+// residency R-fold.
+func (r *Ring) SampleOwners(n, replicas int, seed uint64) map[string]int {
+	out := make(map[string]int, len(r.nodes))
+	s := hashfn.NewSeedSequence(seed)
+	for i := 0; i < n; i++ {
+		for _, node := range r.OwnersFor(s.Next(), replicas) {
 			out[node]++
 		}
 	}
@@ -160,6 +237,29 @@ func Validate(vnodes int, nodes []string) error {
 			return fmt.Errorf("cluster: duplicate node %q", n)
 		}
 		seen[n] = true
+	}
+	return nil
+}
+
+// ValidateReplication checks an R/W replication configuration against the
+// member count before dialing. replicas 0 means unreplicated (R = 1);
+// quorum 0 means all replicas (W = R).
+func ValidateReplication(replicas, quorum, members int) error {
+	if replicas < 0 {
+		return fmt.Errorf("cluster: replicas %d must not be negative", replicas)
+	}
+	if replicas > members {
+		return fmt.Errorf("cluster: replicas %d exceeds %d members", replicas, members)
+	}
+	r := replicas
+	if r == 0 {
+		r = 1
+	}
+	if quorum < 0 {
+		return fmt.Errorf("cluster: write quorum %d must not be negative", quorum)
+	}
+	if quorum > r {
+		return fmt.Errorf("cluster: write quorum %d exceeds %d replicas", quorum, r)
 	}
 	return nil
 }

@@ -64,6 +64,134 @@ func TestRingBoundedMovement(t *testing.T) {
 	}
 }
 
+// TestOwnersForDistinct: a key's replica set has exactly R distinct
+// members, its head agrees with Node, and asking for more replicas than
+// members returns every member.
+func TestOwnersForDistinct(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	r := NewRing(0, nodes...)
+	for _, rep := range []int{1, 2, 3, 5} {
+		for key := uint64(0); key < 2000; key++ {
+			owners := r.OwnersFor(key, rep)
+			if len(owners) != rep {
+				t.Fatalf("OwnersFor(%d, %d) returned %d owners", key, rep, len(owners))
+			}
+			seen := make(map[string]bool, rep)
+			for _, o := range owners {
+				if seen[o] {
+					t.Fatalf("OwnersFor(%d, %d) repeats owner %q: %v", key, rep, o, owners)
+				}
+				seen[o] = true
+			}
+			if primary, _ := r.Node(key); owners[0] != primary {
+				t.Fatalf("OwnersFor(%d)[0] = %q, Node = %q", key, owners[0], primary)
+			}
+		}
+	}
+	if got := r.OwnersFor(1, 99); len(got) != len(nodes) {
+		t.Fatalf("OwnersFor(1, 99) returned %d owners, want all %d members", len(got), len(nodes))
+	}
+	if got := r.OwnersFor(1, 0); got != nil {
+		t.Fatalf("OwnersFor(1, 0) = %v, want nil", got)
+	}
+	if got := NewRing(0).OwnersFor(1, 2); got != nil {
+		t.Fatalf("empty ring OwnersFor = %v, want nil", got)
+	}
+}
+
+// TestOwnersForReassignmentOnAdd is the replicated consistent-hashing
+// contract: joining an (n+1)-th member changes a key's R-way owner set only
+// by inserting the newcomer, and does so for only about R/(n+1) of keys.
+func TestOwnersForReassignmentOnAdd(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	const rep = 2
+	before := NewRing(0, nodes...)
+	after := NewRing(0, nodes...)
+	after.Add("f:1")
+
+	const n = 100_000
+	changed := 0
+	for i := 0; i < n; i++ {
+		key := uint64(i) * 0x9e3779b97f4a7c15
+		ob := before.OwnersFor(key, rep)
+		oa := after.OwnersFor(key, rep)
+		same := true
+		for j := range ob {
+			if ob[j] != oa[j] {
+				same = false
+			}
+		}
+		if same {
+			continue
+		}
+		changed++
+		// A changed set must contain the newcomer, and its other members
+		// must all come from the old set: nothing reshuffles between
+		// incumbents.
+		if !contains(oa, "f:1") {
+			t.Fatalf("key %d owner set changed %v → %v without involving the added node", key, ob, oa)
+		}
+		for _, o := range oa {
+			if o != "f:1" && !contains(ob, o) {
+				t.Fatalf("key %d gained incumbent owner %q not in old set %v", key, o, ob)
+			}
+		}
+	}
+	// Expect ≈ R/(n+1) = 2/6 ≈ 33% of owner sets touched; generous bounds
+	// absorb virtual-node variance.
+	frac := float64(changed) / n
+	if frac < 0.20 || frac > 0.50 {
+		t.Errorf("adding a 6th node changed %.1f%% of %d-way owner sets; want near %.0f%%",
+			100*frac, rep, 100*float64(rep)/float64(len(nodes)+1))
+	}
+}
+
+// TestSampleOwnersBalance: replica-set slots divide roughly evenly, and the
+// counts sum to samples × R — the denominator per-replica-set balance
+// reporting divides by.
+func TestSampleOwnersBalance(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := NewRing(0, nodes...)
+	const n, rep = 50_000, 3
+	share := r.SampleOwners(n, rep, 7)
+	total := 0
+	for _, node := range nodes {
+		total += share[node]
+		frac := float64(share[node]) / (n * rep)
+		if frac < 0.15 || frac > 0.35 {
+			t.Errorf("node %s holds %.1f%% of replica-set slots; want near 25%%", node, 100*frac)
+		}
+	}
+	if total != n*rep {
+		t.Errorf("replica-set slots sum to %d, want %d×%d", total, n, rep)
+	}
+}
+
+func TestValidateReplication(t *testing.T) {
+	cases := []struct {
+		replicas, quorum, members int
+		ok                        bool
+	}{
+		{0, 0, 3, true}, // unreplicated default
+		{1, 1, 1, true}, // R=W=1
+		{2, 0, 3, true}, // W defaults to R
+		{2, 1, 3, true}, // sloppy quorum
+		{3, 3, 3, true}, // write-all
+		{-1, 0, 3, false},
+		{4, 0, 3, false}, // more replicas than members
+		{2, 3, 3, false}, // quorum above R
+		{0, 2, 3, false}, // quorum above implicit R=1
+		{2, -1, 3, false},
+	}
+	for _, c := range cases {
+		err := ValidateReplication(c.replicas, c.quorum, c.members)
+		if (err == nil) != c.ok {
+			t.Errorf("ValidateReplication(%d, %d, %d) = %v, want ok=%v",
+				c.replicas, c.quorum, c.members, err, c.ok)
+		}
+	}
+}
+
 func TestRingEmptyAndMembership(t *testing.T) {
 	r := NewRing(4)
 	if _, ok := r.Node(1); ok {

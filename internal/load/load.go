@@ -34,7 +34,8 @@ import (
 )
 
 // Conn is one harness connection. Both wire.Client (one node) and
-// cluster.Client (consistent-hash routed) satisfy it.
+// cluster.Client (consistent-hash routed, optionally replicated) satisfy
+// it.
 type Conn interface {
 	// GetBatch pipelines one GET per key and reports each response through
 	// visit; the value passed to visit may alias a connection buffer valid
@@ -43,6 +44,16 @@ type Conn interface {
 	// SetBatch pipelines one SET per key with value(i) producing payloads.
 	SetBatch(keys []uint64, value func(i int) []byte) error
 	Close() error
+}
+
+// RepairReporter is optionally implemented by a Conn (cluster.Client does)
+// to report the background read-repair writes it performed. The harness
+// sums the counts into Result.Repairs after each worker's connection
+// closes, so a replicated run's reported throughput can be priced against
+// the maintenance traffic it generated.
+type RepairReporter interface {
+	// RepairsDone returns the number of completed repair writes.
+	RepairsDone() uint64
 }
 
 // Config describes one load run.
@@ -94,6 +105,11 @@ type Result struct {
 	Misses  int
 	Sets    int
 	Corrupt int
+	// Repairs counts background read-repair writes performed by connections
+	// that implement RepairReporter (replicated cluster clients); 0
+	// otherwise. Repair traffic rides alongside the measured ops — it is
+	// replication's maintenance cost, not user throughput.
+	Repairs int
 	Elapsed time.Duration
 	// Throughput is GET operations per second.
 	Throughput float64
@@ -168,9 +184,9 @@ func VerifyPayload(key uint64, v []byte) bool {
 }
 
 type workerResult struct {
-	ops, hits, misses, sets, corrupt int
-	latencies                        []time.Duration
-	err                              error
+	ops, hits, misses, sets, corrupt, repairs int
+	latencies                                 []time.Duration
+	err                                       error
 }
 
 // Validate checks the configuration without running it.
@@ -273,6 +289,7 @@ func Run(cfg Config) (Result, error) {
 		agg.Misses += r.misses
 		agg.Sets += r.sets
 		agg.Corrupt += r.corrupt
+		agg.Repairs += r.repairs
 		samples = append(samples, r.latencies...)
 	}
 	agg.Elapsed = elapsed
@@ -283,14 +300,20 @@ func Run(cfg Config) (Result, error) {
 	return agg, nil
 }
 
-func runWorker(cfg Config, dial func() (Conn, error), keys trace.Sequence, depth, workers int, start time.Time) workerResult {
-	var res workerResult
+func runWorker(cfg Config, dial func() (Conn, error), keys trace.Sequence, depth, workers int, start time.Time) (res workerResult) {
 	conn, err := dial()
 	if err != nil {
 		res.err = fmt.Errorf("load: dial: %w", err)
 		return res
 	}
-	defer conn.Close()
+	// Read the repair count only after Close: a replicated client stops its
+	// repair worker there, so the count no longer moves.
+	defer func() {
+		conn.Close()
+		if rr, ok := conn.(RepairReporter); ok {
+			res.repairs = int(rr.RepairsDone())
+		}
+	}()
 
 	// Open-loop pacing: this worker owes one batch every interval, on a
 	// fixed schedule anchored at the shared start time. The schedule never

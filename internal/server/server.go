@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/concurrent"
 	"repro/internal/wire"
@@ -27,6 +28,13 @@ import (
 // Server serves a concurrent.Cache over TCP.
 type Server struct {
 	cache *concurrent.Cache
+
+	// sets and repairSets split write traffic by the SET flag byte: user
+	// writes versus replica maintenance (read repair, migration). Keeping
+	// them at the server rather than in the cache means repair churn never
+	// skews the cache-level counters the α experiments read.
+	sets       atomic.Uint64
+	repairSets atomic.Uint64
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -168,6 +176,11 @@ func (s *Server) apply(req wire.Request) wire.Response {
 		}
 		return wire.Response{Status: wire.StatusHit, Value: b}
 	case wire.OpSet:
+		if req.Flags&wire.SetFlagRepair != 0 {
+			s.repairSets.Add(1)
+		} else {
+			s.sets.Add(1)
+		}
 		// The request value aliases the reader's scratch buffer; copy before
 		// it escapes into the cache.
 		_, evicted := s.cache.Put(req.Key, append([]byte(nil), req.Value...))
@@ -208,6 +221,8 @@ func (s *Server) stats(detail bool) *wire.Stats {
 		Capacity:          uint64(snap.Capacity),
 		Alpha:             uint64(snap.Alpha),
 		Buckets:           uint64(snap.Buckets),
+		Sets:              s.sets.Load(),
+		RepairSets:        s.repairSets.Load(),
 		Migrating:         snap.Migrating,
 	}
 	if detail {

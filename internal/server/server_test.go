@@ -30,6 +30,38 @@ func startServer(t *testing.T, cfg concurrent.Config) (*Server, string) {
 	return srv, ln.Addr().String()
 }
 
+// TestRepairSetAccounting: SETs split into user and repair counts by the
+// flag byte, so replica maintenance never inflates apparent user load.
+func TestRepairSetAccounting(t *testing.T) {
+	_, addr := startServer(t, concurrent.Config{Capacity: 64, Alpha: 4, Seed: 1})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Set(1, []byte("user")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Set(2, []byte("user")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SetFlags(3, wire.SetFlagRepair, []byte("repair")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sets != 2 || st.RepairSets != 1 {
+		t.Errorf("Sets/RepairSets = %d/%d, want 2/1", st.Sets, st.RepairSets)
+	}
+	// The repair-flagged value is stored normally.
+	if v, ok, err := c.Get(3); err != nil || !ok || string(v) != "repair" {
+		t.Errorf("Get(3) = %q, %v, %v; repair SET must store normally", v, ok, err)
+	}
+}
+
 func TestBasicOps(t *testing.T) {
 	_, addr := startServer(t, concurrent.Config{Capacity: 64, Alpha: 4, Seed: 1})
 	c, err := wire.Dial(addr)

@@ -46,9 +46,16 @@ func (c *Client) EnqueueGet(key uint64) error {
 	return c.w.WriteRequest(Request{Op: OpGet, Key: key})
 }
 
-// EnqueueSet buffers a SET without flushing.
+// EnqueueSet buffers a user SET (no flags) without flushing.
 func (c *Client) EnqueueSet(key uint64, value []byte) error {
-	return c.w.WriteRequest(Request{Op: OpSet, Key: key, Value: value})
+	return c.EnqueueSetFlags(key, 0, value)
+}
+
+// EnqueueSetFlags buffers a SET carrying the given flag byte without
+// flushing. The cluster router sets SetFlagRepair on read-repair and
+// migration writes so servers do not count them as user traffic.
+func (c *Client) EnqueueSetFlags(key uint64, flags SetFlags, value []byte) error {
+	return c.w.WriteRequest(Request{Op: OpSet, Key: key, Flags: flags, Value: value})
 }
 
 // EnqueueDel buffers a DEL without flushing.
@@ -98,9 +105,16 @@ func (c *Client) Get(key uint64) ([]byte, bool, error) {
 	}
 }
 
-// Set stores value under key, reporting whether an entry was evicted.
+// Set stores value under key as user traffic, reporting whether an entry
+// was evicted.
 func (c *Client) Set(key uint64, value []byte) (evicted bool, err error) {
-	resp, err := c.roundTrip(Request{Op: OpSet, Key: key, Value: value})
+	return c.SetFlags(key, 0, value)
+}
+
+// SetFlags stores value under key with the given SET flag byte, reporting
+// whether an entry was evicted.
+func (c *Client) SetFlags(key uint64, flags SetFlags, value []byte) (evicted bool, err error) {
+	resp, err := c.roundTrip(Request{Op: OpSet, Key: key, Flags: flags, Value: value})
 	if err != nil {
 		return false, err
 	}
@@ -181,11 +195,17 @@ func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byt
 	return nil
 }
 
-// SetBatch pipelines one SET per key, with value(i) producing the i-th
+// SetBatch pipelines one user SET per key, with value(i) producing the i-th
 // payload.
 func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
+	return c.SetBatchFlags(keys, 0, value)
+}
+
+// SetBatchFlags pipelines one SET per key carrying the given flag byte,
+// with value(i) producing the i-th payload.
+func (c *Client) SetBatchFlags(keys []uint64, flags SetFlags, value func(i int) []byte) error {
 	for i, k := range keys {
-		if err := c.EnqueueSet(k, value(i)); err != nil {
+		if err := c.EnqueueSetFlags(k, flags, value(i)); err != nil {
 			return err
 		}
 	}

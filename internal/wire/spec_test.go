@@ -1,0 +1,152 @@
+package wire
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// These tests pin the wire-protocol specification in ARCHITECTURE.md to the
+// implementation: every constant the document states — magic, version,
+// frame cap, opcode and status codes, SET flag bits, and the STATS payload
+// field order — is parsed out of the markdown tables and compared against
+// the package. Charge the spec, forget the code (or vice versa), and CI
+// fails.
+
+// specDoc loads ARCHITECTURE.md from the repository root.
+func specDoc(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile("../../ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("the wire spec lives in ARCHITECTURE.md and must exist: %v", err)
+	}
+	return string(b)
+}
+
+// specSection returns the part of doc between the heading containing
+// marker and the next heading of the same or higher level.
+func specSection(t *testing.T, doc, marker string) string {
+	t.Helper()
+	idx := strings.Index(doc, marker)
+	if idx < 0 {
+		t.Fatalf("ARCHITECTURE.md lacks the %q section", marker)
+	}
+	rest := doc[idx:]
+	if end := strings.Index(rest[1:], "\n#"); end >= 0 {
+		return rest[:end+1]
+	}
+	return rest
+}
+
+// tableCodes extracts |NAME|number| rows from a markdown section.
+func tableCodes(section string) map[string]int {
+	rows := regexp.MustCompile(`(?m)^\|\s*([A-Z]+)\s*\|\s*(\d+)\s*\|`).FindAllStringSubmatch(section, -1)
+	out := make(map[string]int, len(rows))
+	for _, r := range rows {
+		n, _ := strconv.Atoi(r[2])
+		out[r[1]] = n
+	}
+	return out
+}
+
+func TestSpecPreambleAndLimits(t *testing.T) {
+	doc := specDoc(t)
+
+	pre := specSection(t, doc, "### Preamble")
+	magic := regexp.MustCompile(`\|\s*magic\s*\|\s*\[4\]byte\s*\|\s*"([A-Z]+)"`).FindStringSubmatch(pre)
+	if magic == nil || magic[1] != Magic {
+		t.Errorf("spec magic = %v, implementation %q", magic, Magic)
+	}
+	version := regexp.MustCompile(`\|\s*version\s*\|\s*uint32\s*\|\s*(\d+)`).FindStringSubmatch(pre)
+	if version == nil || version[1] != strconv.Itoa(Version) {
+		t.Errorf("spec version = %v, implementation %d", version, Version)
+	}
+
+	limits := specSection(t, doc, "### Limits")
+	maxFrame := regexp.MustCompile(`\|\s*MaxFrame\s*\|\s*(\d+)\s*\|`).FindStringSubmatch(limits)
+	if maxFrame == nil || maxFrame[1] != strconv.Itoa(MaxFrame) {
+		t.Errorf("spec MaxFrame = %v, implementation %d", maxFrame, MaxFrame)
+	}
+}
+
+func TestSpecOpcodes(t *testing.T) {
+	codes := tableCodes(specSection(t, specDoc(t), "### Request opcodes"))
+	want := []Op{OpGet, OpSet, OpDel, OpStats, OpRehash, OpKeys}
+	if len(codes) != len(want) {
+		t.Errorf("spec lists %d opcodes, implementation has %d", len(codes), len(want))
+	}
+	for _, op := range want {
+		if got, ok := codes[op.String()]; !ok || got != int(op) {
+			t.Errorf("spec %s = %d (listed=%v), implementation %d", op, got, ok, int(op))
+		}
+	}
+}
+
+func TestSpecStatuses(t *testing.T) {
+	codes := tableCodes(specSection(t, specDoc(t), "### Response statuses"))
+	want := []Status{StatusHit, StatusMiss, StatusOK, StatusStats, StatusError, StatusKeys}
+	if len(codes) != len(want) {
+		t.Errorf("spec lists %d statuses, implementation has %d", len(codes), len(want))
+	}
+	for _, st := range want {
+		if got, ok := codes[st.String()]; !ok || got != int(st) {
+			t.Errorf("spec %s = %d (listed=%v), implementation %d", st, got, ok, int(st))
+		}
+	}
+}
+
+func TestSpecSetFlags(t *testing.T) {
+	section := specSection(t, specDoc(t), "### SET flag bits")
+	repair := regexp.MustCompile(`\|\s*REPAIR\s*\|\s*0x([0-9a-fA-F]+)\s*\|`).FindStringSubmatch(section)
+	if repair == nil {
+		t.Fatal("spec lacks the REPAIR flag row")
+	}
+	bit, err := strconv.ParseUint(repair[1], 16, 8)
+	if err != nil || SetFlags(bit) != SetFlagRepair {
+		t.Errorf("spec REPAIR = 0x%s, implementation %#02x", repair[1], byte(SetFlagRepair))
+	}
+	// Every defined flag must be documented: if a new bit joins
+	// setFlagsDefined, this forces a spec row for it.
+	if setFlagsDefined != SetFlagRepair {
+		t.Error("setFlagsDefined grew; document the new flag bit in ARCHITECTURE.md and extend this test")
+	}
+}
+
+func TestSpecStatsPayload(t *testing.T) {
+	section := specSection(t, specDoc(t), "### STATS payload")
+	rows := regexp.MustCompile(`(?m)^\|\s*(\d+)\s*\|\s*(\w+)\s*\|\s*(\w+)\s*\|`).FindAllStringSubmatch(section, -1)
+	var fields []string
+	var fixedLen int
+	for _, r := range rows {
+		name, typ := r[2], r[3]
+		switch typ {
+		case "uint64":
+			fixedLen += 8
+		case "byte":
+			fixedLen++
+		case "uint32":
+			// ShardCount follows the fixed region.
+		default:
+			t.Fatalf("spec STATS row %v has unexpected type %q", r, typ)
+		}
+		if typ == "uint64" {
+			fields = append(fields, name)
+		}
+	}
+	if len(fields) != len(statsFields) {
+		t.Fatalf("spec lists %d fixed counters, implementation has %d", len(fields), len(statsFields))
+	}
+	for i, f := range statsFields {
+		if fields[i] != f.name {
+			t.Errorf("spec STATS field %d = %q, implementation %q", i+1, fields[i], f.name)
+		}
+	}
+	if fixedLen != statsFixedLen {
+		t.Errorf("spec fixed region = %d bytes, implementation statsFixedLen = %d", fixedLen, statsFixedLen)
+	}
+	if !strings.Contains(section, "ShardCount") || !strings.Contains(section, "Migrating") {
+		t.Error("spec STATS payload must document Migrating and ShardCount")
+	}
+}

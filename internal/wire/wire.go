@@ -1,13 +1,16 @@
 // Package wire defines the compact binary protocol spoken between the
 // cached server (internal/server, cmd/cached) and its clients
-// (cmd/cacheload, the load harness in internal/load).
+// (cmd/cacheload, the cluster router in internal/cluster, and the load
+// harness in internal/load). The authoritative byte-level specification
+// lives in ARCHITECTURE.md at the repository root; a spec test
+// (spec_test.go) keeps that document and this package in lockstep.
 //
 // The protocol is deliberately in the same spirit as the SATR trace format:
 // little-endian, versioned, and trivially parseable. A connection begins
 // with a 8-byte client preamble:
 //
 //	magic   [4]byte  "SACW" (Set-Associative Cache Wire)
-//	version uint32   1
+//	version uint32   2
 //
 // after which both directions carry length-prefixed frames:
 //
@@ -21,12 +24,18 @@
 // server flushes its write buffer whenever it runs out of buffered requests,
 // making batched round trips cheap.
 //
-//	GET    key uint64                 → Hit value | Miss
-//	SET    key uint64, value bytes    → OK evicted byte(0|1)
-//	DEL    key uint64                 → OK | Miss
-//	STATS  detail byte(0|1)           → Stats payload (see Stats)
-//	REHASH                            → OK
-//	KEYS                              → Keys count uint32, count × uint64
+//	GET    key uint64                        → Hit value | Miss
+//	SET    key uint64, flags byte, value     → OK evicted byte(0|1)
+//	DEL    key uint64                        → OK | Miss
+//	STATS  detail byte(0|1)                  → Stats payload (see Stats)
+//	REHASH                                   → OK
+//	KEYS                                     → Keys count uint32, count × uint64
+//
+// Version 2 added the SET flags byte between key and value. Its only
+// defined bit, SetFlagRepair, marks replica-maintenance writes — read
+// repair and migration re-SETs issued by the cluster router — so servers
+// can account for them separately from user traffic (Stats.Sets vs
+// Stats.RepairSets) instead of recounting internal churn as load.
 //
 // KEYS is the migration primitive for the cluster router
 // (internal/cluster): removing a node enumerates its residents and re-SETs
@@ -44,11 +53,31 @@ import (
 
 // Protocol constants.
 const (
-	Magic   = "SACW"
-	Version = 1
+	// Magic is the 4-byte connection preamble prefix.
+	Magic = "SACW"
+	// Version is the protocol revision; the preamble carries it and servers
+	// reject mismatches. Version 2 added the SET flags byte and the
+	// Sets/RepairSets counters in the STATS payload.
+	Version = 2
 	// MaxFrame bounds a frame body; it caps both value sizes and the damage
 	// a corrupt length prefix can do.
 	MaxFrame = 16 << 20
+)
+
+// SetFlags is the flag byte carried by every SET request; it is a bit set.
+type SetFlags byte
+
+// The defined SET flag bits. Servers reject frames with undefined bits set,
+// so the remaining bits stay available for future revisions.
+const (
+	// SetFlagRepair marks a SET as replica maintenance — a read-repair or
+	// migration write issued by the cluster router — rather than user
+	// traffic. Servers apply it normally but count it under
+	// Stats.RepairSets instead of Stats.Sets.
+	SetFlagRepair SetFlags = 1 << 0
+
+	// setFlagsDefined masks the bits a conforming frame may set.
+	setFlagsDefined = SetFlagRepair
 )
 
 // Op is a request opcode.
@@ -119,11 +148,15 @@ func (s Status) String() string {
 
 // Request is one decoded request frame.
 type Request struct {
-	Op  Op
+	// Op is the request opcode.
+	Op Op
+	// Key is the cache key of a GET, SET or DEL.
 	Key uint64
 	// Value is the payload of a SET. It aliases the reader's scratch buffer
 	// and is only valid until the next Read call.
 	Value []byte
+	// Flags is the SET flag byte (zero for user writes).
+	Flags SetFlags
 	// Detail asks STATS to include per-shard counters.
 	Detail bool
 }
@@ -144,7 +177,10 @@ type Response struct {
 }
 
 // Stats is the wire form of the server's counter snapshot; see
-// concurrent.Snapshot for field semantics.
+// concurrent.Snapshot for the cache-level field semantics. Sets and
+// RepairSets are tracked by the server itself: they split write traffic
+// into user SETs and replica-maintenance SETs (SetFlagRepair), so repair
+// churn never inflates the apparent user load.
 type Stats struct {
 	Hits              uint64
 	Misses            uint64
@@ -157,9 +193,34 @@ type Stats struct {
 	Capacity          uint64
 	Alpha             uint64
 	Buckets           uint64
+	Sets              uint64
+	RepairSets        uint64
 	Migrating         bool
 	// Shards is present only when the STATS request set Detail.
 	Shards []ShardStat
+}
+
+// statsFields is the canonical wire order of the fixed uint64 counters in a
+// STATS payload. appendStats, parseStats, and the ARCHITECTURE.md spec test
+// all derive from this one table, so the serialized layout cannot drift
+// from the documented one.
+var statsFields = []struct {
+	name string
+	get  func(*Stats) *uint64
+}{
+	{"Hits", func(s *Stats) *uint64 { return &s.Hits }},
+	{"Misses", func(s *Stats) *uint64 { return &s.Misses }},
+	{"Evictions", func(s *Stats) *uint64 { return &s.Evictions }},
+	{"ConflictEvictions", func(s *Stats) *uint64 { return &s.ConflictEvictions }},
+	{"FlushEvictions", func(s *Stats) *uint64 { return &s.FlushEvictions }},
+	{"Rehashes", func(s *Stats) *uint64 { return &s.Rehashes }},
+	{"Pending", func(s *Stats) *uint64 { return &s.Pending }},
+	{"Len", func(s *Stats) *uint64 { return &s.Len }},
+	{"Capacity", func(s *Stats) *uint64 { return &s.Capacity }},
+	{"Alpha", func(s *Stats) *uint64 { return &s.Alpha }},
+	{"Buckets", func(s *Stats) *uint64 { return &s.Buckets }},
+	{"Sets", func(s *Stats) *uint64 { return &s.Sets }},
+	{"RepairSets", func(s *Stats) *uint64 { return &s.RepairSets }},
 }
 
 // MissRatio returns Misses / (Hits + Misses), or 0 before any GET.
@@ -179,7 +240,7 @@ type ShardStat struct {
 	Len       uint64
 }
 
-const statsFixedLen = 11*8 + 1 // 11 uint64 counters + migrating byte
+const statsFixedLen = 13*8 + 1 // 13 uint64 counters (statsFields) + migrating byte
 
 // Writer encodes frames onto a buffered stream. It is not safe for
 // concurrent use.
@@ -229,13 +290,14 @@ func (w *Writer) reset(n int) []byte {
 
 // WriteRequest encodes one request frame (buffered; call Flush to send).
 func (w *Writer) WriteRequest(req Request) error {
-	body := w.reset(1 + 8 + len(req.Value))
+	body := w.reset(1 + 8 + 1 + len(req.Value))
 	body = append(body, byte(req.Op))
 	switch req.Op {
 	case OpGet, OpDel:
 		body = binary.LittleEndian.AppendUint64(body, req.Key)
 	case OpSet:
 		body = binary.LittleEndian.AppendUint64(body, req.Key)
+		body = append(body, byte(req.Flags))
 		body = append(body, req.Value...)
 	case OpStats:
 		d := byte(0)
@@ -289,11 +351,8 @@ func (w *Writer) WriteResponse(resp Response) error {
 }
 
 func appendStats(body []byte, s *Stats) []byte {
-	for _, v := range []uint64{
-		s.Hits, s.Misses, s.Evictions, s.ConflictEvictions, s.FlushEvictions,
-		s.Rehashes, s.Pending, s.Len, s.Capacity, s.Alpha, s.Buckets,
-	} {
-		body = binary.LittleEndian.AppendUint64(body, v)
+	for _, f := range statsFields {
+		body = binary.LittleEndian.AppendUint64(body, *f.get(s))
 	}
 	m := byte(0)
 	if s.Migrating {
@@ -379,11 +438,15 @@ func (r *Reader) ReadRequest() (Request, error) {
 		}
 		req.Key = binary.LittleEndian.Uint64(body)
 	case OpSet:
-		if len(body) < 8 {
-			return Request{}, fmt.Errorf("wire: SET body %d bytes, want ≥8", len(body))
+		if len(body) < 9 {
+			return Request{}, fmt.Errorf("wire: SET body %d bytes, want ≥9", len(body))
 		}
 		req.Key = binary.LittleEndian.Uint64(body)
-		req.Value = body[8:]
+		req.Flags = SetFlags(body[8])
+		if req.Flags&^setFlagsDefined != 0 {
+			return Request{}, fmt.Errorf("wire: SET flags %#02x has undefined bits", byte(req.Flags))
+		}
+		req.Value = body[9:]
 	case OpStats:
 		if len(body) != 1 {
 			return Request{}, fmt.Errorf("wire: STATS body %d bytes, want 1", len(body))
@@ -456,13 +519,9 @@ func parseStats(body []byte) (*Stats, error) {
 		return nil, fmt.Errorf("wire: stats payload %d bytes, want ≥%d", len(body), statsFixedLen+4)
 	}
 	s := &Stats{}
-	fields := []*uint64{
-		&s.Hits, &s.Misses, &s.Evictions, &s.ConflictEvictions, &s.FlushEvictions,
-		&s.Rehashes, &s.Pending, &s.Len, &s.Capacity, &s.Alpha, &s.Buckets,
-	}
 	off := 0
-	for _, f := range fields {
-		*f = binary.LittleEndian.Uint64(body[off:])
+	for _, f := range statsFields {
+		*f.get(s) = binary.LittleEndian.Uint64(body[off:])
 		off += 8
 	}
 	s.Migrating = body[off] != 0

@@ -12,7 +12,8 @@ func TestRequestRoundTrip(t *testing.T) {
 	reqs := []Request{
 		{Op: OpGet, Key: 42},
 		{Op: OpSet, Key: 7, Value: []byte("hello world")},
-		{Op: OpSet, Key: 8, Value: nil}, // empty value is legal
+		{Op: OpSet, Key: 8, Value: nil},                                    // empty value is legal
+		{Op: OpSet, Key: 9, Flags: SetFlagRepair, Value: []byte("repair")}, // flagged maintenance write
 		{Op: OpDel, Key: 1 << 60},
 		{Op: OpStats, Detail: true},
 		{Op: OpStats, Detail: false},
@@ -34,7 +35,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("read %d: %v", i, err)
 		}
-		if got.Op != want.Op || got.Key != want.Key || got.Detail != want.Detail {
+		if got.Op != want.Op || got.Key != want.Key || got.Detail != want.Detail || got.Flags != want.Flags {
 			t.Fatalf("request %d = %+v, want %+v", i, got, want)
 		}
 		if !bytes.Equal(got.Value, want.Value) {
@@ -129,14 +130,26 @@ func TestOversizeFrameRejected(t *testing.T) {
 }
 
 func TestMalformedRequestRejected(t *testing.T) {
+	frame := func(body []byte) *Reader {
+		var buf bytes.Buffer
+		var ln [4]byte
+		binary.LittleEndian.PutUint32(ln[:], uint32(len(body)))
+		buf.Write(ln[:])
+		buf.Write(body)
+		return NewReader(&buf)
+	}
 	// A GET with a 3-byte key must be rejected.
-	var buf bytes.Buffer
-	body := []byte{byte(OpGet), 1, 2, 3}
-	var ln [4]byte
-	binary.LittleEndian.PutUint32(ln[:], uint32(len(body)))
-	buf.Write(ln[:])
-	buf.Write(body)
-	if _, err := NewReader(&buf).ReadRequest(); err == nil {
+	if _, err := frame([]byte{byte(OpGet), 1, 2, 3}).ReadRequest(); err == nil {
 		t.Fatal("short GET accepted")
+	}
+	// A SET without a flags byte (the version-1 layout) must be rejected.
+	if _, err := frame(append([]byte{byte(OpSet)}, make([]byte, 8)...)).ReadRequest(); err == nil {
+		t.Fatal("flagless SET accepted")
+	}
+	// A SET with undefined flag bits must be rejected.
+	body := append([]byte{byte(OpSet)}, make([]byte, 8)...)
+	body = append(body, 0x80, 'v')
+	if _, err := frame(body).ReadRequest(); err == nil {
+		t.Fatal("SET with undefined flag bits accepted")
 	}
 }
