@@ -17,6 +17,16 @@
 //	cachecluster -addrs h1:7070,h2:7070,h3:7070 -workload uniform -conns 8
 //	cachecluster -spawn 4 -open -rate 200000 -duration 30s
 //	cachecluster -spawn 3 -replicas 2 -write-quorum 1 -workload zipf
+//	cachecluster -addrs h1:7070 -bootstrap -workload zipf
+//
+// With -bootstrap the -addrs list is treated as seeds only: the actual
+// membership is discovered from the highest-epoch MEMBERS view any seed
+// reports, so pointing at a single member of an established cluster is
+// enough to drive all of it. The balance table is stamped with the
+// topology epoch the run ended at, and the client line reports how many
+// topology refreshes the routers performed mid-run (nonzero means the
+// membership changed underneath the run and the routers converged on
+// their own).
 //
 // With -replicas R each key lives on R distinct owners: SETs fan out to
 // all R (W of them, -write-quorum, must acknowledge), GETs fall back
@@ -35,7 +45,6 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
@@ -52,6 +61,7 @@ func main() {
 	var (
 		spawn    = flag.Int("spawn", 0, "spawn this many in-process nodes on loopback")
 		addrs    = flag.String("addrs", "", "comma-separated addresses of running cached nodes (alternative to -spawn)")
+		boot     = flag.Bool("bootstrap", false, "treat -addrs as seeds: discover the membership via MEMBERS")
 		vnodes   = flag.Int("vnodes", 0, "virtual nodes per member on the ring (0 = default)")
 		replicas = flag.Int("replicas", 0, "owners per key R (0 or 1 = unreplicated)")
 		quorum   = flag.Int("write-quorum", 0, "owners that must ack a SET, W of R (0 = all R)")
@@ -75,7 +85,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*spawn, *addrs, *vnodes, *conns, *ops, *pipeline, *valSize, *universe, *open, *rate, *duration); err != nil {
+	if err := validateFlags(*spawn, *addrs, *boot, *replicas, *quorum, *vnodes, *conns, *ops, *pipeline, *valSize, *universe, *open, *rate, *duration); err != nil {
 		fatal(err)
 	}
 
@@ -85,9 +95,10 @@ func main() {
 	}
 	defer cleanup()
 
-	// cluster.Dial validates the replication configuration (R vs member
-	// count, W vs R) before connecting.
-	opts := cluster.Options{VNodes: *vnodes, Replicas: *replicas, WriteQuorum: *quorum}
+	// The replication configuration was validated against the member count
+	// up front (validateFlags); under -bootstrap the membership is only
+	// known after discovery, so cluster.Dial re-checks it there.
+	opts := cluster.Options{VNodes: *vnodes, Replicas: *replicas, WriteQuorum: *quorum, Bootstrap: *boot}
 	ctl, err := cluster.Dial(members, opts)
 	if err != nil {
 		fatal(err)
@@ -153,14 +164,14 @@ func main() {
 	}
 	fmt.Printf("  latency:    p50=%v p90=%v p99=%v max=%v (per %d-deep batch%s)\n",
 		res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max, *pipeline, lat)
-	fmt.Printf("  client:     hits=%d misses=%d (miss ratio %.4f) sets=%d repairs=%d corrupt=%d\n",
-		res.Hits, res.Misses, res.MissRatio(), res.Sets, res.Repairs, res.Corrupt)
+	fmt.Printf("  client:     hits=%d misses=%d (miss ratio %.4f) sets=%d repairs=%d refreshes=%d corrupt=%d\n",
+		res.Hits, res.Misses, res.MissRatio(), res.Sets, res.Repairs, res.Refreshes, res.Corrupt)
 
 	after, err := ctl.StatsAll(false)
 	if err != nil {
 		fatal(err)
 	}
-	printBalance(ctl, members, before, after)
+	printBalance(ctl, before, after)
 
 	agg := cluster.AggregateStats(after)
 	fmt.Printf("  aggregate:  len=%d/%d evictions=%d conflict=%d flush=%d rehashes=%d sets=%d repairs=%d migrating=%v\n",
@@ -172,15 +183,23 @@ func main() {
 // key sample against the traffic the servers actually absorbed during the
 // run. Shares are per replica-set slot — divided by samples × R, not by
 // samples — so they sum to 100% even when every key resides on R members;
-// a per-key denominator would report R× the true residency share.
-func printBalance(ctl *cluster.Client, members []string, before, after map[string]*wire.Stats) {
+// a per-key denominator would report R× the true residency share. The
+// table header carries the topology epoch the view was sampled at, and the
+// members come from the router's current view (which under -bootstrap, or
+// after a mid-run membership change, is the discovered one rather than the
+// command line's).
+func printBalance(ctl *cluster.Client, before, after map[string]*wire.Stats) {
 	const samples = 1 << 16
 	share, replicas := ctl.OwnerSample(samples, 42)
-	sorted := append([]string(nil), members...)
-	sort.Strings(sorted)
+	fmt.Printf("  balance at topology epoch %d:\n", ctl.Epoch())
 	fmt.Printf("  %-22s %7s %12s %12s %10s %10s\n", "node", "share%", "Δhits", "Δmisses", "Δrepairs", "len")
-	for _, m := range sorted {
+	for _, m := range ctl.Nodes() {
 		b, a := before[m], after[m]
+		if b == nil || a == nil {
+			fmt.Printf("  %-22s %6.1f%%  (joined mid-run; no stats delta)\n",
+				m, 100*float64(share[m])/float64(samples*replicas))
+			continue
+		}
 		fmt.Printf("  %-22s %6.1f%% %12d %12d %10d %10d\n",
 			m, 100*float64(share[m])/float64(samples*replicas),
 			a.Hits-b.Hits, a.Misses-b.Misses, a.RepairSets-b.RepairSets, a.Len)
@@ -230,9 +249,11 @@ func buildMembers(spawn int, addrs string, k, alpha int, polName string, seed ui
 }
 
 // validateFlags rejects nonsensical parameters up front with a clear
-// error; the harness flags shared with cacheload are checked by
-// load.ValidateHarnessFlags.
-func validateFlags(spawn int, addrs string, vnodes, conns, ops, pipeline, valSize, universe int, open bool, rate float64, duration time.Duration) error {
+// error — including the replication configuration against the member
+// count, which used to surface only as a late cluster.Dial error after the
+// nodes had already been spawned; the harness flags shared with cacheload
+// are checked by load.ValidateHarnessFlags.
+func validateFlags(spawn int, addrs string, boot bool, replicas, quorum, vnodes, conns, ops, pipeline, valSize, universe int, open bool, rate float64, duration time.Duration) error {
 	switch {
 	case spawn < 0:
 		return fmt.Errorf("-spawn %d: node count must not be negative", spawn)
@@ -240,8 +261,21 @@ func validateFlags(spawn int, addrs string, vnodes, conns, ops, pipeline, valSiz
 		return fmt.Errorf("need members: -spawn N or -addrs a,b,c")
 	case spawn > 0 && addrs != "":
 		return fmt.Errorf("-spawn and -addrs are mutually exclusive")
+	case boot && addrs == "":
+		return fmt.Errorf("-bootstrap needs seed addresses: -addrs a[,b,...]")
 	case vnodes < 0:
 		return fmt.Errorf("-vnodes %d: virtual node count must not be negative", vnodes)
+	}
+	if !boot {
+		// Under -bootstrap the membership is discovered, not declared, so
+		// only cluster.Dial can check R/W against it.
+		n := spawn
+		if addrs != "" {
+			n = len(strings.Split(addrs, ","))
+		}
+		if err := cluster.ValidateReplication(replicas, quorum, n); err != nil {
+			return err
+		}
 	}
 	return load.ValidateHarnessFlags(conns, ops, pipeline, valSize, universe, open, rate, duration)
 }

@@ -8,6 +8,17 @@
 //	cached -addr :7070 -k 65536 -alpha 16 -policy clock
 //	cached -addr :7070 -k 65536 -alpha 16 -rehash-every 1048576
 //	cached -addr :7070 -k 65536 -alpha 16 -rehash-auto -rehash-conflicts 4096
+//	cached -addr :7071 -advertise host2:7071 -join host1:7070
+//
+// With -join SEED the daemon makes itself a cluster member on startup: it
+// fetches the seed's topology, adds its own advertised address under a
+// bumped epoch, and pushes the result to every member — so a cluster
+// grows one "-join first-node" at a time and any single member address
+// lets a client bootstrap the whole view (cluster.Options.Bootstrap,
+// cachecluster -bootstrap). -advertise is the address peers and clients
+// reach this node at; it defaults to -addr, which only works when that is
+// dialable as-is (e.g. loopback testing). Without -join the daemon seeds
+// its own topology with just itself, making it usable as the first seed.
 //
 // With -rehash-every N the daemon applies the paper's Section 6 schedule:
 // every N misses it draws a fresh indexing hash and migrates incrementally
@@ -24,18 +35,24 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"repro/internal/cluster"
 	"repro/internal/concurrent"
 	"repro/internal/policy"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":7070", "listen address")
+		advertise  = flag.String("advertise", "", "address peers and clients reach this node at (default: -addr)")
+		join       = flag.String("join", "", "seed address of an existing member: fetch its topology, add self, push to all members")
 		k          = flag.Int("k", 1<<16, "total cache capacity")
 		alpha      = flag.Int("alpha", 16, "set size α (must divide k); the paper recommends slightly above log₂ k")
 		polName    = flag.String("policy", "lru", "per-bucket replacement policy: lru|fifo|clock|lfu|lru2|lru3|reusedist|random|mru")
@@ -81,9 +98,41 @@ func main() {
 		srv.Close()
 	}()
 
+	// The listener must be up before -join pushes a topology that includes
+	// this node, so Serve runs on a goroutine and the join happens after.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	self := *advertise
+	if self == "" {
+		self = *addr
+	}
+	if *join == "" {
+		// A standalone node is its own one-member topology, which is what
+		// makes it usable as the first seed of a growing cluster. Installed
+		// before the listener starts accepting, so a peer joining the
+		// instant we come up can never have its founding push stomped by
+		// this self-seed.
+		srv.SetTopology(wire.Topology{Epoch: 0, Members: []string{self}})
+	}
 	log.Printf("cached: serving k=%d α=%d (%d buckets) policy=%s on %s",
 		*k, *alpha, cache.NumBuckets(), kind, *addr)
-	if err := srv.ListenAndServe(*addr); err != nil {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	if *join != "" {
+		t, err := cluster.Join(*join, self, nil)
+		if err != nil {
+			srv.Close()
+			<-serveErr
+			fatal(err)
+		}
+		log.Printf("cached: joined cluster via %s: epoch %d, members %s",
+			*join, t.Epoch, strings.Join(t.Members, " "))
+	}
+
+	if err := <-serveErr; err != nil {
 		fatal(err)
 	}
 	snap := cache.Snapshot()

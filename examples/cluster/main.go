@@ -22,6 +22,14 @@
 // fallback path while background read repair regenerates lost copies. The
 // price appears alongside: double the resident memory and write fan-out.
 //
+// Act three (replicas=2 again) shows proactive warm-up erasing act one's
+// dip: AddNode streams the newcomer's share out of the existing owners
+// (chunked KEYS + repair-SETs) on dedicated connections while live traffic
+// flows, and once the warm-up completes a full sweep reads every key
+// without fallbacks — the newcomer serves its share from the first
+// request. Act one disables warm-up (cluster.Options.DisableWarmup) on
+// purpose, to show the burst that warm-up exists to kill.
+//
 // Run with: go run ./examples/cluster
 package main
 
@@ -127,9 +135,12 @@ func shares(ctl *cluster.Client) {
 func main() {
 	actOne()
 	actTwo()
+	actThree()
 }
 
-// actOne is the original unreplicated membership walkthrough.
+// actOne is the original unreplicated membership walkthrough. Warm-up is
+// disabled so the post-join miss burst — the thing act three kills — is
+// visible.
 func actOne() {
 	var servers []*server.Server
 	var addrs []string
@@ -144,7 +155,7 @@ func actOne() {
 		}
 	}()
 
-	ctl, err := cluster.Dial(addrs, cluster.Options{})
+	ctl, err := cluster.Dial(addrs, cluster.Options{DisableWarmup: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -161,7 +172,7 @@ func actOne() {
 
 	addr4, srv4 := startNode(4)
 	servers = append(servers, srv4)
-	if err := ctl.AddNode(addr4); err != nil {
+	if _, err := ctl.AddNode(addr4); err != nil {
 		log.Fatal(err)
 	}
 	ratio, qps = tr.window(250 * time.Millisecond)
@@ -263,4 +274,74 @@ func actTwo() {
 	fmt.Printf("aggregate: len=%d/%d hits=%d misses=%d user sets=%d repair sets=%d\n",
 		agg.Len, agg.Capacity, agg.Hits, agg.Misses, agg.Sets, agg.RepairSets)
 	fmt.Println("\nzero reads lost to a node crash: that is what R=2 buys for 2× memory and write fan-out.")
+}
+
+// actThree replays act one's join with warm-up on: the newcomer's share is
+// streamed into it before user reads ever ask for it, so the post-join dip
+// all but disappears and a sweep after Wait() needs no replica fallbacks.
+func actThree() {
+	var servers []*server.Server
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		addr, srv := startNode(uint64(i + 20))
+		addrs = append(addrs, addr)
+		servers = append(servers, srv)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	ctl, err := cluster.Dial(addrs, cluster.Options{Replicas: 2, WriteQuorum: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctl.Close()
+	fmt.Printf("\nact three — same cluster, replicas=2, this time with proactive warm-up on AddNode\n\n")
+
+	keys := workload.Zipf{Universe: universe, S: 0.9, Shuffle: true}.Generate(1<<20, 13)
+	tr := startTraffic(ctl, keys)
+
+	ratio, qps := tr.window(700 * time.Millisecond)
+	fmt.Printf("steady state:       hit ratio %.3f at %.0f GET/s  (epoch %d)\n", ratio, qps, ctl.Epoch())
+
+	addr4, srv4 := startNode(24)
+	servers = append(servers, srv4)
+	rep0 := ctl.Replication()
+	w, err := ctl.AddNode(addr4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAddNode(%s) — warm-up streaming the newcomer's share in the background:\n", addr4)
+	ratio, qps = tr.window(250 * time.Millisecond)
+	fmt.Printf("  during warm-up:   hit ratio %.3f at %.0f GET/s\n", ratio, qps)
+	ws := w.Wait()
+	fmt.Printf("  warm-up done:     %d keys streamed, %d copied in, %d vanished mid-copy (err=%v)\n",
+		ws.Streamed, ws.Copied, ws.Vanished, ws.Err)
+	ratio, qps = tr.window(700 * time.Millisecond)
+	fmt.Printf("  after:            hit ratio %.3f at %.0f GET/s  (epoch %d)\n", ratio, qps, ctl.Epoch())
+	shares(ctl)
+
+	close(tr.stop)
+	<-tr.done
+
+	// The proof: a full sweep of the hot set after warm-up needs (almost)
+	// no replica fallbacks — the newcomer answers for its share directly.
+	sweep := make([]uint64, universe)
+	for i := range sweep {
+		sweep[i] = uint64(keys[i%len(keys)])
+	}
+	fb0 := ctl.Replication().FallbackHits - rep0.FallbackHits
+	misses := 0
+	if err := ctl.GetBatch(sweep, func(_ int, hit bool, _ []byte) {
+		if !hit {
+			misses++
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fb := ctl.Replication().FallbackHits - rep0.FallbackHits - fb0
+	fmt.Printf("\npost-warm-up sweep of %d reads: %d misses, %d replica fallbacks — the join cost user reads ≈ nothing.\n",
+		len(sweep), misses, fb)
 }

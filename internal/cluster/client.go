@@ -2,17 +2,11 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/wire"
 )
-
-// DialFunc establishes the wire connection to one member. The default is
-// wire.Dial; tests substitute wrappers (stall injection) and deployments
-// can layer TLS here.
-type DialFunc func(addr string) (*wire.Client, error)
 
 // Options configures a Client.
 type Options struct {
@@ -29,13 +23,27 @@ type Options struct {
 	// through R-W node failures at the cost of leaving the failed owners
 	// stale until read repair catches them.
 	WriteQuorum int
+	// Bootstrap treats the dialed addresses as seeds rather than the
+	// membership: the member list comes from the highest-epoch MEMBERS
+	// view any seed reports, so a single address of an established
+	// cluster is enough to route to all of it.
+	Bootstrap bool
+	// DisableWarmup turns off the proactive replica warm-up AddNode
+	// otherwise starts; the newcomer's share then refills lazily through
+	// read-through misses and read repair instead.
+	DisableWarmup bool
 	// Dial overrides the member connection factory (default wire.Dial).
 	Dial DialFunc
 }
 
-// Client routes cache traffic across a cluster of cached nodes: keys map to
-// members through a consistent-hash ring, each member is served by one
-// pipelined wire connection, and STATS/REHASH fan out to every member.
+// Client routes cache traffic across a cluster of cached nodes. It is
+// built from two explicit layers: a topology layer (topology.go) — the
+// consistent-hash ring plus the epoch-versioned member list, kept
+// converged with the cluster through piggybacked epoch checks, MEMBERS
+// refreshes and TOPOLOGY pushes — and a transport layer (transport.go),
+// one pipelined wire connection per member, lazily dialed and redialed
+// once on failure. Keys map to members through the ring and STATS/REHASH
+// fan out to every member.
 //
 // With Options.Replicas = R > 1 the Client replicates each key across the
 // ring's first R distinct owners: SETs fan out to all R (W of them must
@@ -48,11 +56,11 @@ type Options struct {
 //
 // A Client is safe for concurrent use. Batches against distinct members
 // proceed in parallel; batches sharing a member serialize on that member's
-// connection. Membership changes (AddNode, RemoveNode) exclude all traffic
-// for their duration, which is what makes RemoveNode's migration
-// accounting exact. For peak throughput the load harness opens one Client
-// per worker, exactly as it opens one wire.Client per worker against a
-// single node.
+// connection. Membership changes (AddNode, RemoveNode, an adopted refresh)
+// exclude all traffic for their duration, which is what makes RemoveNode's
+// migration accounting exact. For peak throughput the load harness opens
+// one Client per worker, exactly as it opens one wire.Client per worker
+// against a single node.
 //
 // A member connection that fails is redialed once per operation; if the
 // redial or the replay fails too, the error surfaces to the caller — or,
@@ -62,12 +70,29 @@ type Options struct {
 type Client struct {
 	dial     DialFunc
 	vnodes   int
-	replicas int // R; ≤1 means unreplicated
-	quorum   int // W; 0 means R
+	replicas int  // R; ≤1 means unreplicated
+	quorum   int  // W; 0 means R
+	noWarmup bool // Options.DisableWarmup
 
-	mu    sync.RWMutex // guards ring and nodes; write side = membership changes
+	mu    sync.RWMutex // guards ring, nodes and epoch; write side = membership changes
 	ring  *Ring
 	nodes map[string]*nodeConn
+	epoch uint64 // topology epoch of the current view
+
+	// curEpoch mirrors epoch and staleEpoch records the highest epoch seen
+	// in any response above it, so the hot path detects staleness with two
+	// atomic loads; refreshes counts adopted refreshes.
+	curEpoch   atomic.Uint64
+	staleEpoch atomic.Uint64
+	refreshes  atomic.Uint64
+	closed     atomic.Bool
+
+	// Warm-up bookkeeping: the dedicated connections of in-flight warm-ups
+	// (so Close can interrupt their streams) and a WaitGroup Close waits on
+	// so no warm-up goroutine outlives the client.
+	warmupMu    sync.Mutex
+	warmupConns map[*wire.Client]struct{}
+	warmupWG    sync.WaitGroup
 
 	// Read-repair machinery: detected-stale replicas are queued here and a
 	// single background goroutine re-SETs them with wire.SetFlagRepair.
@@ -81,76 +106,112 @@ type Client struct {
 	repairsDropped   atomic.Uint64
 }
 
-// nodeConn is one member's connection state plus the router's per-member
-// traffic counters.
-type nodeConn struct {
-	addr string
-	mu   sync.Mutex // serializes use of cl
-	cl   *wire.Client
-
-	gets, hits, misses, sets, dels, redials, repairs atomic.Uint64
-}
-
-// client returns the live connection, dialing if needed. Caller holds nc.mu.
-func (nc *nodeConn) client(dial DialFunc) (*wire.Client, error) {
-	if nc.cl != nil {
-		return nc.cl, nil
-	}
-	cl, err := dial(nc.addr)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: dial %s: %w", nc.addr, err)
-	}
-	nc.cl = cl
-	return cl, nil
-}
-
-// drop discards the connection after an error. Caller holds nc.mu.
-func (nc *nodeConn) drop() {
-	if nc.cl != nil {
-		nc.cl.Close()
-		nc.cl = nil
-	}
-}
-
-// Dial connects to every member and returns a routing client.
+// Dial builds a routing client. Without Options.Bootstrap, addrs is the
+// membership: every address is dialed eagerly and, unless the members
+// already hold exactly this view, a bumped topology is pushed at them so
+// later clients can bootstrap from any one of them. With Options.Bootstrap
+// the addresses are seeds: the membership is discovered through MEMBERS
+// and one live seed suffices.
 func Dial(addrs []string, opts Options) (*Client, error) {
 	if err := Validate(opts.VNodes, addrs); err != nil {
-		return nil, err
-	}
-	if err := ValidateReplication(opts.Replicas, opts.WriteQuorum, len(addrs)); err != nil {
 		return nil, err
 	}
 	dial := opts.Dial
 	if dial == nil {
 		dial = wire.Dial
 	}
-	c := &Client{
-		dial:       dial,
-		vnodes:     opts.VNodes,
-		replicas:   opts.Replicas,
-		quorum:     opts.WriteQuorum,
-		ring:       NewRing(opts.VNodes, addrs...),
-		nodes:      make(map[string]*nodeConn, len(addrs)),
-		repairCh:   make(chan repairTask, repairQueueDepth),
-		repairDone: make(chan struct{}),
+	members := addrs
+	var epoch uint64
+	var push bool
+	if opts.Bootstrap {
+		var err error
+		members, epoch, push, err = resolveSeeds(addrs, dial)
+		if err != nil {
+			return nil, err
+		}
 	}
+	if err := ValidateReplication(opts.Replicas, opts.WriteQuorum, len(members)); err != nil {
+		return nil, err
+	}
+	c := &Client{
+		dial:        dial,
+		vnodes:      opts.VNodes,
+		replicas:    opts.Replicas,
+		quorum:      opts.WriteQuorum,
+		noWarmup:    opts.DisableWarmup,
+		ring:        NewRing(opts.VNodes, members...),
+		epoch:       epoch,
+		nodes:       make(map[string]*nodeConn, len(members)),
+		warmupConns: make(map[*wire.Client]struct{}),
+		repairCh:    make(chan repairTask, repairQueueDepth),
+		repairDone:  make(chan struct{}),
+	}
+	c.curEpoch.Store(epoch)
 	// The repair worker starts before the member dials so that the error
 	// path below can Close (which waits for the worker) without hanging.
 	go c.repairLoop()
-	for _, a := range addrs {
+	for _, a := range members {
 		nc := &nodeConn{addr: a}
-		if _, err := nc.client(dial); err != nil {
-			c.Close()
-			return nil, err
+		// Explicitly listed members are dialed eagerly so a typo fails
+		// fast. Bootstrap-discovered members are dialed lazily instead: a
+		// crashed member must not block new routers from joining a cluster
+		// whose whole design (replica fallback, drainless RemoveNode of a
+		// dead address) tolerates it.
+		if !opts.Bootstrap {
+			if _, err := nc.client(dial); err != nil {
+				c.Close()
+				return nil, err
+			}
 		}
 		c.nodes[a] = nc
+	}
+	if !opts.Bootstrap {
+		// Probe each member's MEMBERS view through the pooled connection
+		// just dialed (no second handshake) to settle the starting epoch:
+		// adopt the members' epoch when they already hold exactly this
+		// view, else advance past every reported epoch and push.
+		views := make(map[string]wire.Topology, len(members))
+		for _, a := range members {
+			nc := c.nodes[a]
+			nc.mu.Lock()
+			var t wire.Topology
+			err := nc.withRetry(dial, func(cl *wire.Client) error {
+				var err error
+				t, err = cl.Members()
+				return err
+			})
+			nc.mu.Unlock()
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: MEMBERS %s: %w", a, err)
+			}
+			views[a] = t
+		}
+		c.mu.Lock()
+		c.epoch, push = explicitEpoch(views, members)
+		c.curEpoch.Store(c.epoch)
+		c.mu.Unlock()
+	}
+	if push {
+		c.mu.Lock()
+		c.pushTopologyLocked()
+		c.mu.Unlock()
 	}
 	return c, nil
 }
 
-// Close stops the read-repair worker and tears down every member
-// connection.
+// Close stops the read-repair worker, interrupts and waits out any
+// in-flight warm-up, and tears down every member connection.
 func (c *Client) Close() error {
+	c.closed.Store(true)
+	// Closing the dedicated connections aborts warm-up streams mid-flight;
+	// the goroutines then exit through their error paths and the WaitGroup
+	// at the bottom guarantees none outlives this call.
+	c.warmupMu.Lock()
+	for cl := range c.warmupConns {
+		cl.Close()
+	}
+	c.warmupMu.Unlock()
 	c.mu.Lock()
 	wait := false
 	if !c.repairClosed {
@@ -177,6 +238,7 @@ func (c *Client) Close() error {
 		}
 		c.mu.Unlock()
 	}
+	c.warmupWG.Wait()
 	return nil
 }
 
@@ -240,14 +302,6 @@ func (c *Client) OwnerSample(n int, seed uint64) (share map[string]int, replicas
 	return c.ring.SampleOwners(n, r, seed), r
 }
 
-// subBatch is the slice of one batch owned by a single member.
-type subBatch struct {
-	nc        *nodeConn
-	idx       []int // positions in the original batch, in enqueue order
-	err       error
-	delivered int
-}
-
 // partition splits keys by owning member. Caller holds c.mu (either side).
 func (c *Client) partition(keys []uint64) ([]*subBatch, error) {
 	byNode := make(map[*nodeConn]*subBatch)
@@ -270,25 +324,6 @@ func (c *Client) partition(keys []uint64) ([]*subBatch, error) {
 	return subs, nil
 }
 
-// sortSubs orders sub-batches by member address. Lock acquisition must be
-// totally ordered to stay deadlock-free across concurrent batches.
-func sortSubs(subs []*subBatch) {
-	sort.Slice(subs, func(i, j int) bool { return subs[i].nc.addr < subs[j].nc.addr })
-}
-
-// lockSubs acquires every involved member connection in address order and
-// returns the matching unlock.
-func lockSubs(subs []*subBatch) func() {
-	for _, s := range subs {
-		s.nc.mu.Lock()
-	}
-	return func() {
-		for _, s := range subs {
-			s.nc.mu.Unlock()
-		}
-	}
-}
-
 // GetBatch routes one GET per key and calls visit exactly once per key. All
 // members' pipelines are flushed before any response is read, so the batch
 // costs one round trip regardless of how many members it spans; under
@@ -297,6 +332,7 @@ func lockSubs(subs []*subBatch) func() {
 // connection buffer valid only for the duration of the call. Visit order is
 // unspecified beyond key order within one member's sub-batch.
 func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byte)) error {
+	c.maybeRefresh()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.effReplicas() > 1 {
@@ -314,7 +350,7 @@ func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byt
 	}
 	for _, s := range subs {
 		if s.err == nil {
-			s.err = s.readGets(keys, visit)
+			s.err = c.readGets(s, keys, visit)
 		}
 		if s.err != nil {
 			if s.delivered > 0 {
@@ -323,7 +359,7 @@ func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byt
 				dropSubs(subs)
 				return s.err
 			}
-			if err := s.replayGets(c.dial, keys, visit); err != nil {
+			if err := c.replayGets(s, keys, visit); err != nil {
 				dropSubs(subs)
 				return err
 			}
@@ -332,35 +368,16 @@ func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byt
 	return nil
 }
 
-// dropSubs discards every involved member connection after a failed batch:
-// some were flushed but never fully drained, and reusing one would hand a
-// later batch the stale responses of this one. Callers hold the node locks.
-func dropSubs(subs []*subBatch) {
-	for _, s := range subs {
-		s.nc.drop()
-	}
-}
-
-func (s *subBatch) enqueueGets(dial DialFunc, keys []uint64) error {
-	cl, err := s.nc.client(dial)
-	if err != nil {
-		return err
-	}
-	for _, i := range s.idx {
-		if err := cl.EnqueueGet(keys[i]); err != nil {
-			return err
-		}
-	}
-	return cl.Flush()
-}
-
-func (s *subBatch) readGets(keys []uint64, visit func(i int, hit bool, value []byte)) error {
+// readGets drains one sub-batch's GET responses, observing the topology
+// epoch each one carries.
+func (c *Client) readGets(s *subBatch, keys []uint64, visit func(i int, hit bool, value []byte)) error {
 	cl := s.nc.cl
 	for _, i := range s.idx {
 		resp, err := cl.ReadResponse()
 		if err != nil {
 			return err
 		}
+		c.observeEpoch(resp.Epoch)
 		hit := false
 		switch resp.Status {
 		case wire.StatusHit:
@@ -379,13 +396,13 @@ func (s *subBatch) readGets(keys []uint64, visit func(i int, hit bool, value []b
 }
 
 // replayGets redials once and replays an entirely undelivered sub-batch.
-func (s *subBatch) replayGets(dial DialFunc, keys []uint64, visit func(i int, hit bool, value []byte)) error {
+func (c *Client) replayGets(s *subBatch, keys []uint64, visit func(i int, hit bool, value []byte)) error {
 	s.nc.drop()
 	s.nc.redials.Add(1)
-	if err := s.enqueueGets(dial, keys); err != nil {
+	if err := s.enqueueGets(c.dial, keys); err != nil {
 		return err
 	}
-	return s.readGets(keys, visit)
+	return c.readGets(s, keys, visit)
 }
 
 // SetBatch routes one SET per key, with value(i) producing the i-th
@@ -394,6 +411,7 @@ func (s *subBatch) replayGets(dial DialFunc, keys []uint64, visit func(i int, hi
 // acknowledged by at least W of them; owners that failed their write while
 // the key still met quorum are queued for background repair.
 func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
+	c.maybeRefresh()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.effReplicas() > 1 {
@@ -411,7 +429,7 @@ func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
 	}
 	for _, s := range subs {
 		if s.err == nil {
-			s.err = s.readSets()
+			s.err = c.readSets(s)
 		}
 		if s.err != nil {
 			if s.delivered > 0 {
@@ -424,7 +442,7 @@ func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
 				dropSubs(subs)
 				return err
 			}
-			if err := s.readSets(); err != nil {
+			if err := c.readSets(s); err != nil {
 				dropSubs(subs)
 				return err
 			}
@@ -433,26 +451,16 @@ func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
 	return nil
 }
 
-func (s *subBatch) enqueueSets(dial DialFunc, keys []uint64, value func(i int) []byte) error {
-	cl, err := s.nc.client(dial)
-	if err != nil {
-		return err
-	}
-	for _, i := range s.idx {
-		if err := cl.EnqueueSet(keys[i], value(i)); err != nil {
-			return err
-		}
-	}
-	return cl.Flush()
-}
-
-func (s *subBatch) readSets() error {
+// readSets drains one sub-batch's SET responses, observing the topology
+// epoch each one carries.
+func (c *Client) readSets(s *subBatch) error {
 	cl := s.nc.cl
 	for range s.idx {
 		resp, err := cl.ReadResponse()
 		if err != nil {
 			return err
 		}
+		c.observeEpoch(resp.Epoch)
 		if resp.Status != wire.StatusOK {
 			return fmt.Errorf("cluster: unexpected SET response %v from %s", resp.Status, s.nc.addr)
 		}
@@ -488,6 +496,7 @@ func (c *Client) Set(key uint64, value []byte) error {
 // unreachable owner fails the call, since leaving a live copy behind would
 // resurrect the key through read repair.
 func (c *Client) Del(key uint64) (bool, error) {
+	c.maybeRefresh()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	owners := c.ring.OwnersFor(key, c.effReplicas())
@@ -502,6 +511,7 @@ func (c *Client) Del(key uint64) (bool, error) {
 		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
 			p, err := cl.Del(key)
 			present = present || p
+			c.observeEpoch(cl.LastEpoch())
 			return err
 		})
 		nc.mu.Unlock()
@@ -512,31 +522,10 @@ func (c *Client) Del(key uint64) (bool, error) {
 	return present, nil
 }
 
-// withRetry runs op against the member connection, redialing once on
-// failure. Caller holds nc.mu. Only safe for idempotent round trips.
-func (nc *nodeConn) withRetry(dial DialFunc, op func(cl *wire.Client) error) error {
-	cl, err := nc.client(dial)
-	if err == nil {
-		if err = op(cl); err == nil {
-			return nil
-		}
-	}
-	nc.drop()
-	nc.redials.Add(1)
-	cl, err2 := nc.client(dial)
-	if err2 != nil {
-		return fmt.Errorf("%w (redial: %v)", err, err2)
-	}
-	if err := op(cl); err != nil {
-		nc.drop()
-		return err
-	}
-	return nil
-}
-
 // StatsAll fans STATS out to every member and returns the snapshots keyed
 // by address.
 func (c *Client) StatsAll(detail bool) (map[string]*wire.Stats, error) {
+	c.maybeRefresh()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := make(map[string]*wire.Stats, len(c.nodes))
@@ -547,6 +536,7 @@ func (c *Client) StatsAll(detail bool) (map[string]*wire.Stats, error) {
 			st, err := cl.Stats(detail)
 			if err == nil {
 				out[addr] = st
+				c.observeEpoch(cl.LastEpoch())
 			}
 			return err
 		})
@@ -591,6 +581,8 @@ func AggregateStats(stats map[string]*wire.Stats) wire.Stats {
 		agg.Rehashes += st.Rehashes
 		agg.Sets += st.Sets
 		agg.RepairSets += st.RepairSets
+		agg.RepairQueueDepth += st.RepairQueueDepth
+		agg.RepairsShed += st.RepairsShed
 		agg.Pending += st.Pending
 		agg.Len += st.Len
 		agg.Capacity += st.Capacity
@@ -607,8 +599,9 @@ func AggregateStats(stats map[string]*wire.Stats) wire.Stats {
 }
 
 // NodeCounters is the router's per-member traffic tally. Repairs counts
-// background read-repair SETs written to the member, kept separate from
-// Sets so replica maintenance never reads as user write traffic.
+// background read-repair, migration and warm-up SETs written to the
+// member, kept separate from Sets so replica maintenance never reads as
+// user write traffic.
 type NodeCounters struct {
 	Gets, Hits, Misses, Sets, Dels, Redials, Repairs uint64
 }
@@ -626,150 +619,4 @@ func (c *Client) Counters() map[string]NodeCounters {
 		}
 	}
 	return out
-}
-
-// AddNode joins a new member: its connection is dialed eagerly (failing
-// fast on a bad address) and the ring is extended. No data moves at join
-// time — consistent hashing bounds the reassigned share to roughly
-// 1/(n+1) of the key space, and those keys simply miss on the new member
-// and refill through the caller's read-through path, exactly like the
-// fresh buckets after an intra-node rehash.
-func (c *Client) AddNode(addr string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.nodes[addr]; exists {
-		return fmt.Errorf("cluster: node %s already a member", addr)
-	}
-	nc := &nodeConn{addr: addr}
-	if _, err := nc.client(c.dial); err != nil {
-		return err
-	}
-	c.nodes[addr] = nc
-	c.ring.Add(addr)
-	return nil
-}
-
-// migrateChunk bounds how many keys RemoveNode drains per pipelined round
-// trip, keeping peak buffering (chunk × value size) modest.
-const migrateChunk = 256
-
-// RemoveNode retires a member. Unreplicated (R = 1), it migrates the
-// departing node's residents to their new owners before the connection
-// closes: the cluster-level analogue of the paper's incremental rehash,
-// where no entry is lost except by accounted eviction. moved counts entries
-// re-stored on their new owner (which may evict there — the destination's
-// eviction counters account for it); dropped counts entries that vanished
-// between the key snapshot and the drain (concurrent eviction on the
-// departing member).
-//
-// With R > 1 the drain is unnecessary and RemoveNode becomes cheap: every
-// resident of the departing node also lives on R-1 surviving owners, so
-// the member is simply dropped from the ring (moved and dropped are 0) and
-// the key's new R-th owner refills lazily through read repair. Because
-// this path never contacts the departing node, it also handles a crashed
-// member: RemoveNode on a dead address cleans it out of the ring and stops
-// the router paying a failed dial per batch.
-//
-// RemoveNode excludes all other traffic on this Client for its duration.
-func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	nc, ok := c.nodes[addr]
-	if !ok {
-		return 0, 0, fmt.Errorf("cluster: node %s is not a member", addr)
-	}
-	if c.ring.NumNodes() == 1 {
-		return 0, 0, fmt.Errorf("cluster: cannot remove the last member %s", addr)
-	}
-	if c.effReplicas() > 1 {
-		nc.mu.Lock()
-		nc.drop()
-		nc.mu.Unlock()
-		delete(c.nodes, addr)
-		c.ring.Remove(addr)
-		return 0, 0, nil
-	}
-
-	nc.mu.Lock()
-	defer nc.mu.Unlock()
-	var keys []uint64
-	if err := nc.withRetry(c.dial, func(cl *wire.Client) error {
-		var err error
-		keys, err = cl.Keys()
-		return err
-	}); err != nil {
-		return 0, 0, fmt.Errorf("cluster: KEYS %s: %w", addr, err)
-	}
-
-	// Reroute first so owners are computed against the post-removal ring,
-	// then drain the departing member chunk by chunk. If the drain fails
-	// the member is restored: leaving it removed would orphan its
-	// undrained residents outside both the moved and dropped counts.
-	c.ring.Remove(addr)
-	drained := false
-	defer func() {
-		if drained {
-			nc.drop()
-			delete(c.nodes, addr)
-		} else {
-			c.ring.Add(addr)
-		}
-	}()
-
-	src := nc.cl
-	for off := 0; off < len(keys); off += migrateChunk {
-		end := off + migrateChunk
-		if end > len(keys) {
-			end = len(keys)
-		}
-		chunk := keys[off:end]
-
-		vals := make([][]byte, len(chunk))
-		hit := make([]bool, len(chunk))
-		if err := src.GetBatch(chunk, func(i int, h bool, v []byte) {
-			if h {
-				hit[i] = true
-				vals[i] = append([]byte(nil), v...)
-			}
-		}); err != nil {
-			return moved, dropped, fmt.Errorf("cluster: draining %s: %w", addr, err)
-		}
-
-		// Partition the chunk's survivors by new owner and re-store them.
-		byOwner := make(map[*nodeConn][]int)
-		for i, k := range chunk {
-			if !hit[i] {
-				dropped++
-				continue
-			}
-			owner, ok := c.ring.Node(k)
-			if !ok {
-				return moved, dropped, fmt.Errorf("cluster: empty ring during migration")
-			}
-			byOwner[c.nodes[owner]] = append(byOwner[c.nodes[owner]], i)
-		}
-		for dst, idx := range byOwner {
-			dst.mu.Lock()
-			err := dst.withRetry(c.dial, func(cl *wire.Client) error {
-				sub := make([]uint64, len(idx))
-				for j, i := range idx {
-					sub[j] = chunk[i]
-				}
-				// Migration writes carry the repair flag: they are replica
-				// maintenance, not user traffic, and the destination's
-				// STATS keeps them out of its user SET count.
-				return cl.SetBatchFlags(sub, wire.SetFlagRepair, func(j int) []byte { return vals[idx[j]] })
-			})
-			if err == nil {
-				dst.repairs.Add(uint64(len(idx)))
-			}
-			dst.mu.Unlock()
-			if err != nil {
-				return moved, dropped, fmt.Errorf("cluster: migrating to %s: %w", dst.addr, err)
-			}
-			moved += len(idx)
-		}
-	}
-	drained = true
-	return moved, dropped, nil
 }

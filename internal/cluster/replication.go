@@ -120,8 +120,13 @@ func (c *Client) applyRepair(t repairTask) {
 			continue
 		}
 		nc.mu.Lock()
+		// Repair carries the ASYNC flag too: the server applies it through
+		// its bounded maintenance queue (and may shed it under overload),
+		// which is fine — a shed repair is retried by the next fallback
+		// read of the key, exactly like one shed from this router's own
+		// queue.
 		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
-			_, err := cl.SetFlags(t.key, wire.SetFlagRepair, t.val)
+			_, err := cl.SetFlags(t.key, wire.SetFlagRepair|wire.SetFlagAsync, t.val)
 			return err
 		})
 		if err == nil {
@@ -246,6 +251,7 @@ func (c *Client) readGetsReplicated(s *subBatch, keys []uint64, round int, last 
 		if err != nil {
 			return err
 		}
+		c.observeEpoch(resp.Epoch)
 		switch resp.Status {
 		case wire.StatusHit:
 			s.nc.hits.Add(1)
@@ -313,7 +319,7 @@ func (c *Client) setBatchReplicated(keys []uint64, value func(i int) []byte) err
 	var lastErr error
 	for _, s := range subs {
 		if s.err == nil {
-			s.err = s.readSetsAcked(acks)
+			s.err = c.readSetsAcked(s, acks)
 		}
 		if s.err != nil && s.delivered == 0 {
 			s.nc.drop()
@@ -321,7 +327,7 @@ func (c *Client) setBatchReplicated(keys []uint64, value func(i int) []byte) err
 			if err := s.enqueueSets(c.dial, keys, value); err != nil {
 				s.err = err
 			} else {
-				s.err = s.readSetsAcked(acks)
+				s.err = c.readSetsAcked(s, acks)
 			}
 		}
 		if s.err != nil {
@@ -351,14 +357,15 @@ func (c *Client) setBatchReplicated(keys []uint64, value func(i int) []byte) err
 }
 
 // readSetsAcked drains one sub-batch's SET responses, crediting one ack per
-// key as it goes.
-func (s *subBatch) readSetsAcked(acks []int) error {
+// key as it goes and observing the topology epoch each response carries.
+func (c *Client) readSetsAcked(s *subBatch, acks []int) error {
 	cl := s.nc.cl
 	for _, i := range s.idx[s.delivered:] {
 		resp, err := cl.ReadResponse()
 		if err != nil {
 			return err
 		}
+		c.observeEpoch(resp.Epoch)
 		if resp.Status != wire.StatusOK {
 			return fmt.Errorf("cluster: unexpected SET response %v from %s", resp.Status, s.nc.addr)
 		}

@@ -20,8 +20,17 @@
 // quorum, reads fall back through the set on a miss or node failure, and
 // background read repair regenerates stale or missing copies — so losing
 // a node loses no reads, and retiring one (alive or crashed) needs no
-// migration drain. See ARCHITECTURE.md for the full replication and
-// wire-protocol story.
+// migration drain.
+//
+// Membership itself is epoch-versioned and self-converging: every server
+// stores the latest topology pushed at it, stamps its epoch into every
+// response, and serves it back via MEMBERS — so a router bootstraps from
+// one seed address (Options.Bootstrap), detects membership changes by the
+// epochs piggybacked on its normal traffic, and refreshes without polling
+// or operator fan-out. AddNode additionally warms the newcomer up by
+// streaming its share out of the existing owners (chunked KEYS +
+// repair-SETs), killing the post-join miss burst. See ARCHITECTURE.md for
+// the full replication, topology and wire-protocol story.
 package cluster
 
 import (

@@ -1,0 +1,699 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// This file is the topology layer of the router: the epoch-versioned
+// member list and everything that changes or converges it.
+//
+// The cluster's membership is a wire.Topology — a member list stamped with
+// a monotonically increasing epoch — and every member server stores the
+// latest one pushed at it. Whoever changes membership (AddNode,
+// RemoveNode, a joining cached via Join) bumps the epoch and pushes the
+// new topology to every member; every response any server sends carries
+// its current epoch, so a router detects staleness by comparing response
+// epochs against its own and refreshes via MEMBERS only when behind. The
+// net effect is the cluster-level analogue of the paper's incremental
+// rehash discipline applied to membership itself: changes propagate
+// incrementally, piggybacked on normal traffic, with no operator fan-out
+// and no polling.
+//
+// Conflict resolution is last-writer-wins on the epoch: two routers
+// changing membership concurrently can race, the higher epoch prevails,
+// and the loser's view heals at its next refresh. This is a cache, not a
+// consensus system — a transiently wrong view costs extra misses and
+// repairs, never lost acknowledged data beyond what the R/W quorum
+// already permits.
+
+// warmupChunk bounds how many keys a warm-up copies per pipelined round
+// trip, mirroring migrateChunk.
+const warmupChunk = 256
+
+// readChunkValues reads one chunk of keys from cl in a pipelined batch,
+// returning stable copies of the surviving values and the chunk indices
+// that hit. Both maintenance copy paths — warm-up and the migration drain
+// — read through it, so the value-copy rule (connection buffers alias) and
+// the survivors-versus-vanished split live in one place.
+func readChunkValues(cl *wire.Client, chunk []uint64) (vals [][]byte, hits []int, err error) {
+	vals = make([][]byte, len(chunk))
+	err = cl.GetBatch(chunk, func(i int, h bool, v []byte) {
+		if h {
+			vals[i] = append([]byte(nil), v...)
+			hits = append(hits, i)
+		}
+	})
+	return vals, hits, err
+}
+
+// observeEpoch records a topology epoch seen in a response. An epoch above
+// the router's own marks the view stale; the next operation refreshes it.
+func (c *Client) observeEpoch(e uint64) {
+	if e <= c.curEpoch.Load() {
+		return
+	}
+	for {
+		cur := c.staleEpoch.Load()
+		if e <= cur || c.staleEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// maybeRefresh refreshes the topology if a newer epoch has been observed.
+// It is called at the top of every routing operation, so staleness
+// detected by one batch is healed before the next.
+func (c *Client) maybeRefresh() {
+	if c.staleEpoch.Load() > c.curEpoch.Load() {
+		c.refreshTopology()
+	}
+}
+
+// refreshTopology fetches MEMBERS from the current members, adopts the
+// highest-epoch view found if it is newer than the held one, and pushes
+// the adopted view back out so members that missed the original push
+// converge too. Membership changes and all traffic are excluded for the
+// duration.
+func (c *Client) refreshTopology() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.staleEpoch.Load() <= c.epoch {
+		return // another caller refreshed first
+	}
+	var best wire.Topology
+	for _, addr := range c.ring.Nodes() {
+		nc := c.nodes[addr]
+		nc.mu.Lock()
+		var t wire.Topology
+		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
+			var err error
+			t, err = cl.Members()
+			return err
+		})
+		nc.mu.Unlock()
+		if err == nil && t.Epoch > best.Epoch && len(t.Members) > 0 {
+			best = t
+		}
+	}
+	c.staleEpoch.Store(0)
+	if best.Epoch > c.epoch && len(best.Members) > 0 {
+		c.adoptLocked(best)
+		c.refreshes.Add(1)
+		c.pushTopologyLocked()
+	}
+}
+
+// adoptLocked installs t as the router's view: the ring is rebuilt, node
+// connections of retained members are kept, removed members are dropped,
+// and new members get lazily dialed connections. Caller holds c.mu.
+func (c *Client) adoptLocked(t wire.Topology) {
+	old := c.nodes
+	c.nodes = make(map[string]*nodeConn, len(t.Members))
+	for _, m := range t.Members {
+		if nc := old[m]; nc != nil {
+			c.nodes[m] = nc
+			delete(old, m)
+		} else {
+			c.nodes[m] = &nodeConn{addr: m}
+		}
+	}
+	for _, nc := range old {
+		nc.mu.Lock()
+		nc.drop()
+		nc.mu.Unlock()
+	}
+	c.ring = NewRing(c.vnodes, t.Members...)
+	c.epoch = t.Epoch
+	c.curEpoch.Store(t.Epoch)
+}
+
+// pushTopologyLocked offers the router's current view to every member,
+// best-effort: an unreachable member stays stale until the next push or a
+// peer's refresh, and its staleness is visible in the epoch it stamps on
+// responses. The push responses close the race loop: a member reporting a
+// strictly newer view means this router already lost (the newer view is
+// adopted — last-writer-wins, and this push's change may be partially
+// undone), while a member holding a *different* view at the *same* epoch
+// is a tie the epoch piggyback could never surface, so the router
+// escalates — bumps its epoch above the tie and re-pushes, making its
+// view strictly newest. Ties under continuous simultaneous membership
+// changes could in principle re-escalate, so attempts are bounded; any
+// residue converges at the next change or refresh. Caller holds c.mu.
+func (c *Client) pushTopologyLocked() {
+	for attempt := 0; attempt < 4; attempt++ {
+		t := wire.Topology{Epoch: c.epoch, Members: c.ring.Nodes()}
+		var newer wire.Topology
+		tied := false
+		for _, addr := range t.Members {
+			nc := c.nodes[addr]
+			nc.mu.Lock()
+			var held wire.Topology
+			err := nc.withRetry(c.dial, func(cl *wire.Client) error {
+				var err error
+				held, err = cl.PushTopology(t)
+				return err
+			})
+			nc.mu.Unlock()
+			if err != nil || len(held.Members) == 0 {
+				continue
+			}
+			switch {
+			case held.Epoch > newer.Epoch && held.Epoch > t.Epoch:
+				newer = held
+			case held.Epoch == t.Epoch && !sameMembers(held.Members, t.Members):
+				tied = true
+			}
+		}
+		if newer.Epoch > c.epoch {
+			c.adoptLocked(newer)
+			return
+		}
+		if !tied {
+			return
+		}
+		c.epoch++
+		c.curEpoch.Store(c.epoch)
+	}
+}
+
+// Epoch returns the topology epoch of the router's current view.
+func (c *Client) Epoch() uint64 { return c.curEpoch.Load() }
+
+// TopologyRefreshes reports how many times the router refreshed its view
+// after piggybacked staleness detection; it implements
+// load.TopologyReporter.
+func (c *Client) TopologyRefreshes() uint64 { return c.refreshes.Load() }
+
+// resolveSeeds turns a bootstrap seed list into a member list and starting
+// epoch: each seed's MEMBERS view is probed over a short-lived connection,
+// and the member list comes from the highest-epoch view any seed reports —
+// so one live address of an established cluster is enough to route to all
+// of it. When every reachable seed is fresh (knows no topology), the
+// reachable seeds themselves become the founding members and push tells
+// Dial to install that view; a seed whose dial failed is never enrolled —
+// it would own a share of the ring while provably unreachable.
+func resolveSeeds(addrs []string, dial DialFunc) (members []string, epoch uint64, push bool, err error) {
+	reachable := make(map[string]bool, len(addrs))
+	var maxEpoch uint64
+	var best wire.Topology
+	for _, a := range addrs {
+		cl, err := dial(a)
+		if err != nil {
+			continue // any one live seed suffices
+		}
+		t, merr := cl.Members()
+		cl.Close()
+		if merr != nil {
+			continue
+		}
+		reachable[a] = true
+		if t.Epoch > maxEpoch {
+			maxEpoch = t.Epoch
+		}
+		if len(t.Members) > 0 && (len(best.Members) == 0 || t.Epoch > best.Epoch) {
+			best = t
+		}
+	}
+	if len(reachable) == 0 {
+		return nil, 0, false, fmt.Errorf("cluster: no seed of %v reachable", addrs)
+	}
+	if len(best.Members) > 0 {
+		return best.Members, best.Epoch, false, nil
+	}
+	for _, a := range addrs {
+		if reachable[a] {
+			members = append(members, a)
+		}
+	}
+	return members, maxEpoch + 1, true, nil
+}
+
+// explicitEpoch settles the starting epoch for a Dial that asserts its
+// member list outright. Three cases:
+//
+//   - Every member already reports exactly this view at a common epoch:
+//     adopt that epoch, nothing to push.
+//   - Some member holds a non-empty view that *differs* from the asserted
+//     list: the cluster already has a topology of its own, and a client
+//     that merely connected must not rewrite it — pointing a router (or a
+//     monitoring run) at a subset of an established cluster would
+//     otherwise evict the unlisted members cluster-wide. The router runs
+//     on its asserted list locally, at the members' epoch, and pushes
+//     nothing; only explicit AddNode/RemoveNode mutate shared topology.
+//   - Otherwise (members are fresh, or a previous founding push reached
+//     only some of them): advance past every reported epoch and push, so
+//     the asserted view is founded or finishes propagating.
+func explicitEpoch(views map[string]wire.Topology, members []string) (epoch uint64, push bool) {
+	var maxEpoch uint64
+	conflict := false
+	for _, t := range views {
+		if t.Epoch > maxEpoch {
+			maxEpoch = t.Epoch
+		}
+		if len(t.Members) > 0 && !sameMembers(t.Members, members) {
+			conflict = true
+		}
+	}
+	agree := len(views) == len(members)
+	for _, a := range members {
+		t, ok := views[a]
+		if !ok || t.Epoch != maxEpoch || !sameMembers(t.Members, members) {
+			agree = false
+			break
+		}
+	}
+	if agree || conflict {
+		return maxEpoch, false
+	}
+	return maxEpoch + 1, true
+}
+
+// sameMembers reports whether a and b name the same address set.
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]bool, len(a))
+	for _, m := range a {
+		set[m] = true
+	}
+	for _, m := range b {
+		if !set[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// Join makes self a member of the cluster seed belongs to, without a
+// router: it fetches the seed's topology, adds self under a bumped epoch,
+// and pushes the result to every member — including self and the seed, so
+// both a freshly booted cached and its peers converge on the same view.
+// cmd/cached runs it for -join; starting N nodes against one seed this way
+// yields a cluster every client can bootstrap from any single address of.
+//
+// A push to a member other than seed or self is best-effort (a dead peer
+// must not block a join); pushing to seed or self failing is an error.
+// Concurrent joins race on the epoch; the push responses detect a loss —
+// a member holding a view at our epoch or above that does *not* contain
+// self means our push was rejected — and the join retries on top of the
+// winner's view (bounded attempts), so the no-response-epoch-difference
+// tie that piggybacking can never surface still converges with self
+// admitted.
+func Join(seed, self string, dial DialFunc) (wire.Topology, error) {
+	if dial == nil {
+		dial = wire.Dial
+	}
+	if seed == self {
+		return wire.Topology{}, fmt.Errorf("cluster: cannot join through myself (%s)", self)
+	}
+	cl, err := dial(seed)
+	if err != nil {
+		return wire.Topology{}, fmt.Errorf("cluster: join seed %s: %w", seed, err)
+	}
+	base, err := cl.Members()
+	cl.Close()
+	if err != nil {
+		return wire.Topology{}, fmt.Errorf("cluster: MEMBERS %s: %w", seed, err)
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		t := wire.Topology{Epoch: base.Epoch, Members: append([]string(nil), base.Members...)}
+		if len(t.Members) == 0 {
+			// The seed predates any topology: it and we are the founding
+			// members.
+			t.Members = []string{seed}
+		}
+		if !contains(t.Members, self) {
+			t.Members = append(t.Members, self)
+			t.Epoch++
+		}
+		lost := false
+		var winner wire.Topology
+		for _, m := range t.Members {
+			var held wire.Topology
+			mcl, err := dial(m)
+			if err == nil {
+				held, err = mcl.PushTopology(t)
+				mcl.Close()
+			}
+			if err != nil {
+				if m == seed || m == self {
+					return wire.Topology{}, fmt.Errorf("cluster: pushing topology to %s: %w", m, err)
+				}
+				continue
+			}
+			if held.Epoch >= t.Epoch && !contains(held.Members, self) {
+				lost = true
+				if held.Epoch >= winner.Epoch {
+					winner = held
+				}
+			}
+		}
+		if !lost {
+			return t, nil
+		}
+		base = winner
+	}
+	return wire.Topology{}, fmt.Errorf("cluster: join of %s kept losing topology races; retry", self)
+}
+
+// WarmupStats summarizes one proactive warm-up run.
+type WarmupStats struct {
+	// Streamed counts resident keys enumerated across all source members.
+	Streamed int
+	// Copied counts values repair-SET into the newcomer.
+	Copied int
+	// Vanished counts wanted keys that were evicted between the KEYS
+	// snapshot and the read — accounted-for losses, exactly like
+	// migration's dropped count.
+	Vanished int
+	// Failed counts source members that could not be fully streamed or
+	// copied; their share of the newcomer's keys refills lazily instead.
+	Failed int
+	// Err is the first error encountered (nil when Failed is 0).
+	Err error
+}
+
+// Warmup is the handle AddNode returns for its background warm-up; Wait
+// blocks until the newcomer's share has been streamed in (or the attempt
+// gave up) and reports what happened.
+type Warmup struct {
+	done  chan struct{}
+	stats WarmupStats
+}
+
+// Wait blocks until the warm-up completes and returns its stats.
+func (w *Warmup) Wait() WarmupStats {
+	<-w.done
+	return w.stats
+}
+
+// warmupDial opens a dedicated warm-up connection and registers it so
+// Close can interrupt the stream it carries; warmupRelease is its paired
+// teardown.
+func (c *Client) warmupDial(addr string) (*wire.Client, error) {
+	cl, err := c.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.warmupMu.Lock()
+	if c.closed.Load() {
+		c.warmupMu.Unlock()
+		cl.Close()
+		return nil, fmt.Errorf("cluster: client closed")
+	}
+	c.warmupConns[cl] = struct{}{}
+	c.warmupMu.Unlock()
+	return cl, nil
+}
+
+func (c *Client) warmupRelease(cl *wire.Client) {
+	c.warmupMu.Lock()
+	delete(c.warmupConns, cl)
+	c.warmupMu.Unlock()
+	cl.Close()
+}
+
+// runWarmup streams the newcomer's share of each source member's residents
+// into the newcomer. It runs on dedicated connections, so live traffic on
+// the router's pooled connections proceeds untouched; the only shared
+// state it takes is a read-lock per chunk to consult the ring. Close
+// interrupts it by closing those connections and waits for it to exit.
+func (c *Client) runWarmup(w *Warmup, newcomer string, sources []string, rf int) {
+	defer c.warmupWG.Done()
+	defer close(w.done)
+	dst, err := c.warmupDial(newcomer)
+	if err != nil {
+		w.stats.Failed = len(sources)
+		w.stats.Err = err
+		return
+	}
+	defer c.warmupRelease(dst)
+	for _, src := range sources {
+		if c.closed.Load() {
+			return
+		}
+		if err := c.warmFromSource(w, dst, newcomer, src, rf); err != nil {
+			if c.closed.Load() {
+				return // an interrupt, not a source failure
+			}
+			w.stats.Failed++
+			if w.stats.Err == nil {
+				w.stats.Err = err
+			}
+		}
+	}
+}
+
+// warmFromSource enumerates one source member via the chunked KEYS stream,
+// keeps the keys whose post-join owner set includes the newcomer, and
+// copies their values over in bounded pipelined chunks, flagged as repair
+// traffic.
+func (c *Client) warmFromSource(w *Warmup, dst *wire.Client, newcomer, src string, rf int) error {
+	srcCl, err := c.warmupDial(src)
+	if err != nil {
+		return fmt.Errorf("cluster: warm-up dial %s: %w", src, err)
+	}
+	defer c.warmupRelease(srcCl)
+
+	var wanted []uint64
+	err = srcCl.KeysStream(func(chunk []uint64) error {
+		w.stats.Streamed += len(chunk)
+		c.mu.RLock()
+		for _, k := range chunk {
+			if contains(c.ring.OwnersFor(k, rf), newcomer) {
+				wanted = append(wanted, k)
+			}
+		}
+		c.mu.RUnlock()
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: warm-up KEYS %s: %w", src, err)
+	}
+
+	for off := 0; off < len(wanted); off += warmupChunk {
+		if c.closed.Load() {
+			return nil
+		}
+		end := off + warmupChunk
+		if end > len(wanted) {
+			end = len(wanted)
+		}
+		chunk := wanted[off:end]
+		vals, hits, err := readChunkValues(srcCl, chunk)
+		if err != nil {
+			return fmt.Errorf("cluster: warm-up reading %s: %w", src, err)
+		}
+		w.stats.Vanished += len(chunk) - len(hits)
+		if len(hits) == 0 {
+			continue
+		}
+		sub := make([]uint64, len(hits))
+		for j, i := range hits {
+			sub[j] = chunk[i]
+		}
+		if err := dst.SetBatchFlags(sub, wire.SetFlagRepair, func(j int) []byte {
+			return vals[hits[j]]
+		}); err != nil {
+			return fmt.Errorf("cluster: warm-up writing %s: %w", newcomer, err)
+		}
+		w.stats.Copied += len(sub)
+		c.mu.RLock()
+		nc := c.nodes[newcomer]
+		c.mu.RUnlock()
+		if nc != nil {
+			nc.repairs.Add(uint64(len(sub)))
+		}
+	}
+	return nil
+}
+
+// AddNode joins a new member: its connection is dialed eagerly (failing
+// fast on a bad address), the ring is extended, the topology epoch bumps,
+// and the new view is pushed to every member — so other routers and future
+// seed-bootstrapped clients converge without being told. Consistent
+// hashing bounds the reassigned share to roughly 1/(n+1) of the key space.
+//
+// Unless Options.DisableWarmup is set, AddNode also starts a proactive
+// warm-up in the background: the newcomer's share is streamed out of the
+// existing members via chunked KEYS and repair-SET into it on dedicated
+// connections, so the post-join miss/fallback burst is paid by the
+// maintenance path instead of by user reads. The returned Warmup reports
+// completion; callers that don't care may ignore it.
+func (c *Client) AddNode(addr string) (*Warmup, error) {
+	c.mu.Lock()
+	// The closed check and the warm-up WaitGroup increment both happen
+	// inside this critical section: Close sets the flag before taking
+	// c.mu, so either this AddNode's Add(1) lands before Close's Wait (and
+	// the warm-up is interrupted and awaited) or the flag is already
+	// visible here and the join is refused.
+	if c.closed.Load() {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: client closed")
+	}
+	if _, exists := c.nodes[addr]; exists {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: node %s already a member", addr)
+	}
+	nc := &nodeConn{addr: addr}
+	if _, err := nc.client(c.dial); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nodes[addr] = nc
+	c.ring.Add(addr)
+	c.epoch++
+	c.curEpoch.Store(c.epoch)
+	c.pushTopologyLocked()
+	var sources []string
+	for _, m := range c.ring.Nodes() {
+		if m != addr {
+			sources = append(sources, m)
+		}
+	}
+	rf := c.effReplicas()
+	w := &Warmup{done: make(chan struct{})}
+	warm := !c.noWarmup && len(sources) > 0
+	if warm {
+		c.warmupWG.Add(1)
+	}
+	c.mu.Unlock()
+
+	if !warm {
+		close(w.done)
+		return w, nil
+	}
+	go c.runWarmup(w, addr, sources, rf)
+	return w, nil
+}
+
+// migrateChunk bounds how many keys RemoveNode drains per pipelined round
+// trip, keeping peak buffering (chunk × value size) modest.
+const migrateChunk = 256
+
+// RemoveNode retires a member and bumps the topology epoch, pushing the
+// shrunk view to every survivor so routers and peers converge on their own.
+//
+// Unreplicated (R = 1), it first migrates the departing node's residents
+// to their new owners: the cluster-level analogue of the paper's
+// incremental rehash, where no entry is lost except by accounted eviction.
+// The resident set is enumerated through the chunked KEYS stream, so a
+// node with many millions of residents drains in bounded frames. moved
+// counts entries re-stored on their new owner (which may evict there — the
+// destination's eviction counters account for it); dropped counts entries
+// that vanished between the key snapshot and the drain.
+//
+// With R > 1 the drain is unnecessary and RemoveNode becomes cheap: every
+// resident of the departing node also lives on R-1 surviving owners, so
+// the member is simply dropped from the ring (moved and dropped are 0) and
+// the key's new R-th owner refills lazily through read repair. Because
+// this path never contacts the departing node, it also handles a crashed
+// member: RemoveNode on a dead address cleans it out of the ring and stops
+// the router paying a failed dial per batch.
+//
+// RemoveNode excludes all other traffic on this Client for its duration.
+func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nc, ok := c.nodes[addr]
+	if !ok {
+		return 0, 0, fmt.Errorf("cluster: node %s is not a member", addr)
+	}
+	if c.ring.NumNodes() == 1 {
+		return 0, 0, fmt.Errorf("cluster: cannot remove the last member %s", addr)
+	}
+	if c.effReplicas() > 1 {
+		nc.mu.Lock()
+		nc.drop()
+		nc.mu.Unlock()
+		delete(c.nodes, addr)
+		c.ring.Remove(addr)
+		c.epoch++
+		c.curEpoch.Store(c.epoch)
+		c.pushTopologyLocked()
+		return 0, 0, nil
+	}
+
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	var keys []uint64
+	if err := nc.withRetry(c.dial, func(cl *wire.Client) error {
+		var err error
+		keys, err = cl.Keys()
+		return err
+	}); err != nil {
+		return 0, 0, fmt.Errorf("cluster: KEYS %s: %w", addr, err)
+	}
+
+	// Reroute first so owners are computed against the post-removal ring,
+	// then drain the departing member chunk by chunk. If the drain fails
+	// the member is restored: leaving it removed would orphan its
+	// undrained residents outside both the moved and dropped counts. Only
+	// a completed drain bumps and pushes the epoch.
+	c.ring.Remove(addr)
+	drained := false
+	defer func() {
+		if drained {
+			nc.drop()
+			delete(c.nodes, addr)
+			c.epoch++
+			c.curEpoch.Store(c.epoch)
+			c.pushTopologyLocked()
+		} else {
+			c.ring.Add(addr)
+		}
+	}()
+
+	src := nc.cl
+	for off := 0; off < len(keys); off += migrateChunk {
+		end := off + migrateChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+
+		vals, hits, err := readChunkValues(src, chunk)
+		if err != nil {
+			return moved, dropped, fmt.Errorf("cluster: draining %s: %w", addr, err)
+		}
+		dropped += len(chunk) - len(hits)
+
+		// Partition the chunk's survivors by new owner and re-store them.
+		byOwner := make(map[*nodeConn][]int)
+		for _, i := range hits {
+			owner, ok := c.ring.Node(chunk[i])
+			if !ok {
+				return moved, dropped, fmt.Errorf("cluster: empty ring during migration")
+			}
+			byOwner[c.nodes[owner]] = append(byOwner[c.nodes[owner]], i)
+		}
+		for dst, idx := range byOwner {
+			dst.mu.Lock()
+			err := dst.withRetry(c.dial, func(cl *wire.Client) error {
+				sub := make([]uint64, len(idx))
+				for j, i := range idx {
+					sub[j] = chunk[i]
+				}
+				// Migration writes carry the repair flag: they are replica
+				// maintenance, not user traffic, and the destination's
+				// STATS keeps them out of its user SET count. They stay
+				// synchronous (no ASYNC flag): the moved count must mean
+				// applied, not queued.
+				return cl.SetBatchFlags(sub, wire.SetFlagRepair, func(j int) []byte { return vals[idx[j]] })
+			})
+			if err == nil {
+				dst.repairs.Add(uint64(len(idx)))
+			}
+			dst.mu.Unlock()
+			if err != nil {
+				return moved, dropped, fmt.Errorf("cluster: migrating to %s: %w", dst.addr, err)
+			}
+			moved += len(idx)
+		}
+	}
+	drained = true
+	return moved, dropped, nil
+}

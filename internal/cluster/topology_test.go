@@ -1,0 +1,586 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// TestSeedConvergenceSmoke is the CI convergence smoke: three nodes are
+// started from one seed the way cmd/cached does it — the first node seeds
+// its own one-member topology, each later node Joins through the first —
+// and afterwards every member must report the identical member list and
+// epoch.
+func TestSeedConvergenceSmoke(t *testing.T) {
+	addrs := make([]string, 3)
+	addr0, srv0 := startNodeWithServer(t, 1024, 16, 1)
+	addrs[0] = addr0
+	srv0.SetTopology(wire.Topology{Epoch: 0, Members: []string{addr0}})
+	for i := 1; i < 3; i++ {
+		addrs[i], _ = startNodeWithServer(t, 1024, 16, uint64(i+1))
+		if _, err := Join(addrs[0], addrs[i], nil); err != nil {
+			t.Fatalf("Join(%s, %s): %v", addrs[0], addrs[i], err)
+		}
+	}
+
+	var views []wire.Topology
+	for _, a := range addrs {
+		cl, err := wire.Dial(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, err := cl.Members()
+		cl.Close()
+		if err != nil {
+			t.Fatalf("MEMBERS %s: %v", a, err)
+		}
+		views = append(views, tp)
+	}
+	want := views[0]
+	if want.Epoch != 2 {
+		t.Errorf("epoch after two joins = %d, want 2", want.Epoch)
+	}
+	if len(want.Members) != 3 || !sameMembers(want.Members, addrs) {
+		t.Fatalf("converged members = %v, want %v", want.Members, addrs)
+	}
+	for i, v := range views[1:] {
+		if v.Epoch != want.Epoch || !sameMembers(v.Members, want.Members) {
+			t.Errorf("member %d view = %+v, member 0 view = %+v; epochs/members must agree", i+1, v, want)
+		}
+	}
+
+	// The payoff: a router bootstrapped from any single member sees the
+	// whole cluster.
+	ctl, err := Dial([]string{addrs[2]}, Options{Bootstrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	if got := ctl.Nodes(); !sameMembers(got, addrs) {
+		t.Fatalf("bootstrap from %s routed to %v, want all of %v", addrs[2], got, addrs)
+	}
+	if ctl.Epoch() != want.Epoch {
+		t.Errorf("bootstrap epoch = %d, want %d", ctl.Epoch(), want.Epoch)
+	}
+}
+
+// TestSubsetDialDoesNotRewriteMembership: pointing a plain (non-bootstrap)
+// router at a subset of an established cluster must route to that subset
+// only — it must NOT push the subset as the cluster's topology and evict
+// the unlisted members from everyone else's view.
+func TestSubsetDialDoesNotRewriteMembership(t *testing.T) {
+	addrs := startCluster(t, 3, 1024, 16)
+	full, err := Dial(addrs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	epoch := full.Epoch()
+
+	sub, err := Dial(addrs[:2], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if got := sub.Nodes(); !sameMembers(got, addrs[:2]) {
+		t.Fatalf("subset router routes to %v, want its asserted %v", got, addrs[:2])
+	}
+	for _, a := range addrs {
+		cl, err := wire.Dial(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, err := cl.Members()
+		cl.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp.Epoch != epoch || !sameMembers(tp.Members, addrs) {
+			t.Errorf("member %s holds %+v after a subset Dial; want the full view at epoch %d kept", a, tp, epoch)
+		}
+	}
+	// The full router must not have been destabilized either.
+	if err := full.Set(1, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if full.Epoch() != epoch || !sameMembers(full.Nodes(), addrs) {
+		t.Errorf("full router at %v epoch %d; the subset Dial must not have moved it", full.Nodes(), full.Epoch())
+	}
+}
+
+// TestJoinRetriesLostRace: a Join whose push loses an equal-epoch race
+// (another join landed between its MEMBERS fetch and its push) must detect
+// the loss from the push response — the held view lacks self — and retry
+// on top of the winner's view instead of reporting success while orphaned.
+func TestJoinRetriesLostRace(t *testing.T) {
+	seedAddr, seedSrv := startNodeWithServer(t, 1024, 16, 1)
+	seedSrv.SetTopology(wire.Topology{Epoch: 0, Members: []string{seedAddr}})
+	selfAddr, _ := startNodeWithServer(t, 1024, 16, 2)
+
+	// The dial hook injects a rival join's push exactly between this
+	// join's MEMBERS fetch (first seed dial) and its own push (second
+	// seed dial) — the same-epoch tie piggybacking can never surface.
+	rival := wire.Topology{Epoch: 1, Members: []string{seedAddr, "phantom:1"}}
+	seedDials := 0
+	dial := func(addr string) (*wire.Client, error) {
+		if addr == seedAddr {
+			seedDials++
+			if seedDials == 2 {
+				cl, err := wire.Dial(seedAddr)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := cl.PushTopology(rival); err != nil {
+					return nil, err
+				}
+				cl.Close()
+			}
+		}
+		return wire.Dial(addr)
+	}
+
+	got, err := Join(seedAddr, selfAddr, dial)
+	if err != nil {
+		t.Fatalf("Join after a lost race: %v", err)
+	}
+	if !contains(got.Members, selfAddr) {
+		t.Fatalf("joined view %v lacks self %s", got.Members, selfAddr)
+	}
+	if !contains(got.Members, "phantom:1") {
+		t.Fatalf("joined view %v dropped the race winner's member; retry must build on the winning view", got.Members)
+	}
+	if got.Epoch != 2 {
+		t.Errorf("joined epoch = %d, want 2 (rival's 1, escalated once)", got.Epoch)
+	}
+	cl, err := wire.Dial(seedAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	held, err := cl.Members()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held.Epoch != got.Epoch || !sameMembers(held.Members, got.Members) {
+		t.Errorf("seed holds %+v, joiner returned %+v; they must agree", held, got)
+	}
+}
+
+// TestBootstrapToleratesCrashedMember: a crashed member must not block new
+// routers from bootstrapping — discovered members are dialed lazily, and
+// with R > 1 the dead node's keys are served by fallback anyway.
+func TestBootstrapToleratesCrashedMember(t *testing.T) {
+	addrs := make([]string, 3)
+	servers := make([]*server.Server, 3)
+	for i := range addrs {
+		addrs[i], servers[i] = startNodeWithServer(t, 4096, 16, uint64(i+1))
+	}
+	seeder, err := Dial(addrs, Options{Replicas: 2, WriteQuorum: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seeder.Close()
+	if err := seeder.Set(1, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := servers[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+	late, err := Dial(addrs[:1], Options{Bootstrap: true, Replicas: 2, WriteQuorum: 1})
+	if err != nil {
+		t.Fatalf("bootstrap with a crashed member failed: %v", err)
+	}
+	defer late.Close()
+	if got := late.Nodes(); !sameMembers(got, addrs) {
+		t.Fatalf("bootstrapped view = %v, want the full membership %v (dead member included)", got, addrs)
+	}
+	if v, hit, err := late.Get(1); err != nil || !hit || string(v) != "v" {
+		t.Fatalf("read through the degraded cluster = %q, hit=%v, %v", v, hit, err)
+	}
+}
+
+// TestBootstrapSkipsDeadFreshSeed: when every reachable seed is fresh, the
+// founding membership is the reachable seeds only — an unreachable seed
+// must not be enrolled as a ring owner.
+func TestBootstrapSkipsDeadFreshSeed(t *testing.T) {
+	live := startNode(t, 1024, 16, 1)
+	dead := "127.0.0.1:1" // reserved port; dial fails immediately
+	ctl, err := Dial([]string{dead, live}, Options{Bootstrap: true})
+	if err != nil {
+		t.Fatalf("bootstrap with one dead fresh seed failed: %v", err)
+	}
+	defer ctl.Close()
+	if got := ctl.Nodes(); len(got) != 1 || got[0] != live {
+		t.Fatalf("founding members = %v, want only the reachable seed %v", got, live)
+	}
+	if err := ctl.Set(1, []byte("v")); err != nil {
+		t.Fatalf("write through the founded cluster: %v", err)
+	}
+}
+
+// TestAddNodeAfterCloseRefused: membership changes on a closed client must
+// be refused rather than mutate a torn-down ring or spawn a warm-up that
+// outlives Close.
+func TestAddNodeAfterCloseRefused(t *testing.T) {
+	addrs := startCluster(t, 2, 1024, 16)
+	ctl, err := Dial(addrs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.AddNode(startNode(t, 1024, 16, 9)); err == nil {
+		t.Fatal("AddNode on a closed client succeeded")
+	}
+}
+
+// TestPushTieEscalates pins the same-epoch conflict path that piggybacked
+// epochs alone can never surface: a member already holding a *different*
+// view at the epoch the router is pushing forces the router to escalate
+// past the tie, so both sides of a racing membership change converge on a
+// strictly newest view instead of diverging forever.
+func TestPushTieEscalates(t *testing.T) {
+	addrs := startCluster(t, 2, 1024, 16)
+	ctl, err := Dial(addrs, Options{DisableWarmup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	base := ctl.Epoch()
+
+	// A rival router's partial push: member 0 now holds epoch base+1 with
+	// a phantom member this router will never list.
+	direct, err := wire.Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rival := append(append([]string(nil), addrs...), "phantom:1")
+	if _, err := direct.PushTopology(wire.Topology{Epoch: base + 1, Members: rival}); err != nil {
+		t.Fatal(err)
+	}
+	direct.Close()
+
+	// AddNode bumps to base+1 and pushes — ties with the rival on member 0,
+	// must escalate above it, and every member must end on the escalated
+	// view.
+	newAddr := startNode(t, 1024, 16, 5)
+	if _, err := ctl.AddNode(newAddr); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]string(nil), addrs...), newAddr)
+	if got := ctl.Epoch(); got <= base+1 {
+		t.Errorf("router epoch = %d after a tie at %d; want escalation above it", got, base+1)
+	}
+	for _, a := range want {
+		cl, err := wire.Dial(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, err := cl.Members()
+		cl.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp.Epoch != ctl.Epoch() || !sameMembers(tp.Members, want) {
+			t.Errorf("member %s holds %+v, want epoch %d members %v", a, tp, ctl.Epoch(), want)
+		}
+	}
+}
+
+// TestPushLosesToNewerView pins the other race arm: a member reporting a
+// strictly newer topology during a push means this router already lost —
+// it must adopt that view (last-writer-wins) rather than keep routing on a
+// view the cluster has moved past.
+func TestPushLosesToNewerView(t *testing.T) {
+	addrs := startCluster(t, 2, 1024, 16)
+	ctl, err := Dial(addrs, Options{DisableWarmup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	base := ctl.Epoch()
+
+	// The cluster has moved two epochs ahead of this router behind its back.
+	direct, err := wire.Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := direct.PushTopology(wire.Topology{Epoch: base + 2, Members: addrs}); err != nil {
+		t.Fatal(err)
+	}
+	direct.Close()
+
+	// AddNode pushes base+1, hears base+2, and must adopt it — the added
+	// member is dropped again (documented last-writer-wins).
+	newAddr := startNode(t, 1024, 16, 6)
+	if _, err := ctl.AddNode(newAddr); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctl.Epoch(); got != base+2 {
+		t.Errorf("router epoch = %d, want the newer view's %d adopted", got, base+2)
+	}
+	if got := ctl.Nodes(); !sameMembers(got, addrs) {
+		t.Errorf("router members = %v, want the newer view %v (the lost AddNode undone)", got, addrs)
+	}
+}
+
+// TestCloseInterruptsWarmup: Close on a client with an in-flight warm-up
+// must interrupt it and not return until the warm-up goroutine exited —
+// no stray repair-SETs or leaked connections after Close.
+func TestCloseInterruptsWarmup(t *testing.T) {
+	const nkeys = 3000
+	addr0, srv0 := startNodeWithServer(t, 8192, 64, 1)
+	addr1, srv1 := startNodeWithServer(t, 8192, 64, 2)
+	// Tiny chunks stretch the stream so Close reliably lands mid-warm-up.
+	srv0.SetKeysChunk(16)
+	srv1.SetKeysChunk(16)
+	ctl, err := Dial([]string{addr0, addr1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, nkeys)
+	for i := range keys {
+		keys[i] = uint64(i) + 1
+	}
+	if err := ctl.SetBatch(keys, func(i int) []byte { return load.Payload(keys[i], 32) }); err != nil {
+		t.Fatal(err)
+	}
+
+	newAddr := startNode(t, 8192, 64, 3)
+	w, err := ctl.AddNode(newAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close already waited for the goroutine; Wait must return immediately
+	// rather than hang on an orphaned warm-up.
+	done := make(chan WarmupStats, 1)
+	go func() { done <- w.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Warmup.Wait hung after Close; the warm-up goroutine leaked")
+	}
+}
+
+// TestBootstrapRouterConverges is the e2e acceptance for self-converging
+// membership: a router bootstrapped from a single seed follows
+// AddNode/RemoveNode performed by a *different* router, with no manual
+// ring edits — staleness is detected via the epochs piggybacked on its
+// own traffic and healed by a MEMBERS refresh.
+func TestBootstrapRouterConverges(t *testing.T) {
+	addrs := startCluster(t, 3, 4096, 16)
+	admin, err := Dial(addrs, Options{DisableWarmup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	follower, err := Dial(addrs[:1], Options{Bootstrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	if got := follower.Nodes(); !sameMembers(got, addrs) {
+		t.Fatalf("bootstrapped router sees %v, want %v", got, addrs)
+	}
+
+	// converge drives traffic through the follower until its view matches
+	// want (or times out): each batch piggybacks the servers' epoch, and
+	// the next operation refreshes.
+	converge := func(want []string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		keys := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+		for !sameMembers(follower.Nodes(), want) {
+			if time.Now().After(deadline) {
+				t.Fatalf("follower stuck at %v (epoch %d), want %v", follower.Nodes(), follower.Epoch(), want)
+			}
+			if err := follower.GetBatch(keys, func(int, bool, []byte) {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	newAddr := startNode(t, 4096, 16, 9)
+	if _, err := admin.AddNode(newAddr); err != nil {
+		t.Fatal(err)
+	}
+	converge(append(append([]string(nil), addrs...), newAddr))
+	if follower.Epoch() != admin.Epoch() {
+		t.Errorf("epochs diverge after AddNode: follower %d, admin %d", follower.Epoch(), admin.Epoch())
+	}
+	if follower.TopologyRefreshes() == 0 {
+		t.Error("follower converged without a counted topology refresh")
+	}
+
+	if _, _, err := admin.RemoveNode(newAddr); err != nil {
+		t.Fatal(err)
+	}
+	converge(addrs)
+	if follower.Epoch() != admin.Epoch() {
+		t.Errorf("epochs diverge after RemoveNode: follower %d, admin %d", follower.Epoch(), admin.Epoch())
+	}
+}
+
+// TestWarmupKillsFallbacks is the warm-up acceptance: after AddNode's
+// background warm-up completes, a full sweep of the preloaded keyspace
+// reads entirely from primaries — no misses and ≈ 0 replica fallbacks —
+// because the newcomer's share was streamed into it proactively.
+func TestWarmupKillsFallbacks(t *testing.T) {
+	const nkeys = 1500
+	// α = 64 keeps bucket overflow out of the picture, so any post-join
+	// miss would be attributable to a warm-up gap rather than an eviction.
+	addrs := startCluster(t, 3, 8192, 64)
+	ctl, err := Dial(addrs, Options{Replicas: 2, WriteQuorum: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	keys := make([]uint64, nkeys)
+	for i := range keys {
+		keys[i] = uint64(i) + 1
+	}
+	if err := ctl.SetBatch(keys, func(i int) []byte { return load.Payload(keys[i], 32) }); err != nil {
+		t.Fatal(err)
+	}
+
+	newAddr := startNode(t, 8192, 64, 7)
+	w, err := ctl.AddNode(newAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := w.Wait()
+	if ws.Err != nil || ws.Failed != 0 {
+		t.Fatalf("warm-up failed: %+v", ws)
+	}
+	if ws.Copied == 0 {
+		t.Fatal("warm-up copied nothing; the newcomer owns ~2/4 of replica slots and must receive its share")
+	}
+	if ws.Streamed < nkeys {
+		t.Errorf("warm-up streamed %d keys across sources, want ≥ %d (every source enumerated)", ws.Streamed, nkeys)
+	}
+
+	// The newcomer must physically hold its share.
+	stats, err := ctl.StatsAll(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := stats[newAddr]; st == nil || st.Len == 0 {
+		t.Fatalf("newcomer %s holds no keys after warm-up", newAddr)
+	}
+
+	rep0 := ctl.Replication()
+	misses := 0
+	if err := ctl.GetBatch(keys, func(_ int, hit bool, _ []byte) {
+		if !hit {
+			misses++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if misses != 0 {
+		t.Errorf("%d misses sweeping %d keys after warm-up; want 0", misses, nkeys)
+	}
+	if fb := ctl.Replication().FallbackHits - rep0.FallbackHits; fb != 0 {
+		t.Errorf("%d fallback reads in the post-warm-up sweep; warm-up should have filled every new primary", fb)
+	}
+}
+
+// TestMigrationStreamsMultipleChunks pins the chunked-KEYS migration
+// contract: retiring a node whose resident set spans many stream chunks
+// moves or accounts for every key.
+func TestMigrationStreamsMultipleChunks(t *testing.T) {
+	const nkeys = 2000
+	addr0, srv0 := startNodeWithServer(t, 8192, 64, 1)
+	addr1, srv1 := startNodeWithServer(t, 8192, 64, 2)
+	// 64 keys per KEYS frame: the victim's residents (≈ nkeys/2) stream in
+	// well over a dozen frames.
+	srv0.SetKeysChunk(64)
+	srv1.SetKeysChunk(64)
+	addrs := []string{addr0, addr1}
+
+	ctl, err := Dial(addrs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	keys := make([]uint64, nkeys)
+	for i := range keys {
+		keys[i] = uint64(i) + 1
+	}
+	if err := ctl.SetBatch(keys, func(i int) []byte { return load.Payload(keys[i], 32) }); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := ctl.StatsAll(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	residents := int(before[addr0].Len)
+	if residents <= 64 {
+		t.Fatalf("victim holds %d keys; need more than one 64-key chunk for this test to mean anything", residents)
+	}
+
+	moved, dropped, err := ctl.RemoveNode(addr0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved+dropped != residents {
+		t.Errorf("migration accounted for %d+%d keys, victim held %d", moved, dropped, residents)
+	}
+
+	present := 0
+	if err := ctl.GetBatch(keys, func(_ int, hit bool, v []byte) {
+		if hit {
+			present++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ctl.StatsAll(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accounted := dropped + int(after[addr1].Evictions-before[addr1].Evictions)
+	if absent := nkeys - present; absent > accounted {
+		t.Errorf("%d keys lost but only %d accounted for (moved=%d dropped=%d)", absent, accounted, moved, dropped)
+	}
+}
+
+// TestRemoveNodeCrashedMemberR1 pins the unreplicated error path: a
+// crashed member cannot be drained, so RemoveNode must fail cleanly and
+// leave the membership (and ring) unchanged rather than orphan the
+// victim's residents.
+func TestRemoveNodeCrashedMemberR1(t *testing.T) {
+	addr0, srv0 := startNodeWithServer(t, 1024, 16, 1)
+	addr1, _ := startNodeWithServer(t, 1024, 16, 2)
+	ctl, err := Dial([]string{addr0, addr1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	epoch := ctl.Epoch()
+	if err := srv0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ctl.RemoveNode(addr0); err == nil {
+		t.Fatal("RemoveNode on a crashed member at R=1 succeeded; the drain is impossible and must error")
+	}
+	if got := ctl.Nodes(); len(got) != 2 {
+		t.Fatalf("membership = %v after failed RemoveNode, want both members kept", got)
+	}
+	if ctl.Epoch() != epoch {
+		t.Errorf("epoch moved from %d to %d on a failed RemoveNode", epoch, ctl.Epoch())
+	}
+}

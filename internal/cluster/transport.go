@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// This file is the transport layer of the router: one pipelined wire
+// connection per member, lazily dialed, redialed once on failure, and the
+// sub-batch machinery that fans one logical batch out across members under
+// a deadlock-free lock order. It knows nothing about rings, epochs or
+// replication — that is the topology layer (topology.go) and the routing
+// client (client.go, replication.go).
+
+// DialFunc establishes the wire connection to one member. The default is
+// wire.Dial; tests substitute wrappers (stall injection) and deployments
+// can layer TLS here.
+type DialFunc func(addr string) (*wire.Client, error)
+
+// nodeConn is one member's connection state plus the router's per-member
+// traffic counters. The connection is dialed lazily on first use, so
+// members discovered through a topology refresh cost nothing until traffic
+// routes to them.
+type nodeConn struct {
+	addr string
+	mu   sync.Mutex // serializes use of cl
+	cl   *wire.Client
+
+	gets, hits, misses, sets, dels, redials, repairs atomic.Uint64
+}
+
+// client returns the live connection, dialing if needed. Caller holds nc.mu.
+func (nc *nodeConn) client(dial DialFunc) (*wire.Client, error) {
+	if nc.cl != nil {
+		return nc.cl, nil
+	}
+	cl, err := dial(nc.addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", nc.addr, err)
+	}
+	nc.cl = cl
+	return cl, nil
+}
+
+// drop discards the connection after an error. Caller holds nc.mu.
+func (nc *nodeConn) drop() {
+	if nc.cl != nil {
+		nc.cl.Close()
+		nc.cl = nil
+	}
+}
+
+// withRetry runs op against the member connection, redialing once on
+// failure. Caller holds nc.mu. Only safe for idempotent round trips.
+func (nc *nodeConn) withRetry(dial DialFunc, op func(cl *wire.Client) error) error {
+	cl, err := nc.client(dial)
+	if err == nil {
+		if err = op(cl); err == nil {
+			return nil
+		}
+	}
+	nc.drop()
+	nc.redials.Add(1)
+	cl, err2 := nc.client(dial)
+	if err2 != nil {
+		return fmt.Errorf("%w (redial: %v)", err, err2)
+	}
+	if err := op(cl); err != nil {
+		nc.drop()
+		return err
+	}
+	return nil
+}
+
+// subBatch is the slice of one batch owned by a single member.
+type subBatch struct {
+	nc        *nodeConn
+	idx       []int // positions in the original batch, in enqueue order
+	err       error
+	delivered int
+}
+
+// sortSubs orders sub-batches by member address. Lock acquisition must be
+// totally ordered to stay deadlock-free across concurrent batches.
+func sortSubs(subs []*subBatch) {
+	sort.Slice(subs, func(i, j int) bool { return subs[i].nc.addr < subs[j].nc.addr })
+}
+
+// lockSubs acquires every involved member connection in address order and
+// returns the matching unlock.
+func lockSubs(subs []*subBatch) func() {
+	for _, s := range subs {
+		s.nc.mu.Lock()
+	}
+	return func() {
+		for _, s := range subs {
+			s.nc.mu.Unlock()
+		}
+	}
+}
+
+// dropSubs discards every involved member connection after a failed batch:
+// some were flushed but never fully drained, and reusing one would hand a
+// later batch the stale responses of this one. Callers hold the node locks.
+func dropSubs(subs []*subBatch) {
+	for _, s := range subs {
+		s.nc.drop()
+	}
+}
+
+// enqueueGets dials (if needed), pipelines the sub-batch's GETs and
+// flushes.
+func (s *subBatch) enqueueGets(dial DialFunc, keys []uint64) error {
+	cl, err := s.nc.client(dial)
+	if err != nil {
+		return err
+	}
+	for _, i := range s.idx {
+		if err := cl.EnqueueGet(keys[i]); err != nil {
+			return err
+		}
+	}
+	return cl.Flush()
+}
+
+// enqueueSets dials (if needed), pipelines the sub-batch's SETs and
+// flushes.
+func (s *subBatch) enqueueSets(dial DialFunc, keys []uint64, value func(i int) []byte) error {
+	cl, err := s.nc.client(dial)
+	if err != nil {
+		return err
+	}
+	for _, i := range s.idx {
+		if err := cl.EnqueueSet(keys[i], value(i)); err != nil {
+			return err
+		}
+	}
+	return cl.Flush()
+}

@@ -56,6 +56,16 @@ type RepairReporter interface {
 	RepairsDone() uint64
 }
 
+// TopologyReporter is optionally implemented by a Conn (cluster.Client
+// does) to report how many times it refreshed its cluster view after
+// detecting, via the epochs piggybacked on its responses, that membership
+// had changed underneath it. The harness sums the counts into
+// Result.Refreshes, so a run that straddled a membership change shows it.
+type TopologyReporter interface {
+	// TopologyRefreshes returns the number of adopted topology refreshes.
+	TopologyRefreshes() uint64
+}
+
 // Config describes one load run.
 type Config struct {
 	// Addr is the server address, dialed with wire.Dial when Dial is nil.
@@ -110,7 +120,12 @@ type Result struct {
 	// otherwise. Repair traffic rides alongside the measured ops — it is
 	// replication's maintenance cost, not user throughput.
 	Repairs int
-	Elapsed time.Duration
+	// Refreshes counts topology refreshes performed by connections that
+	// implement TopologyReporter (cluster clients); 0 otherwise. A nonzero
+	// count means the cluster's membership changed mid-run and the
+	// router(s) converged on their own.
+	Refreshes int
+	Elapsed   time.Duration
 	// Throughput is GET operations per second.
 	Throughput float64
 	// Latency summarizes per-round-trip latencies (one sample per pipelined
@@ -184,9 +199,9 @@ func VerifyPayload(key uint64, v []byte) bool {
 }
 
 type workerResult struct {
-	ops, hits, misses, sets, corrupt, repairs int
-	latencies                                 []time.Duration
-	err                                       error
+	ops, hits, misses, sets, corrupt, repairs, refreshes int
+	latencies                                            []time.Duration
+	err                                                  error
 }
 
 // Validate checks the configuration without running it.
@@ -290,6 +305,7 @@ func Run(cfg Config) (Result, error) {
 		agg.Sets += r.sets
 		agg.Corrupt += r.corrupt
 		agg.Repairs += r.repairs
+		agg.Refreshes += r.refreshes
 		samples = append(samples, r.latencies...)
 	}
 	agg.Elapsed = elapsed
@@ -312,6 +328,9 @@ func runWorker(cfg Config, dial func() (Conn, error), keys trace.Sequence, depth
 		conn.Close()
 		if rr, ok := conn.(RepairReporter); ok {
 			res.repairs = int(rr.RepairsDone())
+		}
+		if tr, ok := conn.(TopologyReporter); ok {
+			res.refreshes = int(tr.TopologyRefreshes())
 		}
 	}()
 

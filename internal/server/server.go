@@ -12,6 +12,15 @@
 // An online REHASH can be requested over the wire at any time; it uses the
 // cache's incremental migration (Section 6.1 of the paper), so live traffic
 // continues while items drain from the old hash function to the new one.
+//
+// The server also holds the node's view of the cluster topology: a member
+// list stamped with a monotonically increasing epoch, pushed at it by the
+// cluster router or a joining peer (TOPOLOGY) and served back to anyone
+// who asks (MEMBERS). Every response carries the current epoch, so routers
+// piggyback staleness detection on ordinary traffic and refresh only when
+// the epoch moves. The server itself never routes — topology is data it
+// stores and spreads, which is what lets a client bootstrap a whole
+// cluster view from one seed address.
 package server
 
 import (
@@ -25,16 +34,54 @@ import (
 	"repro/internal/wire"
 )
 
+// DefaultRepairQueue is the depth of the bounded queue that async
+// maintenance writes (SET with the ASYNC flag) drain through. Deep enough
+// that read repair never sheds in healthy operation. The bound is a
+// count, not a byte budget: worst-case queued memory is depth × value
+// size, so operators running large values should size it down with
+// SetRepairQueue.
+const DefaultRepairQueue = 4096
+
+// repairWrite is one queued async maintenance write.
+type repairWrite struct {
+	key uint64
+	val []byte
+}
+
 // Server serves a concurrent.Cache over TCP.
 type Server struct {
 	cache *concurrent.Cache
 
 	// sets and repairSets split write traffic by the SET flag byte: user
-	// writes versus replica maintenance (read repair, migration). Keeping
-	// them at the server rather than in the cache means repair churn never
-	// skews the cache-level counters the α experiments read.
+	// writes versus replica maintenance (read repair, warm-up, migration).
+	// Keeping them at the server rather than in the cache means repair
+	// churn never skews the cache-level counters the α experiments read.
 	sets       atomic.Uint64
 	repairSets atomic.Uint64
+
+	// Topology state: the member list under topoMu, the epoch mirrored in
+	// an atomic so every response handler can stamp it without locking.
+	topoMu  sync.Mutex
+	members []string
+	epoch   atomic.Uint64
+
+	// keysChunk overrides the KEYS stream chunk size (0 = DefaultKeysChunk);
+	// tests shrink it to exercise multi-chunk streams cheaply.
+	keysChunk atomic.Int64
+
+	// Async maintenance queue (SET ASYNC): created lazily on first use so
+	// its depth is configurable, drained by one background goroutine,
+	// shedding (and counting) when full so maintenance floods never stall
+	// user traffic. repairCh holds a chan repairWrite once created (an
+	// atomic.Value because STATS reads its depth concurrently with the
+	// lazy creation); repairStop/repairDone bracket the worker's lifetime.
+	repairOnce     sync.Once
+	repairCh       atomic.Value
+	repairDepth    int
+	repairDepthSet bool
+	repairsShed    atomic.Uint64
+	repairStop     chan struct{}
+	repairDone     chan struct{}
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -46,7 +93,62 @@ type Server struct {
 // New wraps cache in a server. The cache may be shared with in-process
 // users; the server adds no locking of its own beyond the cache's.
 func New(cache *concurrent.Cache) *Server {
-	return &Server{cache: cache, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		cache:      cache,
+		conns:      make(map[net.Conn]struct{}),
+		repairStop: make(chan struct{}),
+		repairDone: make(chan struct{}),
+	}
+}
+
+// SetKeysChunk overrides the number of keys per KEYS stream frame (0
+// restores wire.DefaultKeysChunk). Tests shrink it to exercise multi-chunk
+// streams without millions of residents.
+func (s *Server) SetKeysChunk(n int) { s.keysChunk.Store(int64(n)) }
+
+// SetRepairQueue configures the async maintenance queue depth. n > 0 sets
+// the depth, n == 0 disables the queue entirely so every ASYNC write is
+// shed (a test hook for the backpressure path). Must be called before the
+// server receives traffic; the default is DefaultRepairQueue.
+func (s *Server) SetRepairQueue(n int) {
+	s.repairDepth = n
+	s.repairDepthSet = true
+}
+
+// Topology returns the server's current cluster view. A server that was
+// never told one reports epoch 0 and no members.
+func (s *Server) Topology() wire.Topology {
+	s.topoMu.Lock()
+	defer s.topoMu.Unlock()
+	return wire.Topology{Epoch: s.epoch.Load(), Members: append([]string(nil), s.members...)}
+}
+
+// SetTopology unconditionally installs t as the server's cluster view;
+// cmd/cached uses it to seed a standalone node with its own address. Peers
+// pushing over the wire go through the adoption rule instead (OfferTopology).
+func (s *Server) SetTopology(t wire.Topology) {
+	s.topoMu.Lock()
+	defer s.topoMu.Unlock()
+	s.members = append([]string(nil), t.Members...)
+	s.epoch.Store(t.Epoch)
+}
+
+// OfferTopology applies the wire adoption rule to a pushed topology: adopt
+// it when it is strictly newer than the held view, or when no view is held
+// yet; otherwise keep the current one. Offers with no members are never
+// adopted — holding a bare epoch over an empty member list would let a
+// later, lower epoch "win" and roll the monotonic epoch backwards. It
+// returns the view the server holds after the offer, which the TOPOLOGY
+// response reports so a losing pusher learns the newer topology in the
+// same round trip.
+func (s *Server) OfferTopology(t wire.Topology) wire.Topology {
+	s.topoMu.Lock()
+	defer s.topoMu.Unlock()
+	if len(t.Members) > 0 && (t.Epoch > s.epoch.Load() || len(s.members) == 0) {
+		s.members = append([]string(nil), t.Members...)
+		s.epoch.Store(t.Epoch)
+	}
+	return wire.Topology{Epoch: s.epoch.Load(), Members: append([]string(nil), s.members...)}
 }
 
 // Cache returns the underlying cache (used by tests and embedders).
@@ -107,7 +209,8 @@ func (s *Server) Addr() net.Addr {
 }
 
 // Close stops accepting, closes all live connections, and waits for their
-// handlers to finish.
+// handlers — and the async maintenance worker, if one ever started — to
+// finish.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -125,6 +228,10 @@ func (s *Server) Close() error {
 		err = ln.Close()
 	}
 	s.wg.Wait()
+	close(s.repairStop)
+	if s.repairQueue() != nil {
+		<-s.repairDone
+	}
 	return err
 }
 
@@ -147,9 +254,17 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return // clean EOF or protocol error; either way the conn is done
 		}
-		resp := s.apply(req)
-		if err := w.WriteResponse(resp); err != nil {
-			return
+		if req.Op == wire.OpKeys {
+			// KEYS answers with a stream of chunk frames, not one response.
+			if err := s.streamKeys(w); err != nil {
+				return
+			}
+		} else {
+			resp := s.apply(req)
+			resp.Epoch = s.epoch.Load()
+			if err := w.WriteResponse(resp); err != nil {
+				return
+			}
 		}
 		// Pipelining: only pay the syscall when the client has no more
 		// requests already buffered.
@@ -159,6 +274,30 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// streamKeys writes the chunked KEYS response: a racy snapshot of the
+// resident keys split into bounded frames, ending in an empty terminator
+// frame. Chunking keeps every frame far below MaxFrame, so a node's
+// enumerable residency is no longer capped by the frame limit.
+func (s *Server) streamKeys(w *wire.Writer) error {
+	keys := s.cache.Keys()
+	chunk := int(s.keysChunk.Load())
+	if chunk <= 0 {
+		chunk = wire.DefaultKeysChunk
+	}
+	for off := 0; off < len(keys); off += chunk {
+		end := off + chunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		if err := w.WriteResponse(wire.Response{
+			Status: wire.StatusKeys, Keys: keys[off:end], Epoch: s.epoch.Load(),
+		}); err != nil {
+			return err
+		}
+	}
+	return w.WriteResponse(wire.Response{Status: wire.StatusKeys, Epoch: s.epoch.Load()})
 }
 
 // apply executes one request against the cache.
@@ -182,8 +321,16 @@ func (s *Server) apply(req wire.Request) wire.Response {
 			s.sets.Add(1)
 		}
 		// The request value aliases the reader's scratch buffer; copy before
-		// it escapes into the cache.
-		_, evicted := s.cache.Put(req.Key, append([]byte(nil), req.Value...))
+		// it escapes into the cache or the maintenance queue.
+		val := append([]byte(nil), req.Value...)
+		if req.Flags&wire.SetFlagAsync != 0 {
+			// OK means accepted: the write is applied (or shed) by the
+			// background worker, so maintenance floods never stall the
+			// request path. Eviction is unknowable here; the flag stays 0.
+			s.enqueueRepair(req.Key, val)
+			return wire.Response{Status: wire.StatusOK}
+		}
+		_, evicted := s.cache.Put(req.Key, val)
 		return wire.Response{Status: wire.StatusOK, Evicted: evicted}
 	case wire.OpDel:
 		if s.cache.Delete(req.Key) {
@@ -195,15 +342,67 @@ func (s *Server) apply(req wire.Request) wire.Response {
 	case wire.OpRehash:
 		s.cache.Rehash()
 		return wire.Response{Status: wire.StatusOK}
-	case wire.OpKeys:
-		keys := s.cache.Keys()
-		if 1+4+8*len(keys) > wire.MaxFrame {
-			return wire.Response{Status: wire.StatusError,
-				Err: fmt.Sprintf("KEYS snapshot of %d residents exceeds the frame limit", len(keys))}
-		}
-		return wire.Response{Status: wire.StatusKeys, Keys: keys}
+	case wire.OpMembers:
+		return wire.Response{Status: wire.StatusMembers, Topology: s.Topology()}
+	case wire.OpTopology:
+		return wire.Response{Status: wire.StatusMembers, Topology: s.OfferTopology(req.Topology)}
 	default:
 		return wire.Response{Status: wire.StatusError, Err: fmt.Sprintf("unknown op %v", req.Op)}
+	}
+}
+
+// repairQueue returns the async maintenance channel, or nil when none was
+// created (no async write arrived yet, or the queue is disabled).
+func (s *Server) repairQueue() chan repairWrite {
+	ch, _ := s.repairCh.Load().(chan repairWrite)
+	return ch
+}
+
+// enqueueRepair hands an async maintenance write to the background worker,
+// shedding it (counted) when the queue is full or disabled.
+func (s *Server) enqueueRepair(key uint64, val []byte) {
+	s.repairOnce.Do(func() {
+		depth := s.repairDepth
+		if !s.repairDepthSet {
+			depth = DefaultRepairQueue
+		}
+		if depth <= 0 {
+			return // queue disabled: every async write sheds
+		}
+		ch := make(chan repairWrite, depth)
+		s.repairCh.Store(ch)
+		go s.repairLoop(ch)
+	})
+	ch := s.repairQueue()
+	if ch == nil {
+		s.repairsShed.Add(1)
+		return
+	}
+	select {
+	case ch <- repairWrite{key: key, val: val}:
+	default:
+		s.repairsShed.Add(1)
+	}
+}
+
+// repairLoop drains the async maintenance queue until Close, then applies
+// whatever is already queued and exits.
+func (s *Server) repairLoop(ch chan repairWrite) {
+	defer close(s.repairDone)
+	for {
+		select {
+		case w := <-ch:
+			s.cache.Put(w.key, w.val)
+		case <-s.repairStop:
+			for {
+				select {
+				case w := <-ch:
+					s.cache.Put(w.key, w.val)
+				default:
+					return
+				}
+			}
+		}
 	}
 }
 
@@ -223,7 +422,11 @@ func (s *Server) stats(detail bool) *wire.Stats {
 		Buckets:           uint64(snap.Buckets),
 		Sets:              s.sets.Load(),
 		RepairSets:        s.repairSets.Load(),
+		RepairsShed:       s.repairsShed.Load(),
 		Migrating:         snap.Migrating,
+	}
+	if ch := s.repairQueue(); ch != nil {
+		st.RepairQueueDepth = uint64(len(ch))
 	}
 	if detail {
 		shards := s.cache.ShardStats()

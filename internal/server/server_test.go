@@ -101,6 +101,187 @@ func TestBasicOps(t *testing.T) {
 	}
 }
 
+// TestTopologyAdoption pins the server-side adoption rule: a fresh server
+// adopts any offer, a newer epoch wins, an older or equal one is kept out,
+// and every response stamps the current epoch.
+func TestTopologyAdoption(t *testing.T) {
+	_, addr := startServer(t, concurrent.Config{Capacity: 64, Alpha: 4, Seed: 1})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if tp, err := c.Members(); err != nil || tp.Epoch != 0 || len(tp.Members) != 0 {
+		t.Fatalf("fresh server Members() = %+v, %v; want empty epoch-0 view", tp, err)
+	}
+	// Fresh server adopts an epoch-0 push (it holds nothing).
+	tp, err := c.PushTopology(wire.Topology{Epoch: 0, Members: []string{"a:1"}})
+	if err != nil || tp.Epoch != 0 || len(tp.Members) != 1 {
+		t.Fatalf("founding push returned %+v, %v", tp, err)
+	}
+	// Equal epoch with members held: rejected.
+	tp, err = c.PushTopology(wire.Topology{Epoch: 0, Members: []string{"b:1"}})
+	if err != nil || len(tp.Members) != 1 || tp.Members[0] != "a:1" {
+		t.Fatalf("equal-epoch push returned %+v, %v; want the held view kept", tp, err)
+	}
+	// Newer epoch: adopted, and subsequent responses carry it.
+	tp, err = c.PushTopology(wire.Topology{Epoch: 5, Members: []string{"a:1", "b:1"}})
+	if err != nil || tp.Epoch != 5 || len(tp.Members) != 2 {
+		t.Fatalf("newer push returned %+v, %v", tp, err)
+	}
+	if _, _, err := c.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if e := c.LastEpoch(); e != 5 {
+		t.Errorf("GET response epoch = %d, want 5", e)
+	}
+	// Older epoch: rejected, the response reports the newer held view.
+	tp, err = c.PushTopology(wire.Topology{Epoch: 4, Members: []string{"z:1"}})
+	if err != nil || tp.Epoch != 5 {
+		t.Fatalf("stale push returned %+v, %v; want the epoch-5 view kept", tp, err)
+	}
+	// An empty push is a protocol error at both ends: the client refuses
+	// to encode it, and the adoption rule ignores it — adopting a bare
+	// high epoch over no members would let a later lower epoch roll the
+	// monotonic epoch backwards.
+	if _, err := c.PushTopology(wire.Topology{Epoch: 99}); err == nil {
+		t.Error("client encoded an empty TOPOLOGY push")
+	}
+	srv, _ := startServer(t, concurrent.Config{Capacity: 64, Alpha: 4, Seed: 2})
+	srv.SetTopology(wire.Topology{Epoch: 5, Members: []string{"a:1"}})
+	if got := srv.OfferTopology(wire.Topology{Epoch: 99}); got.Epoch != 5 || len(got.Members) != 1 {
+		t.Errorf("empty offer at epoch 99 returned %+v; want the held view kept", got)
+	}
+}
+
+// TestKeysStreamChunks shrinks the server's chunk size and checks a KEYS
+// enumeration arrives as multiple bounded frames that reassemble to
+// exactly the resident set.
+func TestKeysStreamChunks(t *testing.T) {
+	srv, addr := startServer(t, concurrent.Config{Capacity: 1024, Alpha: 64, Seed: 1})
+	srv.SetKeysChunk(16)
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 100
+	want := map[uint64]bool{}
+	for k := uint64(0); k < n; k++ {
+		if _, err := c.Set(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = true
+	}
+	frames := 0
+	got := map[uint64]bool{}
+	if err := c.KeysStream(func(chunk []uint64) error {
+		frames++
+		if len(chunk) > 16 {
+			t.Errorf("chunk frame carries %d keys, configured max 16", len(chunk))
+		}
+		for _, k := range chunk {
+			got[k] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if frames < n/16 {
+		t.Errorf("stream used %d frames for %d keys at chunk 16; want ≥ %d", frames, n, n/16)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d distinct keys, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("key %d missing from stream", k)
+		}
+	}
+}
+
+// TestAsyncRepairApplied: an ASYNC repair SET is acknowledged on accept and
+// applied by the background worker shortly after.
+func TestAsyncRepairApplied(t *testing.T) {
+	_, addr := startServer(t, concurrent.Config{Capacity: 64, Alpha: 4, Seed: 1})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.SetFlags(7, wire.SetFlagRepair|wire.SetFlagAsync, []byte("queued")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, ok, err := c.Get(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			if string(v) != "queued" {
+				t.Fatalf("async repair stored %q, want %q", v, "queued")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async repair not applied within deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, err := c.Stats(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RepairSets != 1 || st.RepairsShed != 0 {
+		t.Errorf("RepairSets/RepairsShed = %d/%d, want 1/0", st.RepairSets, st.RepairsShed)
+	}
+}
+
+// TestAsyncRepairShed: with the maintenance queue disabled every ASYNC
+// write is shed — acknowledged, dropped, and counted — while synchronous
+// repair writes still apply. This is the backpressure contract: shedding
+// is visible in STATS, never silent.
+func TestAsyncRepairShed(t *testing.T) {
+	srv, addr := startServer(t, concurrent.Config{Capacity: 64, Alpha: 4, Seed: 1})
+	srv.SetRepairQueue(0)
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for k := uint64(0); k < 5; k++ {
+		if _, err := c.SetFlags(k, wire.SetFlagRepair|wire.SetFlagAsync, []byte("shed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.SetFlags(99, wire.SetFlagRepair, []byte("sync")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RepairsShed != 5 {
+		t.Errorf("RepairsShed = %d, want 5", st.RepairsShed)
+	}
+	if st.RepairSets != 6 {
+		t.Errorf("RepairSets = %d, want 6 (shed writes still count as received repairs)", st.RepairSets)
+	}
+	for k := uint64(0); k < 5; k++ {
+		if _, ok, err := c.Get(k); err != nil || ok {
+			t.Errorf("shed key %d present = %v, %v; want dropped", k, ok, err)
+		}
+	}
+	if v, ok, err := c.Get(99); err != nil || !ok || string(v) != "sync" {
+		t.Errorf("synchronous repair = %q, %v, %v; must apply regardless of the queue", v, ok, err)
+	}
+}
+
 // TestKeysSnapshot checks the KEYS op returns exactly the resident keys.
 func TestKeysSnapshot(t *testing.T) {
 	// α = 64 slots per bucket: 40 inserts can never overflow a bucket, so

@@ -17,6 +17,9 @@ type Client struct {
 	conn io.ReadWriteCloser
 	r    *Reader
 	w    *Writer
+	// lastEpoch is the topology epoch carried by the most recent response;
+	// see LastEpoch.
+	lastEpoch uint64
 }
 
 // Dial connects to a cached server and performs the preamble handshake.
@@ -73,11 +76,18 @@ func (c *Client) ReadResponse() (Response, error) {
 	if err != nil {
 		return resp, err
 	}
+	c.lastEpoch = resp.Epoch
 	if resp.Status == StatusError {
 		return resp, fmt.Errorf("wire: server error: %s", resp.Err)
 	}
 	return resp, nil
 }
+
+// LastEpoch returns the server topology epoch carried by the most recent
+// response read on this connection (0 before any response). The cluster
+// router compares it against its own epoch to piggyback membership
+// staleness detection on ordinary traffic.
+func (c *Client) LastEpoch() uint64 { return c.lastEpoch }
 
 func (c *Client) roundTrip(req Request) (Response, error) {
 	if err := c.w.WriteRequest(req); err != nil {
@@ -153,17 +163,77 @@ func (c *Client) Stats(detail bool) (*Stats, error) {
 	return resp.Stats, nil
 }
 
-// Keys fetches a racy snapshot of every resident key. The cluster router
-// uses it to migrate entries off a node being removed.
+// Keys fetches a racy snapshot of every resident key by draining the
+// chunked KEYS stream. The cluster router uses it to migrate entries off a
+// node being removed and to warm a newcomer up.
 func (c *Client) Keys() ([]uint64, error) {
-	resp, err := c.roundTrip(Request{Op: OpKeys})
+	var all []uint64
+	err := c.KeysStream(func(chunk []uint64) error {
+		all = append(all, chunk...)
+		return nil
+	})
+	return all, err
+}
+
+// KeysStream issues one KEYS request and calls visit once per chunk frame
+// until the server's terminator (an empty KEYS frame) arrives. The chunk
+// slice aliases a connection buffer valid only for the duration of the
+// call. A KEYS stream occupies the connection until the terminator: no
+// other request may be pipelined behind it. If visit returns an error the
+// remaining frames are drained (so the connection stays usable for the
+// next request) and that error is returned.
+func (c *Client) KeysStream(visit func(chunk []uint64) error) error {
+	if err := c.w.WriteRequest(Request{Op: OpKeys}); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	var verr error
+	for {
+		resp, err := c.ReadResponse()
+		if err != nil {
+			return err
+		}
+		if resp.Status != StatusKeys {
+			return fmt.Errorf("wire: unexpected KEYS response %v", resp.Status)
+		}
+		if len(resp.Keys) == 0 {
+			return verr
+		}
+		if verr == nil {
+			verr = visit(resp.Keys)
+		}
+	}
+}
+
+// Members fetches the server's current cluster topology: its member list
+// and epoch. A server that was never told a topology reports epoch 0 and
+// no members.
+func (c *Client) Members() (Topology, error) {
+	resp, err := c.roundTrip(Request{Op: OpMembers})
 	if err != nil {
-		return nil, err
+		return Topology{}, err
 	}
-	if resp.Status != StatusKeys {
-		return nil, fmt.Errorf("wire: unexpected KEYS response %v", resp.Status)
+	if resp.Status != StatusMembers {
+		return Topology{}, fmt.Errorf("wire: unexpected MEMBERS response %v", resp.Status)
 	}
-	return resp.Keys, nil
+	return resp.Topology, nil
+}
+
+// PushTopology offers t to the server, which adopts it only if it is
+// strictly newer than the topology it holds (or if it holds none). The
+// returned topology is the server's view after the push — equal to t when
+// it was adopted, the server's newer view when the push lost the race.
+func (c *Client) PushTopology(t Topology) (Topology, error) {
+	resp, err := c.roundTrip(Request{Op: OpTopology, Topology: t})
+	if err != nil {
+		return Topology{}, err
+	}
+	if resp.Status != StatusMembers {
+		return Topology{}, fmt.Errorf("wire: unexpected TOPOLOGY response %v", resp.Status)
+	}
+	return resp.Topology, nil
 }
 
 // GetBatch pipelines one GET per key and calls visit for each response in

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"io"
 	"net"
 	"strings"
@@ -140,6 +141,163 @@ func TestVersionMismatch(t *testing.T) {
 	r := NewReader(conn)
 	if _, err := r.ReadResponse(); err == nil {
 		t.Fatal("read after mismatched preamble succeeded; want connection error")
+	}
+}
+
+// TestClientKeysStream covers the chunked KEYS stream: the client must
+// collect every chunk, stop at the terminator, and leave the connection
+// usable for the next request.
+func TestClientKeysStream(t *testing.T) {
+	chunks := [][]uint64{{1, 2, 3}, {4, 5}, {6}}
+	addr := fakeServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		r, w := NewReader(conn), NewWriter(conn)
+		if err := r.ReadPreamble(); err != nil {
+			return
+		}
+		// First request: KEYS → three chunks + terminator, all epoch 9.
+		if _, err := r.ReadRequest(); err != nil {
+			return
+		}
+		for _, c := range chunks {
+			w.WriteResponse(Response{Status: StatusKeys, Keys: c, Epoch: 9})
+		}
+		w.WriteResponse(Response{Status: StatusKeys, Epoch: 9})
+		w.Flush()
+		// Second request: GET → MISS, proving the stream terminated cleanly.
+		if _, err := r.ReadRequest(); err != nil {
+			return
+		}
+		w.WriteResponse(Response{Status: StatusMiss, Epoch: 9})
+		w.Flush()
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var got []uint64
+	frames := 0
+	if err := c.KeysStream(func(chunk []uint64) error {
+		frames++
+		got = append(got, chunk...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if frames != len(chunks) {
+		t.Errorf("visited %d chunk frames, want %d", frames, len(chunks))
+	}
+	want := []uint64{1, 2, 3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("streamed keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("streamed keys = %v, want %v", got, want)
+		}
+	}
+	if e := c.LastEpoch(); e != 9 {
+		t.Errorf("LastEpoch = %d, want 9 (from the stream frames)", e)
+	}
+	if _, hit, err := c.Get(42); err != nil || hit {
+		t.Fatalf("Get after KEYS stream = hit=%v, %v; connection should be clean", hit, err)
+	}
+}
+
+// TestClientKeysStreamVisitError: a visit error must surface to the caller
+// but the stream must still be drained to its terminator, leaving the
+// connection synchronized for the next request.
+func TestClientKeysStreamVisitError(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		r, w := NewReader(conn), NewWriter(conn)
+		if err := r.ReadPreamble(); err != nil {
+			return
+		}
+		if _, err := r.ReadRequest(); err != nil {
+			return
+		}
+		for _, c := range [][]uint64{{1, 2}, {3, 4}, {5}} {
+			w.WriteResponse(Response{Status: StatusKeys, Keys: c})
+		}
+		w.WriteResponse(Response{Status: StatusKeys})
+		w.Flush()
+		if _, err := r.ReadRequest(); err != nil {
+			return
+		}
+		w.WriteResponse(Response{Status: StatusMiss})
+		w.Flush()
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	visits := 0
+	boom := fmt.Errorf("abort after first chunk")
+	if err := c.KeysStream(func([]uint64) error {
+		visits++
+		return boom
+	}); err != boom {
+		t.Fatalf("KeysStream = %v, want the visit error %v", err, boom)
+	}
+	if visits != 1 {
+		t.Errorf("visit called %d times after erroring, want 1", visits)
+	}
+	if _, hit, err := c.Get(7); err != nil || hit {
+		t.Fatalf("Get after aborted stream = hit=%v, %v; the stream must have been drained", hit, err)
+	}
+}
+
+// TestClientMembersAndPush covers the MEMBERS fetch and TOPOLOGY push round
+// trips.
+func TestClientMembersAndPush(t *testing.T) {
+	held := Topology{Epoch: 3, Members: []string{"a:1", "b:1"}}
+	addr := fakeServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		r, w := NewReader(conn), NewWriter(conn)
+		if err := r.ReadPreamble(); err != nil {
+			return
+		}
+		for {
+			req, err := r.ReadRequest()
+			if err != nil {
+				return
+			}
+			switch req.Op {
+			case OpMembers:
+				w.WriteResponse(Response{Status: StatusMembers, Epoch: held.Epoch, Topology: held})
+			case OpTopology:
+				if req.Topology.Epoch > held.Epoch {
+					held = req.Topology
+				}
+				w.WriteResponse(Response{Status: StatusMembers, Epoch: held.Epoch, Topology: held})
+			}
+			w.Flush()
+		}
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	got, err := c.Members()
+	if err != nil || got.Epoch != 3 || len(got.Members) != 2 {
+		t.Fatalf("Members() = %+v, %v", got, err)
+	}
+	// A stale push loses: the server's newer view comes back.
+	after, err := c.PushTopology(Topology{Epoch: 2, Members: []string{"z:1"}})
+	if err != nil || after.Epoch != 3 {
+		t.Fatalf("stale push returned %+v, %v; want the held epoch-3 view", after, err)
+	}
+	// A newer push wins.
+	after, err = c.PushTopology(Topology{Epoch: 4, Members: []string{"a:1", "b:1", "c:1"}})
+	if err != nil || after.Epoch != 4 || len(after.Members) != 3 {
+		t.Fatalf("newer push returned %+v, %v; want it adopted", after, err)
 	}
 }
 

@@ -65,15 +65,25 @@ func TestSpecPreambleAndLimits(t *testing.T) {
 	}
 
 	limits := specSection(t, doc, "### Limits")
-	maxFrame := regexp.MustCompile(`\|\s*MaxFrame\s*\|\s*(\d+)\s*\|`).FindStringSubmatch(limits)
-	if maxFrame == nil || maxFrame[1] != strconv.Itoa(MaxFrame) {
-		t.Errorf("spec MaxFrame = %v, implementation %d", maxFrame, MaxFrame)
+	for _, lim := range []struct {
+		name string
+		impl int
+	}{
+		{"MaxFrame", MaxFrame},
+		{"KeysChunk", DefaultKeysChunk},
+		{"MaxMembers", MaxMembers},
+		{"MaxAddrLen", MaxAddrLen},
+	} {
+		got := regexp.MustCompile(`\|\s*` + lim.name + `\s*\|\s*(\d+)\s*\|`).FindStringSubmatch(limits)
+		if got == nil || got[1] != strconv.Itoa(lim.impl) {
+			t.Errorf("spec %s = %v, implementation %d", lim.name, got, lim.impl)
+		}
 	}
 }
 
 func TestSpecOpcodes(t *testing.T) {
 	codes := tableCodes(specSection(t, specDoc(t), "### Request opcodes"))
-	want := []Op{OpGet, OpSet, OpDel, OpStats, OpRehash, OpKeys}
+	want := []Op{OpGet, OpSet, OpDel, OpStats, OpRehash, OpKeys, OpMembers, OpTopology}
 	if len(codes) != len(want) {
 		t.Errorf("spec lists %d opcodes, implementation has %d", len(codes), len(want))
 	}
@@ -86,7 +96,7 @@ func TestSpecOpcodes(t *testing.T) {
 
 func TestSpecStatuses(t *testing.T) {
 	codes := tableCodes(specSection(t, specDoc(t), "### Response statuses"))
-	want := []Status{StatusHit, StatusMiss, StatusOK, StatusStats, StatusError, StatusKeys}
+	want := []Status{StatusHit, StatusMiss, StatusOK, StatusStats, StatusError, StatusKeys, StatusMembers}
 	if len(codes) != len(want) {
 		t.Errorf("spec lists %d statuses, implementation has %d", len(codes), len(want))
 	}
@@ -99,18 +109,63 @@ func TestSpecStatuses(t *testing.T) {
 
 func TestSpecSetFlags(t *testing.T) {
 	section := specSection(t, specDoc(t), "### SET flag bits")
-	repair := regexp.MustCompile(`\|\s*REPAIR\s*\|\s*0x([0-9a-fA-F]+)\s*\|`).FindStringSubmatch(section)
-	if repair == nil {
-		t.Fatal("spec lacks the REPAIR flag row")
-	}
-	bit, err := strconv.ParseUint(repair[1], 16, 8)
-	if err != nil || SetFlags(bit) != SetFlagRepair {
-		t.Errorf("spec REPAIR = 0x%s, implementation %#02x", repair[1], byte(SetFlagRepair))
+	for _, f := range []struct {
+		name string
+		impl SetFlags
+	}{
+		{"REPAIR", SetFlagRepair},
+		{"ASYNC", SetFlagAsync},
+	} {
+		row := regexp.MustCompile(`\|\s*` + f.name + `\s*\|\s*0x([0-9a-fA-F]+)\s*\|`).FindStringSubmatch(section)
+		if row == nil {
+			t.Fatalf("spec lacks the %s flag row", f.name)
+		}
+		bit, err := strconv.ParseUint(row[1], 16, 8)
+		if err != nil || SetFlags(bit) != f.impl {
+			t.Errorf("spec %s = 0x%s, implementation %#02x", f.name, row[1], byte(f.impl))
+		}
 	}
 	// Every defined flag must be documented: if a new bit joins
 	// setFlagsDefined, this forces a spec row for it.
-	if setFlagsDefined != SetFlagRepair {
+	if setFlagsDefined != SetFlagRepair|SetFlagAsync {
 		t.Error("setFlagsDefined grew; document the new flag bit in ARCHITECTURE.md and extend this test")
+	}
+}
+
+// TestSpecTopologyPayload pins the topology payload table: field order and
+// types must match the encoder (epoch uint64, count uint32, then repeated
+// uint16-length-prefixed addresses).
+func TestSpecTopologyPayload(t *testing.T) {
+	section := specSection(t, specDoc(t), "### Topology payload")
+	rows := regexp.MustCompile(`(?m)^\|\s*(\w+)\s*\|\s*(\w+)\s*\|`).FindAllStringSubmatch(section, -1)
+	var fields []string
+	for _, r := range rows {
+		if r[1] == "field" {
+			continue // header row
+		}
+		fields = append(fields, r[1]+":"+r[2])
+	}
+	want := []string{"Epoch:uint64", "Count:uint32", "AddrLen:uint16", "Addr:bytes"}
+	if len(fields) != len(want) {
+		t.Fatalf("spec topology payload lists %v, want %v", fields, want)
+	}
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Errorf("spec topology payload field %d = %q, want %q", i+1, fields[i], want[i])
+		}
+	}
+}
+
+// TestSpecEpochInResponses pins the normative sentence that every response
+// carries the topology epoch between status byte and fields — the
+// staleness piggyback clients rely on.
+func TestSpecEpochInResponses(t *testing.T) {
+	section := specSection(t, specDoc(t), "### Response statuses")
+	if !regexp.MustCompile(`(?i)every.*response.*epoch|epoch.*every.*response`).MatchString(section) {
+		t.Error("spec response-status section must state that every response carries the topology epoch")
+	}
+	if !strings.Contains(section, "terminated by a KEYS frame with count 0") {
+		t.Error("spec must document the KEYS stream terminator (a KEYS frame with count 0)")
 	}
 }
 

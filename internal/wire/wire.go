@@ -10,7 +10,7 @@
 // with a 8-byte client preamble:
 //
 //	magic   [4]byte  "SACW" (Set-Associative Cache Wire)
-//	version uint32   2
+//	version uint32   3
 //
 // after which both directions carry length-prefixed frames:
 //
@@ -18,30 +18,49 @@
 //	body    length × byte
 //
 // A request body is an opcode byte followed by opcode-specific fields; a
-// response body is a status byte followed by status-specific fields.
-// Responses are returned in request order, so clients may pipeline: write
-// any number of request frames before reading the matching responses. The
-// server flushes its write buffer whenever it runs out of buffered requests,
-// making batched round trips cheap.
+// response body is a status byte, the server's topology epoch (uint64),
+// then status-specific fields. Responses are returned in request order, so
+// clients may pipeline: write any number of request frames before reading
+// the matching responses. The server flushes its write buffer whenever it
+// runs out of buffered requests, making batched round trips cheap.
 //
-//	GET    key uint64                        → Hit value | Miss
-//	SET    key uint64, flags byte, value     → OK evicted byte(0|1)
-//	DEL    key uint64                        → OK | Miss
-//	STATS  detail byte(0|1)                  → Stats payload (see Stats)
-//	REHASH                                   → OK
-//	KEYS                                     → Keys count uint32, count × uint64
+//	GET      key uint64                        → Hit value | Miss
+//	SET      key uint64, flags byte, value     → OK evicted byte(0|1)
+//	DEL      key uint64                        → OK | Miss
+//	STATS    detail byte(0|1)                  → Stats payload (see Stats)
+//	REHASH                                     → OK
+//	KEYS                                       → stream of Keys frames; a
+//	                                             frame with count 0 terminates
+//	MEMBERS                                    → Members topology payload
+//	TOPOLOGY topology payload                  → Members (the view after apply)
 //
-// Version 2 added the SET flags byte between key and value. Its only
+// Version 2 added the SET flags byte between key and value. Its first
 // defined bit, SetFlagRepair, marks replica-maintenance writes — read
-// repair and migration re-SETs issued by the cluster router — so servers
-// can account for them separately from user traffic (Stats.Sets vs
+// repair, warm-up and migration re-SETs issued by the cluster router — so
+// servers can account for them separately from user traffic (Stats.Sets vs
 // Stats.RepairSets) instead of recounting internal churn as load.
 //
-// KEYS is the migration primitive for the cluster router
+// Version 3 made cluster topology a first-class wire concept:
+//
+//   - Every response carries the server's topology epoch right after the
+//     status byte, so a router piggybacks staleness detection on normal
+//     traffic: a response epoch above its own means the membership changed
+//     and a MEMBERS refresh is due.
+//   - MEMBERS returns the server's current member list plus epoch, and
+//     TOPOLOGY pushes one at it (adopted only if it is newer; the response
+//     reports the view the server actually holds). See Topology.
+//   - KEYS became a stream of bounded chunk frames ending in a terminator
+//     (count 0), so enumerating a node is no longer capped by MaxFrame —
+//     migration and warm-up scale past millions of residents.
+//   - SetFlagAsync (valid only with SetFlagRepair) lets maintenance writes
+//     be applied through the server's bounded background queue, shed under
+//     overload, so repair floods never stall user traffic.
+//
+// KEYS is the migration and warm-up primitive for the cluster router
 // (internal/cluster): removing a node enumerates its residents and re-SETs
-// them on their new owners. The snapshot is racy (concurrent traffic may
-// add or evict entries while it is taken) and must fit in one frame, which
-// bounds it to about two million keys.
+// them on their new owners; adding one streams the newcomer's share into
+// it. The snapshot is racy — concurrent traffic may add or evict entries
+// while it is taken.
 package wire
 
 import (
@@ -57,12 +76,107 @@ const (
 	Magic = "SACW"
 	// Version is the protocol revision; the preamble carries it and servers
 	// reject mismatches. Version 2 added the SET flags byte and the
-	// Sets/RepairSets counters in the STATS payload.
-	Version = 2
+	// Sets/RepairSets counters in the STATS payload; version 3 added the
+	// topology epoch to every response, the MEMBERS and TOPOLOGY ops,
+	// chunked KEYS streaming, the ASYNC SET flag, and the
+	// RepairQueueDepth/RepairsShed counters.
+	Version = 3
 	// MaxFrame bounds a frame body; it caps both value sizes and the damage
 	// a corrupt length prefix can do.
 	MaxFrame = 16 << 20
+	// DefaultKeysChunk is the key count per KEYS stream frame servers use
+	// unless configured otherwise: 64Ki keys is a 512KiB frame, far below
+	// MaxFrame, and a full enumeration costs one frame per chunk rather
+	// than one unbounded frame per node.
+	DefaultKeysChunk = 1 << 16
+	// MaxMembers bounds the member count of a topology payload.
+	MaxMembers = 4096
+	// MaxAddrLen bounds one member address in a topology payload.
+	MaxAddrLen = 255
 )
+
+// Topology is a cluster member list stamped with a monotonically increasing
+// epoch. Servers hold one (pushed by routers or joining peers via the
+// TOPOLOGY op, served back via MEMBERS) and stamp its epoch into every
+// response, which is how clients detect membership changes without polling.
+// A server adopts a pushed topology only when it is strictly newer than the
+// one it holds (or when it holds none), so stale pushes cannot roll the
+// cluster view backwards.
+type Topology struct {
+	// Epoch is the version of the member list; it only ever increases.
+	Epoch uint64
+	// Members are the cluster node addresses, conventionally sorted.
+	Members []string
+}
+
+// Validate rejects a topology whose member list could not have been
+// produced by a conforming peer: too many members, empty or oversized
+// addresses, or duplicates.
+func (t Topology) Validate() error {
+	if len(t.Members) > MaxMembers {
+		return fmt.Errorf("wire: topology has %d members, max %d", len(t.Members), MaxMembers)
+	}
+	seen := make(map[string]bool, len(t.Members))
+	for _, m := range t.Members {
+		if m == "" {
+			return fmt.Errorf("wire: topology has an empty member address")
+		}
+		if len(m) > MaxAddrLen {
+			return fmt.Errorf("wire: topology member address %d bytes, max %d", len(m), MaxAddrLen)
+		}
+		if seen[m] {
+			return fmt.Errorf("wire: topology lists member %q twice", m)
+		}
+		seen[m] = true
+	}
+	return nil
+}
+
+// appendTopology encodes t: epoch, member count, then length-prefixed
+// addresses. The same layout serves TOPOLOGY requests and MEMBERS
+// responses.
+func appendTopology(body []byte, t Topology) []byte {
+	body = binary.LittleEndian.AppendUint64(body, t.Epoch)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(t.Members)))
+	for _, m := range t.Members {
+		body = binary.LittleEndian.AppendUint16(body, uint16(len(m)))
+		body = append(body, m...)
+	}
+	return body
+}
+
+// parseTopology decodes a topology payload and validates it.
+func parseTopology(body []byte) (Topology, error) {
+	if len(body) < 12 {
+		return Topology{}, fmt.Errorf("wire: topology payload %d bytes, want ≥12", len(body))
+	}
+	t := Topology{Epoch: binary.LittleEndian.Uint64(body)}
+	n := int(binary.LittleEndian.Uint32(body[8:]))
+	if n > MaxMembers {
+		return Topology{}, fmt.Errorf("wire: topology claims %d members, max %d", n, MaxMembers)
+	}
+	body = body[12:]
+	t.Members = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(body) < 2 {
+			return Topology{}, fmt.Errorf("wire: topology payload truncated at member %d", i)
+		}
+		l := int(binary.LittleEndian.Uint16(body))
+		body = body[2:]
+		if len(body) < l {
+			return Topology{}, fmt.Errorf("wire: topology member %d claims %d bytes, %d remain", i, l, len(body))
+		}
+		t.Members = append(t.Members, string(body[:l]))
+		body = body[l:]
+	}
+	if len(body) != 0 {
+		return Topology{}, fmt.Errorf("wire: topology payload has %d trailing bytes", len(body))
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}
 
 // SetFlags is the flag byte carried by every SET request; it is a bit set.
 type SetFlags byte
@@ -70,14 +184,25 @@ type SetFlags byte
 // The defined SET flag bits. Servers reject frames with undefined bits set,
 // so the remaining bits stay available for future revisions.
 const (
-	// SetFlagRepair marks a SET as replica maintenance — a read-repair or
-	// migration write issued by the cluster router — rather than user
-	// traffic. Servers apply it normally but count it under
+	// SetFlagRepair marks a SET as replica maintenance — a read-repair,
+	// warm-up or migration write issued by the cluster router — rather
+	// than user traffic. Servers apply it normally but count it under
 	// Stats.RepairSets instead of Stats.Sets.
 	SetFlagRepair SetFlags = 1 << 0
 
+	// SetFlagAsync, valid only alongside SetFlagRepair, asks the server to
+	// apply the write through its bounded background maintenance queue:
+	// the OK response means accepted, not yet applied, and the write may
+	// be shed (counted in Stats.RepairsShed) when the queue is full.
+	// Callers must therefore be prepared to re-issue it later — which the
+	// cluster router's read repair is by construction, since the next
+	// fallback read of the key schedules a fresh repair. Migration and
+	// warm-up writes stay synchronous: their accounting ("every key moved
+	// or accounted for") cannot tolerate a silent shed.
+	SetFlagAsync SetFlags = 1 << 1
+
 	// setFlagsDefined masks the bits a conforming frame may set.
-	setFlagsDefined = SetFlagRepair
+	setFlagsDefined = SetFlagRepair | SetFlagAsync
 )
 
 // Op is a request opcode.
@@ -91,6 +216,8 @@ const (
 	OpStats
 	OpRehash
 	OpKeys
+	OpMembers
+	OpTopology
 )
 
 // String implements fmt.Stringer.
@@ -108,6 +235,10 @@ func (o Op) String() string {
 		return "REHASH"
 	case OpKeys:
 		return "KEYS"
+	case OpMembers:
+		return "MEMBERS"
+	case OpTopology:
+		return "TOPOLOGY"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
@@ -124,6 +255,7 @@ const (
 	StatusStats
 	StatusError
 	StatusKeys
+	StatusMembers
 )
 
 // String implements fmt.Stringer.
@@ -141,6 +273,8 @@ func (s Status) String() string {
 		return "ERROR"
 	case StatusKeys:
 		return "KEYS"
+	case StatusMembers:
+		return "MEMBERS"
 	default:
 		return fmt.Sprintf("Status(%d)", byte(s))
 	}
@@ -159,19 +293,27 @@ type Request struct {
 	Flags SetFlags
 	// Detail asks STATS to include per-shard counters.
 	Detail bool
+	// Topology is the payload of a TOPOLOGY push.
+	Topology Topology
 }
 
 // Response is one decoded response frame.
 type Response struct {
 	Status Status
+	// Epoch is the responding server's topology epoch; every response
+	// carries it, so clients piggyback staleness detection on any traffic.
+	Epoch uint64
 	// Value is a GET hit's payload; valid until the next Read call.
 	Value []byte
 	// Evicted reports whether a SET displaced an entry.
 	Evicted bool
 	// Stats is the payload of a STATS response.
 	Stats *Stats
-	// Keys is the payload of a KEYS response.
+	// Keys is the payload of one KEYS stream frame; an empty Keys frame
+	// terminates the stream.
 	Keys []uint64
+	// Topology is the payload of a MEMBERS response.
+	Topology Topology
 	// Err is the message of an error response.
 	Err string
 }
@@ -180,7 +322,11 @@ type Response struct {
 // concurrent.Snapshot for the cache-level field semantics. Sets and
 // RepairSets are tracked by the server itself: they split write traffic
 // into user SETs and replica-maintenance SETs (SetFlagRepair), so repair
-// churn never inflates the apparent user load.
+// churn never inflates the apparent user load. RepairQueueDepth and
+// RepairsShed expose the server's bounded queue of async maintenance
+// writes (SetFlagAsync), making repair backpressure observable: a rising
+// depth means maintenance is arriving faster than it drains, and a shed
+// is a repair the server dropped to protect user traffic.
 type Stats struct {
 	Hits              uint64
 	Misses            uint64
@@ -195,6 +341,8 @@ type Stats struct {
 	Buckets           uint64
 	Sets              uint64
 	RepairSets        uint64
+	RepairQueueDepth  uint64
+	RepairsShed       uint64
 	Migrating         bool
 	// Shards is present only when the STATS request set Detail.
 	Shards []ShardStat
@@ -221,6 +369,8 @@ var statsFields = []struct {
 	{"Buckets", func(s *Stats) *uint64 { return &s.Buckets }},
 	{"Sets", func(s *Stats) *uint64 { return &s.Sets }},
 	{"RepairSets", func(s *Stats) *uint64 { return &s.RepairSets }},
+	{"RepairQueueDepth", func(s *Stats) *uint64 { return &s.RepairQueueDepth }},
+	{"RepairsShed", func(s *Stats) *uint64 { return &s.RepairsShed }},
 }
 
 // MissRatio returns Misses / (Hits + Misses), or 0 before any GET.
@@ -240,7 +390,7 @@ type ShardStat struct {
 	Len       uint64
 }
 
-const statsFixedLen = 13*8 + 1 // 13 uint64 counters (statsFields) + migrating byte
+const statsFixedLen = 15*8 + 1 // 15 uint64 counters (statsFields) + migrating byte
 
 // Writer encodes frames onto a buffered stream. It is not safe for
 // concurrent use.
@@ -305,7 +455,15 @@ func (w *Writer) WriteRequest(req Request) error {
 			d = 1
 		}
 		body = append(body, d)
-	case OpRehash, OpKeys:
+	case OpRehash, OpKeys, OpMembers:
+	case OpTopology:
+		if err := req.Topology.Validate(); err != nil {
+			return err
+		}
+		if len(req.Topology.Members) == 0 {
+			return fmt.Errorf("wire: TOPOLOGY push with no members")
+		}
+		body = appendTopology(body, req.Topology)
 	default:
 		return fmt.Errorf("wire: unknown request op %v", req.Op)
 	}
@@ -314,13 +472,16 @@ func (w *Writer) WriteRequest(req Request) error {
 }
 
 // WriteResponse encodes one response frame (buffered; call Flush to send).
+// Every response carries resp.Epoch — the server's topology epoch — right
+// after the status byte.
 func (w *Writer) WriteResponse(resp Response) error {
-	n := 1 + len(resp.Value) + len(resp.Err) + 8*len(resp.Keys)
+	n := 9 + len(resp.Value) + len(resp.Err) + 8*len(resp.Keys)
 	if resp.Stats != nil {
 		n += statsFixedLen + 4 + 4*8*len(resp.Stats.Shards)
 	}
 	body := w.reset(n)
 	body = append(body, byte(resp.Status))
+	body = binary.LittleEndian.AppendUint64(body, resp.Epoch)
 	switch resp.Status {
 	case StatusHit:
 		body = append(body, resp.Value...)
@@ -343,6 +504,11 @@ func (w *Writer) WriteResponse(resp Response) error {
 		for _, k := range resp.Keys {
 			body = binary.LittleEndian.AppendUint64(body, k)
 		}
+	case StatusMembers:
+		if err := resp.Topology.Validate(); err != nil {
+			return err
+		}
+		body = appendTopology(body, resp.Topology)
 	default:
 		return fmt.Errorf("wire: unknown response status %v", resp.Status)
 	}
@@ -446,16 +612,33 @@ func (r *Reader) ReadRequest() (Request, error) {
 		if req.Flags&^setFlagsDefined != 0 {
 			return Request{}, fmt.Errorf("wire: SET flags %#02x has undefined bits", byte(req.Flags))
 		}
+		if req.Flags&SetFlagAsync != 0 && req.Flags&SetFlagRepair == 0 {
+			return Request{}, fmt.Errorf("wire: SET flag ASYNC is only valid with REPAIR")
+		}
 		req.Value = body[9:]
 	case OpStats:
 		if len(body) != 1 {
 			return Request{}, fmt.Errorf("wire: STATS body %d bytes, want 1", len(body))
 		}
 		req.Detail = body[0] != 0
-	case OpRehash, OpKeys:
+	case OpRehash, OpKeys, OpMembers:
 		if len(body) != 0 {
 			return Request{}, fmt.Errorf("wire: %v body %d bytes, want 0", req.Op, len(body))
 		}
+	case OpTopology:
+		t, err := parseTopology(body)
+		if err != nil {
+			return Request{}, err
+		}
+		// An empty MEMBERS response is legitimate (a fresh server knows no
+		// topology), but an empty *push* is not: adopting it would leave
+		// the receiver holding a high epoch over no members, from which
+		// any later epoch could "win" — a rollback of the monotonic-epoch
+		// invariant through one malformed frame.
+		if len(t.Members) == 0 {
+			return Request{}, fmt.Errorf("wire: TOPOLOGY push with no members")
+		}
+		req.Topology = t
 	default:
 		return Request{}, fmt.Errorf("wire: unknown request op %d", byte(req.Op))
 	}
@@ -469,11 +652,11 @@ func (r *Reader) ReadResponse() (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
-	if len(body) < 1 {
-		return Response{}, fmt.Errorf("wire: empty response frame")
+	if len(body) < 9 {
+		return Response{}, fmt.Errorf("wire: response frame %d bytes, want ≥9 (status + epoch)", len(body))
 	}
-	resp := Response{Status: Status(body[0])}
-	body = body[1:]
+	resp := Response{Status: Status(body[0]), Epoch: binary.LittleEndian.Uint64(body[1:])}
+	body = body[9:]
 	switch resp.Status {
 	case StatusHit:
 		resp.Value = body
@@ -508,6 +691,12 @@ func (r *Reader) ReadResponse() (Response, error) {
 				resp.Keys[i] = binary.LittleEndian.Uint64(body[8*i:])
 			}
 		}
+	case StatusMembers:
+		t, err := parseTopology(body)
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Topology = t
 	default:
 		return Response{}, fmt.Errorf("wire: unknown response status %d", byte(resp.Status))
 	}

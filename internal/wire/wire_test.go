@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -12,12 +13,15 @@ func TestRequestRoundTrip(t *testing.T) {
 	reqs := []Request{
 		{Op: OpGet, Key: 42},
 		{Op: OpSet, Key: 7, Value: []byte("hello world")},
-		{Op: OpSet, Key: 8, Value: nil},                                    // empty value is legal
-		{Op: OpSet, Key: 9, Flags: SetFlagRepair, Value: []byte("repair")}, // flagged maintenance write
+		{Op: OpSet, Key: 8, Value: nil},                                                   // empty value is legal
+		{Op: OpSet, Key: 9, Flags: SetFlagRepair, Value: []byte("repair")},                // flagged maintenance write
+		{Op: OpSet, Key: 10, Flags: SetFlagRepair | SetFlagAsync, Value: []byte("async")}, // queued maintenance write
 		{Op: OpDel, Key: 1 << 60},
 		{Op: OpStats, Detail: true},
 		{Op: OpStats, Detail: false},
 		{Op: OpRehash},
+		{Op: OpMembers},
+		{Op: OpTopology, Topology: Topology{Epoch: 7, Members: []string{"a:1", "b:2"}}},
 	}
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
@@ -41,6 +45,9 @@ func TestRequestRoundTrip(t *testing.T) {
 		if !bytes.Equal(got.Value, want.Value) {
 			t.Fatalf("request %d value = %q, want %q", i, got.Value, want.Value)
 		}
+		if !reflect.DeepEqual(got.Topology.Members, want.Topology.Members) || got.Topology.Epoch != want.Topology.Epoch {
+			t.Fatalf("request %d topology = %+v, want %+v", i, got.Topology, want.Topology)
+		}
 	}
 	if _, err := r.ReadRequest(); err == nil {
 		t.Fatal("expected EOF after last request")
@@ -51,6 +58,7 @@ func TestResponseRoundTrip(t *testing.T) {
 	stats := &Stats{
 		Hits: 10, Misses: 3, Evictions: 2, ConflictEvictions: 1, FlushEvictions: 5,
 		Rehashes: 1, Pending: 7, Len: 90, Capacity: 128, Alpha: 8, Buckets: 16,
+		RepairQueueDepth: 12, RepairsShed: 2,
 		Migrating: true,
 		Shards: []ShardStat{
 			{Hits: 4, Misses: 1, Evictions: 1, Len: 8},
@@ -58,13 +66,14 @@ func TestResponseRoundTrip(t *testing.T) {
 		},
 	}
 	resps := []Response{
-		{Status: StatusHit, Value: []byte("payload")},
-		{Status: StatusMiss},
+		{Status: StatusHit, Epoch: 5, Value: []byte("payload")},
+		{Status: StatusMiss, Epoch: 1 << 50},
 		{Status: StatusOK, Evicted: true},
-		{Status: StatusOK, Evicted: false},
-		{Status: StatusStats, Stats: stats},
+		{Status: StatusOK, Evicted: false, Epoch: 9},
+		{Status: StatusStats, Stats: stats, Epoch: 3},
 		{Status: StatusStats, Stats: &Stats{Capacity: 64}}, // no shards
-		{Status: StatusError, Err: "boom"},
+		{Status: StatusError, Err: "boom", Epoch: 4},
+		{Status: StatusMembers, Epoch: 7, Topology: Topology{Epoch: 7, Members: []string{"n1:7070", "n2:7070"}}},
 	}
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
@@ -82,8 +91,11 @@ func TestResponseRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("read %d: %v", i, err)
 		}
-		if got.Status != want.Status || got.Evicted != want.Evicted || got.Err != want.Err {
+		if got.Status != want.Status || got.Evicted != want.Evicted || got.Err != want.Err || got.Epoch != want.Epoch {
 			t.Fatalf("response %d = %+v, want %+v", i, got, want)
+		}
+		if !reflect.DeepEqual(got.Topology.Members, want.Topology.Members) || got.Topology.Epoch != want.Topology.Epoch {
+			t.Fatalf("response %d topology = %+v, want %+v", i, got.Topology, want.Topology)
 		}
 		if !bytes.Equal(got.Value, want.Value) {
 			t.Fatalf("response %d value = %q, want %q", i, got.Value, want.Value)
@@ -151,5 +163,55 @@ func TestMalformedRequestRejected(t *testing.T) {
 	body = append(body, 0x80, 'v')
 	if _, err := frame(body).ReadRequest(); err == nil {
 		t.Fatal("SET with undefined flag bits accepted")
+	}
+	// ASYNC is only defined together with REPAIR.
+	body = append([]byte{byte(OpSet)}, make([]byte, 8)...)
+	body = append(body, byte(SetFlagAsync), 'v')
+	if _, err := frame(body).ReadRequest(); err == nil {
+		t.Fatal("SET with ASYNC but not REPAIR accepted")
+	}
+}
+
+// TestTopologyValidate pins the payload sanity rules shared by encoder and
+// decoder.
+func TestTopologyValidate(t *testing.T) {
+	long := strings.Repeat("x", MaxAddrLen+1)
+	many := make([]string, MaxMembers+1)
+	for i := range many {
+		many[i] = fmt.Sprintf("n%d", i)
+	}
+	cases := []struct {
+		name string
+		t    Topology
+		ok   bool
+	}{
+		{"empty", Topology{}, true},
+		{"normal", Topology{Epoch: 3, Members: []string{"a:1", "b:1"}}, true},
+		{"dup", Topology{Members: []string{"a:1", "a:1"}}, false},
+		{"empty addr", Topology{Members: []string{""}}, false},
+		{"oversize addr", Topology{Members: []string{long}}, false},
+		{"too many", Topology{Members: many}, false},
+	}
+	for _, c := range cases {
+		if err := c.t.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+	// A malformed payload must fail to decode, not panic or alias garbage:
+	// claim 2 members but deliver bytes for half of one.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteResponse(Response{Status: StatusMembers, Topology: Topology{Epoch: 1, Members: []string{"abc"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Frame body layout: len(4) status(1) epoch(8) tEpoch(8) count(4)...;
+	// bump the member count to 2 without adding bytes.
+	binary.LittleEndian.PutUint32(raw[4+1+8+8:], 2)
+	if _, err := NewReader(bytes.NewReader(raw)).ReadResponse(); err == nil {
+		t.Fatal("truncated topology payload accepted")
 	}
 }
