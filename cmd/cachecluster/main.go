@@ -164,8 +164,8 @@ func main() {
 	}
 	fmt.Printf("  latency:    p50=%v p90=%v p99=%v max=%v (per %d-deep batch%s)\n",
 		res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max, *pipeline, lat)
-	fmt.Printf("  client:     hits=%d misses=%d (miss ratio %.4f) sets=%d repairs=%d refreshes=%d corrupt=%d\n",
-		res.Hits, res.Misses, res.MissRatio(), res.Sets, res.Repairs, res.Refreshes, res.Corrupt)
+	fmt.Printf("  client:     hits=%d misses=%d (miss ratio %.4f) sets=%d repairs=%d stale=%d refreshes=%d corrupt=%d\n",
+		res.Hits, res.Misses, res.MissRatio(), res.Sets, res.Repairs, res.StaleRepairs, res.Refreshes, res.Corrupt)
 
 	after, err := ctl.StatsAll(false)
 	if err != nil {
@@ -174,9 +174,9 @@ func main() {
 	printBalance(ctl, before, after)
 
 	agg := cluster.AggregateStats(after)
-	fmt.Printf("  aggregate:  len=%d/%d evictions=%d conflict=%d flush=%d rehashes=%d sets=%d repairs=%d migrating=%v\n",
+	fmt.Printf("  aggregate:  len=%d/%d evictions=%d conflict=%d flush=%d rehashes=%d sets=%d repairs=%d stale=%d migrating=%v\n",
 		agg.Len, agg.Capacity, agg.Evictions, agg.ConflictEvictions,
-		agg.FlushEvictions, agg.Rehashes, agg.Sets, agg.RepairSets, agg.Migrating)
+		agg.FlushEvictions, agg.Rehashes, agg.Sets, agg.RepairSets, agg.StaleRepairs, agg.Migrating)
 }
 
 // printBalance tabulates, per member, its share of replica-set slots over a
@@ -192,7 +192,7 @@ func printBalance(ctl *cluster.Client, before, after map[string]*wire.Stats) {
 	const samples = 1 << 16
 	share, replicas := ctl.OwnerSample(samples, 42)
 	fmt.Printf("  balance at topology epoch %d:\n", ctl.Epoch())
-	fmt.Printf("  %-22s %7s %12s %12s %10s %10s\n", "node", "share%", "Δhits", "Δmisses", "Δrepairs", "len")
+	fmt.Printf("  %-22s %7s %12s %12s %10s %8s %10s\n", "node", "share%", "Δhits", "Δmisses", "Δrepairs", "Δstale", "len")
 	for _, m := range ctl.Nodes() {
 		b, a := before[m], after[m]
 		if b == nil || a == nil {
@@ -200,9 +200,10 @@ func printBalance(ctl *cluster.Client, before, after map[string]*wire.Stats) {
 				m, 100*float64(share[m])/float64(samples*replicas))
 			continue
 		}
-		fmt.Printf("  %-22s %6.1f%% %12d %12d %10d %10d\n",
+		fmt.Printf("  %-22s %6.1f%% %12d %12d %10d %8d %10d\n",
 			m, 100*float64(share[m])/float64(samples*replicas),
-			a.Hits-b.Hits, a.Misses-b.Misses, a.RepairSets-b.RepairSets, a.Len)
+			a.Hits-b.Hits, a.Misses-b.Misses, a.RepairSets-b.RepairSets,
+			a.StaleRepairs-b.StaleRepairs, a.Len)
 	}
 }
 

@@ -122,7 +122,7 @@ func main() {
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	if *join != "" {
-		t, err := cluster.Join(*join, self, nil)
+		t, skipped, err := cluster.Join(*join, self, nil)
 		if err != nil {
 			srv.Close()
 			<-serveErr
@@ -130,6 +130,13 @@ func main() {
 		}
 		log.Printf("cached: joined cluster via %s: epoch %d, members %s",
 			*join, t.Epoch, strings.Join(t.Members, " "))
+		if len(skipped) > 0 {
+			// A dead member must not abort the join; it learns the new
+			// topology later, from a router's refresh-and-re-push or its
+			// own restart.
+			log.Printf("cached: join could not push the topology to %s; they will converge on their own",
+				strings.Join(skipped, " "))
+		}
 	}
 
 	if err := <-serveErr; err != nil {

@@ -317,8 +317,8 @@ func actThree() {
 	ratio, qps = tr.window(250 * time.Millisecond)
 	fmt.Printf("  during warm-up:   hit ratio %.3f at %.0f GET/s\n", ratio, qps)
 	ws := w.Wait()
-	fmt.Printf("  warm-up done:     %d keys streamed, %d copied in, %d vanished mid-copy (err=%v)\n",
-		ws.Streamed, ws.Copied, ws.Vanished, ws.Err)
+	fmt.Printf("  warm-up done:     %d keys streamed, %d copied in, %d vanished mid-copy, %d superseded by newer writes (err=%v)\n",
+		ws.Streamed, ws.Copied, ws.Vanished, ws.Stale, ws.Err)
 	ratio, qps = tr.window(700 * time.Millisecond)
 	fmt.Printf("  after:            hit ratio %.3f at %.0f GET/s  (epoch %d)\n", ratio, qps, ctl.Epoch())
 	shares(ctl)

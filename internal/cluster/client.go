@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -32,6 +33,12 @@ type Options struct {
 	// otherwise starts; the newcomer's share then refills lazily through
 	// read-through misses and read repair instead.
 	DisableWarmup bool
+	// DialTimeout bounds member connection establishment when Dial is nil;
+	// 0 means wire.DefaultDialTimeout. A black-holed member address then
+	// costs a bounded wait instead of parking warm-up, join, refresh or a
+	// routed batch in the kernel's connect retry cycle. Ignored when Dial
+	// is set — a custom dialer owns its own timeout policy.
+	DialTimeout time.Duration
 	// Dial overrides the member connection factory (default wire.Dial).
 	Dial DialFunc
 }
@@ -81,11 +88,21 @@ type Client struct {
 
 	// curEpoch mirrors epoch and staleEpoch records the highest epoch seen
 	// in any response above it, so the hot path detects staleness with two
-	// atomic loads; refreshes counts adopted refreshes.
+	// atomic loads; refreshes counts adopted refreshes. refreshing is the
+	// single-flight latch of refreshTopology: the MEMBERS fetches run with
+	// c.mu released, and the latch keeps concurrent callers from piling a
+	// fetch fan-out per batch onto a cluster that just changed.
 	curEpoch   atomic.Uint64
 	staleEpoch atomic.Uint64
 	refreshes  atomic.Uint64
+	refreshing atomic.Bool
 	closed     atomic.Bool
+
+	// staleRepairs counts this router's synchronous maintenance writes
+	// (warm-up and migration copies) that a destination rejected as
+	// version-stale — the destination already held a strictly newer value,
+	// so the copy was superseded rather than lost.
+	staleRepairs atomic.Uint64
 
 	// Warm-up bookkeeping: the dedicated connections of in-flight warm-ups
 	// (so Close can interrupt their streams) and a WaitGroup Close waits on
@@ -118,7 +135,11 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 	}
 	dial := opts.Dial
 	if dial == nil {
-		dial = wire.Dial
+		if d := opts.DialTimeout; d > 0 {
+			dial = func(addr string) (*wire.Client, error) { return wire.DialTimeout(addr, d) }
+		} else {
+			dial = wire.Dial
+		}
 	}
 	members := addrs
 	var epoch uint64
@@ -194,7 +215,7 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 	}
 	if push {
 		c.mu.Lock()
-		c.pushTopologyLocked()
+		c.pushTopologyLocked(nil)
 		c.mu.Unlock()
 	}
 	return c, nil
@@ -583,6 +604,7 @@ func AggregateStats(stats map[string]*wire.Stats) wire.Stats {
 		agg.RepairSets += st.RepairSets
 		agg.RepairQueueDepth += st.RepairQueueDepth
 		agg.RepairsShed += st.RepairsShed
+		agg.StaleRepairs += st.StaleRepairs
 		agg.Pending += st.Pending
 		agg.Len += st.Len
 		agg.Capacity += st.Capacity

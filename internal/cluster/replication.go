@@ -29,9 +29,14 @@ import (
 const repairQueueDepth = 1024
 
 // repairTask asks the repair worker to re-SET key=val on the owners that
-// were seen missing or unreachable.
+// were seen missing or unreachable. ver is the version the value was
+// observed at (a fallback hit) or stored under (a quorum write); the
+// repair carries it as a conditional VERSIONED write, so however long the
+// task queues, it can never overwrite a value a concurrent user SET stored
+// after this one was observed.
 type repairTask struct {
 	key   uint64
+	ver   uint64
 	val   []byte
 	addrs []string
 }
@@ -50,6 +55,12 @@ type ReplicationCounters struct {
 	RepairsApplied uint64
 	// RepairsDropped counts repairs shed because the queue was full.
 	RepairsDropped uint64
+	// RepairsStale counts synchronous maintenance copies (warm-up,
+	// migration) a destination rejected as version-stale because it
+	// already held a strictly newer value — lost-update races the version
+	// check won. Async read repairs rejected at the server's queue are
+	// visible in the servers' STATS StaleRepairs instead.
+	RepairsStale uint64
 }
 
 // Replication returns the cluster-wide replication telemetry. All zeros on
@@ -60,6 +71,7 @@ func (c *Client) Replication() ReplicationCounters {
 		RepairsScheduled: c.repairsScheduled.Load(),
 		RepairsApplied:   c.repairsApplied.Load(),
 		RepairsDropped:   c.repairsDropped.Load(),
+		RepairsStale:     c.staleRepairs.Load(),
 	}
 }
 
@@ -68,15 +80,20 @@ func (c *Client) Replication() ReplicationCounters {
 // traffic.
 func (c *Client) RepairsDone() uint64 { return c.repairsApplied.Load() }
 
-// scheduleRepair queues a background re-SET of key=val at addrs. Caller
-// holds c.mu (either side); val may alias a connection buffer and is copied
-// here.
-func (c *Client) scheduleRepair(key uint64, val []byte, addrs []string) {
+// StaleRepairs reports this router's maintenance copies rejected by their
+// destination as version-stale; it implements load.StaleReporter.
+func (c *Client) StaleRepairs() uint64 { return c.staleRepairs.Load() }
+
+// scheduleRepair queues a background re-SET of key=val, observed at ver,
+// at addrs. Caller holds c.mu (either side); val may alias a connection
+// buffer and is copied here.
+func (c *Client) scheduleRepair(key, ver uint64, val []byte, addrs []string) {
 	if c.repairClosed || len(addrs) == 0 {
 		return
 	}
 	t := repairTask{
 		key:   key,
+		ver:   ver,
 		val:   append([]byte(nil), val...),
 		addrs: append([]string(nil), addrs...),
 	}
@@ -124,9 +141,12 @@ func (c *Client) applyRepair(t repairTask) {
 		// its bounded maintenance queue (and may shed it under overload),
 		// which is fine — a shed repair is retried by the next fallback
 		// read of the key, exactly like one shed from this router's own
-		// queue.
+		// queue. It also carries the observed version (VERSIONED), checked
+		// by the server when the queue drains: a repair that queued behind
+		// a user SET of the same key is rejected as stale instead of
+		// reinstating the older value, however deep either queue ran.
 		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
-			_, err := cl.SetFlags(t.key, wire.SetFlagRepair|wire.SetFlagAsync, t.val)
+			_, _, err := cl.SetVersioned(t.key, wire.SetFlagRepair|wire.SetFlagAsync, t.ver, t.val)
 			return err
 		})
 		if err == nil {
@@ -259,7 +279,7 @@ func (c *Client) readGetsReplicated(s *subBatch, keys []uint64, round int, last 
 				c.fallbackHits.Add(1)
 			}
 			if len(missedAt[i]) > 0 {
-				c.scheduleRepair(keys[i], resp.Value, missedAt[i])
+				c.scheduleRepair(keys[i], resp.Version, resp.Value, missedAt[i])
 			}
 			s.nc.gets.Add(1)
 			s.delivered++
@@ -315,11 +335,15 @@ func (c *Client) setBatchReplicated(keys []uint64, value func(i int) []byte) err
 		s.err = s.enqueueSets(c.dial, keys, value)
 	}
 	acks := make([]int, len(keys))
+	// vers[i] is the highest version any owner stored key i under; the
+	// repair of a failed owner carries it, so the repair is conditional on
+	// exactly the write it is completing.
+	vers := make([]uint64, len(keys))
 	var failed [][]string // lazily allocated: owner addrs whose write was lost, per key
 	var lastErr error
 	for _, s := range subs {
 		if s.err == nil {
-			s.err = c.readSetsAcked(s, acks)
+			s.err = c.readSetsAcked(s, acks, vers)
 		}
 		if s.err != nil && s.delivered == 0 {
 			s.nc.drop()
@@ -327,7 +351,7 @@ func (c *Client) setBatchReplicated(keys []uint64, value func(i int) []byte) err
 			if err := s.enqueueSets(c.dial, keys, value); err != nil {
 				s.err = err
 			} else {
-				s.err = c.readSetsAcked(s, acks)
+				s.err = c.readSetsAcked(s, acks, vers)
 			}
 		}
 		if s.err != nil {
@@ -350,15 +374,16 @@ func (c *Client) setBatchReplicated(keys []uint64, value func(i int) []byte) err
 	}
 	for i := range keys {
 		if failed != nil && len(failed[i]) > 0 {
-			c.scheduleRepair(keys[i], value(i), failed[i])
+			c.scheduleRepair(keys[i], vers[i], value(i), failed[i])
 		}
 	}
 	return nil
 }
 
 // readSetsAcked drains one sub-batch's SET responses, crediting one ack per
-// key as it goes and observing the topology epoch each response carries.
-func (c *Client) readSetsAcked(s *subBatch, acks []int) error {
+// key as it goes, recording the highest version the write was stored under,
+// and observing the topology epoch each response carries.
+func (c *Client) readSetsAcked(s *subBatch, acks []int, vers []uint64) error {
 	cl := s.nc.cl
 	for _, i := range s.idx[s.delivered:] {
 		resp, err := cl.ReadResponse()
@@ -372,6 +397,9 @@ func (c *Client) readSetsAcked(s *subBatch, acks []int) error {
 		s.nc.sets.Add(1)
 		s.delivered++
 		acks[i]++
+		if resp.Version > vers[i] {
+			vers[i] = resp.Version
+		}
 	}
 	return nil
 }

@@ -288,3 +288,126 @@ func TestWriteQuorum(t *testing.T) {
 		t.Errorf("read-back of quorum-1 write = hit=%v, %v", hit, err)
 	}
 }
+
+// TestRepairCannotReinstateOldValue is the cluster-level acceptance for
+// the v4 lost-update fix, exercising the organic repair pipeline end to
+// end: a fallback hit observes the old value and queues an async repair
+// of it at the primary, a user SET of a new value races that queued
+// repair, and whatever interleaving the queues produce, the new value
+// must survive on every owner. A final deterministic replay — the old
+// value at its observed version, delivered REPAIR|ASYNC after the user
+// SET, the exact interleaving that stored the old value under v3 — pins
+// the rejection with the primary's StaleRepairs counter.
+func TestRepairCannotReinstateOldValue(t *testing.T) {
+	addrs := startCluster(t, 3, 4096, 16)
+	ctl, err := Dial(addrs, Options{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	const key = uint64(77)
+	if err := ctl.Set(key, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	owners := ctl.Owners(key)
+	primary, backup := owners[0], owners[1]
+
+	// Record the version the old value lives at on the backup — what any
+	// fallback reader observes.
+	backupCl, err := wire.Dial(backup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backupCl.Close()
+	var verOld uint64
+	if err := backupCl.GetBatchVersions([]uint64{key}, func(_ int, h bool, v uint64, _ []byte) {
+		if h {
+			verOld = v
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if verOld == 0 {
+		t.Fatal("backup holds no versioned copy of the preloaded key")
+	}
+
+	// Wipe the primary, fallback-read through the router (schedules an
+	// async repair of the OLD value at the primary), then immediately land
+	// a user SET of the NEW value.
+	primaryCl, err := wire.Dial(primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primaryCl.Close()
+	if present, err := primaryCl.Del(key); err != nil || !present {
+		t.Fatalf("direct DEL on primary = %v, %v", present, err)
+	}
+	if v, hit, err := ctl.Get(key); err != nil || !hit || string(v) != "old" {
+		t.Fatalf("fallback read = %q, %v, %v", v, hit, err)
+	}
+	if err := ctl.Set(key, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain both queues: the router's repair worker, then the primary's
+	// async maintenance queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rep := ctl.Replication()
+		st, err := primaryCl.Stats(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.RepairsScheduled > 0 &&
+			rep.RepairsScheduled == rep.RepairsApplied+rep.RepairsDropped &&
+			st.RepairQueueDepth == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("repair pipeline did not drain: %+v, depth=%d", rep, st.RepairQueueDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// However the queued repair interleaved with the user SET, the newer
+	// value survives everywhere.
+	for _, o := range owners {
+		cl, err := wire.Dial(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, hit, err := cl.Get(key)
+		cl.Close()
+		if err != nil || !hit || string(v) != "new" {
+			t.Fatalf("owner %s holds %q (hit %v, %v); the old value was reinstated", o, v, hit, err)
+		}
+	}
+
+	// The deterministic replay: deliver the old value at its observed
+	// version AFTER the user SET, through the async queue — v3 semantics
+	// stored it; v4 must reject it and count the win.
+	before, err := primaryCl.Stats(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied, _, err := primaryCl.SetVersioned(key, wire.SetFlagRepair|wire.SetFlagAsync, verOld, []byte("old")); err != nil || !applied {
+		t.Fatalf("async replay accept = %v, %v", applied, err)
+	}
+	for {
+		st, err := primaryCl.Stats(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.StaleRepairs == before.StaleRepairs+1 && st.RepairQueueDepth == 0 {
+			break
+		}
+		if time.Now().After(deadline.Add(5 * time.Second)) {
+			t.Fatalf("replayed stale repair not rejected: StaleRepairs %d → %d", before.StaleRepairs, st.StaleRepairs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, hit, err := ctl.Get(key); err != nil || !hit || string(v) != "new" {
+		t.Fatalf("final read = %q, %v, %v; want the user SET to survive the delayed repair", v, hit, err)
+	}
+}

@@ -33,19 +33,24 @@ import (
 const warmupChunk = 256
 
 // readChunkValues reads one chunk of keys from cl in a pipelined batch,
-// returning stable copies of the surviving values and the chunk indices
-// that hit. Both maintenance copy paths — warm-up and the migration drain
-// — read through it, so the value-copy rule (connection buffers alias) and
-// the survivors-versus-vanished split live in one place.
-func readChunkValues(cl *wire.Client, chunk []uint64) (vals [][]byte, hits []int, err error) {
+// returning stable copies of the surviving values, the versions they were
+// observed at, and the chunk indices that hit. Both maintenance copy paths
+// — warm-up and the migration drain — read through it, so the value-copy
+// rule (connection buffers alias) and the survivors-versus-vanished split
+// live in one place. The observed versions make the subsequent re-SETs
+// conditional (wire.SetFlagVersioned): a copy can never overwrite a value
+// newer than the one it actually read.
+func readChunkValues(cl *wire.Client, chunk []uint64) (vals [][]byte, vers []uint64, hits []int, err error) {
 	vals = make([][]byte, len(chunk))
-	err = cl.GetBatch(chunk, func(i int, h bool, v []byte) {
+	vers = make([]uint64, len(chunk))
+	err = cl.GetBatchVersions(chunk, func(i int, h bool, ver uint64, v []byte) {
 		if h {
 			vals[i] = append([]byte(nil), v...)
+			vers[i] = ver
 			hits = append(hits, i)
 		}
 	})
-	return vals, hits, err
+	return vals, vers, hits, err
 }
 
 // observeEpoch records a topology epoch seen in a response. An epoch above
@@ -74,17 +79,41 @@ func (c *Client) maybeRefresh() {
 // refreshTopology fetches MEMBERS from the current members, adopts the
 // highest-epoch view found if it is newer than the held one, and pushes
 // the adopted view back out so members that missed the original push
-// converge too. Membership changes and all traffic are excluded for the
-// duration.
+// converge too.
+//
+// The MEMBERS fetches run with c.mu *released*: holding the exclusive lock
+// across network I/O would park every routed batch behind each member's
+// dial — a single dead member used to stall all traffic for a connect
+// timeout per refresh attempt. Instead the member snapshot is taken under
+// a read lock, the fetch fan-out runs unlocked (serialized per member by
+// its own connection lock, single-flighted across callers by c.refreshing
+// so a stale epoch doesn't trigger one fan-out per concurrent batch), and
+// the lock is re-taken only to adopt and push the winning view. Traffic
+// keeps flowing on the stale view in the meantime, which is exactly the
+// documented cache-not-consensus tradeoff. A member removed concurrently
+// with the fetch may be asked for MEMBERS one last time; harmless, it is a
+// read.
 func (c *Client) refreshTopology() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if !c.refreshing.CompareAndSwap(false, true) {
+		return // a refresh is already in flight; route on the current view
+	}
+	defer c.refreshing.Store(false)
+
+	c.mu.RLock()
 	if c.staleEpoch.Load() <= c.epoch {
+		c.mu.RUnlock()
 		return // another caller refreshed first
 	}
+	addrs := c.ring.Nodes()
+	conns := make([]*nodeConn, 0, len(addrs))
+	for _, addr := range addrs {
+		conns = append(conns, c.nodes[addr])
+	}
+	c.mu.RUnlock()
+
 	var best wire.Topology
-	for _, addr := range c.ring.Nodes() {
-		nc := c.nodes[addr]
+	unreachable := make(map[string]bool)
+	for _, nc := range conns {
 		nc.mu.Lock()
 		var t wire.Topology
 		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
@@ -93,15 +122,28 @@ func (c *Client) refreshTopology() {
 			return err
 		})
 		nc.mu.Unlock()
-		if err == nil && t.Epoch > best.Epoch && len(t.Members) > 0 {
+		if err != nil {
+			unreachable[nc.addr] = true
+			continue
+		}
+		if t.Epoch > best.Epoch && len(t.Members) > 0 {
 			best = t
 		}
 	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.staleEpoch.Store(0)
 	if best.Epoch > c.epoch && len(best.Members) > 0 {
 		c.adoptLocked(best)
 		c.refreshes.Add(1)
-		c.pushTopologyLocked()
+		// The convergence push does run under c.mu (it resolves races by
+		// mutating the view), but it skips the members the fetch just
+		// found unreachable — they converge later, per the best-effort
+		// contract — so a dead member costs the locked section no dial at
+		// all, and a member dying in the fetch-to-push window costs at
+		// most one timeout-bounded dial.
+		c.pushTopologyLocked(unreachable)
 	}
 }
 
@@ -140,13 +182,19 @@ func (c *Client) adoptLocked(t wire.Topology) {
 // escalates — bumps its epoch above the tie and re-pushes, making its
 // view strictly newest. Ties under continuous simultaneous membership
 // changes could in principle re-escalate, so attempts are bounded; any
-// residue converges at the next change or refresh. Caller holds c.mu.
-func (c *Client) pushTopologyLocked() {
+// residue converges at the next change or refresh. Members listed in skip
+// (addresses the caller just proved unreachable) are not pushed at, so a
+// refresh triggered by a dead member does not pay that member's dial
+// timeout inside this critical section. Caller holds c.mu.
+func (c *Client) pushTopologyLocked(skip map[string]bool) {
 	for attempt := 0; attempt < 4; attempt++ {
 		t := wire.Topology{Epoch: c.epoch, Members: c.ring.Nodes()}
 		var newer wire.Topology
 		tied := false
 		for _, addr := range t.Members {
+			if skip[addr] {
+				continue
+			}
 			nc := c.nodes[addr]
 			nc.mu.Lock()
 			var held wire.Topology
@@ -294,29 +342,37 @@ func sameMembers(a, b []string) bool {
 // cmd/cached runs it for -join; starting N nodes against one seed this way
 // yields a cluster every client can bootstrap from any single address of.
 //
-// A push to a member other than seed or self is best-effort (a dead peer
-// must not block a join); pushing to seed or self failing is an error.
+// A push to a member other than seed or self is best-effort: a dead or
+// unreachable peer must not abort the join, only be skipped — the
+// addresses whose push failed are returned in skipped so the caller can
+// report them (they converge later through a router's refresh-and-re-push
+// or their own restart). Pushing to seed or self failing is an error:
+// without the seed the join provably didn't take, and without self the
+// booting node would not know its own cluster. Dials are bounded by the
+// DialFunc's timeout (wire.Dial's default when dial is nil), so a
+// black-holed address costs seconds, not a kernel connect cycle.
+//
 // Concurrent joins race on the epoch; the push responses detect a loss —
 // a member holding a view at our epoch or above that does *not* contain
 // self means our push was rejected — and the join retries on top of the
 // winner's view (bounded attempts), so the no-response-epoch-difference
 // tie that piggybacking can never surface still converges with self
 // admitted.
-func Join(seed, self string, dial DialFunc) (wire.Topology, error) {
+func Join(seed, self string, dial DialFunc) (t wire.Topology, skipped []string, err error) {
 	if dial == nil {
 		dial = wire.Dial
 	}
 	if seed == self {
-		return wire.Topology{}, fmt.Errorf("cluster: cannot join through myself (%s)", self)
+		return wire.Topology{}, nil, fmt.Errorf("cluster: cannot join through myself (%s)", self)
 	}
 	cl, err := dial(seed)
 	if err != nil {
-		return wire.Topology{}, fmt.Errorf("cluster: join seed %s: %w", seed, err)
+		return wire.Topology{}, nil, fmt.Errorf("cluster: join seed %s: %w", seed, err)
 	}
 	base, err := cl.Members()
 	cl.Close()
 	if err != nil {
-		return wire.Topology{}, fmt.Errorf("cluster: MEMBERS %s: %w", seed, err)
+		return wire.Topology{}, nil, fmt.Errorf("cluster: MEMBERS %s: %w", seed, err)
 	}
 	for attempt := 0; attempt < 3; attempt++ {
 		t := wire.Topology{Epoch: base.Epoch, Members: append([]string(nil), base.Members...)}
@@ -330,6 +386,7 @@ func Join(seed, self string, dial DialFunc) (wire.Topology, error) {
 			t.Epoch++
 		}
 		lost := false
+		skipped = skipped[:0]
 		var winner wire.Topology
 		for _, m := range t.Members {
 			var held wire.Topology
@@ -340,8 +397,9 @@ func Join(seed, self string, dial DialFunc) (wire.Topology, error) {
 			}
 			if err != nil {
 				if m == seed || m == self {
-					return wire.Topology{}, fmt.Errorf("cluster: pushing topology to %s: %w", m, err)
+					return wire.Topology{}, nil, fmt.Errorf("cluster: pushing topology to %s: %w", m, err)
 				}
+				skipped = append(skipped, m)
 				continue
 			}
 			if held.Epoch >= t.Epoch && !contains(held.Members, self) {
@@ -352,11 +410,11 @@ func Join(seed, self string, dial DialFunc) (wire.Topology, error) {
 			}
 		}
 		if !lost {
-			return t, nil
+			return t, skipped, nil
 		}
 		base = winner
 	}
-	return wire.Topology{}, fmt.Errorf("cluster: join of %s kept losing topology races; retry", self)
+	return wire.Topology{}, nil, fmt.Errorf("cluster: join of %s kept losing topology races; retry", self)
 }
 
 // WarmupStats summarizes one proactive warm-up run.
@@ -369,6 +427,11 @@ type WarmupStats struct {
 	// snapshot and the read — accounted-for losses, exactly like
 	// migration's dropped count.
 	Vanished int
+	// Stale counts copies the newcomer rejected as version-stale: it
+	// already held a strictly newer value for the key (a user SET raced
+	// the warm-up and won, as it must). Like Vanished these are accounted,
+	// not lost — the data is on the newcomer, fresher than the copy.
+	Stale int
 	// Failed counts source members that could not be fully streamed or
 	// copied; their share of the newcomer's keys refills lazily instead.
 	Failed int
@@ -450,7 +513,9 @@ func (c *Client) runWarmup(w *Warmup, newcomer string, sources []string, rf int)
 // warmFromSource enumerates one source member via the chunked KEYS stream,
 // keeps the keys whose post-join owner set includes the newcomer, and
 // copies their values over in bounded pipelined chunks, flagged as repair
-// traffic.
+// traffic. Every copy is conditional on the version it was read at
+// (VERSIONED), so a user SET racing the warm-up can never be overwritten
+// by the older value in flight.
 func (c *Client) warmFromSource(w *Warmup, dst *wire.Client, newcomer, src string, rf int) error {
 	srcCl, err := c.warmupDial(src)
 	if err != nil {
@@ -483,7 +548,7 @@ func (c *Client) warmFromSource(w *Warmup, dst *wire.Client, newcomer, src strin
 			end = len(wanted)
 		}
 		chunk := wanted[off:end]
-		vals, hits, err := readChunkValues(srcCl, chunk)
+		vals, vers, hits, err := readChunkValues(srcCl, chunk)
 		if err != nil {
 			return fmt.Errorf("cluster: warm-up reading %s: %w", src, err)
 		}
@@ -495,17 +560,20 @@ func (c *Client) warmFromSource(w *Warmup, dst *wire.Client, newcomer, src strin
 		for j, i := range hits {
 			sub[j] = chunk[i]
 		}
-		if err := dst.SetBatchFlags(sub, wire.SetFlagRepair, func(j int) []byte {
-			return vals[hits[j]]
-		}); err != nil {
+		applied, stale, err := dst.SetBatchVersioned(sub, wire.SetFlagRepair,
+			func(j int) uint64 { return vers[hits[j]] },
+			func(j int) []byte { return vals[hits[j]] })
+		if err != nil {
 			return fmt.Errorf("cluster: warm-up writing %s: %w", newcomer, err)
 		}
-		w.stats.Copied += len(sub)
+		w.stats.Copied += applied
+		w.stats.Stale += stale
+		c.staleRepairs.Add(uint64(stale))
 		c.mu.RLock()
 		nc := c.nodes[newcomer]
 		c.mu.RUnlock()
 		if nc != nil {
-			nc.repairs.Add(uint64(len(sub)))
+			nc.repairs.Add(uint64(applied))
 		}
 	}
 	return nil
@@ -547,7 +615,7 @@ func (c *Client) AddNode(addr string) (*Warmup, error) {
 	c.ring.Add(addr)
 	c.epoch++
 	c.curEpoch.Store(c.epoch)
-	c.pushTopologyLocked()
+	c.pushTopologyLocked(nil)
 	var sources []string
 	for _, m := range c.ring.Nodes() {
 		if m != addr {
@@ -613,7 +681,7 @@ func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
 		c.ring.Remove(addr)
 		c.epoch++
 		c.curEpoch.Store(c.epoch)
-		c.pushTopologyLocked()
+		c.pushTopologyLocked(nil)
 		return 0, 0, nil
 	}
 
@@ -641,7 +709,7 @@ func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
 			delete(c.nodes, addr)
 			c.epoch++
 			c.curEpoch.Store(c.epoch)
-			c.pushTopologyLocked()
+			c.pushTopologyLocked(nil)
 		} else {
 			c.ring.Add(addr)
 		}
@@ -655,7 +723,7 @@ func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
 		}
 		chunk := keys[off:end]
 
-		vals, hits, err := readChunkValues(src, chunk)
+		vals, vers, hits, err := readChunkValues(src, chunk)
 		if err != nil {
 			return moved, dropped, fmt.Errorf("cluster: draining %s: %w", addr, err)
 		}
@@ -672,25 +740,35 @@ func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
 		}
 		for dst, idx := range byOwner {
 			dst.mu.Lock()
+			var applied, stale int
 			err := dst.withRetry(c.dial, func(cl *wire.Client) error {
 				sub := make([]uint64, len(idx))
 				for j, i := range idx {
 					sub[j] = chunk[i]
 				}
-				// Migration writes carry the repair flag: they are replica
-				// maintenance, not user traffic, and the destination's
-				// STATS keeps them out of its user SET count. They stay
-				// synchronous (no ASYNC flag): the moved count must mean
-				// applied, not queued.
-				return cl.SetBatchFlags(sub, wire.SetFlagRepair, func(j int) []byte { return vals[idx[j]] })
+				// Migration writes carry the repair flag (replica
+				// maintenance, not user traffic) and are conditional on the
+				// version each value was drained at, so a user SET racing
+				// the migration onto the new owner keeps its newer value.
+				// They stay synchronous (no ASYNC flag): the moved count
+				// must mean settled at the destination, not queued.
+				var err error
+				applied, stale, err = cl.SetBatchVersioned(sub, wire.SetFlagRepair,
+					func(j int) uint64 { return vers[idx[j]] },
+					func(j int) []byte { return vals[idx[j]] })
+				return err
 			})
 			if err == nil {
-				dst.repairs.Add(uint64(len(idx)))
+				dst.repairs.Add(uint64(applied))
+				c.staleRepairs.Add(uint64(stale))
 			}
 			dst.mu.Unlock()
 			if err != nil {
 				return moved, dropped, fmt.Errorf("cluster: migrating to %s: %w", dst.addr, err)
 			}
+			// A stale rejection counts as moved: the destination proved it
+			// holds a strictly newer value for the key, so the resident is
+			// settled there — just not by this copy.
 			moved += len(idx)
 		}
 	}

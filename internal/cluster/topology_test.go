@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,7 +23,7 @@ func TestSeedConvergenceSmoke(t *testing.T) {
 	srv0.SetTopology(wire.Topology{Epoch: 0, Members: []string{addr0}})
 	for i := 1; i < 3; i++ {
 		addrs[i], _ = startNodeWithServer(t, 1024, 16, uint64(i+1))
-		if _, err := Join(addrs[0], addrs[i], nil); err != nil {
+		if _, _, err := Join(addrs[0], addrs[i], nil); err != nil {
 			t.Fatalf("Join(%s, %s): %v", addrs[0], addrs[i], err)
 		}
 	}
@@ -142,7 +144,7 @@ func TestJoinRetriesLostRace(t *testing.T) {
 		return wire.Dial(addr)
 	}
 
-	got, err := Join(seedAddr, selfAddr, dial)
+	got, _, err := Join(seedAddr, selfAddr, dial)
 	if err != nil {
 		t.Fatalf("Join after a lost race: %v", err)
 	}
@@ -582,5 +584,163 @@ func TestRemoveNodeCrashedMemberR1(t *testing.T) {
 	}
 	if ctl.Epoch() != epoch {
 		t.Errorf("epoch moved from %d to %d on a failed RemoveNode", epoch, ctl.Epoch())
+	}
+}
+
+// TestRefreshNotBlockedByDeadMember pins the refresh-outside-the-lock fix:
+// a topology refresh that is stuck dialing a black-holed member must not
+// stall routing for every other caller. One goroutine's batch triggers the
+// refresh and blocks on the dead dial; concurrent batches on live members
+// must complete within a tight bound (under the old exclusive-lock refresh
+// they queued behind the dead dial on c.mu), and once the dial fails the
+// refresh completes and the router converges on the pushed epoch.
+func TestRefreshNotBlockedByDeadMember(t *testing.T) {
+	addr0, _ := startNodeWithServer(t, 1024, 16, 1)
+	addr1, _ := startNodeWithServer(t, 1024, 16, 2)
+	addr2, srv2 := startNodeWithServer(t, 1024, 16, 3)
+	addrs := []string{addr0, addr1, addr2}
+
+	var blackhole atomic.Bool
+	gate := make(chan struct{})
+	dial := func(addr string) (*wire.Client, error) {
+		if addr == addr2 && blackhole.Load() {
+			<-gate // a SYN into the void: nothing answers until the timeout
+			return nil, fmt.Errorf("dial %s: black-holed", addr)
+		}
+		return wire.Dial(addr)
+	}
+	ctl, err := Dial(addrs, Options{Dial: dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	base := ctl.Epoch()
+
+	// Keys primarily owned by the members that stay alive, plus at least
+	// one on node 0 so traffic piggybacks the epoch bump below.
+	var liveKeys []uint64
+	var on0 bool
+	for k := uint64(1); k < 100_000 && (len(liveKeys) < 8 || !on0); k++ {
+		owner := ctl.Owners(k)[0]
+		if owner == addr2 {
+			continue
+		}
+		liveKeys = append(liveKeys, k)
+		on0 = on0 || owner == addr0
+	}
+	if !on0 || len(liveKeys) < 8 {
+		t.Fatal("could not find live-owned keys; ring is degenerate")
+	}
+
+	// Crash member 2 and black-hole its address, then move the cluster's
+	// epoch forward behind the router's back.
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blackhole.Store(true)
+	direct, err := wire.Dial(addr0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := direct.PushTopology(wire.Topology{Epoch: base + 1, Members: addrs}); err != nil {
+		t.Fatal(err)
+	}
+	direct.Close()
+
+	// First batch observes the newer epoch; the next one triggers the
+	// refresh and parks on the black-holed dial.
+	if err := ctl.GetBatch(liveKeys, func(int, bool, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	stuck := make(chan error, 1)
+	go func() { stuck <- ctl.GetBatch(liveKeys, func(int, bool, []byte) {}) }()
+
+	// Give the refresh a moment to reach the dead member, then demand that
+	// other traffic still flows. 5s is the timeout bound: far above a
+	// healthy batch, far below a kernel connect cycle — and the old code
+	// held c.mu across the dial, so these batches would sit here until the
+	// gate opened.
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		done := make(chan error, 1)
+		go func() { done <- ctl.GetBatch(liveKeys, func(int, bool, []byte) {}) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("batch %d during stuck refresh: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("routing stalled behind a refresh stuck on a dead member")
+		}
+	}
+
+	// Release the dead dial; the refresh fails over, adopts the pushed
+	// view and the stuck caller comes back.
+	close(gate)
+	select {
+	case err := <-stuck:
+		if err != nil {
+			t.Fatalf("the refresh-triggering batch failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("the refresh-triggering batch never returned after the dial failed")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ctl.Epoch() != base+1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("router epoch = %d, want %d adopted after the refresh", ctl.Epoch(), base+1)
+		}
+		if err := ctl.GetBatch(liveKeys, func(int, bool, []byte) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ctl.TopologyRefreshes() == 0 {
+		t.Error("no refresh counted despite the adopted epoch")
+	}
+}
+
+// TestJoinSkipsDeadMember pins the join fault tolerance: a dead non-seed
+// member must not abort a join — it is skipped, reported in the skipped
+// list, and kept in the topology (it may only be temporarily down).
+func TestJoinSkipsDeadMember(t *testing.T) {
+	addr0, srv0 := startNodeWithServer(t, 1024, 16, 1)
+	srv0.SetTopology(wire.Topology{Epoch: 0, Members: []string{addr0}})
+	addr1, _ := startNodeWithServer(t, 1024, 16, 2)
+	if _, skipped, err := Join(addr0, addr1, nil); err != nil || len(skipped) != 0 {
+		t.Fatalf("healthy join = skipped %v, err %v", skipped, err)
+	}
+	addr2, srv2 := startNodeWithServer(t, 1024, 16, 3)
+	if _, _, err := Join(addr0, addr2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Close(); err != nil { // dies without leaving
+		t.Fatal(err)
+	}
+
+	addr3, _ := startNodeWithServer(t, 1024, 16, 4)
+	top, skipped, err := Join(addr0, addr3, nil)
+	if err != nil {
+		t.Fatalf("join with a dead non-seed member aborted: %v", err)
+	}
+	if len(skipped) != 1 || skipped[0] != addr2 {
+		t.Errorf("skipped = %v, want exactly the dead member %s", skipped, addr2)
+	}
+	if !contains(top.Members, addr3) || !contains(top.Members, addr2) {
+		t.Errorf("joined view %v must contain self %s and keep the (possibly only briefly) dead %s", top.Members, addr3, addr2)
+	}
+	// The reachable members hold the new view.
+	for _, a := range []string{addr0, addr1, addr3} {
+		cl, err := wire.Dial(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held, err := cl.Members()
+		cl.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if held.Epoch != top.Epoch || !sameMembers(held.Members, top.Members) {
+			t.Errorf("member %s holds %+v, want %+v", a, held, top)
+		}
 	}
 }

@@ -426,6 +426,98 @@ func (c *Cache) unlockPair(i, j int) {
 	c.buckets[j].mu.Unlock()
 }
 
+// Update atomically reads and conditionally replaces the value cached
+// under key: fn receives the current value (nil, false when absent) while
+// the owning bucket's lock is held and returns the value to store plus
+// whether to store it at all. A false second result leaves the cache
+// untouched — the read-check-write is one critical section, so no
+// concurrent Put or Update can interleave between fn's decision and the
+// store. This is the primitive behind the server's versioned writes: a
+// compare on the stored version and the conditional overwrite must be
+// atomic or the lost-update race they exist to kill reopens at bucket
+// scale.
+//
+// fn must not call back into the cache, and it may be invoked more than
+// once for a single Update (a concurrent rehash can force the fast path to
+// retry), so it must behave as a pure function of its argument. Update
+// returns whether a store happened and, when it did, Put's eviction
+// report.
+func (c *Cache) Update(key uint64, fn func(old interface{}, present bool) (interface{}, bool)) (stored bool, evictedKey uint64, evicted bool) {
+	item := trace.Item(key)
+	if st, victim, didEvict, fast := c.updateFast(item, fn); fast {
+		return st, uint64(victim), didEvict
+	}
+	c.rehashMu.RLock()
+	p := c.pair.Load()
+	nb := p.hasher.Bucket(item)
+	ob := nb
+	if p.old != nil {
+		ob = p.old.Bucket(item)
+	}
+	var victim trace.Item
+	var didEvict bool
+	if ob == nb {
+		b := &c.buckets[nb]
+		b.mu.Lock()
+		old, present := b.values[item]
+		if v, store := fn(old, present); store {
+			stored = true
+			c.clearOldMark(b, item)
+			victim, didEvict = c.insertLocked(b, item, v)
+		}
+		b.mu.Unlock()
+	} else {
+		bn, bo := &c.buckets[nb], &c.buckets[ob]
+		c.lockPair(nb, ob)
+		old, present := bn.values[item]
+		inOld := false
+		if !present {
+			if _, isOld := bo.old[item]; isOld {
+				old, present = bo.values[item], true
+				inOld = true
+			}
+		}
+		if v, store := fn(old, present); store {
+			stored = true
+			if inOld {
+				// Overwrite of a non-remapped item: drop the stale resident
+				// and store fresh in the new bucket, exactly like Put.
+				bo.pol.Delete(item)
+				delete(bo.values, item)
+				delete(bo.old, item)
+				c.pending.Add(-1)
+				c.occupancy.Add(-1)
+			}
+			victim, didEvict = c.insertLocked(bn, item, v)
+		}
+		c.unlockPair(nb, ob)
+	}
+	c.rehashMu.RUnlock()
+	c.maybeFinishMigration()
+	return stored, uint64(victim), didEvict
+}
+
+// updateFast is Update's single-bucket fast path; see getFast.
+func (c *Cache) updateFast(item trace.Item, fn func(old interface{}, present bool) (interface{}, bool)) (stored bool, victim trace.Item, didEvict, fast bool) {
+	p := c.pair.Load()
+	if p.old != nil || disableFastPath {
+		return false, 0, false, false
+	}
+	b := &c.buckets[p.hasher.Bucket(item)]
+	b.mu.Lock()
+	if c.pair.Load() != p {
+		b.mu.Unlock()
+		return false, 0, false, false
+	}
+	old, present := b.values[item]
+	if v, store := fn(old, present); store {
+		stored = true
+		victim, didEvict = c.insertLocked(b, item, v)
+	}
+	b.mu.Unlock()
+	return stored, victim, didEvict, true
+}
+
 // GetOrLoad returns the cached value for key, or runs load exactly once (per
 // miss) to produce and cache it. The load runs outside the bucket lock, so
 // concurrent misses for the same key may race and both load; the last writer

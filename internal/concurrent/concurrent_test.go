@@ -179,3 +179,104 @@ func TestConcurrentGetOrLoad(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestUpdateBasics pins Update's contract: fn sees absent keys, the
+// stored value round-trips, and a false second return leaves the cache
+// untouched without reporting a store.
+func TestUpdateBasics(t *testing.T) {
+	c := mustNew(t, 64, 4)
+
+	stored, _, _ := c.Update(7, func(old interface{}, present bool) (interface{}, bool) {
+		if present || old != nil {
+			t.Errorf("fn saw (%v, %v) for an absent key", old, present)
+		}
+		return "first", true
+	})
+	if !stored {
+		t.Fatal("Update declined to store on an absent key")
+	}
+	if v, ok := c.Get(7); !ok || v != "first" {
+		t.Fatalf("Get after Update = %v, %v", v, ok)
+	}
+
+	stored, _, _ = c.Update(7, func(old interface{}, present bool) (interface{}, bool) {
+		if !present || old != "first" {
+			t.Errorf("fn saw (%v, %v), want (first, true)", old, present)
+		}
+		return nil, false // conditional write loses: keep the current value
+	})
+	if stored {
+		t.Fatal("Update reported a store fn declined")
+	}
+	if v, ok := c.Get(7); !ok || v != "first" {
+		t.Fatalf("declined Update changed the value: %v, %v", v, ok)
+	}
+
+	if stored, _, _ = c.Update(7, func(old interface{}, present bool) (interface{}, bool) {
+		return "second", true
+	}); !stored {
+		t.Fatal("overwriting Update declined")
+	}
+	if v, _ := c.Get(7); v != "second" {
+		t.Fatalf("value after overwrite = %v", v)
+	}
+}
+
+// TestUpdateAtomicIncrement is the reason Update exists: a read-modify-
+// write through Get+Put loses increments under concurrency, Update must
+// not — fn runs under the bucket lock, so every increment lands.
+func TestUpdateAtomicIncrement(t *testing.T) {
+	c := mustNew(t, 64, 4)
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Update(3, func(old interface{}, present bool) (interface{}, bool) {
+					n := 0
+					if present {
+						n = old.(int)
+					}
+					return n + 1, true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if v, ok := c.Get(3); !ok || v != workers*per {
+		t.Fatalf("count = %v (present %v), want %d: increments were lost", v, ok, workers*per)
+	}
+}
+
+// TestUpdateDuringMigration drives Update across an in-flight incremental
+// rehash: values in not-yet-remapped buckets must be found, updated and
+// remapped without losing the old-bucket accounting.
+func TestUpdateDuringMigration(t *testing.T) {
+	c := mustNew(t, 256, 4)
+	const n = 150
+	for k := uint64(0); k < n; k++ {
+		c.Put(k, int(0))
+	}
+	c.Rehash()
+	if !c.Migrating() {
+		t.Skip("migration completed instantly; nothing to exercise")
+	}
+	for k := uint64(0); k < n; k++ {
+		c.Update(k, func(old interface{}, present bool) (interface{}, bool) {
+			if !present {
+				return nil, false // evicted by the migration: accounted, skip
+			}
+			return old.(int) + 1, true
+		})
+	}
+	for k := uint64(0); k < n; k++ {
+		if v, ok := c.Get(k); ok && v != 1 {
+			t.Fatalf("key %d = %v after update-under-migration, want 1", k, v)
+		}
+	}
+	if c.Len() > c.Capacity() {
+		t.Fatalf("Len %d > capacity %d", c.Len(), c.Capacity())
+	}
+}

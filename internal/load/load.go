@@ -66,6 +66,15 @@ type TopologyReporter interface {
 	TopologyRefreshes() uint64
 }
 
+// StaleReporter is optionally implemented by a Conn (cluster.Client does)
+// to report maintenance writes a destination rejected as version-stale —
+// lost-update races the protocol's version check won. The harness sums
+// the counts into Result.StaleRepairs.
+type StaleReporter interface {
+	// StaleRepairs returns the number of version-stale rejections observed.
+	StaleRepairs() uint64
+}
+
 // Config describes one load run.
 type Config struct {
 	// Addr is the server address, dialed with wire.Dial when Dial is nil.
@@ -125,7 +134,11 @@ type Result struct {
 	// count means the cluster's membership changed mid-run and the
 	// router(s) converged on their own.
 	Refreshes int
-	Elapsed   time.Duration
+	// StaleRepairs counts maintenance writes rejected as version-stale,
+	// reported by connections that implement StaleReporter; 0 otherwise.
+	// Each one is a lost-update race the versioned-write check won.
+	StaleRepairs int
+	Elapsed      time.Duration
 	// Throughput is GET operations per second.
 	Throughput float64
 	// Latency summarizes per-round-trip latencies (one sample per pipelined
@@ -199,9 +212,9 @@ func VerifyPayload(key uint64, v []byte) bool {
 }
 
 type workerResult struct {
-	ops, hits, misses, sets, corrupt, repairs, refreshes int
-	latencies                                            []time.Duration
-	err                                                  error
+	ops, hits, misses, sets, corrupt, repairs, refreshes, stale int
+	latencies                                                   []time.Duration
+	err                                                         error
 }
 
 // Validate checks the configuration without running it.
@@ -306,6 +319,7 @@ func Run(cfg Config) (Result, error) {
 		agg.Corrupt += r.corrupt
 		agg.Repairs += r.repairs
 		agg.Refreshes += r.refreshes
+		agg.StaleRepairs += r.stale
 		samples = append(samples, r.latencies...)
 	}
 	agg.Elapsed = elapsed
@@ -331,6 +345,9 @@ func runWorker(cfg Config, dial func() (Conn, error), keys trace.Sequence, depth
 		}
 		if tr, ok := conn.(TopologyReporter); ok {
 			res.refreshes = int(tr.TopologyRefreshes())
+		}
+		if sr, ok := conn.(StaleReporter); ok {
+			res.stale = int(sr.StaleRepairs())
 		}
 	}()
 

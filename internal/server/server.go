@@ -13,6 +13,15 @@
 // cache's incremental migration (Section 6.1 of the paper), so live traffic
 // continues while items drain from the old hash function to the new one.
 //
+// Every stored value carries a monotonically increasing per-key version
+// (protocol v4). User SETs assign versions and always win; maintenance
+// SETs flagged VERSIONED carry the version their writer observed and are
+// applied atomically only when strictly newer than the stored one —
+// rejections answer VERSION_STALE and count in STATS StaleRepairs. The
+// async maintenance queue applies its entries through the same check, so
+// its depth no longer widens the window in which a delayed repair could
+// reinstate a value a concurrent user SET already replaced.
+//
 // The server also holds the node's view of the cluster topology: a member
 // list stamped with a monotonically increasing epoch, pushed at it by the
 // cluster router or a joining peer (TOPOLOGY) and served back to anyone
@@ -29,6 +38,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/concurrent"
 	"repro/internal/wire"
@@ -42,10 +52,29 @@ import (
 // SetRepairQueue.
 const DefaultRepairQueue = 4096
 
-// repairWrite is one queued async maintenance write.
-type repairWrite struct {
-	key uint64
+// entry is the versioned value the server stores in the cache: the payload
+// plus a monotonically increasing per-key version. Unconditional (user)
+// SETs assign max(wall-clock nanos, stored+1) — per-key monotonic by
+// construction, and wall-clock anchored so versions assigned on different
+// nodes for successive writes of the same key compare the way their
+// real-time order did. Conditional (VERSIONED) writes carry the version
+// the writer observed and store it verbatim, so a value keeps its origin
+// version as maintenance copies it between nodes.
+type entry struct {
+	ver uint64
 	val []byte
+}
+
+// repairWrite is one queued async maintenance write. It keeps the SET's
+// flags and observed version so the version check runs when the queue
+// drains — the apply, however delayed, goes through the same conditional
+// path as a synchronous write, which is what keeps queue depth from
+// widening the lost-update window.
+type repairWrite struct {
+	key   uint64
+	val   []byte
+	flags wire.SetFlags
+	ver   uint64
 }
 
 // Server serves a concurrent.Cache over TCP.
@@ -56,8 +85,11 @@ type Server struct {
 	// writes versus replica maintenance (read repair, warm-up, migration).
 	// Keeping them at the server rather than in the cache means repair
 	// churn never skews the cache-level counters the α experiments read.
-	sets       atomic.Uint64
-	repairSets atomic.Uint64
+	// staleRepairs counts VERSIONED writes rejected because the stored
+	// version was newer — each one a lost-update race the check won.
+	sets         atomic.Uint64
+	repairSets   atomic.Uint64
+	staleRepairs atomic.Uint64
 
 	// Topology state: the member list under topoMu, the epoch mirrored in
 	// an atomic so every response handler can stamp it without locking.
@@ -247,6 +279,15 @@ func (s *Server) handleConn(conn net.Conn) {
 	r := wire.NewReader(conn)
 	w := wire.NewWriter(conn)
 	if err := r.ReadPreamble(); err != nil {
+		if errors.Is(err, wire.ErrVersionMismatch) {
+			// Tell the peer *why* before closing: the ERROR frame layout is
+			// stable across revisions, so even an older client reads the
+			// documented version error instead of a bare EOF.
+			w.WriteResponse(wire.Response{
+				Status: wire.StatusError, Epoch: s.epoch.Load(), Err: err.Error(),
+			})
+			w.Flush()
+		}
 		return
 	}
 	for {
@@ -308,12 +349,18 @@ func (s *Server) apply(req wire.Request) wire.Response {
 		if !ok {
 			return wire.Response{Status: wire.StatusMiss}
 		}
-		b, ok := v.([]byte)
-		if !ok {
+		switch e := v.(type) {
+		case *entry:
+			return wire.Response{Status: wire.StatusHit, Value: e.val, Version: e.ver}
+		case []byte:
+			// Values stored by in-process embedders sharing the cache carry
+			// no version; serve them at version 0 so any versioned write
+			// supersedes them.
+			return wire.Response{Status: wire.StatusHit, Value: e}
+		default:
 			return wire.Response{Status: wire.StatusError,
 				Err: fmt.Sprintf("non-wire value of type %T cached under key %d", v, req.Key)}
 		}
-		return wire.Response{Status: wire.StatusHit, Value: b}
 	case wire.OpSet:
 		if req.Flags&wire.SetFlagRepair != 0 {
 			s.repairSets.Add(1)
@@ -326,12 +373,17 @@ func (s *Server) apply(req wire.Request) wire.Response {
 		if req.Flags&wire.SetFlagAsync != 0 {
 			// OK means accepted: the write is applied (or shed) by the
 			// background worker, so maintenance floods never stall the
-			// request path. Eviction is unknowable here; the flag stays 0.
-			s.enqueueRepair(req.Key, val)
+			// request path. Eviction and the version outcome are unknowable
+			// here; a VERSIONED write rejected at drain time still counts in
+			// StaleRepairs.
+			s.enqueueRepair(repairWrite{key: req.Key, val: val, flags: req.Flags, ver: req.Version})
 			return wire.Response{Status: wire.StatusOK}
 		}
-		_, evicted := s.cache.Put(req.Key, val)
-		return wire.Response{Status: wire.StatusOK, Evicted: evicted}
+		applied, ver, evicted := s.store(req.Key, req.Flags, req.Version, val)
+		if !applied {
+			return wire.Response{Status: wire.StatusVersionStale, Version: ver}
+		}
+		return wire.Response{Status: wire.StatusOK, Evicted: evicted, Version: ver}
 	case wire.OpDel:
 		if s.cache.Delete(req.Key) {
 			return wire.Response{Status: wire.StatusOK}
@@ -351,6 +403,48 @@ func (s *Server) apply(req wire.Request) wire.Response {
 	}
 }
 
+// store applies one SET to the cache as a single atomic read-check-write
+// under the owning bucket's lock (concurrent.Cache.Update), so no
+// concurrent write can interleave between the version comparison and the
+// overwrite.
+//
+// An unconditional SET (no VERSIONED flag) always stores, assigning the
+// key the version max(wall-clock nanos, stored+1) — strictly above
+// everything this node ever held for the key, and above any version an
+// earlier write of the key was assigned elsewhere whose real-time order
+// precedes this one. A VERSIONED SET stores its carried version verbatim,
+// and only when that is strictly newer than the stored one; a rejection
+// reports the winning version and bumps staleRepairs.
+func (s *Server) store(key uint64, flags wire.SetFlags, reqVer uint64, val []byte) (applied bool, ver uint64, evicted bool) {
+	conditional := flags&wire.SetFlagVersioned != 0
+	stored, _, evicted := s.cache.Update(key, func(old interface{}, present bool) (interface{}, bool) {
+		var cur uint64
+		if present {
+			if e, ok := old.(*entry); ok {
+				cur = e.ver
+			}
+		}
+		if conditional {
+			if present && reqVer <= cur {
+				ver = cur
+				return nil, false
+			}
+			ver = reqVer
+			return &entry{ver: ver, val: val}, true
+		}
+		ver = uint64(time.Now().UnixNano())
+		if ver <= cur {
+			ver = cur + 1
+		}
+		return &entry{ver: ver, val: val}, true
+	})
+	if !stored {
+		s.staleRepairs.Add(1)
+		return false, ver, false
+	}
+	return true, ver, evicted
+}
+
 // repairQueue returns the async maintenance channel, or nil when none was
 // created (no async write arrived yet, or the queue is disabled).
 func (s *Server) repairQueue() chan repairWrite {
@@ -360,7 +454,7 @@ func (s *Server) repairQueue() chan repairWrite {
 
 // enqueueRepair hands an async maintenance write to the background worker,
 // shedding it (counted) when the queue is full or disabled.
-func (s *Server) enqueueRepair(key uint64, val []byte) {
+func (s *Server) enqueueRepair(w repairWrite) {
 	s.repairOnce.Do(func() {
 		depth := s.repairDepth
 		if !s.repairDepthSet {
@@ -379,25 +473,29 @@ func (s *Server) enqueueRepair(key uint64, val []byte) {
 		return
 	}
 	select {
-	case ch <- repairWrite{key: key, val: val}:
+	case ch <- w:
 	default:
 		s.repairsShed.Add(1)
 	}
 }
 
 // repairLoop drains the async maintenance queue until Close, then applies
-// whatever is already queued and exits.
+// whatever is already queued and exits. Queued writes go through the same
+// conditional store as synchronous ones, so a VERSIONED entry that sat in
+// the queue while a user SET superseded it is rejected at drain time — the
+// queue delays maintenance writes, it no longer widens the window in which
+// they can clobber fresher state.
 func (s *Server) repairLoop(ch chan repairWrite) {
 	defer close(s.repairDone)
 	for {
 		select {
 		case w := <-ch:
-			s.cache.Put(w.key, w.val)
+			s.store(w.key, w.flags, w.ver, w.val)
 		case <-s.repairStop:
 			for {
 				select {
 				case w := <-ch:
-					s.cache.Put(w.key, w.val)
+					s.store(w.key, w.flags, w.ver, w.val)
 				default:
 					return
 				}
@@ -423,6 +521,7 @@ func (s *Server) stats(detail bool) *wire.Stats {
 		Sets:              s.sets.Load(),
 		RepairSets:        s.repairSets.Load(),
 		RepairsShed:       s.repairsShed.Load(),
+		StaleRepairs:      s.staleRepairs.Load(),
 		Migrating:         snap.Migrating,
 	}
 	if ch := s.repairQueue(); ch != nil {

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"encoding/binary"
+	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -552,5 +555,282 @@ func TestPipelinedMixedBatch(t *testing.T) {
 	}
 	if hits == 0 {
 		t.Fatal("no hits in pipelined batch")
+	}
+}
+
+// getVersion reads key with its stored version over c.
+func getVersion(t *testing.T, c *wire.Client, key uint64) (uint64, []byte, bool) {
+	t.Helper()
+	var (
+		ver uint64
+		val []byte
+		hit bool
+	)
+	if err := c.GetBatchVersions([]uint64{key}, func(_ int, h bool, v uint64, b []byte) {
+		hit = h
+		ver = v
+		val = append([]byte(nil), b...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ver, val, hit
+}
+
+// TestVersionedSetLifecycle pins the v4 value-version semantics end to
+// end: user SETs assign strictly increasing versions, HITs report them,
+// a VERSIONED write below-or-at the stored version is rejected with
+// VERSION_STALE (and counted), and one strictly above applies verbatim.
+func TestVersionedSetLifecycle(t *testing.T) {
+	_, addr := startServer(t, concurrent.Config{Capacity: 64, Alpha: 4, Seed: 1})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Set(1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	ver1, _, hit := getVersion(t, c, 1)
+	if !hit || ver1 == 0 {
+		t.Fatalf("first SET stored version %d (hit %v); want a nonzero version", ver1, hit)
+	}
+	if _, err := c.Set(1, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	ver2, val, _ := getVersion(t, c, 1)
+	if ver2 <= ver1 {
+		t.Fatalf("second SET version %d not above first %d; per-key versions must increase", ver2, ver1)
+	}
+	if string(val) != "v2" {
+		t.Fatalf("value = %q, want v2", val)
+	}
+
+	// A conditional write at the observed-old version must lose.
+	applied, stored, err := c.SetVersioned(1, wire.SetFlagRepair, ver1, []byte("stale"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied || stored != ver2 {
+		t.Fatalf("stale VERSIONED SET: applied=%v stored=%d, want rejected with stored=%d", applied, stored, ver2)
+	}
+	if _, val, _ := getVersion(t, c, 1); string(val) != "v2" {
+		t.Fatalf("value after rejected write = %q, want v2", val)
+	}
+
+	// Equal version must lose too (strictly newer only).
+	if applied, _, err = c.SetVersioned(1, wire.SetFlagRepair, ver2, []byte("equal")); err != nil || applied {
+		t.Fatalf("equal-version SET applied=%v, err=%v; want rejected", applied, err)
+	}
+
+	// Strictly newer applies and stores the carried version verbatim.
+	if applied, stored, err = c.SetVersioned(1, wire.SetFlagRepair, ver2+50, []byte("newer")); err != nil || !applied || stored != ver2+50 {
+		t.Fatalf("newer VERSIONED SET = (%v, %d, %v), want applied at %d", applied, stored, err, ver2+50)
+	}
+	ver3, val, _ := getVersion(t, c, 1)
+	if ver3 != ver2+50 || string(val) != "newer" {
+		t.Fatalf("after newer write: (%d, %q), want (%d, newer)", ver3, val, ver2+50)
+	}
+
+	// A VERSIONED write to an absent key populates it (warm-up's case).
+	if applied, _, err = c.SetVersioned(2, wire.SetFlagRepair, 123, []byte("seeded")); err != nil || !applied {
+		t.Fatalf("VERSIONED SET on absent key = (%v, %v), want applied", applied, err)
+	}
+	if ver, _, _ := getVersion(t, c, 2); ver != 123 {
+		t.Fatalf("seeded version = %d, want 123", ver)
+	}
+
+	st, err := c.Stats(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StaleRepairs != 2 {
+		t.Errorf("StaleRepairs = %d, want 2 (one stale, one equal rejection)", st.StaleRepairs)
+	}
+}
+
+// TestLostUpdateRaceAsyncRepair is the e2e acceptance for the v4 bugfix:
+// a REPAIR|ASYNC write of an older value that drains from the maintenance
+// queue *after* a user SET of the same key must be rejected, not
+// reinstate the old value. Under v3 semantics this exact interleaving
+// stored the old value (the documented lost-update caveat); the
+// StaleRepairs bump is the proof the write would have applied and was
+// refused by the version check alone.
+func TestLostUpdateRaceAsyncRepair(t *testing.T) {
+	_, addr := startServer(t, concurrent.Config{Capacity: 64, Alpha: 4, Seed: 1})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A maintenance actor observes (old, ver) — a fallback read, a warm-up
+	// chunk, a migration drain, all look like this.
+	if _, err := c.Set(9, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	verOld, _, _ := getVersion(t, c, 9)
+
+	// The user SET lands first...
+	if _, err := c.Set(9, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	// ...then the delayed maintenance write of the old value arrives via
+	// the async queue (accepted, applied in the background).
+	if applied, _, err := c.SetVersioned(9, wire.SetFlagRepair|wire.SetFlagAsync, verOld, []byte("old")); err != nil || !applied {
+		t.Fatalf("ASYNC repair accept = (%v, %v)", applied, err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := c.Stats(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.StaleRepairs == 1 && st.RepairQueueDepth == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queued stale repair not processed: StaleRepairs=%d depth=%d", st.StaleRepairs, st.RepairQueueDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, val, _ := getVersion(t, c, 9); string(val) != "new" {
+		t.Fatalf("value after delayed repair = %q; the user SET was overwritten by the older value", val)
+	}
+}
+
+// TestVersionedRepairStress races a user writer against a maintenance
+// loop that perpetually re-writes whatever it last observed (half
+// synchronous, half through the async queue) — the generalized lost-update
+// scenario, run under -race in CI. Whatever the interleaving, the final
+// user write must survive every replay of older state, and the versions
+// the maintenance loop observes must never go backwards.
+func TestVersionedRepairStress(t *testing.T) {
+	_, addr := startServer(t, concurrent.Config{Capacity: 256, Alpha: 8, Seed: 1})
+	user, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer user.Close()
+	maint, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer maint.Close()
+
+	const key = 5
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		var lastVer uint64
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			var ver uint64
+			var val []byte
+			var hit bool
+			if err := maint.GetBatchVersions([]uint64{key}, func(_ int, h bool, v uint64, b []byte) {
+				hit, ver, val = h, v, append([]byte(nil), b...)
+			}); err != nil {
+				done <- err
+				return
+			}
+			if !hit {
+				continue
+			}
+			if ver < lastVer {
+				done <- fmt.Errorf("observed version went backwards: %d after %d", ver, lastVer)
+				return
+			}
+			lastVer = ver
+			flags := wire.SetFlagRepair
+			if i%2 == 1 {
+				flags |= wire.SetFlagAsync
+			}
+			if _, _, err := maint.SetVersioned(key, flags, ver, val); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 3000; i++ {
+		if _, err := user.Set(key, []byte(fmt.Sprintf("user-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The final write: every maintenance observation precedes it, so no
+	// replay — queued or in flight — may ever displace it.
+	if _, err := user.Set(key, []byte("final")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, val, hit := getVersion(t, user, key)
+		if !hit {
+			t.Fatal("key vanished under stress")
+		}
+		if string(val) != "final" {
+			t.Fatalf("value = %q; an older maintenance replay displaced the final user SET", val)
+		}
+		st, err := user.Stats(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.RepairQueueDepth == 0 {
+			t.Logf("stress: %d repair sets, %d rejected as stale", st.RepairSets, st.StaleRepairs)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async repair queue did not drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Re-check after the drain: nothing that drained displaced the final.
+	if _, val, _ := getVersion(t, user, key); string(val) != "final" {
+		t.Fatalf("value after drain = %q, want final", val)
+	}
+}
+
+// TestOldClientVersionError is the cross-version smoke: a v3 client
+// connecting to a v4 server must read the documented version error on its
+// first response — the ERROR frame layout is stable across revisions —
+// rather than hanging on a silently closed connection.
+func TestOldClientVersionError(t *testing.T) {
+	_, addr := startServer(t, concurrent.Config{Capacity: 64, Alpha: 4, Seed: 1})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A version-3 preamble, byte for byte what an old client sends.
+	pre := []byte(wire.Magic)
+	pre = binary.LittleEndian.AppendUint32(pre, wire.Version-1)
+	if _, err := conn.Write(pre); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := wire.NewReader(conn).ReadResponse()
+	if err != nil {
+		t.Fatalf("old client got %v instead of the documented version error", err)
+	}
+	if resp.Status != wire.StatusError {
+		t.Fatalf("old client got %v, want ERROR", resp.Status)
+	}
+	if !strings.Contains(resp.Err, "unsupported protocol version") {
+		t.Fatalf("error message %q does not name the version mismatch", resp.Err)
 	}
 }

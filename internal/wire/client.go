@@ -4,7 +4,15 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 )
+
+// DefaultDialTimeout bounds Dial's connection establishment. Without a
+// bound, a black-holed address (dead host, dropped SYNs) parks the caller
+// in the kernel's connect retry cycle for minutes — long enough to stall a
+// topology refresh, a warm-up, or a join on a single dead member. Failing
+// in seconds instead lets those paths skip the corpse and proceed.
+const DefaultDialTimeout = 3 * time.Second
 
 // Client speaks the wire protocol over one connection. A Client is NOT safe
 // for concurrent use; the load harness opens one per worker goroutine.
@@ -22,9 +30,22 @@ type Client struct {
 	lastEpoch uint64
 }
 
-// Dial connects to a cached server and performs the preamble handshake.
+// Dial connects to a cached server and performs the preamble handshake,
+// bounding connection establishment by DefaultDialTimeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout is Dial with an explicit connect timeout; d ≤ 0 means no
+// bound (the raw net.Dial behavior).
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	var conn net.Conn
+	var err error
+	if d > 0 {
+		conn, err = net.DialTimeout("tcp", addr, d)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -59,6 +80,18 @@ func (c *Client) EnqueueSet(key uint64, value []byte) error {
 // migration writes so servers do not count them as user traffic.
 func (c *Client) EnqueueSetFlags(key uint64, flags SetFlags, value []byte) error {
 	return c.w.WriteRequest(Request{Op: OpSet, Key: key, Flags: flags, Value: value})
+}
+
+// EnqueueSetVersioned buffers a conditional maintenance SET without
+// flushing: the write carries version (the version the caller observed the
+// value at) and the server applies it only when that is strictly newer
+// than the version it holds, answering VERSION_STALE otherwise.
+// SetFlagVersioned is added to flags implicitly; flags must include
+// SetFlagRepair.
+func (c *Client) EnqueueSetVersioned(key uint64, flags SetFlags, version uint64, value []byte) error {
+	return c.w.WriteRequest(Request{
+		Op: OpSet, Key: key, Flags: flags | SetFlagVersioned, Version: version, Value: value,
+	})
 }
 
 // EnqueueDel buffers a DEL without flushing.
@@ -132,6 +165,31 @@ func (c *Client) SetFlags(key uint64, flags SetFlags, value []byte) (evicted boo
 		return false, fmt.Errorf("wire: unexpected SET response %v", resp.Status)
 	}
 	return resp.Evicted, nil
+}
+
+// SetVersioned stores value under key conditionally: the write carries the
+// version the caller observed the value at (plus flags, which must include
+// SetFlagRepair; SetFlagVersioned is added implicitly) and applies only
+// when that version is strictly newer than the stored one. It returns
+// whether the write applied and the version the server holds after the
+// call — the carried version when applied, the newer winning version when
+// not. With SetFlagAsync the write is only accepted (applied=true means
+// queued) and the version check happens when the queue drains.
+func (c *Client) SetVersioned(key uint64, flags SetFlags, version uint64, value []byte) (applied bool, stored uint64, err error) {
+	resp, err := c.roundTrip(Request{
+		Op: OpSet, Key: key, Flags: flags | SetFlagVersioned, Version: version, Value: value,
+	})
+	if err != nil {
+		return false, 0, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return true, resp.Version, nil
+	case StatusVersionStale:
+		return false, resp.Version, nil
+	default:
+		return false, 0, fmt.Errorf("wire: unexpected VERSIONED SET response %v", resp.Status)
+	}
 }
 
 // Del removes key, reporting whether it was present.
@@ -240,6 +298,18 @@ func (c *Client) PushTopology(t Topology) (Topology, error) {
 // key order. The value passed to visit aliases an internal buffer valid only
 // for the duration of the call.
 func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byte)) error {
+	return c.GetBatchVersions(keys, func(i int, hit bool, _ uint64, value []byte) {
+		visit(i, hit, value)
+	})
+}
+
+// GetBatchVersions is GetBatch with the stored version of each hit passed
+// through to visit — the read side of the versioned-maintenance loop: the
+// cluster router reads values with their versions here and re-writes them
+// elsewhere with SetBatchVersioned, so a copy can never supersede a value
+// newer than the one it observed. The value passed to visit aliases an
+// internal buffer valid only for the duration of the call.
+func (c *Client) GetBatchVersions(keys []uint64, visit func(i int, hit bool, version uint64, value []byte)) error {
 	for _, k := range keys {
 		if err := c.EnqueueGet(k); err != nil {
 			return err
@@ -255,9 +325,9 @@ func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byt
 		}
 		switch resp.Status {
 		case StatusHit:
-			visit(i, true, resp.Value)
+			visit(i, true, resp.Version, resp.Value)
 		case StatusMiss:
-			visit(i, false, nil)
+			visit(i, false, 0, nil)
 		default:
 			return fmt.Errorf("wire: unexpected GET response %v", resp.Status)
 		}
@@ -292,6 +362,39 @@ func (c *Client) SetBatchFlags(keys []uint64, flags SetFlags, value func(i int) 
 		}
 	}
 	return nil
+}
+
+// SetBatchVersioned pipelines one conditional maintenance SET per key
+// (flags must include SetFlagRepair; SetFlagVersioned is added implicitly),
+// with version(i) and value(i) producing the i-th observed version and
+// payload. It reports how many writes applied and how many were rejected
+// as stale — a stale rejection means the destination already held a
+// strictly newer value, which for a maintenance copy is success: the data
+// is there, fresher than the copy in flight.
+func (c *Client) SetBatchVersioned(keys []uint64, flags SetFlags, version func(i int) uint64, value func(i int) []byte) (applied, stale int, err error) {
+	for i, k := range keys {
+		if err := c.EnqueueSetVersioned(k, flags, version(i), value(i)); err != nil {
+			return applied, stale, err
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return applied, stale, err
+	}
+	for range keys {
+		resp, err := c.ReadResponse()
+		if err != nil {
+			return applied, stale, err
+		}
+		switch resp.Status {
+		case StatusOK:
+			applied++
+		case StatusVersionStale:
+			stale++
+		default:
+			return applied, stale, fmt.Errorf("wire: unexpected VERSIONED SET response %v", resp.Status)
+		}
+	}
+	return applied, stale, nil
 }
 
 // Rehash asks the server to begin an online incremental rehash.

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -108,8 +109,8 @@ func TestVersionMismatch(t *testing.T) {
 	binary.LittleEndian.PutUint32(v[:], Version+41)
 	pre.Write(v[:])
 	err := NewReader(&pre).ReadPreamble()
-	if err == nil || !strings.Contains(err.Error(), "unsupported version") {
-		t.Fatalf("ReadPreamble(version %d) = %v; want unsupported-version error", Version+41, err)
+	if err == nil || !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("ReadPreamble(version %d) = %v; want ErrVersionMismatch", Version+41, err)
 	}
 
 	var bad bytes.Buffer

@@ -42,7 +42,7 @@ func specSection(t *testing.T, doc, marker string) string {
 
 // tableCodes extracts |NAME|number| rows from a markdown section.
 func tableCodes(section string) map[string]int {
-	rows := regexp.MustCompile(`(?m)^\|\s*([A-Z]+)\s*\|\s*(\d+)\s*\|`).FindAllStringSubmatch(section, -1)
+	rows := regexp.MustCompile(`(?m)^\|\s*([A-Z_]+)\s*\|\s*(\d+)\s*\|`).FindAllStringSubmatch(section, -1)
 	out := make(map[string]int, len(rows))
 	for _, r := range rows {
 		n, _ := strconv.Atoi(r[2])
@@ -96,7 +96,7 @@ func TestSpecOpcodes(t *testing.T) {
 
 func TestSpecStatuses(t *testing.T) {
 	codes := tableCodes(specSection(t, specDoc(t), "### Response statuses"))
-	want := []Status{StatusHit, StatusMiss, StatusOK, StatusStats, StatusError, StatusKeys, StatusMembers}
+	want := []Status{StatusHit, StatusMiss, StatusOK, StatusStats, StatusError, StatusKeys, StatusMembers, StatusVersionStale}
 	if len(codes) != len(want) {
 		t.Errorf("spec lists %d statuses, implementation has %d", len(codes), len(want))
 	}
@@ -115,6 +115,7 @@ func TestSpecSetFlags(t *testing.T) {
 	}{
 		{"REPAIR", SetFlagRepair},
 		{"ASYNC", SetFlagAsync},
+		{"VERSIONED", SetFlagVersioned},
 	} {
 		row := regexp.MustCompile(`\|\s*` + f.name + `\s*\|\s*0x([0-9a-fA-F]+)\s*\|`).FindStringSubmatch(section)
 		if row == nil {
@@ -127,8 +128,29 @@ func TestSpecSetFlags(t *testing.T) {
 	}
 	// Every defined flag must be documented: if a new bit joins
 	// setFlagsDefined, this forces a spec row for it.
-	if setFlagsDefined != SetFlagRepair|SetFlagAsync {
+	if setFlagsDefined != SetFlagRepair|SetFlagAsync|SetFlagVersioned {
 		t.Error("setFlagsDefined grew; document the new flag bit in ARCHITECTURE.md and extend this test")
+	}
+}
+
+// TestSpecVersionedWrites pins the v4 normative sentences: the SET request
+// row documents the conditional version field, HIT responses carry the
+// stored version, and VERSION_STALE replies with the winning version.
+func TestSpecVersionedWrites(t *testing.T) {
+	doc := specDoc(t)
+	ops := specSection(t, doc, "### Request opcodes")
+	if !regexp.MustCompile(`SET\s*\|\s*2\s*\|\s*key uint64, flags byte, \[version uint64\], value bytes`).MatchString(ops) {
+		t.Error("spec SET row must document the conditional version field: key, flags, [version], value")
+	}
+	if !regexp.MustCompile(`(?i)version field is present exactly when the flags carry VERSIONED`).MatchString(ops) {
+		t.Error("spec must state when the SET version field is present")
+	}
+	statuses := specSection(t, doc, "### Response statuses")
+	if !regexp.MustCompile(`HIT\s*\|\s*1\s*\|\s*version uint64, value bytes`).MatchString(statuses) {
+		t.Error("spec HIT row must document the leading version field")
+	}
+	if !regexp.MustCompile(`(?is)VERSION_STALE.*?not strictly newer`).MatchString(statuses) {
+		t.Error("spec must state VERSION_STALE's strictly-newer rejection rule")
 	}
 }
 

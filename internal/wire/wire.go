@@ -24,8 +24,11 @@
 // the matching responses. The server flushes its write buffer whenever it
 // runs out of buffered requests, making batched round trips cheap.
 //
-//	GET      key uint64                        → Hit value | Miss
-//	SET      key uint64, flags byte, value     → OK evicted byte(0|1)
+//	GET      key uint64                        → Hit version, value | Miss
+//	SET      key uint64, flags byte,
+//	         [version uint64 if VERSIONED],
+//	         value                             → OK evicted, version |
+//	                                             VersionStale stored version
 //	DEL      key uint64                        → OK | Miss
 //	STATS    detail byte(0|1)                  → Stats payload (see Stats)
 //	REHASH                                     → OK
@@ -61,14 +64,40 @@
 // them on their new owners; adding one streams the newcomer's share into
 // it. The snapshot is racy — concurrent traffic may add or evict entries
 // while it is taken.
+//
+// Version 4 made values versioned so maintenance writes can no longer
+// reinstate a value a concurrent user SET already superseded (the
+// lost-update race the v3 spec documented as a deliberate caveat):
+//
+//   - Every stored value carries a monotonically increasing per-key
+//     version, assigned by the server on unconditional SETs. HIT responses
+//     carry the stored version before the value; OK responses to a SET
+//     carry the version the write was stored under.
+//   - SetFlagVersioned (valid only with SetFlagRepair) makes a SET
+//     conditional: the request carries the version the writer observed,
+//     and the server applies it only when that version is strictly newer
+//     than the one it holds. A rejected write answers VERSION_STALE (with
+//     the newer stored version) and is counted in Stats.StaleRepairs.
+//     User SETs stay unconditional last-writer-wins.
 package wire
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrVersionMismatch is wrapped by ReadPreamble when the peer speaks a
+// protocol revision other than Version. The server detects it with
+// errors.Is and answers with a StatusError frame naming both revisions
+// before closing the connection — the ERROR layout (status byte, epoch,
+// message) has been stable since v3, so a v3 client reads a clear error
+// instead of hanging on a silently closed connection. (v1/v2 peers
+// predate the epoch field and see its bytes as message prefix; they still
+// get a framed ERROR rather than a hang.)
+var ErrVersionMismatch = errors.New("unsupported protocol version")
 
 // Protocol constants.
 const (
@@ -79,8 +108,11 @@ const (
 	// Sets/RepairSets counters in the STATS payload; version 3 added the
 	// topology epoch to every response, the MEMBERS and TOPOLOGY ops,
 	// chunked KEYS streaming, the ASYNC SET flag, and the
-	// RepairQueueDepth/RepairsShed counters.
-	Version = 3
+	// RepairQueueDepth/RepairsShed counters; version 4 added per-key value
+	// versions (in HIT and OK responses), the VERSIONED SET flag with the
+	// VERSION_STALE status for conditional maintenance writes, and the
+	// StaleRepairs counter.
+	Version = 4
 	// MaxFrame bounds a frame body; it caps both value sizes and the damage
 	// a corrupt length prefix can do.
 	MaxFrame = 16 << 20
@@ -201,8 +233,21 @@ const (
 	// or accounted for") cannot tolerate a silent shed.
 	SetFlagAsync SetFlags = 1 << 1
 
+	// SetFlagVersioned, valid only alongside SetFlagRepair, makes the SET
+	// conditional on the version the writer observed: the request body
+	// carries that version between the flags byte and the value, the server
+	// stores the value under it only when it is strictly newer than the
+	// version it holds for the key, and a rejected write answers
+	// VERSION_STALE instead of OK (counted in Stats.StaleRepairs). This is
+	// what keeps a maintenance write — read repair, warm-up, migration, or
+	// an entry draining out of the async queue — from reinstating a value a
+	// concurrent user SET already superseded. User SETs never carry it:
+	// they stay unconditional last-writer-wins and always advance the key's
+	// version.
+	SetFlagVersioned SetFlags = 1 << 2
+
 	// setFlagsDefined masks the bits a conforming frame may set.
-	setFlagsDefined = SetFlagRepair | SetFlagAsync
+	setFlagsDefined = SetFlagRepair | SetFlagAsync | SetFlagVersioned
 )
 
 // Op is a request opcode.
@@ -256,6 +301,12 @@ const (
 	StatusError
 	StatusKeys
 	StatusMembers
+	// StatusVersionStale rejects a VERSIONED SET whose carried version was
+	// not strictly newer than the stored one; the body reports the stored
+	// (winning) version. It is a refusal, not a failure: the invariant the
+	// writer wanted — never overwrite fresher state — held, so callers
+	// treat it as a successful no-op.
+	StatusVersionStale
 )
 
 // String implements fmt.Stringer.
@@ -275,6 +326,8 @@ func (s Status) String() string {
 		return "KEYS"
 	case StatusMembers:
 		return "MEMBERS"
+	case StatusVersionStale:
+		return "VERSION_STALE"
 	default:
 		return fmt.Sprintf("Status(%d)", byte(s))
 	}
@@ -291,6 +344,9 @@ type Request struct {
 	Value []byte
 	// Flags is the SET flag byte (zero for user writes).
 	Flags SetFlags
+	// Version is the observed value version a VERSIONED SET carries; it is
+	// encoded on the wire only when Flags has SetFlagVersioned.
+	Version uint64
 	// Detail asks STATS to include per-shard counters.
 	Detail bool
 	// Topology is the payload of a TOPOLOGY push.
@@ -305,6 +361,12 @@ type Response struct {
 	Epoch uint64
 	// Value is a GET hit's payload; valid until the next Read call.
 	Value []byte
+	// Version is the stored value version: in a HIT it is the version of
+	// the value returned, in an OK replying to an applied SET it is the
+	// version the value was stored under (0 when the write was queued —
+	// ASYNC — or when replying to DEL or REHASH), and in a VERSION_STALE
+	// it is the newer version that won.
+	Version uint64
 	// Evicted reports whether a SET displaced an entry.
 	Evicted bool
 	// Stats is the payload of a STATS response.
@@ -326,7 +388,10 @@ type Response struct {
 // RepairsShed expose the server's bounded queue of async maintenance
 // writes (SetFlagAsync), making repair backpressure observable: a rising
 // depth means maintenance is arriving faster than it drains, and a shed
-// is a repair the server dropped to protect user traffic.
+// is a repair the server dropped to protect user traffic. StaleRepairs
+// counts VERSIONED writes the server rejected because it already held a
+// strictly newer version — each one is a lost-update race the version
+// check won (under v3 semantics the stale value would have been stored).
 type Stats struct {
 	Hits              uint64
 	Misses            uint64
@@ -343,6 +408,7 @@ type Stats struct {
 	RepairSets        uint64
 	RepairQueueDepth  uint64
 	RepairsShed       uint64
+	StaleRepairs      uint64
 	Migrating         bool
 	// Shards is present only when the STATS request set Detail.
 	Shards []ShardStat
@@ -371,6 +437,7 @@ var statsFields = []struct {
 	{"RepairSets", func(s *Stats) *uint64 { return &s.RepairSets }},
 	{"RepairQueueDepth", func(s *Stats) *uint64 { return &s.RepairQueueDepth }},
 	{"RepairsShed", func(s *Stats) *uint64 { return &s.RepairsShed }},
+	{"StaleRepairs", func(s *Stats) *uint64 { return &s.StaleRepairs }},
 }
 
 // MissRatio returns Misses / (Hits + Misses), or 0 before any GET.
@@ -390,7 +457,7 @@ type ShardStat struct {
 	Len       uint64
 }
 
-const statsFixedLen = 15*8 + 1 // 15 uint64 counters (statsFields) + migrating byte
+const statsFixedLen = 16*8 + 1 // 16 uint64 counters (statsFields) + migrating byte
 
 // Writer encodes frames onto a buffered stream. It is not safe for
 // concurrent use.
@@ -440,7 +507,7 @@ func (w *Writer) reset(n int) []byte {
 
 // WriteRequest encodes one request frame (buffered; call Flush to send).
 func (w *Writer) WriteRequest(req Request) error {
-	body := w.reset(1 + 8 + 1 + len(req.Value))
+	body := w.reset(1 + 8 + 1 + 8 + len(req.Value))
 	body = append(body, byte(req.Op))
 	switch req.Op {
 	case OpGet, OpDel:
@@ -448,6 +515,9 @@ func (w *Writer) WriteRequest(req Request) error {
 	case OpSet:
 		body = binary.LittleEndian.AppendUint64(body, req.Key)
 		body = append(body, byte(req.Flags))
+		if req.Flags&SetFlagVersioned != 0 {
+			body = binary.LittleEndian.AppendUint64(body, req.Version)
+		}
 		body = append(body, req.Value...)
 	case OpStats:
 		d := byte(0)
@@ -475,7 +545,7 @@ func (w *Writer) WriteRequest(req Request) error {
 // Every response carries resp.Epoch — the server's topology epoch — right
 // after the status byte.
 func (w *Writer) WriteResponse(resp Response) error {
-	n := 9 + len(resp.Value) + len(resp.Err) + 8*len(resp.Keys)
+	n := 9 + 8 + len(resp.Value) + len(resp.Err) + 8*len(resp.Keys)
 	if resp.Stats != nil {
 		n += statsFixedLen + 4 + 4*8*len(resp.Stats.Shards)
 	}
@@ -484,6 +554,7 @@ func (w *Writer) WriteResponse(resp Response) error {
 	body = binary.LittleEndian.AppendUint64(body, resp.Epoch)
 	switch resp.Status {
 	case StatusHit:
+		body = binary.LittleEndian.AppendUint64(body, resp.Version)
 		body = append(body, resp.Value...)
 	case StatusMiss:
 	case StatusOK:
@@ -492,6 +563,9 @@ func (w *Writer) WriteResponse(resp Response) error {
 			e = 1
 		}
 		body = append(body, e)
+		body = binary.LittleEndian.AppendUint64(body, resp.Version)
+	case StatusVersionStale:
+		body = binary.LittleEndian.AppendUint64(body, resp.Version)
 	case StatusStats:
 		if resp.Stats == nil {
 			return fmt.Errorf("wire: stats response without payload")
@@ -557,7 +631,7 @@ func (r *Reader) ReadPreamble() error {
 		return fmt.Errorf("wire: bad magic %q", pre[:4])
 	}
 	if v := binary.LittleEndian.Uint32(pre[4:8]); v != Version {
-		return fmt.Errorf("wire: unsupported version %d", v)
+		return fmt.Errorf("wire: %w %d (this end speaks %d)", ErrVersionMismatch, v, Version)
 	}
 	return nil
 }
@@ -615,7 +689,18 @@ func (r *Reader) ReadRequest() (Request, error) {
 		if req.Flags&SetFlagAsync != 0 && req.Flags&SetFlagRepair == 0 {
 			return Request{}, fmt.Errorf("wire: SET flag ASYNC is only valid with REPAIR")
 		}
-		req.Value = body[9:]
+		body = body[9:]
+		if req.Flags&SetFlagVersioned != 0 {
+			if req.Flags&SetFlagRepair == 0 {
+				return Request{}, fmt.Errorf("wire: SET flag VERSIONED is only valid with REPAIR")
+			}
+			if len(body) < 8 {
+				return Request{}, fmt.Errorf("wire: VERSIONED SET body lacks the version field")
+			}
+			req.Version = binary.LittleEndian.Uint64(body)
+			body = body[8:]
+		}
+		req.Value = body
 	case OpStats:
 		if len(body) != 1 {
 			return Request{}, fmt.Errorf("wire: STATS body %d bytes, want 1", len(body))
@@ -659,15 +744,30 @@ func (r *Reader) ReadResponse() (Response, error) {
 	body = body[9:]
 	switch resp.Status {
 	case StatusHit:
-		resp.Value = body
+		if len(body) < 8 {
+			return Response{}, fmt.Errorf("wire: HIT body %d bytes, want ≥8 (version)", len(body))
+		}
+		resp.Version = binary.LittleEndian.Uint64(body)
+		resp.Value = body[8:]
 	case StatusMiss:
 	case StatusOK:
-		if len(body) > 1 {
-			return Response{}, fmt.Errorf("wire: OK body %d bytes, want ≤1", len(body))
-		}
-		if len(body) == 1 {
+		// Empty (DEL/REHASH replies may omit the fields), evicted byte
+		// alone, or evicted byte + stored version.
+		switch len(body) {
+		case 0:
+		case 1:
 			resp.Evicted = body[0] != 0
+		case 9:
+			resp.Evicted = body[0] != 0
+			resp.Version = binary.LittleEndian.Uint64(body[1:])
+		default:
+			return Response{}, fmt.Errorf("wire: OK body %d bytes, want 0, 1 or 9", len(body))
 		}
+	case StatusVersionStale:
+		if len(body) != 8 {
+			return Response{}, fmt.Errorf("wire: VERSION_STALE body %d bytes, want 8", len(body))
+		}
+		resp.Version = binary.LittleEndian.Uint64(body)
 	case StatusStats:
 		st, err := parseStats(body)
 		if err != nil {

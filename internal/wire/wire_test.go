@@ -16,6 +16,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpSet, Key: 8, Value: nil},                                                   // empty value is legal
 		{Op: OpSet, Key: 9, Flags: SetFlagRepair, Value: []byte("repair")},                // flagged maintenance write
 		{Op: OpSet, Key: 10, Flags: SetFlagRepair | SetFlagAsync, Value: []byte("async")}, // queued maintenance write
+		{Op: OpSet, Key: 11, Flags: SetFlagRepair | SetFlagVersioned, Version: 1 << 50, Value: []byte("conditional")},
+		{Op: OpSet, Key: 12, Flags: SetFlagRepair | SetFlagAsync | SetFlagVersioned, Version: 7, Value: nil},
 		{Op: OpDel, Key: 1 << 60},
 		{Op: OpStats, Detail: true},
 		{Op: OpStats, Detail: false},
@@ -39,7 +41,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("read %d: %v", i, err)
 		}
-		if got.Op != want.Op || got.Key != want.Key || got.Detail != want.Detail || got.Flags != want.Flags {
+		if got.Op != want.Op || got.Key != want.Key || got.Detail != want.Detail || got.Flags != want.Flags || got.Version != want.Version {
 			t.Fatalf("request %d = %+v, want %+v", i, got, want)
 		}
 		if !bytes.Equal(got.Value, want.Value) {
@@ -67,9 +69,12 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 	resps := []Response{
 		{Status: StatusHit, Epoch: 5, Value: []byte("payload")},
+		{Status: StatusHit, Epoch: 5, Version: 1 << 40, Value: []byte("versioned payload")},
 		{Status: StatusMiss, Epoch: 1 << 50},
 		{Status: StatusOK, Evicted: true},
 		{Status: StatusOK, Evicted: false, Epoch: 9},
+		{Status: StatusOK, Evicted: true, Epoch: 9, Version: 12345},
+		{Status: StatusVersionStale, Epoch: 2, Version: 1 << 41},
 		{Status: StatusStats, Stats: stats, Epoch: 3},
 		{Status: StatusStats, Stats: &Stats{Capacity: 64}}, // no shards
 		{Status: StatusError, Err: "boom", Epoch: 4},
@@ -91,7 +96,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("read %d: %v", i, err)
 		}
-		if got.Status != want.Status || got.Evicted != want.Evicted || got.Err != want.Err || got.Epoch != want.Epoch {
+		if got.Status != want.Status || got.Evicted != want.Evicted || got.Err != want.Err || got.Epoch != want.Epoch || got.Version != want.Version {
 			t.Fatalf("response %d = %+v, want %+v", i, got, want)
 		}
 		if !reflect.DeepEqual(got.Topology.Members, want.Topology.Members) || got.Topology.Epoch != want.Topology.Epoch {
@@ -169,6 +174,21 @@ func TestMalformedRequestRejected(t *testing.T) {
 	body = append(body, byte(SetFlagAsync), 'v')
 	if _, err := frame(body).ReadRequest(); err == nil {
 		t.Fatal("SET with ASYNC but not REPAIR accepted")
+	}
+	// VERSIONED is only defined together with REPAIR: user SETs must stay
+	// unconditional, so a conditional user write is a protocol error.
+	body = append([]byte{byte(OpSet)}, make([]byte, 8)...)
+	body = append(body, byte(SetFlagVersioned))
+	body = append(body, make([]byte, 8)...) // version
+	body = append(body, 'v')
+	if _, err := frame(body).ReadRequest(); err == nil {
+		t.Fatal("SET with VERSIONED but not REPAIR accepted")
+	}
+	// A VERSIONED SET whose body ends before the version field.
+	body = append([]byte{byte(OpSet)}, make([]byte, 8)...)
+	body = append(body, byte(SetFlagRepair|SetFlagVersioned), 1, 2, 3)
+	if _, err := frame(body).ReadRequest(); err == nil {
+		t.Fatal("VERSIONED SET with a truncated version field accepted")
 	}
 }
 
