@@ -7,9 +7,12 @@
 // path) or points at already-running cached daemons (-addrs), drives them
 // with the library's workload generators through the routing client, and
 // reports aggregate throughput/latency plus a per-node table: replica-set
-// ownership share, each node's own STATS deltas, and its repair-write
-// count — the direct check that consistent hashing spreads both keys and
-// load.
+// ownership share, each node's own STATS deltas, its repair-write count
+// and repair-queue high-water mark — the direct check that consistent
+// hashing spreads both keys and load. A "server:" line merges every
+// member's METRICS histograms (wire v5) into run-only GET/SET service-time
+// p50/p99, printed next to the client-observed latency so transport cost
+// and cache cost can be told apart.
 //
 // Usage:
 //
@@ -53,6 +56,7 @@ import (
 	"repro/internal/load"
 	"repro/internal/policy"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
@@ -114,6 +118,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Flight-recorder baseline, so the server-side percentiles printed
+	// below cover this run only, not whatever the daemons served before
+	// (histogram buckets are monotone counters, so before/after subtracts
+	// exactly).
+	msBefore, err := ctl.MetricsAll(wire.MetricsHistograms)
+	if err != nil {
+		fatal(err)
+	}
 
 	var gen workload.Generator
 	switch *wl {
@@ -167,6 +179,12 @@ func main() {
 	fmt.Printf("  client:     hits=%d misses=%d (miss ratio %.4f) sets=%d repairs=%d stale=%d refreshes=%d corrupt=%d\n",
 		res.Hits, res.Misses, res.MissRatio(), res.Sets, res.Repairs, res.StaleRepairs, res.Refreshes, res.Corrupt)
 
+	msAfter, err := ctl.MetricsAll(wire.MetricsHistograms)
+	if err != nil {
+		fatal(err)
+	}
+	printServerLatency(msBefore, msAfter)
+
 	after, err := ctl.StatsAll(false)
 	if err != nil {
 		fatal(err)
@@ -174,17 +192,61 @@ func main() {
 	printBalance(ctl, before, after)
 
 	agg := cluster.AggregateStats(after)
-	fmt.Printf("  aggregate:  len=%d/%d evictions=%d conflict=%d flush=%d rehashes=%d sets=%d repairs=%d stale=%d migrating=%v\n",
+	fmt.Printf("  aggregate:  len=%d/%d evictions=%d conflict=%d flush=%d rehashes=%d sets=%d repairs=%d stale=%d qhi=%d migrating=%v\n",
 		agg.Len, agg.Capacity, agg.Evictions, agg.ConflictEvictions,
-		agg.FlushEvictions, agg.Rehashes, agg.Sets, agg.RepairSets, agg.StaleRepairs, agg.Migrating)
+		agg.FlushEvictions, agg.Rehashes, agg.Sets, agg.RepairSets, agg.StaleRepairs,
+		agg.RepairQueueHighWater, agg.Migrating)
+}
+
+// printServerLatency merges every member's METRICS histograms and prints
+// the run's server-side GET/SET service-time percentiles — what the
+// servers spent per op between decoding a request and encoding its
+// response. Read next to the client latency line: the client numbers are
+// per pipelined batch and include the network and any queueing, so the gap
+// between the two is transport and batching, not cache work.
+func printServerLatency(before, after map[string]*wire.Metrics) {
+	aggB, aggA := cluster.AggregateMetrics(before), cluster.AggregateMetrics(after)
+	parts := []string{}
+	for _, op := range []wire.Op{wire.OpGet, wire.OpSet} {
+		d := histDelta(aggA.Hist(byte(op)), aggB.Hist(byte(op)))
+		if d == nil || d.Count == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s p50=%v p99=%v", op, d.Quantile(0.50), d.Quantile(0.99)))
+	}
+	if len(parts) == 0 {
+		return
+	}
+	fmt.Printf("  server:     %s (service time per op, merged over %d nodes)\n",
+		strings.Join(parts, " | "), len(after))
+}
+
+// histDelta subtracts one cumulative histogram snapshot from a later one
+// of the same histogram; every field is a monotone counter, so the
+// difference is exactly the samples recorded in between.
+func histDelta(a, b *telemetry.HistogramSnapshot) *telemetry.HistogramSnapshot {
+	if a == nil {
+		return nil
+	}
+	d := *a
+	if b != nil {
+		d.Count -= b.Count
+		d.Sum -= b.Sum
+		for i := range d.Buckets {
+			d.Buckets[i] -= b.Buckets[i]
+		}
+	}
+	return &d
 }
 
 // printBalance tabulates, per member, its share of replica-set slots over a
 // key sample against the traffic the servers actually absorbed during the
 // run. Shares are per replica-set slot — divided by samples × R, not by
 // samples — so they sum to 100% even when every key resides on R members;
-// a per-key denominator would report R× the true residency share. The
-// table header carries the topology epoch the view was sampled at, and the
+// a per-key denominator would report R× the true residency share. qhi is
+// the repair queue's high-water mark since the daemon started (a level,
+// not a delta — it proves the queue was occupied even after it drained).
+// The table header carries the topology epoch the view was sampled at, and the
 // members come from the router's current view (which under -bootstrap, or
 // after a mid-run membership change, is the discovered one rather than the
 // command line's).
@@ -192,7 +254,7 @@ func printBalance(ctl *cluster.Client, before, after map[string]*wire.Stats) {
 	const samples = 1 << 16
 	share, replicas := ctl.OwnerSample(samples, 42)
 	fmt.Printf("  balance at topology epoch %d:\n", ctl.Epoch())
-	fmt.Printf("  %-22s %7s %12s %12s %10s %8s %10s\n", "node", "share%", "Δhits", "Δmisses", "Δrepairs", "Δstale", "len")
+	fmt.Printf("  %-22s %7s %12s %12s %10s %8s %6s %10s\n", "node", "share%", "Δhits", "Δmisses", "Δrepairs", "Δstale", "qhi", "len")
 	for _, m := range ctl.Nodes() {
 		b, a := before[m], after[m]
 		if b == nil || a == nil {
@@ -200,10 +262,10 @@ func printBalance(ctl *cluster.Client, before, after map[string]*wire.Stats) {
 				m, 100*float64(share[m])/float64(samples*replicas))
 			continue
 		}
-		fmt.Printf("  %-22s %6.1f%% %12d %12d %10d %8d %10d\n",
+		fmt.Printf("  %-22s %6.1f%% %12d %12d %10d %8d %6d %10d\n",
 			m, 100*float64(share[m])/float64(samples*replicas),
 			a.Hits-b.Hits, a.Misses-b.Misses, a.RepairSets-b.RepairSets,
-			a.StaleRepairs-b.StaleRepairs, a.Len)
+			a.StaleRepairs-b.StaleRepairs, a.RepairQueueHighWater, a.Len)
 	}
 }
 

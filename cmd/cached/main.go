@@ -9,6 +9,7 @@
 //	cached -addr :7070 -k 65536 -alpha 16 -rehash-every 1048576
 //	cached -addr :7070 -k 65536 -alpha 16 -rehash-auto -rehash-conflicts 4096
 //	cached -addr :7071 -advertise host2:7071 -join host1:7070
+//	cached -addr :7070 -debug-addr localhost:6060
 //
 // With -join SEED the daemon makes itself a cluster member on startup: it
 // fetches the seed's topology, adds its own advertised address under a
@@ -29,6 +30,14 @@
 // hash is redrawn long before the miss-count schedule would fire. Clients
 // can also force a rehash with the REHASH opcode (cacheload -rehash). STATS
 // exposes hit/miss/conflict counters and, on request, per-shard snapshots.
+//
+// With -debug-addr the daemon additionally serves an operator side-channel
+// on that address (keep it on localhost or a management network): net/http
+// pprof under /debug/pprof/ and a JSON rendering of the flight recorder —
+// per-op latency percentiles, byte/connection counters, the slow-op ring —
+// at /metrics. It is off by default and separate from the cache port; the
+// wire-level equivalent is the METRICS opcode. -slow-op-threshold tunes
+// which ops enter the slow-op ring (default 10ms, 0 disables).
 package main
 
 import (
@@ -61,6 +70,8 @@ func main() {
 		rehashAuto = flag.Bool("rehash-auto", false, "derive the rehash-every period from k (k·⌈log₂k⌉ misses, the paper's poly(k) guidance)")
 		rehashConf = flag.Uint64("rehash-conflicts", 0, "additionally rehash every N conflict evictions (adaptive trigger, 0 disables)")
 		migPerMiss = flag.Int("migrate-per-miss", 1, "forced migrations per miss during a rehash")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and a /metrics JSON snapshot on this address (off when empty)")
+		slowThresh = flag.Duration("slow-op-threshold", server.DefaultSlowOpThreshold, "ops at least this slow enter the slow-op ring (0 disables the ring)")
 	)
 	flag.Parse()
 
@@ -90,6 +101,10 @@ func main() {
 	}
 
 	srv := server.New(cache)
+	srv.SetSlowOpThreshold(*slowThresh)
+	if *debugAddr != "" {
+		serveDebug(*debugAddr, srv)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {

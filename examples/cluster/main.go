@@ -30,6 +30,12 @@
 // request. Act one disables warm-up (cluster.Options.DisableWarmup) on
 // purpose, to show the burst that warm-up exists to kill.
 //
+// Act four is the observability sequel: one member is secretly slowed (a
+// stall injected under its bucket lock), the client's blended latency can
+// only say *something* is wrong, and the per-node METRICS fan-out (wire
+// v5) localizes the hot member from its own service-time histogram — with
+// its slow-op ring naming the ops that paid — without a shell on any box.
+//
 // Run with: go run ./examples/cluster
 package main
 
@@ -43,8 +49,10 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/concurrent"
 	"repro/internal/load"
+	"repro/internal/policy"
 	"repro/internal/server"
 	"repro/internal/trace"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -55,7 +63,11 @@ const (
 )
 
 func startNode(seed uint64) (string, *server.Server) {
-	cache, err := concurrent.New(concurrent.Config{Capacity: kPerNode, Alpha: 16, Seed: seed})
+	return startNodeWithConfig(concurrent.Config{Capacity: kPerNode, Alpha: 16, Seed: seed})
+}
+
+func startNodeWithConfig(cfg concurrent.Config) (string, *server.Server) {
+	cache, err := concurrent.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -136,6 +148,7 @@ func main() {
 	actOne()
 	actTwo()
 	actThree()
+	actFour()
 }
 
 // actOne is the original unreplicated membership walkthrough. Warm-up is
@@ -344,4 +357,101 @@ func actThree() {
 	fb := ctl.Replication().FallbackHits - rep0.FallbackHits - fb0
 	fmt.Printf("\npost-warm-up sweep of %d reads: %d misses, %d replica fallbacks — the join cost user reads ≈ nothing.\n",
 		len(sweep), misses, fb)
+}
+
+// slowPolicy wraps a replacement policy and dawdles on every request — an
+// injected stall standing in for a failing disk, a noisy neighbour, or a
+// GC-pausing co-tenant. It runs under the bucket lock, exactly where real
+// per-item slowness would sit, so the victim node's *service time*
+// genuinely inflates; nothing about the wire or the client is touched.
+type slowPolicy struct {
+	policy.Policy
+	delay time.Duration
+}
+
+func (p slowPolicy) Request(x trace.Item) (bool, trace.Item, bool) {
+	time.Sleep(p.delay)
+	return p.Policy.Request(x)
+}
+
+// actFour is the observability act: one of three members is secretly slow,
+// and the client's blended numbers cannot say which. The per-node METRICS
+// fan-out can — each member's flight recorder holds its own service-time
+// histogram, so the hot node is the row whose tail is orders of magnitude
+// off, and its slow-op ring names the ops that paid for it.
+func actFour() {
+	const stall = 500 * time.Microsecond
+	var servers []*server.Server
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		cfg := concurrent.Config{Capacity: kPerNode, Alpha: 16, Seed: uint64(i + 30)}
+		if i == 2 {
+			cfg.Policy = func(c int) policy.Policy {
+				return slowPolicy{Policy: policy.NewLRU(c), delay: stall}
+			}
+		}
+		addr, srv := startNodeWithConfig(cfg)
+		// Drop the flight recorder's slow-op threshold below the injected
+		// stall so the victim's ring fills while healthy rings stay empty.
+		srv.SetSlowOpThreshold(stall / 2)
+		addrs = append(addrs, addr)
+		servers = append(servers, srv)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	culprit := addrs[2]
+
+	ctl, err := cluster.Dial(addrs, cluster.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctl.Close()
+	fmt.Printf("\nact four — same cluster, but one member is secretly slow (%v per request, under the bucket lock)\n\n", stall)
+
+	keys := workload.Zipf{Universe: universe, S: 0.9, Shuffle: true}.Generate(1<<20, 17)
+	tr := startTraffic(ctl, keys)
+	ratio, qps := tr.window(900 * time.Millisecond)
+	fmt.Printf("client view:        hit ratio %.3f at %.0f GET/s — something is slow, but every batch blends all three nodes\n", ratio, qps)
+	close(tr.stop)
+	<-tr.done
+
+	per, err := ctl.MetricsAll(wire.MetricsAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nper-node flight recorders (METRICS fan-out):\n")
+	var hot string
+	var hotP99 time.Duration
+	for _, n := range ctl.Nodes() {
+		h := per[n].Hist(byte(wire.OpGet))
+		if h == nil || h.Count == 0 {
+			log.Fatalf("node %s returned no GET histogram", n)
+		}
+		p99 := h.Quantile(0.99)
+		fmt.Printf("    %-22s GET p50=%-10v p99=%-10v (%d ops, %d in the slow-op ring)\n",
+			n, h.Quantile(0.50), p99, h.Count, len(per[n].SlowOps))
+		if p99 > hotP99 {
+			hot, hotP99 = n, p99
+		}
+	}
+	agg := cluster.AggregateMetrics(per)
+	cg := agg.Hist(byte(wire.OpGet))
+	fmt.Printf("    %-22s GET p50=%-10v p99=%-10v (the merged view shows the tail, not the culprit)\n",
+		"cluster (merged)", cg.Quantile(0.50), cg.Quantile(0.99))
+
+	if hot != culprit {
+		log.Fatalf("diagnosis picked %s, but the stall was injected into %s", hot, culprit)
+	}
+	ring := per[hot].SlowOps
+	fmt.Printf("\ndiagnosis: %s is the hot member — and its slow-op ring has the receipts: %d ops over the %v threshold",
+		hot, len(ring), stall/2)
+	if len(ring) > 0 {
+		last := ring[len(ring)-1]
+		fmt.Printf(", e.g. %s of key-hash %016x taking %v",
+			wire.Op(last.Op), last.KeyHash, last.Duration().Round(time.Microsecond))
+	}
+	fmt.Printf("\nno shell on the box, no guesswork: the wire op that serves the cache also serves its own diagnosis.\n")
 }

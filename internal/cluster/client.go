@@ -590,6 +590,9 @@ func (c *Client) RehashAll() error {
 // AggregateStats sums per-member snapshots into one cluster-wide view.
 // Alpha is carried over only when all members agree (0 otherwise), and
 // Migrating reports whether any member is mid-rehash.
+// RepairQueueHighWater is the maximum across members, not the sum: it
+// answers "how close did any node come to shedding", and summing
+// independent peaks would invent a depth no queue ever held.
 func AggregateStats(stats map[string]*wire.Stats) wire.Stats {
 	var agg wire.Stats
 	first := true
@@ -605,6 +608,9 @@ func AggregateStats(stats map[string]*wire.Stats) wire.Stats {
 		agg.RepairQueueDepth += st.RepairQueueDepth
 		agg.RepairsShed += st.RepairsShed
 		agg.StaleRepairs += st.StaleRepairs
+		if st.RepairQueueHighWater > agg.RepairQueueHighWater {
+			agg.RepairQueueHighWater = st.RepairQueueHighWater
+		}
 		agg.Pending += st.Pending
 		agg.Len += st.Len
 		agg.Capacity += st.Capacity

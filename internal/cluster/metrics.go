@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// MetricsAll fans METRICS out to every member and returns the
+// flight-recorder snapshots keyed by address — the per-node view, where a
+// hot member is visible. AggregateMetrics folds them into the cluster
+// view.
+func (c *Client) MetricsAll(flags wire.MetricsFlags) (map[string]*wire.Metrics, error) {
+	c.maybeRefresh()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]*wire.Metrics, len(c.nodes))
+	for _, addr := range c.ring.Nodes() {
+		nc := c.nodes[addr]
+		nc.mu.Lock()
+		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
+			m, err := cl.Metrics(flags)
+			if err == nil {
+				out[addr] = m
+				c.observeEpoch(cl.LastEpoch())
+			}
+			return err
+		})
+		nc.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: METRICS %s: %w", addr, err)
+		}
+	}
+	return out, nil
+}
+
+// AggregateMetrics merges per-member flight-recorder snapshots into one
+// cluster-wide view: histograms merge bucket-wise (the merged histogram
+// equals what one recorder fed every node's samples would hold, so
+// cluster quantiles are exact up to bucket resolution, not averages of
+// averages), counters sum, and slow-op rings concatenate in member-address
+// iteration order (each ring is oldest-first, but cross-member order is
+// not reconstructed — records carry UnixNanos for that).
+func AggregateMetrics(metrics map[string]*wire.Metrics) *wire.Metrics {
+	agg := &wire.Metrics{}
+	hists := make(map[byte]*telemetry.HistogramSnapshot)
+	counters := make(map[byte]uint64)
+	for _, m := range metrics {
+		agg.Flags |= m.Flags
+		for i := range m.Hists {
+			h := &m.Hists[i]
+			if have, ok := hists[h.ID]; ok {
+				have.Merge(&h.Snap)
+			} else {
+				snap := h.Snap
+				hists[h.ID] = &snap
+			}
+		}
+		for _, c := range m.Counters {
+			counters[c.ID] += c.Value
+		}
+		agg.SlowOps = append(agg.SlowOps, m.SlowOps...)
+	}
+	// Rebuild the sections in the ascending-ID order the wire form keeps.
+	for id := byte(1); id != 0; id++ {
+		if h, ok := hists[id]; ok {
+			agg.Hists = append(agg.Hists, wire.OpHist{ID: id, Snap: *h})
+		}
+		if v, ok := counters[id]; ok {
+			agg.Counters = append(agg.Counters, wire.MetricCounter{ID: id, Value: v})
+		}
+	}
+	return agg
+}

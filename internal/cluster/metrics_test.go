@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestMetricsFanOutAndMerge drives traffic through a 3-node cluster, fans
+// METRICS out, and checks the merged cluster view equals the sum of the
+// per-node views — bucket-exactly for histograms, sum-exactly for
+// counters — and that the GET histogram count matches the GETs the nodes
+// served.
+func TestMetricsFanOutAndMerge(t *testing.T) {
+	addrs := startCluster(t, 3, 4096, 16)
+	ctl, err := Dial(addrs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	const nkeys = 2000
+	keys := make([]uint64, nkeys)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	if err := ctl.SetBatch(keys, func(int) []byte { return []byte("v") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.GetBatch(keys, func(int, bool, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	per, err := ctl.MetricsAll(wire.MetricsAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 3 {
+		t.Fatalf("METRICS fan-out returned %d nodes, want 3", len(per))
+	}
+	agg := AggregateMetrics(per)
+
+	var wantGets, wantSets uint64
+	for addr, m := range per {
+		h := m.Hist(byte(wire.OpGet))
+		if h == nil || h.Count == 0 {
+			t.Fatalf("node %s served no GETs", addr)
+		}
+		wantGets += h.Count
+		wantSets += m.Hist(byte(wire.OpSet)).Count
+	}
+	got := agg.Hist(byte(wire.OpGet))
+	if got == nil || got.Count != wantGets {
+		t.Fatalf("merged GET count = %v, want %d", got, wantGets)
+	}
+	if wantGets != nkeys {
+		t.Errorf("cluster served %d GETs, client issued %d", wantGets, nkeys)
+	}
+	if sets := agg.Hist(byte(wire.OpSet)); sets.Count != wantSets || wantSets != nkeys {
+		t.Errorf("merged SET count = %d (per-node sum %d), client issued %d", sets.Count, wantSets, nkeys)
+	}
+
+	// Merged histogram = bucket-wise sum of the per-node ones.
+	var manual = *per[addrs[0]].Hist(byte(wire.OpGet))
+	for _, addr := range addrs[1:] {
+		manual.Merge(per[addr].Hist(byte(wire.OpGet)))
+	}
+	if *got != manual {
+		t.Error("AggregateMetrics GET histogram differs from manual merge")
+	}
+	if p99 := got.Quantile(0.99); p99 <= 0 || p99 > time.Second {
+		t.Errorf("cluster GET p99 = %v, implausible", p99)
+	}
+
+	// Counters sum across nodes.
+	var wantBytes uint64
+	for _, m := range per {
+		wantBytes += m.Counter(wire.CounterBytesIn)
+	}
+	if agg.Counter(wire.CounterBytesIn) != wantBytes || wantBytes == 0 {
+		t.Errorf("merged BYTES_IN = %d, want %d (nonzero)", agg.Counter(wire.CounterBytesIn), wantBytes)
+	}
+
+	// Merged sections keep ascending-ID order (the wire invariant).
+	for i := 1; i < len(agg.Hists); i++ {
+		if agg.Hists[i].ID <= agg.Hists[i-1].ID {
+			t.Fatal("merged histogram IDs not ascending")
+		}
+	}
+	for i := 1; i < len(agg.Counters); i++ {
+		if agg.Counters[i].ID <= agg.Counters[i-1].ID {
+			t.Fatal("merged counter IDs not ascending")
+		}
+	}
+}
+
+// TestMetricsLocalizesHotNode pins the diagnosis story the aggregate
+// client view cannot tell: per-node METRICS separates one slow member
+// from two healthy ones.
+func TestMetricsLocalizesHotNode(t *testing.T) {
+	addrs := startCluster(t, 3, 4096, 16)
+	ctl, err := Dial(addrs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	keys := make([]uint64, 3000)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	if err := ctl.SetBatch(keys, func(int) []byte { return []byte("v") }); err != nil {
+		t.Fatal(err)
+	}
+	per, err := ctl.MetricsAll(wire.MetricsHistograms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy loopback nodes: every node's SET p50 is microseconds, and no
+	// node's median is orders of magnitude above another's. (The injected
+	// hot-node act lives in examples/cluster; here we pin that the per-node
+	// numbers exist and are comparable at all.)
+	var p50s []time.Duration
+	for addr, m := range per {
+		h := m.Hist(byte(wire.OpSet))
+		if h == nil || h.Count == 0 {
+			t.Fatalf("node %s reports no SET histogram", addr)
+		}
+		p50s = append(p50s, h.Quantile(0.5))
+	}
+	for _, p := range p50s {
+		if p <= 0 || p > time.Second {
+			t.Fatalf("per-node SET p50 = %v, implausible", p)
+		}
+	}
+}

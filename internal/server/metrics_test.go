@@ -1,0 +1,221 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/concurrent"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// TestMetricsEndToEnd drives known traffic at a server and checks the
+// METRICS response accounts for every operation: per-op histogram counts
+// match the ops issued, quantiles land in a sane range, counters move,
+// and unselected sections stay absent.
+func TestMetricsEndToEnd(t *testing.T) {
+	_, addr := startServer(t, concurrent.Config{Capacity: 256, Alpha: 4, Seed: 1})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const sets, gets, dels = 40, 100, 7
+	for i := 0; i < sets; i++ {
+		if _, err := c.Set(uint64(i), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < gets; i++ {
+		if _, _, err := c.Get(uint64(i % 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < dels; i++ {
+		if _, err := c.Del(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m, err := c.Metrics(wire.MetricsAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Flags != wire.MetricsAll {
+		t.Errorf("flags = %v, want %v", m.Flags, wire.MetricsAll)
+	}
+	for _, want := range []struct {
+		id byte
+		n  uint64
+	}{
+		{byte(wire.OpGet), gets},
+		{byte(wire.OpSet), sets},
+		{byte(wire.OpDel), dels},
+	} {
+		h := m.Hist(want.id)
+		if h == nil {
+			t.Fatalf("no %s histogram", wire.HistName(want.id))
+		}
+		if h.Count != want.n {
+			t.Errorf("%s histogram Count = %d, want %d", wire.HistName(want.id), h.Count, want.n)
+		}
+		// Loopback service times: above 0, below a second.
+		if p99 := h.Quantile(0.99); p99 <= 0 || p99 > time.Second {
+			t.Errorf("%s p99 = %v, implausible", wire.HistName(want.id), p99)
+		}
+	}
+	if m.Counter(wire.CounterBytesIn) == 0 || m.Counter(wire.CounterBytesOut) == 0 {
+		t.Error("byte counters did not move")
+	}
+	if m.Counter(wire.CounterConns) != 1 {
+		t.Errorf("CONNS = %d, want 1", m.Counter(wire.CounterConns))
+	}
+
+	// Section selection: a counters-only request must carry no histograms
+	// or slow ops.
+	m, err = c.Metrics(wire.MetricsCounters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Hists) != 0 || len(m.SlowOps) != 0 || len(m.Counters) == 0 {
+		t.Errorf("counters-only response carries hists=%d slowops=%d counters=%d",
+			len(m.Hists), len(m.SlowOps), len(m.Counters))
+	}
+}
+
+// TestSlowOpLog drops the threshold to zero-distance so every op is
+// "slow", then checks the ring retains op, key hash, duration and
+// version — and that the key never appears verbatim.
+func TestSlowOpLog(t *testing.T) {
+	srv, addr := startServer(t, concurrent.Config{Capacity: 64, Alpha: 4, Seed: 1})
+	srv.SetSlowOpThreshold(time.Nanosecond) // everything qualifies
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const key = 777
+	if _, err := c.Set(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// The stored version (which the SET's slow-op record must carry) is
+	// readable back through a versioned GET.
+	var ver uint64
+	if err := c.GetBatchVersions([]uint64{key}, func(_ int, hit bool, v uint64, _ []byte) {
+		if hit {
+			ver = v
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics(wire.MetricsSlowOps | wire.MetricsCounters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.SlowOps) == 0 {
+		t.Fatal("no slow ops recorded at a 1ns threshold")
+	}
+	var found bool
+	for _, r := range m.SlowOps {
+		if r.KeyHash == key {
+			t.Error("slow-op log stores the raw key, want a scrambled hash")
+		}
+		if r.Op == byte(wire.OpSet) && r.KeyHash == telemetry.HashKey(key) {
+			found = true
+			if r.DurationNanos == 0 {
+				t.Error("slow-op record lost its duration")
+			}
+			if r.Version != ver {
+				t.Errorf("slow-op version = %d, want %d", r.Version, ver)
+			}
+			if r.UnixNanos == 0 {
+				t.Error("slow-op record lost its timestamp")
+			}
+		}
+	}
+	if !found {
+		t.Error("the SET never reached the slow-op ring")
+	}
+	if got := m.Counter(wire.CounterSlowOps); got != uint64(len(m.SlowOps)) {
+		t.Errorf("SLOW_OPS counter = %d, ring holds %d", got, len(m.SlowOps))
+	}
+
+	// Disabling the threshold stops the ring from growing.
+	srv.SetSlowOpThreshold(0)
+	before := srv.slowLog.Total()
+	if _, _, err := c.Get(key); err != nil {
+		t.Fatal(err)
+	}
+	if srv.slowLog.Total() != before {
+		t.Error("slow-op ring grew with the threshold disabled")
+	}
+}
+
+// TestRepairQueueHighWater pins the STATS satellite: after async
+// maintenance traffic the high-water mark is nonzero and at least the
+// instantaneous depth, and it survives the queue draining back to empty.
+func TestRepairQueueHighWater(t *testing.T) {
+	_, addr := startServer(t, concurrent.Config{Capacity: 256, Alpha: 4, Seed: 1})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 50; i++ {
+		if _, err := c.SetFlags(uint64(i), wire.SetFlagRepair|wire.SetFlagAsync, []byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The queue may have drained entirely by now; the high-water mark must
+	// still prove it was occupied.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st, err := c.Stats(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.RepairQueueHighWater >= 1 && st.RepairQueueHighWater >= st.RepairQueueDepth {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("RepairQueueHighWater = %d (depth %d), want ≥1 and ≥depth",
+				st.RepairQueueHighWater, st.RepairQueueDepth)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRepairWaitHistogram: async maintenance writes must land in the
+// REPAIR_WAIT histogram when they drain.
+func TestRepairWaitHistogram(t *testing.T) {
+	_, addr := startServer(t, concurrent.Config{Capacity: 256, Alpha: 4, Seed: 1})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := c.SetFlags(uint64(i), wire.SetFlagRepair|wire.SetFlagAsync, []byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		m, err := c.Metrics(wire.MetricsHistograms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h := m.Hist(wire.HistRepairWait); h != nil && h.Count == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("REPAIR_WAIT histogram never reached %d samples", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

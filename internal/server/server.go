@@ -35,12 +35,14 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/concurrent"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -51,6 +53,14 @@ import (
 // size, so operators running large values should size it down with
 // SetRepairQueue.
 const DefaultRepairQueue = 4096
+
+// DefaultSlowOpThreshold is the service time above which an operation is
+// recorded in the slow-op ring. Loopback service times are microseconds,
+// so 10ms marks something genuinely wrong — a stalled bucket lock, a
+// value large enough to hurt, scheduler trouble — without the ring
+// churning under healthy load. Override with SetSlowOpThreshold (cached
+// -slow-op-threshold).
+const DefaultSlowOpThreshold = 10 * time.Millisecond
 
 // entry is the versioned value the server stores in the cache: the payload
 // plus a monotonically increasing per-key version. Unconditional (user)
@@ -69,12 +79,14 @@ type entry struct {
 // flags and observed version so the version check runs when the queue
 // drains — the apply, however delayed, goes through the same conditional
 // path as a synchronous write, which is what keeps queue depth from
-// widening the lost-update window.
+// widening the lost-update window. enq stamps admission so the drain can
+// record how long the write waited (the REPAIR_WAIT histogram).
 type repairWrite struct {
 	key   uint64
 	val   []byte
 	flags wire.SetFlags
 	ver   uint64
+	enq   time.Time
 }
 
 // Server serves a concurrent.Cache over TCP.
@@ -115,6 +127,22 @@ type Server struct {
 	repairStop     chan struct{}
 	repairDone     chan struct{}
 
+	// Flight recorder (protocol v5). opHists holds one service-time
+	// histogram per opcode, indexed by the op byte; repairWait measures
+	// enqueue→apply of async maintenance writes; queueHigh tracks the
+	// maintenance queue's high-water depth (the peak STATS' point-in-time
+	// RepairQueueDepth misses between polls). All recording is lock-free
+	// and allocation-free (internal/telemetry), so it stays on even under
+	// benchmark load.
+	opHists       [int(wire.OpMetrics) + 1]telemetry.Histogram
+	repairWait    telemetry.Histogram
+	queueHigh     telemetry.HighWater
+	bytesIn       telemetry.Counter
+	bytesOut      telemetry.Counter
+	connsAccepted telemetry.Counter
+	slowLog       *telemetry.SlowLog
+	slowThreshold atomic.Int64 // nanoseconds; ≤0 disables the slow-op log
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -125,13 +153,21 @@ type Server struct {
 // New wraps cache in a server. The cache may be shared with in-process
 // users; the server adds no locking of its own beyond the cache's.
 func New(cache *concurrent.Cache) *Server {
-	return &Server{
+	s := &Server{
 		cache:      cache,
 		conns:      make(map[net.Conn]struct{}),
 		repairStop: make(chan struct{}),
 		repairDone: make(chan struct{}),
+		slowLog:    telemetry.NewSlowLog(0),
 	}
+	s.slowThreshold.Store(int64(DefaultSlowOpThreshold))
+	return s
 }
+
+// SetSlowOpThreshold configures the service time above which an op is
+// recorded in the slow-op ring; d ≤ 0 disables the ring. The default is
+// DefaultSlowOpThreshold.
+func (s *Server) SetSlowOpThreshold(d time.Duration) { s.slowThreshold.Store(int64(d)) }
 
 // SetKeysChunk overrides the number of keys per KEYS stream frame (0
 // restores wire.DefaultKeysChunk). Tests shrink it to exercise multi-chunk
@@ -276,8 +312,9 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 
-	r := wire.NewReader(conn)
-	w := wire.NewWriter(conn)
+	s.connsAccepted.Add(1)
+	r := wire.NewReader(countingReader{conn, &s.bytesIn})
+	w := wire.NewWriter(countingWriter{conn, &s.bytesOut})
 	if err := r.ReadPreamble(); err != nil {
 		if errors.Is(err, wire.ErrVersionMismatch) {
 			// Tell the peer *why* before closing: the ERROR frame layout is
@@ -295,6 +332,11 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return // clean EOF or protocol error; either way the conn is done
 		}
+		// Service time: request decoded → response encoded. The clock
+		// starts after ReadRequest so idle wait between pipelined requests
+		// never pollutes the histograms.
+		t0 := time.Now()
+		var ver uint64
 		if req.Op == wire.OpKeys {
 			// KEYS answers with a stream of chunk frames, not one response.
 			if err := s.streamKeys(w); err != nil {
@@ -303,10 +345,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		} else {
 			resp := s.apply(req)
 			resp.Epoch = s.epoch.Load()
+			ver = resp.Version
 			if err := w.WriteResponse(resp); err != nil {
 				return
 			}
 		}
+		s.observe(req, ver, time.Since(t0))
 		// Pipelining: only pay the syscall when the client has no more
 		// requests already buffered.
 		if r.Buffered() == 0 {
@@ -315,6 +359,87 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// countingReader and countingWriter sit between the connection and the
+// wire codecs, feeding the BYTES_IN/BYTES_OUT counters. They count per
+// syscall (the bufio layers above batch frames), so the cost is one
+// atomic add per read/write, not per byte or per frame.
+type countingReader struct {
+	r io.Reader
+	c *telemetry.Counter
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(uint64(n))
+	return n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	c *telemetry.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(uint64(n))
+	return n, err
+}
+
+// observe records one request's service time into the per-op histogram
+// and, when it crossed the slow threshold, into the slow-op ring.
+func (s *Server) observe(req wire.Request, ver uint64, d time.Duration) {
+	op := int(req.Op)
+	if op <= 0 || op >= len(s.opHists) {
+		return // unknown op: answered with ERROR, nothing to attribute
+	}
+	s.opHists[op].Record(d)
+	thr := s.slowThreshold.Load()
+	if thr <= 0 || int64(d) < thr {
+		return
+	}
+	var kh uint64
+	switch req.Op {
+	case wire.OpGet, wire.OpSet, wire.OpDel:
+		kh = telemetry.HashKey(req.Key)
+	}
+	s.slowLog.Append(telemetry.SlowOp{
+		Op:            byte(req.Op),
+		KeyHash:       kh,
+		DurationNanos: uint64(d),
+		Version:       ver,
+		UnixNanos:     uint64(time.Now().UnixNano()),
+	})
+}
+
+// MetricsSnapshot assembles the flight-recorder sections selected by
+// flags — the payload of a METRICS response, also served as JSON by
+// cached's -debug-addr endpoint. Histograms with no samples are omitted.
+func (s *Server) MetricsSnapshot(flags wire.MetricsFlags) *wire.Metrics {
+	m := &wire.Metrics{Flags: flags}
+	if flags&wire.MetricsHistograms != 0 {
+		for op := int(wire.OpGet); op < len(s.opHists); op++ {
+			if snap := s.opHists[op].Snapshot(); snap.Count > 0 {
+				m.Hists = append(m.Hists, wire.OpHist{ID: byte(op), Snap: snap})
+			}
+		}
+		if snap := s.repairWait.Snapshot(); snap.Count > 0 {
+			m.Hists = append(m.Hists, wire.OpHist{ID: wire.HistRepairWait, Snap: snap})
+		}
+	}
+	if flags&wire.MetricsCounters != 0 {
+		m.Counters = []wire.MetricCounter{
+			{ID: wire.CounterBytesIn, Value: s.bytesIn.Load()},
+			{ID: wire.CounterBytesOut, Value: s.bytesOut.Load()},
+			{ID: wire.CounterSlowOps, Value: s.slowLog.Total()},
+			{ID: wire.CounterConns, Value: s.connsAccepted.Load()},
+		}
+	}
+	if flags&wire.MetricsSlowOps != 0 {
+		m.SlowOps = s.slowLog.Snapshot()
+	}
+	return m
 }
 
 // streamKeys writes the chunked KEYS response: a racy snapshot of the
@@ -376,7 +501,7 @@ func (s *Server) apply(req wire.Request) wire.Response {
 			// request path. Eviction and the version outcome are unknowable
 			// here; a VERSIONED write rejected at drain time still counts in
 			// StaleRepairs.
-			s.enqueueRepair(repairWrite{key: req.Key, val: val, flags: req.Flags, ver: req.Version})
+			s.enqueueRepair(repairWrite{key: req.Key, val: val, flags: req.Flags, ver: req.Version, enq: time.Now()})
 			return wire.Response{Status: wire.StatusOK}
 		}
 		applied, ver, evicted := s.store(req.Key, req.Flags, req.Version, val)
@@ -398,6 +523,8 @@ func (s *Server) apply(req wire.Request) wire.Response {
 		return wire.Response{Status: wire.StatusMembers, Topology: s.Topology()}
 	case wire.OpTopology:
 		return wire.Response{Status: wire.StatusMembers, Topology: s.OfferTopology(req.Topology)}
+	case wire.OpMetrics:
+		return wire.Response{Status: wire.StatusMetrics, Metrics: s.MetricsSnapshot(req.MetricsFlags)}
 	default:
 		return wire.Response{Status: wire.StatusError, Err: fmt.Sprintf("unknown op %v", req.Op)}
 	}
@@ -474,6 +601,15 @@ func (s *Server) enqueueRepair(w repairWrite) {
 	}
 	select {
 	case ch <- w:
+		// High-water sample. len(ch) can already read 0 if the worker
+		// drained instantly, but the depth was ≥1 the moment the send
+		// landed, so clamp — the mark deterministically reflects that the
+		// queue was ever occupied and never overcounts.
+		d := uint64(len(ch))
+		if d == 0 {
+			d = 1
+		}
+		s.queueHigh.Set(d)
 	default:
 		s.repairsShed.Add(1)
 	}
@@ -490,11 +626,13 @@ func (s *Server) repairLoop(ch chan repairWrite) {
 	for {
 		select {
 		case w := <-ch:
+			s.repairWait.Record(time.Since(w.enq))
 			s.store(w.key, w.flags, w.ver, w.val)
 		case <-s.repairStop:
 			for {
 				select {
 				case w := <-ch:
+					s.repairWait.Record(time.Since(w.enq))
 					s.store(w.key, w.flags, w.ver, w.val)
 				default:
 					return
@@ -507,22 +645,23 @@ func (s *Server) repairLoop(ch chan repairWrite) {
 func (s *Server) stats(detail bool) *wire.Stats {
 	snap := s.cache.Snapshot()
 	st := &wire.Stats{
-		Hits:              snap.Hits,
-		Misses:            snap.Misses,
-		Evictions:         snap.Evictions,
-		ConflictEvictions: snap.ConflictEvictions,
-		FlushEvictions:    snap.FlushEvictions,
-		Rehashes:          snap.Rehashes,
-		Pending:           uint64(snap.Pending),
-		Len:               uint64(snap.Len),
-		Capacity:          uint64(snap.Capacity),
-		Alpha:             uint64(snap.Alpha),
-		Buckets:           uint64(snap.Buckets),
-		Sets:              s.sets.Load(),
-		RepairSets:        s.repairSets.Load(),
-		RepairsShed:       s.repairsShed.Load(),
-		StaleRepairs:      s.staleRepairs.Load(),
-		Migrating:         snap.Migrating,
+		Hits:                 snap.Hits,
+		Misses:               snap.Misses,
+		Evictions:            snap.Evictions,
+		ConflictEvictions:    snap.ConflictEvictions,
+		FlushEvictions:       snap.FlushEvictions,
+		Rehashes:             snap.Rehashes,
+		Pending:              uint64(snap.Pending),
+		Len:                  uint64(snap.Len),
+		Capacity:             uint64(snap.Capacity),
+		Alpha:                uint64(snap.Alpha),
+		Buckets:              uint64(snap.Buckets),
+		Sets:                 s.sets.Load(),
+		RepairSets:           s.repairSets.Load(),
+		RepairsShed:          s.repairsShed.Load(),
+		StaleRepairs:         s.staleRepairs.Load(),
+		RepairQueueHighWater: s.queueHigh.High(),
+		Migrating:            snap.Migrating,
 	}
 	if ch := s.repairQueue(); ch != nil {
 		st.RepairQueueDepth = uint64(len(ch))

@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkRecord measures the hot-path cost of one histogram sample —
+// the number cmd/benchrun reports as record_ns_per_op and compares to the
+// per-op service time to bound instrumentation overhead.
+func BenchmarkRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.RecordNanos(uint64(i)*2654435761 + 1)
+	}
+}
+
+// BenchmarkRecordParallel shows contention behavior: per-op histograms are
+// touched by every connection goroutine at once.
+func BenchmarkRecordParallel(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := uint64(12345)
+		for pb.Next() {
+			v = v*2654435761 + 1
+			h.RecordNanos(v)
+		}
+	})
+}
+
+// BenchmarkSnapshot prices the read side (taken per METRICS request).
+func BenchmarkSnapshot(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := h.Snapshot()
+		_ = s.Count
+	}
+}

@@ -221,6 +221,20 @@ func (c *Client) Stats(detail bool) (*Stats, error) {
 	return resp.Stats, nil
 }
 
+// Metrics fetches the server's flight-recorder snapshot; flags selects
+// the payload sections (MetricsAll for everything) and must name at least
+// one.
+func (c *Client) Metrics(flags MetricsFlags) (*Metrics, error) {
+	resp, err := c.roundTrip(Request{Op: OpMetrics, MetricsFlags: flags})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusMetrics || resp.Metrics == nil {
+		return nil, fmt.Errorf("wire: unexpected METRICS response %v", resp.Status)
+	}
+	return resp.Metrics, nil
+}
+
 // Keys fetches a racy snapshot of every resident key by draining the
 // chunked KEYS stream. The cluster router uses it to migrate entries off a
 // node being removed and to warm a newcomer up.

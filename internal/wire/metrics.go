@@ -1,0 +1,338 @@
+package wire
+
+// METRICS (v5): the flight-recorder op. A METRICS request carries one
+// detail-flag byte selecting payload sections — histograms, counters,
+// slow ops — and the response carries exactly the selected sections, so a
+// dashboard polling counters every second does not drag kilobytes of
+// histogram buckets along. Histograms travel sparse (only occupied
+// buckets), in telemetry's log-linear bucket scheme, and merge losslessly
+// across nodes: the cluster router's Metrics() is bucket-wise addition.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// MetricsFlags is the detail-flag byte of a METRICS request, echoed in the
+// response; it is a bit set selecting payload sections.
+type MetricsFlags byte
+
+// The defined METRICS detail flags. A request must select at least one
+// section; undefined bits are rejected on both ends.
+const (
+	// MetricsHistograms selects the per-op service-time histograms and the
+	// repair-queue wait histogram.
+	MetricsHistograms MetricsFlags = 1 << 0
+	// MetricsCounters selects the scalar telemetry counters (bytes in/out,
+	// slow-op total, connections served).
+	MetricsCounters MetricsFlags = 1 << 1
+	// MetricsSlowOps selects the slow-op ring contents, oldest first.
+	MetricsSlowOps MetricsFlags = 1 << 2
+
+	// MetricsAll selects every section.
+	MetricsAll = MetricsHistograms | MetricsCounters | MetricsSlowOps
+
+	metricsFlagsDefined = MetricsAll
+)
+
+func (f MetricsFlags) validate() error {
+	if f == 0 {
+		return fmt.Errorf("wire: METRICS flags select no section")
+	}
+	if f&^metricsFlagsDefined != 0 {
+		return fmt.Errorf("wire: METRICS flags %#02x has undefined bits", byte(f))
+	}
+	return nil
+}
+
+// Histogram IDs. Per-op service-time histograms reuse the request opcode
+// byte as their ID (GET=1 … METRICS=9); IDs from 32 up name histograms
+// that are not tied to one opcode.
+const (
+	// HistRepairWait is the queue-wait-time histogram of async maintenance
+	// writes: enqueue to the moment the drain goroutine applies them.
+	HistRepairWait byte = 32
+)
+
+// HistName names a histogram ID for display.
+func HistName(id byte) string {
+	if id == HistRepairWait {
+		return "REPAIR_WAIT"
+	}
+	if op := Op(id); op >= OpGet && op <= OpMetrics {
+		return op.String()
+	}
+	return fmt.Sprintf("Hist(%d)", id)
+}
+
+func validHistID(id byte) bool {
+	return (Op(id) >= OpGet && Op(id) <= OpMetrics) || id == HistRepairWait
+}
+
+// Counter IDs.
+const (
+	// CounterBytesIn counts request bytes read from client connections.
+	CounterBytesIn byte = 1
+	// CounterBytesOut counts response bytes written to client connections.
+	CounterBytesOut byte = 2
+	// CounterSlowOps counts operations that crossed the slow threshold
+	// (ever, not just those still retained by the ring).
+	CounterSlowOps byte = 3
+	// CounterConns counts client connections accepted since start.
+	CounterConns byte = 4
+
+	counterIDMax = CounterConns
+)
+
+// CounterName names a counter ID for display.
+func CounterName(id byte) string {
+	switch id {
+	case CounterBytesIn:
+		return "BYTES_IN"
+	case CounterBytesOut:
+		return "BYTES_OUT"
+	case CounterSlowOps:
+		return "SLOW_OPS"
+	case CounterConns:
+		return "CONNS"
+	default:
+		return fmt.Sprintf("Counter(%d)", id)
+	}
+}
+
+// MaxSlowOps bounds the slow-op section of one METRICS response; it caps
+// the damage a corrupt count field can do and comfortably exceeds any
+// real ring (telemetry.DefaultSlowLogSize is 256).
+const MaxSlowOps = 4096
+
+// OpHist is one histogram in a METRICS payload: an ID plus the dense
+// snapshot (the sparse wire form is an encoding detail).
+type OpHist struct {
+	ID   byte
+	Snap telemetry.HistogramSnapshot
+}
+
+// MetricCounter is one scalar counter in a METRICS payload.
+type MetricCounter struct {
+	ID    byte
+	Value uint64
+}
+
+// Metrics is the payload of a METRICS response. Only the sections selected
+// by Flags are present; the others are nil.
+type Metrics struct {
+	// Flags echoes the request's detail flags.
+	Flags MetricsFlags
+	// Hists are the selected histograms, in ascending ID order.
+	Hists []OpHist
+	// Counters are the scalar counters, in ascending ID order.
+	Counters []MetricCounter
+	// SlowOps is the retained slow-op ring, oldest first.
+	SlowOps []telemetry.SlowOp
+}
+
+// Hist returns the histogram with the given ID, or nil.
+func (m *Metrics) Hist(id byte) *telemetry.HistogramSnapshot {
+	for i := range m.Hists {
+		if m.Hists[i].ID == id {
+			return &m.Hists[i].Snap
+		}
+	}
+	return nil
+}
+
+// Counter returns the counter with the given ID (0 when absent).
+func (m *Metrics) Counter(id byte) uint64 {
+	for _, c := range m.Counters {
+		if c.ID == id {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// appendMetrics encodes m: the echoed flag byte, then each selected
+// section. Histograms are sparse — (index uint16, count uint64) pairs in
+// ascending index order — because a latency distribution occupies a few
+// dozen of telemetry.NumBuckets buckets; Count is not encoded (it is the
+// sum of the pairs).
+func appendMetrics(body []byte, m *Metrics) ([]byte, error) {
+	if err := m.Flags.validate(); err != nil {
+		return nil, err
+	}
+	body = append(body, byte(m.Flags))
+	if m.Flags&MetricsHistograms != 0 {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(m.Hists)))
+		for i := range m.Hists {
+			h := &m.Hists[i]
+			if !validHistID(h.ID) {
+				return nil, fmt.Errorf("wire: METRICS histogram ID %d undefined", h.ID)
+			}
+			body = append(body, h.ID)
+			body = binary.LittleEndian.AppendUint64(body, h.Snap.Sum)
+			var occupied uint32
+			for _, n := range h.Snap.Buckets {
+				if n != 0 {
+					occupied++
+				}
+			}
+			body = binary.LittleEndian.AppendUint32(body, occupied)
+			for idx, n := range h.Snap.Buckets {
+				if n != 0 {
+					body = binary.LittleEndian.AppendUint16(body, uint16(idx))
+					body = binary.LittleEndian.AppendUint64(body, n)
+				}
+			}
+		}
+	}
+	if m.Flags&MetricsCounters != 0 {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(m.Counters)))
+		for _, c := range m.Counters {
+			if c.ID == 0 || c.ID > counterIDMax {
+				return nil, fmt.Errorf("wire: METRICS counter ID %d undefined", c.ID)
+			}
+			body = append(body, c.ID)
+			body = binary.LittleEndian.AppendUint64(body, c.Value)
+		}
+	}
+	if m.Flags&MetricsSlowOps != 0 {
+		if len(m.SlowOps) > MaxSlowOps {
+			return nil, fmt.Errorf("wire: METRICS slow-op section %d records, max %d", len(m.SlowOps), MaxSlowOps)
+		}
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(m.SlowOps)))
+		for _, r := range m.SlowOps {
+			body = append(body, r.Op)
+			body = binary.LittleEndian.AppendUint64(body, r.KeyHash)
+			body = binary.LittleEndian.AppendUint64(body, r.DurationNanos)
+			body = binary.LittleEndian.AppendUint64(body, r.Version)
+			body = binary.LittleEndian.AppendUint64(body, r.UnixNanos)
+		}
+	}
+	return body, nil
+}
+
+// parseMetrics decodes and validates a METRICS payload. Every structural
+// rule the encoder obeys is enforced: defined flags, defined IDs, sparse
+// bucket indices strictly increasing and in range, nonzero bucket counts,
+// bounded slow-op count, and no trailing bytes.
+func parseMetrics(body []byte) (*Metrics, error) {
+	if len(body) < 1 {
+		return nil, fmt.Errorf("wire: METRICS payload lacks the flag byte")
+	}
+	m := &Metrics{Flags: MetricsFlags(body[0])}
+	if err := m.Flags.validate(); err != nil {
+		return nil, err
+	}
+	body = body[1:]
+	u32 := func(section string) (int, error) {
+		if len(body) < 4 {
+			return 0, fmt.Errorf("wire: METRICS %s section truncated", section)
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		return n, nil
+	}
+	if m.Flags&MetricsHistograms != 0 {
+		nh, err := u32("histogram")
+		if err != nil {
+			return nil, err
+		}
+		if nh > 64 {
+			return nil, fmt.Errorf("wire: METRICS claims %d histograms, max 64", nh)
+		}
+		m.Hists = make([]OpHist, nh)
+		for i := range m.Hists {
+			h := &m.Hists[i]
+			if len(body) < 1+8+4 {
+				return nil, fmt.Errorf("wire: METRICS histogram %d truncated", i)
+			}
+			h.ID = body[0]
+			if !validHistID(h.ID) {
+				return nil, fmt.Errorf("wire: METRICS histogram ID %d undefined", h.ID)
+			}
+			if i > 0 && h.ID <= m.Hists[i-1].ID {
+				return nil, fmt.Errorf("wire: METRICS histogram IDs not ascending at %d", h.ID)
+			}
+			h.Snap.Sum = binary.LittleEndian.Uint64(body[1:])
+			nb := int(binary.LittleEndian.Uint32(body[9:]))
+			body = body[13:]
+			if nb > telemetry.NumBuckets {
+				return nil, fmt.Errorf("wire: METRICS histogram %d claims %d buckets, max %d", h.ID, nb, telemetry.NumBuckets)
+			}
+			if len(body) < 10*nb {
+				return nil, fmt.Errorf("wire: METRICS histogram %d bucket list truncated", h.ID)
+			}
+			prev := -1
+			for b := 0; b < nb; b++ {
+				idx := int(binary.LittleEndian.Uint16(body))
+				n := binary.LittleEndian.Uint64(body[2:])
+				body = body[10:]
+				if idx >= telemetry.NumBuckets {
+					return nil, fmt.Errorf("wire: METRICS histogram %d bucket index %d out of range", h.ID, idx)
+				}
+				if idx <= prev {
+					return nil, fmt.Errorf("wire: METRICS histogram %d bucket indices not ascending at %d", h.ID, idx)
+				}
+				if n == 0 {
+					return nil, fmt.Errorf("wire: METRICS histogram %d encodes an empty bucket %d", h.ID, idx)
+				}
+				prev = idx
+				h.Snap.Buckets[idx] = n
+				h.Snap.Count += n
+			}
+		}
+	}
+	if m.Flags&MetricsCounters != 0 {
+		nc, err := u32("counter")
+		if err != nil {
+			return nil, err
+		}
+		if nc > int(counterIDMax) {
+			return nil, fmt.Errorf("wire: METRICS claims %d counters, max %d", nc, counterIDMax)
+		}
+		m.Counters = make([]MetricCounter, nc)
+		for i := range m.Counters {
+			if len(body) < 9 {
+				return nil, fmt.Errorf("wire: METRICS counter %d truncated", i)
+			}
+			id := body[0]
+			if id == 0 || id > counterIDMax {
+				return nil, fmt.Errorf("wire: METRICS counter ID %d undefined", id)
+			}
+			if i > 0 && id <= m.Counters[i-1].ID {
+				return nil, fmt.Errorf("wire: METRICS counter IDs not ascending at %d", id)
+			}
+			m.Counters[i] = MetricCounter{ID: id, Value: binary.LittleEndian.Uint64(body[1:])}
+			body = body[9:]
+		}
+	}
+	if m.Flags&MetricsSlowOps != 0 {
+		ns, err := u32("slow-op")
+		if err != nil {
+			return nil, err
+		}
+		if ns > MaxSlowOps {
+			return nil, fmt.Errorf("wire: METRICS claims %d slow ops, max %d", ns, MaxSlowOps)
+		}
+		if len(body) < 33*ns {
+			return nil, fmt.Errorf("wire: METRICS slow-op records truncated")
+		}
+		m.SlowOps = make([]telemetry.SlowOp, ns)
+		for i := range m.SlowOps {
+			m.SlowOps[i] = telemetry.SlowOp{
+				Op:            body[0],
+				KeyHash:       binary.LittleEndian.Uint64(body[1:]),
+				DurationNanos: binary.LittleEndian.Uint64(body[9:]),
+				Version:       binary.LittleEndian.Uint64(body[17:]),
+				UnixNanos:     binary.LittleEndian.Uint64(body[25:]),
+			}
+			body = body[33:]
+		}
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("wire: METRICS payload has %d trailing bytes", len(body))
+	}
+	return m, nil
+}

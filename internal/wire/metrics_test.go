@@ -1,0 +1,293 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func sampleMetrics() *Metrics {
+	var get, set, wait telemetry.Histogram
+	for i := 0; i < 1000; i++ {
+		get.Record(time.Duration(i) * time.Microsecond)
+	}
+	set.Record(3 * time.Millisecond)
+	wait.Record(40 * time.Microsecond)
+	wait.Record(90 * time.Second) // extreme octave must survive the trip
+	return &Metrics{
+		Flags: MetricsAll,
+		Hists: []OpHist{
+			{ID: byte(OpGet), Snap: get.Snapshot()},
+			{ID: byte(OpSet), Snap: set.Snapshot()},
+			{ID: HistRepairWait, Snap: wait.Snapshot()},
+		},
+		Counters: []MetricCounter{
+			{ID: CounterBytesIn, Value: 1 << 40},
+			{ID: CounterBytesOut, Value: 77},
+			{ID: CounterSlowOps, Value: 2},
+			{ID: CounterConns, Value: 9},
+		},
+		SlowOps: []telemetry.SlowOp{
+			{Op: byte(OpGet), KeyHash: telemetry.HashKey(42), DurationNanos: 5e6, Version: 3, UnixNanos: 1700000000e9},
+			{Op: byte(OpSet), KeyHash: telemetry.HashKey(7), DurationNanos: 9e6, Version: 8, UnixNanos: 1700000001e9},
+		},
+	}
+}
+
+// TestMetricsRoundTrip pins the METRICS request and response encodings:
+// what the server writes is exactly what the client decodes, including
+// empty sections and sparse histograms.
+func TestMetricsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	reqs := []Request{
+		{Op: OpMetrics, MetricsFlags: MetricsAll},
+		{Op: OpMetrics, MetricsFlags: MetricsHistograms},
+		{Op: OpMetrics, MetricsFlags: MetricsCounters | MetricsSlowOps},
+	}
+	for _, req := range reqs {
+		if err := w.WriteRequest(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range reqs {
+		got, err := r.ReadRequest()
+		if err != nil {
+			t.Fatalf("read request %d: %v", i, err)
+		}
+		if got.Op != OpMetrics || got.MetricsFlags != want.MetricsFlags {
+			t.Fatalf("request %d = %+v, want %+v", i, got, want)
+		}
+	}
+
+	resps := []Response{
+		{Status: StatusMetrics, Epoch: 5, Metrics: sampleMetrics()},
+		{Status: StatusMetrics, Epoch: 6, Metrics: &Metrics{Flags: MetricsHistograms}},                                  // zero histograms
+		{Status: StatusMetrics, Epoch: 7, Metrics: &Metrics{Flags: MetricsCounters}},                                    // zero counters
+		{Status: StatusMetrics, Epoch: 8, Metrics: &Metrics{Flags: MetricsSlowOps}},                                     // empty ring
+		{Status: StatusMetrics, Epoch: 9, Metrics: &Metrics{Flags: MetricsAll, Hists: []OpHist{{ID: byte(OpMetrics)}}}}, // empty histogram
+	}
+	buf.Reset()
+	for _, resp := range resps {
+		if err := w.WriteResponse(resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range resps {
+		got, err := r.ReadResponse()
+		if err != nil {
+			t.Fatalf("read response %d: %v", i, err)
+		}
+		if got.Status != StatusMetrics || got.Epoch != want.Epoch || got.Metrics == nil {
+			t.Fatalf("response %d = %+v", i, got)
+		}
+		if got.Metrics.Flags != want.Metrics.Flags {
+			t.Fatalf("response %d flags = %v, want %v", i, got.Metrics.Flags, want.Metrics.Flags)
+		}
+		// Sections must round-trip exactly, modulo nil-vs-empty slices.
+		if len(got.Metrics.Hists) != len(want.Metrics.Hists) {
+			t.Fatalf("response %d has %d hists, want %d", i, len(got.Metrics.Hists), len(want.Metrics.Hists))
+		}
+		for j := range want.Metrics.Hists {
+			if got.Metrics.Hists[j] != want.Metrics.Hists[j] {
+				t.Fatalf("response %d hist %d differs", i, j)
+			}
+		}
+		if len(got.Metrics.Counters) != 0 || len(want.Metrics.Counters) != 0 {
+			if !reflect.DeepEqual(got.Metrics.Counters, want.Metrics.Counters) {
+				t.Fatalf("response %d counters = %+v, want %+v", i, got.Metrics.Counters, want.Metrics.Counters)
+			}
+		}
+		if len(got.Metrics.SlowOps) != 0 || len(want.Metrics.SlowOps) != 0 {
+			if !reflect.DeepEqual(got.Metrics.SlowOps, want.Metrics.SlowOps) {
+				t.Fatalf("response %d slow ops = %+v, want %+v", i, got.Metrics.SlowOps, want.Metrics.SlowOps)
+			}
+		}
+	}
+
+	// Accessors on the full payload.
+	m := sampleMetrics()
+	if m.Hist(byte(OpGet)) == nil || m.Hist(HistRepairWait) == nil || m.Hist(byte(OpDel)) != nil {
+		t.Error("Hist accessor wrong")
+	}
+	if m.Counter(CounterBytesIn) != 1<<40 || m.Counter(250) != 0 {
+		t.Error("Counter accessor wrong")
+	}
+}
+
+// TestMetricsRequestRejected pins the request-side validation rules.
+func TestMetricsRequestRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRequest(Request{Op: OpMetrics}); err == nil {
+		t.Error("METRICS request selecting no section accepted by encoder")
+	}
+	if err := w.WriteRequest(Request{Op: OpMetrics, MetricsFlags: 0x80}); err == nil {
+		t.Error("METRICS request with undefined flag bits accepted by encoder")
+	}
+
+	frame := func(body []byte) *Reader {
+		var b bytes.Buffer
+		var ln [4]byte
+		binary.LittleEndian.PutUint32(ln[:], uint32(len(body)))
+		b.Write(ln[:])
+		b.Write(body)
+		return NewReader(&b)
+	}
+	if _, err := frame([]byte{byte(OpMetrics)}).ReadRequest(); err == nil {
+		t.Error("METRICS request without the flag byte accepted")
+	}
+	if _, err := frame([]byte{byte(OpMetrics), 0}).ReadRequest(); err == nil {
+		t.Error("METRICS request selecting no section accepted")
+	}
+	if _, err := frame([]byte{byte(OpMetrics), 0x09}).ReadRequest(); err == nil {
+		t.Error("METRICS request with undefined flag bits accepted")
+	}
+	if _, err := frame([]byte{byte(OpMetrics), byte(MetricsAll), 0}).ReadRequest(); err == nil {
+		t.Error("METRICS request with trailing bytes accepted")
+	}
+}
+
+// TestMetricsPayloadRejected pins the decoder against malformed response
+// payloads: every structural rule broken one at a time, starting from a
+// valid frame.
+func TestMetricsPayloadRejected(t *testing.T) {
+	encode := func(m *Metrics) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteResponse(Response{Status: StatusMetrics, Epoch: 1, Metrics: m}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	reject := func(name string, raw []byte) {
+		t.Helper()
+		if _, err := NewReader(bytes.NewReader(raw)).ReadResponse(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Offsets into the frame: len(4) status(1) epoch(8) flags(1) ...
+	const payload = 4 + 1 + 8
+
+	raw := encode(sampleMetrics())
+	mut := append([]byte(nil), raw...)
+	mut[payload] = 0
+	reject("flags byte zero", mut)
+
+	mut = append([]byte(nil), raw...)
+	mut[payload] = 0xFF
+	reject("undefined flag bits", mut)
+
+	mut = append(append([]byte(nil), raw...), 0xAA)
+	binary.LittleEndian.PutUint32(mut, binary.LittleEndian.Uint32(mut)+1)
+	reject("trailing bytes", mut)
+
+	reject("truncated histogram section", raw[:payload+3])
+
+	// Histogram with an undefined ID: hist section starts at payload+1
+	// (count uint32), first hist ID right after.
+	mut = append([]byte(nil), raw...)
+	mut[payload+1+4] = 200
+	reject("undefined histogram ID", mut)
+
+	// Non-ascending hist IDs: make the second hist repeat the first's ID.
+	m := sampleMetrics()
+	m.Hists[1].ID = m.Hists[0].ID
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteResponse(Response{Status: StatusMetrics, Metrics: m}); err == nil {
+		w.Flush()
+		reject("non-ascending histogram IDs", buf.Bytes())
+	}
+
+	// Out-of-range bucket index: first hist's first bucket pair sits after
+	// id(1)+sum(8)+nbuckets(4).
+	mut = append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint16(mut[payload+1+4+13:], telemetry.NumBuckets)
+	reject("bucket index out of range", mut)
+
+	// Zero-count bucket.
+	mut = append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(mut[payload+1+4+13+2:], 0)
+	reject("zero-count bucket", mut)
+
+	// Non-ascending bucket indices: copy pair 1's index over pair 2's.
+	mut = append([]byte(nil), raw...)
+	first := binary.LittleEndian.Uint16(mut[payload+1+4+13:])
+	binary.LittleEndian.PutUint16(mut[payload+1+4+13+10:], first)
+	reject("non-ascending bucket indices", mut)
+
+	// Undefined counter ID, reached via a counters-only payload.
+	rawC := encode(&Metrics{Flags: MetricsCounters, Counters: []MetricCounter{{ID: CounterBytesIn, Value: 1}}})
+	mut = append([]byte(nil), rawC...)
+	mut[payload+1+4] = 99
+	reject("undefined counter ID", mut)
+
+	// Slow-op count larger than the delivered records.
+	rawS := encode(&Metrics{Flags: MetricsSlowOps, SlowOps: []telemetry.SlowOp{{Op: 1}}})
+	mut = append([]byte(nil), rawS...)
+	binary.LittleEndian.PutUint32(mut[payload+1:], 2)
+	// The frame length no longer matches; fix it so only the section count lies.
+	reject("truncated slow-op records", mut)
+
+	// Slow-op count over MaxSlowOps.
+	mut = append([]byte(nil), rawS...)
+	binary.LittleEndian.PutUint32(mut[payload+1:], MaxSlowOps+1)
+	reject("slow-op count over MaxSlowOps", mut)
+
+	// Encoder must refuse an oversized ring outright.
+	if _, err := appendMetrics(nil, &Metrics{Flags: MetricsSlowOps, SlowOps: make([]telemetry.SlowOp, MaxSlowOps+1)}); err == nil {
+		t.Error("encoder accepted an oversize slow-op section")
+	}
+}
+
+// TestMetricsMergeAcrossWire pins the property the cluster view relies
+// on: decoding two nodes' payloads and merging their histograms equals
+// the histogram of the union stream.
+func TestMetricsMergeAcrossWire(t *testing.T) {
+	var a, b, both telemetry.Histogram
+	for i := 1; i <= 500; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		both.Record(d)
+	}
+	trip := func(h *telemetry.Histogram) *telemetry.HistogramSnapshot {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		m := &Metrics{Flags: MetricsHistograms, Hists: []OpHist{{ID: byte(OpGet), Snap: h.Snapshot()}}}
+		if err := w.WriteResponse(Response{Status: StatusMetrics, Metrics: m}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := NewReader(&buf).ReadResponse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Metrics.Hist(byte(OpGet))
+	}
+	merged := trip(&a)
+	merged.Merge(trip(&b))
+	if *merged != both.Snapshot() {
+		t.Fatal("wire round trip broke histogram mergeability")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // These tests pin the wire-protocol specification in ARCHITECTURE.md to the
@@ -83,7 +85,7 @@ func TestSpecPreambleAndLimits(t *testing.T) {
 
 func TestSpecOpcodes(t *testing.T) {
 	codes := tableCodes(specSection(t, specDoc(t), "### Request opcodes"))
-	want := []Op{OpGet, OpSet, OpDel, OpStats, OpRehash, OpKeys, OpMembers, OpTopology}
+	want := []Op{OpGet, OpSet, OpDel, OpStats, OpRehash, OpKeys, OpMembers, OpTopology, OpMetrics}
 	if len(codes) != len(want) {
 		t.Errorf("spec lists %d opcodes, implementation has %d", len(codes), len(want))
 	}
@@ -96,7 +98,7 @@ func TestSpecOpcodes(t *testing.T) {
 
 func TestSpecStatuses(t *testing.T) {
 	codes := tableCodes(specSection(t, specDoc(t), "### Response statuses"))
-	want := []Status{StatusHit, StatusMiss, StatusOK, StatusStats, StatusError, StatusKeys, StatusMembers, StatusVersionStale}
+	want := []Status{StatusHit, StatusMiss, StatusOK, StatusStats, StatusError, StatusKeys, StatusMembers, StatusVersionStale, StatusMetrics}
 	if len(codes) != len(want) {
 		t.Errorf("spec lists %d statuses, implementation has %d", len(codes), len(want))
 	}
@@ -188,6 +190,89 @@ func TestSpecEpochInResponses(t *testing.T) {
 	}
 	if !strings.Contains(section, "terminated by a KEYS frame with count 0") {
 		t.Error("spec must document the KEYS stream terminator (a KEYS frame with count 0)")
+	}
+}
+
+// TestSpecMetricsFlags pins the METRICS detail-flag bits against the
+// implementation, the same way TestSpecSetFlags pins the SET bits.
+func TestSpecMetricsFlags(t *testing.T) {
+	section := specSection(t, specDoc(t), "### METRICS detail flags")
+	for _, f := range []struct {
+		name string
+		impl MetricsFlags
+	}{
+		{"HISTOGRAMS", MetricsHistograms},
+		{"COUNTERS", MetricsCounters},
+		{"SLOW_OPS", MetricsSlowOps},
+	} {
+		row := regexp.MustCompile(`\|\s*` + f.name + `\s*\|\s*0x([0-9a-fA-F]+)\s*\|`).FindStringSubmatch(section)
+		if row == nil {
+			t.Fatalf("spec lacks the %s flag row", f.name)
+		}
+		bit, err := strconv.ParseUint(row[1], 16, 8)
+		if err != nil || MetricsFlags(bit) != f.impl {
+			t.Errorf("spec %s = 0x%s, implementation %#02x", f.name, row[1], byte(f.impl))
+		}
+	}
+	if metricsFlagsDefined != MetricsHistograms|MetricsCounters|MetricsSlowOps {
+		t.Error("metricsFlagsDefined grew; document the new flag bit in ARCHITECTURE.md and extend this test")
+	}
+}
+
+// TestSpecMetricsPayload pins the METRICS payload section: histogram and
+// counter ID codes, the bucket-count bound stated for the sparse encoding,
+// the slow-op record field order, and the MaxSlowOps cap.
+func TestSpecMetricsPayload(t *testing.T) {
+	section := specSection(t, specDoc(t), "### METRICS payload")
+
+	// The stated bucket bound must be telemetry's NumBuckets.
+	if !strings.Contains(section, strconv.Itoa(telemetry.NumBuckets)+" buckets total") {
+		t.Errorf("spec must state the %d-bucket total of the log-linear scheme", telemetry.NumBuckets)
+	}
+	if !strings.Contains(section, "1/"+strconv.Itoa(telemetry.SubBuckets)+" relative error") {
+		t.Errorf("spec must state the 1/%d quantile error bound", telemetry.SubBuckets)
+	}
+
+	codes := tableCodes(section)
+	for _, id := range []struct {
+		name string
+		impl byte
+	}{
+		{"REPAIR_WAIT", HistRepairWait},
+		{"BYTES_IN", CounterBytesIn},
+		{"BYTES_OUT", CounterBytesOut},
+		{"SLOW_OPS", CounterSlowOps},
+		{"CONNS", CounterConns},
+	} {
+		if got, ok := codes[id.name]; !ok || got != int(id.impl) {
+			t.Errorf("spec %s = %d (listed=%v), implementation %d", id.name, got, ok, id.impl)
+		}
+	}
+
+	if !regexp.MustCompile(`MaxSlowOps\s*=\s*` + strconv.Itoa(MaxSlowOps)).MatchString(section) {
+		t.Errorf("spec must state MaxSlowOps = %d", MaxSlowOps)
+	}
+
+	// Slow-op record field order, matched against the table rows after
+	// SlowOpCount.
+	rows := regexp.MustCompile(`(?m)^\|\s*(\w+)\s*\|\s*(\w+)\s*\|\s*per record`).FindAllStringSubmatch(section, -1)
+	var fields []string
+	for _, r := range rows {
+		fields = append(fields, r[1]+":"+r[2])
+	}
+	want := []string{"Op:byte", "KeyHash:uint64", "DurationNanos:uint64", "Version:uint64", "UnixNanos:uint64"}
+	if len(fields) != len(want) {
+		t.Fatalf("spec slow-op record lists %v, want %v", fields, want)
+	}
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Errorf("spec slow-op record field %d = %q, want %q", i+1, fields[i], want[i])
+		}
+	}
+
+	// Per-op histogram IDs are the opcode bytes; the spec states the range.
+	if !regexp.MustCompile(`GET\s*=\s*1\s*…\s*METRICS\s*=\s*9`).MatchString(section) {
+		t.Errorf("spec must state per-op histogram IDs GET = 1 … METRICS = %d", byte(OpMetrics))
 	}
 }
 

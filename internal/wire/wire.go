@@ -10,7 +10,7 @@
 // with a 8-byte client preamble:
 //
 //	magic   [4]byte  "SACW" (Set-Associative Cache Wire)
-//	version uint32   3
+//	version uint32   5
 //
 // after which both directions carry length-prefixed frames:
 //
@@ -36,6 +36,7 @@
 //	                                             frame with count 0 terminates
 //	MEMBERS                                    → Members topology payload
 //	TOPOLOGY topology payload                  → Members (the view after apply)
+//	METRICS  flags byte                        → Metrics payload (see Metrics)
 //
 // Version 2 added the SET flags byte between key and value. Its first
 // defined bit, SetFlagRepair, marks replica-maintenance writes — read
@@ -79,6 +80,18 @@
 //     than the one it holds. A rejected write answers VERSION_STALE (with
 //     the newer stored version) and is counted in Stats.StaleRepairs.
 //     User SETs stay unconditional last-writer-wins.
+//
+// Version 5 put the server's flight recorder on the wire:
+//
+//   - METRICS returns server-side telemetry — per-op service-time
+//     histograms (log-linear buckets, see internal/telemetry), scalar
+//     counters (bytes in/out, connections, slow-op total), and the
+//     slow-op ring — with a detail-flag byte selecting sections, so
+//     latency distributions are observable per node and mergeable into a
+//     cluster view without client-side inference.
+//   - The STATS payload gained RepairQueueHighWater, the maximum async
+//     maintenance queue depth since start, because the point-in-time
+//     RepairQueueDepth hides shed-risk peaks between polls.
 package wire
 
 import (
@@ -111,8 +124,10 @@ const (
 	// RepairQueueDepth/RepairsShed counters; version 4 added per-key value
 	// versions (in HIT and OK responses), the VERSIONED SET flag with the
 	// VERSION_STALE status for conditional maintenance writes, and the
-	// StaleRepairs counter.
-	Version = 4
+	// StaleRepairs counter; version 5 added the METRICS op (server-side
+	// latency histograms, counters, and the slow-op log) and the
+	// RepairQueueHighWater STATS counter.
+	Version = 5
 	// MaxFrame bounds a frame body; it caps both value sizes and the damage
 	// a corrupt length prefix can do.
 	MaxFrame = 16 << 20
@@ -263,6 +278,7 @@ const (
 	OpKeys
 	OpMembers
 	OpTopology
+	OpMetrics
 )
 
 // String implements fmt.Stringer.
@@ -284,6 +300,8 @@ func (o Op) String() string {
 		return "MEMBERS"
 	case OpTopology:
 		return "TOPOLOGY"
+	case OpMetrics:
+		return "METRICS"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
@@ -307,6 +325,8 @@ const (
 	// writer wanted — never overwrite fresher state — held, so callers
 	// treat it as a successful no-op.
 	StatusVersionStale
+	// StatusMetrics carries a METRICS response payload.
+	StatusMetrics
 )
 
 // String implements fmt.Stringer.
@@ -328,6 +348,8 @@ func (s Status) String() string {
 		return "MEMBERS"
 	case StatusVersionStale:
 		return "VERSION_STALE"
+	case StatusMetrics:
+		return "METRICS"
 	default:
 		return fmt.Sprintf("Status(%d)", byte(s))
 	}
@@ -351,6 +373,9 @@ type Request struct {
 	Detail bool
 	// Topology is the payload of a TOPOLOGY push.
 	Topology Topology
+	// MetricsFlags selects the payload sections of a METRICS request; it
+	// must name at least one section.
+	MetricsFlags MetricsFlags
 }
 
 // Response is one decoded response frame.
@@ -376,6 +401,8 @@ type Response struct {
 	Keys []uint64
 	// Topology is the payload of a MEMBERS response.
 	Topology Topology
+	// Metrics is the payload of a METRICS response.
+	Metrics *Metrics
 	// Err is the message of an error response.
 	Err string
 }
@@ -388,7 +415,9 @@ type Response struct {
 // RepairsShed expose the server's bounded queue of async maintenance
 // writes (SetFlagAsync), making repair backpressure observable: a rising
 // depth means maintenance is arriving faster than it drains, and a shed
-// is a repair the server dropped to protect user traffic. StaleRepairs
+// is a repair the server dropped to protect user traffic; because depth is
+// point-in-time and peaks fall between polls, RepairQueueHighWater (v5)
+// reports the maximum depth since start. StaleRepairs
 // counts VERSIONED writes the server rejected because it already held a
 // strictly newer version — each one is a lost-update race the version
 // check won (under v3 semantics the stale value would have been stored).
@@ -409,7 +438,11 @@ type Stats struct {
 	RepairQueueDepth  uint64
 	RepairsShed       uint64
 	StaleRepairs      uint64
-	Migrating         bool
+	// RepairQueueHighWater is the maximum RepairQueueDepth observed since
+	// the server started — the shed-risk signal the point-in-time depth
+	// hides between polls.
+	RepairQueueHighWater uint64
+	Migrating            bool
 	// Shards is present only when the STATS request set Detail.
 	Shards []ShardStat
 }
@@ -438,6 +471,7 @@ var statsFields = []struct {
 	{"RepairQueueDepth", func(s *Stats) *uint64 { return &s.RepairQueueDepth }},
 	{"RepairsShed", func(s *Stats) *uint64 { return &s.RepairsShed }},
 	{"StaleRepairs", func(s *Stats) *uint64 { return &s.StaleRepairs }},
+	{"RepairQueueHighWater", func(s *Stats) *uint64 { return &s.RepairQueueHighWater }},
 }
 
 // MissRatio returns Misses / (Hits + Misses), or 0 before any GET.
@@ -457,7 +491,7 @@ type ShardStat struct {
 	Len       uint64
 }
 
-const statsFixedLen = 16*8 + 1 // 16 uint64 counters (statsFields) + migrating byte
+const statsFixedLen = 17*8 + 1 // 17 uint64 counters (statsFields) + migrating byte
 
 // Writer encodes frames onto a buffered stream. It is not safe for
 // concurrent use.
@@ -526,6 +560,11 @@ func (w *Writer) WriteRequest(req Request) error {
 		}
 		body = append(body, d)
 	case OpRehash, OpKeys, OpMembers:
+	case OpMetrics:
+		if err := req.MetricsFlags.validate(); err != nil {
+			return err
+		}
+		body = append(body, byte(req.MetricsFlags))
 	case OpTopology:
 		if err := req.Topology.Validate(); err != nil {
 			return err
@@ -583,6 +622,14 @@ func (w *Writer) WriteResponse(resp Response) error {
 			return err
 		}
 		body = appendTopology(body, resp.Topology)
+	case StatusMetrics:
+		if resp.Metrics == nil {
+			return fmt.Errorf("wire: metrics response without payload")
+		}
+		var err error
+		if body, err = appendMetrics(body, resp.Metrics); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("wire: unknown response status %v", resp.Status)
 	}
@@ -710,6 +757,14 @@ func (r *Reader) ReadRequest() (Request, error) {
 		if len(body) != 0 {
 			return Request{}, fmt.Errorf("wire: %v body %d bytes, want 0", req.Op, len(body))
 		}
+	case OpMetrics:
+		if len(body) != 1 {
+			return Request{}, fmt.Errorf("wire: METRICS body %d bytes, want 1", len(body))
+		}
+		req.MetricsFlags = MetricsFlags(body[0])
+		if err := req.MetricsFlags.validate(); err != nil {
+			return Request{}, err
+		}
 	case OpTopology:
 		t, err := parseTopology(body)
 		if err != nil {
@@ -797,6 +852,12 @@ func (r *Reader) ReadResponse() (Response, error) {
 			return Response{}, err
 		}
 		resp.Topology = t
+	case StatusMetrics:
+		m, err := parseMetrics(body)
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Metrics = m
 	default:
 		return Response{}, fmt.Errorf("wire: unknown response status %d", byte(resp.Status))
 	}
