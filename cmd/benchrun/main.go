@@ -1,20 +1,32 @@
 // Command benchrun produces the repo's standing benchmark trajectory: one
 // fixed-seed pass over the telemetry microbenchmarks and a small matrix of
 // end-to-end load scenarios (one node and a 3-node cluster, closed- and
-// open-loop), emitted as a single JSON document. The committed BENCH_*.json
-// files at the repo root are its output, one per PR that moved performance,
-// so regressions are visible in review as a diff rather than a feeling.
+// open-loop, plus the cluster again with 1/64 request tracing so the
+// tracing price tag is a standing column), emitted as a single JSON
+// document. Every scenario is preceded by an unmeasured warm-up pass over
+// the same key stream, so the numbers are steady state and the -short
+// sizing is comparable to the full one. The committed BENCH_*.json files
+// at the repo root are its output, one per PR that moved performance, so
+// regressions are visible in review as a diff rather than a feeling.
 //
 // Usage:
 //
-//	benchrun -o BENCH_6.json
-//	benchrun -short            # CI smoke: seconds, not minutes
+//	benchrun -o BENCH_7.json
+//	benchrun -short -baseline BENCH_7.json   # CI smoke: seconds, not minutes
 //
 // The alloc columns are a gate, not a report: if any hot-path telemetry
 // operation (histogram Record, counter Add, high-water Set, slow-op
-// Append) allocates, benchrun exits nonzero. CI runs the -short mode on
-// every push, so an alloc regression on the instrumentation path fails the
-// build before it can reach a committed trajectory.
+// Append, hot-key sketch Record, span-ring Append) allocates, benchrun
+// exits nonzero. So is the overhead column: if histogram Record costs
+// more than 5% of the server-side GET median in any scenario, benchrun
+// exits nonzero rather than printing a number over budget. With
+// -baseline it also diffs this run's throughput against a committed
+// BENCH_*.json and fails on a >15% GET throughput regression — unless
+// the baseline came from a different Go version or GOMAXPROCS, in which
+// case the diff is skipped with a notice, because cross-machine numbers
+// are labels, not gates. CI runs the -short mode with -baseline on every
+// push, so an alloc or throughput regression fails the build before it
+// can reach a committed trajectory.
 //
 // Throughput and latency numbers are machine-dependent; the JSON carries
 // GOMAXPROCS and the Go version so a trajectory diff across commits from
@@ -61,6 +73,10 @@ type telemetryR struct {
 	CounterAllocsPerOp float64 `json:"counter_allocs_per_op"`
 	HighWaterAllocs    float64 `json:"highwater_allocs_per_op"`
 	SlowLogAllocs      float64 `json:"slowlog_allocs_per_op"`
+	TopKRecordNsPerOp  float64 `json:"topk_record_ns_per_op"`
+	TopKAllocsPerOp    float64 `json:"topk_allocs_per_op"`
+	SpanAppendNsPerOp  float64 `json:"span_append_ns_per_op"`
+	SpanAllocsPerOp    float64 `json:"span_allocs_per_op"`
 	SnapshotNsPerOp    float64 `json:"snapshot_ns_per_op"`
 }
 
@@ -109,9 +125,10 @@ type histNs struct {
 
 func main() {
 	var (
-		short = flag.Bool("short", false, "CI smoke sizing: a few seconds total")
-		out   = flag.String("o", "", "write the JSON report here (default stdout)")
-		seed  = flag.Uint64("seed", 1, "hash/workload seed (fixed for reproducible key streams)")
+		short    = flag.Bool("short", false, "CI smoke sizing: a few seconds total")
+		out      = flag.String("o", "", "write the JSON report here (default stdout)")
+		seed     = flag.Uint64("seed", 1, "hash/workload seed (fixed for reproducible key streams)")
+		baseline = flag.String("baseline", "", "committed BENCH_*.json to diff against: fail on a >15% GET throughput regression")
 	)
 	flag.Parse()
 
@@ -125,11 +142,13 @@ func main() {
 	}
 	rep.Telemetry = benchTelemetry()
 	if rep.Telemetry.RecordAllocsPerOp != 0 || rep.Telemetry.CounterAllocsPerOp != 0 ||
-		rep.Telemetry.HighWaterAllocs != 0 || rep.Telemetry.SlowLogAllocs != 0 {
+		rep.Telemetry.HighWaterAllocs != 0 || rep.Telemetry.SlowLogAllocs != 0 ||
+		rep.Telemetry.TopKAllocsPerOp != 0 || rep.Telemetry.SpanAllocsPerOp != 0 {
 		emit(rep, *out)
-		fatal(fmt.Errorf("telemetry hot path allocates (record=%.1f counter=%.1f highwater=%.1f slowlog=%.1f allocs/op); the flight recorder must be allocation-free",
+		fatal(fmt.Errorf("telemetry hot path allocates (record=%.1f counter=%.1f highwater=%.1f slowlog=%.1f topk=%.1f span=%.1f allocs/op); the flight recorder must be allocation-free",
 			rep.Telemetry.RecordAllocsPerOp, rep.Telemetry.CounterAllocsPerOp,
-			rep.Telemetry.HighWaterAllocs, rep.Telemetry.SlowLogAllocs))
+			rep.Telemetry.HighWaterAllocs, rep.Telemetry.SlowLogAllocs,
+			rep.Telemetry.TopKAllocsPerOp, rep.Telemetry.SpanAllocsPerOp))
 	}
 
 	ops, conns, pipeline := 400_000, 4, 16
@@ -138,27 +157,83 @@ func main() {
 		ops, openRate = 40_000, 40_000
 	}
 	runs := []struct {
-		name  string
-		nodes int
-		open  bool
+		name        string
+		nodes       int
+		open        bool
+		traceSample int
 	}{
-		{"single-node closed-loop", 1, false},
-		{"single-node open-loop", 1, true},
-		{"3-node cluster closed-loop", 3, false},
-		{"3-node cluster open-loop", 3, true},
+		{"single-node closed-loop", 1, false, 0},
+		{"single-node open-loop", 1, true, 0},
+		{"3-node cluster closed-loop", 3, false, 0},
+		{"3-node cluster open-loop", 3, true, 0},
+		// The tracing price tag at the recommended production sampling
+		// rate, read against the untraced cluster row above it.
+		{"3-node cluster closed-loop traced 1/64", 3, false, 64},
 	}
+	const overheadBudgetPct = 5.0
 	for _, r := range runs {
 		s, err := runScenario(r.name, r.nodes, r.open, openRate, ops, conns, pipeline, *seed,
-			rep.Telemetry.RecordNsPerOp)
+			r.traceSample, rep.Telemetry.RecordNsPerOp)
 		if err != nil {
 			fatal(err)
 		}
 		rep.Scenarios = append(rep.Scenarios, s)
-		fmt.Fprintf(os.Stderr, "benchrun: %-28s %10.0f GET/s  server GET p50=%s p99=%s\n",
+		fmt.Fprintf(os.Stderr, "benchrun: %-38s %10.0f GET/s  server GET p50=%s p99=%s\n",
 			s.Name, s.Throughput,
 			time.Duration(s.Server.Get.P50Ns), time.Duration(s.Server.Get.P99Ns))
+		if s.RecordOverheadPctOfGetP50 > overheadBudgetPct {
+			emit(rep, *out)
+			fatal(fmt.Errorf("scenario %q: histogram Record costs %.2f%% of the server GET p50, over the %.0f%% instrumentation budget",
+				s.Name, s.RecordOverheadPctOfGetP50, overheadBudgetPct))
+		}
 	}
 	emit(rep, *out)
+	if *baseline != "" {
+		if err := diffBaseline(rep, *baseline); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// diffBaseline gates this run's throughput against a committed
+// trajectory file. The gate only fires for scenarios present in both
+// documents under the same name, and only when the baseline came from
+// the same Go version and GOMAXPROCS — a trajectory from another machine
+// or toolchain labels the numbers but cannot judge them.
+func diffBaseline(rep report, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.GoVersion != rep.GoVersion || base.GOMAXPROCS != rep.GOMAXPROCS {
+		fmt.Fprintf(os.Stderr, "benchrun: baseline %s is %s/GOMAXPROCS=%d, this run is %s/GOMAXPROCS=%d; skipping the regression gate (cross-machine numbers are labels, not budgets)\n",
+			path, base.GoVersion, base.GOMAXPROCS, rep.GoVersion, rep.GOMAXPROCS)
+		return nil
+	}
+	const tolerance = 0.15
+	for _, s := range rep.Scenarios {
+		if s.OpenLoop {
+			// Open-loop throughput is the intended rate, a configuration,
+			// not a capability — and the -short rate differs from the full
+			// one. The closed-loop rows are the capability gate.
+			continue
+		}
+		for _, b := range base.Scenarios {
+			if b.Name != s.Name || b.Throughput == 0 {
+				continue
+			}
+			if s.Throughput < b.Throughput*(1-tolerance) {
+				return fmt.Errorf("scenario %q: %.0f GET/s is %.1f%% below the committed %.0f in %s (budget %.0f%%)",
+					s.Name, s.Throughput, 100*(1-s.Throughput/b.Throughput), b.Throughput, path, 100*tolerance)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchrun: throughput within %.0f%% of %s on every shared scenario\n", 100*tolerance, path)
+	return nil
 }
 
 // benchTelemetry measures the instrumentation primitives themselves with
@@ -181,6 +256,29 @@ func benchTelemetry() telemetryR {
 	var c telemetry.Counter
 	var hw telemetry.HighWater
 	sl := telemetry.NewSlowLog(0)
+	tk := telemetry.NewTopK(0)
+	ring := telemetry.NewSpanRing(0)
+	span := telemetry.Span{Op: 1, Status: 2, TraceID: telemetry.TraceID{1}, KeyHash: 3, DurationNanos: 4}
+	var n uint64
+	topk := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A zipf-ish stream: a few keys dominate, the tail churns
+			// through the sketch's eviction path.
+			n++
+			k := n % 1024
+			if k > 16 {
+				k = n
+			}
+			tk.Record(telemetry.HashKey(k))
+		}
+	})
+	spanB := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ring.Append(span)
+		}
+	})
 	return telemetryR{
 		RecordNsPerOp:      float64(rec.NsPerOp()),
 		RecordAllocsPerOp:  testing.AllocsPerRun(1000, func() { h.Record(time.Millisecond) }),
@@ -189,14 +287,20 @@ func benchTelemetry() telemetryR {
 		SlowLogAllocs: testing.AllocsPerRun(1000, func() {
 			sl.Append(telemetry.SlowOp{Op: 1, KeyHash: 2, DurationNanos: 3})
 		}),
-		SnapshotNsPerOp: float64(snap.NsPerOp()),
+		TopKRecordNsPerOp: float64(topk.NsPerOp()),
+		TopKAllocsPerOp:   testing.AllocsPerRun(1000, func() { tk.Record(42) }),
+		SpanAppendNsPerOp: float64(spanB.NsPerOp()),
+		SpanAllocsPerOp:   testing.AllocsPerRun(1000, func() { ring.Append(span) }),
+		SnapshotNsPerOp:   float64(snap.NsPerOp()),
 	}
 }
 
 // runScenario boots nodes in-process on loopback, drives a fixed-seed
 // zipf read-through workload through the standard harness, and reads the
-// servers' own view back over METRICS.
-func runScenario(name string, nodes int, open bool, rate float64, ops, conns, pipeline int, seed uint64, recordNs float64) (scenario, error) {
+// servers' own view back over METRICS. traceSample > 0 turns request
+// tracing on at that sampling interval (cluster scenarios only — the
+// single-node harness speaks raw wire, which never volunteers a trace).
+func runScenario(name string, nodes int, open bool, rate float64, ops, conns, pipeline int, seed uint64, traceSample int, recordNs float64) (scenario, error) {
 	const k, alpha = 1 << 15, 16
 	var (
 		addrs   []string
@@ -234,7 +338,21 @@ func runScenario(name string, nodes int, open bool, rate float64, ops, conns, pi
 	if nodes == 1 {
 		cfg.Addr = addrs[0]
 	} else {
-		cfg.Dial = func() (load.Conn, error) { return cluster.Dial(addrs, cluster.Options{}) }
+		cfg.Dial = func() (load.Conn, error) {
+			return cluster.Dial(addrs, cluster.Options{TraceSample: traceSample})
+		}
+	}
+	// An unmeasured closed-loop pass over the same key stream first: the
+	// measured pass then reports steady state, not cache fill. Without
+	// this, a -short run is dominated by compulsory misses and reads ~20%
+	// slower than the full sizing — which would make the -baseline gate
+	// compare cold starts against warm trajectories and cry wolf.
+	if _, err := load.Run(cfg); err != nil {
+		return scenario{}, err
+	}
+	msBefore, err := snapshotMetrics(addrs)
+	if err != nil {
+		return scenario{}, err
 	}
 	if open {
 		cfg.OpenLoop, cfg.Rate = true, rate
@@ -243,11 +361,11 @@ func runScenario(name string, nodes int, open bool, rate float64, ops, conns, pi
 	if err != nil {
 		return scenario{}, err
 	}
-
-	sv, err := collectServerSide(addrs)
+	msAfter, err := snapshotMetrics(addrs)
 	if err != nil {
 		return scenario{}, err
 	}
+	sv := serverDelta(msBefore, msAfter)
 	s := scenario{
 		Name:       name,
 		Nodes:      nodes,
@@ -272,35 +390,59 @@ func runScenario(name string, nodes int, open bool, rate float64, ops, conns, pi
 	return s, nil
 }
 
-// collectServerSide merges every node's METRICS into the run's
-// server-side row. Nodes were booted fresh for the scenario, so the
-// cumulative histograms are the run's histograms.
-func collectServerSide(addrs []string) (svrSide, error) {
+// snapshotMetrics reads every node's cumulative flight recorder; two
+// snapshots bracketing the measured pass subtract into the run's own
+// numbers (every histogram bucket and counter is monotone).
+func snapshotMetrics(addrs []string) (map[string]*wire.Metrics, error) {
 	per := make(map[string]*wire.Metrics, len(addrs))
 	for _, addr := range addrs {
 		c, err := wire.Dial(addr)
 		if err != nil {
-			return svrSide{}, err
+			return nil, err
 		}
 		m, err := c.Metrics(wire.MetricsHistograms | wire.MetricsCounters)
 		c.Close()
 		if err != nil {
-			return svrSide{}, err
+			return nil, err
 		}
 		per[addr] = m
 	}
-	agg := cluster.AggregateMetrics(per)
+	return per, nil
+}
+
+// serverDelta merges each bracket across the nodes and subtracts,
+// yielding the measured pass's server-side row with the warm-up
+// excluded.
+func serverDelta(before, after map[string]*wire.Metrics) svrSide {
+	aggB, aggA := cluster.AggregateMetrics(before), cluster.AggregateMetrics(after)
 	sv := svrSide{
-		BytesIn:  agg.Counter(wire.CounterBytesIn),
-		BytesOut: agg.Counter(wire.CounterBytesOut),
+		BytesIn:  aggA.Counter(wire.CounterBytesIn) - aggB.Counter(wire.CounterBytesIn),
+		BytesOut: aggA.Counter(wire.CounterBytesOut) - aggB.Counter(wire.CounterBytesOut),
 	}
-	if h := agg.Hist(byte(wire.OpGet)); h != nil {
+	if h := histDelta(aggA.Hist(byte(wire.OpGet)), aggB.Hist(byte(wire.OpGet))); h != nil && h.Count > 0 {
 		sv.Get = histNs{Count: h.Count, MeanNs: int64(h.Mean()), P50Ns: int64(h.Quantile(0.50)), P99Ns: int64(h.Quantile(0.99))}
 	}
-	if h := agg.Hist(byte(wire.OpSet)); h != nil {
+	if h := histDelta(aggA.Hist(byte(wire.OpSet)), aggB.Hist(byte(wire.OpSet))); h != nil && h.Count > 0 {
 		sv.Set = histNs{Count: h.Count, MeanNs: int64(h.Mean()), P50Ns: int64(h.Quantile(0.50)), P99Ns: int64(h.Quantile(0.99))}
 	}
-	return sv, nil
+	return sv
+}
+
+// histDelta subtracts one cumulative histogram snapshot from a later one
+// of the same histogram.
+func histDelta(a, b *telemetry.HistogramSnapshot) *telemetry.HistogramSnapshot {
+	if a == nil {
+		return nil
+	}
+	d := *a
+	if b != nil {
+		d.Count -= b.Count
+		d.Sum -= b.Sum
+		for i := range d.Buckets {
+			d.Buckets[i] -= b.Buckets[i]
+		}
+	}
+	return &d
 }
 
 func emit(rep report, out string) {

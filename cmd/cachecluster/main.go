@@ -41,6 +41,15 @@
 // With -open -rate R the harness uses the open-loop rate-paced schedule
 // with coordinated-omission-safe percentiles (see internal/load). -rehash
 // fans an online REHASH out to every member before the run.
+//
+// With -trace-sample N every worker stamps every N-th of its batches
+// with a sampled trace context (wire v6): each member records a span per
+// hop it served, and after the run the harness joins the slowest traced
+// slow op's spans across nodes — the cross-node path of one sampled
+// request, queue waits included. Independently of sampling, every run
+// ends with the cluster-wide hot-key table: the merged top-K key sketch
+// per op class (GET/SET/DEL/EVICT), which is where a hot-key storm or a
+// conflict-pressure key shows up by name (well, by key hash).
 package main
 
 import (
@@ -48,6 +57,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -86,6 +96,7 @@ func main() {
 		open     = flag.Bool("open", false, "open-loop mode: rate-paced arrivals, coordinated-omission-safe percentiles")
 		rate     = flag.Float64("rate", 0, "intended aggregate GET rate in ops/sec (open-loop mode, required)")
 		duration = flag.Duration("duration", 0, "stop issuing after this long (open-loop mode; 0 = when ops are exhausted)")
+		traceSm  = flag.Int("trace-sample", 0, "stamp every Nth batch per worker with a sampled trace context (0 = tracing off)")
 	)
 	flag.Parse()
 
@@ -102,7 +113,10 @@ func main() {
 	// The replication configuration was validated against the member count
 	// up front (validateFlags); under -bootstrap the membership is only
 	// known after discovery, so cluster.Dial re-checks it there.
-	opts := cluster.Options{VNodes: *vnodes, Replicas: *replicas, WriteQuorum: *quorum, Bootstrap: *boot}
+	if *traceSm < 0 {
+		fatal(fmt.Errorf("-trace-sample %d: sampling interval must not be negative", *traceSm))
+	}
+	opts := cluster.Options{VNodes: *vnodes, Replicas: *replicas, WriteQuorum: *quorum, Bootstrap: *boot, TraceSample: *traceSm}
 	ctl, err := cluster.Dial(members, opts)
 	if err != nil {
 		fatal(err)
@@ -196,6 +210,103 @@ func main() {
 		agg.Len, agg.Capacity, agg.Evictions, agg.ConflictEvictions,
 		agg.FlushEvictions, agg.Rehashes, agg.Sets, agg.RepairSets, agg.StaleRepairs,
 		agg.RepairQueueHighWater, agg.Migrating)
+
+	// Hot keys are recorded regardless of sampling; spans and the trace
+	// join exist only when -trace-sample stamped some batches.
+	msHot, err := ctl.MetricsAll(wire.MetricsHotKeys | wire.MetricsTraces | wire.MetricsSlowOps)
+	if err != nil {
+		fatal(err)
+	}
+	aggHot := cluster.AggregateMetrics(msHot)
+	printHotKeys(aggHot)
+	if *traceSm > 0 {
+		printTraceJoin(msHot, aggHot)
+	}
+}
+
+// printHotKeys tabulates the merged space-saving sketch per op class: the
+// cluster-wide top keys by GET/SET/DEL traffic and by conflict-eviction
+// pressure. Counts are union-and-sum over the members, so a key that is
+// hot on every replica ranks by its total cluster traffic; Err is the
+// sketch's per-key overestimate bound (true count ≥ Count − Err). Keys
+// print as the scrambled 64-bit hashes the servers store — the sketch
+// never sees raw keys.
+func printHotKeys(agg *wire.Metrics) {
+	if len(agg.HotKeys) == 0 {
+		return
+	}
+	fmt.Printf("  hot keys (top 5 per class, merged over cluster; keyhash×count, ±err):\n")
+	for _, hc := range agg.HotKeys {
+		top := hc.Keys.Top(5)
+		parts := make([]string, len(top))
+		for i, e := range top {
+			parts[i] = fmt.Sprintf("%016x×%d±%d", e.Key, e.Count, e.Err)
+		}
+		fmt.Printf("    %-5s %s\n", wire.HotClassName(hc.Class), strings.Join(parts, "  "))
+	}
+}
+
+// printTraceJoin reconstructs one sampled request's cross-node path: it
+// picks the slowest slow op that carries a trace ID, collects every span
+// recorded under that ID on any member, and prints them in time order
+// with the node that served each hop. An async repair hop shows its
+// queue wait separately from its apply time — the deferred half of a
+// traced write. Nothing prints if no traced op crossed the slow-op
+// threshold and no spans were sampled.
+func printTraceJoin(all map[string]*wire.Metrics, agg *wire.Metrics) {
+	var tid telemetry.TraceID
+	var worst uint64
+	for _, r := range agg.SlowOps {
+		if !r.TraceID.IsZero() && r.DurationNanos > worst {
+			worst = r.DurationNanos
+			tid = r.TraceID
+		}
+	}
+	if tid.IsZero() && len(agg.Spans) > 0 {
+		// No traced slow op: fall back to the trace with the most hops,
+		// which the aggregate keeps contiguous.
+		var bestLen, runLen int
+		var run telemetry.TraceID
+		for _, sp := range agg.Spans {
+			if sp.TraceID != run {
+				run, runLen = sp.TraceID, 0
+			}
+			runLen++
+			if runLen > bestLen {
+				bestLen, tid = runLen, run
+			}
+		}
+	}
+	if tid.IsZero() {
+		return
+	}
+	type hop struct {
+		node string
+		sp   telemetry.Span
+	}
+	var hops []hop
+	for addr, m := range all {
+		for _, sp := range m.Spans {
+			if sp.TraceID == tid {
+				hops = append(hops, hop{addr, sp})
+			}
+		}
+	}
+	sort.Slice(hops, func(i, j int) bool { return hops[i].sp.UnixNanos < hops[j].sp.UnixNanos })
+	fmt.Printf("  trace %s joined across the cluster (%d hops):\n", tid, len(hops))
+	const maxHops = 10 // a traced batch is one trace, so a deep pipeline means many hops
+	if len(hops) > maxHops {
+		fmt.Printf("    (first %d of %d — the whole batch shares the trace)\n", maxHops, len(hops))
+		hops = hops[:maxHops]
+	}
+	for _, h := range hops {
+		line := fmt.Sprintf("    %-22s %-4s %-13s %10v", h.node,
+			wire.Op(h.sp.Op), wire.Status(h.sp.Status), time.Duration(h.sp.DurationNanos))
+		if h.sp.QueueWaitNanos > 0 {
+			line += fmt.Sprintf("  after %v in the repair queue", time.Duration(h.sp.QueueWaitNanos))
+		}
+		fmt.Println(line)
+	}
 }
 
 // printServerLatency merges every member's METRICS histograms and prints

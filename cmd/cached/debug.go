@@ -50,6 +50,23 @@ type debugSlowOp struct {
 	Duration int64  `json:"duration_ns"`
 	Version  uint64 `json:"version"`
 	Unix     uint64 `json:"unix_nanos"`
+	TraceID  string `json:"trace_id,omitempty"`
+}
+
+type debugSpan struct {
+	Op        string `json:"op"`
+	Status    string `json:"status"`
+	TraceID   string `json:"trace_id"`
+	KeyHash   uint64 `json:"key_hash"`
+	QueueWait int64  `json:"queue_wait_ns"`
+	Duration  int64  `json:"duration_ns"`
+	Unix      uint64 `json:"unix_nanos"`
+}
+
+type debugHotKey struct {
+	KeyHash uint64 `json:"key_hash"`
+	Count   uint64 `json:"count"`
+	Err     uint64 `json:"err"`
 }
 
 func debugMetrics(srv *server.Server) map[string]any {
@@ -79,10 +96,38 @@ func debugMetrics(srv *server.Server) map[string]any {
 			Version:  r.Version,
 			Unix:     r.UnixNanos,
 		}
+		if !r.TraceID.IsZero() {
+			slow[i].TraceID = r.TraceID.String()
+		}
+	}
+	spans := make([]debugSpan, len(m.Spans))
+	for i, sp := range m.Spans {
+		spans[i] = debugSpan{
+			Op:        wire.Op(sp.Op).String(),
+			Status:    wire.Status(sp.Status).String(),
+			TraceID:   sp.TraceID.String(),
+			KeyHash:   sp.KeyHash,
+			QueueWait: int64(sp.QueueWaitNanos),
+			Duration:  int64(sp.DurationNanos),
+			Unix:      sp.UnixNanos,
+		}
+	}
+	// Hot keys: the top 10 per class is what an operator scans; the full
+	// sketch stays on the wire op.
+	hot := make(map[string][]debugHotKey, len(m.HotKeys))
+	for _, hc := range m.HotKeys {
+		top := hc.Keys.Top(10)
+		out := make([]debugHotKey, len(top))
+		for i, e := range top {
+			out[i] = debugHotKey{KeyHash: e.Key, Count: e.Count, Err: e.Err}
+		}
+		hot[wire.HotClassName(hc.Class)] = out
 	}
 	return map[string]any{
 		"hists":    hists,
 		"counters": counters,
 		"slow_ops": slow,
+		"traces":   spans,
+		"hot_keys": hot,
 	}
 }

@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -41,6 +43,15 @@ type Options struct {
 	DialTimeout time.Duration
 	// Dial overrides the member connection factory (default wire.Dial).
 	Dial DialFunc
+	// TraceSample enables end-to-end request tracing (wire v6): every
+	// N-th batch (or single-key operation) is stamped with a sampled
+	// trace context that rides the whole fan-out — every sub-batch,
+	// every fallback round, every quorum write, and any background
+	// repair the operation schedules — so the member-side span rings can
+	// be joined on the trace ID into the request's cluster-wide path.
+	// 0 disables tracing entirely: no request carries trace bytes and
+	// the member-side cost is zero.
+	TraceSample int
 }
 
 // Client routes cache traffic across a cluster of cached nodes. It is
@@ -104,6 +115,13 @@ type Client struct {
 	// so the copy was superseded rather than lost.
 	staleRepairs atomic.Uint64
 
+	// Tracing (Options.TraceSample): every traceSample-th batch is minted
+	// a sampled trace context from the per-client seed and the batch
+	// counter — unique without coordination, nonzero by construction.
+	traceSample  int
+	traceSeed    uint64
+	traceCounter atomic.Uint64
+
 	// Warm-up bookkeeping: the dedicated connections of in-flight warm-ups
 	// (so Close can interrupt their streams) and a WaitGroup Close waits on
 	// so no warm-up goroutine outlives the client.
@@ -160,6 +178,8 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 		replicas:    opts.Replicas,
 		quorum:      opts.WriteQuorum,
 		noWarmup:    opts.DisableWarmup,
+		traceSample: opts.TraceSample,
+		traceSeed:   telemetry.HashKey(uint64(time.Now().UnixNano())) | 1,
 		ring:        NewRing(opts.VNodes, members...),
 		epoch:       epoch,
 		nodes:       make(map[string]*nodeConn, len(members)),
@@ -263,6 +283,27 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// nextTrace decides whether the next batch is traced and mints its
+// context: the trace ID packs the per-client seed (nonzero by
+// construction, so the ID can never be the all-zero protocol error)
+// with a scramble of the batch counter, unique across clients without
+// coordination. Minting is two atomics on the untraced path.
+func (c *Client) nextTrace() batchTrace {
+	if c.traceSample <= 0 {
+		return batchTrace{}
+	}
+	n := c.traceCounter.Add(1)
+	if n%uint64(c.traceSample) != 0 {
+		return batchTrace{}
+	}
+	var bt batchTrace
+	bt.traced = true
+	bt.tc.Flags = wire.TraceFlagSampled
+	binary.LittleEndian.PutUint64(bt.tc.ID[:8], c.traceSeed)
+	binary.LittleEndian.PutUint64(bt.tc.ID[8:], telemetry.HashKey(c.traceSeed^n))
+	return bt
+}
+
 // Nodes returns the current members in sorted order.
 func (c *Client) Nodes() []string {
 	c.mu.RLock()
@@ -354,10 +395,11 @@ func (c *Client) partition(keys []uint64) ([]*subBatch, error) {
 // unspecified beyond key order within one member's sub-batch.
 func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byte)) error {
 	c.maybeRefresh()
+	bt := c.nextTrace()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.effReplicas() > 1 {
-		return c.getBatchReplicated(keys, visit)
+		return c.getBatchReplicated(keys, bt, visit)
 	}
 	subs, err := c.partition(keys)
 	if err != nil {
@@ -367,7 +409,7 @@ func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byt
 	defer unlock()
 
 	for _, s := range subs {
-		s.err = s.enqueueGets(c.dial, keys)
+		s.err = s.enqueueGets(c.dial, keys, bt)
 	}
 	for _, s := range subs {
 		if s.err == nil {
@@ -380,7 +422,7 @@ func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byt
 				dropSubs(subs)
 				return s.err
 			}
-			if err := c.replayGets(s, keys, visit); err != nil {
+			if err := c.replayGets(s, keys, bt, visit); err != nil {
 				dropSubs(subs)
 				return err
 			}
@@ -417,10 +459,10 @@ func (c *Client) readGets(s *subBatch, keys []uint64, visit func(i int, hit bool
 }
 
 // replayGets redials once and replays an entirely undelivered sub-batch.
-func (c *Client) replayGets(s *subBatch, keys []uint64, visit func(i int, hit bool, value []byte)) error {
+func (c *Client) replayGets(s *subBatch, keys []uint64, bt batchTrace, visit func(i int, hit bool, value []byte)) error {
 	s.nc.drop()
 	s.nc.redials.Add(1)
-	if err := s.enqueueGets(c.dial, keys); err != nil {
+	if err := s.enqueueGets(c.dial, keys, bt); err != nil {
 		return err
 	}
 	return c.readGets(s, keys, visit)
@@ -433,10 +475,11 @@ func (c *Client) replayGets(s *subBatch, keys []uint64, visit func(i int, hit bo
 // the key still met quorum are queued for background repair.
 func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
 	c.maybeRefresh()
+	bt := c.nextTrace()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.effReplicas() > 1 {
-		return c.setBatchReplicated(keys, value)
+		return c.setBatchReplicated(keys, bt, value)
 	}
 	subs, err := c.partition(keys)
 	if err != nil {
@@ -446,7 +489,7 @@ func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
 	defer unlock()
 
 	for _, s := range subs {
-		s.err = s.enqueueSets(c.dial, keys, value)
+		s.err = s.enqueueSets(c.dial, keys, value, bt)
 	}
 	for _, s := range subs {
 		if s.err == nil {
@@ -459,7 +502,7 @@ func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
 			}
 			s.nc.drop()
 			s.nc.redials.Add(1)
-			if err := s.enqueueSets(c.dial, keys, value); err != nil {
+			if err := s.enqueueSets(c.dial, keys, value, bt); err != nil {
 				dropSubs(subs)
 				return err
 			}
@@ -518,6 +561,7 @@ func (c *Client) Set(key uint64, value []byte) error {
 // resurrect the key through read repair.
 func (c *Client) Del(key uint64) (bool, error) {
 	c.maybeRefresh()
+	bt := c.nextTrace()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	owners := c.ring.OwnersFor(key, c.effReplicas())
@@ -530,7 +574,13 @@ func (c *Client) Del(key uint64) (bool, error) {
 		nc.mu.Lock()
 		nc.dels.Add(1)
 		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
-			p, err := cl.Del(key)
+			var p bool
+			var err error
+			if bt.traced {
+				p, err = cl.DelTraced(key, bt.tc)
+			} else {
+				p, err = cl.Del(key)
+			}
 			present = present || p
 			c.observeEpoch(cl.LastEpoch())
 			return err

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 
 	"repro/internal/telemetry"
 	"repro/internal/wire"
@@ -39,13 +41,18 @@ func (c *Client) MetricsAll(flags wire.MetricsFlags) (map[string]*wire.Metrics, 
 // cluster-wide view: histograms merge bucket-wise (the merged histogram
 // equals what one recorder fed every node's samples would hold, so
 // cluster quantiles are exact up to bucket resolution, not averages of
-// averages), counters sum, and slow-op rings concatenate in member-address
+// averages), counters sum, slow-op rings concatenate in member-address
 // iteration order (each ring is oldest-first, but cross-member order is
-// not reconstructed — records carry UnixNanos for that).
+// not reconstructed — records carry UnixNanos for that), hot-key
+// sketches merge by union-and-sum per class (associative and
+// commutative, so the cluster ranking is collection-order independent),
+// and spans concatenate grouped by trace ID so one request's
+// cluster-wide path reads contiguously.
 func AggregateMetrics(metrics map[string]*wire.Metrics) *wire.Metrics {
 	agg := &wire.Metrics{}
 	hists := make(map[byte]*telemetry.HistogramSnapshot)
 	counters := make(map[byte]uint64)
+	hot := make(map[byte]telemetry.TopKSnapshot)
 	for _, m := range metrics {
 		agg.Flags |= m.Flags
 		for i := range m.Hists {
@@ -61,6 +68,10 @@ func AggregateMetrics(metrics map[string]*wire.Metrics) *wire.Metrics {
 			counters[c.ID] += c.Value
 		}
 		agg.SlowOps = append(agg.SlowOps, m.SlowOps...)
+		for _, hc := range m.HotKeys {
+			hot[hc.Class] = hot[hc.Class].Merge(hc.Keys)
+		}
+		agg.Spans = append(agg.Spans, m.Spans...)
 	}
 	// Rebuild the sections in the ascending-ID order the wire form keeps.
 	for id := byte(1); id != 0; id++ {
@@ -70,6 +81,18 @@ func AggregateMetrics(metrics map[string]*wire.Metrics) *wire.Metrics {
 		if v, ok := counters[id]; ok {
 			agg.Counters = append(agg.Counters, wire.MetricCounter{ID: id, Value: v})
 		}
+		if ks, ok := hot[id]; ok && len(ks) > 0 {
+			agg.HotKeys = append(agg.HotKeys, wire.HotKeyClass{Class: id, Keys: ks})
+		}
 	}
+	// Group spans by trace ID (stable within a trace, so each member's
+	// oldest-first order survives), then by time within the trace.
+	sort.SliceStable(agg.Spans, func(i, j int) bool {
+		a, b := &agg.Spans[i], &agg.Spans[j]
+		if c := bytes.Compare(a.TraceID[:], b.TraceID[:]); c != 0 {
+			return c < 0
+		}
+		return a.UnixNanos < b.UnixNanos
+	})
 	return agg
 }

@@ -39,6 +39,12 @@ type repairTask struct {
 	ver   uint64
 	val   []byte
 	addrs []string
+
+	// bt carries the originating batch's trace context across the queue:
+	// a repair caused by a sampled read or write is itself traced, so the
+	// owner that receives it records a span under the same trace ID — the
+	// last hop of the request's cluster-wide path.
+	bt batchTrace
 }
 
 // ReplicationCounters is the router's replication telemetry; see
@@ -87,7 +93,7 @@ func (c *Client) StaleRepairs() uint64 { return c.staleRepairs.Load() }
 // scheduleRepair queues a background re-SET of key=val, observed at ver,
 // at addrs. Caller holds c.mu (either side); val may alias a connection
 // buffer and is copied here.
-func (c *Client) scheduleRepair(key, ver uint64, val []byte, addrs []string) {
+func (c *Client) scheduleRepair(key, ver uint64, val []byte, addrs []string, bt batchTrace) {
 	if c.repairClosed || len(addrs) == 0 {
 		return
 	}
@@ -96,6 +102,7 @@ func (c *Client) scheduleRepair(key, ver uint64, val []byte, addrs []string) {
 		ver:   ver,
 		val:   append([]byte(nil), val...),
 		addrs: append([]string(nil), addrs...),
+		bt:    bt,
 	}
 	c.repairsScheduled.Add(1)
 	select {
@@ -146,7 +153,13 @@ func (c *Client) applyRepair(t repairTask) {
 		// a user SET of the same key is rejected as stale instead of
 		// reinstating the older value, however deep either queue ran.
 		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
-			_, _, err := cl.SetVersioned(t.key, wire.SetFlagRepair|wire.SetFlagAsync, t.ver, t.val)
+			flags := wire.SetFlagRepair | wire.SetFlagAsync
+			var err error
+			if t.bt.traced {
+				_, _, err = cl.SetVersionedTraced(t.key, flags, t.ver, t.bt.tc, t.val)
+			} else {
+				_, _, err = cl.SetVersioned(t.key, flags, t.ver, t.val)
+			}
 			return err
 		})
 		if err == nil {
@@ -162,7 +175,7 @@ func (c *Client) applyRepair(t repairTask) {
 // hits resolve immediately (scheduling repair of the owners that came up
 // empty), misses resolve at the last owner, and connection failures push
 // the key to the next round. Caller holds c.mu.RLock.
-func (c *Client) getBatchReplicated(keys []uint64, visit func(i int, hit bool, value []byte)) error {
+func (c *Client) getBatchReplicated(keys []uint64, bt batchTrace, visit func(i int, hit bool, value []byte)) error {
 	rf := c.effReplicas()
 	owners := make([][]string, len(keys))
 	for i, k := range keys {
@@ -191,22 +204,22 @@ func (c *Client) getBatchReplicated(keys []uint64, visit func(i int, hit bool, v
 		subs := c.partitionRound(pending, owners, round)
 		unlock := lockSubs(subs)
 		for _, s := range subs {
-			s.err = s.enqueueGets(c.dial, keys)
+			s.err = s.enqueueGets(c.dial, keys, bt)
 		}
 		next = next[:0]
 		last := round == rf-1
 		for _, s := range subs {
 			if s.err == nil {
-				s.err = c.readGetsReplicated(s, keys, round, last, missedAt, &next, visit)
+				s.err = c.readGetsReplicated(s, keys, bt, round, last, missedAt, &next, visit)
 			}
 			if s.err != nil && s.delivered == 0 {
 				// Nothing of this sub was delivered; redial once and replay.
 				s.nc.drop()
 				s.nc.redials.Add(1)
-				if err := s.enqueueGets(c.dial, keys); err != nil {
+				if err := s.enqueueGets(c.dial, keys, bt); err != nil {
 					s.err = err
 				} else {
-					s.err = c.readGetsReplicated(s, keys, round, last, missedAt, &next, visit)
+					s.err = c.readGetsReplicated(s, keys, bt, round, last, missedAt, &next, visit)
 				}
 			}
 			if s.err != nil {
@@ -263,7 +276,7 @@ func (c *Client) partitionRound(pending []int, owners [][]string, round int) []*
 // round. Hits are delivered to visit, with repair scheduled for the owners
 // that authoritatively missed in earlier rounds; misses either fall to the
 // next round or, on the last owner, resolve as authoritative misses.
-func (c *Client) readGetsReplicated(s *subBatch, keys []uint64, round int, last bool,
+func (c *Client) readGetsReplicated(s *subBatch, keys []uint64, bt batchTrace, round int, last bool,
 	missedAt [][]string, next *[]int, visit func(i int, hit bool, value []byte)) error {
 	cl := s.nc.cl
 	for _, i := range s.idx[s.delivered:] {
@@ -279,7 +292,7 @@ func (c *Client) readGetsReplicated(s *subBatch, keys []uint64, round int, last 
 				c.fallbackHits.Add(1)
 			}
 			if len(missedAt[i]) > 0 {
-				c.scheduleRepair(keys[i], resp.Version, resp.Value, missedAt[i])
+				c.scheduleRepair(keys[i], resp.Version, resp.Value, missedAt[i], bt)
 			}
 			s.nc.gets.Add(1)
 			s.delivered++
@@ -306,7 +319,7 @@ func (c *Client) readGetsReplicated(s *subBatch, keys []uint64, round int, last 
 // write failed while the key still met quorum are queued for background
 // repair, so a transiently dead node converges instead of staying stale.
 // Caller holds c.mu.RLock.
-func (c *Client) setBatchReplicated(keys []uint64, value func(i int) []byte) error {
+func (c *Client) setBatchReplicated(keys []uint64, bt batchTrace, value func(i int) []byte) error {
 	rf := c.effReplicas()
 	w := c.effQuorum(rf)
 	owners := make([][]string, len(keys))
@@ -332,7 +345,7 @@ func (c *Client) setBatchReplicated(keys []uint64, value func(i int) []byte) err
 	defer unlock()
 
 	for _, s := range subs {
-		s.err = s.enqueueSets(c.dial, keys, value)
+		s.err = s.enqueueSets(c.dial, keys, value, bt)
 	}
 	acks := make([]int, len(keys))
 	// vers[i] is the highest version any owner stored key i under; the
@@ -348,7 +361,7 @@ func (c *Client) setBatchReplicated(keys []uint64, value func(i int) []byte) err
 		if s.err != nil && s.delivered == 0 {
 			s.nc.drop()
 			s.nc.redials.Add(1)
-			if err := s.enqueueSets(c.dial, keys, value); err != nil {
+			if err := s.enqueueSets(c.dial, keys, value, bt); err != nil {
 				s.err = err
 			} else {
 				s.err = c.readSetsAcked(s, acks, vers)
@@ -374,7 +387,7 @@ func (c *Client) setBatchReplicated(keys []uint64, value func(i int) []byte) err
 	}
 	for i := range keys {
 		if failed != nil && len(failed[i]) > 0 {
-			c.scheduleRepair(keys[i], vers[i], value(i), failed[i])
+			c.scheduleRepair(keys[i], vers[i], value(i), failed[i], bt)
 		}
 	}
 	return nil

@@ -76,6 +76,16 @@ func (nc *nodeConn) withRetry(dial DialFunc, op func(cl *wire.Client) error) err
 	return nil
 }
 
+// batchTrace is one batch's trace context, handed down to the enqueue
+// helpers. The zero value means untraced: the requests go out in their
+// v5-identical form with no trace bytes. A traced batch stamps the same
+// context on every request of every sub-batch — fan-out is one logical
+// request, so it is one trace.
+type batchTrace struct {
+	tc     wire.TraceContext
+	traced bool
+}
+
 // subBatch is the slice of one batch owned by a single member.
 type subBatch struct {
 	nc        *nodeConn
@@ -113,14 +123,19 @@ func dropSubs(subs []*subBatch) {
 }
 
 // enqueueGets dials (if needed), pipelines the sub-batch's GETs and
-// flushes.
-func (s *subBatch) enqueueGets(dial DialFunc, keys []uint64) error {
+// flushes, stamping the batch's trace context on each when traced.
+func (s *subBatch) enqueueGets(dial DialFunc, keys []uint64, bt batchTrace) error {
 	cl, err := s.nc.client(dial)
 	if err != nil {
 		return err
 	}
 	for _, i := range s.idx {
-		if err := cl.EnqueueGet(keys[i]); err != nil {
+		if bt.traced {
+			err = cl.EnqueueGetTraced(keys[i], bt.tc)
+		} else {
+			err = cl.EnqueueGet(keys[i])
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -128,14 +143,19 @@ func (s *subBatch) enqueueGets(dial DialFunc, keys []uint64) error {
 }
 
 // enqueueSets dials (if needed), pipelines the sub-batch's SETs and
-// flushes.
-func (s *subBatch) enqueueSets(dial DialFunc, keys []uint64, value func(i int) []byte) error {
+// flushes, stamping the batch's trace context on each when traced.
+func (s *subBatch) enqueueSets(dial DialFunc, keys []uint64, value func(i int) []byte, bt batchTrace) error {
 	cl, err := s.nc.client(dial)
 	if err != nil {
 		return err
 	}
 	for _, i := range s.idx {
-		if err := cl.EnqueueSet(keys[i], value(i)); err != nil {
+		if bt.traced {
+			err = cl.EnqueueSetFlagsTraced(keys[i], 0, bt.tc, value(i))
+		} else {
+			err = cl.EnqueueSet(keys[i], value(i))
+		}
+		if err != nil {
 			return err
 		}
 	}

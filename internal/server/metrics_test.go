@@ -219,3 +219,198 @@ func TestRepairWaitHistogram(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestSpansAndHotKeys drives a mix of traced and untraced traffic at a
+// server and checks the v6 flight-recorder additions: only sampled
+// requests land in the span ring (with op, status, key hash, and the
+// propagated trace ID), and the hot-key sketches rank a planted hot key
+// first in its class while never spelling the raw key.
+func TestSpansAndHotKeys(t *testing.T) {
+	_, addr := startServer(t, concurrent.Config{Capacity: 256, Alpha: 4, Seed: 1})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const hotKey = 42
+	tc := wire.TraceContext{Flags: wire.TraceFlagSampled}
+	tc.ID[0] = 0xAB
+
+	// One sampled traced GET, one traced-but-unsampled GET, and a pile of
+	// untraced GETs skewed at the hot key.
+	if _, err := c.Set(hotKey, []byte("hot")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnqueueGetTraced(hotKey, tc); err != nil {
+		t.Fatal(err)
+	}
+	unsampled := wire.TraceContext{}
+	unsampled.ID[0] = 0xCD
+	if err := c.EnqueueGetTraced(hotKey, unsampled); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.ReadResponse(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		k := uint64(i % 10)
+		if i%2 == 0 {
+			k = hotKey
+		}
+		if _, _, err := c.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m, err := c.Metrics(wire.MetricsTraces | wire.MetricsHotKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Spans) != 1 {
+		t.Fatalf("span ring holds %d spans, want exactly the sampled request", len(m.Spans))
+	}
+	sp := m.Spans[0]
+	if sp.TraceID != telemetry.TraceID(tc.ID) {
+		t.Errorf("span trace ID = %s, want %s", sp.TraceID, telemetry.TraceID(tc.ID))
+	}
+	if sp.Op != byte(wire.OpGet) || sp.Status != byte(wire.StatusHit) {
+		t.Errorf("span op/status = %d/%d, want GET/HIT", sp.Op, sp.Status)
+	}
+	if sp.KeyHash != telemetry.HashKey(hotKey) {
+		t.Errorf("span key hash = %d, want scrambled %d", sp.KeyHash, telemetry.HashKey(hotKey))
+	}
+	if sp.DurationNanos == 0 || sp.UnixNanos == 0 {
+		t.Error("span lost its timing")
+	}
+
+	gets := m.HotClass(wire.HotGet)
+	if len(gets) == 0 {
+		t.Fatal("no GET hot-key entries after 200 GETs")
+	}
+	if gets[0].Key != telemetry.HashKey(hotKey) {
+		t.Errorf("hottest GET key = %d, want scrambled %d", gets[0].Key, telemetry.HashKey(hotKey))
+	}
+	for _, e := range gets {
+		if e.Key == hotKey {
+			t.Error("hot-key sketch stores the raw key, want a scrambled hash")
+		}
+	}
+	if sets := m.HotClass(wire.HotSet); len(sets) == 0 {
+		t.Error("the SET never reached its hot-key class")
+	}
+}
+
+// TestSlowOpTraceJoin pins the join the debugging walkthrough relies
+// on: a traced request that crosses the slow threshold leaves a slow-op
+// record carrying its trace ID, while untraced slow ops carry zero.
+func TestSlowOpTraceJoin(t *testing.T) {
+	srv, addr := startServer(t, concurrent.Config{Capacity: 64, Alpha: 4, Seed: 1})
+	srv.SetSlowOpThreshold(time.Nanosecond) // everything qualifies
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tc := wire.TraceContext{Flags: wire.TraceFlagSampled}
+	tc.ID[5] = 0x77
+	if err := c.EnqueueSetFlagsTraced(9, 0, tc, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadResponse(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(9); err != nil { // untraced slow op
+		t.Fatal(err)
+	}
+
+	m, err := c.Metrics(wire.MetricsSlowOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced, untraced bool
+	for _, r := range m.SlowOps {
+		switch {
+		case r.Op == byte(wire.OpSet) && r.TraceID == telemetry.TraceID(tc.ID):
+			traced = true
+		case r.Op == byte(wire.OpGet) && r.TraceID.IsZero():
+			untraced = true
+		}
+	}
+	if !traced {
+		t.Error("the traced SET's slow-op record lost its trace ID")
+	}
+	if !untraced {
+		t.Error("the untraced GET's slow-op record should carry a zero trace ID")
+	}
+}
+
+// TestRepairDrainSpan pins trace propagation across the async
+// maintenance queue: a sampled VERSIONED|ASYNC write records a span at
+// drain time that joins the originating trace ID and separates queue
+// wait from apply time.
+func TestRepairDrainSpan(t *testing.T) {
+	_, addr := startServer(t, concurrent.Config{Capacity: 256, Alpha: 4, Seed: 1})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tc := wire.TraceContext{Flags: wire.TraceFlagSampled}
+	tc.ID[1] = 0x44
+	flags := wire.SetFlagRepair | wire.SetFlagAsync
+	if err := c.EnqueueSetVersionedTraced(123, flags, 7, tc, []byte("r")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadResponse(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two spans must appear: the accept (the SET request itself) and the
+	// drain-time apply, both under the same trace ID, the drain one with
+	// a queue wait.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		m, err := c.Metrics(wire.MetricsTraces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accept, drain bool
+		for _, sp := range m.Spans {
+			if sp.TraceID != telemetry.TraceID(tc.ID) {
+				t.Fatalf("span with foreign trace ID %s", sp.TraceID)
+			}
+			if sp.Op != byte(wire.OpSet) {
+				t.Fatalf("span op = %d, want SET", sp.Op)
+			}
+			if sp.QueueWaitNanos == 0 {
+				accept = true
+			} else {
+				drain = true
+				if sp.KeyHash != telemetry.HashKey(123) {
+					t.Errorf("drain span key hash = %d, want scrambled %d", sp.KeyHash, telemetry.HashKey(123))
+				}
+			}
+		}
+		if accept && drain {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain span never appeared (accept=%v drain=%v, %d spans)", accept, drain, len(m.Spans))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -87,6 +87,12 @@ type repairWrite struct {
 	flags wire.SetFlags
 	ver   uint64
 	enq   time.Time
+
+	// traced/trace carry the originating request's trace context across
+	// the queue, so the drain-time apply of a sampled write still records
+	// a span joined to the request that caused it — queue wait included.
+	traced bool
+	trace  wire.TraceContext
 }
 
 // Server serves a concurrent.Cache over TCP.
@@ -143,6 +149,14 @@ type Server struct {
 	slowLog       *telemetry.SlowLog
 	slowThreshold atomic.Int64 // nanoseconds; ≤0 disables the slow-op log
 
+	// Tracing and hot-key attribution (protocol v6). spans retains one
+	// record per *sampled* traced request (plus drained async writes on a
+	// sampled trace's behalf); hotKeys holds one always-on space-saving
+	// sketch per traffic class, indexed by the wire hot-key class byte.
+	// Both record allocation-free, like the rest of the flight recorder.
+	spans   *telemetry.SpanRing
+	hotKeys [int(wire.HotEvict) + 1]*telemetry.TopK
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -159,6 +173,10 @@ func New(cache *concurrent.Cache) *Server {
 		repairStop: make(chan struct{}),
 		repairDone: make(chan struct{}),
 		slowLog:    telemetry.NewSlowLog(0),
+		spans:      telemetry.NewSpanRing(0),
+	}
+	for class := wire.HotGet; class <= wire.HotEvict; class++ {
+		s.hotKeys[class] = telemetry.NewTopK(0)
 	}
 	s.slowThreshold.Store(int64(DefaultSlowOpThreshold))
 	return s
@@ -337,6 +355,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		// never pollutes the histograms.
 		t0 := time.Now()
 		var ver uint64
+		status := wire.StatusKeys
 		if req.Op == wire.OpKeys {
 			// KEYS answers with a stream of chunk frames, not one response.
 			if err := s.streamKeys(w); err != nil {
@@ -346,11 +365,12 @@ func (s *Server) handleConn(conn net.Conn) {
 			resp := s.apply(req)
 			resp.Epoch = s.epoch.Load()
 			ver = resp.Version
+			status = resp.Status
 			if err := w.WriteResponse(resp); err != nil {
 				return
 			}
 		}
-		s.observe(req, ver, time.Since(t0))
+		s.observe(req, status, ver, time.Since(t0))
 		// Pipelining: only pay the syscall when the client has no more
 		// requests already buffered.
 		if r.Buffered() == 0 {
@@ -387,22 +407,45 @@ func (cw countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// observe records one request's service time into the per-op histogram
-// and, when it crossed the slow threshold, into the slow-op ring.
-func (s *Server) observe(req wire.Request, ver uint64, d time.Duration) {
+// observe records one request's service time into the per-op histogram,
+// its key into the op class's hot-key sketch, a span when the request
+// was sampled, and — when it crossed the slow threshold — a slow-op
+// record carrying the trace ID (all-zero when untraced).
+func (s *Server) observe(req wire.Request, status wire.Status, ver uint64, d time.Duration) {
 	op := int(req.Op)
 	if op <= 0 || op >= len(s.opHists) {
 		return // unknown op: answered with ERROR, nothing to attribute
 	}
 	s.opHists[op].Record(d)
+	var kh uint64
+	switch req.Op {
+	case wire.OpGet:
+		kh = telemetry.HashKey(req.Key)
+		s.hotKeys[wire.HotGet].Record(kh)
+	case wire.OpSet:
+		kh = telemetry.HashKey(req.Key)
+		// The SET class tracks user traffic; maintenance re-SETs of a key
+		// the cluster already ranked hot would double-count it.
+		if req.Flags&wire.SetFlagRepair == 0 {
+			s.hotKeys[wire.HotSet].Record(kh)
+		}
+	case wire.OpDel:
+		kh = telemetry.HashKey(req.Key)
+		s.hotKeys[wire.HotDel].Record(kh)
+	}
+	if req.Traced && req.Trace.Sampled() {
+		s.spans.Append(telemetry.Span{
+			Op:            byte(req.Op),
+			Status:        byte(status),
+			TraceID:       req.Trace.ID,
+			KeyHash:       kh,
+			DurationNanos: uint64(d),
+			UnixNanos:     uint64(time.Now().UnixNano()),
+		})
+	}
 	thr := s.slowThreshold.Load()
 	if thr <= 0 || int64(d) < thr {
 		return
-	}
-	var kh uint64
-	switch req.Op {
-	case wire.OpGet, wire.OpSet, wire.OpDel:
-		kh = telemetry.HashKey(req.Key)
 	}
 	s.slowLog.Append(telemetry.SlowOp{
 		Op:            byte(req.Op),
@@ -410,6 +453,7 @@ func (s *Server) observe(req wire.Request, ver uint64, d time.Duration) {
 		DurationNanos: uint64(d),
 		Version:       ver,
 		UnixNanos:     uint64(time.Now().UnixNano()),
+		TraceID:       req.Trace.ID,
 	})
 }
 
@@ -438,6 +482,16 @@ func (s *Server) MetricsSnapshot(flags wire.MetricsFlags) *wire.Metrics {
 	}
 	if flags&wire.MetricsSlowOps != 0 {
 		m.SlowOps = s.slowLog.Snapshot()
+	}
+	if flags&wire.MetricsTraces != 0 {
+		m.Spans = s.spans.Snapshot()
+	}
+	if flags&wire.MetricsHotKeys != 0 {
+		for class := wire.HotGet; class <= wire.HotEvict; class++ {
+			if snap := s.hotKeys[class].Snapshot(); len(snap) > 0 {
+				m.HotKeys = append(m.HotKeys, wire.HotKeyClass{Class: class, Keys: snap.Top(wire.MaxHotKeys)})
+			}
+		}
 	}
 	return m
 }
@@ -501,7 +555,10 @@ func (s *Server) apply(req wire.Request) wire.Response {
 			// request path. Eviction and the version outcome are unknowable
 			// here; a VERSIONED write rejected at drain time still counts in
 			// StaleRepairs.
-			s.enqueueRepair(repairWrite{key: req.Key, val: val, flags: req.Flags, ver: req.Version, enq: time.Now()})
+			s.enqueueRepair(repairWrite{
+				key: req.Key, val: val, flags: req.Flags, ver: req.Version, enq: time.Now(),
+				traced: req.Traced, trace: req.Trace,
+			})
 			return wire.Response{Status: wire.StatusOK}
 		}
 		applied, ver, evicted := s.store(req.Key, req.Flags, req.Version, val)
@@ -569,6 +626,12 @@ func (s *Server) store(key uint64, flags wire.SetFlags, reqVer uint64, val []byt
 		s.staleRepairs.Add(1)
 		return false, ver, false
 	}
+	if evicted {
+		// Conflict-pressure attribution: the EVICT class ranks keys whose
+		// writes displace residents, the observable proxy for bucket
+		// conflict pressure (the α tradeoff, seen per key).
+		s.hotKeys[wire.HotEvict].Record(telemetry.HashKey(key))
+	}
 	return true, ver, evicted
 }
 
@@ -626,19 +689,44 @@ func (s *Server) repairLoop(ch chan repairWrite) {
 	for {
 		select {
 		case w := <-ch:
-			s.repairWait.Record(time.Since(w.enq))
-			s.store(w.key, w.flags, w.ver, w.val)
+			s.drainRepair(w)
 		case <-s.repairStop:
 			for {
 				select {
 				case w := <-ch:
-					s.repairWait.Record(time.Since(w.enq))
-					s.store(w.key, w.flags, w.ver, w.val)
+					s.drainRepair(w)
 				default:
 					return
 				}
 			}
 		}
+	}
+}
+
+// drainRepair applies one queued async maintenance write. When the
+// originating request was sampled, the apply records a span joined to
+// that request's trace ID, with QueueWaitNanos separating time spent
+// sitting in the queue from the apply itself — the deferred half of a
+// traced write's cluster-wide path.
+func (s *Server) drainRepair(w repairWrite) {
+	wait := time.Since(w.enq)
+	s.repairWait.Record(wait)
+	t0 := time.Now()
+	applied, _, _ := s.store(w.key, w.flags, w.ver, w.val)
+	if w.traced && w.trace.Sampled() {
+		status := wire.StatusOK
+		if !applied {
+			status = wire.StatusVersionStale
+		}
+		s.spans.Append(telemetry.Span{
+			Op:             byte(wire.OpSet),
+			Status:         byte(status),
+			TraceID:        w.trace.ID,
+			KeyHash:        telemetry.HashKey(w.key),
+			QueueWaitNanos: uint64(wait),
+			DurationNanos:  uint64(time.Since(t0)),
+			UnixNanos:      uint64(time.Now().UnixNano()),
+		})
 	}
 }
 

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSpanRing pins ring semantics: partial fill, wrap, oldest-first
+// snapshots, total counting, default sizing.
+func TestSpanRing(t *testing.T) {
+	r := NewSpanRing(4)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("fresh ring holds %d spans", len(got))
+	}
+	for i := 1; i <= 3; i++ {
+		r.Append(Span{Op: byte(i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 3 || got[0].Op != 1 || got[2].Op != 3 {
+		t.Fatalf("partial ring snapshot = %+v", got)
+	}
+	for i := 4; i <= 10; i++ {
+		r.Append(Span{Op: byte(i)})
+	}
+	got = r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("full ring holds %d, want 4", len(got))
+	}
+	for i, s := range got {
+		if want := byte(7 + i); s.Op != want {
+			t.Fatalf("ring[%d].Op = %d, want %d", i, s.Op, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if NewSpanRing(0).Cap() != DefaultSpanRingSize {
+		t.Fatal("NewSpanRing(0) must default the capacity")
+	}
+}
+
+// TestSpanRingRace is the satellite-required -race test: concurrent
+// appenders and snapshotters, then an exact total check.
+func TestSpanRingRace(t *testing.T) {
+	r := NewSpanRing(64)
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if s := r.Snapshot(); len(s) > r.Cap() {
+					t.Error("snapshot larger than capacity")
+					return
+				}
+			}
+		}
+	}()
+	var aw sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		aw.Add(1)
+		go func(w int) {
+			defer aw.Done()
+			var id TraceID
+			id[0] = byte(w)
+			for i := 0; i < per; i++ {
+				r.Append(Span{Op: 1, TraceID: id, DurationNanos: uint64(i)})
+			}
+		}(w)
+	}
+	aw.Wait()
+	close(stop)
+	wg.Wait()
+	if r.Total() != workers*per {
+		t.Fatalf("Total = %d, want %d", r.Total(), workers*per)
+	}
+}
+
+// TestSpanRingZeroAllocs: sampled-span recording must not allocate.
+func TestSpanRingZeroAllocs(t *testing.T) {
+	r := NewSpanRing(64)
+	s := Span{Op: 1, TraceID: TraceID{1, 2, 3}, KeyHash: 9, DurationNanos: 100}
+	if n := testing.AllocsPerRun(1000, func() { r.Append(s) }); n != 0 {
+		t.Fatalf("SpanRing.Append allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestTraceID pins the zero test and hex rendering used to join IDs
+// across nodes.
+func TestTraceID(t *testing.T) {
+	var z TraceID
+	if !z.IsZero() {
+		t.Error("zero TraceID not IsZero")
+	}
+	id := TraceID{0xab, 0x01}
+	if id.IsZero() {
+		t.Error("nonzero TraceID reports IsZero")
+	}
+	if got := id.String(); got != "ab010000000000000000000000000000" {
+		t.Errorf("String = %q", got)
+	}
+}

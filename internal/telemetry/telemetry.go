@@ -7,7 +7,7 @@
 // The design constraints, in order:
 //
 //   - Recording must be lock-free and allocation-free. Histogram.Record is
-//     a bucket-index computation plus two atomic adds; Counter.Add and
+//     a bucket-index computation plus one atomic add; Counter.Add and
 //     HighWater.Set are one or two atomics. A test pins 0 allocs/op and CI
 //     fails on regression (cmd/benchrun).
 //   - Snapshots must be mergeable: the cluster router fans METRICS out to
@@ -120,7 +120,6 @@ func bucketMid(i int) uint64 {
 // returns a weakly consistent copy.
 type Histogram struct {
 	counts [NumBuckets]atomic.Uint64
-	sum    atomic.Uint64 // total recorded nanoseconds
 }
 
 // Record adds one duration sample. Negative durations clamp to zero.
@@ -131,10 +130,12 @@ func (h *Histogram) Record(d time.Duration) {
 	h.RecordNanos(uint64(d))
 }
 
-// RecordNanos adds one sample of ns nanoseconds.
+// RecordNanos adds one sample of ns nanoseconds. It is a single atomic
+// add — the sample's sum contribution is reconstructed from the bucket
+// midpoint at snapshot time, trading exact means for half the hot-path
+// cost (the overhead budget cmd/benchrun enforces against GET p50).
 func (h *Histogram) RecordNanos(ns uint64) {
 	h.counts[bucketIndex(ns)].Add(1)
-	h.sum.Add(ns)
 }
 
 // Snapshot copies the histogram's current state. It is weakly consistent
@@ -146,15 +147,18 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		if n := h.counts[i].Load(); n != 0 {
 			s.Buckets[i] = n
 			s.Count += n
+			s.Sum += n * bucketMid(i)
 		}
 	}
-	s.Sum = h.sum.Load()
 	return s
 }
 
 // HistogramSnapshot is a point-in-time copy of a Histogram, the mergeable
 // unit the METRICS wire payload carries. Count is the total sample count
-// (always the sum of Buckets) and Sum the total recorded nanoseconds.
+// (always the sum of Buckets) and Sum the total recorded nanoseconds
+// reconstructed from bucket midpoints (relative error ≤ 1/SubBuckets, the
+// same bound as quantiles — the recorder does not keep an exact sum so
+// that RecordNanos stays a single atomic add).
 type HistogramSnapshot struct {
 	Count   uint64
 	Sum     uint64
@@ -203,8 +207,8 @@ func (s *HistogramSnapshot) Quantile(p float64) time.Duration {
 	return 0
 }
 
-// Mean returns the arithmetic mean of the recorded samples (exact: it is
-// derived from the running Sum, not from bucket midpoints).
+// Mean returns the arithmetic mean of the recorded samples, derived from
+// the bucket-midpoint Sum (relative error ≤ 1/SubBuckets).
 func (s *HistogramSnapshot) Mean() time.Duration {
 	if s.Count == 0 {
 		return 0
@@ -263,6 +267,10 @@ type SlowOp struct {
 	Version uint64
 	// UnixNanos is the wall-clock completion time.
 	UnixNanos uint64
+	// TraceID is the originating request's trace ID when the slow op was
+	// traced (wire v6 trace context); all-zero otherwise. It is what joins
+	// a slow op on one node to the cluster-side spans that caused it.
+	TraceID TraceID
 }
 
 // Duration returns the service time as a time.Duration.

@@ -99,6 +99,34 @@ func (c *Client) EnqueueDel(key uint64) error {
 	return c.w.WriteRequest(Request{Op: OpDel, Key: key})
 }
 
+// EnqueueGetTraced is EnqueueGet with a trace context attached (v6): the
+// server propagates tc into its telemetry for this request, recording a
+// span when tc is sampled.
+func (c *Client) EnqueueGetTraced(key uint64, tc TraceContext) error {
+	return c.w.WriteRequest(Request{Op: OpGet, Key: key, Trace: tc, Traced: true})
+}
+
+// EnqueueSetFlagsTraced is EnqueueSetFlags with a trace context attached.
+func (c *Client) EnqueueSetFlagsTraced(key uint64, flags SetFlags, tc TraceContext, value []byte) error {
+	return c.w.WriteRequest(Request{Op: OpSet, Key: key, Flags: flags, Trace: tc, Traced: true, Value: value})
+}
+
+// EnqueueSetVersionedTraced is EnqueueSetVersioned with a trace context
+// attached; for ASYNC writes the context rides the server's repair queue
+// and is recorded when the entry drains, so the span's queue wait names
+// the originating request even seconds later.
+func (c *Client) EnqueueSetVersionedTraced(key uint64, flags SetFlags, version uint64, tc TraceContext, value []byte) error {
+	return c.w.WriteRequest(Request{
+		Op: OpSet, Key: key, Flags: flags | SetFlagVersioned, Version: version,
+		Trace: tc, Traced: true, Value: value,
+	})
+}
+
+// EnqueueDelTraced is EnqueueDel with a trace context attached.
+func (c *Client) EnqueueDelTraced(key uint64, tc TraceContext) error {
+	return c.w.WriteRequest(Request{Op: OpDel, Key: key, Trace: tc, Traced: true})
+}
+
 // Flush sends all buffered requests.
 func (c *Client) Flush() error { return c.w.Flush() }
 
@@ -192,9 +220,46 @@ func (c *Client) SetVersioned(key uint64, flags SetFlags, version uint64, value 
 	}
 }
 
+// SetVersionedTraced is SetVersioned with a trace context attached — the
+// synchronous form the cluster's repair applier uses so the repair write
+// carries its originating request's trace end to end.
+func (c *Client) SetVersionedTraced(key uint64, flags SetFlags, version uint64, tc TraceContext, value []byte) (applied bool, stored uint64, err error) {
+	resp, err := c.roundTrip(Request{
+		Op: OpSet, Key: key, Flags: flags | SetFlagVersioned, Version: version,
+		Trace: tc, Traced: true, Value: value,
+	})
+	if err != nil {
+		return false, 0, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return true, resp.Version, nil
+	case StatusVersionStale:
+		return false, resp.Version, nil
+	default:
+		return false, 0, fmt.Errorf("wire: unexpected VERSIONED SET response %v", resp.Status)
+	}
+}
+
 // Del removes key, reporting whether it was present.
 func (c *Client) Del(key uint64) (bool, error) {
 	resp, err := c.roundTrip(Request{Op: OpDel, Key: key})
+	if err != nil {
+		return false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return true, nil
+	case StatusMiss:
+		return false, nil
+	default:
+		return false, fmt.Errorf("wire: unexpected DEL response %v", resp.Status)
+	}
+}
+
+// DelTraced is Del with a trace context attached.
+func (c *Client) DelTraced(key uint64, tc TraceContext) (bool, error) {
+	resp, err := c.roundTrip(Request{Op: OpDel, Key: key, Trace: tc, Traced: true})
 	if err != nil {
 		return false, err
 	}

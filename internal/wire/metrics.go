@@ -1,12 +1,16 @@
 package wire
 
-// METRICS (v5): the flight-recorder op. A METRICS request carries one
-// detail-flag byte selecting payload sections — histograms, counters,
-// slow ops — and the response carries exactly the selected sections, so a
-// dashboard polling counters every second does not drag kilobytes of
-// histogram buckets along. Histograms travel sparse (only occupied
-// buckets), in telemetry's log-linear bucket scheme, and merge losslessly
-// across nodes: the cluster router's Metrics() is bucket-wise addition.
+// METRICS (v5, extended in v6): the flight-recorder op. A METRICS request
+// carries one detail-flag byte selecting payload sections — histograms,
+// counters, slow ops, traces, hot keys — and the response carries exactly
+// the selected sections, so a dashboard polling counters every second
+// does not drag kilobytes of histogram buckets along. Histograms travel
+// sparse (only occupied buckets), in telemetry's log-linear bucket
+// scheme, and merge losslessly across nodes: the cluster router's
+// Metrics() is bucket-wise addition. The v6 sections are mergeable too:
+// hot-key sketches union (telemetry.TopKSnapshot.Merge) and spans
+// concatenate, grouped by trace ID, into the cluster-wide view of each
+// traced request.
 
 import (
 	"encoding/binary"
@@ -30,9 +34,17 @@ const (
 	MetricsCounters MetricsFlags = 1 << 1
 	// MetricsSlowOps selects the slow-op ring contents, oldest first.
 	MetricsSlowOps MetricsFlags = 1 << 2
+	// MetricsTraces selects the sampled-span ring (v6), oldest first:
+	// one record per sampled traced request the server observed,
+	// including writes applied from the async repair queue.
+	MetricsTraces MetricsFlags = 1 << 3
+	// MetricsHotKeys selects the per-op-class hot-key sketches (v6):
+	// space-saving top-K summaries of which (scrambled) keys each op
+	// class touched, plus the keys whose SETs displaced residents.
+	MetricsHotKeys MetricsFlags = 1 << 4
 
 	// MetricsAll selects every section.
-	MetricsAll = MetricsHistograms | MetricsCounters | MetricsSlowOps
+	MetricsAll = MetricsHistograms | MetricsCounters | MetricsSlowOps | MetricsTraces | MetricsHotKeys
 
 	metricsFlagsDefined = MetricsAll
 )
@@ -107,6 +119,66 @@ func CounterName(id byte) string {
 // real ring (telemetry.DefaultSlowLogSize is 256).
 const MaxSlowOps = 4096
 
+// MaxSpans bounds the TRACES section of one METRICS response; it
+// comfortably exceeds any real ring (telemetry.DefaultSpanRingSize is
+// 1024).
+const MaxSpans = 8192
+
+// MaxHotKeys bounds one class of the HOTKEYS section; it comfortably
+// exceeds any real sketch (telemetry.DefaultTopKCapacity is 512).
+const MaxHotKeys = 8192
+
+// spanRecLen is the encoded size of one TRACES record: op and status
+// bytes, 16-byte trace ID, then key hash, queue wait, duration and
+// completion time as uint64s.
+const spanRecLen = 1 + 1 + 16 + 8 + 8 + 8 + 8
+
+// slowOpRecLen is the encoded size of one slow-op record: the op byte,
+// key hash, duration, version and completion time, then (v6) the 16-byte
+// trace ID.
+const slowOpRecLen = 1 + 8 + 8 + 8 + 8 + 16
+
+// Hot-key class IDs: which op class a HOTKEYS sketch counts.
+const (
+	// HotGet counts keys by GET traffic.
+	HotGet byte = 1
+	// HotSet counts keys by user SET traffic.
+	HotSet byte = 2
+	// HotDel counts keys by DEL traffic.
+	HotDel byte = 3
+	// HotEvict counts keys whose SET displaced a resident entry — the
+	// conflict-pressure signal: under a set-associative cache these are
+	// the keys crowding others out of their buckets.
+	HotEvict byte = 4
+
+	hotClassMax = HotEvict
+)
+
+// HotClassName names a hot-key class ID for display.
+func HotClassName(id byte) string {
+	switch id {
+	case HotGet:
+		return "GET"
+	case HotSet:
+		return "SET"
+	case HotDel:
+		return "DEL"
+	case HotEvict:
+		return "EVICT"
+	default:
+		return fmt.Sprintf("HotClass(%d)", id)
+	}
+}
+
+// HotKeyClass is one class's sketch in a HOTKEYS section.
+type HotKeyClass struct {
+	// Class is the hot-key class ID (HotGet … HotEvict).
+	Class byte
+	// Keys is the sketch snapshot, hottest first; keys are scrambled
+	// (telemetry.HashKey), matching slow-op and span key hashes.
+	Keys telemetry.TopKSnapshot
+}
+
 // OpHist is one histogram in a METRICS payload: an ID plus the dense
 // snapshot (the sparse wire form is an encoding detail).
 type OpHist struct {
@@ -131,6 +203,11 @@ type Metrics struct {
 	Counters []MetricCounter
 	// SlowOps is the retained slow-op ring, oldest first.
 	SlowOps []telemetry.SlowOp
+	// Spans is the retained sampled-span ring, oldest first (TRACES).
+	Spans []telemetry.Span
+	// HotKeys are the per-class hot-key sketches, in ascending class ID
+	// order (HOTKEYS).
+	HotKeys []HotKeyClass
 }
 
 // Hist returns the histogram with the given ID, or nil.
@@ -151,6 +228,16 @@ func (m *Metrics) Counter(id byte) uint64 {
 		}
 	}
 	return 0
+}
+
+// HotClass returns the hot-key sketch for the given class ID, or nil.
+func (m *Metrics) HotClass(class byte) telemetry.TopKSnapshot {
+	for _, hc := range m.HotKeys {
+		if hc.Class == class {
+			return hc.Keys
+		}
+	}
+	return nil
 }
 
 // appendMetrics encodes m: the echoed flag byte, then each selected
@@ -208,6 +295,48 @@ func appendMetrics(body []byte, m *Metrics) ([]byte, error) {
 			body = binary.LittleEndian.AppendUint64(body, r.DurationNanos)
 			body = binary.LittleEndian.AppendUint64(body, r.Version)
 			body = binary.LittleEndian.AppendUint64(body, r.UnixNanos)
+			body = append(body, r.TraceID[:]...)
+		}
+	}
+	if m.Flags&MetricsTraces != 0 {
+		if len(m.Spans) > MaxSpans {
+			return nil, fmt.Errorf("wire: METRICS trace section %d spans, max %d", len(m.Spans), MaxSpans)
+		}
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(m.Spans)))
+		for _, s := range m.Spans {
+			if s.TraceID.IsZero() {
+				return nil, fmt.Errorf("wire: METRICS span with a zero trace ID")
+			}
+			body = append(body, s.Op, s.Status)
+			body = append(body, s.TraceID[:]...)
+			body = binary.LittleEndian.AppendUint64(body, s.KeyHash)
+			body = binary.LittleEndian.AppendUint64(body, s.QueueWaitNanos)
+			body = binary.LittleEndian.AppendUint64(body, s.DurationNanos)
+			body = binary.LittleEndian.AppendUint64(body, s.UnixNanos)
+		}
+	}
+	if m.Flags&MetricsHotKeys != 0 {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(m.HotKeys)))
+		prevClass := byte(0)
+		for _, hc := range m.HotKeys {
+			if hc.Class == 0 || hc.Class > hotClassMax {
+				return nil, fmt.Errorf("wire: METRICS hot-key class %d undefined", hc.Class)
+			}
+			if hc.Class <= prevClass {
+				return nil, fmt.Errorf("wire: METRICS hot-key classes not ascending at %s", HotClassName(hc.Class))
+			}
+			prevClass = hc.Class
+			if len(hc.Keys) > MaxHotKeys {
+				return nil, fmt.Errorf("wire: METRICS hot-key class %s %d entries, max %d",
+					HotClassName(hc.Class), len(hc.Keys), MaxHotKeys)
+			}
+			body = append(body, hc.Class)
+			body = binary.LittleEndian.AppendUint32(body, uint32(len(hc.Keys)))
+			for _, e := range hc.Keys {
+				body = binary.LittleEndian.AppendUint64(body, e.Key)
+				body = binary.LittleEndian.AppendUint64(body, e.Count)
+				body = binary.LittleEndian.AppendUint64(body, e.Err)
+			}
 		}
 	}
 	return body, nil
@@ -316,7 +445,7 @@ func parseMetrics(body []byte) (*Metrics, error) {
 		if ns > MaxSlowOps {
 			return nil, fmt.Errorf("wire: METRICS claims %d slow ops, max %d", ns, MaxSlowOps)
 		}
-		if len(body) < 33*ns {
+		if len(body) < slowOpRecLen*ns {
 			return nil, fmt.Errorf("wire: METRICS slow-op records truncated")
 		}
 		m.SlowOps = make([]telemetry.SlowOp, ns)
@@ -328,7 +457,83 @@ func parseMetrics(body []byte) (*Metrics, error) {
 				Version:       binary.LittleEndian.Uint64(body[17:]),
 				UnixNanos:     binary.LittleEndian.Uint64(body[25:]),
 			}
-			body = body[33:]
+			copy(m.SlowOps[i].TraceID[:], body[33:])
+			body = body[slowOpRecLen:]
+		}
+	}
+	if m.Flags&MetricsTraces != 0 {
+		ns, err := u32("trace")
+		if err != nil {
+			return nil, err
+		}
+		if ns > MaxSpans {
+			return nil, fmt.Errorf("wire: METRICS claims %d spans, max %d", ns, MaxSpans)
+		}
+		if len(body) < spanRecLen*ns {
+			return nil, fmt.Errorf("wire: METRICS span records truncated")
+		}
+		m.Spans = make([]telemetry.Span, ns)
+		for i := range m.Spans {
+			s := &m.Spans[i]
+			s.Op = body[0]
+			s.Status = body[1]
+			copy(s.TraceID[:], body[2:])
+			s.KeyHash = binary.LittleEndian.Uint64(body[18:])
+			s.QueueWaitNanos = binary.LittleEndian.Uint64(body[26:])
+			s.DurationNanos = binary.LittleEndian.Uint64(body[34:])
+			s.UnixNanos = binary.LittleEndian.Uint64(body[42:])
+			if s.TraceID.IsZero() {
+				return nil, fmt.Errorf("wire: METRICS span %d has a zero trace ID", i)
+			}
+			body = body[spanRecLen:]
+		}
+	}
+	if m.Flags&MetricsHotKeys != 0 {
+		nc, err := u32("hot-key")
+		if err != nil {
+			return nil, err
+		}
+		if nc > int(hotClassMax) {
+			return nil, fmt.Errorf("wire: METRICS claims %d hot-key classes, max %d", nc, hotClassMax)
+		}
+		m.HotKeys = make([]HotKeyClass, nc)
+		for i := range m.HotKeys {
+			if len(body) < 5 {
+				return nil, fmt.Errorf("wire: METRICS hot-key class %d truncated", i)
+			}
+			class := body[0]
+			if class == 0 || class > hotClassMax {
+				return nil, fmt.Errorf("wire: METRICS hot-key class %d undefined", class)
+			}
+			if i > 0 && class <= m.HotKeys[i-1].Class {
+				return nil, fmt.Errorf("wire: METRICS hot-key classes not ascending at %s", HotClassName(class))
+			}
+			ne := int(binary.LittleEndian.Uint32(body[1:]))
+			body = body[5:]
+			if ne > MaxHotKeys {
+				return nil, fmt.Errorf("wire: METRICS hot-key class %s claims %d entries, max %d",
+					HotClassName(class), ne, MaxHotKeys)
+			}
+			if len(body) < 24*ne {
+				return nil, fmt.Errorf("wire: METRICS hot-key class %s entries truncated", HotClassName(class))
+			}
+			keys := make(telemetry.TopKSnapshot, ne)
+			for j := range keys {
+				keys[j] = telemetry.TopKEntry{
+					Key:   binary.LittleEndian.Uint64(body),
+					Count: binary.LittleEndian.Uint64(body[8:]),
+					Err:   binary.LittleEndian.Uint64(body[16:]),
+				}
+				if j > 0 {
+					prev := keys[j-1]
+					if keys[j].Count > prev.Count || (keys[j].Count == prev.Count && keys[j].Key <= prev.Key) {
+						return nil, fmt.Errorf("wire: METRICS hot-key class %s entries not in canonical order at %d",
+							HotClassName(class), j)
+					}
+				}
+				body = body[24:]
+			}
+			m.HotKeys[i] = HotKeyClass{Class: class, Keys: keys}
 		}
 	}
 	if len(body) != 0 {

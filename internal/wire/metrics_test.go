@@ -32,8 +32,21 @@ func sampleMetrics() *Metrics {
 			{ID: CounterConns, Value: 9},
 		},
 		SlowOps: []telemetry.SlowOp{
-			{Op: byte(OpGet), KeyHash: telemetry.HashKey(42), DurationNanos: 5e6, Version: 3, UnixNanos: 1700000000e9},
-			{Op: byte(OpSet), KeyHash: telemetry.HashKey(7), DurationNanos: 9e6, Version: 8, UnixNanos: 1700000001e9},
+			{Op: byte(OpGet), KeyHash: telemetry.HashKey(42), DurationNanos: 5e6, Version: 3, UnixNanos: 1700000000e9, TraceID: testTraceID(9)},
+			{Op: byte(OpSet), KeyHash: telemetry.HashKey(7), DurationNanos: 9e6, Version: 8, UnixNanos: 1700000001e9}, // untraced: zero ID
+		},
+		Spans: []telemetry.Span{
+			{Op: byte(OpGet), Status: byte(StatusHit), TraceID: testTraceID(9), KeyHash: telemetry.HashKey(42), DurationNanos: 5e6, UnixNanos: 1700000000e9},
+			{Op: byte(OpSet), Status: byte(StatusOK), TraceID: testTraceID(9), KeyHash: telemetry.HashKey(42), QueueWaitNanos: 2e9, DurationNanos: 1e3, UnixNanos: 1700000002e9},
+		},
+		HotKeys: []HotKeyClass{
+			{Class: HotGet, Keys: telemetry.TopKSnapshot{
+				{Key: telemetry.HashKey(42), Count: 900, Err: 3},
+				{Key: telemetry.HashKey(7), Count: 100, Err: 3},
+			}},
+			{Class: HotEvict, Keys: telemetry.TopKSnapshot{
+				{Key: telemetry.HashKey(7), Count: 12, Err: 0},
+			}},
 		},
 	}
 }
@@ -114,6 +127,16 @@ func TestMetricsRoundTrip(t *testing.T) {
 				t.Fatalf("response %d slow ops = %+v, want %+v", i, got.Metrics.SlowOps, want.Metrics.SlowOps)
 			}
 		}
+		if len(got.Metrics.Spans) != 0 || len(want.Metrics.Spans) != 0 {
+			if !reflect.DeepEqual(got.Metrics.Spans, want.Metrics.Spans) {
+				t.Fatalf("response %d spans = %+v, want %+v", i, got.Metrics.Spans, want.Metrics.Spans)
+			}
+		}
+		if len(got.Metrics.HotKeys) != 0 || len(want.Metrics.HotKeys) != 0 {
+			if !reflect.DeepEqual(got.Metrics.HotKeys, want.Metrics.HotKeys) {
+				t.Fatalf("response %d hot keys = %+v, want %+v", i, got.Metrics.HotKeys, want.Metrics.HotKeys)
+			}
+		}
 	}
 
 	// Accessors on the full payload.
@@ -123,6 +146,9 @@ func TestMetricsRoundTrip(t *testing.T) {
 	}
 	if m.Counter(CounterBytesIn) != 1<<40 || m.Counter(250) != 0 {
 		t.Error("Counter accessor wrong")
+	}
+	if m.HotClass(HotGet) == nil || m.HotClass(HotEvict) == nil || m.HotClass(HotDel) != nil {
+		t.Error("HotClass accessor wrong")
 	}
 }
 
@@ -151,7 +177,7 @@ func TestMetricsRequestRejected(t *testing.T) {
 	if _, err := frame([]byte{byte(OpMetrics), 0}).ReadRequest(); err == nil {
 		t.Error("METRICS request selecting no section accepted")
 	}
-	if _, err := frame([]byte{byte(OpMetrics), 0x09}).ReadRequest(); err == nil {
+	if _, err := frame([]byte{byte(OpMetrics), 0x21}).ReadRequest(); err == nil {
 		t.Error("METRICS request with undefined flag bits accepted")
 	}
 	if _, err := frame([]byte{byte(OpMetrics), byte(MetricsAll), 0}).ReadRequest(); err == nil {
@@ -252,6 +278,75 @@ func TestMetricsPayloadRejected(t *testing.T) {
 	// Encoder must refuse an oversized ring outright.
 	if _, err := appendMetrics(nil, &Metrics{Flags: MetricsSlowOps, SlowOps: make([]telemetry.SlowOp, MaxSlowOps+1)}); err == nil {
 		t.Error("encoder accepted an oversize slow-op section")
+	}
+
+	// TRACES: a span record must carry a non-zero trace ID. Spans-only
+	// payload: count uint32 at payload+1, first record right after; the
+	// trace ID sits at record offset 2 (op 1 + status 1).
+	rawT := encode(&Metrics{Flags: MetricsTraces, Spans: []telemetry.Span{{Op: 1, TraceID: testTraceID(1)}}})
+	mut = append([]byte(nil), rawT...)
+	for i := 0; i < 16; i++ {
+		mut[payload+1+4+2+i] = 0
+	}
+	reject("zero span trace ID", mut)
+
+	// Span count larger than the delivered records.
+	mut = append([]byte(nil), rawT...)
+	binary.LittleEndian.PutUint32(mut[payload+1:], 2)
+	reject("truncated span records", mut)
+
+	// Span count over MaxSpans.
+	mut = append([]byte(nil), rawT...)
+	binary.LittleEndian.PutUint32(mut[payload+1:], MaxSpans+1)
+	reject("span count over MaxSpans", mut)
+
+	if _, err := appendMetrics(nil, &Metrics{Flags: MetricsTraces, Spans: make([]telemetry.Span, MaxSpans+1)}); err == nil {
+		t.Error("encoder accepted an oversize span section")
+	}
+	if _, err := appendMetrics(nil, &Metrics{Flags: MetricsTraces, Spans: []telemetry.Span{{Op: 1}}}); err == nil {
+		t.Error("encoder accepted a span with a zero trace ID")
+	}
+
+	// HOTKEYS: hot-keys-only payload: class count uint32 at payload+1,
+	// then class byte, entry count uint32, entries.
+	rawH := encode(&Metrics{Flags: MetricsHotKeys, HotKeys: []HotKeyClass{
+		{Class: HotGet, Keys: telemetry.TopKSnapshot{{Key: 5, Count: 10, Err: 1}, {Key: 9, Count: 4, Err: 0}}},
+	}})
+	mut = append([]byte(nil), rawH...)
+	mut[payload+1+4] = 0
+	reject("hot-key class zero", mut)
+
+	mut = append([]byte(nil), rawH...)
+	mut[payload+1+4] = hotClassMax + 1
+	reject("hot-key class out of range", mut)
+
+	// Entry count over MaxHotKeys.
+	mut = append([]byte(nil), rawH...)
+	binary.LittleEndian.PutUint32(mut[payload+1+4+1:], MaxHotKeys+1)
+	reject("hot-key entry count over MaxHotKeys", mut)
+
+	// Entry count larger than the delivered entries.
+	mut = append([]byte(nil), rawH...)
+	binary.LittleEndian.PutUint32(mut[payload+1+4+1:], 3)
+	reject("truncated hot-key entries", mut)
+
+	// Non-canonical entry order: swap the counts so the second entry
+	// outranks the first.
+	mut = append([]byte(nil), rawH...)
+	binary.LittleEndian.PutUint64(mut[payload+1+4+1+4+8:], 4)
+	binary.LittleEndian.PutUint64(mut[payload+1+4+1+4+24+8:], 10)
+	reject("non-canonical hot-key order", mut)
+
+	// Non-ascending classes round-trip through the encoder's own check.
+	if _, err := appendMetrics(nil, &Metrics{Flags: MetricsHotKeys, HotKeys: []HotKeyClass{
+		{Class: HotSet}, {Class: HotGet},
+	}}); err == nil {
+		t.Error("encoder accepted non-ascending hot-key classes")
+	}
+	if _, err := appendMetrics(nil, &Metrics{Flags: MetricsHotKeys, HotKeys: []HotKeyClass{
+		{Class: HotGet, Keys: make(telemetry.TopKSnapshot, MaxHotKeys+1)},
+	}}); err == nil {
+		t.Error("encoder accepted an oversize hot-key section")
 	}
 }
 

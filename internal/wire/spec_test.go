@@ -204,6 +204,8 @@ func TestSpecMetricsFlags(t *testing.T) {
 		{"HISTOGRAMS", MetricsHistograms},
 		{"COUNTERS", MetricsCounters},
 		{"SLOW_OPS", MetricsSlowOps},
+		{"TRACES", MetricsTraces},
+		{"HOTKEYS", MetricsHotKeys},
 	} {
 		row := regexp.MustCompile(`\|\s*` + f.name + `\s*\|\s*0x([0-9a-fA-F]+)\s*\|`).FindStringSubmatch(section)
 		if row == nil {
@@ -214,7 +216,7 @@ func TestSpecMetricsFlags(t *testing.T) {
 			t.Errorf("spec %s = 0x%s, implementation %#02x", f.name, row[1], byte(f.impl))
 		}
 	}
-	if metricsFlagsDefined != MetricsHistograms|MetricsCounters|MetricsSlowOps {
+	if metricsFlagsDefined != MetricsHistograms|MetricsCounters|MetricsSlowOps|MetricsTraces|MetricsHotKeys {
 		t.Error("metricsFlagsDefined grew; document the new flag bit in ARCHITECTURE.md and extend this test")
 	}
 }
@@ -252,6 +254,12 @@ func TestSpecMetricsPayload(t *testing.T) {
 	if !regexp.MustCompile(`MaxSlowOps\s*=\s*` + strconv.Itoa(MaxSlowOps)).MatchString(section) {
 		t.Errorf("spec must state MaxSlowOps = %d", MaxSlowOps)
 	}
+	if !regexp.MustCompile(`MaxSpans\s*=\s*` + strconv.Itoa(MaxSpans)).MatchString(section) {
+		t.Errorf("spec must state MaxSpans = %d", MaxSpans)
+	}
+	if !regexp.MustCompile(`MaxHotKeys\s*=\s*` + strconv.Itoa(MaxHotKeys)).MatchString(section) {
+		t.Errorf("spec must state MaxHotKeys = %d", MaxHotKeys)
+	}
 
 	// Slow-op record field order, matched against the table rows after
 	// SlowOpCount.
@@ -260,7 +268,7 @@ func TestSpecMetricsPayload(t *testing.T) {
 	for _, r := range rows {
 		fields = append(fields, r[1]+":"+r[2])
 	}
-	want := []string{"Op:byte", "KeyHash:uint64", "DurationNanos:uint64", "Version:uint64", "UnixNanos:uint64"}
+	want := []string{"Op:byte", "KeyHash:uint64", "DurationNanos:uint64", "Version:uint64", "UnixNanos:uint64", "TraceID:bytes"}
 	if len(fields) != len(want) {
 		t.Fatalf("spec slow-op record lists %v, want %v", fields, want)
 	}
@@ -273,6 +281,86 @@ func TestSpecMetricsPayload(t *testing.T) {
 	// Per-op histogram IDs are the opcode bytes; the spec states the range.
 	if !regexp.MustCompile(`GET\s*=\s*1\s*…\s*METRICS\s*=\s*9`).MatchString(section) {
 		t.Errorf("spec must state per-op histogram IDs GET = 1 … METRICS = %d", byte(OpMetrics))
+	}
+
+	// Span record field order (rows marked "per span").
+	spanRows := regexp.MustCompile(`(?m)^\|\s*(\w+)\s*\|\s*\[?\d*\]?(\w+)\s*\|\s*per span`).FindAllStringSubmatch(section, -1)
+	fields = fields[:0]
+	for _, r := range spanRows {
+		fields = append(fields, r[1]+":"+r[2])
+	}
+	want = []string{"Op:byte", "Status:byte", "TraceID:byte", "KeyHash:uint64", "QueueWaitNanos:uint64", "DurationNanos:uint64", "UnixNanos:uint64"}
+	if len(fields) != len(want) {
+		t.Fatalf("spec span record lists %v, want %v", fields, want)
+	}
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Errorf("spec span record field %d = %q, want %q", i+1, fields[i], want[i])
+		}
+	}
+
+	// Hot-key entry field order (rows marked "per entry") and class IDs.
+	entryRows := regexp.MustCompile(`(?m)^\|\s*(\w+)\s*\|\s*(\w+)\s*\|\s*per entry`).FindAllStringSubmatch(section, -1)
+	fields = fields[:0]
+	for _, r := range entryRows {
+		fields = append(fields, r[1]+":"+r[2])
+	}
+	want = []string{"Key:uint64", "Count:uint64", "Err:uint64"}
+	if len(fields) != len(want) {
+		t.Fatalf("spec hot-key entry lists %v, want %v", fields, want)
+	}
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Errorf("spec hot-key entry field %d = %q, want %q", i+1, fields[i], want[i])
+		}
+	}
+	for _, hc := range []byte{HotGet, HotSet, HotDel, HotEvict} {
+		if got, ok := codes[HotClassName(hc)]; !ok || got != int(hc) {
+			t.Errorf("spec hot-key class %s = %d (listed=%v), implementation %d", HotClassName(hc), got, ok, hc)
+		}
+	}
+	if !regexp.MustCompile(`(?i)count descending,?\s*key ascending`).MatchString(section) {
+		t.Error("spec must state the canonical hot-key entry order: Count descending, Key ascending")
+	}
+}
+
+// TestSpecTraceContext pins the v6 trace-context layout: the TRACED
+// opcode bit, the context length, and the SAMPLED trace flag.
+func TestSpecTraceContext(t *testing.T) {
+	section := specSection(t, specDoc(t), "### Trace context")
+
+	row := regexp.MustCompile(`\|\s*TRACED\s*\|\s*0x([0-9a-fA-F]+)\s*\|`).FindStringSubmatch(section)
+	if row == nil {
+		t.Fatal("spec lacks the TRACED opcode-bit row")
+	}
+	if bit, err := strconv.ParseUint(row[1], 16, 8); err != nil || byte(bit) != OpFlagTraced {
+		t.Errorf("spec TRACED = 0x%s, implementation %#02x", row[1], OpFlagTraced)
+	}
+
+	row = regexp.MustCompile(`\|\s*SAMPLED\s*\|\s*0x([0-9a-fA-F]+)\s*\|`).FindStringSubmatch(section)
+	if row == nil {
+		t.Fatal("spec lacks the SAMPLED trace-flag row")
+	}
+	if bit, err := strconv.ParseUint(row[1], 16, 8); err != nil || TraceFlags(bit) != TraceFlagSampled {
+		t.Errorf("spec SAMPLED = 0x%s, implementation %#02x", row[1], byte(TraceFlagSampled))
+	}
+	if traceFlagsDefined != TraceFlagSampled {
+		t.Error("traceFlagsDefined grew; document the new flag bit in ARCHITECTURE.md and extend this test")
+	}
+
+	// The context is TraceID [16]byte + TraceFlags byte = 17 bytes; the
+	// spec states the length and both fields.
+	if !strings.Contains(section, strconv.Itoa(TraceContextLen)+"-byte") {
+		t.Errorf("spec must state the %d-byte trace-context length", TraceContextLen)
+	}
+	if !regexp.MustCompile(`\|\s*TraceID\s*\|\s*\[16\]byte\s*\|`).MatchString(section) {
+		t.Error("spec must list the TraceID [16]byte field")
+	}
+	if !regexp.MustCompile(`\|\s*TraceFlags\s*\|\s*byte\s*\|`).MatchString(section) {
+		t.Error("spec must list the TraceFlags byte field")
+	}
+	if !regexp.MustCompile(`(?i)all-zero is a protocol error`).MatchString(section) {
+		t.Error("spec must state that an all-zero trace ID is a protocol error")
 	}
 }
 

@@ -10,19 +10,23 @@
 // with a 8-byte client preamble:
 //
 //	magic   [4]byte  "SACW" (Set-Associative Cache Wire)
-//	version uint32   5
+//	version uint32   6
 //
 // after which both directions carry length-prefixed frames:
 //
 //	length  uint32   body length in bytes (≤ MaxFrame)
 //	body    length × byte
 //
-// A request body is an opcode byte followed by opcode-specific fields; a
-// response body is a status byte, the server's topology epoch (uint64),
-// then status-specific fields. Responses are returned in request order, so
-// clients may pipeline: write any number of request frames before reading
-// the matching responses. The server flushes its write buffer whenever it
-// runs out of buffered requests, making batched round trips cheap.
+// A request body is an opcode byte followed by opcode-specific fields; the
+// opcode byte's high bit (OpFlagTraced) is a frame flag marking a trace
+// context — 16-byte trace ID plus a trace-flag byte — inserted between the
+// opcode byte and the opcode fields, so untraced requests pay zero extra
+// bytes. A response body is a status byte, the server's topology epoch
+// (uint64), then status-specific fields. Responses are returned in request
+// order, so clients may pipeline: write any number of request frames
+// before reading the matching responses. The server flushes its write
+// buffer whenever it runs out of buffered requests, making batched round
+// trips cheap.
 //
 //	GET      key uint64                        → Hit version, value | Miss
 //	SET      key uint64, flags byte,
@@ -92,6 +96,22 @@
 //   - The STATS payload gained RepairQueueHighWater, the maximum async
 //     maintenance queue depth since start, because the point-in-time
 //     RepairQueueDepth hides shed-risk peaks between polls.
+//
+// Version 6 made requests traceable end to end:
+//
+//   - Any request may carry a trace context (OpFlagTraced on the opcode
+//     byte, then TraceContext: a 16-byte ID and a flag byte whose
+//     TraceFlagSampled bit asks servers to record spans). The cluster
+//     router mints one context per sampled batch and propagates it across
+//     fan-out, fallback reads, quorum writes, and async repair-queue
+//     entries, so a repair applied seconds later still names the request
+//     that caused it.
+//   - METRICS gained the TRACES section (the server's sampled-span ring;
+//     see telemetry.Span) and the HOTKEYS section (per-op-class
+//     space-saving sketches of the hottest keys; see telemetry.TopK).
+//   - The slow-op record grew a trailing 16-byte trace ID (all-zero when
+//     the slow op was untraced), joining slow ops to their cluster-side
+//     cause.
 package wire
 
 import (
@@ -100,6 +120,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/telemetry"
 )
 
 // ErrVersionMismatch is wrapped by ReadPreamble when the peer speaks a
@@ -126,8 +148,10 @@ const (
 	// VERSION_STALE status for conditional maintenance writes, and the
 	// StaleRepairs counter; version 5 added the METRICS op (server-side
 	// latency histograms, counters, and the slow-op log) and the
-	// RepairQueueHighWater STATS counter.
-	Version = 5
+	// RepairQueueHighWater STATS counter; version 6 added the per-request
+	// trace context (OpFlagTraced), the TRACES and HOTKEYS METRICS
+	// sections, and the slow-op record's trailing trace ID.
+	Version = 6
 	// MaxFrame bounds a frame body; it caps both value sizes and the damage
 	// a corrupt length prefix can do.
 	MaxFrame = 16 << 20
@@ -265,6 +289,58 @@ const (
 	setFlagsDefined = SetFlagRepair | SetFlagAsync | SetFlagVersioned
 )
 
+// OpFlagTraced is the frame flag on the request opcode byte (its high
+// bit) marking that a TraceContext — TraceContextLen bytes — follows the
+// opcode byte before the opcode-specific fields. The low 7 bits stay the
+// opcode proper, and untraced requests are byte-identical to v5 frames:
+// tracing costs nothing unless a request opts in.
+const OpFlagTraced byte = 0x80
+
+// TraceContextLen is the encoded size of a trace context: the 16-byte
+// trace ID followed by the trace-flag byte.
+const TraceContextLen = 17
+
+// TraceFlags is the flag byte of a trace context; it is a bit set.
+type TraceFlags byte
+
+// The defined trace-context flags. Both ends reject undefined bits so
+// the remaining bits stay available for future revisions.
+const (
+	// TraceFlagSampled asks servers on the request's path to record a
+	// span for it (telemetry.SpanRing, readable via the METRICS TRACES
+	// section). A context without the bit still propagates — downstream
+	// writes it causes keep the ID — but records nothing.
+	TraceFlagSampled TraceFlags = 1 << 0
+
+	// traceFlagsDefined masks the bits a conforming frame may set.
+	traceFlagsDefined = TraceFlagSampled
+)
+
+// TraceContext is the per-request trace identity carried by v6 frames:
+// minted once by the cluster router, then attached to every wire request
+// the original request fans out into — including async repair-queue
+// entries applied long after the response went out.
+type TraceContext struct {
+	// ID is the 16-byte trace identifier; a conforming frame never
+	// carries a zero ID.
+	ID telemetry.TraceID
+	// Flags is the trace-flag byte (TraceFlagSampled et al.).
+	Flags TraceFlags
+}
+
+// Sampled reports whether the context asks servers to record spans.
+func (tc TraceContext) Sampled() bool { return tc.Flags&TraceFlagSampled != 0 }
+
+func (tc TraceContext) validate() error {
+	if tc.ID.IsZero() {
+		return fmt.Errorf("wire: trace context with a zero trace ID")
+	}
+	if tc.Flags&^traceFlagsDefined != 0 {
+		return fmt.Errorf("wire: trace flags %#02x has undefined bits", byte(tc.Flags))
+	}
+	return nil
+}
+
 // Op is a request opcode.
 type Op byte
 
@@ -376,6 +452,11 @@ type Request struct {
 	// MetricsFlags selects the payload sections of a METRICS request; it
 	// must name at least one section.
 	MetricsFlags MetricsFlags
+	// Trace is the request's trace context; meaningful only when Traced.
+	Trace TraceContext
+	// Traced reports whether the frame carries a trace context
+	// (OpFlagTraced was set on the opcode byte).
+	Traced bool
 }
 
 // Response is one decoded response frame.
@@ -541,8 +622,17 @@ func (w *Writer) reset(n int) []byte {
 
 // WriteRequest encodes one request frame (buffered; call Flush to send).
 func (w *Writer) WriteRequest(req Request) error {
-	body := w.reset(1 + 8 + 1 + 8 + len(req.Value))
-	body = append(body, byte(req.Op))
+	body := w.reset(1 + TraceContextLen + 8 + 1 + 8 + len(req.Value))
+	if req.Traced {
+		if err := req.Trace.validate(); err != nil {
+			return err
+		}
+		body = append(body, byte(req.Op)|OpFlagTraced)
+		body = append(body, req.Trace.ID[:]...)
+		body = append(body, byte(req.Trace.Flags))
+	} else {
+		body = append(body, byte(req.Op))
+	}
 	switch req.Op {
 	case OpGet, OpDel:
 		body = binary.LittleEndian.AppendUint64(body, req.Key)
@@ -716,8 +806,21 @@ func (r *Reader) ReadRequest() (Request, error) {
 	if len(body) < 1 {
 		return Request{}, fmt.Errorf("wire: empty request frame")
 	}
-	req := Request{Op: Op(body[0])}
-	body = body[1:]
+	req := Request{Op: Op(body[0] &^ OpFlagTraced)}
+	if body[0]&OpFlagTraced != 0 {
+		if len(body) < 1+TraceContextLen {
+			return Request{}, fmt.Errorf("wire: traced %v frame %d bytes, too short for a trace context", req.Op, len(body))
+		}
+		copy(req.Trace.ID[:], body[1:])
+		req.Trace.Flags = TraceFlags(body[1+len(req.Trace.ID)])
+		if err := req.Trace.validate(); err != nil {
+			return Request{}, err
+		}
+		req.Traced = true
+		body = body[1+TraceContextLen:]
+	} else {
+		body = body[1:]
+	}
 	switch req.Op {
 	case OpGet, OpDel:
 		if len(body) != 8 {

@@ -7,7 +7,16 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
+
+// testTraceID builds a distinct nonzero trace ID for tests.
+func testTraceID(b byte) (id telemetry.TraceID) {
+	id[0] = b
+	id[15] = ^b
+	return id
+}
 
 func TestRequestRoundTrip(t *testing.T) {
 	reqs := []Request{
@@ -24,6 +33,14 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpRehash},
 		{Op: OpMembers},
 		{Op: OpTopology, Topology: Topology{Epoch: 7, Members: []string{"a:1", "b:2"}}},
+		// v6 traced requests: context rides between the opcode byte and the
+		// op fields, sampled or not, on reads and maintenance writes alike.
+		{Op: OpGet, Key: 42, Traced: true, Trace: TraceContext{ID: testTraceID(1), Flags: TraceFlagSampled}},
+		{Op: OpGet, Key: 43, Traced: true, Trace: TraceContext{ID: testTraceID(2)}}, // propagated, unsampled
+		{Op: OpSet, Key: 44, Value: []byte("traced"), Traced: true, Trace: TraceContext{ID: testTraceID(3), Flags: TraceFlagSampled}},
+		{Op: OpSet, Key: 45, Flags: SetFlagRepair | SetFlagAsync | SetFlagVersioned, Version: 9,
+			Value: []byte("traced repair"), Traced: true, Trace: TraceContext{ID: testTraceID(4), Flags: TraceFlagSampled}},
+		{Op: OpDel, Key: 46, Traced: true, Trace: TraceContext{ID: testTraceID(5), Flags: TraceFlagSampled}},
 	}
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
@@ -43,6 +60,9 @@ func TestRequestRoundTrip(t *testing.T) {
 		}
 		if got.Op != want.Op || got.Key != want.Key || got.Detail != want.Detail || got.Flags != want.Flags || got.Version != want.Version {
 			t.Fatalf("request %d = %+v, want %+v", i, got, want)
+		}
+		if got.Traced != want.Traced || got.Trace != want.Trace {
+			t.Fatalf("request %d trace = %v/%+v, want %v/%+v", i, got.Traced, got.Trace, want.Traced, want.Trace)
 		}
 		if !bytes.Equal(got.Value, want.Value) {
 			t.Fatalf("request %d value = %q, want %q", i, got.Value, want.Value)
@@ -189,6 +209,34 @@ func TestMalformedRequestRejected(t *testing.T) {
 	body = append(body, byte(SetFlagRepair|SetFlagVersioned), 1, 2, 3)
 	if _, err := frame(body).ReadRequest(); err == nil {
 		t.Fatal("VERSIONED SET with a truncated version field accepted")
+	}
+	// A traced frame whose body ends inside the trace context.
+	body = []byte{byte(OpGet) | OpFlagTraced, 1, 2, 3}
+	if _, err := frame(body).ReadRequest(); err == nil {
+		t.Fatal("traced GET with a truncated trace context accepted")
+	}
+	// A trace context with a zero trace ID is a bug, not a frame.
+	body = append([]byte{byte(OpGet) | OpFlagTraced}, make([]byte, TraceContextLen)...)
+	body = append(body, make([]byte, 8)...) // key
+	if _, err := frame(body).ReadRequest(); err == nil {
+		t.Fatal("traced GET with a zero trace ID accepted")
+	}
+	// Undefined trace-flag bits must be rejected.
+	body = append([]byte{byte(OpGet) | OpFlagTraced}, 0xAB)
+	body = append(body, make([]byte, 15)...) // rest of the ID
+	body = append(body, 0x80)                // undefined trace flag bit
+	body = append(body, make([]byte, 8)...)  // key
+	if _, err := frame(body).ReadRequest(); err == nil {
+		t.Fatal("trace context with undefined flag bits accepted")
+	}
+	// The encoder refuses the same two.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRequest(Request{Op: OpGet, Traced: true}); err == nil {
+		t.Fatal("encoder accepted a zero trace ID")
+	}
+	if err := w.WriteRequest(Request{Op: OpGet, Traced: true, Trace: TraceContext{ID: testTraceID(1), Flags: 0x80}}); err == nil {
+		t.Fatal("encoder accepted undefined trace flag bits")
 	}
 }
 
