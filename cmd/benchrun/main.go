@@ -1,9 +1,10 @@
 // Command benchrun produces the repo's standing benchmark trajectory: one
 // fixed-seed pass over the telemetry microbenchmarks and a small matrix of
 // end-to-end load scenarios (one node and a 3-node cluster, closed- and
-// open-loop, plus the cluster again with 1/64 request tracing so the
-// tracing price tag is a standing column), emitted as a single JSON
-// document. Every scenario is preceded by an unmeasured warm-up pass over
+// open-loop, the cluster again with 1/64 request tracing so the
+// tracing price tag is a standing column, and the cluster again with the
+// v7 lease/near-cache miss path on so herd suppression has one too),
+// emitted as a single JSON document. Every scenario is preceded by an unmeasured warm-up pass over
 // the same key stream, so the numbers are steady state and the -short
 // sizing is comparable to the full one. The committed BENCH_*.json files
 // at the repo root are its output, one per PR that moved performance, so
@@ -92,6 +93,13 @@ type scenario struct {
 	MissRatio  float64 `json:"miss_ratio"`
 	Client     latNs   `json:"client_latency_per_batch_ns"`
 	Server     svrSide `json:"server"`
+	// Lease columns, present on the leased row only: how the v7 miss path
+	// split the same storm — near-cache absorption, fill leases won, and
+	// misses absorbed by waiting or stale hints instead of origin loads.
+	NearHits    int `json:"near_hits,omitempty"`
+	LeaseGrants int `json:"lease_grants,omitempty"`
+	StaleHints  int `json:"stale_hints,omitempty"`
+	LeaseWaits  int `json:"lease_waits,omitempty"`
 	// RecordOverheadPctOfGetP50 prices the instrumentation against the
 	// work it measures: one histogram Record per op, as a percentage of the
 	// server-side GET median. The <5%% budget from the issue is judged on
@@ -161,19 +169,24 @@ func main() {
 		nodes       int
 		open        bool
 		traceSample int
+		leased      bool
 	}{
-		{"single-node closed-loop", 1, false, 0},
-		{"single-node open-loop", 1, true, 0},
-		{"3-node cluster closed-loop", 3, false, 0},
-		{"3-node cluster open-loop", 3, true, 0},
+		{"single-node closed-loop", 1, false, 0, false},
+		{"single-node open-loop", 1, true, 0, false},
+		{"3-node cluster closed-loop", 3, false, 0, false},
+		{"3-node cluster open-loop", 3, true, 0, false},
 		// The tracing price tag at the recommended production sampling
 		// rate, read against the untraced cluster row above it.
-		{"3-node cluster closed-loop traced 1/64", 3, false, 64},
+		{"3-node cluster closed-loop traced 1/64", 3, false, 64, false},
+		// The lease storm: the same closed-loop cluster run with the v7
+		// miss path on (leases + near cache), read against the plain
+		// cluster row — the standing price/benefit of herd suppression.
+		{"3-node cluster closed-loop leased", 3, false, 0, true},
 	}
 	const overheadBudgetPct = 5.0
 	for _, r := range runs {
 		s, err := runScenario(r.name, r.nodes, r.open, openRate, ops, conns, pipeline, *seed,
-			r.traceSample, rep.Telemetry.RecordNsPerOp)
+			r.traceSample, r.leased, rep.Telemetry.RecordNsPerOp)
 		if err != nil {
 			fatal(err)
 		}
@@ -300,7 +313,7 @@ func benchTelemetry() telemetryR {
 // servers' own view back over METRICS. traceSample > 0 turns request
 // tracing on at that sampling interval (cluster scenarios only — the
 // single-node harness speaks raw wire, which never volunteers a trace).
-func runScenario(name string, nodes int, open bool, rate float64, ops, conns, pipeline int, seed uint64, traceSample int, recordNs float64) (scenario, error) {
+func runScenario(name string, nodes int, open bool, rate float64, ops, conns, pipeline int, seed uint64, traceSample int, leased bool, recordNs float64) (scenario, error) {
 	const k, alpha = 1 << 15, 16
 	var (
 		addrs   []string
@@ -338,8 +351,13 @@ func runScenario(name string, nodes int, open bool, rate float64, ops, conns, pi
 	if nodes == 1 {
 		cfg.Addr = addrs[0]
 	} else {
+		copts := cluster.Options{TraceSample: traceSample}
+		if leased {
+			copts.Leases = true
+			copts.NearCache = cluster.NearCacheOptions{Slots: 1024}
+		}
 		cfg.Dial = func() (load.Conn, error) {
-			return cluster.Dial(addrs, cluster.Options{TraceSample: traceSample})
+			return cluster.Dial(addrs, copts)
 		}
 	}
 	// An unmeasured closed-loop pass over the same key stream first: the
@@ -384,6 +402,10 @@ func runScenario(name string, nodes int, open bool, rate float64, ops, conns, pi
 	if open {
 		s.RateOpsSec = rate
 	}
+	if leased {
+		s.NearHits, s.LeaseGrants = res.NearHits, res.LeaseGrants
+		s.StaleHints, s.LeaseWaits = res.StaleHints, res.LeaseWaits
+	}
 	if p50 := sv.Get.P50Ns; p50 > 0 {
 		s.RecordOverheadPctOfGetP50 = 100 * recordNs / float64(p50)
 	}
@@ -419,7 +441,21 @@ func serverDelta(before, after map[string]*wire.Metrics) svrSide {
 		BytesIn:  aggA.Counter(wire.CounterBytesIn) - aggB.Counter(wire.CounterBytesIn),
 		BytesOut: aggA.Counter(wire.CounterBytesOut) - aggB.Counter(wire.CounterBytesOut),
 	}
-	if h := histDelta(aggA.Hist(byte(wire.OpGet)), aggB.Hist(byte(wire.OpGet))); h != nil && h.Count > 0 {
+	// Reads travel as GET or, on the leased row, GETL; the two service-time
+	// histograms merge bucket-wise into one read column.
+	h := histDelta(aggA.Hist(byte(wire.OpGet)), aggB.Hist(byte(wire.OpGet)))
+	if hl := histDelta(aggA.Hist(byte(wire.OpGetLease)), aggB.Hist(byte(wire.OpGetLease))); hl != nil && hl.Count > 0 {
+		if h == nil {
+			h = hl
+		} else {
+			h.Count += hl.Count
+			h.Sum += hl.Sum
+			for i := range h.Buckets {
+				h.Buckets[i] += hl.Buckets[i]
+			}
+		}
+	}
+	if h != nil && h.Count > 0 {
 		sv.Get = histNs{Count: h.Count, MeanNs: int64(h.Mean()), P50Ns: int64(h.Quantile(0.50)), P99Ns: int64(h.Quantile(0.99))}
 	}
 	if h := histDelta(aggA.Hist(byte(wire.OpSet)), aggB.Hist(byte(wire.OpSet))); h != nil && h.Count > 0 {

@@ -21,6 +21,7 @@
 //	cachecluster -spawn 4 -open -rate 200000 -duration 30s
 //	cachecluster -spawn 3 -replicas 2 -write-quorum 1 -workload zipf
 //	cachecluster -addrs h1:7070 -bootstrap -workload zipf
+//	cachecluster -spawn 3 -workload zipf -zipf-s 1.4 -leases -near-slots 1024
 //
 // With -bootstrap the -addrs list is treated as seeds only: the actual
 // membership is discovered from the highest-epoch MEMBERS view any seed
@@ -37,6 +38,17 @@
 // are repaired in the background. Per-node residency then sums to R× the
 // distinct keys, which is why the balance table reports each node's share
 // of replica-set slots (summing to 100%) rather than a per-key share.
+//
+// With -leases every worker's GETs go out as GETL (wire v7): a miss hands
+// exactly one caller cluster-wide a fill lease and concurrent missers
+// briefly wait for that fill or are served the key's last known value
+// flagged stale, so a cold or invalidated hot key costs O(1) origin
+// loads instead of one per storming client. -near-slots N adds a bounded
+// per-worker near-cache, version-invalidated by the piggybacked per-key
+// versions, which absorbs a hot key's repeat reads before they reach the
+// wire at all; -near-ttl bounds its staleness budget. The run report adds
+// a "leases:" line (client-side tallies) and a "srv leases:" line (the
+// members' grant/expiry/stale-serve counters).
 //
 // With -open -rate R the harness uses the open-loop rate-paced schedule
 // with coordinated-omission-safe percentiles (see internal/load). -rehash
@@ -97,6 +109,9 @@ func main() {
 		rate     = flag.Float64("rate", 0, "intended aggregate GET rate in ops/sec (open-loop mode, required)")
 		duration = flag.Duration("duration", 0, "stop issuing after this long (open-loop mode; 0 = when ops are exhausted)")
 		traceSm  = flag.Int("trace-sample", 0, "stamp every Nth batch per worker with a sampled trace context (0 = tracing off)")
+		leases   = flag.Bool("leases", false, "lease/singleflight misses (wire v7 GETL): one fill per cold key cluster-wide, concurrent missers wait or eat a stale hint")
+		nearSl   = flag.Int("near-slots", 0, "per-worker near-cache slots (0 = off): serve repeat reads in-process, version-invalidated")
+		nearTTL  = flag.Duration("near-ttl", 0, "near-cache entry TTL (0 = default); the staleness budget granted to the client edge")
 	)
 	flag.Parse()
 
@@ -116,7 +131,17 @@ func main() {
 	if *traceSm < 0 {
 		fatal(fmt.Errorf("-trace-sample %d: sampling interval must not be negative", *traceSm))
 	}
-	opts := cluster.Options{VNodes: *vnodes, Replicas: *replicas, WriteQuorum: *quorum, Bootstrap: *boot, TraceSample: *traceSm}
+	if *nearSl < 0 {
+		fatal(fmt.Errorf("-near-slots %d: slot count must not be negative", *nearSl))
+	}
+	if *nearTTL < 0 {
+		fatal(fmt.Errorf("-near-ttl %v: TTL must not be negative", *nearTTL))
+	}
+	opts := cluster.Options{
+		VNodes: *vnodes, Replicas: *replicas, WriteQuorum: *quorum, Bootstrap: *boot,
+		TraceSample: *traceSm, Leases: *leases,
+		NearCache: cluster.NearCacheOptions{Slots: *nearSl, TTL: *nearTTL},
+	}
 	ctl, err := cluster.Dial(members, opts)
 	if err != nil {
 		fatal(err)
@@ -181,6 +206,12 @@ func main() {
 		}
 		mode += fmt.Sprintf(", R=%d W=%d", *replicas, w)
 	}
+	if *leases {
+		mode += ", leases"
+	}
+	if *nearSl > 0 {
+		mode += fmt.Sprintf(", near=%d", *nearSl)
+	}
 	fmt.Printf("cluster of %d nodes, workload %s: %d ops over %d conns (pipeline %d, %s) in %v\n",
 		len(members), gen.Name(), res.Ops, *conns, *pipeline, mode, res.Elapsed.Round(time.Millisecond))
 	fmt.Printf("  throughput: %12.0f GET/s\n", res.Throughput)
@@ -192,6 +223,10 @@ func main() {
 		res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max, *pipeline, lat)
 	fmt.Printf("  client:     hits=%d misses=%d (miss ratio %.4f) sets=%d repairs=%d stale=%d refreshes=%d corrupt=%d\n",
 		res.Hits, res.Misses, res.MissRatio(), res.Sets, res.Repairs, res.StaleRepairs, res.Refreshes, res.Corrupt)
+	if *leases || *nearSl > 0 {
+		fmt.Printf("  leases:     nearhits=%d stalehints=%d grants=%d lost=%d waits=%d\n",
+			res.NearHits, res.StaleHints, res.LeaseGrants, res.LeaseLost, res.LeaseWaits)
+	}
 
 	msAfter, err := ctl.MetricsAll(wire.MetricsHistograms)
 	if err != nil {
@@ -210,6 +245,10 @@ func main() {
 		agg.Len, agg.Capacity, agg.Evictions, agg.ConflictEvictions,
 		agg.FlushEvictions, agg.Rehashes, agg.Sets, agg.RepairSets, agg.StaleRepairs,
 		agg.RepairQueueHighWater, agg.Migrating)
+	if agg.LeasesGranted+agg.LeasesExpired+agg.StaleServes > 0 {
+		fmt.Printf("  srv leases: granted=%d expired=%d staleserves=%d (summed over cluster)\n",
+			agg.LeasesGranted, agg.LeasesExpired, agg.StaleServes)
+	}
 
 	// Hot keys are recorded regardless of sampling; spans and the trace
 	// join exist only when -trace-sample stamped some batches.

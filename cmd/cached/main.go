@@ -72,6 +72,7 @@ func main() {
 		migPerMiss = flag.Int("migrate-per-miss", 1, "forced migrations per miss during a rehash")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and a /metrics JSON snapshot on this address (off when empty)")
 		slowThresh = flag.Duration("slow-op-threshold", server.DefaultSlowOpThreshold, "ops at least this slow enter the slow-op ring (0 disables the ring)")
+		leaseTTL   = flag.Duration("lease-ttl", server.DefaultLeaseTTL, "how long a GETL fill lease stays outstanding (wire v7); keep just above the slowest origin load")
 	)
 	flag.Parse()
 
@@ -102,6 +103,7 @@ func main() {
 
 	srv := server.New(cache)
 	srv.SetSlowOpThreshold(*slowThresh)
+	srv.SetLeaseTTL(*leaseTTL)
 	if *debugAddr != "" {
 		serveDebug(*debugAddr, srv)
 	}

@@ -52,6 +52,25 @@ type Options struct {
 	// 0 disables tracing entirely: no request carries trace bytes and
 	// the member-side cost is zero.
 	TraceSample int
+	// Leases opts into the v7 lease/singleflight miss path: the client's
+	// GETs go out as GETL, a miss hands exactly one caller (cluster-wide)
+	// a fill lease, and concurrent missers briefly wait for that fill or
+	// are served the key's last known value flagged stale, instead of
+	// stampeding the origin.
+	//
+	// Leases assume read-through usage — the memcached lease model: a SET
+	// of a key this client was granted a lease for is sent as the lease
+	// fill, and if the lease was lost (a concurrent write superseded it,
+	// or it expired) the fill is DISCARDED as a successful no-op, because
+	// fresher data already won. A caller that genuinely overwrites keys
+	// it is concurrently reading through should leave Leases off.
+	Leases bool
+	// NearCache enables a bounded in-process cache of recently read
+	// values, version-invalidated by the cluster's piggybacked per-key
+	// versions; see NearCacheOptions. Useful alone, but designed to pair
+	// with Leases: together a hot key's read storm is absorbed at the
+	// client instead of at the key's primary owner.
+	NearCache NearCacheOptions
 }
 
 // Client routes cache traffic across a cluster of cached nodes. It is
@@ -139,6 +158,23 @@ type Client struct {
 	repairsScheduled atomic.Uint64
 	repairsApplied   atomic.Uint64
 	repairsDropped   atomic.Uint64
+
+	// Lease/near-cache machinery (wire v7, lease.go/nearcache.go). grants
+	// holds the fill leases this client was granted and has not yet
+	// resolved; grantsN mirrors len(grants) so hot paths skip the mutex
+	// when no grant is outstanding. near is nil unless Options.NearCache
+	// enabled it.
+	leases  bool
+	near    *nearCache
+	grantMu sync.Mutex
+	grants  map[uint64]*leaseGrant
+	grantsN atomic.Int64
+
+	nearHits    atomic.Uint64 // GETs served from the near-cache
+	staleHints  atomic.Uint64 // zero-token LEASE responses served as stale hits
+	leaseGrants atomic.Uint64 // fill leases granted to this client
+	leaseLost   atomic.Uint64 // fills refused LEASE_LOST
+	leaseWaits  atomic.Uint64 // keys that waited on another caller's fill
 }
 
 // Dial builds a routing client. Without Options.Bootstrap, addrs is the
@@ -179,6 +215,8 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 		quorum:      opts.WriteQuorum,
 		noWarmup:    opts.DisableWarmup,
 		traceSample: opts.TraceSample,
+		leases:      opts.Leases,
+		near:        newNearCache(opts.NearCache),
 		traceSeed:   telemetry.HashKey(uint64(time.Now().UnixNano())) | 1,
 		ring:        NewRing(opts.VNodes, members...),
 		epoch:       epoch,
@@ -366,10 +404,22 @@ func (c *Client) OwnerSample(n int, seed uint64) (share map[string]int, replicas
 
 // partition splits keys by owning member. Caller holds c.mu (either side).
 func (c *Client) partition(keys []uint64) ([]*subBatch, error) {
+	idxs := make([]int, len(keys))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return c.partitionIdx(keys, idxs)
+}
+
+// partitionIdx splits the selected indices of keys by owning member —
+// partition over a subset, for the lease paths that carve a batch into
+// near-served, granted and remote fractions. Caller holds c.mu (either
+// side).
+func (c *Client) partitionIdx(keys []uint64, idxs []int) ([]*subBatch, error) {
 	byNode := make(map[*nodeConn]*subBatch)
 	var subs []*subBatch
-	for i, k := range keys {
-		addr, ok := c.ring.Node(k)
+	for _, i := range idxs {
+		addr, ok := c.ring.Node(keys[i])
 		if !ok {
 			return nil, fmt.Errorf("cluster: empty ring")
 		}
@@ -398,8 +448,11 @@ func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byt
 	bt := c.nextTrace()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if c.leases || c.near != nil {
+		return c.getBatchLeased(keys, bt, visit)
+	}
 	if c.effReplicas() > 1 {
-		return c.getBatchReplicated(keys, bt, visit)
+		return c.getBatchReplicated(keys, bt, nil, visit)
 	}
 	subs, err := c.partition(keys)
 	if err != nil {
@@ -478,9 +531,18 @@ func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
 	bt := c.nextTrace()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if c.leases || c.near != nil {
+		return c.setBatchLeased(keys, bt, value)
+	}
 	if c.effReplicas() > 1 {
 		return c.setBatchReplicated(keys, bt, value)
 	}
+	return c.setBatchPlain(keys, bt, value)
+}
+
+// setBatchPlain is the unreplicated SET round: pipeline per owner,
+// replay-once recovery. Caller holds c.mu.RLock.
+func (c *Client) setBatchPlain(keys []uint64, bt batchTrace, value func(i int) []byte) error {
 	subs, err := c.partition(keys)
 	if err != nil {
 		return err
@@ -493,7 +555,7 @@ func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
 	}
 	for _, s := range subs {
 		if s.err == nil {
-			s.err = c.readSets(s)
+			s.err = c.readSets(s, keys, value)
 		}
 		if s.err != nil {
 			if s.delivered > 0 {
@@ -506,7 +568,7 @@ func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
 				dropSubs(subs)
 				return err
 			}
-			if err := c.readSets(s); err != nil {
+			if err := c.readSets(s, keys, value); err != nil {
 				dropSubs(subs)
 				return err
 			}
@@ -516,10 +578,11 @@ func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
 }
 
 // readSets drains one sub-batch's SET responses, observing the topology
-// epoch each one carries.
-func (c *Client) readSets(s *subBatch) error {
+// epoch each one carries and (when the near-cache is on) caching each
+// stored value under the version the owner assigned it.
+func (c *Client) readSets(s *subBatch, keys []uint64, value func(i int) []byte) error {
 	cl := s.nc.cl
-	for range s.idx {
+	for _, i := range s.idx[s.delivered:] {
 		resp, err := cl.ReadResponse()
 		if err != nil {
 			return err
@@ -530,6 +593,9 @@ func (c *Client) readSets(s *subBatch) error {
 		}
 		s.nc.sets.Add(1)
 		s.delivered++
+		if c.near != nil {
+			c.near.store(keys[i], resp.Version, value(i), time.Now())
+		}
 	}
 	return nil
 }
@@ -568,6 +634,16 @@ func (c *Client) Del(key uint64) (bool, error) {
 	if len(owners) == 0 {
 		return false, fmt.Errorf("cluster: empty ring")
 	}
+	// Purge the local edge before and after the fan-out: before, so a
+	// grant can't turn a later SET into a fill of the deleted key; after,
+	// so a concurrent read that repopulated the near-cache mid-delete
+	// can't outlive the delete past one purge.
+	if c.near != nil {
+		c.near.remove(key)
+	}
+	if c.grantsN.Load() > 0 {
+		c.finishGrant(key)
+	}
 	present := false
 	for _, addr := range owners {
 		nc := c.nodes[addr]
@@ -589,6 +665,9 @@ func (c *Client) Del(key uint64) (bool, error) {
 		if err != nil {
 			return present, err
 		}
+	}
+	if c.near != nil {
+		c.near.remove(key)
 	}
 	return present, nil
 }
@@ -658,6 +737,9 @@ func AggregateStats(stats map[string]*wire.Stats) wire.Stats {
 		agg.RepairQueueDepth += st.RepairQueueDepth
 		agg.RepairsShed += st.RepairsShed
 		agg.StaleRepairs += st.StaleRepairs
+		agg.LeasesGranted += st.LeasesGranted
+		agg.LeasesExpired += st.LeasesExpired
+		agg.StaleServes += st.StaleServes
 		if st.RepairQueueHighWater > agg.RepairQueueHighWater {
 			agg.RepairQueueHighWater = st.RepairQueueHighWater
 		}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -174,8 +175,16 @@ func (c *Client) applyRepair(t repairTask) {
 // to R rounds. Round j sends each still-unresolved key to its j-th owner;
 // hits resolve immediately (scheduling repair of the owners that came up
 // empty), misses resolve at the last owner, and connection failures push
-// the key to the next round. Caller holds c.mu.RLock.
-func (c *Client) getBatchReplicated(keys []uint64, bt batchTrace, visit func(i int, hit bool, value []byte)) error {
+// the key to the next round.
+//
+// With leases on, round 0 (the primary) goes out as GETL: a grant is an
+// authoritative primary miss plus the fill lease, so the key still falls
+// back through the replicas — a fallback hit repairs the primary, which
+// invalidates the lease server-side. A bare zero-token LEASE (someone
+// else holds the fill) appends the key's index to waiters for the
+// caller's resolution loop; waiters may be nil only when leases are off.
+// Caller holds c.mu.RLock.
+func (c *Client) getBatchReplicated(keys []uint64, bt batchTrace, waiters *[]int, visit func(i int, hit bool, value []byte)) error {
 	rf := c.effReplicas()
 	owners := make([][]string, len(keys))
 	for i, k := range keys {
@@ -202,24 +211,28 @@ func (c *Client) getBatchReplicated(keys []uint64, bt batchTrace, visit func(i i
 
 	for round := 0; round < rf && len(pending) > 0; round++ {
 		subs := c.partitionRound(pending, owners, round)
+		// Only the primary round leases: fallback rounds are reads of
+		// replicas that may legitimately be empty, and granting fills
+		// against them would mint one lease per replica per key.
+		lease := c.leases && round == 0
 		unlock := lockSubs(subs)
 		for _, s := range subs {
-			s.err = s.enqueueGets(c.dial, keys, bt)
+			s.err = s.enqueueGetsLease(c.dial, keys, bt, lease)
 		}
 		next = next[:0]
 		last := round == rf-1
 		for _, s := range subs {
 			if s.err == nil {
-				s.err = c.readGetsReplicated(s, keys, bt, round, last, missedAt, &next, visit)
+				s.err = c.readGetsReplicated(s, keys, bt, round, last, missedAt, &next, waiters, visit)
 			}
 			if s.err != nil && s.delivered == 0 {
 				// Nothing of this sub was delivered; redial once and replay.
 				s.nc.drop()
 				s.nc.redials.Add(1)
-				if err := s.enqueueGets(c.dial, keys, bt); err != nil {
+				if err := s.enqueueGetsLease(c.dial, keys, bt, lease); err != nil {
 					s.err = err
 				} else {
-					s.err = c.readGetsReplicated(s, keys, bt, round, last, missedAt, &next, visit)
+					s.err = c.readGetsReplicated(s, keys, bt, round, last, missedAt, &next, waiters, visit)
 				}
 			}
 			if s.err != nil {
@@ -272,12 +285,15 @@ func (c *Client) partitionRound(pending []int, owners [][]string, round int) []*
 	return subs
 }
 
-// readGetsReplicated drains one sub-batch's GET responses during a fallback
-// round. Hits are delivered to visit, with repair scheduled for the owners
-// that authoritatively missed in earlier rounds; misses either fall to the
-// next round or, on the last owner, resolve as authoritative misses.
+// readGetsReplicated drains one sub-batch's GET (or, in a leased round 0,
+// GETL) responses during a fallback round. Hits are delivered to visit,
+// with repair scheduled for the owners that authoritatively missed in
+// earlier rounds; misses either fall to the next round or, on the last
+// owner, resolve as authoritative misses. LEASE responses are primary
+// misses: a grant is recorded and the key falls back, a stale hint serves
+// as a hit, and a bare zero-token response joins waiters.
 func (c *Client) readGetsReplicated(s *subBatch, keys []uint64, bt batchTrace, round int, last bool,
-	missedAt [][]string, next *[]int, visit func(i int, hit bool, value []byte)) error {
+	missedAt [][]string, next *[]int, waiters *[]int, visit func(i int, hit bool, value []byte)) error {
 	cl := s.nc.cl
 	for _, i := range s.idx[s.delivered:] {
 		resp, err := cl.ReadResponse()
@@ -296,7 +312,18 @@ func (c *Client) readGetsReplicated(s *subBatch, keys []uint64, bt batchTrace, r
 			}
 			s.nc.gets.Add(1)
 			s.delivered++
-			visit(i, true, resp.Value)
+			val := resp.Value
+			if c.near != nil {
+				val, _ = c.near.reconcile(keys[i], resp.Version, resp.Value, time.Now())
+			}
+			if c.grantsN.Load() > 0 {
+				// A fallback owner had the key after the primary granted a
+				// fill: the repair scheduled above will invalidate the lease
+				// server-side; drop the stray grant so a later user SET of
+				// the key isn't misrouted as a discardable fill.
+				c.finishGrant(keys[i])
+			}
+			visit(i, true, val)
 		case wire.StatusMiss:
 			s.nc.misses.Add(1)
 			s.nc.gets.Add(1)
@@ -306,6 +333,29 @@ func (c *Client) readGetsReplicated(s *subBatch, keys []uint64, bt batchTrace, r
 				visit(i, false, nil)
 			} else {
 				*next = append(*next, i)
+			}
+		case wire.StatusLease:
+			s.nc.misses.Add(1)
+			s.nc.gets.Add(1)
+			s.delivered++
+			switch {
+			case resp.LeaseToken != 0:
+				c.recordGrant(keys[i], resp.LeaseToken, resp.LeaseTTL)
+				missedAt[i] = append(missedAt[i], s.nc.addr)
+				if last {
+					visit(i, false, nil)
+				} else {
+					*next = append(*next, i)
+				}
+			case resp.Stale:
+				c.staleHints.Add(1)
+				val := resp.Value
+				if c.near != nil {
+					val, _ = c.near.reconcile(keys[i], resp.Version, resp.Value, time.Now())
+				}
+				visit(i, true, val)
+			default:
+				*waiters = append(*waiters, i)
 			}
 		default:
 			return fmt.Errorf("cluster: unexpected GET response %v from %s", resp.Status, s.nc.addr)
@@ -388,6 +438,9 @@ func (c *Client) setBatchReplicated(keys []uint64, bt batchTrace, value func(i i
 	for i := range keys {
 		if failed != nil && len(failed[i]) > 0 {
 			c.scheduleRepair(keys[i], vers[i], value(i), failed[i], bt)
+		}
+		if c.near != nil {
+			c.near.store(keys[i], vers[i], value(i), time.Now())
 		}
 	}
 	return nil

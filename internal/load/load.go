@@ -75,6 +75,16 @@ type StaleReporter interface {
 	StaleRepairs() uint64
 }
 
+// LeaseReporter is optionally implemented by a Conn (cluster.Client does)
+// to report its lease/near-cache tallies (wire v7): GETs served from the
+// in-process near-cache, zero-token stale hints served as hits, fill
+// leases granted, fills refused LEASE_LOST, and keys that waited on
+// another caller's fill. The harness sums the counts into Result, so a
+// storm run shows how much of the herd the lease machinery absorbed.
+type LeaseReporter interface {
+	LeaseCounters() (nearHits, staleHints, grants, lost, waits uint64)
+}
+
 // Config describes one load run.
 type Config struct {
 	// Addr is the server address, dialed with wire.Dial when Dial is nil.
@@ -138,7 +148,18 @@ type Result struct {
 	// reported by connections that implement StaleReporter; 0 otherwise.
 	// Each one is a lost-update race the versioned-write check won.
 	StaleRepairs int
-	Elapsed      time.Duration
+	// Lease/near-cache tallies, from connections implementing
+	// LeaseReporter (wire v7); all 0 otherwise. NearHits are GETs that
+	// never left the client process; StaleHints were served the key's
+	// last known value while a fill was in flight; LeaseGrants/LeaseLost
+	// count fills this run won and lost; LeaseWaits count keys that
+	// deferred to another caller's fill.
+	NearHits    int
+	StaleHints  int
+	LeaseGrants int
+	LeaseLost   int
+	LeaseWaits  int
+	Elapsed     time.Duration
 	// Throughput is GET operations per second.
 	Throughput float64
 	// Latency summarizes per-round-trip latencies (one sample per pipelined
@@ -213,6 +234,7 @@ func VerifyPayload(key uint64, v []byte) bool {
 
 type workerResult struct {
 	ops, hits, misses, sets, corrupt, repairs, refreshes, stale int
+	nearHits, staleHints, leaseGrants, leaseLost, leaseWaits    int
 	latencies                                                   []time.Duration
 	err                                                         error
 }
@@ -320,6 +342,11 @@ func Run(cfg Config) (Result, error) {
 		agg.Repairs += r.repairs
 		agg.Refreshes += r.refreshes
 		agg.StaleRepairs += r.stale
+		agg.NearHits += r.nearHits
+		agg.StaleHints += r.staleHints
+		agg.LeaseGrants += r.leaseGrants
+		agg.LeaseLost += r.leaseLost
+		agg.LeaseWaits += r.leaseWaits
 		samples = append(samples, r.latencies...)
 	}
 	agg.Elapsed = elapsed
@@ -348,6 +375,11 @@ func runWorker(cfg Config, dial func() (Conn, error), keys trace.Sequence, depth
 		}
 		if sr, ok := conn.(StaleReporter); ok {
 			res.stale = int(sr.StaleRepairs())
+		}
+		if lr, ok := conn.(LeaseReporter); ok {
+			nh, sh, lg, ll, lw := lr.LeaseCounters()
+			res.nearHits, res.staleHints = int(nh), int(sh)
+			res.leaseGrants, res.leaseLost, res.leaseWaits = int(lg), int(ll), int(lw)
 		}
 	}()
 

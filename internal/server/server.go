@@ -140,7 +140,7 @@ type Server struct {
 	// RepairQueueDepth misses between polls). All recording is lock-free
 	// and allocation-free (internal/telemetry), so it stays on even under
 	// benchmark load.
-	opHists       [int(wire.OpMetrics) + 1]telemetry.Histogram
+	opHists       [int(wire.OpGetLease) + 1]telemetry.Histogram
 	repairWait    telemetry.Histogram
 	queueHigh     telemetry.HighWater
 	bytesIn       telemetry.Counter
@@ -148,6 +148,21 @@ type Server struct {
 	connsAccepted telemetry.Counter
 	slowLog       *telemetry.SlowLog
 	slowThreshold atomic.Int64 // nanoseconds; ≤0 disables the slow-op log
+
+	// Lease table (protocol v7, see lease.go): per-key fill-lease state
+	// under its own mutex. leaseLive (outstanding tokens) and leaseEntries
+	// (table size) are mirrored in atomics so the SET and DEL hot paths
+	// can skip the mutex entirely while no lease exists — a workload that
+	// never sends GETL pays one atomic load per write, nothing more.
+	leaseMu       sync.Mutex
+	leases        map[uint64]*lease
+	leaseTokens   uint64 // last token issued; ++ under leaseMu, so never 0
+	leaseLive     atomic.Int64
+	leaseEntries  atomic.Int64
+	leaseTTL      atomic.Int64 // nanoseconds
+	leasesGranted atomic.Uint64
+	leasesExpired atomic.Uint64
+	staleServes   atomic.Uint64
 
 	// Tracing and hot-key attribution (protocol v6). spans retains one
 	// record per *sampled* traced request (plus drained async writes on a
@@ -179,6 +194,7 @@ func New(cache *concurrent.Cache) *Server {
 		s.hotKeys[class] = telemetry.NewTopK(0)
 	}
 	s.slowThreshold.Store(int64(DefaultSlowOpThreshold))
+	s.leaseTTL.Store(int64(DefaultLeaseTTL))
 	return s
 }
 
@@ -419,7 +435,7 @@ func (s *Server) observe(req wire.Request, status wire.Status, ver uint64, d tim
 	s.opHists[op].Record(d)
 	var kh uint64
 	switch req.Op {
-	case wire.OpGet:
+	case wire.OpGet, wire.OpGetLease:
 		kh = telemetry.HashKey(req.Key)
 		s.hotKeys[wire.HotGet].Record(kh)
 	case wire.OpSet:
@@ -523,9 +539,12 @@ func (s *Server) streamKeys(w *wire.Writer) error {
 // apply executes one request against the cache.
 func (s *Server) apply(req wire.Request) wire.Response {
 	switch req.Op {
-	case wire.OpGet:
+	case wire.OpGet, wire.OpGetLease:
 		v, ok := s.cache.Get(req.Key)
 		if !ok {
+			if req.Op == wire.OpGetLease {
+				return s.leaseMiss(req.Key)
+			}
 			return wire.Response{Status: wire.StatusMiss}
 		}
 		switch e := v.(type) {
@@ -549,6 +568,9 @@ func (s *Server) apply(req wire.Request) wire.Response {
 		// The request value aliases the reader's scratch buffer; copy before
 		// it escapes into the cache or the maintenance queue.
 		val := append([]byte(nil), req.Value...)
+		if req.Flags&wire.SetFlagLease != 0 {
+			return s.leaseFill(req.Key, req.LeaseToken, val)
+		}
 		if req.Flags&wire.SetFlagAsync != 0 {
 			// OK means accepted: the write is applied (or shed) by the
 			// background worker, so maintenance floods never stall the
@@ -567,6 +589,11 @@ func (s *Server) apply(req wire.Request) wire.Response {
 		}
 		return wire.Response{Status: wire.StatusOK, Evicted: evicted, Version: ver}
 	case wire.OpDel:
+		// Drop the key's lease state *before* the cache delete: a fill or
+		// stale hint surviving the delete would resurrect the value.
+		if s.leaseEntries.Load() > 0 {
+			s.dropLease(req.Key)
+		}
 		if s.cache.Delete(req.Key) {
 			return wire.Response{Status: wire.StatusOK}
 		}
@@ -631,6 +658,12 @@ func (s *Server) store(key uint64, flags wire.SetFlags, reqVer uint64, val []byt
 		// writes displace residents, the observable proxy for bucket
 		// conflict pressure (the α tradeoff, seen per key).
 		s.hotKeys[wire.HotEvict].Record(telemetry.HashKey(key))
+	}
+	// An applied write supersedes any fill lease in flight for the key:
+	// kill its token and refresh the retained stale copy (lease.go). The
+	// atomic gate keeps lease-free workloads off the table mutex.
+	if s.leaseEntries.Load() > 0 {
+		s.invalidateLease(key, ver, val)
 	}
 	return true, ver, evicted
 }
@@ -749,6 +782,9 @@ func (s *Server) stats(detail bool) *wire.Stats {
 		RepairsShed:          s.repairsShed.Load(),
 		StaleRepairs:         s.staleRepairs.Load(),
 		RepairQueueHighWater: s.queueHigh.High(),
+		LeasesGranted:        s.leasesGranted.Load(),
+		LeasesExpired:        s.leasesExpired.Load(),
+		StaleServes:          s.staleServes.Load(),
 		Migrating:            snap.Migrating,
 	}
 	if ch := s.repairQueue(); ch != nil {

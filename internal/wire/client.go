@@ -94,6 +94,22 @@ func (c *Client) EnqueueSetVersioned(key uint64, flags SetFlags, version uint64,
 	})
 }
 
+// EnqueueGetLease buffers a GETL without flushing: GET with lease
+// semantics on a miss (v7). A resident key answers HIT exactly like GET;
+// a miss answers LEASE, electing at most one concurrent misser to load
+// the origin.
+func (c *Client) EnqueueGetLease(key uint64) error {
+	return c.w.WriteRequest(Request{Op: OpGetLease, Key: key})
+}
+
+// EnqueueSetLease buffers a lease fill without flushing: a user SET
+// carrying SetFlagLease and the nonzero token a LEASE grant handed this
+// caller. The server applies it only while that lease is still
+// outstanding, answering LEASE_LOST otherwise.
+func (c *Client) EnqueueSetLease(key, token uint64, value []byte) error {
+	return c.w.WriteRequest(Request{Op: OpSet, Key: key, Flags: SetFlagLease, LeaseToken: token, Value: value})
+}
+
 // EnqueueDel buffers a DEL without flushing.
 func (c *Client) EnqueueDel(key uint64) error {
 	return c.w.WriteRequest(Request{Op: OpDel, Key: key})
@@ -118,6 +134,19 @@ func (c *Client) EnqueueSetFlagsTraced(key uint64, flags SetFlags, tc TraceConte
 func (c *Client) EnqueueSetVersionedTraced(key uint64, flags SetFlags, version uint64, tc TraceContext, value []byte) error {
 	return c.w.WriteRequest(Request{
 		Op: OpSet, Key: key, Flags: flags | SetFlagVersioned, Version: version,
+		Trace: tc, Traced: true, Value: value,
+	})
+}
+
+// EnqueueGetLeaseTraced is EnqueueGetLease with a trace context attached.
+func (c *Client) EnqueueGetLeaseTraced(key uint64, tc TraceContext) error {
+	return c.w.WriteRequest(Request{Op: OpGetLease, Key: key, Trace: tc, Traced: true})
+}
+
+// EnqueueSetLeaseTraced is EnqueueSetLease with a trace context attached.
+func (c *Client) EnqueueSetLeaseTraced(key, token uint64, tc TraceContext, value []byte) error {
+	return c.w.WriteRequest(Request{
+		Op: OpSet, Key: key, Flags: SetFlagLease, LeaseToken: token,
 		Trace: tc, Traced: true, Value: value,
 	})
 }
@@ -238,6 +267,70 @@ func (c *Client) SetVersionedTraced(key uint64, flags SetFlags, version uint64, 
 		return false, resp.Version, nil
 	default:
 		return false, 0, fmt.Errorf("wire: unexpected VERSIONED SET response %v", resp.Status)
+	}
+}
+
+// Lease is the decoded outcome of a GETL round trip.
+type Lease struct {
+	// Hit reports a resident key: Version and Value carry the live value
+	// (exactly a GET hit) and no lease state was touched.
+	Hit bool
+	// Token, when nonzero, grants this caller the fill lease for the key;
+	// it must accompany the fill SET (SetLease/EnqueueSetLease).
+	Token uint64
+	// TTL is how long the lease (own or, for a zero-token response, the
+	// current holder's) remains outstanding.
+	TTL time.Duration
+	// Stale marks a zero-token response carrying the last value the lease
+	// machinery saw for the key in Version/Value — possibly superseded.
+	Stale bool
+	// Version and Value are set on a Hit or a Stale hint. Value is a copy,
+	// safe to retain.
+	Version uint64
+	Value   []byte
+}
+
+// GetLease issues one GETL round trip: GET with lease semantics on a
+// miss. See Lease for the three outcomes (hit, grant, zero-token
+// wait/stale-hint).
+func (c *Client) GetLease(key uint64) (Lease, error) {
+	resp, err := c.roundTrip(Request{Op: OpGetLease, Key: key})
+	if err != nil {
+		return Lease{}, err
+	}
+	switch resp.Status {
+	case StatusHit:
+		return Lease{Hit: true, Version: resp.Version, Value: append([]byte(nil), resp.Value...)}, nil
+	case StatusLease:
+		l := Lease{Token: resp.LeaseToken, TTL: resp.LeaseTTL, Stale: resp.Stale}
+		if resp.Stale {
+			l.Version = resp.Version
+			l.Value = append([]byte(nil), resp.Value...)
+		}
+		return l, nil
+	default:
+		return Lease{}, fmt.Errorf("wire: unexpected GETL response %v", resp.Status)
+	}
+}
+
+// SetLease issues one lease fill round trip: a user SET carrying
+// SetFlagLease and token. It reports whether the fill landed and the
+// version the server holds after the call — the fill's new version when
+// it applied, the stored winning version (0 when the key is absent or
+// unknown) when the lease was lost. A lost lease is a successful no-op:
+// someone fresher already owns the key's state.
+func (c *Client) SetLease(key, token uint64, value []byte) (filled bool, stored uint64, err error) {
+	resp, err := c.roundTrip(Request{Op: OpSet, Key: key, Flags: SetFlagLease, LeaseToken: token, Value: value})
+	if err != nil {
+		return false, 0, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return true, resp.Version, nil
+	case StatusLeaseLost:
+		return false, resp.Version, nil
+	default:
+		return false, 0, fmt.Errorf("wire: unexpected LEASE SET response %v", resp.Status)
 	}
 }
 

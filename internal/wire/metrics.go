@@ -60,7 +60,7 @@ func (f MetricsFlags) validate() error {
 }
 
 // Histogram IDs. Per-op service-time histograms reuse the request opcode
-// byte as their ID (GET=1 … METRICS=9); IDs from 32 up name histograms
+// byte as their ID (GET=1 … GETL=10); IDs from 32 up name histograms
 // that are not tied to one opcode.
 const (
 	// HistRepairWait is the queue-wait-time histogram of async maintenance
@@ -73,14 +73,14 @@ func HistName(id byte) string {
 	if id == HistRepairWait {
 		return "REPAIR_WAIT"
 	}
-	if op := Op(id); op >= OpGet && op <= OpMetrics {
+	if op := Op(id); op >= OpGet && op <= OpGetLease {
 		return op.String()
 	}
 	return fmt.Sprintf("Hist(%d)", id)
 }
 
 func validHistID(id byte) bool {
-	return (Op(id) >= OpGet && Op(id) <= OpMetrics) || id == HistRepairWait
+	return (Op(id) >= OpGet && Op(id) <= OpGetLease) || id == HistRepairWait
 }
 
 // Counter IDs.

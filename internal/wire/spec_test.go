@@ -85,7 +85,7 @@ func TestSpecPreambleAndLimits(t *testing.T) {
 
 func TestSpecOpcodes(t *testing.T) {
 	codes := tableCodes(specSection(t, specDoc(t), "### Request opcodes"))
-	want := []Op{OpGet, OpSet, OpDel, OpStats, OpRehash, OpKeys, OpMembers, OpTopology, OpMetrics}
+	want := []Op{OpGet, OpSet, OpDel, OpStats, OpRehash, OpKeys, OpMembers, OpTopology, OpMetrics, OpGetLease}
 	if len(codes) != len(want) {
 		t.Errorf("spec lists %d opcodes, implementation has %d", len(codes), len(want))
 	}
@@ -98,7 +98,7 @@ func TestSpecOpcodes(t *testing.T) {
 
 func TestSpecStatuses(t *testing.T) {
 	codes := tableCodes(specSection(t, specDoc(t), "### Response statuses"))
-	want := []Status{StatusHit, StatusMiss, StatusOK, StatusStats, StatusError, StatusKeys, StatusMembers, StatusVersionStale, StatusMetrics}
+	want := []Status{StatusHit, StatusMiss, StatusOK, StatusStats, StatusError, StatusKeys, StatusMembers, StatusVersionStale, StatusMetrics, StatusLease, StatusLeaseLost}
 	if len(codes) != len(want) {
 		t.Errorf("spec lists %d statuses, implementation has %d", len(codes), len(want))
 	}
@@ -118,6 +118,7 @@ func TestSpecSetFlags(t *testing.T) {
 		{"REPAIR", SetFlagRepair},
 		{"ASYNC", SetFlagAsync},
 		{"VERSIONED", SetFlagVersioned},
+		{"LEASE", SetFlagLease},
 	} {
 		row := regexp.MustCompile(`\|\s*` + f.name + `\s*\|\s*0x([0-9a-fA-F]+)\s*\|`).FindStringSubmatch(section)
 		if row == nil {
@@ -130,7 +131,7 @@ func TestSpecSetFlags(t *testing.T) {
 	}
 	// Every defined flag must be documented: if a new bit joins
 	// setFlagsDefined, this forces a spec row for it.
-	if setFlagsDefined != SetFlagRepair|SetFlagAsync|SetFlagVersioned {
+	if setFlagsDefined != SetFlagRepair|SetFlagAsync|SetFlagVersioned|SetFlagLease {
 		t.Error("setFlagsDefined grew; document the new flag bit in ARCHITECTURE.md and extend this test")
 	}
 }
@@ -141,8 +142,8 @@ func TestSpecSetFlags(t *testing.T) {
 func TestSpecVersionedWrites(t *testing.T) {
 	doc := specDoc(t)
 	ops := specSection(t, doc, "### Request opcodes")
-	if !regexp.MustCompile(`SET\s*\|\s*2\s*\|\s*key uint64, flags byte, \[version uint64\], value bytes`).MatchString(ops) {
-		t.Error("spec SET row must document the conditional version field: key, flags, [version], value")
+	if !regexp.MustCompile(`SET\s*\|\s*2\s*\|\s*key uint64, flags byte, \[version uint64\], \[token uint64\], value bytes`).MatchString(ops) {
+		t.Error("spec SET row must document the conditional version and token fields: key, flags, [version], [token], value")
 	}
 	if !regexp.MustCompile(`(?i)version field is present exactly when the flags carry VERSIONED`).MatchString(ops) {
 		t.Error("spec must state when the SET version field is present")
@@ -279,8 +280,8 @@ func TestSpecMetricsPayload(t *testing.T) {
 	}
 
 	// Per-op histogram IDs are the opcode bytes; the spec states the range.
-	if !regexp.MustCompile(`GET\s*=\s*1\s*…\s*METRICS\s*=\s*9`).MatchString(section) {
-		t.Errorf("spec must state per-op histogram IDs GET = 1 … METRICS = %d", byte(OpMetrics))
+	if !regexp.MustCompile(`GET\s*=\s*1\s*…\s*GETL\s*=\s*10`).MatchString(section) {
+		t.Errorf("spec must state per-op histogram IDs GET = 1 … GETL = %d", byte(OpGetLease))
 	}
 
 	// Span record field order (rows marked "per span").
@@ -398,5 +399,59 @@ func TestSpecStatsPayload(t *testing.T) {
 	}
 	if !strings.Contains(section, "ShardCount") || !strings.Contains(section, "Migrating") {
 		t.Error("spec STATS payload must document Migrating and ShardCount")
+	}
+}
+
+// TestSpecLeasePayload pins the v7 lease protocol's normative text: the
+// lease payload table (field order and types), the token/stale exclusion
+// rule, the fixed 13-byte bare length, the LEASE_LOST body, and the
+// lease invariant section the conditional fill rests on.
+func TestSpecLeasePayload(t *testing.T) {
+	doc := specDoc(t)
+	section := specSection(t, doc, "### Lease payload")
+
+	rows := regexp.MustCompile(`(?m)^\|\s*(\w+)\s*\|\s*(\w+)\s*\|`).FindAllStringSubmatch(section, -1)
+	var fields []string
+	for _, r := range rows {
+		if r[1] == "field" {
+			continue // header row
+		}
+		fields = append(fields, r[1]+":"+r[2])
+	}
+	want := []string{"Token:uint64", "TTLms:uint32", "Stale:byte", "Version:uint64", "Value:bytes"}
+	if len(fields) != len(want) {
+		t.Fatalf("spec lease payload lists %v, want %v", fields, want)
+	}
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Errorf("spec lease payload field %d = %q, want %q", i+1, fields[i], want[i])
+		}
+	}
+	if !regexp.MustCompile(`(?i)nonzero Token never travels with Stale\s*=\s*1`).MatchString(section) {
+		t.Error("spec must state the grant/stale exclusion: a nonzero token never travels with a stale copy")
+	}
+	if !regexp.MustCompile(`(?i)exactly 13 bytes after the epoch`).MatchString(section) {
+		t.Error("spec must state the fixed 13-byte length of a bare (Stale = 0) lease payload")
+	}
+
+	statuses := specSection(t, doc, "### Response statuses")
+	if !regexp.MustCompile(`LEASE_LOST\s*\|\s*11\s*\|\s*winning version uint64 \(0 = unknown\)`).MatchString(statuses) {
+		t.Error("spec LEASE_LOST row must document the winning-version body with 0 = unknown")
+	}
+	if !regexp.MustCompile(`(?is)LEASE SET\s+carrying a zero token, is rejected`).MatchString(specSection(t, doc, "### Request opcodes")) {
+		t.Error("spec must state that a LEASE SET with a zero token is rejected")
+	}
+
+	inv := specSection(t, doc, "### Lease invariant")
+	for _, sentence := range []string{
+		`(?i)granted \*\*only on a miss\*\*`,
+		`(?i)only while.*?token is still the key's\s+outstanding lease`,
+		`(?i)no versioned value`,
+		`(?is)one fill lands per lease`,
+		`(?i)DEL drops the key's lease entry`,
+	} {
+		if !regexp.MustCompile(sentence).MatchString(inv) {
+			t.Errorf("spec lease invariant section must match %q", sentence)
+		}
 	}
 }

@@ -10,7 +10,7 @@
 // with a 8-byte client preamble:
 //
 //	magic   [4]byte  "SACW" (Set-Associative Cache Wire)
-//	version uint32   6
+//	version uint32   7
 //
 // after which both directions carry length-prefixed frames:
 //
@@ -29,10 +29,14 @@
 // trips cheap.
 //
 //	GET      key uint64                        → Hit version, value | Miss
+//	GETL     key uint64                        → Hit version, value |
+//	                                             Lease token, TTL [, stale hint]
 //	SET      key uint64, flags byte,
 //	         [version uint64 if VERSIONED],
+//	         [token uint64 if LEASE],
 //	         value                             → OK evicted, version |
-//	                                             VersionStale stored version
+//	                                             VersionStale stored version |
+//	                                             LeaseLost stored version
 //	DEL      key uint64                        → OK | Miss
 //	STATS    detail byte(0|1)                  → Stats payload (see Stats)
 //	REHASH                                     → OK
@@ -112,6 +116,29 @@
 //   - The slow-op record grew a trailing 16-byte trace ID (all-zero when
 //     the slow op was untraced), joining slow ops to their cluster-side
 //     cause.
+//
+// Version 7 added the lease/singleflight miss path — memcached-style herd
+// suppression for hot keys (Nishtala et al., NSDI'13):
+//
+//   - GETL (OpGetLease) is GET with lease semantics on a miss: the first
+//     misser is handed a LEASE response carrying a nonzero token and the
+//     lease TTL, making it the one caller entitled to load the origin and
+//     fill the key. Concurrent missers get LEASE with token 0 — either
+//     bare (back off briefly and retry; the filler is coming) or with a
+//     stale hint: the last value the lease machinery saw for the key,
+//     flagged stale, with its version, so a storm of missers is served
+//     *something* without stampeding the origin. GETL on a resident key is
+//     byte-identical to GET: it answers HIT and touches no lease state.
+//   - SetFlagLease marks a SET as a lease fill: the request carries the
+//     nonzero token between the flags byte and the value, and the server
+//     applies the write only while that exact lease is outstanding and the
+//     key's version is still what the grant observed. A fill that lost its
+//     lease — expired, invalidated by a concurrent user SET or DEL, or
+//     superseded by a newer grant — answers LEASE_LOST with the stored
+//     version (0 when unknown) and changes nothing: like VERSION_STALE it
+//     is a refusal, not a failure.
+//   - The STATS payload gained LeasesGranted, LeasesExpired and
+//     StaleServes.
 package wire
 
 import (
@@ -120,6 +147,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -150,8 +179,11 @@ const (
 	// latency histograms, counters, and the slow-op log) and the
 	// RepairQueueHighWater STATS counter; version 6 added the per-request
 	// trace context (OpFlagTraced), the TRACES and HOTKEYS METRICS
-	// sections, and the slow-op record's trailing trace ID.
-	Version = 6
+	// sections, and the slow-op record's trailing trace ID; version 7
+	// added the lease miss path — the GETL op, the LEASE and LEASE_LOST
+	// statuses, the LEASE SET flag with its token field, and the
+	// LeasesGranted/LeasesExpired/StaleServes counters.
+	Version = 7
 	// MaxFrame bounds a frame body; it caps both value sizes and the damage
 	// a corrupt length prefix can do.
 	MaxFrame = 16 << 20
@@ -285,8 +317,19 @@ const (
 	// version.
 	SetFlagVersioned SetFlags = 1 << 2
 
+	// SetFlagLease marks the SET as a lease fill (v7): the request carries
+	// the nonzero lease token — handed to this writer by a LEASE response —
+	// between the flags byte and the value, and the server applies the
+	// write only while that exact lease is still outstanding and the key's
+	// version is unchanged since the grant. A fill whose lease is gone
+	// answers LEASE_LOST and stores nothing. A lease fill is user traffic
+	// loading the origin on a miss, not replica maintenance, so the flag is
+	// invalid in combination with SetFlagRepair (and therefore with ASYNC
+	// and VERSIONED).
+	SetFlagLease SetFlags = 1 << 3
+
 	// setFlagsDefined masks the bits a conforming frame may set.
-	setFlagsDefined = SetFlagRepair | SetFlagAsync | SetFlagVersioned
+	setFlagsDefined = SetFlagRepair | SetFlagAsync | SetFlagVersioned | SetFlagLease
 )
 
 // OpFlagTraced is the frame flag on the request opcode byte (its high
@@ -355,6 +398,12 @@ const (
 	OpMembers
 	OpTopology
 	OpMetrics
+	// OpGetLease (GETL, v7) is GET with lease semantics on a miss: a
+	// resident key answers HIT exactly like GET, a miss answers LEASE —
+	// granting this caller the fill token, or telling it someone else
+	// already holds it (optionally with a stale hint). The body is the
+	// same 8-byte key as GET.
+	OpGetLease
 )
 
 // String implements fmt.Stringer.
@@ -378,6 +427,8 @@ func (o Op) String() string {
 		return "TOPOLOGY"
 	case OpMetrics:
 		return "METRICS"
+	case OpGetLease:
+		return "GETL"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
@@ -403,6 +454,23 @@ const (
 	StatusVersionStale
 	// StatusMetrics carries a METRICS response payload.
 	StatusMetrics
+	// StatusLease answers a GETL miss (v7). A nonzero token grants this
+	// caller the lease: it alone should load the origin and fill the key
+	// with a LEASE-flagged SET carrying the token, within the TTL. A zero
+	// token means another caller already holds the lease; the body then
+	// either carries a stale hint — the last value the lease machinery saw
+	// for the key, with its version, flagged stale — or nothing, in which
+	// case the caller should back off briefly and retry while the holder
+	// fills.
+	StatusLease
+	// StatusLeaseLost rejects a LEASE fill whose lease is no longer
+	// outstanding — expired, invalidated by a concurrent write or DEL, or
+	// superseded — or whose key changed version since the grant. The body
+	// reports the stored version (0 when the key is absent or the version
+	// is unknown). Like VERSION_STALE it is a refusal, not a failure: the
+	// invariant the protocol wants — at most one fill lands per lease, and
+	// never over fresher state — held.
+	StatusLeaseLost
 )
 
 // String implements fmt.Stringer.
@@ -426,6 +494,10 @@ func (s Status) String() string {
 		return "VERSION_STALE"
 	case StatusMetrics:
 		return "METRICS"
+	case StatusLease:
+		return "LEASE"
+	case StatusLeaseLost:
+		return "LEASE_LOST"
 	default:
 		return fmt.Sprintf("Status(%d)", byte(s))
 	}
@@ -445,6 +517,11 @@ type Request struct {
 	// Version is the observed value version a VERSIONED SET carries; it is
 	// encoded on the wire only when Flags has SetFlagVersioned.
 	Version uint64
+	// LeaseToken is the fill token a LEASE SET carries; it is encoded on
+	// the wire only when Flags has SetFlagLease, and a conforming frame
+	// never carries a zero token (zero is the "no lease" sentinel in LEASE
+	// responses).
+	LeaseToken uint64
 	// Detail asks STATS to include per-shard counters.
 	Detail bool
 	// Topology is the payload of a TOPOLOGY push.
@@ -484,6 +561,18 @@ type Response struct {
 	Topology Topology
 	// Metrics is the payload of a METRICS response.
 	Metrics *Metrics
+	// LeaseToken is a LEASE response's fill token: nonzero grants this
+	// caller the lease, zero means another caller holds it. In a LEASE
+	// SET's LEASE_LOST reply the stored version rides in Version instead.
+	LeaseToken uint64
+	// LeaseTTL is how long the lease (or, for a zero-token LEASE, the
+	// current holder's lease) remains outstanding; the wire carries it as
+	// whole milliseconds, at least 1.
+	LeaseTTL time.Duration
+	// Stale marks a zero-token LEASE that carries a stale hint: Version and
+	// Value then hold the last value the lease machinery saw for the key —
+	// possibly superseded, served so missers need not stampede the origin.
+	Stale bool
 	// Err is the message of an error response.
 	Err string
 }
@@ -523,7 +612,17 @@ type Stats struct {
 	// the server started — the shed-risk signal the point-in-time depth
 	// hides between polls.
 	RepairQueueHighWater uint64
-	Migrating            bool
+	// LeasesGranted counts GETL misses answered with a nonzero token —
+	// each one is a caller elected to load the origin for a key.
+	LeasesGranted uint64
+	// LeasesExpired counts leases that timed out unfilled; their fills, if
+	// they ever arrive, answer LEASE_LOST.
+	LeasesExpired uint64
+	// StaleServes counts zero-token LEASE responses that carried a stale
+	// hint — missers served a possibly superseded value instead of joining
+	// the stampede.
+	StaleServes uint64
+	Migrating   bool
 	// Shards is present only when the STATS request set Detail.
 	Shards []ShardStat
 }
@@ -553,6 +652,9 @@ var statsFields = []struct {
 	{"RepairsShed", func(s *Stats) *uint64 { return &s.RepairsShed }},
 	{"StaleRepairs", func(s *Stats) *uint64 { return &s.StaleRepairs }},
 	{"RepairQueueHighWater", func(s *Stats) *uint64 { return &s.RepairQueueHighWater }},
+	{"LeasesGranted", func(s *Stats) *uint64 { return &s.LeasesGranted }},
+	{"LeasesExpired", func(s *Stats) *uint64 { return &s.LeasesExpired }},
+	{"StaleServes", func(s *Stats) *uint64 { return &s.StaleServes }},
 }
 
 // MissRatio returns Misses / (Hits + Misses), or 0 before any GET.
@@ -572,7 +674,7 @@ type ShardStat struct {
 	Len       uint64
 }
 
-const statsFixedLen = 17*8 + 1 // 17 uint64 counters (statsFields) + migrating byte
+const statsFixedLen = 20*8 + 1 // 20 uint64 counters (statsFields) + migrating byte
 
 // Writer encodes frames onto a buffered stream. It is not safe for
 // concurrent use.
@@ -634,13 +736,22 @@ func (w *Writer) WriteRequest(req Request) error {
 		body = append(body, byte(req.Op))
 	}
 	switch req.Op {
-	case OpGet, OpDel:
+	case OpGet, OpDel, OpGetLease:
 		body = binary.LittleEndian.AppendUint64(body, req.Key)
 	case OpSet:
 		body = binary.LittleEndian.AppendUint64(body, req.Key)
 		body = append(body, byte(req.Flags))
 		if req.Flags&SetFlagVersioned != 0 {
 			body = binary.LittleEndian.AppendUint64(body, req.Version)
+		}
+		if req.Flags&SetFlagLease != 0 {
+			if req.Flags&SetFlagRepair != 0 {
+				return fmt.Errorf("wire: SET flag LEASE is not valid with REPAIR")
+			}
+			if req.LeaseToken == 0 {
+				return fmt.Errorf("wire: LEASE SET with a zero token")
+			}
+			body = binary.LittleEndian.AppendUint64(body, req.LeaseToken)
 		}
 		body = append(body, req.Value...)
 	case OpStats:
@@ -694,6 +805,29 @@ func (w *Writer) WriteResponse(resp Response) error {
 		body = append(body, e)
 		body = binary.LittleEndian.AppendUint64(body, resp.Version)
 	case StatusVersionStale:
+		body = binary.LittleEndian.AppendUint64(body, resp.Version)
+	case StatusLease:
+		if resp.LeaseToken != 0 && resp.Stale {
+			return fmt.Errorf("wire: LEASE grant cannot carry a stale hint")
+		}
+		body = binary.LittleEndian.AppendUint64(body, resp.LeaseToken)
+		ms := resp.LeaseTTL.Milliseconds()
+		if ms < 1 {
+			ms = 1 // a lease is never already dead on the wire
+		} else if ms > math.MaxUint32 {
+			ms = math.MaxUint32
+		}
+		body = binary.LittleEndian.AppendUint32(body, uint32(ms))
+		st := byte(0)
+		if resp.Stale {
+			st = 1
+		}
+		body = append(body, st)
+		if resp.Stale {
+			body = binary.LittleEndian.AppendUint64(body, resp.Version)
+			body = append(body, resp.Value...)
+		}
+	case StatusLeaseLost:
 		body = binary.LittleEndian.AppendUint64(body, resp.Version)
 	case StatusStats:
 		if resp.Stats == nil {
@@ -822,7 +956,7 @@ func (r *Reader) ReadRequest() (Request, error) {
 		body = body[1:]
 	}
 	switch req.Op {
-	case OpGet, OpDel:
+	case OpGet, OpDel, OpGetLease:
 		if len(body) != 8 {
 			return Request{}, fmt.Errorf("wire: %v body %d bytes, want 8", req.Op, len(body))
 		}
@@ -848,6 +982,19 @@ func (r *Reader) ReadRequest() (Request, error) {
 				return Request{}, fmt.Errorf("wire: VERSIONED SET body lacks the version field")
 			}
 			req.Version = binary.LittleEndian.Uint64(body)
+			body = body[8:]
+		}
+		if req.Flags&SetFlagLease != 0 {
+			if req.Flags&SetFlagRepair != 0 {
+				return Request{}, fmt.Errorf("wire: SET flag LEASE is not valid with REPAIR")
+			}
+			if len(body) < 8 {
+				return Request{}, fmt.Errorf("wire: LEASE SET body lacks the token field")
+			}
+			req.LeaseToken = binary.LittleEndian.Uint64(body)
+			if req.LeaseToken == 0 {
+				return Request{}, fmt.Errorf("wire: LEASE SET with a zero token")
+			}
 			body = body[8:]
 		}
 		req.Value = body
@@ -924,6 +1071,39 @@ func (r *Reader) ReadResponse() (Response, error) {
 	case StatusVersionStale:
 		if len(body) != 8 {
 			return Response{}, fmt.Errorf("wire: VERSION_STALE body %d bytes, want 8", len(body))
+		}
+		resp.Version = binary.LittleEndian.Uint64(body)
+	case StatusLease:
+		if len(body) < 13 {
+			return Response{}, fmt.Errorf("wire: LEASE body %d bytes, want ≥13 (token + ttl + stale)", len(body))
+		}
+		resp.LeaseToken = binary.LittleEndian.Uint64(body)
+		ms := binary.LittleEndian.Uint32(body[8:])
+		if ms == 0 {
+			return Response{}, fmt.Errorf("wire: LEASE with a zero TTL")
+		}
+		resp.LeaseTTL = time.Duration(ms) * time.Millisecond
+		switch body[12] {
+		case 0:
+			if len(body) != 13 {
+				return Response{}, fmt.Errorf("wire: LEASE body %d bytes, want 13 without a stale hint", len(body))
+			}
+		case 1:
+			if resp.LeaseToken != 0 {
+				return Response{}, fmt.Errorf("wire: LEASE grant cannot carry a stale hint")
+			}
+			if len(body) < 21 {
+				return Response{}, fmt.Errorf("wire: stale LEASE body %d bytes, want ≥21 (hint version)", len(body))
+			}
+			resp.Stale = true
+			resp.Version = binary.LittleEndian.Uint64(body[13:])
+			resp.Value = body[21:]
+		default:
+			return Response{}, fmt.Errorf("wire: LEASE stale byte %#02x, want 0 or 1", body[12])
+		}
+	case StatusLeaseLost:
+		if len(body) != 8 {
+			return Response{}, fmt.Errorf("wire: LEASE_LOST body %d bytes, want 8", len(body))
 		}
 		resp.Version = binary.LittleEndian.Uint64(body)
 	case StatusStats:
