@@ -18,7 +18,15 @@
 // The alloc columns are a gate, not a report: if any hot-path telemetry
 // operation (histogram Record, counter Add, high-water Set, slow-op
 // Append, hot-key sketch Record, span-ring Append) allocates, benchrun
-// exits nonzero. So is the overhead column: if histogram Record costs
+// exits nonzero. The same discipline covers the wire hot path itself: a
+// round_trip section prices one steady-state loopback GET/SET round trip
+// with testing.AllocsPerRun — which counts process-global mallocs, so
+// both the client codec and the server goroutine are inside the gate —
+// and benchrun exits nonzero if the zero-copy GET (GetShared) or the
+// 16-deep GET batch allocates at all, or plain Get/Set exceed their
+// documented copy counts (1 and 2). Each scenario also reports
+// allocs/op and total GC pause over the measured pass. So is the
+// overhead column: if histogram Record costs
 // more than 5% of the server-side GET median in any scenario, benchrun
 // exits nonzero rather than printing a number over budget. With
 // -baseline it also diffs this run's throughput against a committed
@@ -63,7 +71,24 @@ type report struct {
 	Seed        uint64     `json:"seed"`
 	Short       bool       `json:"short"`
 	Telemetry   telemetryR `json:"telemetry"`
+	RoundTrip   roundTripR `json:"round_trip"`
 	Scenarios   []scenario `json:"scenarios"`
+}
+
+// roundTripR prices one steady-state loopback round trip end to end, via
+// testing.AllocsPerRun over an in-process server — process-global malloc
+// counting puts both the client codec and the server goroutine inside the
+// number. GetShared is the zero-copy read (the contract is 0); plain Get
+// adds exactly its one documented copy; Set carries the server's two
+// inherent allocations (copy-to-retain + entry header); the 16-deep GET
+// batch is priced per batch and must be allocation-free.
+type roundTripR struct {
+	GetSharedAllocsPerOp float64 `json:"get_shared_allocs_per_op"`
+	GetAllocsPerOp       float64 `json:"get_allocs_per_op"`
+	SetAllocsPerOp       float64 `json:"set_allocs_per_op"`
+	GetBatchAllocsPerOp  float64 `json:"get_batch16_allocs_per_batch"`
+	GetNsPerOp           float64 `json:"get_ns_per_op"`
+	GetBatchNsPerKey     float64 `json:"get_batch16_ns_per_key"`
 }
 
 // telemetryR is the microbenchmark row for the instrumentation itself:
@@ -105,6 +130,11 @@ type scenario struct {
 	// server-side GET median. The <5%% budget from the issue is judged on
 	// this column.
 	RecordOverheadPctOfGetP50 float64 `json:"record_overhead_pct_of_get_p50"`
+	// AllocsPerOp and GCPauseNs are the harness process's allocation rate
+	// and total stop-the-world pause over the measured pass (see
+	// load.Result); in-process servers and routers are inside the number.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	GCPauseNs   int64   `json:"gc_pause_ns"`
 }
 
 type latNs struct {
@@ -159,6 +189,21 @@ func main() {
 			rep.Telemetry.TopKAllocsPerOp, rep.Telemetry.SpanAllocsPerOp))
 	}
 
+	rt, err := benchRoundTrip(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	rep.RoundTrip = rt
+	fmt.Fprintf(os.Stderr, "benchrun: round trip GET %.0fns/op, batch16 %.0fns/key; allocs/op get_shared=%.2f get=%.2f set=%.2f batch16=%.2f\n",
+		rt.GetNsPerOp, rt.GetBatchNsPerKey,
+		rt.GetSharedAllocsPerOp, rt.GetAllocsPerOp, rt.SetAllocsPerOp, rt.GetBatchAllocsPerOp)
+	if rt.GetSharedAllocsPerOp > 0.1 || rt.GetBatchAllocsPerOp > 0.1 ||
+		rt.GetAllocsPerOp > 1.1 || rt.SetAllocsPerOp > 2.1 {
+		emit(rep, *out)
+		fatal(fmt.Errorf("wire round trip allocates (get_shared=%.2f get=%.2f set=%.2f batch16=%.2f allocs/op); the steady-state hot path must stay allocation-free (0 / ≤1 / ≤2 / 0)",
+			rt.GetSharedAllocsPerOp, rt.GetAllocsPerOp, rt.SetAllocsPerOp, rt.GetBatchAllocsPerOp))
+	}
+
 	ops, conns, pipeline := 400_000, 4, 16
 	openRate := 150_000.0
 	if *short {
@@ -191,8 +236,8 @@ func main() {
 			fatal(err)
 		}
 		rep.Scenarios = append(rep.Scenarios, s)
-		fmt.Fprintf(os.Stderr, "benchrun: %-38s %10.0f GET/s  server GET p50=%s p99=%s\n",
-			s.Name, s.Throughput,
+		fmt.Fprintf(os.Stderr, "benchrun: %-38s %10.0f GET/s  %5.2f allocs/op  gc %-8s server GET p50=%s p99=%s\n",
+			s.Name, s.Throughput, s.AllocsPerOp, time.Duration(s.GCPauseNs),
 			time.Duration(s.Server.Get.P50Ns), time.Duration(s.Server.Get.P99Ns))
 		if s.RecordOverheadPctOfGetP50 > overheadBudgetPct {
 			emit(rep, *out)
@@ -247,6 +292,85 @@ func diffBaseline(rep report, path string) error {
 	}
 	fmt.Fprintf(os.Stderr, "benchrun: throughput within %.0f%% of %s on every shared scenario\n", 100*tolerance, path)
 	return nil
+}
+
+// benchRoundTrip boots one in-process node on loopback and prices the
+// steady-state wire round trips for the round_trip gate. The warm-up
+// loops absorb the one-time costs (first-writev iovec array, codec buffer
+// growth) so the measured runs see the steady state.
+func benchRoundTrip(seed uint64) (roundTripR, error) {
+	cache, err := concurrent.New(concurrent.Config{Capacity: 1 << 12, Alpha: 16, Seed: seed})
+	if err != nil {
+		return roundTripR{}, err
+	}
+	srv := server.New(cache)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return roundTripR{}, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	c, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		return roundTripR{}, err
+	}
+	defer c.Close()
+
+	val := load.Payload(42, 64)
+	batch := make([]uint64, 16)
+	for i := range batch {
+		batch[i] = uint64(i)
+		if _, err := c.Set(batch[i], load.Payload(batch[i], 64)); err != nil {
+			return roundTripR{}, err
+		}
+	}
+	if _, err := c.Set(42, val); err != nil {
+		return roundTripR{}, err
+	}
+	getShared := func() {
+		if _, ok, err := c.GetShared(42); err != nil || !ok {
+			fatal(fmt.Errorf("round trip GET: ok=%v err=%v", ok, err))
+		}
+	}
+	get := func() {
+		if _, ok, err := c.Get(42); err != nil || !ok {
+			fatal(fmt.Errorf("round trip GET: ok=%v err=%v", ok, err))
+		}
+	}
+	set := func() {
+		if _, err := c.Set(42, val); err != nil {
+			fatal(fmt.Errorf("round trip SET: %v", err))
+		}
+	}
+	visit := func(i int, hit bool, value []byte) {}
+	getBatch := func() {
+		if err := c.GetBatch(batch, visit); err != nil {
+			fatal(fmt.Errorf("round trip GetBatch: %v", err))
+		}
+	}
+	for i := 0; i < 128; i++ {
+		getShared()
+		set()
+		getBatch()
+	}
+	var rt roundTripR
+	rt.GetSharedAllocsPerOp = testing.AllocsPerRun(400, getShared)
+	rt.GetAllocsPerOp = testing.AllocsPerRun(400, get)
+	rt.SetAllocsPerOp = testing.AllocsPerRun(400, set)
+	rt.GetBatchAllocsPerOp = testing.AllocsPerRun(200, getBatch)
+	getB := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			getShared()
+		}
+	})
+	rt.GetNsPerOp = float64(getB.NsPerOp())
+	batchB := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			getBatch()
+		}
+	})
+	rt.GetBatchNsPerKey = float64(batchB.NsPerOp()) / float64(len(batch))
+	return rt, nil
 }
 
 // benchTelemetry measures the instrumentation primitives themselves with
@@ -399,6 +523,8 @@ func runScenario(name string, nodes int, open bool, rate float64, ops, conns, pi
 		},
 		Server: sv,
 	}
+	s.AllocsPerOp = res.AllocsPerOp
+	s.GCPauseNs = int64(res.GCPause)
 	if open {
 		s.RateOpsSec = rate
 	}

@@ -223,6 +223,8 @@ func main() {
 		res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max, *pipeline, lat)
 	fmt.Printf("  client:     hits=%d misses=%d (miss ratio %.4f) sets=%d repairs=%d stale=%d refreshes=%d corrupt=%d\n",
 		res.Hits, res.Misses, res.MissRatio(), res.Sets, res.Repairs, res.StaleRepairs, res.Refreshes, res.Corrupt)
+	fmt.Printf("  memory:     %.2f allocs/op, gc-pause %v (harness process)\n",
+		res.AllocsPerOp, res.GCPause.Round(time.Microsecond))
 	if *leases || *nearSl > 0 {
 		fmt.Printf("  leases:     nearhits=%d stalehints=%d grants=%d lost=%d waits=%d\n",
 			res.NearHits, res.StaleHints, res.LeaseGrants, res.LeaseLost, res.LeaseWaits)

@@ -119,6 +119,8 @@ func main() {
 		res.Latency.P50, res.Latency.P90, res.Latency.P99, res.Latency.Max, *pipeline)
 	fmt.Printf("  client:     hits=%d misses=%d (miss ratio %.4f) sets=%d corrupt=%d\n",
 		res.Hits, res.Misses, res.MissRatio(), res.Sets, res.Corrupt)
+	fmt.Printf("  memory:     %.2f allocs/op, gc-pause %v (harness process)\n",
+		res.AllocsPerOp, res.GCPause.Round(time.Microsecond))
 
 	if *stats {
 		after, err := ctl.Stats(true)

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestRouterGetBatchAllocs gates the router's plain GetBatch fan-out at
+// zero heap allocations per batch in steady state: the partition scratch
+// (idxs, byNode map, subBatch structs) is pooled, the member locks are
+// taken without closures, and the wire codec underneath is allocation-free.
+// AllocsPerRun counts process-global mallocs, so the member servers'
+// request handling is inside the gate too.
+func TestRouterGetBatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates per operation; alloc gate runs without -race")
+	}
+	addrs := startCluster(t, 2, 4096, 16)
+	c, err := Dial(addrs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	keys := make([]uint64, 16)
+	for i := range keys {
+		keys[i] = uint64(i)
+		if err := c.Set(keys[i], []byte("payload-64-bytes")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var missed int
+	visit := func(i int, hit bool, value []byte) {
+		if !hit {
+			missed++
+		}
+	}
+	run := func() {
+		if err := c.GetBatch(keys, visit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		run()
+	}
+	if allocs := testing.AllocsPerRun(200, run); allocs > 0.1 {
+		t.Errorf("GetBatch(16 keys, 2 nodes) allocates %.2f objects/batch, want 0", allocs)
+	}
+	if missed > 0 {
+		t.Errorf("%d unexpected misses on resident keys", missed)
+	}
+}
+
+// TestLeaseRedialUsesConfiguredDialer pins the Options.Dial plumbing — and
+// with it Options.DialTimeout, which Dial folds into the default dialer —
+// on the lease replay path: when a leased batch loses its connection and
+// replays through a redial, that redial must go through the configured
+// dialer, not the package default.
+func TestLeaseRedialUsesConfiguredDialer(t *testing.T) {
+	addrs := startCluster(t, 1, 4096, 16)
+	var dials atomic.Int32
+	c, err := Dial(addrs, Options{
+		Leases: true,
+		Dial: func(addr string) (*wire.Client, error) {
+			dials.Add(1)
+			return wire.Dial(addr)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Set(1, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(1); err != nil || !ok {
+		t.Fatalf("seed read: ok=%v err=%v", ok, err)
+	}
+	n := dials.Load()
+	if n == 0 {
+		t.Fatal("configured dialer was never used for the initial connection")
+	}
+	// Kill the member connections behind the router's back; the next
+	// leased read fails its flush and must replay through a redial.
+	c.mu.RLock()
+	for _, nc := range c.nodes {
+		nc.mu.Lock()
+		if nc.cl != nil {
+			nc.cl.Close()
+		}
+		nc.mu.Unlock()
+	}
+	c.mu.RUnlock()
+	if _, ok, err := c.Get(1); err != nil || !ok {
+		t.Fatalf("leased read after connection kill: ok=%v err=%v", ok, err)
+	}
+	if got := dials.Load(); got != n+1 {
+		t.Errorf("dialer used %d times after redial, want %d — the lease replay path bypassed Options.Dial", got, n+1)
+	}
+}

@@ -402,38 +402,39 @@ func (c *Client) OwnerSample(n int, seed uint64) (share map[string]int, replicas
 	return c.ring.SampleOwners(n, r, seed), r
 }
 
-// partition splits keys by owning member. Caller holds c.mu (either side).
-func (c *Client) partition(keys []uint64) ([]*subBatch, error) {
-	idxs := make([]int, len(keys))
-	for i := range idxs {
-		idxs[i] = i
+// partition splits keys by owning member, building the partition in sc.
+// The returned sub-batches are owned by sc and die at sc.release. Caller
+// holds c.mu (either side).
+func (c *Client) partition(sc *batchScratch, keys []uint64) ([]*subBatch, error) {
+	idxs := sc.idxs[:0]
+	for i := range keys {
+		idxs = append(idxs, i)
 	}
-	return c.partitionIdx(keys, idxs)
+	sc.idxs = idxs
+	return c.partitionIdx(sc, keys, idxs)
 }
 
 // partitionIdx splits the selected indices of keys by owning member —
 // partition over a subset, for the lease paths that carve a batch into
-// near-served, granted and remote fractions. Caller holds c.mu (either
-// side).
-func (c *Client) partitionIdx(keys []uint64, idxs []int) ([]*subBatch, error) {
-	byNode := make(map[*nodeConn]*subBatch)
-	var subs []*subBatch
+// near-served, granted and remote fractions. The returned sub-batches are
+// owned by sc and die at sc.release. Caller holds c.mu (either side).
+func (c *Client) partitionIdx(sc *batchScratch, keys []uint64, idxs []int) ([]*subBatch, error) {
 	for _, i := range idxs {
 		addr, ok := c.ring.Node(keys[i])
 		if !ok {
 			return nil, fmt.Errorf("cluster: empty ring")
 		}
 		nc := c.nodes[addr]
-		sub := byNode[nc]
+		sub := sc.byNode[nc]
 		if sub == nil {
-			sub = &subBatch{nc: nc}
-			byNode[nc] = sub
-			subs = append(subs, sub)
+			sub = sc.newSub(nc)
+			sc.byNode[nc] = sub
+			sc.subs = append(sc.subs, sub)
 		}
 		sub.idx = append(sub.idx, i)
 	}
-	sortSubs(subs)
-	return subs, nil
+	sortSubs(sc.subs)
+	return sc.subs, nil
 }
 
 // GetBatch routes one GET per key and calls visit exactly once per key. All
@@ -454,12 +455,14 @@ func (c *Client) GetBatch(keys []uint64, visit func(i int, hit bool, value []byt
 	if c.effReplicas() > 1 {
 		return c.getBatchReplicated(keys, bt, nil, visit)
 	}
-	subs, err := c.partition(keys)
+	sc := getBatchScratch()
+	defer sc.release()
+	subs, err := c.partition(sc, keys)
 	if err != nil {
 		return err
 	}
-	unlock := lockSubs(subs)
-	defer unlock()
+	lockSubs(subs)
+	defer unlockSubs(subs)
 
 	for _, s := range subs {
 		s.err = s.enqueueGets(c.dial, keys, bt)
@@ -543,12 +546,14 @@ func (c *Client) SetBatch(keys []uint64, value func(i int) []byte) error {
 // setBatchPlain is the unreplicated SET round: pipeline per owner,
 // replay-once recovery. Caller holds c.mu.RLock.
 func (c *Client) setBatchPlain(keys []uint64, bt batchTrace, value func(i int) []byte) error {
-	subs, err := c.partition(keys)
+	sc := getBatchScratch()
+	defer sc.release()
+	subs, err := c.partition(sc, keys)
 	if err != nil {
 		return err
 	}
-	unlock := lockSubs(subs)
-	defer unlock()
+	lockSubs(subs)
+	defer unlockSubs(subs)
 
 	for _, s := range subs {
 		s.err = s.enqueueSets(c.dial, keys, value, bt)

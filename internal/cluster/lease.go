@@ -209,12 +209,14 @@ func (c *Client) waitLocalGrants(keys []uint64, remote []int, visit func(i int, 
 // LEASE responses without a stale hint append their index to waiters for
 // the caller's resolution loop. Caller holds c.mu.RLock.
 func (c *Client) getBatchDirectLeased(keys []uint64, idxs []int, bt batchTrace, waiters *[]int, visit func(i int, hit bool, value []byte)) error {
-	subs, err := c.partitionIdx(keys, idxs)
+	sc := getBatchScratch()
+	defer sc.release()
+	subs, err := c.partitionIdx(sc, keys, idxs)
 	if err != nil {
 		return err
 	}
-	unlock := lockSubs(subs)
-	defer unlock()
+	lockSubs(subs)
+	defer unlockSubs(subs)
 
 	for _, s := range subs {
 		s.err = s.enqueueGetsLease(c.dial, keys, bt, c.leases)
@@ -424,12 +426,14 @@ func (c *Client) fillLeases(keys []uint64, idxs []int, grants map[int]*leaseGran
 			close(g.done)
 		}
 	}()
-	subs, err := c.partitionIdx(keys, idxs)
+	sc := getBatchScratch()
+	defer sc.release()
+	subs, err := c.partitionIdx(sc, keys, idxs)
 	if err != nil {
 		return err
 	}
-	unlock := lockSubs(subs)
-	defer unlock()
+	lockSubs(subs)
+	defer unlockSubs(subs)
 
 	for _, s := range subs {
 		s.err = s.enqueueFills(c.dial, keys, grants, value, bt)

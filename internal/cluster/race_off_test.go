@@ -1,0 +1,6 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports that the race detector is off.
+const raceEnabled = false

@@ -215,7 +215,7 @@ func (c *Client) getBatchReplicated(keys []uint64, bt batchTrace, waiters *[]int
 		// replicas that may legitimately be empty, and granting fills
 		// against them would mint one lease per replica per key.
 		lease := c.leases && round == 0
-		unlock := lockSubs(subs)
+		lockSubs(subs)
 		for _, s := range subs {
 			s.err = s.enqueueGetsLease(c.dial, keys, bt, lease)
 		}
@@ -255,7 +255,7 @@ func (c *Client) getBatchReplicated(keys []uint64, bt batchTrace, waiters *[]int
 				}
 			}
 		}
-		unlock()
+		unlockSubs(subs)
 		pending, next = next, pending
 	}
 
@@ -391,8 +391,8 @@ func (c *Client) setBatchReplicated(keys []uint64, bt batchTrace, value func(i i
 		}
 	}
 	sortSubs(subs)
-	unlock := lockSubs(subs)
-	defer unlock()
+	lockSubs(subs)
+	defer unlockSubs(subs)
 
 	for _, s := range subs {
 		s.err = s.enqueueSets(c.dial, keys, value, bt)

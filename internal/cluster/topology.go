@@ -32,25 +32,64 @@ import (
 // trip, mirroring migrateChunk.
 const warmupChunk = 256
 
+// chunkScratch is the reusable buffer set for readChunkValues: the
+// per-chunk vals/vers/hits slices plus a byte arena the copied values pack
+// into. One scratch serves a whole warm-up or migration loop, so after the
+// first few chunks grow it to the working set's chunk footprint the copy
+// loop stops allocating per chunk. Everything readChunkValues returns
+// aliases the scratch and is overwritten by the next call on it.
+type chunkScratch struct {
+	vals [][]byte
+	vers []uint64
+	hits []int
+	offs [][2]int // per-index [start,end) into data, fixed up after the batch
+	data []byte
+}
+
+// reset sizes the scratch for an n-key chunk, clearing the previous
+// chunk's state.
+func (sc *chunkScratch) reset(n int) {
+	if cap(sc.vals) < n {
+		sc.vals = make([][]byte, n)
+		sc.vers = make([]uint64, n)
+		sc.offs = make([][2]int, n)
+	}
+	sc.vals = sc.vals[:n]
+	sc.vers = sc.vers[:n]
+	sc.offs = sc.offs[:n]
+	clear(sc.vals)
+	clear(sc.vers)
+	sc.hits = sc.hits[:0]
+	sc.data = sc.data[:0]
+}
+
 // readChunkValues reads one chunk of keys from cl in a pipelined batch,
-// returning stable copies of the surviving values, the versions they were
+// returning copies of the surviving values, the versions they were
 // observed at, and the chunk indices that hit. Both maintenance copy paths
 // — warm-up and the migration drain — read through it, so the value-copy
 // rule (connection buffers alias) and the survivors-versus-vanished split
 // live in one place. The observed versions make the subsequent re-SETs
 // conditional (wire.SetFlagVersioned): a copy can never overwrite a value
-// newer than the one it actually read.
-func readChunkValues(cl *wire.Client, chunk []uint64) (vals [][]byte, vers []uint64, hits []int, err error) {
-	vals = make([][]byte, len(chunk))
-	vers = make([]uint64, len(chunk))
+// newer than the one it actually read. The returned slices live in sc and
+// are valid only until the next call on the same scratch; the copies pack
+// into sc's arena, recorded as offsets during the batch and sliced out
+// afterwards because the arena may move while it grows.
+func readChunkValues(cl *wire.Client, chunk []uint64, sc *chunkScratch) (vals [][]byte, vers []uint64, hits []int, err error) {
+	sc.reset(len(chunk))
 	err = cl.GetBatchVersions(chunk, func(i int, h bool, ver uint64, v []byte) {
 		if h {
-			vals[i] = append([]byte(nil), v...)
-			vers[i] = ver
-			hits = append(hits, i)
+			start := len(sc.data)
+			sc.data = append(sc.data, v...)
+			sc.offs[i] = [2]int{start, len(sc.data)}
+			sc.vers[i] = ver
+			sc.hits = append(sc.hits, i)
 		}
 	})
-	return vals, vers, hits, err
+	for _, i := range sc.hits {
+		o := sc.offs[i]
+		sc.vals[i] = sc.data[o[0]:o[1]]
+	}
+	return sc.vals, sc.vers, sc.hits, err
 }
 
 // observeEpoch records a topology epoch seen in a response. An epoch above
@@ -539,6 +578,7 @@ func (c *Client) warmFromSource(w *Warmup, dst *wire.Client, newcomer, src strin
 		return fmt.Errorf("cluster: warm-up KEYS %s: %w", src, err)
 	}
 
+	var rsc chunkScratch
 	for off := 0; off < len(wanted); off += warmupChunk {
 		if c.closed.Load() {
 			return nil
@@ -548,7 +588,7 @@ func (c *Client) warmFromSource(w *Warmup, dst *wire.Client, newcomer, src strin
 			end = len(wanted)
 		}
 		chunk := wanted[off:end]
-		vals, vers, hits, err := readChunkValues(srcCl, chunk)
+		vals, vers, hits, err := readChunkValues(srcCl, chunk, &rsc)
 		if err != nil {
 			return fmt.Errorf("cluster: warm-up reading %s: %w", src, err)
 		}
@@ -716,6 +756,7 @@ func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
 	}()
 
 	src := nc.cl
+	var rsc chunkScratch
 	for off := 0; off < len(keys); off += migrateChunk {
 		end := off + migrateChunk
 		if end > len(keys) {
@@ -723,7 +764,7 @@ func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
 		}
 		chunk := keys[off:end]
 
-		vals, vers, hits, err := readChunkValues(src, chunk)
+		vals, vers, hits, err := readChunkValues(src, chunk, &rsc)
 		if err != nil {
 			return moved, dropped, fmt.Errorf("cluster: draining %s: %w", addr, err)
 		}

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -94,22 +93,79 @@ type subBatch struct {
 	delivered int
 }
 
-// sortSubs orders sub-batches by member address. Lock acquisition must be
-// totally ordered to stay deadlock-free across concurrent batches.
-func sortSubs(subs []*subBatch) {
-	sort.Slice(subs, func(i, j int) bool { return subs[i].nc.addr < subs[j].nc.addr })
+// batchScratch is the per-batch partition state — the identity index list,
+// the member→sub-batch map, the ordered sub-batch slice and a freelist of
+// recycled subBatch structs (with their idx capacity retained). Pooled so a
+// steady-state GetBatch/SetBatch allocates none of it. A scratch is private
+// to one batch from getBatchScratch until release, so no locking is needed
+// beyond sync.Pool's own.
+type batchScratch struct {
+	idxs   []int
+	byNode map[*nodeConn]*subBatch
+	subs   []*subBatch
+	free   []*subBatch
 }
 
-// lockSubs acquires every involved member connection in address order and
-// returns the matching unlock.
-func lockSubs(subs []*subBatch) func() {
+var batchScratchPool = sync.Pool{
+	New: func() any { return &batchScratch{byNode: make(map[*nodeConn]*subBatch, 8)} },
+}
+
+func getBatchScratch() *batchScratch { return batchScratchPool.Get().(*batchScratch) }
+
+// release recycles the sub-batches and returns the scratch to the pool.
+// Callers must be done with every *subBatch and idx slice handed out from
+// this scratch: they are reused verbatim by the next batch.
+func (sc *batchScratch) release() {
+	clear(sc.byNode)
+	for _, s := range sc.subs {
+		s.nc = nil
+		s.idx = s.idx[:0]
+		s.err = nil
+		s.delivered = 0
+		sc.free = append(sc.free, s)
+	}
+	sc.subs = sc.subs[:0]
+	batchScratchPool.Put(sc)
+}
+
+// newSub hands out a sub-batch for nc, reusing a recycled struct when one
+// is available.
+func (sc *batchScratch) newSub(nc *nodeConn) *subBatch {
+	if n := len(sc.free); n > 0 {
+		s := sc.free[n-1]
+		sc.free = sc.free[:n-1]
+		s.nc = nc
+		return s
+	}
+	return &subBatch{nc: nc}
+}
+
+// sortSubs orders sub-batches by member address. Lock acquisition must be
+// totally ordered to stay deadlock-free across concurrent batches.
+// Insertion sort rather than sort.Slice: sub-batch counts are tiny (one
+// per involved member) and sort.Slice allocates its closure and reflect
+// swapper on every call, which the batch hot path cannot afford.
+func sortSubs(subs []*subBatch) {
+	for i := 1; i < len(subs); i++ {
+		for j := i; j > 0 && subs[j].nc.addr < subs[j-1].nc.addr; j-- {
+			subs[j], subs[j-1] = subs[j-1], subs[j]
+		}
+	}
+}
+
+// lockSubs acquires every involved member connection in address order;
+// unlockSubs releases them. A plain function pair instead of a returned
+// closure keeps the batch hot path allocation-free.
+func lockSubs(subs []*subBatch) {
 	for _, s := range subs {
 		s.nc.mu.Lock()
 	}
-	return func() {
-		for _, s := range subs {
-			s.nc.mu.Unlock()
-		}
+}
+
+// unlockSubs releases the member connections lockSubs acquired.
+func unlockSubs(subs []*subBatch) {
+	for _, s := range subs {
+		s.nc.mu.Unlock()
 	}
 }
 

@@ -25,6 +25,7 @@ package load
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -162,6 +163,17 @@ type Result struct {
 	Elapsed     time.Duration
 	// Throughput is GET operations per second.
 	Throughput float64
+	// AllocsPerOp is the process-wide heap allocation count per GET during
+	// the run (runtime.MemStats.Mallocs delta over Ops). It covers every
+	// goroutine in the process — harness workers, router internals, and
+	// any in-process server — which is the point: the PR 9 hot path is
+	// gated end to end, and a regression anywhere in the round trip shows
+	// up here. External-process servers contribute only their client side.
+	AllocsPerOp float64
+	// GCPause is the total stop-the-world GC pause accumulated during the
+	// run (runtime.MemStats.PauseTotalNs delta) — the latency tax the
+	// allocation rate actually charged.
+	GCPause time.Duration
 	// Latency summarizes per-round-trip latencies (one sample per pipelined
 	// batch). In open-loop mode each sample is measured from the batch's
 	// intended send time, so schedule slip counts as latency.
@@ -317,6 +329,8 @@ func Run(cfg Config) (Result, error) {
 
 	results := make([]workerResult, len(chunks))
 	var wg sync.WaitGroup
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	for i, chunk := range chunks {
 		wg.Add(1)
@@ -327,6 +341,8 @@ func Run(cfg Config) (Result, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
 
 	agg := Result{OpenLoop: cfg.OpenLoop, IntendedRate: cfg.Rate}
 	var samples []time.Duration
@@ -353,6 +369,10 @@ func Run(cfg Config) (Result, error) {
 	if elapsed > 0 {
 		agg.Throughput = float64(agg.Ops) / elapsed.Seconds()
 	}
+	if agg.Ops > 0 {
+		agg.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(agg.Ops)
+	}
+	agg.GCPause = time.Duration(ms1.PauseTotalNs - ms0.PauseTotalNs)
 	agg.Latency = summarize(samples)
 	return agg, nil
 }

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/concurrent"
+	"repro/internal/wire"
+)
+
+// benchServer boots a loopback server for the round-trip alloc gates and
+// returns its address.
+func benchServer(tb testing.TB) string {
+	tb.Helper()
+	cache, err := concurrent.New(concurrent.Config{Capacity: 1 << 12, Alpha: 16, Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv := New(cache)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	go srv.Serve(ln)
+	tb.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// benchClient boots a loopback server and dials one wire client at it: the
+// steady-state round trip the PR 9 alloc gates measure. The value is sized
+// like the harness default (64 B payload).
+func benchClient(tb testing.TB) *wire.Client {
+	tb.Helper()
+	c, err := wire.Dial(benchServer(tb))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestGetRoundTripAllocs gates the steady-state GET hit round trip at zero
+// heap allocations per op — across BOTH ends: AllocsPerRun counts
+// process-global mallocs, so the server goroutine's decode/lookup/encode
+// is inside the gate, not just the client codec. GetShared is the
+// zero-copy read; plain Get adds exactly the one documented copy.
+func TestGetRoundTripAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates per operation; alloc gate runs without -race")
+	}
+	c := benchClient(t)
+	if _, err := c.Set(42, wirePayload(64)); err != nil {
+		t.Fatal(err)
+	}
+	get := func() {
+		v, ok, err := c.GetShared(42)
+		if err != nil || !ok || len(v) != 64 {
+			t.Fatalf("get: ok=%v len=%d err=%v", ok, len(v), err)
+		}
+	}
+	// Warm the path: the first vectored write allocates the connection's
+	// iovec array, and the codec buffers grow to their steady size.
+	for i := 0; i < 128; i++ {
+		get()
+	}
+	if allocs := testing.AllocsPerRun(400, get); allocs > 0.1 {
+		t.Errorf("GET hit round trip allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestSetRoundTripAllocs pins the SET round trip at the server's two
+// inherent allocations — the copy that retains the value and the entry
+// header — with zero on the client side.
+func TestSetRoundTripAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates per operation; alloc gate runs without -race")
+	}
+	c := benchClient(t)
+	val := wirePayload(64)
+	set := func() {
+		if _, err := c.Set(42, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 128; i++ {
+		set()
+	}
+	if allocs := testing.AllocsPerRun(400, set); allocs > 2.1 {
+		t.Errorf("SET round trip allocates %.2f objects/op, want ≤2 (server copy-to-retain + entry)", allocs)
+	}
+}
+
+// TestSharedValueAliasingRace exercises the zero-copy value contract under
+// the race detector: one connection reads a large key through GetShared
+// (the server sends such HIT values as zero-copy segments referencing the
+// stored entry) while another connection overwrites the same key. Stored
+// values are immutable — a SET stores a fresh copy — so the reader must
+// never observe a torn value and the race detector must stay quiet. The
+// writer also re-fills its value buffer between SETs, exercising the
+// client-side rule that a zero-copy SET value is released at Flush.
+func TestSharedValueAliasingRace(t *testing.T) {
+	addr := benchServer(t)
+	rc, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	wc, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+
+	const key, valLen, rounds = uint64(99), 8 << 10, 500
+	seed := make([]byte, valLen)
+	if _, err := wc.Set(key, seed); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		val := make([]byte, valLen)
+		for i := 0; i < rounds; i++ {
+			for j := range val {
+				val[j] = byte(i)
+			}
+			if _, err := wc.Set(key, val); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < rounds; i++ {
+		v, ok, err := rc.GetShared(key)
+		if err != nil || !ok || len(v) != valLen {
+			t.Fatalf("read %d: ok=%v len=%d err=%v", i, ok, len(v), err)
+		}
+		b := v[0]
+		for j, got := range v {
+			if got != b {
+				t.Fatalf("torn value on read %d: v[%d]=%d, v[0]=%d", i, j, got, b)
+			}
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkGetRoundTrip measures one unpipelined GET hit over loopback:
+// client encode + flush + server decode/lookup/encode + client decode +
+// value copy. The allocs/op column is the number the tentpole drives to
+// zero (via GetInto/GetShared; plain Get keeps its one copy alloc).
+func BenchmarkGetRoundTrip(b *testing.B) {
+	c := benchClient(b)
+	if _, err := c.Set(42, wirePayload(64)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := c.Get(42); err != nil || !ok {
+			b.Fatalf("get: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkSetRoundTrip measures one unpipelined SET over loopback. The
+// server retains the value, so one copy alloc per op is inherent on its
+// side; the client side must not add any.
+func BenchmarkSetRoundTrip(b *testing.B) {
+	c := benchClient(b)
+	val := wirePayload(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Set(42, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetBatchRoundTrip measures a 16-deep pipelined GET batch —
+// the shape the load harness drives — priced per key, not per batch.
+func BenchmarkGetBatchRoundTrip(b *testing.B) {
+	c := benchClient(b)
+	keys := make([]uint64, 16)
+	for i := range keys {
+		keys[i] = uint64(i)
+		if _, err := c.Set(keys[i], wirePayload(64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	visit := func(i int, hit bool, value []byte) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.GetBatch(keys, visit); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	opsPerIter := float64(len(keys))
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*opsPerIter), "ns/key")
+}
+
+func wirePayload(n int) []byte {
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = byte(i)
+	}
+	return v
+}

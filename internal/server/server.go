@@ -347,7 +347,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 
 	s.connsAccepted.Add(1)
-	r := wire.NewReader(countingReader{conn, &s.bytesIn})
+	r := wire.NewReaderSize(countingReader{conn, &s.bytesIn}, connReadBufSize)
 	w := wire.NewWriter(countingWriter{conn, &s.bytesOut})
 	if err := r.ReadPreamble(); err != nil {
 		if errors.Is(err, wire.ErrVersionMismatch) {
@@ -397,10 +397,21 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// connReadBufSize sizes each connection's wire.Reader stream buffer.
+// Chosen from measurement, not defaults (PR 9 / hypotheses/H3): request
+// frames are tiny (a GET is 13 bytes framed), so what matters is how
+// many pipelined requests one read syscall drains. 64 KiB holds ~4500
+// GET frames or a ~1000-deep batch of 64-byte SETs — comfortably above
+// the deepest pipeline the harnesses drive — and costs 64 KiB per
+// connection, which at the accept rates this server sees is noise next
+// to the cache itself.
+const connReadBufSize = 64 << 10
+
 // countingReader and countingWriter sit between the connection and the
 // wire codecs, feeding the BYTES_IN/BYTES_OUT counters. They count per
-// syscall (the bufio layers above batch frames), so the cost is one
-// atomic add per read/write, not per byte or per frame.
+// syscall (the codec layers above batch frames), so the cost is one
+// atomic add per read/write — and one per whole vectored flush — not
+// per byte or per frame.
 type countingReader struct {
 	r io.Reader
 	c *telemetry.Counter
@@ -419,6 +430,16 @@ type countingWriter struct {
 
 func (cw countingWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
+	cw.c.Add(uint64(n))
+	return n, err
+}
+
+// WriteBuffers lets the wire.Writer's corked flush reach the connection
+// as one vectored write (writev) instead of one Write syscall per
+// segment — without it, wrapping the conn in a byte counter would undo
+// the batching the codec set up.
+func (cw countingWriter) WriteBuffers(v *net.Buffers) (int64, error) {
+	n, err := v.WriteTo(cw.w)
 	cw.c.Add(uint64(n))
 	return n, err
 }

@@ -191,13 +191,28 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 
 // Get fetches key. The returned value is a copy and safe to retain.
 func (c *Client) Get(key uint64) ([]byte, bool, error) {
+	v, ok, err := c.GetShared(key)
+	if ok {
+		v = append([]byte(nil), v...)
+	}
+	return v, ok, err
+}
+
+// GetShared is Get without the defensive copy: the returned value aliases
+// the client's receive buffer and is valid only until the next operation
+// on this client — the same ownership rule the server Reader and the
+// batch visit callbacks already follow. Callers that retain the value
+// past the next call must copy it (or use Get); callers that consume it
+// immediately get an allocation-free hit. See "Buffer ownership and
+// aliasing" in ARCHITECTURE.md.
+func (c *Client) GetShared(key uint64) ([]byte, bool, error) {
 	resp, err := c.roundTrip(Request{Op: OpGet, Key: key})
 	if err != nil {
 		return nil, false, err
 	}
 	switch resp.Status {
 	case StatusHit:
-		return append([]byte(nil), resp.Value...), true, nil
+		return resp.Value, true, nil
 	case StatusMiss:
 		return nil, false, nil
 	default:
@@ -284,8 +299,9 @@ type Lease struct {
 	// Stale marks a zero-token response carrying the last value the lease
 	// machinery saw for the key in Version/Value — possibly superseded.
 	Stale bool
-	// Version and Value are set on a Hit or a Stale hint. Value is a copy,
-	// safe to retain.
+	// Version and Value are set on a Hit or a Stale hint. GetLease returns
+	// Value as a copy, safe to retain; GetLeaseShared returns it aliasing
+	// the client's receive buffer, valid until the next call.
 	Version uint64
 	Value   []byte
 }
@@ -294,18 +310,29 @@ type Lease struct {
 // miss. See Lease for the three outcomes (hit, grant, zero-token
 // wait/stale-hint).
 func (c *Client) GetLease(key uint64) (Lease, error) {
+	l, err := c.GetLeaseShared(key)
+	if len(l.Value) > 0 {
+		l.Value = append([]byte(nil), l.Value...)
+	}
+	return l, err
+}
+
+// GetLeaseShared is GetLease without the defensive copy: a hit's or stale
+// hint's Value aliases the client's receive buffer and is valid only
+// until the next operation on this client (the GetShared ownership rule).
+func (c *Client) GetLeaseShared(key uint64) (Lease, error) {
 	resp, err := c.roundTrip(Request{Op: OpGetLease, Key: key})
 	if err != nil {
 		return Lease{}, err
 	}
 	switch resp.Status {
 	case StatusHit:
-		return Lease{Hit: true, Version: resp.Version, Value: append([]byte(nil), resp.Value...)}, nil
+		return Lease{Hit: true, Version: resp.Version, Value: resp.Value}, nil
 	case StatusLease:
 		l := Lease{Token: resp.LeaseToken, TTL: resp.LeaseTTL, Stale: resp.Stale}
 		if resp.Stale {
 			l.Version = resp.Version
-			l.Value = append([]byte(nil), resp.Value...)
+			l.Value = resp.Value
 		}
 		return l, nil
 	default:
@@ -397,7 +424,10 @@ func (c *Client) Metrics(flags MetricsFlags) (*Metrics, error) {
 // chunked KEYS stream. The cluster router uses it to migrate entries off a
 // node being removed and to warm a newcomer up.
 func (c *Client) Keys() ([]uint64, error) {
-	var all []uint64
+	// Full chunks are DefaultKeysChunk keys; starting the accumulator at
+	// one chunk's capacity (and doubling in chunk units) avoids the many
+	// small regrowth copies an empty append schedule would pay.
+	all := make([]uint64, 0, DefaultKeysChunk)
 	err := c.KeysStream(func(chunk []uint64) error {
 		all = append(all, chunk...)
 		return nil

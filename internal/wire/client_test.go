@@ -133,10 +133,7 @@ func TestVersionMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	w := NewWriter(conn)
-	w.bw.WriteString(Magic)
-	w.bw.Write(v[:])
-	if err := w.Flush(); err != nil {
+	if _, err := conn.Write(append([]byte(Magic), v[:]...)); err != nil {
 		t.Fatal(err)
 	}
 	r := NewReader(conn)

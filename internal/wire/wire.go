@@ -148,6 +148,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"time"
 
 	"repro/internal/telemetry"
@@ -676,189 +677,328 @@ type ShardStat struct {
 
 const statsFixedLen = 20*8 + 1 // 20 uint64 counters (statsFields) + migrating byte
 
-// Writer encodes frames onto a buffered stream. It is not safe for
-// concurrent use.
+// Codec buffer tuning. The shrink policy keeps one large frame (a KEYS
+// chunk, a METRICS snapshot, a big value) from pinning its buffer on a
+// long-lived connection forever: once the buffer exceeds codecShrinkCap
+// and codecIdleFrames consecutive frames (reads) or flushes (writes)
+// stayed under it, the buffer is reallocated back down to codecShrinkCap.
+const (
+	// codecShrinkCap is the largest buffer capacity a steady small-frame
+	// workload retains per connection endpoint (64 KiB comfortably holds
+	// the deepest pipelined batch the harnesses drive).
+	codecShrinkCap = 64 << 10
+	// codecIdleFrames is how many consecutive small frames/flushes an
+	// oversized buffer survives before shrinking — large enough that a
+	// periodic KEYS/METRICS poll doesn't thrash the allocation.
+	codecIdleFrames = 64
+	// zeroCopyMin is the value length from which WriteRequest (SET) and
+	// WriteResponse (HIT) stop copying the value into the frame buffer
+	// and instead send it as its own vectored-write segment. Below it the
+	// memcpy is cheaper than an extra iovec entry.
+	zeroCopyMin = 4 << 10
+)
+
+// BuffersWriter is the optional interface a Writer's destination can
+// implement to receive a whole flush as one vectored write. net.Conn
+// destinations don't need it (net.Buffers.WriteTo already uses writev);
+// wrappers around a net.Conn (byte counters, instrumented writers)
+// implement it by delegating to the wrapped connection, so the writev
+// survives the wrapping instead of degrading to one syscall per segment.
+type BuffersWriter interface {
+	WriteBuffers(*net.Buffers) (int64, error)
+}
+
+// Writer encodes frames into an owned buffer and sends a whole flush in
+// one (vectored) write. It is not safe for concurrent use.
+//
+// Values at least zeroCopyMin long passed to WriteRequest (SET) or
+// WriteResponse (HIT) are not copied: the slice is referenced until the
+// next Flush, so the caller must not modify its contents in between.
+// Both servers (immutable stored values) and clients (values held across
+// the enqueue→Flush window of one batch) satisfy this naturally; see the
+// "Buffer ownership and aliasing" section of ARCHITECTURE.md.
+//
+// A flush error is sticky: the buffered frames (possibly half-sent) are
+// discarded, and every later call returns the same error, so a partial
+// frame can never be resent as the prefix of fresh scratch. Callers drop
+// the connection, exactly as they would for any transport error.
 type Writer struct {
-	bw      *bufio.Writer
-	scratch []byte
+	out   io.Writer
+	chunk []byte      // frames encoded in place; chunk[mark:] is not yet sealed
+	segs  net.Buffers // sealed flush segments: chunk regions + zero-copy values
+	mark  int         // start of the unsealed tail of chunk
+	err   error       // sticky flush error
+	idle  int         // consecutive small flushes with an oversized chunk
 }
 
 // NewWriter wraps w in a frame encoder.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{bw: bufio.NewWriter(w)}
+	return &Writer{out: w}
 }
 
 // WritePreamble emits the connection preamble (client side, once).
 func (w *Writer) WritePreamble() error {
-	if _, err := w.bw.WriteString(Magic); err != nil {
-		return err
+	if w.err != nil {
+		return w.err
 	}
-	var v [4]byte
-	binary.LittleEndian.PutUint32(v[:], Version)
-	_, err := w.bw.Write(v[:])
-	return err
+	w.chunk = append(w.chunk, Magic...)
+	w.chunk = binary.LittleEndian.AppendUint32(w.chunk, Version)
+	return nil
 }
 
-// Flush forces buffered frames onto the underlying stream.
-func (w *Writer) Flush() error { return w.bw.Flush() }
-
-func (w *Writer) frame(body []byte) error {
-	if len(body) > MaxFrame {
-		return fmt.Errorf("wire: frame body %d exceeds max %d", len(body), MaxFrame)
+// Flush sends every buffered frame in one vectored write.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
 	}
-	var ln [4]byte
-	binary.LittleEndian.PutUint32(ln[:], uint32(len(body)))
-	if _, err := w.bw.Write(ln[:]); err != nil {
+	w.seal()
+	var err error
+	switch len(w.segs) {
+	case 0:
+		return nil
+	case 1:
+		_, err = w.out.Write(w.segs[0])
+	default:
+		if bw, ok := w.out.(BuffersWriter); ok {
+			_, err = bw.WriteBuffers(&w.segs)
+		} else {
+			_, err = w.segs.WriteTo(w.out)
+		}
+	}
+	// Drop segment references either way: on success they are sent, on
+	// error the connection is dead and half a frame must never survive
+	// as reusable scratch.
+	for i := range w.segs {
+		w.segs[i] = nil
+	}
+	w.segs = w.segs[:0]
+	used := len(w.chunk)
+	w.chunk = w.chunk[:0]
+	w.mark = 0
+	if err != nil {
+		w.err = err
 		return err
 	}
-	_, err := w.bw.Write(body)
-	return err
+	// Shrink-on-idle: a chunk grown by one huge frame (METRICS, a big
+	// value) must not stay pinned on a connection that went back to
+	// small frames.
+	if cap(w.chunk) > codecShrinkCap {
+		if used <= codecShrinkCap {
+			if w.idle++; w.idle >= codecIdleFrames {
+				w.chunk = make([]byte, 0, codecShrinkCap)
+				w.idle = 0
+			}
+		} else {
+			w.idle = 0
+		}
+	}
+	return nil
 }
 
-func (w *Writer) reset(n int) []byte {
-	if cap(w.scratch) < n {
-		w.scratch = make([]byte, 0, n+64)
+// seal closes the unsealed tail of chunk into a flush segment.
+func (w *Writer) seal() {
+	if len(w.chunk) > w.mark {
+		w.segs = append(w.segs, w.chunk[w.mark:len(w.chunk):len(w.chunk)])
+		w.mark = len(w.chunk)
 	}
-	return w.scratch[:0]
+}
+
+// beginFrame reserves a frame's 4-byte length prefix in chunk and returns
+// its offset, to be backfilled by endFrame once the body length is known.
+func (w *Writer) beginFrame() int {
+	w.chunk = append(w.chunk, 0, 0, 0, 0)
+	return len(w.chunk) - 4
+}
+
+// endFrame backfills the length prefix of the frame begun at off.
+// external counts value bytes that will travel as their own segment
+// rather than through chunk. On error the partial frame is discarded.
+func (w *Writer) endFrame(off, external int) error {
+	n := len(w.chunk) - off - 4 + external
+	if n > MaxFrame {
+		w.chunk = w.chunk[:off]
+		return fmt.Errorf("wire: frame body %d exceeds max %d", n, MaxFrame)
+	}
+	binary.LittleEndian.PutUint32(w.chunk[off:], uint32(n))
+	return nil
+}
+
+// sealValue appends val as a zero-copy segment of the current flush. The
+// caller must keep val unmodified until Flush returns.
+func (w *Writer) sealValue(val []byte) {
+	w.seal()
+	w.segs = append(w.segs, val)
+}
+
+// abortFrame discards the partial frame begun at off and returns err.
+func (w *Writer) abortFrame(off int, err error) error {
+	w.chunk = w.chunk[:off]
+	return err
 }
 
 // WriteRequest encodes one request frame (buffered; call Flush to send).
+// A SET Value at least zeroCopyMin long is referenced, not copied, and
+// must stay unmodified until Flush.
 func (w *Writer) WriteRequest(req Request) error {
-	body := w.reset(1 + TraceContextLen + 8 + 1 + 8 + len(req.Value))
+	if w.err != nil {
+		return w.err
+	}
+	off := w.beginFrame()
 	if req.Traced {
 		if err := req.Trace.validate(); err != nil {
-			return err
+			return w.abortFrame(off, err)
 		}
-		body = append(body, byte(req.Op)|OpFlagTraced)
-		body = append(body, req.Trace.ID[:]...)
-		body = append(body, byte(req.Trace.Flags))
+		w.chunk = append(w.chunk, byte(req.Op)|OpFlagTraced)
+		w.chunk = append(w.chunk, req.Trace.ID[:]...)
+		w.chunk = append(w.chunk, byte(req.Trace.Flags))
 	} else {
-		body = append(body, byte(req.Op))
+		w.chunk = append(w.chunk, byte(req.Op))
 	}
+	external := 0
 	switch req.Op {
 	case OpGet, OpDel, OpGetLease:
-		body = binary.LittleEndian.AppendUint64(body, req.Key)
+		w.chunk = binary.LittleEndian.AppendUint64(w.chunk, req.Key)
 	case OpSet:
-		body = binary.LittleEndian.AppendUint64(body, req.Key)
-		body = append(body, byte(req.Flags))
+		w.chunk = binary.LittleEndian.AppendUint64(w.chunk, req.Key)
+		w.chunk = append(w.chunk, byte(req.Flags))
 		if req.Flags&SetFlagVersioned != 0 {
-			body = binary.LittleEndian.AppendUint64(body, req.Version)
+			w.chunk = binary.LittleEndian.AppendUint64(w.chunk, req.Version)
 		}
 		if req.Flags&SetFlagLease != 0 {
 			if req.Flags&SetFlagRepair != 0 {
-				return fmt.Errorf("wire: SET flag LEASE is not valid with REPAIR")
+				return w.abortFrame(off, fmt.Errorf("wire: SET flag LEASE is not valid with REPAIR"))
 			}
 			if req.LeaseToken == 0 {
-				return fmt.Errorf("wire: LEASE SET with a zero token")
+				return w.abortFrame(off, fmt.Errorf("wire: LEASE SET with a zero token"))
 			}
-			body = binary.LittleEndian.AppendUint64(body, req.LeaseToken)
+			w.chunk = binary.LittleEndian.AppendUint64(w.chunk, req.LeaseToken)
 		}
-		body = append(body, req.Value...)
+		if len(req.Value) >= zeroCopyMin {
+			external = len(req.Value)
+		} else {
+			w.chunk = append(w.chunk, req.Value...)
+		}
 	case OpStats:
 		d := byte(0)
 		if req.Detail {
 			d = 1
 		}
-		body = append(body, d)
+		w.chunk = append(w.chunk, d)
 	case OpRehash, OpKeys, OpMembers:
 	case OpMetrics:
 		if err := req.MetricsFlags.validate(); err != nil {
-			return err
+			return w.abortFrame(off, err)
 		}
-		body = append(body, byte(req.MetricsFlags))
+		w.chunk = append(w.chunk, byte(req.MetricsFlags))
 	case OpTopology:
 		if err := req.Topology.Validate(); err != nil {
-			return err
+			return w.abortFrame(off, err)
 		}
 		if len(req.Topology.Members) == 0 {
-			return fmt.Errorf("wire: TOPOLOGY push with no members")
+			return w.abortFrame(off, fmt.Errorf("wire: TOPOLOGY push with no members"))
 		}
-		body = appendTopology(body, req.Topology)
+		w.chunk = appendTopology(w.chunk, req.Topology)
 	default:
-		return fmt.Errorf("wire: unknown request op %v", req.Op)
+		return w.abortFrame(off, fmt.Errorf("wire: unknown request op %v", req.Op))
 	}
-	w.scratch = body
-	return w.frame(body)
+	if err := w.endFrame(off, external); err != nil {
+		return err
+	}
+	if external > 0 {
+		w.sealValue(req.Value)
+	}
+	return nil
 }
 
 // WriteResponse encodes one response frame (buffered; call Flush to send).
 // Every response carries resp.Epoch — the server's topology epoch — right
-// after the status byte.
+// after the status byte. A HIT Value at least zeroCopyMin long is
+// referenced, not copied, and must stay unmodified until Flush — which a
+// server whose stored values are immutable satisfies by construction.
 func (w *Writer) WriteResponse(resp Response) error {
-	n := 9 + 8 + len(resp.Value) + len(resp.Err) + 8*len(resp.Keys)
-	if resp.Stats != nil {
-		n += statsFixedLen + 4 + 4*8*len(resp.Stats.Shards)
+	if w.err != nil {
+		return w.err
 	}
-	body := w.reset(n)
-	body = append(body, byte(resp.Status))
-	body = binary.LittleEndian.AppendUint64(body, resp.Epoch)
+	off := w.beginFrame()
+	w.chunk = append(w.chunk, byte(resp.Status))
+	w.chunk = binary.LittleEndian.AppendUint64(w.chunk, resp.Epoch)
+	external := 0
 	switch resp.Status {
 	case StatusHit:
-		body = binary.LittleEndian.AppendUint64(body, resp.Version)
-		body = append(body, resp.Value...)
+		w.chunk = binary.LittleEndian.AppendUint64(w.chunk, resp.Version)
+		if len(resp.Value) >= zeroCopyMin {
+			external = len(resp.Value)
+		} else {
+			w.chunk = append(w.chunk, resp.Value...)
+		}
 	case StatusMiss:
 	case StatusOK:
 		e := byte(0)
 		if resp.Evicted {
 			e = 1
 		}
-		body = append(body, e)
-		body = binary.LittleEndian.AppendUint64(body, resp.Version)
+		w.chunk = append(w.chunk, e)
+		w.chunk = binary.LittleEndian.AppendUint64(w.chunk, resp.Version)
 	case StatusVersionStale:
-		body = binary.LittleEndian.AppendUint64(body, resp.Version)
+		w.chunk = binary.LittleEndian.AppendUint64(w.chunk, resp.Version)
 	case StatusLease:
 		if resp.LeaseToken != 0 && resp.Stale {
-			return fmt.Errorf("wire: LEASE grant cannot carry a stale hint")
+			return w.abortFrame(off, fmt.Errorf("wire: LEASE grant cannot carry a stale hint"))
 		}
-		body = binary.LittleEndian.AppendUint64(body, resp.LeaseToken)
+		w.chunk = binary.LittleEndian.AppendUint64(w.chunk, resp.LeaseToken)
 		ms := resp.LeaseTTL.Milliseconds()
 		if ms < 1 {
 			ms = 1 // a lease is never already dead on the wire
 		} else if ms > math.MaxUint32 {
 			ms = math.MaxUint32
 		}
-		body = binary.LittleEndian.AppendUint32(body, uint32(ms))
+		w.chunk = binary.LittleEndian.AppendUint32(w.chunk, uint32(ms))
 		st := byte(0)
 		if resp.Stale {
 			st = 1
 		}
-		body = append(body, st)
+		w.chunk = append(w.chunk, st)
 		if resp.Stale {
-			body = binary.LittleEndian.AppendUint64(body, resp.Version)
-			body = append(body, resp.Value...)
+			w.chunk = binary.LittleEndian.AppendUint64(w.chunk, resp.Version)
+			w.chunk = append(w.chunk, resp.Value...)
 		}
 	case StatusLeaseLost:
-		body = binary.LittleEndian.AppendUint64(body, resp.Version)
+		w.chunk = binary.LittleEndian.AppendUint64(w.chunk, resp.Version)
 	case StatusStats:
 		if resp.Stats == nil {
-			return fmt.Errorf("wire: stats response without payload")
+			return w.abortFrame(off, fmt.Errorf("wire: stats response without payload"))
 		}
-		body = appendStats(body, resp.Stats)
+		w.chunk = appendStats(w.chunk, resp.Stats)
 	case StatusError:
-		body = append(body, resp.Err...)
+		w.chunk = append(w.chunk, resp.Err...)
 	case StatusKeys:
-		body = binary.LittleEndian.AppendUint32(body, uint32(len(resp.Keys)))
+		w.chunk = binary.LittleEndian.AppendUint32(w.chunk, uint32(len(resp.Keys)))
 		for _, k := range resp.Keys {
-			body = binary.LittleEndian.AppendUint64(body, k)
+			w.chunk = binary.LittleEndian.AppendUint64(w.chunk, k)
 		}
 	case StatusMembers:
 		if err := resp.Topology.Validate(); err != nil {
-			return err
+			return w.abortFrame(off, err)
 		}
-		body = appendTopology(body, resp.Topology)
+		w.chunk = appendTopology(w.chunk, resp.Topology)
 	case StatusMetrics:
 		if resp.Metrics == nil {
-			return fmt.Errorf("wire: metrics response without payload")
+			return w.abortFrame(off, fmt.Errorf("wire: metrics response without payload"))
 		}
 		var err error
-		if body, err = appendMetrics(body, resp.Metrics); err != nil {
-			return err
+		if w.chunk, err = appendMetrics(w.chunk, resp.Metrics); err != nil {
+			return w.abortFrame(off, err)
 		}
 	default:
-		return fmt.Errorf("wire: unknown response status %v", resp.Status)
+		return w.abortFrame(off, fmt.Errorf("wire: unknown response status %v", resp.Status))
 	}
-	w.scratch = body
-	return w.frame(body)
+	if err := w.endFrame(off, external); err != nil {
+		return err
+	}
+	if external > 0 {
+		w.sealValue(resp.Value)
+	}
+	return nil
 }
 
 func appendStats(body []byte, s *Stats) []byte {
@@ -885,17 +1025,33 @@ func appendStats(body []byte, s *Stats) []byte {
 type Reader struct {
 	br   *bufio.Reader
 	body []byte
+	// hdr backs the fixed-size length and preamble reads; a struct field
+	// rather than a stack array so passing it through io.ReadFull's
+	// interface does not allocate per frame.
+	hdr [8]byte
+	// keys backs Response.Keys across calls, like body backs Value.
+	keys []uint64
+	// idle counts consecutive frames that fit codecShrinkCap while body
+	// was grown beyond it (shrink-on-idle, mirroring the Writer).
+	idle int
 }
 
-// NewReader wraps r in a frame decoder.
+// NewReader wraps r in a frame decoder with the default buffer size.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReader(r)}
 }
 
+// NewReaderSize is NewReader with an explicit stream buffer size, for
+// endpoints that read deep pipelined batches in one syscall (the server
+// sizes its per-connection reader with this; see internal/server).
+func NewReaderSize(r io.Reader, size int) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, size)}
+}
+
 // ReadPreamble validates the connection preamble (server side, once).
 func (r *Reader) ReadPreamble() error {
-	var pre [8]byte
-	if _, err := io.ReadFull(r.br, pre[:]); err != nil {
+	pre := r.hdr[:8]
+	if _, err := io.ReadFull(r.br, pre); err != nil {
 		return fmt.Errorf("wire: reading preamble: %w", err)
 	}
 	if string(pre[:4]) != Magic {
@@ -912,15 +1068,27 @@ func (r *Reader) ReadPreamble() error {
 func (r *Reader) Buffered() int { return r.br.Buffered() }
 
 func (r *Reader) readFrame() ([]byte, error) {
-	var ln [4]byte
-	if _, err := io.ReadFull(r.br, ln[:]); err != nil {
+	ln := r.hdr[:4]
+	if _, err := io.ReadFull(r.br, ln); err != nil {
 		return nil, err // io.EOF between frames means a clean close
 	}
-	n := binary.LittleEndian.Uint32(ln[:])
+	n := int(binary.LittleEndian.Uint32(ln))
 	if n > MaxFrame {
 		return nil, fmt.Errorf("wire: frame length %d exceeds max %d", n, MaxFrame)
 	}
-	if cap(r.body) < int(n) {
+	// Shrink-on-idle: one KEYS or METRICS frame must not pin up to
+	// MaxFrame (and a keys buffer) on this connection forever once the
+	// traffic goes back to small frames.
+	if cap(r.body) > codecShrinkCap && n <= codecShrinkCap {
+		if r.idle++; r.idle >= codecIdleFrames {
+			r.body = make([]byte, 0, codecShrinkCap)
+			r.keys = nil
+			r.idle = 0
+		}
+	} else {
+		r.idle = 0
+	}
+	if cap(r.body) < n {
 		r.body = make([]byte, n)
 	}
 	r.body = r.body[:n]
@@ -1036,7 +1204,7 @@ func (r *Reader) ReadRequest() (Request, error) {
 }
 
 // ReadResponse decodes the next response frame (client side). The returned
-// Value aliases an internal buffer valid until the next call.
+// Value and Keys alias internal buffers valid until the next call.
 func (r *Reader) ReadResponse() (Response, error) {
 	body, err := r.readFrame()
 	if err != nil {
@@ -1124,7 +1292,12 @@ func (r *Reader) ReadResponse() (Response, error) {
 			return Response{}, fmt.Errorf("wire: keys payload %d bytes, want %d", len(body), 8*n)
 		}
 		if n > 0 {
-			resp.Keys = make([]uint64, n)
+			// Like Value, Keys aliases reader-owned memory valid until
+			// the next call — KEYS streams reuse one buffer per chunk.
+			if cap(r.keys) < n {
+				r.keys = make([]uint64, n)
+			}
+			resp.Keys = r.keys[:n]
 			for i := range resp.Keys {
 				resp.Keys[i] = binary.LittleEndian.Uint64(body[8*i:])
 			}
