@@ -112,6 +112,7 @@ func main() {
 		leases   = flag.Bool("leases", false, "lease/singleflight misses (wire v7 GETL): one fill per cold key cluster-wide, concurrent missers wait or eat a stale hint")
 		nearSl   = flag.Int("near-slots", 0, "per-worker near-cache slots (0 = off): serve repeat reads in-process, version-invalidated")
 		nearTTL  = flag.Duration("near-ttl", 0, "near-cache entry TTL (0 = default); the staleness budget granted to the client edge")
+		antiEnt  = flag.Duration("anti-entropy", 0, "background anti-entropy sweep period (wire v8, 0 = off): compare replica record sets and repair divergence, tombstones included")
 	)
 	flag.Parse()
 
@@ -137,10 +138,14 @@ func main() {
 	if *nearTTL < 0 {
 		fatal(fmt.Errorf("-near-ttl %v: TTL must not be negative", *nearTTL))
 	}
+	if *antiEnt < 0 {
+		fatal(fmt.Errorf("-anti-entropy %v: sweep period must not be negative", *antiEnt))
+	}
 	opts := cluster.Options{
 		VNodes: *vnodes, Replicas: *replicas, WriteQuorum: *quorum, Bootstrap: *boot,
 		TraceSample: *traceSm, Leases: *leases,
-		NearCache: cluster.NearCacheOptions{Slots: *nearSl, TTL: *nearTTL},
+		NearCache:   cluster.NearCacheOptions{Slots: *nearSl, TTL: *nearTTL},
+		AntiEntropy: *antiEnt,
 	}
 	ctl, err := cluster.Dial(members, opts)
 	if err != nil {

@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Anti-entropy (wire v8) is the cluster's self-healing backstop: a
+// periodic sweep that compares every member's resident record set —
+// {key, version, tombstone} triples from the chunked KEYS stream — and
+// repairs divergence in both directions through the same conditional
+// versioned writes (v4) that replication and warm-up use. Hinted handoff
+// (server.go's hint queue) heals the failures the router *observed*;
+// anti-entropy heals the ones nobody observed — a hint dropped for
+// budget, a member that crashed holding queued hints, replicas diverged
+// by a partition. Tombstones flow through the sweep like any other
+// record, which is what makes delete durable: a replica that missed a
+// DEL learns the tombstone here instead of resurrecting the value, and
+// the divergence window for any key is bounded by the sweep period.
+
+// aeChunk bounds how many records one pipelined repair round trip
+// carries, keeping peak buffering (chunk × value size) modest — the same
+// ceiling warm-up and migration use.
+const aeChunk = 256
+
+// antiEntropyLoop runs sweeps every interval until Close. Started by
+// Dial when Options.AntiEntropy > 0; Close stops it via aeStop and waits
+// on aeDone.
+func (c *Client) antiEntropyLoop(interval time.Duration) {
+	defer close(c.aeDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.aeStop:
+			return
+		case <-t.C:
+			c.AntiEntropySweep()
+		}
+	}
+}
+
+// aeRecord is one key's winning record during a sweep: the highest
+// version any member holds, and which member holds it (the value source
+// for live repairs).
+type aeRecord struct {
+	rec    wire.KeyRec
+	holder string
+}
+
+// AntiEntropySweep runs one full sweep: snapshot every reachable
+// member's record set, determine each key's winning record (highest
+// version, tombstone or live), and repair every owner that is missing it
+// or holds an older version. Tombstone repairs are written directly from
+// the snapshot; live repairs re-read the value from the winning holder
+// first, so the bytes written are at least as fresh as the snapshot.
+// Winning tombstones also invalidate this router's near-cache, so a
+// delete that happened entirely on other routers cannot keep serving
+// here past the sweep.
+//
+// Unreachable members are skipped — their records neither win nor get
+// repaired this round; the next sweep retries. It returns how many
+// repairs applied and the first error encountered (nil when every
+// reachable member was fully processed). Runs on dedicated connections
+// registered for interrupt, so Close can cut a sweep short.
+func (c *Client) AntiEntropySweep() (repaired int, err error) {
+	if c.closed.Load() {
+		return 0, fmt.Errorf("cluster: client closed")
+	}
+	c.mu.RLock()
+	members := c.ring.Nodes()
+	rf := c.effReplicas()
+	c.mu.RUnlock()
+
+	// Phase 1: snapshot. One dedicated connection per reachable member,
+	// held open for the repair phase (value reads and repair writes).
+	conns := make(map[string]*wire.Client, len(members))
+	defer func() {
+		for _, cl := range conns {
+			c.warmupRelease(cl)
+		}
+	}()
+	best := make(map[uint64]aeRecord)
+	held := make(map[uint64]map[string]uint64)
+	for _, addr := range members {
+		if c.closed.Load() {
+			return repaired, fmt.Errorf("cluster: client closed")
+		}
+		cl, derr := c.warmupDial(addr)
+		if derr != nil {
+			continue // unreachable: skip this round
+		}
+		recs, kerr := cl.Keys()
+		if kerr != nil {
+			c.warmupRelease(cl)
+			if err == nil {
+				err = fmt.Errorf("cluster: anti-entropy KEYS %s: %w", addr, kerr)
+			}
+			continue
+		}
+		conns[addr] = cl
+		for _, rec := range recs {
+			h := held[rec.Key]
+			if h == nil {
+				h = make(map[string]uint64, rf)
+				held[rec.Key] = h
+			}
+			h[addr] = rec.Version
+			if b, ok := best[rec.Key]; !ok || rec.Version > b.rec.Version {
+				best[rec.Key] = aeRecord{rec: rec, holder: addr}
+			}
+		}
+	}
+
+	// Phase 2: plan. For each key, every owner missing the winning
+	// record (or holding an older version) gets a repair. The ring is
+	// consulted once under the read lock so a concurrent topology change
+	// cannot split the plan across two views.
+	plans := make(map[string][]aeRecord)
+	c.mu.RLock()
+	for key, b := range best {
+		for _, owner := range c.ring.OwnersFor(key, rf) {
+			if hv, ok := held[key][owner]; !ok || hv < b.rec.Version {
+				plans[owner] = append(plans[owner], b)
+			}
+		}
+	}
+	c.mu.RUnlock()
+
+	// Winning tombstones invalidate the near-cache regardless of whether
+	// any owner needs repair: this router may be the only diverged party.
+	if c.near != nil {
+		for key, b := range best {
+			if b.rec.Tombstone {
+				c.near.tombstone(key, b.rec.Version)
+			}
+		}
+	}
+
+	// Phase 3: repair. Tombstones go straight from the snapshot; live
+	// records are re-read from their winning holder in the same chunk,
+	// then conditionally re-written to the lagging owner.
+	for target, plan := range plans {
+		dst := conns[target]
+		if dst == nil {
+			continue // owner unreachable; next sweep retries
+		}
+		var tombs []wire.KeyRec
+		liveBySrc := make(map[string][]wire.KeyRec)
+		for _, p := range plan {
+			if p.rec.Tombstone {
+				tombs = append(tombs, p.rec)
+			} else {
+				liveBySrc[p.holder] = append(liveBySrc[p.holder], p.rec)
+			}
+		}
+		for off := 0; off < len(tombs); off += aeChunk {
+			end := off + aeChunk
+			if end > len(tombs) {
+				end = len(tombs)
+			}
+			applied, stale, serr := dst.SetBatchRecs(tombs[off:end], wire.SetFlagRepair, nil)
+			c.aeRepairs.Add(uint64(applied))
+			c.aeStale.Add(uint64(stale))
+			repaired += applied
+			if serr != nil {
+				if err == nil {
+					err = fmt.Errorf("cluster: anti-entropy repairing %s: %w", target, serr)
+				}
+				break
+			}
+		}
+		for srcAddr, recs := range liveBySrc {
+			src := conns[srcAddr]
+			if src == nil {
+				continue
+			}
+			n, serr := c.aeRepairLive(src, dst, recs)
+			c.aeRepairs.Add(uint64(n))
+			repaired += n
+			if serr != nil && err == nil {
+				err = fmt.Errorf("cluster: anti-entropy repairing %s from %s: %w", target, srcAddr, serr)
+			}
+		}
+	}
+	c.aeSweeps.Add(1)
+	return repaired, err
+}
+
+// aeRepairLive copies recs' values from src to dst in bounded chunks:
+// re-read each value (with the version it is stored under now, which may
+// be newer than the snapshot's), then conditionally re-write it. A key
+// that misses on src vanished since the snapshot — evicted, or deleted
+// into a tombstone GET does not serve — and is skipped; the next sweep
+// sees the newer state.
+func (c *Client) aeRepairLive(src, dst *wire.Client, recs []wire.KeyRec) (repaired int, err error) {
+	keys := make([]uint64, 0, aeChunk)
+	vers := make([]uint64, 0, aeChunk)
+	vals := make([][]byte, 0, aeChunk)
+	for off := 0; off < len(recs); off += aeChunk {
+		end := off + aeChunk
+		if end > len(recs) {
+			end = len(recs)
+		}
+		keys, vers, vals = keys[:0], vers[:0], vals[:0]
+		chunk := recs[off:end]
+		sub := make([]uint64, len(chunk))
+		for i, rec := range chunk {
+			sub[i] = rec.Key
+		}
+		gerr := src.GetBatchVersions(sub, func(i int, hit bool, ver uint64, val []byte) {
+			if !hit {
+				return
+			}
+			keys = append(keys, sub[i])
+			vers = append(vers, ver)
+			vals = append(vals, append([]byte(nil), val...))
+		})
+		if gerr != nil {
+			return repaired, gerr
+		}
+		applied, stale, serr := dst.SetBatchVersioned(keys, wire.SetFlagRepair,
+			func(i int) uint64 { return vers[i] },
+			func(i int) []byte { return vals[i] })
+		c.aeStale.Add(uint64(stale))
+		repaired += applied
+		if serr != nil {
+			return repaired, serr
+		}
+	}
+	return repaired, nil
+}
+
+// AntiEntropyCounters is the router's sweep tally; see
+// Client.AntiEntropy.
+type AntiEntropyCounters struct {
+	// Sweeps counts completed sweep passes (including ones that found
+	// nothing to repair). Repairs counts records conditionally written to
+	// a lagging owner and applied; Stale counts repair writes the owner
+	// rejected because it already held something strictly newer — for a
+	// maintenance copy, success by other means.
+	Sweeps, Repairs, Stale uint64
+}
+
+// AntiEntropy returns the anti-entropy sweep counters.
+func (c *Client) AntiEntropy() AntiEntropyCounters {
+	return AntiEntropyCounters{
+		Sweeps:  c.aeSweeps.Load(),
+		Repairs: c.aeRepairs.Load(),
+		Stale:   c.aeStale.Load(),
+	}
+}

@@ -71,6 +71,16 @@ type Options struct {
 	// with Leases: together a hot key's read storm is absorbed at the
 	// client instead of at the key's primary owner.
 	NearCache NearCacheOptions
+	// AntiEntropy enables the background anti-entropy sweep (wire v8) at
+	// the given period; 0 disables it. Each sweep streams every member's
+	// KEYS records — key, version, tombstone — diffs each key's replica
+	// set against the newest record observed, and repairs divergence in
+	// both directions with conditional versioned writes (values re-read
+	// from a holder, deletions propagated as tombstones). The sweep is the
+	// self-healing backstop under replication: whatever read repair and
+	// hinted handoff miss converges within one period. Meaningful only
+	// with Replicas > 1; see AntiEntropySweep for the deterministic form.
+	AntiEntropy time.Duration
 }
 
 // Client routes cache traffic across a cluster of cached nodes. It is
@@ -175,6 +185,22 @@ type Client struct {
 	leaseGrants atomic.Uint64 // fill leases granted to this client
 	leaseLost   atomic.Uint64 // fills refused LEASE_LOST
 	leaseWaits  atomic.Uint64 // keys that waited on another caller's fill
+
+	// Hinted handoff and anti-entropy (wire v8, antientropy.go). hintsSent
+	// counts writes parked on a live member for a dead owner after the
+	// direct write failed; hintsFailed counts handoffs that found no live
+	// member to park on (the write is then only recoverable by
+	// anti-entropy). aeStop/aeDone bracket the background sweep goroutine
+	// Options.AntiEntropy starts.
+	hintsSent   atomic.Uint64
+	hintsFailed atomic.Uint64
+	aeSweeps    atomic.Uint64
+	aeRepairs   atomic.Uint64
+	aeStale     atomic.Uint64
+	aeStarted   bool // set once in Dial, before any use
+	aeStop      chan struct{}
+	aeDone      chan struct{}
+	aeStopOnce  sync.Once
 }
 
 // Dial builds a routing client. Without Options.Bootstrap, addrs is the
@@ -224,11 +250,17 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 		warmupConns: make(map[*wire.Client]struct{}),
 		repairCh:    make(chan repairTask, repairQueueDepth),
 		repairDone:  make(chan struct{}),
+		aeStop:      make(chan struct{}),
+		aeDone:      make(chan struct{}),
 	}
 	c.curEpoch.Store(epoch)
 	// The repair worker starts before the member dials so that the error
 	// path below can Close (which waits for the worker) without hanging.
 	go c.repairLoop()
+	if opts.AntiEntropy > 0 {
+		c.aeStarted = true
+		go c.antiEntropyLoop(opts.AntiEntropy)
+	}
 	for _, a := range members {
 		nc := &nodeConn{addr: a}
 		// Explicitly listed members are dialed eagerly so a typo fails
@@ -283,6 +315,13 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 // in-flight warm-up, and tears down every member connection.
 func (c *Client) Close() error {
 	c.closed.Store(true)
+	// Stop the anti-entropy sweeper first: a sweep mid-flight exits at its
+	// next dial or chunk boundary once the flag is up, and the wait below
+	// guarantees none outlives this call.
+	c.aeStopOnce.Do(func() { close(c.aeStop) })
+	if c.aeStarted {
+		<-c.aeDone
+	}
 	// Closing the dedicated connections aborts warm-up streams mid-flight;
 	// the goroutines then exit through their error paths and the WaitGroup
 	// at the bottom guarantees none outlives this call.
@@ -626,10 +665,14 @@ func (c *Client) Set(key uint64, value []byte) error {
 	return c.SetBatch([]uint64{key}, func(int) []byte { return value })
 }
 
-// Del removes key from every owner, reporting whether any of them held it.
-// Under replication the delete fans out to the whole replica set; an
-// unreachable owner fails the call, since leaving a live copy behind would
-// resurrect the key through read repair.
+// Del deletes key as a versioned write (wire v8): every owner stores a
+// tombstone, and the call reports whether any owner still held a live
+// value. Like SET, the delete succeeds once W owners acknowledge it; an
+// unreachable owner no longer fails the whole call — its tombstone is
+// parked as a hint on a live acknowledged owner (hinted handoff) and
+// replayed when the owner returns, with the anti-entropy sweep as the
+// backstop. Fewer than W reachable owners is an error: the delete is not
+// yet durable by this cluster's own definition of durable.
 func (c *Client) Del(key uint64) (bool, error) {
 	c.maybeRefresh()
 	bt := c.nextTrace()
@@ -639,6 +682,7 @@ func (c *Client) Del(key uint64) (bool, error) {
 	if len(owners) == 0 {
 		return false, fmt.Errorf("cluster: empty ring")
 	}
+	w := c.effQuorum(len(owners))
 	// Purge the local edge before and after the fan-out: before, so a
 	// grant can't turn a later SET into a fill of the deleted key; after,
 	// so a concurrent read that repopulated the near-cache mid-delete
@@ -650,31 +694,112 @@ func (c *Client) Del(key uint64) (bool, error) {
 		c.finishGrant(key)
 	}
 	present := false
+	acked := 0
+	var ver uint64
+	var failed []string
+	var lastErr error
 	for _, addr := range owners {
 		nc := c.nodes[addr]
 		nc.mu.Lock()
 		nc.dels.Add(1)
 		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
 			var p bool
+			var v uint64
 			var err error
 			if bt.traced {
-				p, err = cl.DelTraced(key, bt.tc)
+				p, v, err = cl.DelTraced(key, bt.tc)
 			} else {
-				p, err = cl.Del(key)
+				p, v, err = cl.Del(key)
 			}
-			present = present || p
+			if err == nil {
+				present = present || p
+				if v > ver {
+					ver = v
+				}
+			}
 			c.observeEpoch(cl.LastEpoch())
 			return err
 		})
 		nc.mu.Unlock()
 		if err != nil {
-			return present, err
+			nc.mu.Lock()
+			nc.drop()
+			nc.mu.Unlock()
+			failed = append(failed, addr)
+			lastErr = err
+			continue
 		}
+		acked++
+	}
+	if acked < w {
+		return present, fmt.Errorf("cluster: DEL %d acknowledged by %d of %d owners, write quorum %d: %w",
+			key, acked, len(owners), w, lastErr)
+	}
+	// The quorum holds tombstones at ≥ ver; park one hint per missed owner
+	// so the delete chases it down on rejoin instead of waiting a full
+	// anti-entropy period.
+	for _, addr := range failed {
+		c.hintHandoff(addr, key, true, ver, nil)
 	}
 	if c.near != nil {
 		c.near.remove(key)
 	}
 	return present, nil
+}
+
+// hintHandoff parks a versioned write (tombstone or value) intended for
+// dead target on the first live member that accepts it, preferring the
+// key's other owners — they are the nodes a rejoining target's replica
+// set already converges with. Caller holds c.mu (either side). Returns
+// whether a member accepted the hint.
+func (c *Client) hintHandoff(target string, key uint64, tomb bool, ver uint64, val []byte) bool {
+	if ver == 0 {
+		// No version observed (the write never landed anywhere we heard
+		// back from): nothing safe to hint — a zero version is a protocol
+		// error and anti-entropy will reconcile whatever state exists.
+		c.hintsFailed.Add(1)
+		return false
+	}
+	candidates := c.ring.OwnersFor(key, c.effReplicas())
+	for _, addr := range c.ring.Nodes() {
+		if !contains(candidates, addr) {
+			candidates = append(candidates, addr)
+		}
+	}
+	for _, addr := range candidates {
+		if addr == target {
+			continue
+		}
+		nc := c.nodes[addr]
+		if nc == nil {
+			continue
+		}
+		nc.mu.Lock()
+		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
+			return cl.Hint(target, key, tomb, ver, val)
+		})
+		nc.mu.Unlock()
+		if err == nil {
+			c.hintsSent.Add(1)
+			return true
+		}
+	}
+	c.hintsFailed.Add(1)
+	return false
+}
+
+// HandoffCounters is the router's hinted-handoff tally; see
+// Client.Handoff.
+type HandoffCounters struct {
+	// Sent counts writes parked on a live member for an unreachable owner;
+	// Failed counts handoffs no live member would accept (recoverable only
+	// by anti-entropy).
+	Sent, Failed uint64
+}
+
+// Handoff returns the hinted-handoff counters.
+func (c *Client) Handoff() HandoffCounters {
+	return HandoffCounters{Sent: c.hintsSent.Load(), Failed: c.hintsFailed.Load()}
 }
 
 // StatsAll fans STATS out to every member and returns the snapshots keyed
@@ -745,6 +870,10 @@ func AggregateStats(stats map[string]*wire.Stats) wire.Stats {
 		agg.LeasesGranted += st.LeasesGranted
 		agg.LeasesExpired += st.LeasesExpired
 		agg.StaleServes += st.StaleServes
+		agg.Tombstones += st.Tombstones
+		agg.TombstonesReaped += st.TombstonesReaped
+		agg.HintsQueued += st.HintsQueued
+		agg.HintsReplayed += st.HintsReplayed
 		if st.RepairQueueHighWater > agg.RepairQueueHighWater {
 			agg.RepairQueueHighWater = st.RepairQueueHighWater
 		}

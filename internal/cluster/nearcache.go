@@ -149,6 +149,20 @@ func (n *nearCache) remove(key uint64) {
 	n.mu.Unlock()
 }
 
+// tombstone applies a remotely-learned delete (v8): drop key's entry iff
+// the resident version is at or below the tombstone's. This is the same
+// version-monotonic admit rule as storeLocked, inverted — a delete at ver
+// supersedes any value ≤ ver, while an entry strictly newer than the
+// tombstone proves a later write already superseded the delete and must
+// keep serving. The ring slot is reclaimed lazily by the clock sweep.
+func (n *nearCache) tombstone(key, ver uint64) {
+	n.mu.Lock()
+	if e := n.entries[key]; e != nil && e.ver <= ver {
+		delete(n.entries, key)
+	}
+	n.mu.Unlock()
+}
+
 // evictLocked frees one slot: the clock hand sweeps the ring, clearing
 // reference bits and evicting the first entry found unreferenced since
 // its last sweep. Ring slots whose entries were removed out-of-band are

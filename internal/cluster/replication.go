@@ -40,6 +40,9 @@ type repairTask struct {
 	ver   uint64
 	val   []byte
 	addrs []string
+	// tomb marks a delete repair: the write propagated is a TOMBSTONE SET
+	// at ver (val is nil) rather than a value.
+	tomb bool
 
 	// bt carries the originating batch's trace context across the queue:
 	// a repair caused by a sampled read or write is itself traced, so the
@@ -123,8 +126,12 @@ func (c *Client) repairLoop() {
 }
 
 // applyRepair writes one queued repair to each of its target owners. A
-// target that left the cluster is skipped; a target that cannot be reached
-// is dropped (the next fallback read schedules a fresh repair).
+// target that left the cluster is skipped; a target that cannot be
+// reached gets its write parked as a hint on a live member instead
+// (hinted handoff, wire v8) — the owner may be dead rather than slow, and
+// the hint is replayed to it when it answers again, so a W<R write (or a
+// fallback-detected stale replica) converges on rejoin without waiting
+// for the next read of the key.
 //
 // c.mu is held only for the membership lookup, never across the network
 // write: a repair dialing a slow or dead node must not block a pending
@@ -156,9 +163,12 @@ func (c *Client) applyRepair(t repairTask) {
 		err := nc.withRetry(c.dial, func(cl *wire.Client) error {
 			flags := wire.SetFlagRepair | wire.SetFlagAsync
 			var err error
-			if t.bt.traced {
+			switch {
+			case t.tomb:
+				_, _, err = cl.SetTombstone(t.key, flags, t.ver)
+			case t.bt.traced:
 				_, _, err = cl.SetVersionedTraced(t.key, flags, t.ver, t.bt.tc, t.val)
-			} else {
+			default:
 				_, _, err = cl.SetVersioned(t.key, flags, t.ver, t.val)
 			}
 			return err
@@ -168,6 +178,13 @@ func (c *Client) applyRepair(t repairTask) {
 			c.repairsApplied.Add(1)
 		}
 		nc.mu.Unlock()
+		if err != nil {
+			c.mu.RLock()
+			if !c.repairClosed {
+				c.hintHandoff(addr, t.key, t.tomb, t.ver, t.val)
+			}
+			c.mu.RUnlock()
+		}
 	}
 }
 

@@ -31,13 +31,31 @@ func startNodeWithServer(t *testing.T, k, alpha int, seed uint64) (string, *serv
 	return ln.Addr().String(), srv
 }
 
-// TestReadRepair deletes a key directly on its primary owner (emulating a
-// lost or wiped replica), reads it through the replicated client, and
-// asserts the fallback hit both returns the value and regenerates the
-// primary's copy in the background — with the repair counted as repair
-// traffic at every layer (router counters, server STATS).
+// TestReadRepair wipes a key from its primary owner's cache out-of-band
+// (emulating a lost or wiped replica — since v8 a wire DEL cannot play
+// this role, because it leaves a tombstone the repair correctly refuses
+// to overwrite), reads it through the replicated client, and asserts the
+// fallback hit both returns the value and regenerates the primary's copy
+// in the background — with the repair counted as repair traffic at every
+// layer (router counters, server STATS).
 func TestReadRepair(t *testing.T) {
-	addrs := startCluster(t, 3, 4096, 16)
+	caches := make(map[string]*concurrent.Cache)
+	addrs := make([]string, 3)
+	for i := range addrs {
+		cache, err := concurrent.New(concurrent.Config{Capacity: 4096, Alpha: 16, Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(cache)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = ln.Addr().String()
+		caches[addrs[i]] = cache
+	}
 	ctl, err := Dial(addrs, Options{Replicas: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -54,15 +72,16 @@ func TestReadRepair(t *testing.T) {
 		t.Fatalf("Owners(%d) = %v, want 2 owners", key, owners)
 	}
 
-	// Wipe the primary's copy behind the router's back.
+	// Wipe the primary's copy behind the server's back: genuine loss,
+	// no tombstone left behind.
+	if !caches[owners[0]].Delete(key) {
+		t.Fatalf("primary %s does not hold key %d", owners[0], key)
+	}
 	direct, err := wire.Dial(owners[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer direct.Close()
-	if present, err := direct.Del(key); err != nil || !present {
-		t.Fatalf("direct DEL on primary = %v, %v; want present", present, err)
-	}
 
 	// The degraded read must still hit, served by the backup owner.
 	got, hit, err := ctl.Get(key)
@@ -340,7 +359,7 @@ func TestRepairCannotReinstateOldValue(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer primaryCl.Close()
-	if present, err := primaryCl.Del(key); err != nil || !present {
+	if present, _, err := primaryCl.Del(key); err != nil || !present {
 		t.Fatalf("direct DEL on primary = %v, %v", present, err)
 	}
 	if v, hit, err := ctl.Get(key); err != nil || !hit || string(v) != "old" {

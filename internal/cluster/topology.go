@@ -471,6 +471,10 @@ type WarmupStats struct {
 	// the warm-up and won, as it must). Like Vanished these are accounted,
 	// not lost — the data is on the newcomer, fresher than the copy.
 	Stale int
+	// Tombstones counts deletion records propagated to the newcomer —
+	// copied straight from the KEYS stream (no value read), so the
+	// newcomer learns every delete before it could accept an older copy.
+	Tombstones int
 	// Failed counts source members that could not be fully streamed or
 	// copied; their share of the newcomer's keys refills lazily instead.
 	Failed int
@@ -563,12 +567,20 @@ func (c *Client) warmFromSource(w *Warmup, dst *wire.Client, newcomer, src strin
 	defer c.warmupRelease(srcCl)
 
 	var wanted []uint64
-	err = srcCl.KeysStream(func(chunk []uint64) error {
+	var tombs []wire.KeyRec
+	err = srcCl.KeysStream(func(chunk []wire.KeyRec) error {
 		w.stats.Streamed += len(chunk)
 		c.mu.RLock()
-		for _, k := range chunk {
-			if contains(c.ring.OwnersFor(k, rf), newcomer) {
-				wanted = append(wanted, k)
+		for _, rec := range chunk {
+			if contains(c.ring.OwnersFor(rec.Key, rf), newcomer) {
+				if rec.Tombstone {
+					// A deletion record needs no value read: it is copied
+					// straight from the stream, so the newcomer learns the
+					// delete before it could serve (or accept) an older copy.
+					tombs = append(tombs, rec)
+				} else {
+					wanted = append(wanted, rec.Key)
+				}
 			}
 		}
 		c.mu.RUnlock()
@@ -576,6 +588,23 @@ func (c *Client) warmFromSource(w *Warmup, dst *wire.Client, newcomer, src strin
 	})
 	if err != nil {
 		return fmt.Errorf("cluster: warm-up KEYS %s: %w", src, err)
+	}
+
+	for off := 0; off < len(tombs); off += warmupChunk {
+		if c.closed.Load() {
+			return nil
+		}
+		end := off + warmupChunk
+		if end > len(tombs) {
+			end = len(tombs)
+		}
+		applied, stale, err := dst.SetBatchRecs(tombs[off:end], wire.SetFlagRepair, nil)
+		if err != nil {
+			return fmt.Errorf("cluster: warm-up writing tombstones to %s: %w", newcomer, err)
+		}
+		w.stats.Tombstones += applied
+		w.stats.Stale += stale
+		c.staleRepairs.Add(uint64(stale))
 	}
 
 	var rsc chunkScratch
@@ -727,13 +756,25 @@ func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
 
 	nc.mu.Lock()
 	defer nc.mu.Unlock()
-	var keys []uint64
+	var recs []wire.KeyRec
 	if err := nc.withRetry(c.dial, func(cl *wire.Client) error {
 		var err error
-		keys, err = cl.Keys()
+		recs, err = cl.Keys()
 		return err
 	}); err != nil {
 		return 0, 0, fmt.Errorf("cluster: KEYS %s: %w", addr, err)
+	}
+	// Split the resident set: live keys drain through the value-read path
+	// below; deletion records move as-is (no value to read) so the key's
+	// new owner keeps refusing resurrection until the tombstone is reaped.
+	keys := make([]uint64, 0, len(recs))
+	var tombs []wire.KeyRec
+	for _, rec := range recs {
+		if rec.Tombstone {
+			tombs = append(tombs, rec)
+		} else {
+			keys = append(keys, rec.Key)
+		}
 	}
 
 	// Reroute first so owners are computed against the post-removal ring,
@@ -810,6 +851,46 @@ func (c *Client) RemoveNode(addr string) (moved, dropped int, err error) {
 			// A stale rejection counts as moved: the destination proved it
 			// holds a strictly newer value for the key, so the resident is
 			// settled there — just not by this copy.
+			moved += len(idx)
+		}
+	}
+
+	for off := 0; off < len(tombs); off += migrateChunk {
+		end := off + migrateChunk
+		if end > len(tombs) {
+			end = len(tombs)
+		}
+		chunk := tombs[off:end]
+		byOwner := make(map[*nodeConn][]int)
+		for i := range chunk {
+			owner, ok := c.ring.Node(chunk[i].Key)
+			if !ok {
+				return moved, dropped, fmt.Errorf("cluster: empty ring during migration")
+			}
+			byOwner[c.nodes[owner]] = append(byOwner[c.nodes[owner]], i)
+		}
+		for dst, idx := range byOwner {
+			dst.mu.Lock()
+			var applied, stale int
+			err := dst.withRetry(c.dial, func(cl *wire.Client) error {
+				sub := make([]wire.KeyRec, len(idx))
+				for j, i := range idx {
+					sub[j] = chunk[i]
+				}
+				var err error
+				applied, stale, err = cl.SetBatchRecs(sub, wire.SetFlagRepair, nil)
+				return err
+			})
+			if err == nil {
+				dst.repairs.Add(uint64(applied))
+				c.staleRepairs.Add(uint64(stale))
+			}
+			dst.mu.Unlock()
+			if err != nil {
+				return moved, dropped, fmt.Errorf("cluster: migrating tombstones to %s: %w", dst.addr, err)
+			}
+			// Stale counts as moved here too: the destination already holds
+			// a newer write for the key, which supersedes this delete.
 			moved += len(idx)
 		}
 	}

@@ -73,7 +73,7 @@ func TestTraceEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := direct.Del(hotKey); err != nil {
+	if _, _, err := direct.Del(hotKey); err != nil {
 		direct.Close()
 		t.Fatal(err)
 	}

@@ -758,6 +758,86 @@ func (c *Cache) Keys() []uint64 {
 	return out
 }
 
+// Entries visits every resident entry, bucket by bucket, with the owning
+// bucket's lock held — a racy snapshot with the same guarantees as Keys
+// (entries inserted or evicted mid-walk may or may not appear, none twice),
+// but carrying the values, so callers enumerating versioned records need
+// not re-read each key. visit runs under a bucket lock: it must be cheap,
+// must not block, and must not call back into the cache. The walk touches
+// no policy state, so an enumeration never perturbs recency.
+func (c *Cache) Entries(visit func(key uint64, v interface{})) {
+	for i := range c.buckets {
+		b := &c.buckets[i]
+		b.mu.Lock()
+		for it, v := range b.values {
+			visit(uint64(it), v)
+		}
+		b.mu.Unlock()
+	}
+}
+
+// DeleteIf removes key only if fn, called with the current value under the
+// owning bucket's lock, returns true. The read-check-delete is one critical
+// section — the conditional mirror of Update — so a concurrent write cannot
+// land between fn's decision and the removal. It reports whether a delete
+// happened; an absent key never invokes fn. This is the primitive behind
+// tombstone reaping: "delete this tombstone unless someone revived the key
+// since I scanned it" must be atomic or the reap races a reviving write.
+func (c *Cache) DeleteIf(key uint64, fn func(v interface{}) bool) bool {
+	ok := c.deleteIf(trace.Item(key), fn)
+	c.maybeFinishMigration()
+	return ok
+}
+
+func (c *Cache) deleteIf(item trace.Item, fn func(v interface{}) bool) bool {
+	c.rehashMu.RLock()
+	defer c.rehashMu.RUnlock()
+	p := c.pair.Load()
+	nb := p.hasher.Bucket(item)
+	ob := nb
+	if p.old != nil {
+		ob = p.old.Bucket(item)
+	}
+	if ob == nb {
+		b := &c.buckets[nb]
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		v, present := b.values[item]
+		if !present || !fn(v) {
+			return false
+		}
+		b.pol.Delete(item)
+		delete(b.values, item)
+		c.clearOldMark(b, item)
+		c.occupancy.Add(-1)
+		return true
+	}
+	bn, bo := &c.buckets[nb], &c.buckets[ob]
+	c.lockPair(nb, ob)
+	defer c.unlockPair(nb, ob)
+	if v, present := bn.values[item]; present {
+		if !fn(v) {
+			return false
+		}
+		bn.pol.Delete(item)
+		delete(bn.values, item)
+		c.occupancy.Add(-1)
+		return true
+	}
+	if _, isOld := bo.old[item]; isOld {
+		if !fn(bo.values[item]) {
+			return false
+		}
+		bo.pol.Delete(item)
+		delete(bo.values, item)
+		delete(bo.old, item)
+		c.pending.Add(-1)
+		c.occupancy.Add(-1)
+		return true
+	}
+	return false
+}
+
 // Capacity returns the total entry capacity k.
 func (c *Cache) Capacity() int { return c.alpha * len(c.buckets) }
 

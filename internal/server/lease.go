@@ -139,25 +139,41 @@ func (s *Server) leaseFill(key, token uint64, val []byte) wire.Response {
 }
 
 // storeLeaseFill stores a fill conditionally: only while the key has no
-// versioned value — it was absent when the lease was granted, and any
-// write since would have left a nonzero version (or killed the token
-// before this ran). Called with leaseMu held; it must not re-enter the
-// lease table (invalidateLease would deadlock), and it need not — the
-// caller updates the stale copy itself.
+// live versioned value — it was absent (or a tombstone) when the lease was
+// granted, and any write since would have left a nonzero version (or
+// killed the token before this ran). A resident tombstone does not refuse
+// the fill: the lease it fills was granted *after* the delete (DEL drops
+// the key's lease entry before its tombstone lands), so the fill is a
+// fresh post-delete origin load, stored at a version above the
+// tombstone's so it wins replication everywhere the tombstone went.
+// Called with leaseMu held; it must not re-enter the lease table
+// (invalidateLease would deadlock), and it need not — the caller updates
+// the stale copy itself.
 func (s *Server) storeLeaseFill(key uint64, val []byte) (applied bool, ver uint64, evicted bool) {
+	var wasTomb bool
 	stored, _, evicted := s.cache.Update(key, func(old interface{}, present bool) (interface{}, bool) {
+		var floor uint64
+		wasTomb = false
 		if present {
-			if e, ok := old.(*entry); ok && e.ver != 0 {
-				ver = e.ver
-				return nil, false
+			if e, ok := old.(*entry); ok {
+				if !e.tomb() && e.ver != 0 {
+					ver = e.ver
+					return nil, false
+				}
+				wasTomb = e.tomb()
+				floor = e.ver
 			}
 		}
 		ver = uint64(time.Now().UnixNano())
+		if ver <= floor {
+			ver = floor + 1
+		}
 		return &entry{ver: ver, val: val}, true
 	})
 	if !stored {
 		return false, ver, false
 	}
+	s.noteTombstoneFlip(false, wasTomb)
 	if evicted {
 		s.hotKeys[wire.HotEvict].Record(telemetry.HashKey(key))
 	}

@@ -215,7 +215,7 @@ func TestLeaseFillAfterDelRefused(t *testing.T) {
 	if err != nil || ls.Token == 0 {
 		t.Fatalf("grant: %+v err=%v", ls, err)
 	}
-	if _, err := c.Del(key); err != nil {
+	if _, _, err := c.Del(key); err != nil {
 		t.Fatal(err)
 	}
 	filled, _, err := c.SetLease(key, ls.Token, []byte("zombie"))

@@ -33,7 +33,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 		}
 	}
 	for i := 0; i < dels; i++ {
-		if _, err := c.Del(uint64(i)); err != nil {
+		if _, _, err := c.Del(uint64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -54,6 +54,31 @@ import (
 // SetRepairQueue.
 const DefaultRepairQueue = 4096
 
+// DefaultTombstoneTTL is how long a tombstone outlives the DEL that made
+// it before the reaper removes it. The TTL bounds the window in which a
+// lagging replica (or a replayed hint) could still carry the deleted key's
+// old value: once every repair path has had TTL to run, the tombstone has
+// nothing left to suppress. The default is ~10× the cluster's default
+// anti-entropy period, so several full sweeps complete before any
+// tombstone is reaped. Override with SetTombstoneTTL.
+const DefaultTombstoneTTL = 5 * time.Minute
+
+// DefaultTombstoneSweep is how often the background reaper scans for
+// expired tombstones once any tombstone exists.
+const DefaultTombstoneSweep = 30 * time.Second
+
+// DefaultHintBudget bounds the bytes a node will hold in queued hints
+// (HINT op) for dead peers. At the budget the oldest hint is dropped —
+// safe, because hints are an optimization over anti-entropy, which
+// repairs whatever a dropped hint would have. Override with
+// SetHintBudget.
+const DefaultHintBudget = 4 << 20
+
+// DefaultHintReplay is how often the background replayer re-attempts
+// delivery of queued hints to their targets. Override with
+// SetHintReplayInterval (before the first hint arrives).
+const DefaultHintReplay = 2 * time.Second
+
 // DefaultSlowOpThreshold is the service time above which an operation is
 // recorded in the slow-op ring. Loopback service times are microseconds,
 // so 10ms marks something genuinely wrong — a stalled bucket lock, a
@@ -62,18 +87,32 @@ const DefaultRepairQueue = 4096
 // -slow-op-threshold).
 const DefaultSlowOpThreshold = 10 * time.Millisecond
 
-// entry is the versioned value the server stores in the cache: the payload
-// plus a monotonically increasing per-key version. Unconditional (user)
-// SETs assign max(wall-clock nanos, stored+1) — per-key monotonic by
-// construction, and wall-clock anchored so versions assigned on different
-// nodes for successive writes of the same key compare the way their
-// real-time order did. Conditional (VERSIONED) writes carry the version
-// the writer observed and store it verbatim, so a value keeps its origin
-// version as maintenance copies it between nodes.
+// entry is the unified record the server stores in the cache: the payload
+// plus a monotonically increasing per-key version, or — when born is
+// nonzero — a tombstone: the versioned fact that the key was deleted, kept
+// so no older copy of the value can be reinstated by delayed maintenance.
+// Unconditional (user) SETs assign max(wall-clock nanos, stored+1) —
+// per-key monotonic by construction, and wall-clock anchored so versions
+// assigned on different nodes for successive writes of the same key
+// compare the way their real-time order did. Conditional (VERSIONED)
+// writes carry the version the writer observed and store it verbatim, so a
+// value keeps its origin version as maintenance copies it between nodes.
+// DEL is just the unconditional-write rule producing a tombstone, and a
+// replicated tombstone (SET TOMBSTONE) is the conditional rule producing
+// one — deletes compete in the same version order as every other write.
 type entry struct {
 	ver uint64
-	val []byte
+	// born is zero for a live value; for a tombstone it is the wall-clock
+	// nanosecond the tombstone was created here, which starts the reap TTL
+	// clock (val is nil). It is creation time on *this node* — a tombstone
+	// copied by maintenance gets a fresh born, so its TTL restarts, which
+	// only ever delays reaping, never loses the deletion.
+	born int64
+	val  []byte
 }
+
+// tomb reports whether the record is a tombstone.
+func (e *entry) tomb() bool { return e.born != 0 }
 
 // repairWrite is one queued async maintenance write. It keeps the SET's
 // flags and observed version so the version check runs when the queue
@@ -140,7 +179,7 @@ type Server struct {
 	// RepairQueueDepth misses between polls). All recording is lock-free
 	// and allocation-free (internal/telemetry), so it stays on even under
 	// benchmark load.
-	opHists       [int(wire.OpGetLease) + 1]telemetry.Histogram
+	opHists       [int(wire.OpHint) + 1]telemetry.Histogram
 	repairWait    telemetry.Histogram
 	queueHigh     telemetry.HighWater
 	bytesIn       telemetry.Counter
@@ -163,6 +202,37 @@ type Server struct {
 	leasesGranted atomic.Uint64
 	leasesExpired atomic.Uint64
 	staleServes   atomic.Uint64
+
+	// Tombstone state (protocol v8). tombstones approximates the live
+	// tombstone count (a policy eviction of a tombstone is invisible here,
+	// so the gauge can read high until the next reap scan resyncs it);
+	// tombstonesReaped counts TTL expiries the reaper removed. The reaper
+	// goroutine starts lazily on the first tombstone and stops with the
+	// server.
+	tombstones       atomic.Int64
+	tombstonesReaped atomic.Uint64
+	tombstoneTTL     atomic.Int64 // nanoseconds
+	reapOnce         sync.Once
+	reapStarted      atomic.Bool
+	reapDone         chan struct{}
+
+	// Hinted-handoff state (protocol v8): writes a router could not land
+	// on a dead owner, parked here by a live peer (HINT op) and replayed —
+	// as conditional versioned writes — when the owner answers again. One
+	// FIFO across targets under hintMu, byte-budgeted, oldest dropped at
+	// the budget. The replayer goroutine starts lazily on the first hint.
+	hintMu        sync.Mutex
+	hints         []hint
+	hintBytes     int
+	hintBudget    int
+	hintBudgetSet bool
+	hintsQueued   atomic.Uint64
+	hintsReplayed atomic.Uint64
+	hintInterval  atomic.Int64 // nanoseconds
+	hintOnce      sync.Once
+	hintStarted   atomic.Bool
+	hintDone      chan struct{}
+	hintDial      func(addr string) (*wire.Client, error)
 
 	// Tracing and hot-key attribution (protocol v6). spans retains one
 	// record per *sampled* traced request (plus drained async writes on a
@@ -187,6 +257,9 @@ func New(cache *concurrent.Cache) *Server {
 		conns:      make(map[net.Conn]struct{}),
 		repairStop: make(chan struct{}),
 		repairDone: make(chan struct{}),
+		reapDone:   make(chan struct{}),
+		hintDone:   make(chan struct{}),
+		hintDial:   wire.Dial,
 		slowLog:    telemetry.NewSlowLog(0),
 		spans:      telemetry.NewSpanRing(0),
 	}
@@ -195,7 +268,37 @@ func New(cache *concurrent.Cache) *Server {
 	}
 	s.slowThreshold.Store(int64(DefaultSlowOpThreshold))
 	s.leaseTTL.Store(int64(DefaultLeaseTTL))
+	s.tombstoneTTL.Store(int64(DefaultTombstoneTTL))
+	s.hintInterval.Store(int64(DefaultHintReplay))
 	return s
+}
+
+// SetTombstoneTTL configures how long tombstones survive before the
+// reaper removes them; d ≤ 0 restores DefaultTombstoneTTL.
+func (s *Server) SetTombstoneTTL(d time.Duration) {
+	if d <= 0 {
+		d = DefaultTombstoneTTL
+	}
+	s.tombstoneTTL.Store(int64(d))
+}
+
+// SetHintBudget configures the byte budget for queued hints (n == 0
+// disables hint storage: every HINT is accepted and dropped). Must be
+// called before the server receives traffic; the default is
+// DefaultHintBudget.
+func (s *Server) SetHintBudget(n int) {
+	s.hintBudget = n
+	s.hintBudgetSet = true
+}
+
+// SetHintReplayInterval configures how often queued hints are re-attempted;
+// d ≤ 0 restores DefaultHintReplay. Must be set before the first hint
+// arrives (the replayer reads it once at start).
+func (s *Server) SetHintReplayInterval(d time.Duration) {
+	if d <= 0 {
+		d = DefaultHintReplay
+	}
+	s.hintInterval.Store(int64(d))
 }
 
 // SetSlowOpThreshold configures the service time above which an op is
@@ -334,6 +437,12 @@ func (s *Server) Close() error {
 	if s.repairQueue() != nil {
 		<-s.repairDone
 	}
+	if s.reapStarted.Load() {
+		<-s.reapDone
+	}
+	if s.hintStarted.Load() {
+		<-s.hintDone
+	}
 	return err
 }
 
@@ -417,6 +526,7 @@ type countingReader struct {
 	c *telemetry.Counter
 }
 
+// Read forwards to the wrapped reader and counts the bytes delivered.
 func (cr countingReader) Read(p []byte) (int, error) {
 	n, err := cr.r.Read(p)
 	cr.c.Add(uint64(n))
@@ -428,6 +538,7 @@ type countingWriter struct {
 	c *telemetry.Counter
 }
 
+// Write forwards to the wrapped writer and counts the bytes sent.
 func (cw countingWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
 	cw.c.Add(uint64(n))
@@ -534,22 +645,33 @@ func (s *Server) MetricsSnapshot(flags wire.MetricsFlags) *wire.Metrics {
 }
 
 // streamKeys writes the chunked KEYS response: a racy snapshot of the
-// resident keys split into bounded frames, ending in an empty terminator
-// frame. Chunking keeps every frame far below MaxFrame, so a node's
-// enumerable residency is no longer capped by the frame limit.
+// resident records — key, version, tombstone bit — split into bounded
+// frames, ending in an empty terminator frame. Chunking keeps every frame
+// far below MaxFrame, so a node's enumerable residency is no longer capped
+// by the frame limit. Carrying versions and tombstones makes one KEYS pass
+// sufficient for replica comparison: anti-entropy diffs two streams
+// without a per-key read.
 func (s *Server) streamKeys(w *wire.Writer) error {
-	keys := s.cache.Keys()
+	recs := make([]wire.KeyRec, 0, s.cache.Len())
+	s.cache.Entries(func(key uint64, v interface{}) {
+		rec := wire.KeyRec{Key: key}
+		if e, ok := v.(*entry); ok {
+			rec.Version = e.ver
+			rec.Tombstone = e.tomb()
+		}
+		recs = append(recs, rec)
+	})
 	chunk := int(s.keysChunk.Load())
 	if chunk <= 0 {
 		chunk = wire.DefaultKeysChunk
 	}
-	for off := 0; off < len(keys); off += chunk {
+	for off := 0; off < len(recs); off += chunk {
 		end := off + chunk
-		if end > len(keys) {
-			end = len(keys)
+		if end > len(recs) {
+			end = len(recs)
 		}
 		if err := w.WriteResponse(wire.Response{
-			Status: wire.StatusKeys, Keys: keys[off:end], Epoch: s.epoch.Load(),
+			Status: wire.StatusKeys, Keys: recs[off:end], Epoch: s.epoch.Load(),
 		}); err != nil {
 			return err
 		}
@@ -570,6 +692,16 @@ func (s *Server) apply(req wire.Request) wire.Response {
 		}
 		switch e := v.(type) {
 		case *entry:
+			if e.tomb() {
+				// A tombstone is a resident record of an absence: reads see a
+				// miss (and may take a fresh fill lease — a post-delete load
+				// from the origin is a legitimate new write, it is only
+				// pre-delete copies the tombstone exists to block).
+				if req.Op == wire.OpGetLease {
+					return s.leaseMiss(req.Key)
+				}
+				return wire.Response{Status: wire.StatusMiss}
+			}
 			return wire.Response{Status: wire.StatusHit, Value: e.val, Version: e.ver}
 		case []byte:
 			// Values stored by in-process embedders sharing the cache carry
@@ -610,15 +742,25 @@ func (s *Server) apply(req wire.Request) wire.Response {
 		}
 		return wire.Response{Status: wire.StatusOK, Evicted: evicted, Version: ver}
 	case wire.OpDel:
-		// Drop the key's lease state *before* the cache delete: a fill or
-		// stale hint surviving the delete would resurrect the value.
+		// Drop the key's lease state *before* the tombstone store: killing
+		// the outstanding token first means no fill that observed the
+		// pre-delete world can land after the delete, and the retained
+		// stale copy can never be hinted again. (A lease granted *after*
+		// the tombstone is a fresh post-delete load and is allowed to
+		// overwrite it — see storeLeaseFill.)
 		if s.leaseEntries.Load() > 0 {
 			s.dropLease(req.Key)
 		}
-		if s.cache.Delete(req.Key) {
-			return wire.Response{Status: wire.StatusOK}
+		return s.applyDel(req.Key)
+	case wire.OpHint:
+		// The value aliases the reader's scratch buffer; copy before it
+		// outlives this request in the hint queue.
+		var val []byte
+		if len(req.Value) > 0 {
+			val = append([]byte(nil), req.Value...)
 		}
-		return wire.Response{Status: wire.StatusMiss}
+		s.queueHint(req.Target, req.Key, req.Tombstone, req.Version, val)
+		return wire.Response{Status: wire.StatusOK}
 	case wire.OpStats:
 		return wire.Response{Status: wire.StatusStats, Stats: s.stats(req.Detail)}
 	case wire.OpRehash:
@@ -646,14 +788,22 @@ func (s *Server) apply(req wire.Request) wire.Response {
 // earlier write of the key was assigned elsewhere whose real-time order
 // precedes this one. A VERSIONED SET stores its carried version verbatim,
 // and only when that is strictly newer than the stored one; a rejection
-// reports the winning version and bumps staleRepairs.
+// reports the winning version and bumps staleRepairs. A TOMBSTONE SET is
+// the VERSIONED rule storing a tombstone record instead of a value —
+// replicated deletes lose to anything newer, exactly like replicated
+// writes.
 func (s *Server) store(key uint64, flags wire.SetFlags, reqVer uint64, val []byte) (applied bool, ver uint64, evicted bool) {
 	conditional := flags&wire.SetFlagVersioned != 0
+	tombstone := flags&wire.SetFlagTombstone != 0
+	now := time.Now().UnixNano()
+	var wasTomb bool
 	stored, _, evicted := s.cache.Update(key, func(old interface{}, present bool) (interface{}, bool) {
 		var cur uint64
+		wasTomb = false
 		if present {
 			if e, ok := old.(*entry); ok {
 				cur = e.ver
+				wasTomb = e.tomb()
 			}
 		}
 		if conditional {
@@ -662,9 +812,12 @@ func (s *Server) store(key uint64, flags wire.SetFlags, reqVer uint64, val []byt
 				return nil, false
 			}
 			ver = reqVer
+			if tombstone {
+				return &entry{ver: ver, born: now}, true
+			}
 			return &entry{ver: ver, val: val}, true
 		}
-		ver = uint64(time.Now().UnixNano())
+		ver = uint64(now)
 		if ver <= cur {
 			ver = cur + 1
 		}
@@ -674,6 +827,7 @@ func (s *Server) store(key uint64, flags wire.SetFlags, reqVer uint64, val []byt
 		s.staleRepairs.Add(1)
 		return false, ver, false
 	}
+	s.noteTombstoneFlip(tombstone, wasTomb)
 	if evicted {
 		// Conflict-pressure attribution: the EVICT class ranks keys whose
 		// writes displace residents, the observable proxy for bucket
@@ -681,12 +835,304 @@ func (s *Server) store(key uint64, flags wire.SetFlags, reqVer uint64, val []byt
 		s.hotKeys[wire.HotEvict].Record(telemetry.HashKey(key))
 	}
 	// An applied write supersedes any fill lease in flight for the key:
-	// kill its token and refresh the retained stale copy (lease.go). The
-	// atomic gate keeps lease-free workloads off the table mutex.
+	// kill its token and refresh the retained stale copy (lease.go) — or,
+	// for an applied tombstone, drop the entry outright (delete semantics:
+	// nothing the table retains may outlive the deletion). The atomic gate
+	// keeps lease-free workloads off the table mutex.
 	if s.leaseEntries.Load() > 0 {
-		s.invalidateLease(key, ver, val)
+		if tombstone {
+			s.dropLease(key)
+		} else {
+			s.invalidateLease(key, ver, val)
+		}
 	}
 	return true, ver, evicted
+}
+
+// applyDel executes DEL as an unconditional versioned write of a
+// tombstone: the key's history ends in a record that says "deleted at
+// version v" rather than in silence, so any maintenance copy of an older
+// value — delayed repair, warm-up chunk, replayed hint, anti-entropy —
+// loses the version comparison instead of resurrecting the value. DEL
+// always answers OK; Evicted reports whether a live value was present, and
+// Version carries the tombstone's assigned version. The tombstone is
+// written even when the key was absent here: this replica may simply be
+// the one that missed the write, and the tombstone is what stops
+// anti-entropy from copying the value back from a replica that has it.
+func (s *Server) applyDel(key uint64) wire.Response {
+	now := time.Now().UnixNano()
+	var present, wasTomb bool
+	var ver uint64
+	_, _, evicted := s.cache.Update(key, func(old interface{}, has bool) (interface{}, bool) {
+		var cur uint64
+		wasTomb = false
+		if has {
+			if e, ok := old.(*entry); ok {
+				cur = e.ver
+				wasTomb = e.tomb()
+			}
+		}
+		present = has && !wasTomb
+		ver = uint64(now)
+		if ver <= cur {
+			ver = cur + 1
+		}
+		return &entry{ver: ver, born: now}, true
+	})
+	s.noteTombstoneFlip(true, wasTomb)
+	if evicted {
+		s.hotKeys[wire.HotEvict].Record(telemetry.HashKey(key))
+	}
+	return wire.Response{Status: wire.StatusOK, Evicted: present, Version: ver}
+}
+
+// noteTombstoneFlip maintains the tombstone gauge across an applied write
+// and lazily starts the reaper the first time a tombstone exists.
+func (s *Server) noteTombstoneFlip(isTomb, wasTomb bool) {
+	if isTomb == wasTomb {
+		return
+	}
+	if isTomb {
+		s.tombstones.Add(1)
+		s.startReaper()
+	} else {
+		s.tombstones.Add(-1)
+	}
+}
+
+// startReaper launches the background tombstone reaper (once).
+func (s *Server) startReaper() {
+	s.reapOnce.Do(func() {
+		s.reapStarted.Store(true)
+		go func() {
+			defer close(s.reapDone)
+			t := time.NewTicker(DefaultTombstoneSweep)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.ReapTombstones()
+				case <-s.repairStop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// ReapTombstones removes every tombstone older than the tombstone TTL and
+// returns how many it reaped. The scan snapshots expired keys bucket by
+// bucket, then removes each with a conditional delete that re-checks the
+// record under the bucket lock — a key revived (or re-deleted, restarting
+// its TTL) between scan and delete is left alone. The sweep also resyncs
+// the tombstone gauge, which can drift high when cache policy evicts a
+// tombstone wholesale. Runs on the background ticker; exported so tests
+// and operators can force a deterministic sweep.
+func (s *Server) ReapTombstones() int {
+	ttl := time.Duration(s.tombstoneTTL.Load())
+	cut := time.Now().Add(-ttl).UnixNano()
+	var expired []uint64
+	live := int64(0)
+	s.cache.Entries(func(key uint64, v interface{}) {
+		if e, ok := v.(*entry); ok && e.tomb() {
+			if e.born <= cut {
+				expired = append(expired, key)
+			} else {
+				live++
+			}
+		}
+	})
+	n := 0
+	for _, key := range expired {
+		if s.cache.DeleteIf(key, func(v interface{}) bool {
+			e, ok := v.(*entry)
+			return ok && e.tomb() && e.born <= cut
+		}) {
+			n++
+		}
+	}
+	if n > 0 {
+		s.tombstonesReaped.Add(uint64(n))
+	}
+	// Resync rather than decrement: the scan counted what is actually
+	// resident, which silently repairs any drift from policy evictions.
+	s.tombstones.Store(live + int64(len(expired)-n))
+	return n
+}
+
+// hint is one parked write awaiting a dead owner's return: the target
+// that should hold it, and the versioned record (value or tombstone) to
+// replay there as a conditional versioned write. Replay is idempotent —
+// the target's version check rejects anything it already has newer.
+type hint struct {
+	target string
+	key    uint64
+	ver    uint64
+	tomb   bool
+	val    []byte
+}
+
+// hintCost is a hint's accounting size against the byte budget: the value
+// plus a fixed overhead so a flood of tiny (or tombstone) hints cannot
+// queue unboundedly just because the values are empty.
+func hintCost(h hint) int { return len(h.val) + 64 }
+
+// queueHint parks one hinted write for target, dropping the oldest queued
+// hints when the byte budget is exceeded (dropping is safe: anti-entropy
+// repairs whatever a hint would have). Starts the replayer on first use.
+func (s *Server) queueHint(target string, key uint64, tomb bool, ver uint64, val []byte) {
+	budget := s.hintBudget
+	if !s.hintBudgetSet {
+		budget = DefaultHintBudget
+	}
+	h := hint{target: target, key: key, ver: ver, tomb: tomb, val: val}
+	s.hintMu.Lock()
+	s.hints = append(s.hints, h)
+	s.hintBytes += hintCost(h)
+	for s.hintBytes > budget && len(s.hints) > 0 {
+		s.hintBytes -= hintCost(s.hints[0])
+		s.hints = s.hints[1:]
+	}
+	s.hintMu.Unlock()
+	s.hintsQueued.Add(1)
+	s.startHintReplayer()
+}
+
+// startHintReplayer launches the background hint replayer (once).
+func (s *Server) startHintReplayer() {
+	s.hintOnce.Do(func() {
+		s.hintStarted.Store(true)
+		interval := time.Duration(s.hintInterval.Load())
+		go func() {
+			defer close(s.hintDone)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.ReplayHints()
+				case <-s.repairStop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// ReplayHints attempts delivery of every queued hint to its target, and
+// returns how many landed. A target that cannot be dialed keeps its hints
+// for the next attempt; a response — OK or VERSION_STALE alike — counts
+// the hint replayed, because a stale rejection means the target already
+// holds something newer, which is the same outcome delivered. Runs on the
+// background ticker; exported so tests and operators can force a
+// deterministic replay.
+func (s *Server) ReplayHints() int {
+	total := 0
+	for _, target := range s.hintTargets() {
+		total += s.replayTarget(target)
+	}
+	return total
+}
+
+// hintTargets returns the distinct targets with queued hints, in
+// first-queued order.
+func (s *Server) hintTargets() []string {
+	s.hintMu.Lock()
+	defer s.hintMu.Unlock()
+	var out []string
+	for _, h := range s.hints {
+		seen := false
+		for _, t := range out {
+			if t == h.target {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, h.target)
+		}
+	}
+	return out
+}
+
+// takeHints removes and returns every queued hint for target, preserving
+// order. The caller replays them outside the lock and requeues on failure
+// — conditional versioned replay makes a duplicate or reordered delivery
+// harmless, so crashing between take and replay costs only the hints.
+func (s *Server) takeHints(target string) []hint {
+	s.hintMu.Lock()
+	defer s.hintMu.Unlock()
+	var took []hint
+	rest := s.hints[:0]
+	for _, h := range s.hints {
+		if h.target == target {
+			took = append(took, h)
+			s.hintBytes -= hintCost(h)
+		} else {
+			rest = append(rest, h)
+		}
+	}
+	s.hints = rest
+	return took
+}
+
+// requeueHints returns undelivered hints to the queue (at the back —
+// order across requeues is irrelevant, the version check arbitrates).
+func (s *Server) requeueHints(hints []hint) {
+	s.hintMu.Lock()
+	defer s.hintMu.Unlock()
+	for _, h := range hints {
+		s.hints = append(s.hints, h)
+		s.hintBytes += hintCost(h)
+	}
+}
+
+// replayTarget delivers target's queued hints as one pipelined batch of
+// conditional versioned maintenance writes, returning how many were
+// acknowledged. Any transport failure requeues the whole batch.
+func (s *Server) replayTarget(target string) int {
+	hints := s.takeHints(target)
+	if len(hints) == 0 {
+		return 0
+	}
+	cl, err := s.hintDial(target)
+	if err != nil {
+		s.requeueHints(hints)
+		return 0
+	}
+	defer cl.Close()
+	for _, h := range hints {
+		if h.tomb {
+			err = cl.EnqueueSetTombstone(h.key, wire.SetFlagRepair, h.ver)
+		} else {
+			err = cl.EnqueueSetVersioned(h.key, wire.SetFlagRepair, h.ver, h.val)
+		}
+		if err != nil {
+			s.requeueHints(hints)
+			return 0
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		s.requeueHints(hints)
+		return 0
+	}
+	for i := range hints {
+		if _, err := cl.ReadResponse(); err != nil {
+			s.requeueHints(hints[i:])
+			n := i
+			s.hintsReplayed.Add(uint64(n))
+			return n
+		}
+	}
+	s.hintsReplayed.Add(uint64(len(hints)))
+	return len(hints)
+}
+
+// HintBacklog reports the queued hint count and byte total (test hook).
+func (s *Server) HintBacklog() (n, bytes int) {
+	s.hintMu.Lock()
+	defer s.hintMu.Unlock()
+	return len(s.hints), s.hintBytes
 }
 
 // repairQueue returns the async maintenance channel, or nil when none was
@@ -806,7 +1252,13 @@ func (s *Server) stats(detail bool) *wire.Stats {
 		LeasesGranted:        s.leasesGranted.Load(),
 		LeasesExpired:        s.leasesExpired.Load(),
 		StaleServes:          s.staleServes.Load(),
+		TombstonesReaped:     s.tombstonesReaped.Load(),
+		HintsQueued:          s.hintsQueued.Load(),
+		HintsReplayed:        s.hintsReplayed.Load(),
 		Migrating:            snap.Migrating,
+	}
+	if t := s.tombstones.Load(); t > 0 {
+		st.Tombstones = uint64(t)
 	}
 	if ch := s.repairQueue(); ch != nil {
 		st.RepairQueueDepth = uint64(len(ch))

@@ -83,11 +83,11 @@ func TestBasicOps(t *testing.T) {
 	if err != nil || !ok || string(v) != "one" {
 		t.Fatalf("Get(1) = %q, %v, %v", v, ok, err)
 	}
-	if present, err := c.Del(1); err != nil || !present {
-		t.Fatalf("Del(1) = %v, %v", present, err)
+	if present, ver, err := c.Del(1); err != nil || !present || ver == 0 {
+		t.Fatalf("Del(1) = %v, ver %d, %v; want present with a tombstone version", present, ver, err)
 	}
-	if present, err := c.Del(1); err != nil || present {
-		t.Fatalf("second Del(1) = %v, %v", present, err)
+	if present, ver, err := c.Del(1); err != nil || present || ver == 0 {
+		t.Fatalf("second Del(1) = %v, ver %d, %v; want absent but still versioned", present, ver, err)
 	}
 	st, err := c.Stats(true)
 	if err != nil {
@@ -180,13 +180,16 @@ func TestKeysStreamChunks(t *testing.T) {
 	}
 	frames := 0
 	got := map[uint64]bool{}
-	if err := c.KeysStream(func(chunk []uint64) error {
+	if err := c.KeysStream(func(chunk []wire.KeyRec) error {
 		frames++
 		if len(chunk) > 16 {
 			t.Errorf("chunk frame carries %d keys, configured max 16", len(chunk))
 		}
-		for _, k := range chunk {
-			got[k] = true
+		for _, rec := range chunk {
+			if rec.Version == 0 || rec.Tombstone {
+				t.Errorf("record %+v: want a versioned live record", rec)
+			}
+			got[rec.Key] = true
 		}
 		return nil
 	}); err != nil {
@@ -285,7 +288,8 @@ func TestAsyncRepairShed(t *testing.T) {
 	}
 }
 
-// TestKeysSnapshot checks the KEYS op returns exactly the resident keys.
+// TestKeysSnapshot checks the KEYS op returns exactly the resident
+// records — live keys plus, since v8, a tombstone record per deleted key.
 func TestKeysSnapshot(t *testing.T) {
 	// α = 64 slots per bucket: 40 inserts can never overflow a bucket, so
 	// the expected key set is exact.
@@ -303,21 +307,29 @@ func TestKeysSnapshot(t *testing.T) {
 		}
 		want[k] = true
 	}
-	if _, err := c.Del(100); err != nil {
+	if _, _, err := c.Del(100); err != nil {
 		t.Fatal(err)
 	}
 	delete(want, 100)
 
-	keys, err := c.Keys()
+	recs, err := c.Keys()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(keys) != len(want) {
-		t.Fatalf("KEYS returned %d keys, want %d", len(keys), len(want))
+	// The deleted key stays enumerable as a tombstone record: that is how
+	// warm-up, migration, and anti-entropy learn about the delete.
+	if len(recs) != len(want)+1 {
+		t.Fatalf("KEYS returned %d records, want %d live + 1 tombstone", len(recs), len(want))
 	}
-	for _, k := range keys {
-		if !want[k] {
-			t.Errorf("KEYS returned unexpected key %d", k)
+	for _, rec := range recs {
+		if rec.Key == 100 {
+			if !rec.Tombstone || rec.Version == 0 {
+				t.Errorf("deleted key record = %+v; want a versioned tombstone", rec)
+			}
+			continue
+		}
+		if !want[rec.Key] || rec.Tombstone {
+			t.Errorf("KEYS returned unexpected record %+v", rec)
 		}
 	}
 }

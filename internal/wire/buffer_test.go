@@ -89,7 +89,7 @@ func TestWriterFlushErrorMidWritev(t *testing.T) {
 // ends: one oversized frame (a big KEYS chunk) must not pin its buffer on
 // the connection forever once traffic goes back to small frames.
 func TestCodecScratchShrinks(t *testing.T) {
-	big := make([]uint64, 2*codecShrinkCap/8) // 2× the cap once encoded
+	big := make([]KeyRec, 2*codecShrinkCap/keyRecLen) // 2× the cap once encoded
 	var stream bytes.Buffer
 	w := NewWriter(&stream)
 	if err := w.WriteResponse(Response{Status: StatusKeys, Keys: big}); err != nil {

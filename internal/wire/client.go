@@ -115,6 +115,42 @@ func (c *Client) EnqueueDel(key uint64) error {
 	return c.w.WriteRequest(Request{Op: OpDel, Key: key})
 }
 
+// EnqueueSetTombstone buffers a conditional maintenance delete without
+// flushing (v8): a SET carrying SetFlagTombstone, SetFlagVersioned and an
+// empty value. The server stores a tombstone under version iff it is
+// strictly newer than what it holds, answering VERSION_STALE otherwise.
+// flags must include SetFlagRepair.
+func (c *Client) EnqueueSetTombstone(key uint64, flags SetFlags, version uint64) error {
+	return c.w.WriteRequest(Request{
+		Op: OpSet, Key: key, Flags: flags | SetFlagVersioned | SetFlagTombstone, Version: version,
+	})
+}
+
+// EnqueueHint buffers a HINT without flushing (v8): it parks a hinted
+// handoff — a versioned write (tombstone=true for a delete, with a nil
+// value) whose intended owner target was unreachable — on the receiving
+// server, which replays it to target as a conditional versioned write
+// once target is reachable again.
+func (c *Client) EnqueueHint(target string, key uint64, tombstone bool, version uint64, value []byte) error {
+	return c.w.WriteRequest(Request{
+		Op: OpHint, Target: target, Key: key, Tombstone: tombstone, Version: version, Value: value,
+	})
+}
+
+// Hint issues one HINT round trip; see EnqueueHint.
+func (c *Client) Hint(target string, key uint64, tombstone bool, version uint64, value []byte) error {
+	resp, err := c.roundTrip(Request{
+		Op: OpHint, Target: target, Key: key, Tombstone: tombstone, Version: version, Value: value,
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("wire: unexpected HINT response %v", resp.Status)
+	}
+	return nil
+}
+
 // EnqueueGetTraced is EnqueueGet with a trace context attached (v6): the
 // server propagates tc into its telemetry for this request, recording a
 // span when tc is sampled.
@@ -264,6 +300,28 @@ func (c *Client) SetVersioned(key uint64, flags SetFlags, version uint64, value 
 	}
 }
 
+// SetTombstone issues one conditional maintenance delete round trip (v8):
+// a SET carrying SetFlagTombstone, SetFlagVersioned and an empty value.
+// The target stores a tombstone under version iff it is strictly newer
+// than what it holds. flags must include SetFlagRepair. Return values
+// mirror SetVersioned.
+func (c *Client) SetTombstone(key uint64, flags SetFlags, version uint64) (applied bool, stored uint64, err error) {
+	resp, err := c.roundTrip(Request{
+		Op: OpSet, Key: key, Flags: flags | SetFlagVersioned | SetFlagTombstone, Version: version,
+	})
+	if err != nil {
+		return false, 0, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return true, resp.Version, nil
+	case StatusVersionStale:
+		return false, resp.Version, nil
+	default:
+		return false, 0, fmt.Errorf("wire: unexpected TOMBSTONE SET response %v", resp.Status)
+	}
+}
+
 // SetVersionedTraced is SetVersioned with a trace context attached — the
 // synchronous form the cluster's repair applier uses so the repair write
 // carries its originating request's trace end to end.
@@ -361,36 +419,32 @@ func (c *Client) SetLease(key, token uint64, value []byte) (filled bool, stored 
 	}
 }
 
-// Del removes key, reporting whether it was present.
-func (c *Client) Del(key uint64) (bool, error) {
+// Del deletes key as a versioned write (v8): the server stores a
+// tombstone under a freshly assigned version instead of erasing history,
+// so replica repair can propagate the delete without resurrection. It
+// reports whether a live value was present and the tombstone's assigned
+// version.
+func (c *Client) Del(key uint64) (present bool, version uint64, err error) {
 	resp, err := c.roundTrip(Request{Op: OpDel, Key: key})
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
-	switch resp.Status {
-	case StatusOK:
-		return true, nil
-	case StatusMiss:
-		return false, nil
-	default:
-		return false, fmt.Errorf("wire: unexpected DEL response %v", resp.Status)
+	if resp.Status != StatusOK {
+		return false, 0, fmt.Errorf("wire: unexpected DEL response %v", resp.Status)
 	}
+	return resp.Evicted, resp.Version, nil
 }
 
 // DelTraced is Del with a trace context attached.
-func (c *Client) DelTraced(key uint64, tc TraceContext) (bool, error) {
+func (c *Client) DelTraced(key uint64, tc TraceContext) (present bool, version uint64, err error) {
 	resp, err := c.roundTrip(Request{Op: OpDel, Key: key, Trace: tc, Traced: true})
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
-	switch resp.Status {
-	case StatusOK:
-		return true, nil
-	case StatusMiss:
-		return false, nil
-	default:
-		return false, fmt.Errorf("wire: unexpected DEL response %v", resp.Status)
+	if resp.Status != StatusOK {
+		return false, 0, fmt.Errorf("wire: unexpected DEL response %v", resp.Status)
 	}
+	return resp.Evicted, resp.Version, nil
 }
 
 // Stats fetches the server's counter snapshot; detail includes per-shard
@@ -420,15 +474,17 @@ func (c *Client) Metrics(flags MetricsFlags) (*Metrics, error) {
 	return resp.Metrics, nil
 }
 
-// Keys fetches a racy snapshot of every resident key by draining the
-// chunked KEYS stream. The cluster router uses it to migrate entries off a
-// node being removed and to warm a newcomer up.
-func (c *Client) Keys() ([]uint64, error) {
-	// Full chunks are DefaultKeysChunk keys; starting the accumulator at
-	// one chunk's capacity (and doubling in chunk units) avoids the many
-	// small regrowth copies an empty append schedule would pay.
-	all := make([]uint64, 0, DefaultKeysChunk)
-	err := c.KeysStream(func(chunk []uint64) error {
+// Keys fetches a racy snapshot of every resident record — key, stored
+// version, tombstone marker — by draining the chunked KEYS stream. The
+// cluster router uses it to migrate entries off a node being removed, to
+// warm a newcomer up, and to diff replica pairs in the anti-entropy
+// sweep.
+func (c *Client) Keys() ([]KeyRec, error) {
+	// Full chunks are DefaultKeysChunk records; starting the accumulator
+	// at one chunk's capacity (and doubling in chunk units) avoids the
+	// many small regrowth copies an empty append schedule would pay.
+	all := make([]KeyRec, 0, DefaultKeysChunk)
+	err := c.KeysStream(func(chunk []KeyRec) error {
 		all = append(all, chunk...)
 		return nil
 	})
@@ -442,7 +498,7 @@ func (c *Client) Keys() ([]uint64, error) {
 // other request may be pipelined behind it. If visit returns an error the
 // remaining frames are drained (so the connection stays usable for the
 // next request) and that error is returned.
-func (c *Client) KeysStream(visit func(chunk []uint64) error) error {
+func (c *Client) KeysStream(visit func(chunk []KeyRec) error) error {
 	if err := c.w.WriteRequest(Request{Op: OpKeys}); err != nil {
 		return err
 	}
@@ -583,6 +639,45 @@ func (c *Client) SetBatchVersioned(keys []uint64, flags SetFlags, version func(i
 		return applied, stale, err
 	}
 	for range keys {
+		resp, err := c.ReadResponse()
+		if err != nil {
+			return applied, stale, err
+		}
+		switch resp.Status {
+		case StatusOK:
+			applied++
+		case StatusVersionStale:
+			stale++
+		default:
+			return applied, stale, fmt.Errorf("wire: unexpected VERSIONED SET response %v", resp.Status)
+		}
+	}
+	return applied, stale, nil
+}
+
+// SetBatchRecs pipelines one conditional maintenance write per record —
+// a TOMBSTONE SET for tombstone records (value(i) is ignored), a plain
+// VERSIONED SET otherwise — with each write carrying its record's
+// version. flags must include SetFlagRepair; SetFlagVersioned (and, per
+// record, SetFlagTombstone) is added implicitly. It reports applied and
+// stale counts exactly like SetBatchVersioned; a stale tombstone means
+// the destination holds something strictly newer than the delete, which
+// by the versioned-repair invariant is the state that should win.
+func (c *Client) SetBatchRecs(recs []KeyRec, flags SetFlags, value func(i int) []byte) (applied, stale int, err error) {
+	for i, rec := range recs {
+		if rec.Tombstone {
+			err = c.EnqueueSetTombstone(rec.Key, flags, rec.Version)
+		} else {
+			err = c.EnqueueSetVersioned(rec.Key, flags, rec.Version, value(i))
+		}
+		if err != nil {
+			return applied, stale, err
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return applied, stale, err
+	}
+	for range recs {
 		resp, err := c.ReadResponse()
 		if err != nil {
 			return applied, stale, err

@@ -146,7 +146,11 @@ func TestVersionMismatch(t *testing.T) {
 // collect every chunk, stop at the terminator, and leave the connection
 // usable for the next request.
 func TestClientKeysStream(t *testing.T) {
-	chunks := [][]uint64{{1, 2, 3}, {4, 5}, {6}}
+	chunks := [][]KeyRec{
+		{{Key: 1, Version: 10}, {Key: 2, Version: 20, Tombstone: true}, {Key: 3, Version: 30}},
+		{{Key: 4, Version: 40}, {Key: 5, Version: 50}},
+		{{Key: 6, Version: 60, Tombstone: true}},
+	}
 	addr := fakeServer(t, func(conn net.Conn) {
 		defer conn.Close()
 		r, w := NewReader(conn), NewWriter(conn)
@@ -175,9 +179,9 @@ func TestClientKeysStream(t *testing.T) {
 	}
 	defer c.Close()
 
-	var got []uint64
+	var got []KeyRec
 	frames := 0
-	if err := c.KeysStream(func(chunk []uint64) error {
+	if err := c.KeysStream(func(chunk []KeyRec) error {
 		frames++
 		got = append(got, chunk...)
 		return nil
@@ -187,13 +191,16 @@ func TestClientKeysStream(t *testing.T) {
 	if frames != len(chunks) {
 		t.Errorf("visited %d chunk frames, want %d", frames, len(chunks))
 	}
-	want := []uint64{1, 2, 3, 4, 5, 6}
+	var want []KeyRec
+	for _, c := range chunks {
+		want = append(want, c...)
+	}
 	if len(got) != len(want) {
-		t.Fatalf("streamed keys = %v, want %v", got, want)
+		t.Fatalf("streamed records = %v, want %v", got, want)
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Fatalf("streamed keys = %v, want %v", got, want)
+			t.Fatalf("streamed records = %v, want %v", got, want)
 		}
 	}
 	if e := c.LastEpoch(); e != 9 {
@@ -217,7 +224,7 @@ func TestClientKeysStreamVisitError(t *testing.T) {
 		if _, err := r.ReadRequest(); err != nil {
 			return
 		}
-		for _, c := range [][]uint64{{1, 2}, {3, 4}, {5}} {
+		for _, c := range [][]KeyRec{{{Key: 1}, {Key: 2}}, {{Key: 3}, {Key: 4}}, {{Key: 5}}} {
 			w.WriteResponse(Response{Status: StatusKeys, Keys: c})
 		}
 		w.WriteResponse(Response{Status: StatusKeys})
@@ -236,7 +243,7 @@ func TestClientKeysStreamVisitError(t *testing.T) {
 
 	visits := 0
 	boom := fmt.Errorf("abort after first chunk")
-	if err := c.KeysStream(func([]uint64) error {
+	if err := c.KeysStream(func([]KeyRec) error {
 		visits++
 		return boom
 	}); err != boom {
@@ -303,7 +310,11 @@ func TestClientMembersAndPush(t *testing.T) {
 func TestKeysRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
-	want := []uint64{1, 1 << 40, 42}
+	want := []KeyRec{
+		{Key: 1, Version: 7},
+		{Key: 1 << 40, Version: 1 << 50, Tombstone: true},
+		{Key: 42, Version: 3},
+	}
 	if err := w.WriteResponse(Response{Status: StatusKeys, Keys: want}); err != nil {
 		t.Fatal(err)
 	}

@@ -85,7 +85,7 @@ func TestSpecPreambleAndLimits(t *testing.T) {
 
 func TestSpecOpcodes(t *testing.T) {
 	codes := tableCodes(specSection(t, specDoc(t), "### Request opcodes"))
-	want := []Op{OpGet, OpSet, OpDel, OpStats, OpRehash, OpKeys, OpMembers, OpTopology, OpMetrics, OpGetLease}
+	want := []Op{OpGet, OpSet, OpDel, OpStats, OpRehash, OpKeys, OpMembers, OpTopology, OpMetrics, OpGetLease, OpHint}
 	if len(codes) != len(want) {
 		t.Errorf("spec lists %d opcodes, implementation has %d", len(codes), len(want))
 	}
@@ -119,6 +119,7 @@ func TestSpecSetFlags(t *testing.T) {
 		{"ASYNC", SetFlagAsync},
 		{"VERSIONED", SetFlagVersioned},
 		{"LEASE", SetFlagLease},
+		{"TOMBSTONE", SetFlagTombstone},
 	} {
 		row := regexp.MustCompile(`\|\s*` + f.name + `\s*\|\s*0x([0-9a-fA-F]+)\s*\|`).FindStringSubmatch(section)
 		if row == nil {
@@ -131,8 +132,56 @@ func TestSpecSetFlags(t *testing.T) {
 	}
 	// Every defined flag must be documented: if a new bit joins
 	// setFlagsDefined, this forces a spec row for it.
-	if setFlagsDefined != SetFlagRepair|SetFlagAsync|SetFlagVersioned|SetFlagLease {
+	if setFlagsDefined != SetFlagRepair|SetFlagAsync|SetFlagVersioned|SetFlagLease|SetFlagTombstone {
 		t.Error("setFlagsDefined grew; document the new flag bit in ARCHITECTURE.md and extend this test")
+	}
+}
+
+// TestSpecTombstones pins the v8 normative text: the DEL-as-versioned-
+// write semantics, the 17-byte KEYS record layout, the HINT request
+// body, the TOMBSTONE flag's combination rule, and the deletion
+// invariant section the whole layer rests on.
+func TestSpecTombstones(t *testing.T) {
+	doc := specDoc(t)
+
+	ops := specSection(t, doc, "### Request opcodes")
+	if !regexp.MustCompile(`HINT\s*\|\s*11\s*\|\s*target-len byte, target bytes, key uint64, tombstone byte \(0 or 1\), version uint64, value bytes`).MatchString(ops) {
+		t.Error("spec HINT row must document the full hint body layout")
+	}
+	if !regexp.MustCompile(`(?is)DEL.*?since v8.*?versioned write, not an erasure`).MatchString(ops) {
+		t.Error("spec must state that DEL is a versioned write since v8")
+	}
+	if !regexp.MustCompile(`(?i)zero version is a protocol error`).MatchString(ops) {
+		t.Error("spec must state that a zero-version HINT is a protocol error")
+	}
+
+	statuses := specSection(t, doc, "### Response statuses")
+	if !regexp.MustCompile(`(?is)DEL.*?always answers OK.*?tombstone's freshly assigned version`).MatchString(statuses) {
+		t.Error("spec DEL note must state the always-OK response carrying the tombstone version")
+	}
+	if !regexp.MustCompile(`key uint64, version uint64, tombstone byte \(17 bytes each\)`).MatchString(statuses) {
+		t.Error("spec KEYS row must document the 17-byte record layout")
+	}
+
+	flags := specSection(t, doc, "### SET flag bits")
+	if !regexp.MustCompile(`(?i)only valid together with VERSIONED`).MatchString(flags) {
+		t.Error("spec must state TOMBSTONE is only valid together with VERSIONED")
+	}
+	if !regexp.MustCompile(`(?i)TOMBSTONE SET carrying a value`).MatchString(flags) {
+		t.Error("spec must state that a TOMBSTONE SET carrying a value is rejected")
+	}
+
+	inv := specSection(t, doc, "### Deletion invariant")
+	for _, sentence := range []string{
+		`(?i)maintenance write can never resurrect a deleted key`,
+		`(?i)delete propagates like a write`,
+		`(?i)lease path cannot resurrect`,
+		`(?i)tombstones are transient`,
+		`(?i)bounded by the anti-entropy period`,
+	} {
+		if !regexp.MustCompile(sentence).MatchString(inv) {
+			t.Errorf("spec deletion invariant section must match %q", sentence)
+		}
 	}
 }
 

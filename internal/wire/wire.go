@@ -10,7 +10,7 @@
 // with a 8-byte client preamble:
 //
 //	magic   [4]byte  "SACW" (Set-Associative Cache Wire)
-//	version uint32   7
+//	version uint32   8
 //
 // after which both directions carry length-prefixed frames:
 //
@@ -37,14 +37,19 @@
 //	         value                             → OK evicted, version |
 //	                                             VersionStale stored version |
 //	                                             LeaseLost stored version
-//	DEL      key uint64                        → OK | Miss
+//	DEL      key uint64                        → OK evicted, version
 //	STATS    detail byte(0|1)                  → Stats payload (see Stats)
 //	REHASH                                     → OK
-//	KEYS                                       → stream of Keys frames; a
-//	                                             frame with count 0 terminates
+//	KEYS                                       → stream of Keys frames of
+//	                                             {key, version, tombstone}
+//	                                             records; a frame with count 0
+//	                                             terminates
 //	MEMBERS                                    → Members topology payload
 //	TOPOLOGY topology payload                  → Members (the view after apply)
 //	METRICS  flags byte                        → Metrics payload (see Metrics)
+//	HINT     target addr, key uint64,
+//	         tombstone byte, version uint64,
+//	         value                             → OK
 //
 // Version 2 added the SET flags byte between key and value. Its first
 // defined bit, SetFlagRepair, marks replica-maintenance writes — read
@@ -139,6 +144,32 @@
 //     is a refusal, not a failure.
 //   - The STATS payload gained LeasesGranted, LeasesExpired and
 //     StaleServes.
+//
+// Version 8 made delete a versioned write, closing the last documented
+// resurrection path and unblocking the availability layers built on it:
+//
+//   - DEL no longer erases history: the server stores a tombstone record
+//     under a freshly assigned version (reaped after a TTL), and the DEL
+//     response is always OK — the evicted byte reports whether a live
+//     value was present, and the version field carries the tombstone's
+//     assigned version, so routers can propagate the delete to replicas
+//     and hints as an ordinary conditional versioned write.
+//   - SetFlagTombstone (valid only with VERSIONED, hence REPAIR) makes a
+//     maintenance SET carry a delete instead of a value: the body has an
+//     empty value and the server stores a tombstone under the carried
+//     version iff it is strictly newer than what it holds. Replica
+//     repair, hint replay and anti-entropy use it so a delete can never
+//     lose to an older live copy.
+//   - KEYS frames stream {key uint64, version uint64, tombstone byte}
+//     records instead of bare keys, so replica comparison — the
+//     anti-entropy sweep, warm-up, migration — is one pass with no
+//     per-key version round trips, and tombstones travel with the rest.
+//   - HINT (OpHint) queues a hinted-handoff record on the receiving
+//     server: a write (or delete) that could not reach its intended
+//     owner, stored under a byte budget and replayed to the target — as
+//     a conditional versioned write — when it becomes reachable again.
+//   - The STATS payload gained Tombstones, TombstonesReaped, HintsQueued
+//     and HintsReplayed.
 package wire
 
 import (
@@ -183,8 +214,13 @@ const (
 	// sections, and the slow-op record's trailing trace ID; version 7
 	// added the lease miss path — the GETL op, the LEASE and LEASE_LOST
 	// statuses, the LEASE SET flag with its token field, and the
-	// LeasesGranted/LeasesExpired/StaleServes counters.
-	Version = 7
+	// LeasesGranted/LeasesExpired/StaleServes counters; version 8 made
+	// delete a versioned write — DEL answers OK with the assigned
+	// tombstone version, the TOMBSTONE SET flag carries deletes through
+	// maintenance writes, KEYS streams {key, version, tombstone} records,
+	// the HINT op queues hinted handoffs, and the STATS payload gained
+	// the Tombstones/TombstonesReaped/HintsQueued/HintsReplayed counters.
+	Version = 8
 	// MaxFrame bounds a frame body; it caps both value sizes and the damage
 	// a corrupt length prefix can do.
 	MaxFrame = 16 << 20
@@ -329,8 +365,19 @@ const (
 	// and VERSIONED).
 	SetFlagLease SetFlags = 1 << 3
 
+	// SetFlagTombstone (v8), valid only alongside SetFlagVersioned (and
+	// therefore SetFlagRepair), makes the conditional SET carry a delete:
+	// the body's value is empty, and the server stores a *tombstone*
+	// record under the carried version iff it is strictly newer than the
+	// version it holds — exactly the VERSIONED rule, applied to a delete.
+	// This is how replica repair, hint replay, the anti-entropy sweep and
+	// migration propagate deletes without ever letting an older live copy
+	// win. User deletes never carry it: DEL assigns the tombstone's
+	// version itself, like a user SET.
+	SetFlagTombstone SetFlags = 1 << 4
+
 	// setFlagsDefined masks the bits a conforming frame may set.
-	setFlagsDefined = SetFlagRepair | SetFlagAsync | SetFlagVersioned | SetFlagLease
+	setFlagsDefined = SetFlagRepair | SetFlagAsync | SetFlagVersioned | SetFlagLease | SetFlagTombstone
 )
 
 // OpFlagTraced is the frame flag on the request opcode byte (its high
@@ -405,6 +452,15 @@ const (
 	// already holds it (optionally with a stale hint). The body is the
 	// same 8-byte key as GET.
 	OpGetLease
+	// OpHint (HINT, v8) hands the receiving server a hinted-handoff
+	// record: a versioned write (or, with the tombstone byte set, a
+	// delete) whose intended owner — the target address in the body — was
+	// unreachable. The server queues it under a byte budget and replays
+	// it to the target as a conditional versioned write once the target
+	// is reachable again; over budget, the oldest hints for that target
+	// are dropped (the anti-entropy sweep is the backstop). The response
+	// is OK.
+	OpHint
 )
 
 // String implements fmt.Stringer.
@@ -430,6 +486,8 @@ func (o Op) String() string {
 		return "METRICS"
 	case OpGetLease:
 		return "GETL"
+	case OpHint:
+		return "HINT"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
@@ -523,6 +581,12 @@ type Request struct {
 	// never carries a zero token (zero is the "no lease" sentinel in LEASE
 	// responses).
 	LeaseToken uint64
+	// Target is the intended owner address of a HINT: the member the
+	// hinted write could not reach and should be replayed to.
+	Target string
+	// Tombstone marks a HINT whose hinted write is a delete; the Value is
+	// then empty and the replay carries SetFlagTombstone.
+	Tombstone bool
 	// Detail asks STATS to include per-shard counters.
 	Detail bool
 	// Topology is the payload of a TOPOLOGY push.
@@ -535,6 +599,21 @@ type Request struct {
 	// Traced reports whether the frame carries a trace context
 	// (OpFlagTraced was set on the opcode byte).
 	Traced bool
+}
+
+// KeyRec is one record of a KEYS stream frame (v8): a resident key, the
+// version it is stored under, and whether the record is a tombstone — a
+// versioned delete still within its reap TTL. Tombstones travel in the
+// stream so replica comparison (anti-entropy, warm-up, migration) sees
+// deletes with the same one-pass scan it sees values, instead of
+// mistaking a deleted key for a missing one.
+type KeyRec struct {
+	// Key is the cache key.
+	Key uint64
+	// Version is the version the record is stored under.
+	Version uint64
+	// Tombstone marks a versioned delete; the key has no value.
+	Tombstone bool
 }
 
 // Response is one decoded response frame.
@@ -555,9 +634,10 @@ type Response struct {
 	Evicted bool
 	// Stats is the payload of a STATS response.
 	Stats *Stats
-	// Keys is the payload of one KEYS stream frame; an empty Keys frame
-	// terminates the stream.
-	Keys []uint64
+	// Keys is the payload of one KEYS stream frame — {key, version,
+	// tombstone} records since v8; an empty Keys frame terminates the
+	// stream.
+	Keys []KeyRec
 	// Topology is the payload of a MEMBERS response.
 	Topology Topology
 	// Metrics is the payload of a METRICS response.
@@ -623,7 +703,21 @@ type Stats struct {
 	// hint — missers served a possibly superseded value instead of joining
 	// the stampede.
 	StaleServes uint64
-	Migrating   bool
+	// Tombstones is the number of tombstone records currently resident —
+	// versioned deletes still within their reap TTL. A gauge, not a
+	// counter.
+	Tombstones uint64
+	// TombstonesReaped counts tombstones removed by the reaper after
+	// outliving their TTL.
+	TombstonesReaped uint64
+	// HintsQueued counts hinted-handoff records accepted via HINT (v8) —
+	// writes to an unreachable owner parked on this server for replay.
+	HintsQueued uint64
+	// HintsReplayed counts queued hints delivered to their target as
+	// conditional versioned writes (a VERSION_STALE refusal counts: the
+	// target provably holds something newer, which is all a hint wants).
+	HintsReplayed uint64
+	Migrating     bool
 	// Shards is present only when the STATS request set Detail.
 	Shards []ShardStat
 }
@@ -656,6 +750,10 @@ var statsFields = []struct {
 	{"LeasesGranted", func(s *Stats) *uint64 { return &s.LeasesGranted }},
 	{"LeasesExpired", func(s *Stats) *uint64 { return &s.LeasesExpired }},
 	{"StaleServes", func(s *Stats) *uint64 { return &s.StaleServes }},
+	{"Tombstones", func(s *Stats) *uint64 { return &s.Tombstones }},
+	{"TombstonesReaped", func(s *Stats) *uint64 { return &s.TombstonesReaped }},
+	{"HintsQueued", func(s *Stats) *uint64 { return &s.HintsQueued }},
+	{"HintsReplayed", func(s *Stats) *uint64 { return &s.HintsReplayed }},
 }
 
 // MissRatio returns Misses / (Hits + Misses), or 0 before any GET.
@@ -675,7 +773,11 @@ type ShardStat struct {
 	Len       uint64
 }
 
-const statsFixedLen = 20*8 + 1 // 20 uint64 counters (statsFields) + migrating byte
+const statsFixedLen = 24*8 + 1 // 24 uint64 counters (statsFields) + migrating byte
+
+// keyRecLen is the encoded size of one KEYS stream record: key uint64,
+// version uint64, tombstone byte.
+const keyRecLen = 17
 
 // Codec buffer tuning. The shrink policy keeps one large frame (a KEYS
 // chunk, a METRICS snapshot, a big value) from pinning its buffer on a
@@ -861,6 +963,14 @@ func (w *Writer) WriteRequest(req Request) error {
 	case OpSet:
 		w.chunk = binary.LittleEndian.AppendUint64(w.chunk, req.Key)
 		w.chunk = append(w.chunk, byte(req.Flags))
+		if req.Flags&SetFlagTombstone != 0 {
+			if req.Flags&SetFlagVersioned == 0 {
+				return w.abortFrame(off, fmt.Errorf("wire: SET flag TOMBSTONE is only valid with VERSIONED"))
+			}
+			if len(req.Value) != 0 {
+				return w.abortFrame(off, fmt.Errorf("wire: TOMBSTONE SET carries a value"))
+			}
+		}
 		if req.Flags&SetFlagVersioned != 0 {
 			w.chunk = binary.LittleEndian.AppendUint64(w.chunk, req.Version)
 		}
@@ -878,6 +988,26 @@ func (w *Writer) WriteRequest(req Request) error {
 		} else {
 			w.chunk = append(w.chunk, req.Value...)
 		}
+	case OpHint:
+		if req.Target == "" || len(req.Target) > MaxAddrLen {
+			return w.abortFrame(off, fmt.Errorf("wire: HINT target address %d bytes, want 1..%d", len(req.Target), MaxAddrLen))
+		}
+		if req.Version == 0 {
+			return w.abortFrame(off, fmt.Errorf("wire: HINT with a zero version"))
+		}
+		if req.Tombstone && len(req.Value) != 0 {
+			return w.abortFrame(off, fmt.Errorf("wire: tombstone HINT carries a value"))
+		}
+		w.chunk = append(w.chunk, byte(len(req.Target)))
+		w.chunk = append(w.chunk, req.Target...)
+		w.chunk = binary.LittleEndian.AppendUint64(w.chunk, req.Key)
+		tb := byte(0)
+		if req.Tombstone {
+			tb = 1
+		}
+		w.chunk = append(w.chunk, tb)
+		w.chunk = binary.LittleEndian.AppendUint64(w.chunk, req.Version)
+		w.chunk = append(w.chunk, req.Value...)
 	case OpStats:
 		d := byte(0)
 		if req.Detail {
@@ -973,8 +1103,14 @@ func (w *Writer) WriteResponse(resp Response) error {
 		w.chunk = append(w.chunk, resp.Err...)
 	case StatusKeys:
 		w.chunk = binary.LittleEndian.AppendUint32(w.chunk, uint32(len(resp.Keys)))
-		for _, k := range resp.Keys {
-			w.chunk = binary.LittleEndian.AppendUint64(w.chunk, k)
+		for _, rec := range resp.Keys {
+			w.chunk = binary.LittleEndian.AppendUint64(w.chunk, rec.Key)
+			w.chunk = binary.LittleEndian.AppendUint64(w.chunk, rec.Version)
+			tb := byte(0)
+			if rec.Tombstone {
+				tb = 1
+			}
+			w.chunk = append(w.chunk, tb)
 		}
 	case StatusMembers:
 		if err := resp.Topology.Validate(); err != nil {
@@ -1030,7 +1166,7 @@ type Reader struct {
 	// interface does not allocate per frame.
 	hdr [8]byte
 	// keys backs Response.Keys across calls, like body backs Value.
-	keys []uint64
+	keys []KeyRec
 	// idle counts consecutive frames that fit codecShrinkCap while body
 	// was grown beyond it (shrink-on-idle, mirroring the Writer).
 	idle int
@@ -1165,7 +1301,45 @@ func (r *Reader) ReadRequest() (Request, error) {
 			}
 			body = body[8:]
 		}
+		if req.Flags&SetFlagTombstone != 0 {
+			if req.Flags&SetFlagVersioned == 0 {
+				return Request{}, fmt.Errorf("wire: SET flag TOMBSTONE is only valid with VERSIONED")
+			}
+			if len(body) != 0 {
+				return Request{}, fmt.Errorf("wire: TOMBSTONE SET carries a value")
+			}
+		}
 		req.Value = body
+	case OpHint:
+		if len(body) < 1 {
+			return Request{}, fmt.Errorf("wire: HINT body %d bytes, want ≥1", len(body))
+		}
+		al := int(body[0])
+		body = body[1:]
+		if al == 0 {
+			return Request{}, fmt.Errorf("wire: HINT with an empty target address")
+		}
+		if len(body) < al+17 {
+			return Request{}, fmt.Errorf("wire: HINT body truncated (target %d bytes, %d remain)", al, len(body))
+		}
+		req.Target = string(body[:al])
+		body = body[al:]
+		req.Key = binary.LittleEndian.Uint64(body)
+		switch body[8] {
+		case 0:
+		case 1:
+			req.Tombstone = true
+		default:
+			return Request{}, fmt.Errorf("wire: HINT tombstone byte %#02x, want 0 or 1", body[8])
+		}
+		req.Version = binary.LittleEndian.Uint64(body[9:])
+		if req.Version == 0 {
+			return Request{}, fmt.Errorf("wire: HINT with a zero version")
+		}
+		req.Value = body[17:]
+		if req.Tombstone && len(req.Value) != 0 {
+			return Request{}, fmt.Errorf("wire: tombstone HINT carries a value")
+		}
 	case OpStats:
 		if len(body) != 1 {
 			return Request{}, fmt.Errorf("wire: STATS body %d bytes, want 1", len(body))
@@ -1288,18 +1462,28 @@ func (r *Reader) ReadResponse() (Response, error) {
 		}
 		n := int(binary.LittleEndian.Uint32(body))
 		body = body[4:]
-		if len(body) != 8*n {
-			return Response{}, fmt.Errorf("wire: keys payload %d bytes, want %d", len(body), 8*n)
+		if len(body) != keyRecLen*n {
+			return Response{}, fmt.Errorf("wire: keys payload %d bytes, want %d", len(body), keyRecLen*n)
 		}
 		if n > 0 {
 			// Like Value, Keys aliases reader-owned memory valid until
 			// the next call — KEYS streams reuse one buffer per chunk.
 			if cap(r.keys) < n {
-				r.keys = make([]uint64, n)
+				r.keys = make([]KeyRec, n)
 			}
 			resp.Keys = r.keys[:n]
 			for i := range resp.Keys {
-				resp.Keys[i] = binary.LittleEndian.Uint64(body[8*i:])
+				rec := body[keyRecLen*i:]
+				switch rec[16] {
+				case 0, 1:
+				default:
+					return Response{}, fmt.Errorf("wire: keys record %d tombstone byte %#02x, want 0 or 1", i, rec[16])
+				}
+				resp.Keys[i] = KeyRec{
+					Key:       binary.LittleEndian.Uint64(rec),
+					Version:   binary.LittleEndian.Uint64(rec[8:]),
+					Tombstone: rec[16] == 1,
+				}
 			}
 		}
 	case StatusMembers:
